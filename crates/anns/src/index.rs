@@ -1,0 +1,214 @@
+//! The WACO schedule index: sampled SuperSchedules, their embeddings, an
+//! HNSW graph, and cost-model-guided queries.
+
+use crate::hnsw::Hnsw;
+use waco_model::CostModel;
+use waco_schedule::encode::{self, Encoded};
+use waco_schedule::{sample, Space, SuperSchedule};
+use waco_sparseconv::Pattern;
+
+/// Timing breakdown of one WACO search (Figure 16b): the pattern feature is
+/// extracted once; ANNS then evaluates only the predictor head per vertex.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchBreakdown {
+    /// Wall time of the (single) feature extraction.
+    pub feature_seconds: f64,
+    /// Wall time of the graph traversal + head evaluations.
+    pub anns_seconds: f64,
+    /// Number of cost evaluations performed by ANNS.
+    pub evals: usize,
+}
+
+impl SearchBreakdown {
+    /// Fraction of total search time spent evaluating costs (the §4.2
+    /// metric where ANNS reaches ~94% vs ≤8% for black-box tuners —
+    /// here the whole ANNS phase *is* cost evaluation plus cheap graph
+    /// hops).
+    pub fn eval_fraction(&self) -> f64 {
+        let total = self.feature_seconds + self.anns_seconds;
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.anns_seconds / total
+        }
+    }
+}
+
+/// A pre-built search structure over the SuperSchedule space of one kernel
+/// (§4.2.2's "graph built with the SuperSchedules which appeared in our
+/// training dataset"; here: a deterministic sample of the space).
+#[derive(Debug)]
+pub struct ScheduleIndex {
+    /// The vertex schedules.
+    pub schedules: Vec<SuperSchedule>,
+    /// Their structured encodings.
+    pub encodings: Vec<Encoded>,
+    /// Their program embeddings under the model used at build time.
+    pub embeddings: Vec<Vec<f32>>,
+    /// The HNSW graph over the embeddings (l2).
+    pub hnsw: Hnsw,
+    space: Space,
+}
+
+impl ScheduleIndex {
+    /// Samples `count` schedules of `space`, embeds them with `model`, and
+    /// builds the graph. Deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`.
+    pub fn build(model: &CostModel, space: &Space, count: usize, seed: u64) -> Self {
+        Self::build_with_extras(model, space, count, seed, Vec::new())
+    }
+
+    /// Like [`ScheduleIndex::build`], but additionally indexes the given
+    /// schedules. The paper builds its graph from the SuperSchedules of the
+    /// training dataset, which is naturally dense in reasonable
+    /// configurations; `extras` lets callers reproduce that density by
+    /// seeding a portfolio of classic formats and parallelizations next to
+    /// the uniform samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`; invalid extras panic on encoding.
+    pub fn build_with_extras(
+        model: &CostModel,
+        space: &Space,
+        count: usize,
+        seed: u64,
+        extras: Vec<SuperSchedule>,
+    ) -> Self {
+        assert!(count > 0, "index needs at least one schedule");
+        let total = count + extras.len();
+        let mut schedules = Vec::with_capacity(total);
+        let mut encodings = Vec::with_capacity(total);
+        let mut embeddings = Vec::with_capacity(total);
+        for i in 0..count {
+            schedules.push(sample::sample_indexed(space, i as u64, seed));
+        }
+        schedules.extend(extras);
+        for s in &schedules {
+            let enc = encode::encode_structured(s, space);
+            embeddings.push(model.embed(&enc));
+            encodings.push(enc);
+        }
+        let m = 12.min(schedules.len().max(2) - 1).max(2);
+        let hnsw = Hnsw::build(embeddings.clone(), m, 64, seed ^ 0xA5A5);
+        Self { schedules, encodings, embeddings, hnsw, space: space.clone() }
+    }
+
+    /// Number of indexed schedules.
+    pub fn len(&self) -> usize {
+        self.schedules.len()
+    }
+
+    /// Whether the index is empty (never true after `build`).
+    pub fn is_empty(&self) -> bool {
+        self.schedules.is_empty()
+    }
+
+    /// The space the index was built for.
+    pub fn space(&self) -> &Space {
+        &self.space
+    }
+
+    /// Queries with a pre-extracted pattern feature: ANNS over the graph
+    /// with `model.score(feat, embedding)` as the distance. Returns the
+    /// top-k `(schedule index, predicted cost)` plus the best-so-far trace.
+    pub fn query_with_feature(
+        &self,
+        model: &CostModel,
+        feat: &[f32],
+        k: usize,
+        ef: usize,
+    ) -> (Vec<(usize, f32)>, usize, Vec<f32>) {
+        self.hnsw
+            .search_generic(|n| model.score(feat, &self.embeddings[n]), k, ef)
+    }
+
+    /// Full WACO search: extract the feature, then ANNS — with the
+    /// Figure 16b timing breakdown.
+    pub fn query(
+        &self,
+        model: &mut CostModel,
+        pattern: &Pattern,
+        k: usize,
+        ef: usize,
+    ) -> (Vec<(usize, f32)>, SearchBreakdown) {
+        let t0 = std::time::Instant::now();
+        let feat = model.extract_feature(pattern);
+        let feature_seconds = t0.elapsed().as_secs_f64();
+        let t1 = std::time::Instant::now();
+        let (res, evals, _) = self.query_with_feature(model, &feat, k, ef);
+        let anns_seconds = t1.elapsed().as_secs_f64();
+        (res, SearchBreakdown { feature_seconds, anns_seconds, evals })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waco_model::CostModelConfig;
+    use waco_schedule::Kernel;
+    use waco_tensor::gen::{self, Rng64};
+
+    fn setup() -> (Space, CostModel, ScheduleIndex) {
+        let mut rng = Rng64::seed_from(1);
+        let space = Space::new(Kernel::SpMV, vec![32, 32], 0);
+        let layout = encode::layout(&space);
+        let model = CostModel::for_kernel(Kernel::SpMV, &layout, CostModelConfig::tiny(), &mut rng);
+        let index = ScheduleIndex::build(&model, &space, 120, 7);
+        (space, model, index)
+    }
+
+    #[test]
+    fn build_shapes() {
+        let (_s, _m, index) = setup();
+        assert_eq!(index.len(), 120);
+        assert!(!index.is_empty());
+        assert_eq!(index.embeddings.len(), 120);
+        assert_eq!(index.hnsw.len(), 120);
+    }
+
+    #[test]
+    fn query_returns_low_scores() {
+        let (_s, mut model, index) = setup();
+        let mut rng = Rng64::seed_from(2);
+        let m = gen::uniform_random(32, 32, 0.1, &mut rng);
+        let pattern = Pattern::from_matrix(&m);
+        let (res, bd) = index.query(&mut model, &pattern, 5, 48);
+        assert_eq!(res.len(), 5);
+        assert!(bd.evals > 0 && bd.evals <= index.len());
+        // ANNS result should be close to the brute-force best prediction.
+        let feat = model.extract_feature(&pattern);
+        let brute: f32 = index
+            .embeddings
+            .iter()
+            .map(|e| model.score(&feat, e))
+            .fold(f32::INFINITY, f32::min);
+        let got = res[0].1;
+        assert!(
+            got <= brute + 0.3 * brute.abs().max(0.1),
+            "ANNS best {got} vs brute {brute}"
+        );
+    }
+
+    #[test]
+    fn breakdown_fraction_sane() {
+        let (_s, mut model, index) = setup();
+        let mut rng = Rng64::seed_from(3);
+        let m = gen::uniform_random(48, 48, 0.08, &mut rng);
+        let (_res, bd) = index.query(&mut model, &Pattern::from_matrix(&m), 3, 32);
+        let f = bd.eval_fraction();
+        assert!((0.0..=1.0).contains(&f));
+        assert!(bd.feature_seconds >= 0.0 && bd.anns_seconds >= 0.0);
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let (space, model, index) = setup();
+        let again = ScheduleIndex::build(&model, &space, 120, 7);
+        assert_eq!(index.schedules[10], again.schedules[10]);
+        assert_eq!(index.embeddings[10], again.embeddings[10]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Structural quality tests of the from-scratch HNSW.
+
+use std::collections::HashSet;
+use waco_anns::Hnsw;
+use waco_tensor::gen::Rng64;
+
+fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = Rng64::seed_from(seed);
+    (0..n)
+        .map(|_| (0..dim).map(|_| rng.unit_f32()).collect())
+        .collect()
+}
+
+#[test]
+fn layer0_graph_is_connected() {
+    let g = Hnsw::build(random_vectors(400, 6, 1), 10, 64, 2);
+    // BFS over layer-0 links from node 0.
+    let mut seen: HashSet<usize> = HashSet::new();
+    let mut stack = vec![0usize];
+    while let Some(n) = stack.pop() {
+        if !seen.insert(n) {
+            continue;
+        }
+        for &nb in g.neighbors(n) {
+            stack.push(nb);
+        }
+    }
+    // Bidirectional insertion links keep the graph connected in practice;
+    // require near-total reachability.
+    assert!(
+        seen.len() >= 398,
+        "only {}/400 nodes reachable from node 0",
+        seen.len()
+    );
+}
+
+#[test]
+fn degree_is_bounded() {
+    let m = 8;
+    let g = Hnsw::build(random_vectors(500, 4, 3), m, 48, 4);
+    for n in 0..g.len() {
+        assert!(
+            g.neighbors(n).len() <= 2 * m + 1,
+            "node {n} has degree {}",
+            g.neighbors(n).len()
+        );
+    }
+}
+
+#[test]
+fn generic_search_cost_monotone_with_ef() {
+    // Bigger beams evaluate more candidates and never return a worse best.
+    let g = Hnsw::build(random_vectors(600, 8, 5), 10, 64, 6);
+    let cost = |n: usize| -> f32 {
+        // An arbitrary smooth function of the stored vector.
+        let v = g.vector(n);
+        v.iter().enumerate().map(|(i, &x)| (x - 0.3 * i as f32).abs()).sum()
+    };
+    let (res_small, evals_small, _) = g.search_generic(cost, 3, 8);
+    let (res_big, evals_big, _) = g.search_generic(cost, 3, 128);
+    assert!(evals_big >= evals_small);
+    assert!(res_big[0].1 <= res_small[0].1 + 1e-6);
+}
+
+#[test]
+fn search_handles_duplicate_vectors() {
+    // Many identical embeddings (plausible for degenerate schedules).
+    let mut v = random_vectors(50, 4, 7);
+    for i in 0..25 {
+        v[i] = vec![0.5; 4];
+    }
+    let g = Hnsw::build(v, 6, 32, 8);
+    let res = g.search_l2(&[0.5, 0.5, 0.5, 0.5], 5, 32);
+    assert_eq!(res.len(), 5);
+    assert!(res[0].1 < 1e-9);
+}

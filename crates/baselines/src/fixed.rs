@@ -1,0 +1,107 @@
+//! Fixed CSR / CSF: TACO defaults, no tuning (also the "MKL-Naive"
+//! reference implementation).
+
+use crate::TunedResult;
+use waco_schedule::{named, Kernel, Space};
+use waco_sim::{Result, Simulator};
+use waco_tensor::{CooMatrix, CooTensor3};
+
+/// Fixed CSR for a 2-D kernel: the paper's §5.1 defaults (UC format, chunk
+/// 128 for SpMV / 32 otherwise, max threads).
+///
+/// # Errors
+///
+/// Simulation failures (over-budget storage, over-limit work).
+///
+/// # Panics
+///
+/// Panics if `kernel` is MTTKRP (use [`fixed_csf_tensor`]).
+pub fn fixed_csr_matrix(
+    sim: &Simulator,
+    kernel: Kernel,
+    m: &CooMatrix,
+    dense_extent: usize,
+) -> Result<TunedResult> {
+    assert_ne!(kernel, Kernel::MTTKRP, "use fixed_csf_tensor for MTTKRP");
+    let space = sim.space_for(kernel, vec![m.nrows(), m.ncols()], dense_extent);
+    let sched = named::default_csr(&space);
+    let report = sim.time_matrix(m, &sched, &space)?;
+    Ok(TunedResult {
+        name: "FixedCSR".into(),
+        sched,
+        kernel_seconds: report.seconds,
+        tuning_seconds: 0.0,
+        convert_seconds: 0.0, // the input arrives in CSR
+    })
+}
+
+/// Fixed CSF (CCC) for MTTKRP.
+///
+/// # Errors
+///
+/// Simulation failures.
+pub fn fixed_csf_tensor(sim: &Simulator, t: &CooTensor3, rank: usize) -> Result<TunedResult> {
+    let space = sim.space_for(Kernel::MTTKRP, t.dims().to_vec(), rank);
+    let sched = named::default_csr(&space);
+    let report = sim.time_tensor3(t, &sched, &space)?;
+    Ok(TunedResult {
+        name: "FixedCSF".into(),
+        sched,
+        kernel_seconds: report.seconds,
+        tuning_seconds: 0.0,
+        convert_seconds: 0.0,
+    })
+}
+
+/// The schedule space a fixed/tuned baseline works in (shared helper).
+pub fn space_for_matrix(
+    sim: &Simulator,
+    kernel: Kernel,
+    m: &CooMatrix,
+    dense_extent: usize,
+) -> Space {
+    sim.space_for(kernel, vec![m.nrows(), m.ncols()], dense_extent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waco_sim::MachineConfig;
+    use waco_tensor::gen::{self, Rng64};
+
+    #[test]
+    fn fixed_csr_runs_all_2d_kernels() {
+        let sim = Simulator::new(MachineConfig::xeon_like());
+        let mut rng = Rng64::seed_from(1);
+        let m = gen::uniform_random(64, 64, 0.05, &mut rng);
+        for kernel in [Kernel::SpMV, Kernel::SpMM, Kernel::SDDMM] {
+            let r = fixed_csr_matrix(&sim, kernel, &m, 16).unwrap();
+            assert!(r.kernel_seconds > 0.0, "{kernel}");
+            assert_eq!(r.tuning_seconds, 0.0);
+            assert_eq!(r.convert_seconds, 0.0);
+        }
+    }
+
+    #[test]
+    fn fixed_csf_runs() {
+        let sim = Simulator::new(MachineConfig::xeon_like());
+        let mut rng = Rng64::seed_from(2);
+        let t = gen::random_tensor3([16, 16, 16], 120, &mut rng);
+        let r = fixed_csf_tensor(&sim, &t, 8).unwrap();
+        assert!(r.kernel_seconds > 0.0);
+        assert_eq!(r.name, "FixedCSF");
+    }
+
+    #[test]
+    fn end_to_end_accounting() {
+        let r = TunedResult {
+            name: "x".into(),
+            sched: named::default_csr(&Space::new(Kernel::SpMV, vec![4, 4], 0)),
+            kernel_seconds: 2.0,
+            tuning_seconds: 10.0,
+            convert_seconds: 5.0,
+        };
+        assert_eq!(r.end_to_end(0), 15.0);
+        assert_eq!(r.end_to_end(3), 21.0);
+    }
+}

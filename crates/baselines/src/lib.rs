@@ -1,0 +1,54 @@
+//! The four baselines WACO is compared against (§5.1).
+//!
+//! * [`fixed::fixed_csr_matrix`] / [`fixed::fixed_csf_tensor`] — **Fixed
+//!   CSR**: TACO's default format and schedule (CSR for matrices, CSF for
+//!   MTTKRP, OpenMP chunk 128/32). Also serves as the "MKL-Naive"
+//!   reference of Figure 17 / Table 8 (a plain CSR kernel with no tuning).
+//! * [`mkl::mkl_like_matrix`] — the **MKL inspector-executor**: the format
+//!   is pinned to CSR and only the schedule (threads × chunk size) is
+//!   tuned, by actually running a small candidate menu — the
+//!   schedule-only auto-tuner. SpMV and SpMM only, like the real routines.
+//! * [`best_format::best_format_matrix`] / `_tensor` — **BestFormat**:
+//!   format-only selection among five candidate formats with concordant
+//!   traversal (the Zhao et al. / SpTFS-style classifier; selection here is
+//!   oracle-quality, which is *generous* to this baseline).
+//! * [`aspt::aspt_matrix`] — **ASpT-like**: adaptive sparse tiling — rows
+//!   reordered by column-tile signature to densify tiles, executed with a
+//!   tiled schedule. SpMM and SDDMM only, like the released artifact.
+//!
+//! All baselines produce a [`TunedResult`] with simulated kernel time plus
+//! their tuning and format-conversion overheads, so the end-to-end
+//! amortization analyses (Figure 17, Table 8) can be reproduced. The input
+//! matrix is assumed to arrive in CSR (hence Fixed CSR and MKL pay no
+//! conversion, exactly like Table 8's accounting).
+
+pub mod aspt;
+pub mod best_format;
+pub mod fixed;
+pub mod mkl;
+
+use waco_schedule::SuperSchedule;
+
+/// Outcome of running one baseline tuner on one workload.
+#[derive(Debug, Clone)]
+pub struct TunedResult {
+    /// Baseline name (for experiment tables).
+    pub name: String,
+    /// The chosen format + schedule.
+    pub sched: SuperSchedule,
+    /// Simulated time of one tuned kernel invocation, seconds.
+    pub kernel_seconds: f64,
+    /// Simulated tuning time (`T_tuning`), seconds.
+    pub tuning_seconds: f64,
+    /// Simulated format conversion time (`T_formatconvert`), seconds;
+    /// zero when the chosen format is the input CSR.
+    pub convert_seconds: f64,
+}
+
+impl TunedResult {
+    /// End-to-end time for `n_runs` kernel invocations
+    /// (`T_tuning + T_formatconvert + n · T_kernel`, §5.6).
+    pub fn end_to_end(&self, n_runs: usize) -> f64 {
+        self.tuning_seconds + self.convert_seconds + self.kernel_seconds * n_runs as f64
+    }
+}

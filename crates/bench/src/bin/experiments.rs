@@ -1,0 +1,46 @@
+//! Runs every table/figure binary in sequence (smoke mode by default).
+//!
+//! ```sh
+//! cargo run --release -p waco-bench --bin experiments            # quick pass
+//! cargo run --release -p waco-bench --bin experiments -- --full  # default scale
+//! ```
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
+    "fig13", "fig14", "fig15", "fig16a", "fig16b", "fig17",
+];
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let exe = std::env::current_exe().expect("own path");
+    let bin_dir = exe.parent().expect("bin dir").to_path_buf();
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        println!("\n================ {name} ================\n");
+        let mut cmd = Command::new(bin_dir.join(name));
+        if !full {
+            cmd.arg("--quick");
+        }
+        let status = cmd.status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                println!("!! {name} exited with {s}");
+                failures.push(*name);
+            }
+            Err(e) => {
+                println!("!! {name} failed to start: {e} (build with `cargo build --release -p waco-bench --bins` first)");
+                failures.push(*name);
+            }
+        }
+    }
+    println!("\n================ summary ================");
+    if failures.is_empty() {
+        println!("all {} experiments completed", EXPERIMENTS.len());
+    } else {
+        println!("failed: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,75 @@
+//! Figure 14: the compiler's SIMD heuristic — per-element cost vs dense
+//! block size.
+//!
+//! The paper shows icc emitting `vfmadd213ps` only once the one-dimensional
+//! dense block reaches b = 16, so the per-element cost drops sharply there
+//! (and WACO learns to exploit it even for blocks < 50% filled). We
+//! reproduce both views: the machine model's per-element cost curve, and
+//! end-to-end simulated SpMV time per nonzero for UCU formats of growing
+//! block size on a fully-blocked matrix.
+//!
+//! ```sh
+//! cargo run --release -p waco-bench --bin fig14
+//! ```
+
+use waco_bench::render;
+use waco_schedule::{named, Kernel};
+use waco_sim::{MachineConfig, Simulator};
+use waco_tensor::gen::{self, Rng64};
+
+fn main() {
+    let machine = MachineConfig::xeon_like();
+    println!("== Figure 14: SIMD kicks in at block size {} ==\n", machine.simd_threshold);
+
+    let mut rows = Vec::new();
+    let mut curve = Vec::new();
+    for b in [1usize, 2, 4, 8, 12, 15, 16, 24, 32, 64] {
+        let c = machine.simd_unit_cost(b);
+        rows.push(vec![
+            b.to_string(),
+            format!("{c:.3} ns"),
+            if machine.simd_factor(b) > 1.0 {
+                format!("vectorized ({}x)", machine.vector_width)
+            } else {
+                "scalar".to_string()
+            },
+        ]);
+        curve.push(c);
+    }
+    render::table(&["block b", "cost/element", "codegen"], &rows);
+    render::line_chart(
+        "per-element body cost vs block size (A = model curve)",
+        "block size 1,2,4,8,12,15,16,24,32,64",
+        &[("unit cost", curve)],
+        7,
+    );
+
+    // End-to-end: a fully dense-blocked matrix stored UCU with k split = b.
+    println!("\n-- end-to-end: simulated SpMV ns/nnz for UCU with k0 block = b --");
+    let sim = Simulator::new(machine);
+    let n = 512usize;
+    let mut rows = Vec::new();
+    for b in [4usize, 8, 15, 16, 32] {
+        let mut rng = Rng64::seed_from(7);
+        // Blocks exactly b wide so the format's padding is minimal.
+        let m = gen::blocked(n, n, b, (n * n) / (b * b * 8), 1.0, &mut rng);
+        let space = sim.space_for(Kernel::SpMV, vec![n, n], 0);
+        let mut sched = named::default_csr(&space);
+        sched.splits = vec![1, b]; // UCU: k0 dense block of width b
+        sched.parallel = None;
+        let r = sim.time_matrix(&m, &sched, &space).expect("simulates");
+        rows.push(vec![
+            b.to_string(),
+            format!("{:.3}", r.seconds * 1e9 / m.nnz() as f64),
+            format!("{:.0}x", r.simd_factor),
+            r.simd_run.to_string(),
+        ]);
+    }
+    render::table(&["block b", "ns per nnz", "simd factor", "innermost run"], &rows);
+    println!(
+        "\nShape check: cost per element drops ~{}x between b=15 and b=16,\n\
+         reproducing why WACO 'learned the compiler's heuristics and chose the\n\
+         larger block size … despite the memory increase' (§5.2.1).",
+        MachineConfig::xeon_like().vector_width
+    );
+}

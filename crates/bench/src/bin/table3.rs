@@ -1,0 +1,84 @@
+//! Table 3: the SuperSchedule parameter space.
+//!
+//! Prints each kernel's template — parameters, their menus, and the total
+//! space size — matching the structure of Table 3 of the paper.
+//!
+//! ```sh
+//! cargo run --release -p waco-bench --bin table3
+//! ```
+
+use waco_bench::render;
+use waco_schedule::encode::{self, Segment};
+use waco_schedule::{Kernel, Space};
+
+fn main() {
+    println!("== Table 3: SuperSchedule parameters per kernel ==\n");
+    for kernel in Kernel::ALL {
+        let dims = match kernel {
+            Kernel::MTTKRP => vec![1 << 17, 1 << 17, 1 << 17],
+            _ => vec![1 << 17, 1 << 17],
+        };
+        let dense = match kernel {
+            Kernel::SpMV => 0,
+            Kernel::MTTKRP => 16,
+            _ => 256,
+        };
+        let space = Space::new(kernel, dims, dense);
+        println!("-- {kernel} --");
+        let lay = encode::layout(&space);
+        let mut rows = Vec::new();
+        for seg in &lay.segments {
+            match seg {
+                Segment::Categorical { name, cardinality } => rows.push(vec![
+                    name.clone(),
+                    "categorical".to_string(),
+                    format!("{cardinality} choices"),
+                ]),
+                Segment::Permutation { name, n } => rows.push(vec![
+                    name.clone(),
+                    "permutation".to_string(),
+                    format!("P({n}) = {} orders", (2..=*n as u64).product::<u64>().max(1)),
+                ]),
+            }
+        }
+        render::table(&["parameter", "kind", "menu"], &rows);
+        println!(
+            "  loop vars: {:?}",
+            space
+                .loop_vars()
+                .iter()
+                .map(|v| format!(
+                    "{}{}",
+                    kernel.dim_names()[v.dim],
+                    if v.part == waco_format::AxisPart::Outer { "1" } else { "0" }
+                ))
+                .collect::<Vec<_>>()
+        );
+        println!(
+            "  parallelizable: {:?} × threads {:?} × chunk 1..={}",
+            space
+                .parallelizable_vars()
+                .iter()
+                .map(|v| kernel.dim_names()[v.dim])
+                .collect::<Vec<_>>(),
+            space.thread_options,
+            1usize << space.max_chunk_log2,
+        );
+        println!(
+            "  split menu per dim: 1..={}  |  space size ≈ {:.2e} configurations",
+            1usize << space.max_split_log2,
+            space.size_estimate()
+        );
+        println!(
+            "  NN encoding: {} inputs ({} categorical segments, {} permutations)\n",
+            lay.total_len(),
+            lay.num_categorical(),
+            lay.num_permutations()
+        );
+    }
+    println!(
+        "(The paper's SpMV Table 3: split 1..32768, P(i1,i0,k1,k0) loop orders,\n\
+         parallelize [i1,i0] x [24,48] threads x chunk 1..256, level orders and\n\
+         U/C formats per tensor — reproduced above, per kernel.)"
+    );
+}

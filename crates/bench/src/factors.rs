@@ -1,0 +1,189 @@
+//! The Table 6 speedup-factor classifier: *why* did WACO's chosen schedule
+//! beat Fixed CSR on a given matrix?
+
+use waco_format::{AxisPart, LevelFormat, SparseStorage};
+use waco_schedule::{named, Space, SuperSchedule};
+use waco_tensor::CooMatrix;
+
+/// The speedup factors of Table 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Factor {
+    /// A different OpenMP chunk size (load balancing).
+    ChunkSize,
+    /// A dense blocked format whose blocks are ≥ 50% filled.
+    DenseBlockFilled,
+    /// A dense blocked format whose blocks are < 50% filled (the
+    /// SIMD-despite-padding effect of Figure 14).
+    DenseBlockSparse,
+    /// A sparse block format (compressed inner level with a large split).
+    SparseBlock,
+    /// Parallelization over the column dimension (SDDMM only).
+    ParallelizeColumn,
+    /// None of the above (loop order, thread count, …).
+    Other,
+}
+
+impl Factor {
+    /// Stable display order matching Table 6.
+    pub const ALL: [Factor; 6] = [
+        Factor::ChunkSize,
+        Factor::DenseBlockFilled,
+        Factor::DenseBlockSparse,
+        Factor::SparseBlock,
+        Factor::ParallelizeColumn,
+        Factor::Other,
+    ];
+
+    /// Table-row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Factor::ChunkSize => "OpenMP Chunk Size",
+            Factor::DenseBlockFilled => "Dense Block >50% Filled",
+            Factor::DenseBlockSparse => "Dense Block <50% Filled",
+            Factor::SparseBlock => "Sparse Block",
+            Factor::ParallelizeColumn => "Parallelize over Column",
+            Factor::Other => "Other",
+        }
+    }
+}
+
+/// Mean fill of the dense inner block implied by the schedule's splits
+/// (fraction of value slots holding nonzeros), or `None` when the format
+/// has no dense inner block.
+pub fn inner_block_fill(m: &CooMatrix, sched: &SuperSchedule, space: &Space) -> Option<f64> {
+    let spec = sched.a_format_spec(space).ok()?;
+    // A dense inner block exists when some Inner axis is Uncompressed with
+    // extent > 1.
+    let has_dense_inner = spec
+        .order()
+        .iter()
+        .zip(spec.formats())
+        .any(|(ax, f)| {
+            ax.part == AxisPart::Inner
+                && *f == LevelFormat::Uncompressed
+                && spec.axis_extent(*ax) > 1
+        });
+    if !has_dense_inner {
+        return None;
+    }
+    let st = SparseStorage::from_matrix(m, &spec).ok()?;
+    let nonzero = st.vals().iter().filter(|v| **v != 0.0).count();
+    Some(nonzero as f64 / st.vals().len().max(1) as f64)
+}
+
+/// Classifies the dominant speedup factor of a winning schedule relative
+/// to the Fixed CSR default.
+pub fn classify(m: &CooMatrix, sched: &SuperSchedule, space: &Space) -> Factor {
+    let default = named::default_csr(space);
+
+    // Sparse block: an Inner axis stored Compressed with a real split.
+    let spec = match sched.a_format_spec(space) {
+        Ok(s) => s,
+        Err(_) => return Factor::Other,
+    };
+    let sparse_block = spec
+        .order()
+        .iter()
+        .zip(spec.formats())
+        .any(|(ax, f)| {
+            ax.part == AxisPart::Inner
+                && *f == LevelFormat::Compressed
+                && spec.axis_extent(*ax) > 1
+        });
+
+    // Dense block: dense inner level with extent > 1.
+    let block_fill = inner_block_fill(m, sched, space);
+
+    // Column parallelization: the parallel variable indexes A's second mode
+    // while the default parallelizes the rows.
+    let column_parallel = sched
+        .parallel
+        .map(|p| p.var.dim == 1 && space.kernel.sparse_ndims() == 2)
+        .unwrap_or(false)
+        && space.kernel == waco_schedule::Kernel::SDDMM;
+
+    let chunk_changed = match (&sched.parallel, &default.parallel) {
+        (Some(a), Some(b)) => a.chunk != b.chunk,
+        _ => true,
+    };
+
+    if column_parallel {
+        Factor::ParallelizeColumn
+    } else if let Some(fill) = block_fill {
+        if fill >= 0.5 {
+            Factor::DenseBlockFilled
+        } else {
+            Factor::DenseBlockSparse
+        }
+    } else if sparse_block {
+        Factor::SparseBlock
+    } else if chunk_changed {
+        Factor::ChunkSize
+    } else {
+        Factor::Other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waco_schedule::{Kernel, LoopVar, Parallelize};
+    use waco_tensor::gen::{self, Rng64};
+
+    fn space(n: usize, kernel: Kernel) -> Space {
+        Space::new(kernel, vec![n, n], 8)
+    }
+
+    #[test]
+    fn chunk_only_change_is_chunk_factor() {
+        let mut rng = Rng64::seed_from(1);
+        let m = gen::uniform_random(32, 32, 0.1, &mut rng);
+        let sp = space(32, Kernel::SpMM);
+        let mut s = named::default_csr(&sp);
+        s.parallel = Some(Parallelize { var: LoopVar::outer(0), threads: 48, chunk: 1 });
+        assert_eq!(classify(&m, &s, &sp), Factor::ChunkSize);
+    }
+
+    #[test]
+    fn blocked_format_fill_classification() {
+        let mut rng = Rng64::seed_from(2);
+        let dense_blocks = gen::blocked(32, 32, 4, 16, 1.0, &mut rng);
+        let sp = space(32, Kernel::SpMM);
+        let mut s = named::default_csr(&sp);
+        s.splits = vec![4, 4, 1];
+        assert_eq!(classify(&dense_blocks, &s, &sp), Factor::DenseBlockFilled);
+
+        let sparse_blocks = gen::blocked(32, 32, 4, 16, 0.2, &mut rng);
+        assert_eq!(classify(&sparse_blocks, &s, &sp), Factor::DenseBlockSparse);
+    }
+
+    #[test]
+    fn sparse_block_detected() {
+        let mut rng = Rng64::seed_from(3);
+        let m = gen::uniform_random(64, 64, 0.05, &mut rng);
+        let sp = space(64, Kernel::SpMM);
+        let cands = named::best_format_candidates(&sp);
+        let (_, splits, fmt) = cands.into_iter().find(|(n, _, _)| n == "SparseBlock").unwrap();
+        let s = named::concordant(&sp, splits, fmt, 48, 32);
+        assert_eq!(classify(&m, &s, &sp), Factor::SparseBlock);
+    }
+
+    #[test]
+    fn sddmm_column_parallel_detected() {
+        let mut rng = Rng64::seed_from(4);
+        let m = gen::uniform_random(32, 32, 0.1, &mut rng);
+        let sp = space(32, Kernel::SDDMM);
+        let mut s = named::default_csr(&sp);
+        s.parallel = Some(Parallelize { var: LoopVar::outer(1), threads: 48, chunk: 8 });
+        assert_eq!(classify(&m, &s, &sp), Factor::ParallelizeColumn);
+    }
+
+    #[test]
+    fn default_is_other() {
+        let mut rng = Rng64::seed_from(5);
+        let m = gen::uniform_random(32, 32, 0.1, &mut rng);
+        let sp = space(32, Kernel::SpMM);
+        let s = named::default_csr(&sp);
+        assert_eq!(classify(&m, &s, &sp), Factor::Other);
+    }
+}

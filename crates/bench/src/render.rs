@@ -1,0 +1,138 @@
+//! Plain-text table and plot rendering for the experiment binaries.
+
+/// Prints a fixed-width table: a header row and data rows.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let parts: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect();
+        println!("  {}", parts.join("  "));
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Formats a speedup like the paper's tables (`1.43x`).
+pub fn speedup(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Formats seconds in engineering notation.
+pub fn secs(x: f64) -> String {
+    format!("{x:.3e}s")
+}
+
+/// An ASCII log-scale scatter of sorted speedups — the Figure 13 view
+/// (one column per bucket of matrices, `y = 1.0` marked).
+pub fn speedup_profile(title: &str, mut speedups: Vec<f64>, geomean: f64) {
+    println!("\n  {title}  (n={}, geomean {:.2}x)", speedups.len(), geomean);
+    if speedups.is_empty() {
+        return;
+    }
+    speedups.sort_by(|a, b| a.total_cmp(b));
+    let rows = 9;
+    let (lo, hi) = (0.1f64, 10.0f64);
+    let to_row = |v: f64| -> usize {
+        let clamped = v.clamp(lo, hi);
+        let t = (clamped / lo).ln() / (hi / lo).ln(); // 0..=1
+        ((1.0 - t) * (rows - 1) as f64).round() as usize
+    };
+    let cols = speedups.len();
+    let mut grid = vec![vec![' '; cols]; rows];
+    for (c, &v) in speedups.iter().enumerate() {
+        grid[to_row(v)][c] = '*';
+    }
+    let one_row = to_row(1.0);
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == to_row(hi) {
+            "10.0 |"
+        } else if r == one_row {
+            " 1.0 +"
+        } else if r == to_row(lo) {
+            " 0.1 |"
+        } else {
+            "     |"
+        };
+        let fill: String = row
+            .iter()
+            .map(|&ch| if ch == ' ' && r == one_row { '-' } else { ch })
+            .collect();
+        println!("  {label}{fill}");
+    }
+    println!("       sorted matrices →");
+}
+
+/// An ASCII line chart of one or more series over a shared x-axis.
+pub fn line_chart(title: &str, x_label: &str, series: &[(&str, Vec<f64>)], height: usize) {
+    println!("\n  {title}");
+    let all: Vec<f64> = series.iter().flat_map(|(_, ys)| ys.iter().copied()).collect();
+    if all.is_empty() {
+        return;
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in &all {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if !(hi > lo) {
+        hi = lo + 1.0;
+    }
+    let width = series.iter().map(|(_, ys)| ys.len()).max().unwrap_or(0);
+    let marks = ['A', 'B', 'C', 'D', 'E', 'F'];
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, ys)) in series.iter().enumerate() {
+        for (x, &y) in ys.iter().enumerate() {
+            let t = (y - lo) / (hi - lo);
+            let r = ((1.0 - t) * (height - 1) as f64).round() as usize;
+            grid[r][x] = marks[si % marks.len()];
+        }
+    }
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{hi:>9.3} |")
+        } else if r == height - 1 {
+            format!("{lo:>9.3} |")
+        } else {
+            "          |".to_string()
+        };
+        println!("  {label}{}", row.iter().collect::<String>());
+    }
+    println!("            {}", "-".repeat(width));
+    println!("            {x_label}");
+    for (si, (name, _)) in series.iter().enumerate() {
+        println!("            {} = {name}", marks[si % marks.len()]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(speedup(1.434), "1.43x");
+        assert!(secs(0.00123).contains("e-3"));
+    }
+
+    #[test]
+    fn renderers_do_not_panic() {
+        table(&["a", "bb"], &[vec!["1".into(), "2".into()]]);
+        speedup_profile("t", vec![0.5, 1.0, 2.0, 11.0, 0.05], 1.2);
+        speedup_profile("empty", vec![], 1.0);
+        line_chart("c", "x", &[("s1", vec![1.0, 2.0, 3.0]), ("s2", vec![3.0, 1.0])], 5);
+        line_chart("flat", "x", &[("s", vec![2.0, 2.0])], 4);
+    }
+}

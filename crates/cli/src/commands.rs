@@ -1,0 +1,292 @@
+//! Subcommand implementations.
+
+use waco_baselines::{best_format, fixed, mkl};
+use waco_core::{Waco, WacoConfig};
+use waco_model::dataset::DataGenConfig;
+use waco_model::train::TrainConfig;
+use waco_schedule::Kernel;
+use waco_sim::{MachineConfig, Simulator};
+use waco_tensor::gen::{self, Rng64};
+use waco_tensor::{io, CooMatrix, MatrixStats};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+waco-cli — workload-aware co-optimization of sparse tensor programs
+
+USAGE:
+  waco-cli gen     --family <uniform|banded|blocked|powerlaw|kronecker|mesh>
+                   [--size N] [--seed S] --out FILE.mtx
+  waco-cli inspect FILE.mtx
+  waco-cli bench   [--kernel spmv|spmm|sddmm] [--dense N] FILE.mtx
+  waco-cli train   [--kernel spmv|spmm|sddmm] [--matrices N] [--size N]
+                   [--epochs N] [--dense N] [--seed S] --out MODEL.ckpt
+  waco-cli tune    [--kernel spmv|spmm|sddmm] [--model MODEL.ckpt]
+                   [--dense N] [--seed S] FILE.mtx
+
+All timing is on the deterministic xeon-like machine model.";
+
+/// Parsed `--key value` flags plus positional arguments.
+struct Flags {
+    kv: Vec<(String, String)>,
+    positional: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut kv = Vec::new();
+        let mut positional = Vec::new();
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let val = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{key} needs a value"))?;
+                kv.push((key.to_string(), val.clone()));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Self { kv, positional })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.kv
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn usize_or(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got `{v}`")),
+        }
+    }
+
+    fn one_positional(&self, what: &str) -> Result<&str, String> {
+        match self.positional.as_slice() {
+            [p] => Ok(p),
+            [] => Err(format!("missing {what}")),
+            _ => Err(format!("expected exactly one {what}")),
+        }
+    }
+}
+
+fn parse_kernel(flags: &Flags) -> Result<Kernel, String> {
+    match flags.get("kernel").unwrap_or("spmm") {
+        "spmv" => Ok(Kernel::SpMV),
+        "spmm" => Ok(Kernel::SpMM),
+        "sddmm" => Ok(Kernel::SDDMM),
+        other => Err(format!(
+            "unsupported kernel `{other}` (CLI supports spmv/spmm/sddmm; MTTKRP needs the library API)"
+        )),
+    }
+}
+
+fn dense_extent(flags: &Flags, kernel: Kernel) -> Result<usize, String> {
+    flags.usize_or("dense", if kernel == Kernel::SpMV { 0 } else { 32 })
+}
+
+fn load_matrix(path: &str) -> Result<CooMatrix, String> {
+    io::read_matrix_market_file(path).map_err(|e| format!("reading {path}: {e}"))
+}
+
+/// `waco-cli gen`: writes a synthetic matrix in Matrix Market form.
+pub fn gen(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let family = flags.get("family").unwrap_or("uniform").to_string();
+    let n = flags.usize_or("size", 512)?;
+    let seed = flags.usize_or("seed", 7)? as u64;
+    let out = flags.get("out").ok_or("--out FILE.mtx is required")?;
+    let mut rng = Rng64::seed_from(seed);
+    let m = match family.as_str() {
+        "uniform" => gen::uniform_random(n, n, 8.0 / n as f64, &mut rng),
+        "banded" => gen::banded(n, (n / 64).max(2), 0.4, &mut rng),
+        "blocked" => gen::blocked(n, n, 8, (n * n / 512).max(4), 0.9, &mut rng),
+        "powerlaw" => gen::powerlaw_rows(n, n, 8.0, 1.2, &mut rng),
+        "kronecker" => gen::kronecker((n as f64).log2().ceil() as u32, n * 8, &mut rng),
+        "mesh" => {
+            let side = (n as f64).sqrt().round() as usize;
+            gen::mesh2d(side.max(2), side.max(2))
+        }
+        other => return Err(format!("unknown family `{other}`")),
+    };
+    io::write_matrix_market_file(out, &m).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {out}: {}x{}, {} nnz ({family})", m.nrows(), m.ncols(), m.nnz());
+    Ok(())
+}
+
+/// `waco-cli inspect`: pattern statistics.
+pub fn inspect(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let path = flags.one_positional("FILE.mtx")?;
+    let m = load_matrix(path)?;
+    let s = MatrixStats::compute(&m);
+    println!("{path}");
+    println!("  shape          {} x {}", s.nrows, s.ncols);
+    println!("  nonzeros       {} ({:.4}% dense)", s.nnz, s.density * 100.0);
+    println!("  row nnz        mean {:.2}, max {}, cv {:.2}", s.row_nnz_mean, s.row_nnz_max, s.row_cv);
+    println!("  diag distance  {:.3} (normalized)", s.diag_distance_mean);
+    println!("  symmetry       {:.0}%", s.symmetry * 100.0);
+    println!("  8x8 blocks     {} occupied, mean fill {:.0}%", s.block8_count, s.block8_fill_mean * 100.0);
+    Ok(())
+}
+
+/// `waco-cli bench`: a no-ML leaderboard of the classic formats.
+pub fn bench(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let kernel = parse_kernel(&flags)?;
+    let dense = dense_extent(&flags, kernel)?;
+    let path = flags.one_positional("FILE.mtx")?;
+    let m = load_matrix(path)?;
+    let sim = Simulator::new(MachineConfig::xeon_like());
+    let space = sim.space_for(kernel, vec![m.nrows(), m.ncols()], dense);
+
+    println!("{kernel} on {path} ({} nnz), xeon-like machine:", m.nnz());
+    let mut rows: Vec<(String, f64)> = Vec::new();
+    for sched in waco_schedule::named::portfolio(&space) {
+        if let Ok(r) = sim.time_matrix(&m, &sched, &space) {
+            rows.push((sched.describe(&space), r.seconds));
+        }
+    }
+    rows.sort_by(|a, b| a.1.total_cmp(&b.1));
+    for (i, (desc, secs)) in rows.iter().take(8).enumerate() {
+        println!("  {:>2}. {secs:.3e}s  {desc}", i + 1);
+    }
+    if let Some((_, worst)) = rows.last() {
+        println!(
+            "  ({} configurations; best is {:.2}x faster than worst)",
+            rows.len(),
+            worst / rows[0].1
+        );
+    }
+    Ok(())
+}
+
+fn waco_config(flags: &Flags) -> Result<(WacoConfig, usize, usize), String> {
+    let matrices = flags.usize_or("matrices", 12)?;
+    let size = flags.usize_or("size", 384)?;
+    let epochs = flags.usize_or("epochs", 10)?;
+    let seed = flags.usize_or("seed", 2023)? as u64;
+    let cfg = WacoConfig {
+        train: TrainConfig { epochs, ..TrainConfig::small() },
+        datagen: DataGenConfig { schedules_per_matrix: 16, ..Default::default() },
+        seed,
+        ..WacoConfig::small()
+    };
+    Ok((cfg, matrices, size))
+}
+
+/// `waco-cli train`: trains a cost model and writes a checkpoint.
+pub fn train(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let kernel = parse_kernel(&flags)?;
+    let dense = dense_extent(&flags, kernel)?;
+    let out = flags.get("out").ok_or("--out MODEL.ckpt is required")?;
+    let (cfg, matrices, size) = waco_config(&flags)?;
+    let corpus = gen::corpus(matrices, size, cfg.seed);
+    println!("training {kernel} cost model on {matrices} matrices (~{size} rows) …");
+    let sim = Simulator::new(MachineConfig::xeon_like());
+    let t0 = std::time::Instant::now();
+    let (mut waco, stats) = Waco::train_2d(sim, kernel, &corpus, dense, cfg);
+    println!(
+        "trained in {:.1}s; final val ranking accuracy {:.2}",
+        t0.elapsed().as_secs_f64(),
+        stats.val_rank_acc.last().copied().unwrap_or(0.0)
+    );
+    let mut file = std::fs::File::create(out).map_err(|e| format!("creating {out}: {e}"))?;
+    waco.model
+        .save(&mut file)
+        .map_err(|e| format!("writing checkpoint: {e}"))?;
+    println!("checkpoint written to {out}");
+    Ok(())
+}
+
+/// `waco-cli tune`: tunes one matrix, comparing against the baselines.
+pub fn tune(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let kernel = parse_kernel(&flags)?;
+    let dense = dense_extent(&flags, kernel)?;
+    let path = flags.one_positional("FILE.mtx")?;
+    let m = load_matrix(path)?;
+    let (cfg, matrices, size) = waco_config(&flags)?;
+
+    // Build the tuner: retrain (cheap at CLI scale) and overwrite weights
+    // from the checkpoint when one is given.
+    let corpus = gen::corpus(matrices, size, cfg.seed);
+    let sim = Simulator::new(MachineConfig::xeon_like());
+    let (mut waco, _) = Waco::train_2d(sim, kernel, &corpus, dense, cfg);
+    if let Some(ckpt) = flags.get("model") {
+        let file = std::fs::File::open(ckpt).map_err(|e| format!("opening {ckpt}: {e}"))?;
+        waco.model
+            .load(file)
+            .map_err(|e| format!("loading checkpoint: {e}"))?;
+        println!("loaded model weights from {ckpt}");
+    }
+
+    let tuned = waco.tune_matrix(&m).map_err(|e| format!("tuning failed: {e}"))?;
+    let space = waco.space_for_matrix(&m);
+    println!("\n{kernel} on {path} ({} nnz):", m.nnz());
+    println!("  WACO chose : {}", tuned.result.sched.describe(&space));
+    println!("  kernel time: {:.3e}s  (tuning {:.3e}s, conversion {:.3e}s)",
+        tuned.result.kernel_seconds, tuned.result.tuning_seconds, tuned.result.convert_seconds);
+
+    let mut lines = Vec::new();
+    if let Ok(f) = fixed::fixed_csr_matrix(&waco.sim, kernel, &m, dense) {
+        lines.push(("FixedCSR", f.kernel_seconds));
+    }
+    if matches!(kernel, Kernel::SpMV | Kernel::SpMM) {
+        if let Ok(k) = mkl::mkl_like_matrix(&waco.sim, kernel, &m, dense) {
+            lines.push(("MKL-like", k.kernel_seconds));
+        }
+    }
+    if let Ok(b) = best_format::best_format_matrix(&waco.sim, kernel, &m, dense) {
+        lines.push(("BestFormat", b.kernel_seconds));
+    }
+    println!("  baselines  :");
+    for (name, secs) in lines {
+        println!(
+            "    {name:<11} {secs:.3e}s  (WACO is {:.2}x)",
+            secs / tuned.result.kernel_seconds
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_parse() {
+        let args: Vec<String> = ["--size", "64", "m.mtx", "--seed", "9"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let f = Flags::parse(&args).unwrap();
+        assert_eq!(f.usize_or("size", 1).unwrap(), 64);
+        assert_eq!(f.usize_or("seed", 1).unwrap(), 9);
+        assert_eq!(f.usize_or("missing", 5).unwrap(), 5);
+        assert_eq!(f.one_positional("file").unwrap(), "m.mtx");
+    }
+
+    #[test]
+    fn flags_reject_bad_input() {
+        let args: Vec<String> = ["--size"].iter().map(|s| s.to_string()).collect();
+        assert!(Flags::parse(&args).is_err());
+        let args: Vec<String> = ["--size", "abc"].iter().map(|s| s.to_string()).collect();
+        let f = Flags::parse(&args).unwrap();
+        assert!(f.usize_or("size", 1).is_err());
+    }
+
+    #[test]
+    fn kernel_parsing() {
+        let f = Flags::parse(&["--kernel".into(), "spmv".into()]).unwrap();
+        assert_eq!(parse_kernel(&f).unwrap(), Kernel::SpMV);
+        let f = Flags::parse(&["--kernel".into(), "mttkrp".into()]).unwrap();
+        assert!(parse_kernel(&f).is_err());
+        let f = Flags::parse(&[]).unwrap();
+        assert_eq!(parse_kernel(&f).unwrap(), Kernel::SpMM);
+    }
+}

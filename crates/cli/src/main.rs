@@ -1,0 +1,45 @@
+//! `waco-cli` — the command-line face of WACO-rs.
+//!
+//! ```text
+//! waco-cli gen      --family kronecker --size 512 --out graph.mtx
+//! waco-cli inspect  graph.mtx
+//! waco-cli bench    --kernel spmm graph.mtx
+//! waco-cli train    --kernel spmm --out model.ckpt
+//! waco-cli tune     --kernel spmm --model model.ckpt graph.mtx
+//! ```
+//!
+//! All tuning runs against the deterministic machine simulator (see the
+//! `waco-sim` crate); `tune` prints the chosen SuperSchedule and compares it
+//! with the Fixed CSR, MKL-like, and BestFormat baselines.
+
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{}", commands::USAGE);
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "gen" => commands::gen(rest),
+        "inspect" => commands::inspect(rest),
+        "bench" => commands::bench(rest),
+        "train" => commands::train(rest),
+        "tune" => commands::tune(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", commands::USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

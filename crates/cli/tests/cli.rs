@@ -1,0 +1,116 @@
+//! End-to-end tests of the `waco-cli` binary.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_waco-cli"))
+}
+
+fn tmpdir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("waco-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = cli().arg("help").output().expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("waco-cli gen"));
+    assert!(text.contains("tune"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = cli().arg("bogus").output().expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn gen_inspect_bench_roundtrip() {
+    let dir = tmpdir();
+    let mtx = dir.join("g.mtx");
+    let out = cli()
+        .args(["gen", "--family", "blocked", "--size", "128", "--out"])
+        .arg(&mtx)
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("wrote"));
+
+    let out = cli().arg("inspect").arg(&mtx).output().expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("nonzeros"));
+    assert!(text.contains("128 x 128"));
+
+    let out = cli()
+        .args(["bench", "--kernel", "spmv"])
+        .arg(&mtx)
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("configurations"));
+}
+
+#[test]
+fn gen_rejects_unknown_family() {
+    let dir = tmpdir();
+    let out = cli()
+        .args(["gen", "--family", "nope", "--out"])
+        .arg(dir.join("x.mtx"))
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn train_then_tune_with_checkpoint() {
+    let dir = tmpdir();
+    let mtx = dir.join("t.mtx");
+    let ckpt = dir.join("model.ckpt");
+    assert!(cli()
+        .args(["gen", "--family", "powerlaw", "--size", "96", "--out"])
+        .arg(&mtx)
+        .status()
+        .expect("runs")
+        .success());
+    // Tiny training budget to keep the test fast.
+    let out = cli()
+        .args([
+            "train", "--kernel", "spmv", "--matrices", "4", "--size", "48", "--epochs", "2",
+            "--out",
+        ])
+        .arg(&ckpt)
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(ckpt.exists());
+
+    let out = cli()
+        .args([
+            "tune", "--kernel", "spmv", "--matrices", "4", "--size", "48", "--epochs", "1",
+            "--model",
+        ])
+        .arg(&ckpt)
+        .arg(&mtx)
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("WACO chose"), "{text}");
+    assert!(text.contains("FixedCSR"));
+}
+
+#[test]
+fn tune_missing_file_fails_cleanly() {
+    let out = cli()
+        .args(["tune", "--kernel", "spmv", "/nonexistent/path.mtx"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+}

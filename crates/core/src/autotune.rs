@@ -1,0 +1,292 @@
+//! Oracle tuners over restricted spaces — the motivation experiments.
+//!
+//! Tables 1 and 2 of the paper compare tuning spaces: format-only (`F.`),
+//! schedule-only (`S.`), and joint (`F.+S.`). These helpers implement those
+//! restricted searches directly against the simulator (oracle evaluation,
+//! no model), which isolates what each *space* can express from how well a
+//! particular search navigates it.
+//!
+//! Restriction semantics in our SuperSchedule representation:
+//!
+//! * **Format-only** (`F.`): sample splits + level order + level formats;
+//!   loops are the concordant traversal of the sampled format;
+//!   parallelization stays at the baseline's — the paper's "keeping the
+//!   iteration order identical to the baseline, except … concordant with
+//!   how the tuned format is aligned".
+//! * **Schedule-only** (`S.`): the format stays CSR/CSF (and therefore unit
+//!   splits — a representational restriction documented in DESIGN.md);
+//!   loop order and `parallelize(var, threads, chunk)` vary.
+//! * **Joint** (`F.+S.`): a true co-optimizer. It explores both single-axis
+//!   candidate sets, raw joint samples, concordant-loop variants with
+//!   sampled parallelization, and finally sweeps the parallelization menu
+//!   on the best format found — the coupling step that produces the
+//!   out-sized wins of Table 1 (e.g. TSOPF's 2.02×). A joint tuner can
+//!   always evaluate single-axis candidates, so `F.+S. ≥ max(F., S.)` holds
+//!   structurally; its tuning bill is correspondingly larger.
+
+use waco_baselines::TunedResult;
+use waco_schedule::{named, Kernel, Parallelize, Space, SuperSchedule};
+use waco_sim::{Result, SimError, Simulator};
+use waco_tensor::gen::Rng64;
+use waco_tensor::{CooMatrix, CooTensor3};
+
+/// Which subspace a restricted search may explore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Restriction {
+    /// The full co-optimization space (`F.+S.`).
+    Joint,
+    /// Format only (`F.`): concordant loops, baseline parallelization.
+    FormatOnly,
+    /// Schedule only (`S.`): CSR/CSF format, loops and parallelization vary.
+    ScheduleOnly,
+}
+
+fn project_format_only(space: &Space, sampled: SuperSchedule) -> SuperSchedule {
+    let base = named::default_csr(space);
+    let p = base.parallel.expect("default is parallel");
+    named::concordant(space, sampled.splits, sampled.format, p.threads, p.chunk)
+}
+
+fn project_schedule_only(space: &Space, sampled: SuperSchedule) -> SuperSchedule {
+    let base = named::default_csr(space);
+    SuperSchedule {
+        kernel: base.kernel,
+        splits: base.splits.clone(),
+        loop_order: sampled.loop_order,
+        parallel: sampled.parallel,
+        format: base.format,
+    }
+}
+
+/// A running oracle search: measures candidates, tracks the best and the
+/// accumulated tuning bill.
+struct Oracle<'a, F: FnMut(&SuperSchedule) -> Result<(f64, f64)>> {
+    space: &'a Space,
+    time: F,
+    best: Option<(f64, f64, SuperSchedule)>,
+    tuning: f64,
+}
+
+impl<'a, F: FnMut(&SuperSchedule) -> Result<(f64, f64)>> Oracle<'a, F> {
+    fn new(space: &'a Space, time: F) -> Self {
+        Self { space, time, best: None, tuning: 0.0 }
+    }
+
+    fn try_candidate(&mut self, cand: &SuperSchedule) {
+        if cand.validate(self.space).is_err() {
+            return;
+        }
+        if let Ok((seconds, convert)) = (self.time)(cand) {
+            self.tuning += seconds + convert;
+            if self.best.as_ref().map(|(b, _, _)| seconds < *b).unwrap_or(true) {
+                self.best = Some((seconds, convert, cand.clone()));
+            }
+        }
+    }
+
+    fn finish(self, name: String) -> Result<TunedResult> {
+        let (seconds, convert, sched) = self
+            .best
+            .ok_or(SimError::TooExpensive { estimate: f64::INFINITY, limit: 0.0 })?;
+        let baseline = named::default_csr(self.space);
+        let is_default =
+            sched.a_format_spec(self.space).ok() == baseline.a_format_spec(self.space).ok();
+        Ok(TunedResult {
+            name,
+            sched,
+            kernel_seconds: seconds,
+            tuning_seconds: self.tuning,
+            convert_seconds: if is_default { 0.0 } else { convert },
+        })
+    }
+}
+
+fn run_search(
+    space: &Space,
+    trials: usize,
+    seed: u64,
+    restriction: Restriction,
+    time: impl FnMut(&SuperSchedule) -> Result<(f64, f64)>,
+) -> Result<TunedResult> {
+    let mut rng = Rng64::seed_from(seed);
+    let mut oracle = Oracle::new(space, time);
+    let baseline = named::default_csr(space);
+    oracle.try_candidate(&baseline);
+
+    match restriction {
+        Restriction::FormatOnly => {
+            for _ in 0..trials {
+                let cand = project_format_only(space, SuperSchedule::sample(space, &mut rng));
+                oracle.try_candidate(&cand);
+            }
+        }
+        Restriction::ScheduleOnly => {
+            for _ in 0..trials {
+                let cand = project_schedule_only(space, SuperSchedule::sample(space, &mut rng));
+                oracle.try_candidate(&cand);
+            }
+        }
+        Restriction::Joint => {
+            // Both single-axis candidate sets (same seed → superset of what
+            // the restricted searches see)…
+            for _ in 0..trials {
+                let s = SuperSchedule::sample(space, &mut rng);
+                oracle.try_candidate(&project_format_only(space, s.clone()));
+                oracle.try_candidate(&project_schedule_only(space, s.clone()));
+                oracle.try_candidate(&s);
+            }
+            // …then couple: sweep parallelization on the best format found.
+            if let Some((_, _, best)) = oracle.best.clone() {
+                let par_vars = space.parallelizable_vars();
+                for &threads in &space.thread_options.clone() {
+                    for chunk in [1usize, 8, 32, 128, 256] {
+                        for var in [par_vars[0], *par_vars.last().expect("non-empty")] {
+                            let mut cand = best.clone();
+                            cand.parallel = Some(Parallelize { var, threads, chunk });
+                            oracle.try_candidate(&cand);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    oracle.finish(format!("{restriction:?}"))
+}
+
+/// Oracle random search over a (restricted) space for a 2-D kernel.
+///
+/// # Errors
+///
+/// When not even the TACO default simulates.
+///
+/// # Panics
+///
+/// Panics if `kernel` is MTTKRP (use [`tune_tensor3`]).
+pub fn tune_matrix(
+    sim: &Simulator,
+    kernel: Kernel,
+    m: &CooMatrix,
+    dense_extent: usize,
+    trials: usize,
+    seed: u64,
+    restriction: Restriction,
+) -> Result<TunedResult> {
+    assert_ne!(kernel, Kernel::MTTKRP, "use tune_tensor3 for MTTKRP");
+    let space = sim.space_for(kernel, vec![m.nrows(), m.ncols()], dense_extent);
+    run_search(&space, trials, seed, restriction, |sched| {
+        sim.time_matrix(m, sched, &space)
+            .map(|r| (r.seconds, r.convert_seconds))
+    })
+}
+
+/// Oracle random search over a (restricted) space for MTTKRP.
+///
+/// # Errors
+///
+/// When not even the CSF default simulates.
+pub fn tune_tensor3(
+    sim: &Simulator,
+    t: &CooTensor3,
+    rank: usize,
+    trials: usize,
+    seed: u64,
+    restriction: Restriction,
+) -> Result<TunedResult> {
+    let space = sim.space_for(Kernel::MTTKRP, t.dims().to_vec(), rank);
+    run_search(&space, trials, seed, restriction, |sched| {
+        sim.time_tensor3(t, sched, &space)
+            .map(|r| (r.seconds, r.convert_seconds))
+    })
+}
+
+/// Re-times a schedule tuned for one matrix on a different matrix of the
+/// same shape (the Table 2 transfer experiment).
+///
+/// # Errors
+///
+/// Simulation failures.
+pub fn transfer_matrix(
+    sim: &Simulator,
+    kernel: Kernel,
+    target: &CooMatrix,
+    dense_extent: usize,
+    sched: &SuperSchedule,
+) -> Result<f64> {
+    let space = sim.space_for(kernel, vec![target.nrows(), target.ncols()], dense_extent);
+    Ok(sim.time_matrix(target, sched, &space)?.seconds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waco_sim::MachineConfig;
+    use waco_tensor::gen::{self};
+
+    #[test]
+    fn joint_dominates_restricted_spaces() {
+        // The Table 1 shape: F.+S. ≥ max(F., S.).
+        let sim = Simulator::new(MachineConfig::xeon_like());
+        let mut rng = Rng64::seed_from(1);
+        let m = gen::blocked(128, 128, 16, 30, 0.95, &mut rng);
+        let base = waco_baselines::fixed::fixed_csr_matrix(&sim, Kernel::SpMM, &m, 16).unwrap();
+        let f = tune_matrix(&sim, Kernel::SpMM, &m, 16, 60, 5, Restriction::FormatOnly).unwrap();
+        let s = tune_matrix(&sim, Kernel::SpMM, &m, 16, 60, 5, Restriction::ScheduleOnly).unwrap();
+        let fs = tune_matrix(&sim, Kernel::SpMM, &m, 16, 60, 5, Restriction::Joint).unwrap();
+        assert!(f.kernel_seconds <= base.kernel_seconds * 1.0001);
+        assert!(s.kernel_seconds <= base.kernel_seconds * 1.0001);
+        let best_single = f.kernel_seconds.min(s.kernel_seconds);
+        assert!(
+            fs.kernel_seconds <= best_single * 1.0001,
+            "joint {} vs best single {}",
+            fs.kernel_seconds,
+            best_single
+        );
+    }
+
+    #[test]
+    fn schedule_only_keeps_csr() {
+        let sim = Simulator::new(MachineConfig::xeon_like());
+        let mut rng = Rng64::seed_from(2);
+        let m = gen::powerlaw_rows(128, 128, 8.0, 1.3, &mut rng);
+        let s = tune_matrix(&sim, Kernel::SpMV, &m, 0, 40, 3, Restriction::ScheduleOnly).unwrap();
+        let space = sim.space_for(Kernel::SpMV, vec![128, 128], 0);
+        let spec = s.sched.a_format_spec(&space).unwrap();
+        assert_eq!(spec.describe(), "i1(U) k1(C) i0(U) k0(U)");
+        assert_eq!(s.convert_seconds, 0.0);
+    }
+
+    #[test]
+    fn format_only_is_concordant() {
+        let sim = Simulator::new(MachineConfig::xeon_like());
+        let mut rng = Rng64::seed_from(3);
+        let m = gen::banded(96, 4, 0.6, &mut rng);
+        let f = tune_matrix(&sim, Kernel::SpMV, &m, 0, 40, 3, Restriction::FormatOnly).unwrap();
+        if f.name == "FormatOnly" && f.sched != named::default_csr(&sim.space_for(Kernel::SpMV, vec![96, 96], 0)) {
+            let loops = &f.sched.loop_order[..f.sched.format.order.len()];
+            for (lv, ax) in loops.iter().zip(&f.sched.format.order) {
+                assert_eq!((lv.dim, lv.part), (ax.dim, ax.part));
+            }
+        }
+    }
+
+    #[test]
+    fn transfer_runs() {
+        let sim = Simulator::new(MachineConfig::xeon_like());
+        let mut rng = Rng64::seed_from(4);
+        let a = gen::uniform_random(64, 64, 0.05, &mut rng);
+        let b = gen::blocked(64, 64, 8, 10, 0.9, &mut rng);
+        let tuned = tune_matrix(&sim, Kernel::SpMV, &a, 0, 30, 5, Restriction::Joint).unwrap();
+        let cross = transfer_matrix(&sim, Kernel::SpMV, &b, 0, &tuned.sched).unwrap();
+        assert!(cross > 0.0);
+    }
+
+    #[test]
+    fn mttkrp_joint_tuning() {
+        let sim = Simulator::new(MachineConfig::xeon_like());
+        let mut rng = Rng64::seed_from(5);
+        let t = gen::random_tensor3([16, 16, 16], 150, &mut rng);
+        let base = waco_baselines::fixed::fixed_csf_tensor(&sim, &t, 8).unwrap();
+        let fs = tune_tensor3(&sim, &t, 8, 40, 6, Restriction::Joint).unwrap();
+        assert!(fs.kernel_seconds <= base.kernel_seconds * 1.0001);
+    }
+}

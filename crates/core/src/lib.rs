@@ -1,0 +1,441 @@
+//! WACO: Workload-Aware Co-optimization of the format and schedule of
+//! sparse tensor programs.
+//!
+//! This crate is the top of the workspace — the end-to-end pipeline of the
+//! paper (Figure 1):
+//!
+//! 1. **Train** a cost model on `(pattern, SuperSchedule, runtime)` tuples
+//!    ([`Waco::train_2d`] / [`Waco::train_3d`]; ground truth from the
+//!    deterministic machine simulator in `waco-sim`).
+//! 2. **Build** a KNN graph over program embeddings of sampled
+//!    SuperSchedules (lazily, per workload shape).
+//! 3. **Tune**: given an input matrix, extract its WACONet feature once,
+//!    run ANNS with the predictor head as the distance, measure the top-k
+//!    candidates, and return the fastest ([`Waco::tune_matrix`] /
+//!    [`Waco::tune_tensor3`]) — exactly §5.2's "among the top-10
+//!    SuperSchedules selected by WACO according to the cost model, we
+//!    report the fastest after we measured them".
+//!
+//! [`autotune`] additionally provides the restricted oracle tuners
+//! (format-only / schedule-only / joint random search) behind the
+//! motivation Tables 1 and 2.
+//!
+//! # Example
+//!
+//! ```
+//! use waco_core::{Waco, WacoConfig};
+//! use waco_schedule::Kernel;
+//! use waco_sim::{MachineConfig, Simulator};
+//! use waco_tensor::gen;
+//!
+//! let sim = Simulator::new(MachineConfig::xeon_like());
+//! let corpus = gen::corpus(4, 24, 3);
+//! let (mut waco, _stats) = Waco::train_2d(sim, Kernel::SpMV, &corpus, 0, WacoConfig::tiny());
+//! let (name, m) = &corpus[0];
+//! let tuned = waco.tune_matrix(m).unwrap();
+//! let space = waco.space_for_matrix(m);
+//! println!("{name}: {} in {:.3e}s", tuned.result.sched.describe(&space), tuned.result.kernel_seconds);
+//! ```
+
+pub mod autotune;
+
+use std::collections::HashMap;
+use waco_anns::{ScheduleIndex, SearchBreakdown};
+use waco_baselines::TunedResult;
+use waco_model::dataset::{self, DataGenConfig};
+use waco_model::train::{self, TrainConfig, TrainStats};
+use waco_model::{CostModel, CostModelConfig};
+use waco_schedule::{Kernel, Space, SuperSchedule};
+use waco_sim::{Result, SimError, Simulator};
+use waco_sparseconv::Pattern;
+use waco_tensor::gen::Rng64;
+use waco_tensor::{CooMatrix, CooTensor3};
+
+/// Simulated feature-extraction cost per nonzero (sparse convolution is
+/// linear in nnz — §5.4), used to express WACO's tuning overhead in the
+/// same simulated clock as kernel times.
+pub const SIM_FEATURE_SECONDS_PER_NNZ: f64 = 1e-7;
+
+/// Simulated cost per ANNS cost-model evaluation (predictor head + graph
+/// hop).
+pub const SIM_SECONDS_PER_EVAL: f64 = 2e-6;
+
+/// End-to-end WACO configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WacoConfig {
+    /// Cost model architecture.
+    pub model: CostModelConfig,
+    /// Training hyper-parameters.
+    pub train: TrainConfig,
+    /// Dataset generation parameters.
+    pub datagen: DataGenConfig,
+    /// Number of SuperSchedules in the KNN graph.
+    pub index_size: usize,
+    /// Candidates measured on the (simulated) hardware per query
+    /// (paper: top-10).
+    pub topk: usize,
+    /// ANNS beam width.
+    pub ef: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl WacoConfig {
+    /// Laptop-scale defaults.
+    pub fn small() -> Self {
+        Self {
+            model: CostModelConfig::small(),
+            train: TrainConfig::small(),
+            datagen: DataGenConfig::default(),
+            index_size: 400,
+            topk: 10,
+            ef: 64,
+            seed: 2023,
+        }
+    }
+
+    /// Test-scale defaults.
+    pub fn tiny() -> Self {
+        Self {
+            model: CostModelConfig::tiny(),
+            train: TrainConfig::tiny(),
+            datagen: DataGenConfig { schedules_per_matrix: 8, ..Default::default() },
+            index_size: 80,
+            topk: 5,
+            ef: 32,
+            seed: 2023,
+        }
+    }
+}
+
+impl Default for WacoConfig {
+    fn default() -> Self {
+        Self::small()
+    }
+}
+
+/// A WACO tuning outcome: the co-optimized format + schedule with full
+/// overhead accounting, plus the search breakdown.
+#[derive(Debug, Clone)]
+pub struct WacoTuned {
+    /// The tuned result (name, schedule, kernel/tuning/conversion times).
+    pub result: TunedResult,
+    /// Feature-vs-ANNS wall-time breakdown of the query (Figure 16b).
+    pub breakdown: SearchBreakdown,
+    /// How many top-k candidates were actually measured.
+    pub candidates_measured: usize,
+}
+
+/// The trained WACO auto-tuner.
+pub struct Waco {
+    /// Which kernel this tuner optimizes.
+    pub kernel: Kernel,
+    /// The simulated machine (ground truth and measurement device).
+    pub sim: Simulator,
+    /// The trained cost model.
+    pub model: CostModel,
+    /// Dense-dimension extent of the kernel (|j| / |k| / rank).
+    pub dense_extent: usize,
+    cfg: WacoConfig,
+    indices: HashMap<Vec<usize>, ScheduleIndex>,
+}
+
+impl std::fmt::Debug for Waco {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Waco")
+            .field("kernel", &self.kernel)
+            .field("machine", &self.sim.machine.name)
+            .field("model", &self.model)
+            .finish()
+    }
+}
+
+impl Waco {
+    /// Trains a WACO tuner for a 2-D kernel on a matrix corpus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` is MTTKRP or the corpus is empty.
+    pub fn train_2d(
+        sim: Simulator,
+        kernel: Kernel,
+        corpus: &[(String, CooMatrix)],
+        dense_extent: usize,
+        cfg: WacoConfig,
+    ) -> (Self, TrainStats) {
+        assert!(!corpus.is_empty(), "empty training corpus");
+        let ds = dataset::generate_2d(&sim, kernel, corpus, dense_extent, &cfg.datagen);
+        let mut rng = Rng64::seed_from(cfg.seed);
+        let mut model = CostModel::for_kernel(kernel, &ds.layout, cfg.model, &mut rng);
+        let stats = train::train(&mut model, &ds, &cfg.train, &mut rng);
+        (
+            Self { kernel, sim, model, dense_extent, cfg, indices: HashMap::new() },
+            stats,
+        )
+    }
+
+    /// Trains a WACO tuner for MTTKRP on a tensor corpus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the corpus is empty.
+    pub fn train_3d(
+        sim: Simulator,
+        corpus: &[(String, CooTensor3)],
+        rank: usize,
+        cfg: WacoConfig,
+    ) -> (Self, TrainStats) {
+        assert!(!corpus.is_empty(), "empty training corpus");
+        let ds = dataset::generate_3d(&sim, corpus, rank, &cfg.datagen);
+        let mut rng = Rng64::seed_from(cfg.seed);
+        let mut model = CostModel::for_kernel(Kernel::MTTKRP, &ds.layout, cfg.model, &mut rng);
+        let stats = train::train(&mut model, &ds, &cfg.train, &mut rng);
+        (
+            Self {
+                kernel: Kernel::MTTKRP,
+                sim,
+                model,
+                dense_extent: rank,
+                cfg,
+                indices: HashMap::new(),
+            },
+            stats,
+        )
+    }
+
+    /// The schedule space for a matrix under this tuner's machine.
+    pub fn space_for_matrix(&self, m: &CooMatrix) -> Space {
+        self.sim
+            .space_for(self.kernel, vec![m.nrows(), m.ncols()], self.dense_extent)
+    }
+
+    fn index_for(&mut self, space: &Space) -> &ScheduleIndex {
+        let key: Vec<usize> = space
+            .sparse_dims
+            .iter()
+            .copied()
+            .chain([space.dense_extent])
+            .collect();
+        if !self.indices.contains_key(&key) {
+            let index = ScheduleIndex::build_with_extras(
+                &self.model,
+                space,
+                self.cfg.index_size,
+                self.cfg.seed,
+                portfolio(space),
+            );
+            self.indices.insert(key.clone(), index);
+        }
+        &self.indices[&key]
+    }
+
+    /// Tunes the format and schedule for a matrix (Figure 1c): one feature
+    /// extraction, ANNS over the KNN graph, then measurement of the top-k
+    /// candidates on the simulated machine.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError`] when not even the fallback CSR default can be simulated.
+    pub fn tune_matrix(&mut self, m: &CooMatrix) -> Result<WacoTuned> {
+        let space = self.space_for_matrix(m);
+        let pattern = Pattern::from_matrix(m);
+        let nnz = m.nnz();
+        self.tune_inner(space, pattern, nnz, |sim, sched, space| {
+            sim.time_matrix(m, sched, space)
+                .map(|r| (r.seconds, r.convert_seconds))
+        })
+    }
+
+    /// Tunes the format and schedule for a 3-D tensor (MTTKRP).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError`] when not even the fallback CSF default can be simulated.
+    pub fn tune_tensor3(&mut self, t: &CooTensor3) -> Result<WacoTuned> {
+        let space = self
+            .sim
+            .space_for(self.kernel, t.dims().to_vec(), self.dense_extent);
+        let pattern = Pattern::from_tensor3(t);
+        let nnz = t.nnz();
+        self.tune_inner(space, pattern, nnz, |sim, sched, space| {
+            sim.time_tensor3(t, sched, space)
+                .map(|r| (r.seconds, r.convert_seconds))
+        })
+    }
+
+    fn tune_inner(
+        &mut self,
+        space: Space,
+        pattern: Pattern,
+        nnz: usize,
+        mut measure: impl FnMut(&Simulator, &SuperSchedule, &Space) -> Result<(f64, f64)>,
+    ) -> Result<WacoTuned> {
+        let topk = self.cfg.topk;
+        let ef = self.cfg.ef;
+        // Borrow dance: build/cache the index first, then query.
+        self.index_for(&space);
+        let key: Vec<usize> = space
+            .sparse_dims
+            .iter()
+            .copied()
+            .chain([space.dense_extent])
+            .collect();
+        let index = &self.indices[&key];
+        let t0 = std::time::Instant::now();
+        let feat = self.model.extract_feature(&pattern);
+        let feature_seconds = t0.elapsed().as_secs_f64();
+        let t1 = std::time::Instant::now();
+        let (hits, evals, _) = index.query_with_feature(&self.model, &feat, topk, ef);
+        let anns_seconds = t1.elapsed().as_secs_f64();
+        let breakdown = SearchBreakdown { feature_seconds, anns_seconds, evals };
+
+        // Measure the top-k plus the TACO default on the simulated
+        // hardware; keep the fastest (measuring the default costs one extra
+        // run and guarantees the tuner never regresses below the shipped
+        // baseline).
+        let mut measured = 0usize;
+        let mut measure_cost = 0.0f64;
+        let mut best: Option<(f64, f64, SuperSchedule)> = None;
+        let default = waco_schedule::named::default_csr(&space);
+        let candidates = hits
+            .iter()
+            .map(|&(idx, _)| index.schedules[idx].clone())
+            .chain([default.clone()]);
+        for sched in candidates {
+            match measure(&self.sim, &sched, &space) {
+                Ok((seconds, convert)) => {
+                    measured += 1;
+                    measure_cost += seconds + convert;
+                    if best.as_ref().map(|(b, _, _)| seconds < *b).unwrap_or(true) {
+                        best = Some((seconds, convert, sched));
+                    }
+                }
+                Err(_) => continue,
+            }
+        }
+        let (seconds, convert, sched) = best.ok_or(SimError::TooExpensive {
+            estimate: f64::INFINITY,
+            limit: 0.0,
+        })?;
+        let convert = if sched.a_format_spec(&space).ok() == default.a_format_spec(&space).ok() {
+            0.0 // the input already arrives in the default format
+        } else {
+            convert
+        };
+        let tuning = nnz as f64 * SIM_FEATURE_SECONDS_PER_NNZ
+            + evals as f64 * SIM_SECONDS_PER_EVAL
+            + measure_cost;
+        Ok(WacoTuned {
+            result: TunedResult {
+                name: "WACO".into(),
+                sched,
+                kernel_seconds: seconds,
+                tuning_seconds: tuning,
+                convert_seconds: convert,
+            },
+            breakdown,
+            candidates_measured: measured,
+        })
+    }
+
+    /// Access the (possibly cached) schedule index for a space — exposed
+    /// for the search-strategy experiments (Figure 16).
+    pub fn index(&mut self, space: &Space) -> &ScheduleIndex {
+        self.index_for(space)
+    }
+
+    /// The configuration this tuner was built with.
+    pub fn config(&self) -> &WacoConfig {
+        &self.cfg
+    }
+}
+
+/// Convenience: the error type re-exported for callers.
+pub type WacoError = SimError;
+
+/// The classic-configuration portfolio seeded into the KNN graph next to
+/// the uniform samples (the paper builds its graph from the training
+/// dataset's SuperSchedules, which is likewise dense in reasonable
+/// configurations). Shared with dataset generation.
+fn portfolio(space: &Space) -> Vec<SuperSchedule> {
+    waco_schedule::named::portfolio(space)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waco_baselines::fixed::fixed_csr_matrix;
+    use waco_sim::MachineConfig;
+    use waco_tensor::gen;
+
+    fn trained() -> (Waco, Vec<(String, CooMatrix)>) {
+        let sim = Simulator::new(MachineConfig::xeon_like());
+        let corpus = gen::corpus(6, 24, 9);
+        let (waco, _) = Waco::train_2d(sim, Kernel::SpMV, &corpus, 0, WacoConfig::tiny());
+        (waco, corpus)
+    }
+
+    #[test]
+    fn tune_returns_valid_schedule() {
+        let (mut waco, corpus) = trained();
+        let m = &corpus[0].1;
+        let tuned = waco.tune_matrix(m).unwrap();
+        let space = waco.space_for_matrix(m);
+        assert!(tuned.result.sched.validate(&space).is_ok());
+        assert!(tuned.result.kernel_seconds > 0.0);
+        assert!(tuned.result.tuning_seconds > 0.0);
+        assert!(tuned.candidates_measured > 0);
+    }
+
+    #[test]
+    fn tuned_not_much_worse_than_fixed_csr() {
+        // Even a tiny model measuring its top-k should land in the same
+        // ballpark as the default (measurement protects against a bad
+        // model).
+        let (mut waco, corpus) = trained();
+        let mut wins = 0usize;
+        let mut total = 0usize;
+        for (_, m) in corpus.iter().take(4) {
+            let tuned = waco.tune_matrix(m).unwrap();
+            let fixed = fixed_csr_matrix(&waco.sim, Kernel::SpMV, m, 0).unwrap();
+            total += 1;
+            if tuned.result.kernel_seconds <= fixed.kernel_seconds * 1.25 {
+                wins += 1;
+            }
+        }
+        assert!(wins * 2 >= total, "tuned lost badly too often: {wins}/{total}");
+    }
+
+    #[test]
+    fn index_is_cached_per_shape() {
+        let (mut waco, corpus) = trained();
+        let m = &corpus[0].1;
+        let _ = waco.tune_matrix(m).unwrap();
+        let n_after_first = waco.indices.len();
+        let _ = waco.tune_matrix(m).unwrap();
+        assert_eq!(waco.indices.len(), n_after_first, "same shape reuses index");
+    }
+
+    #[test]
+    fn tune_tensor3_works() {
+        let sim = Simulator::new(MachineConfig::xeon_like());
+        let mut rng = Rng64::seed_from(4);
+        let corpus: Vec<(String, CooTensor3)> = (0..3)
+            .map(|i| {
+                (
+                    format!("t{i}"),
+                    gen::random_tensor3([12, 12, 12], 100, &mut rng),
+                )
+            })
+            .collect();
+        let (mut waco, _) = Waco::train_3d(sim, &corpus, 4, WacoConfig::tiny());
+        let tuned = waco.tune_tensor3(&corpus[0].1).unwrap();
+        assert!(tuned.result.kernel_seconds > 0.0);
+    }
+
+    #[test]
+    fn debug_impl() {
+        let (waco, _) = trained();
+        assert!(format!("{waco:?}").contains("SpMV"));
+    }
+}

@@ -1,0 +1,489 @@
+//! The four kernels of the paper, executed under arbitrary SuperSchedules.
+//!
+//! Each kernel validates its schedule, stores the sparse operand in the
+//! schedule's format, compiles a [`LoopNest`], and runs it — serially or with
+//! dynamic-chunk threads per the schedule's `parallelize` directive. Outputs
+//! are validated against the reference implementations in `waco-tensor` by
+//! the test suite.
+
+use crate::nest::{LoopNest, NoInstrument};
+use crate::parallel::run_chunked;
+use crate::{ExecError, Result};
+use waco_format::SparseStorage;
+use waco_schedule::{Kernel, Space, SuperSchedule};
+use waco_tensor::{CooMatrix, CooTensor3, DenseMatrix, DenseVector, Value};
+
+fn check(space: &Space, sched: &SuperSchedule, kernel: Kernel) -> Result<()> {
+    if space.kernel != kernel {
+        return Err(ExecError::OperandMismatch(format!(
+            "space is for {}, kernel called is {kernel}",
+            space.kernel
+        )));
+    }
+    sched.validate(space)?;
+    Ok(())
+}
+
+fn storage_2d(a: &CooMatrix, sched: &SuperSchedule, space: &Space) -> Result<SparseStorage> {
+    if space.sparse_dims != [a.nrows(), a.ncols()] {
+        return Err(ExecError::OperandMismatch(format!(
+            "matrix is {}x{}, space expects {:?}",
+            a.nrows(),
+            a.ncols(),
+            space.sparse_dims
+        )));
+    }
+    Ok(SparseStorage::from_matrix(a, &sched.a_format_spec(space)?)?)
+}
+
+/// How a kernel executes: serial walk or dynamic-chunk parallel walk with
+/// per-thread accumulators merged by `merge`.
+fn drive<Acc: Send>(
+    nest: &LoopNest<'_>,
+    sched: &SuperSchedule,
+    make_acc: impl Fn() -> Acc + Sync,
+    body: impl Fn(&crate::nest::Ctx<'_>, usize, Value, &mut Acc) + Sync,
+    merge: impl Fn(Vec<Acc>) -> Acc,
+) -> Acc {
+    let extent = nest.outer_extent();
+    match &sched.parallel {
+        Some(p) if p.threads > 1 => {
+            let accs = run_chunked(extent, p.threads, p.chunk, &make_acc, |range, acc| {
+                nest.walk(range, &mut NoInstrument, &mut |ctx, pos, val| {
+                    body(ctx, pos, val, acc)
+                });
+            });
+            merge(accs)
+        }
+        _ => {
+            let mut acc = make_acc();
+            nest.walk(0..extent, &mut NoInstrument, &mut |ctx, pos, val| {
+                body(ctx, pos, val, &mut acc)
+            });
+            acc
+        }
+    }
+}
+
+fn merge_vecs(mut accs: Vec<Vec<Value>>) -> Vec<Value> {
+    let mut out = accs.pop().unwrap_or_default();
+    for acc in accs {
+        for (o, a) in out.iter_mut().zip(acc) {
+            *o += a;
+        }
+    }
+    out
+}
+
+/// SpMV: `y = A x` under `sched`.
+///
+/// # Errors
+///
+/// Schedule validation, storage budget, and operand-shape errors.
+pub fn spmv(
+    a: &CooMatrix,
+    sched: &SuperSchedule,
+    space: &Space,
+    x: &DenseVector,
+) -> Result<DenseVector> {
+    check(space, sched, Kernel::SpMV)?;
+    let st = storage_2d(a, sched, space)?;
+    spmv_storage(&st, sched, space, x)
+}
+
+/// SpMV over pre-built storage (reuse across repeated runs — the
+/// `T_formatconvert` vs `T_tunedkernel` split of §5.6).
+///
+/// # Errors
+///
+/// Operand-shape errors.
+pub fn spmv_storage(
+    st: &SparseStorage,
+    sched: &SuperSchedule,
+    space: &Space,
+    x: &DenseVector,
+) -> Result<DenseVector> {
+    if x.len() != space.sparse_dims[1] {
+        return Err(ExecError::OperandMismatch("x length != ncols".into()));
+    }
+    let nest = LoopNest::new(st, sched, space);
+    let n = space.sparse_dims[0];
+    let xs = x.as_slice();
+    let out = drive(
+        &nest,
+        sched,
+        || vec![0.0 as Value; n],
+        |ctx, _, v, acc| {
+            let (Some(i), Some(k)) = (ctx.coord(0), ctx.coord(1)) else {
+                return;
+            };
+            acc[i] += v * xs[k];
+        },
+        merge_vecs,
+    );
+    Ok(DenseVector::from_vec(out))
+}
+
+/// SpMM: `C = A B` under `sched` (`B` is `ncols × |j|` dense row-major).
+///
+/// # Errors
+///
+/// Schedule validation, storage budget, and operand-shape errors.
+pub fn spmm(
+    a: &CooMatrix,
+    sched: &SuperSchedule,
+    space: &Space,
+    b: &DenseMatrix,
+) -> Result<DenseMatrix> {
+    check(space, sched, Kernel::SpMM)?;
+    let st = storage_2d(a, sched, space)?;
+    spmm_storage(&st, sched, space, b)
+}
+
+/// SpMM over pre-built storage.
+///
+/// # Errors
+///
+/// Operand-shape errors.
+pub fn spmm_storage(
+    st: &SparseStorage,
+    sched: &SuperSchedule,
+    space: &Space,
+    b: &DenseMatrix,
+) -> Result<DenseMatrix> {
+    if b.nrows() != space.sparse_dims[1] || b.ncols() != space.dense_extent {
+        return Err(ExecError::OperandMismatch(format!(
+            "B is {}x{}, expected {}x{}",
+            b.nrows(),
+            b.ncols(),
+            space.sparse_dims[1],
+            space.dense_extent
+        )));
+    }
+    let nest = LoopNest::new(st, sched, space);
+    let (ni, nj) = (space.sparse_dims[0], space.dense_extent);
+    let out = drive(
+        &nest,
+        sched,
+        || vec![0.0 as Value; ni * nj],
+        |ctx, _, v, acc| {
+            let (Some(i), Some(k), Some(j)) = (ctx.coord(0), ctx.coord(1), ctx.coord(2)) else {
+                return;
+            };
+            acc[i * nj + j] += v * b.get(k, j);
+        },
+        merge_vecs,
+    );
+    Ok(DenseMatrix::from_vec(ni, nj, out))
+}
+
+/// SDDMM: `D = A ∘ (B C)` under `sched` (`B` is `nrows × |k|`, `C` is
+/// `|k| × ncols`). The output keeps `A`'s pattern (entries whose product is
+/// exactly zero are dropped).
+///
+/// # Errors
+///
+/// Schedule validation, storage budget, and operand-shape errors.
+pub fn sddmm(
+    a: &CooMatrix,
+    sched: &SuperSchedule,
+    space: &Space,
+    b: &DenseMatrix,
+    c: &DenseMatrix,
+) -> Result<CooMatrix> {
+    check(space, sched, Kernel::SDDMM)?;
+    let st = storage_2d(a, sched, space)?;
+    sddmm_storage(&st, sched, space, b, c)
+}
+
+/// SDDMM over pre-built storage.
+///
+/// # Errors
+///
+/// Operand-shape errors.
+pub fn sddmm_storage(
+    st: &SparseStorage,
+    sched: &SuperSchedule,
+    space: &Space,
+    b: &DenseMatrix,
+    c: &DenseMatrix,
+) -> Result<CooMatrix> {
+    let (ni, nj, nk) = (space.sparse_dims[0], space.sparse_dims[1], space.dense_extent);
+    if b.nrows() != ni || b.ncols() != nk || c.nrows() != nk || c.ncols() != nj {
+        return Err(ExecError::OperandMismatch(format!(
+            "SDDMM operands B {}x{} C {}x{}, expected B {ni}x{nk} C {nk}x{nj}",
+            b.nrows(),
+            b.ncols(),
+            c.nrows(),
+            c.ncols()
+        )));
+    }
+    let nest = LoopNest::new(st, sched, space);
+    let nslots = st.vals().len();
+    // Accumulate into the sparse output in A's own format (position-indexed),
+    // as TACO's generated code would.
+    let out = drive(
+        &nest,
+        sched,
+        || vec![0.0 as Value; nslots],
+        |ctx, pos, v, acc| {
+            let (Some(i), Some(j), Some(k)) = (ctx.coord(0), ctx.coord(1), ctx.coord(2)) else {
+                return;
+            };
+            acc[pos] += v * b.get(i, k) * c.get(k, j);
+        },
+        merge_vecs,
+    );
+    // Map positions back to (i, j) through the storage's own coordinate walk.
+    let spec = st.spec();
+    let mut triplets: Vec<(usize, usize, Value)> = Vec::new();
+    st.for_each_slot(|axis_coords, pos, _| {
+        let d = out[pos];
+        if d == 0.0 {
+            return;
+        }
+        let mut outer = [0usize; 2];
+        let mut inner = [0usize; 2];
+        for (l, ax) in spec.order().iter().enumerate() {
+            match ax.part {
+                waco_format::AxisPart::Outer => outer[ax.dim] = axis_coords[l],
+                waco_format::AxisPart::Inner => inner[ax.dim] = axis_coords[l],
+            }
+        }
+        let i = spec.original_coord(0, outer[0], inner[0]);
+        let j = spec.original_coord(1, outer[1], inner[1]);
+        if i < ni && j < nj {
+            triplets.push((i, j, d));
+        }
+    });
+    Ok(CooMatrix::from_triplets(ni, nj, triplets).expect("output coords in bounds"))
+}
+
+/// MTTKRP: `D[i,j] = Σ A[i,k,l] B[k,j] C[l,j]` under `sched` (`B` is
+/// `|k| × rank`, `C` is `|l| × rank`).
+///
+/// # Errors
+///
+/// Schedule validation, storage budget, and operand-shape errors.
+pub fn mttkrp(
+    a: &CooTensor3,
+    sched: &SuperSchedule,
+    space: &Space,
+    b: &DenseMatrix,
+    c: &DenseMatrix,
+) -> Result<DenseMatrix> {
+    check(space, sched, Kernel::MTTKRP)?;
+    if space.sparse_dims != a.dims() {
+        return Err(ExecError::OperandMismatch(format!(
+            "tensor dims {:?}, space expects {:?}",
+            a.dims(),
+            space.sparse_dims
+        )));
+    }
+    let st = SparseStorage::from_tensor3(a, &sched.a_format_spec(space)?)?;
+    mttkrp_storage(&st, sched, space, b, c)
+}
+
+/// MTTKRP over pre-built storage.
+///
+/// # Errors
+///
+/// Operand-shape errors.
+pub fn mttkrp_storage(
+    st: &SparseStorage,
+    sched: &SuperSchedule,
+    space: &Space,
+    b: &DenseMatrix,
+    c: &DenseMatrix,
+) -> Result<DenseMatrix> {
+    let (ni, nk, nl) = (
+        space.sparse_dims[0],
+        space.sparse_dims[1],
+        space.sparse_dims[2],
+    );
+    let rank = space.dense_extent;
+    if b.nrows() != nk || b.ncols() != rank || c.nrows() != nl || c.ncols() != rank {
+        return Err(ExecError::OperandMismatch(format!(
+            "MTTKRP operands B {}x{} C {}x{}, expected B {nk}x{rank} C {nl}x{rank}",
+            b.nrows(),
+            b.ncols(),
+            c.nrows(),
+            c.ncols()
+        )));
+    }
+    let nest = LoopNest::new(st, sched, space);
+    let out = drive(
+        &nest,
+        sched,
+        || vec![0.0 as Value; ni * rank],
+        |ctx, _, v, acc| {
+            let (Some(i), Some(k), Some(l), Some(j)) =
+                (ctx.coord(0), ctx.coord(1), ctx.coord(2), ctx.coord(3))
+            else {
+                return;
+            };
+            acc[i * rank + j] += v * b.get(k, j) * c.get(l, j);
+        },
+        merge_vecs,
+    );
+    Ok(DenseMatrix::from_vec(ni, rank, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waco_schedule::named;
+    use waco_tensor::csr::mttkrp_reference;
+    use waco_tensor::gen::{self, Rng64};
+    use waco_tensor::CsrMatrix;
+
+    fn close_m(a: &DenseMatrix, b: &DenseMatrix, tol: f32) {
+        assert!(a.max_abs_diff(b) < tol, "diff {} >= {tol}", a.max_abs_diff(b));
+    }
+
+    #[test]
+    fn spmv_default_matches_reference() {
+        let mut rng = Rng64::seed_from(1);
+        let a = gen::uniform_random(40, 40, 0.1, &mut rng);
+        let space = Space::new(Kernel::SpMV, vec![40, 40], 0);
+        let sched = named::default_csr(&space);
+        let x = DenseVector::from_fn(40, |i| (i % 7) as f32 - 3.0);
+        let y = spmv(&a, &sched, &space, &x).unwrap();
+        let r = CsrMatrix::from_coo(&a).spmv(&x);
+        assert!(y.max_abs_diff(&r) < 1e-3);
+    }
+
+    #[test]
+    fn spmv_random_schedules_match() {
+        let mut rng = Rng64::seed_from(2);
+        let a = gen::powerlaw_rows(30, 30, 4.0, 1.1, &mut rng);
+        let space = Space::new(Kernel::SpMV, vec![30, 30], 0);
+        let x = DenseVector::from_fn(30, |i| (i as f32).sin());
+        let r = CsrMatrix::from_coo(&a).spmv(&x);
+        let mut tested = 0;
+        for _ in 0..40 {
+            let sched = SuperSchedule::sample(&space, &mut rng);
+            match spmv(&a, &sched, &space, &x) {
+                Ok(y) => {
+                    tested += 1;
+                    assert!(
+                        y.max_abs_diff(&r) < 1e-3,
+                        "schedule {}",
+                        sched.describe(&space)
+                    );
+                }
+                Err(ExecError::Format(_)) => {} // over budget — excluded
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(tested > 10, "most sampled schedules should be buildable");
+    }
+
+    #[test]
+    fn spmm_default_and_random_match() {
+        let mut rng = Rng64::seed_from(3);
+        let a = gen::blocked(24, 24, 4, 10, 0.8, &mut rng);
+        let space = Space::new(Kernel::SpMM, vec![24, 24], 8);
+        let b = DenseMatrix::from_fn(24, 8, |r, c| ((r + c) % 5) as f32 - 2.0);
+        let r = CsrMatrix::from_coo(&a).spmm(&b);
+
+        let c0 = spmm(&a, &named::default_csr(&space), &space, &b).unwrap();
+        close_m(&c0, &r, 1e-3);
+
+        let mut tested = 0;
+        for _ in 0..25 {
+            let sched = SuperSchedule::sample(&space, &mut rng);
+            if let Ok(c) = spmm(&a, &sched, &space, &b) {
+                tested += 1;
+                close_m(&c, &r, 1e-3);
+            }
+        }
+        assert!(tested > 5);
+    }
+
+    #[test]
+    fn sddmm_matches_reference_dense() {
+        let mut rng = Rng64::seed_from(4);
+        let a = gen::uniform_random(20, 22, 0.15, &mut rng);
+        let space = Space::new(Kernel::SDDMM, vec![20, 22], 6);
+        let b = DenseMatrix::from_fn(20, 6, |r, c| (r * 2 + c) as f32 * 0.1);
+        let c = DenseMatrix::from_fn(6, 22, |r, c| (r + c) as f32 * 0.2 - 0.5);
+        let reference = CsrMatrix::from_coo(&a).sddmm(&b, &c).to_dense();
+
+        let d0 = sddmm(&a, &named::default_csr(&space), &space, &b, &c).unwrap();
+        close_m(&d0.to_dense(), &reference, 1e-3);
+
+        let mut tested = 0;
+        for _ in 0..25 {
+            let sched = SuperSchedule::sample(&space, &mut rng);
+            if let Ok(d) = sddmm(&a, &sched, &space, &b, &c) {
+                tested += 1;
+                close_m(&d.to_dense(), &reference, 1e-3);
+            }
+        }
+        assert!(tested > 5);
+    }
+
+    #[test]
+    fn mttkrp_matches_reference() {
+        let mut rng = Rng64::seed_from(5);
+        let a = gen::random_tensor3([10, 11, 12], 80, &mut rng);
+        let space = Space::new(Kernel::MTTKRP, vec![10, 11, 12], 4);
+        let b = DenseMatrix::from_fn(11, 4, |r, c| ((r * 3 + c) % 7) as f32 * 0.25);
+        let c = DenseMatrix::from_fn(12, 4, |r, c| ((r + 2 * c) % 5) as f32 * 0.5 - 1.0);
+        let reference = mttkrp_reference(&a, &b, &c);
+
+        let d0 = mttkrp(&a, &named::default_csr(&space), &space, &b, &c).unwrap();
+        close_m(&d0, &reference, 1e-3);
+
+        let mut tested = 0;
+        for _ in 0..20 {
+            let sched = SuperSchedule::sample(&space, &mut rng);
+            if let Ok(d) = mttkrp(&a, &sched, &space, &b, &c) {
+                tested += 1;
+                close_m(&d, &reference, 1e-3);
+            }
+        }
+        assert!(tested > 5);
+    }
+
+    #[test]
+    fn parallel_execution_matches_serial() {
+        let mut rng = Rng64::seed_from(6);
+        let a = gen::powerlaw_rows(64, 64, 6.0, 1.2, &mut rng);
+        let space = Space::new(Kernel::SpMM, vec![64, 64], 8).with_thread_options(vec![4, 8]);
+        let b = DenseMatrix::from_fn(64, 8, |r, c| ((r ^ c) % 9) as f32 * 0.3);
+        for _ in 0..10 {
+            let mut sched = SuperSchedule::sample(&space, &mut rng);
+            let Ok(par) = spmm(&a, &sched, &space, &b) else {
+                continue;
+            };
+            sched.parallel = None;
+            let ser = spmm(&a, &sched, &space, &b).unwrap();
+            close_m(&par, &ser, 1e-2);
+        }
+    }
+
+    #[test]
+    fn kernel_mismatch_rejected() {
+        let space = Space::new(Kernel::SpMV, vec![8, 8], 0);
+        let sched = named::default_csr(&space);
+        let a = gen::mesh2d(3, 3);
+        let r = spmm(
+            &a,
+            &sched,
+            &space,
+            &DenseMatrix::zeros(9, 1),
+        );
+        assert!(matches!(r, Err(ExecError::OperandMismatch(_))));
+    }
+
+    #[test]
+    fn operand_shape_rejected() {
+        let space = Space::new(Kernel::SpMV, vec![9, 9], 0);
+        let sched = named::default_csr(&space);
+        let a = gen::mesh2d(3, 3);
+        let r = spmv(&a, &sched, &space, &DenseVector::zeros(5));
+        assert!(matches!(r, Err(ExecError::OperandMismatch(_))));
+    }
+}

@@ -1,0 +1,60 @@
+//! Executor parallel-semantics tests: distributing different legal loop
+//! variables over real threads never changes the numerics.
+
+use waco_exec::kernels;
+use waco_schedule::{named, Kernel, LoopVar, Parallelize, Space};
+use waco_tensor::gen::{self, Rng64};
+use waco_tensor::{CsrMatrix, DenseMatrix};
+
+#[test]
+fn sddmm_column_parallelism_matches_reference() {
+    // SDDMM may parallelize the sparse output's column dimension (§5.2.1);
+    // the executor must produce identical results for row- and
+    // column-parallel runs.
+    let mut rng = Rng64::seed_from(1);
+    let a = gen::uniform_random(48, 40, 0.1, &mut rng);
+    let space = Space::new(Kernel::SDDMM, vec![48, 40], 8).with_thread_options(vec![4]);
+    let b = DenseMatrix::from_fn(48, 8, |r, c| ((r + c) % 7) as f32 * 0.3 - 1.0);
+    let c = DenseMatrix::from_fn(8, 40, |r, c| ((2 * r + c) % 5) as f32 * 0.25);
+    let reference = CsrMatrix::from_coo(&a).sddmm(&b, &c).to_dense();
+
+    for var in [LoopVar::outer(0), LoopVar::outer(1), LoopVar::inner(1)] {
+        let mut sched = named::default_csr(&space);
+        sched.parallel = Some(Parallelize { var, threads: 4, chunk: 2 });
+        sched.validate(&space).unwrap();
+        let d = kernels::sddmm(&a, &sched, &space, &b, &c).unwrap();
+        assert!(
+            d.to_dense().max_abs_diff(&reference) < 1e-2,
+            "parallel var {var:?}"
+        );
+    }
+}
+
+#[test]
+fn chunk_sizes_do_not_change_results() {
+    let mut rng = Rng64::seed_from(2);
+    let a = gen::powerlaw_rows(96, 96, 6.0, 1.3, &mut rng);
+    let space = Space::new(Kernel::SpMM, vec![96, 96], 8).with_thread_options(vec![3]);
+    let b = DenseMatrix::from_fn(96, 8, |r, c| ((r * 3 + c) % 11) as f32 * 0.2);
+    let reference = CsrMatrix::from_coo(&a).spmm(&b);
+    for chunk in [1usize, 7, 32, 256] {
+        let mut sched = named::default_csr(&space);
+        sched.parallel = Some(Parallelize { var: LoopVar::outer(0), threads: 3, chunk });
+        let c = kernels::spmm(&a, &sched, &space, &b).unwrap();
+        assert!(c.max_abs_diff(&reference) < 1e-2, "chunk {chunk}");
+    }
+}
+
+#[test]
+fn oversubscribed_threads_are_safe() {
+    // More threads than chunks / than cores: results still exact.
+    let mut rng = Rng64::seed_from(3);
+    let a = gen::banded(64, 3, 0.7, &mut rng);
+    let space = Space::new(Kernel::SpMV, vec![64, 64], 0).with_thread_options(vec![16]);
+    let x = waco_tensor::DenseVector::from_fn(64, |i| (i as f32 * 0.17).sin());
+    let reference = CsrMatrix::from_coo(&a).spmv(&x);
+    let mut sched = named::default_csr(&space);
+    sched.parallel = Some(Parallelize { var: LoopVar::outer(0), threads: 16, chunk: 64 });
+    let y = kernels::spmv(&a, &sched, &space, &x).unwrap();
+    assert!(y.max_abs_diff(&reference) < 1e-3);
+}

@@ -1,0 +1,226 @@
+//! Building hierarchical storage from coordinate lists.
+//!
+//! The builder mirrors TACO's assembly: nonzeros are mapped to their split
+//! axis coordinates, sorted in storage order, and then each level is
+//! materialized top-down — uncompressed levels by arithmetic, compressed
+//! levels by emitting `pos`/`crd` arrays over the distinct coordinate
+//! prefixes.
+
+use crate::level::{LevelFormat, LevelStorage};
+use crate::spec::FormatSpec;
+use crate::{FormatError, Result};
+use waco_tensor::Value;
+
+/// Default storage budget in words (indices + values). Building a format
+/// whose materialization would exceed this fails with
+/// [`FormatError::StorageTooLarge`] — the analog of the paper excluding
+/// configurations that take over a minute.
+pub const DEFAULT_BUDGET_WORDS: u64 = 1 << 24;
+
+/// Intermediate result of the planning pass: sorted axis-coordinate tuples
+/// and distinct-prefix counts per level.
+#[derive(Debug)]
+pub struct BuildPlan {
+    /// Axis-coordinate tuples in storage order, sorted lexicographically,
+    /// paired with their values.
+    pub tuples: Vec<(Vec<usize>, Value)>,
+    /// `prefix_counts[l]` = number of distinct prefixes of length `l + 1`.
+    pub prefix_counts: Vec<usize>,
+    /// Estimated storage words for the spec over these nonzeros.
+    pub words: u64,
+}
+
+/// Plans a build: computes sorted tuples and the storage estimate.
+///
+/// # Errors
+///
+/// [`FormatError::DimMismatch`] if a coordinate's arity differs from the
+/// spec's; out-of-range coordinates panic in debug builds (the caller is the
+/// crate-internal conversion from validated tensors).
+pub fn plan(
+    spec: &FormatSpec,
+    nonzeros: impl IntoIterator<Item = (Vec<usize>, Value)>,
+) -> Result<BuildPlan> {
+    let nlev = spec.num_levels();
+    let mut tuples: Vec<(Vec<usize>, Value)> = Vec::new();
+    for (coord, val) in nonzeros {
+        if coord.len() != spec.ndims() {
+            return Err(FormatError::DimMismatch {
+                spec_dims: spec.dims().to_vec(),
+                tensor_dims: vec![coord.len()],
+            });
+        }
+        let tuple: Vec<usize> = spec
+            .order()
+            .iter()
+            .map(|&axis| spec.axis_coord(axis, coord[axis.dim]))
+            .collect();
+        tuples.push((tuple, val));
+    }
+    tuples.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut prefix_counts = vec![0usize; nlev];
+    for l in 0..nlev {
+        let mut count = 0usize;
+        let mut prev: Option<&[usize]> = None;
+        for (t, _) in &tuples {
+            let pfx = &t[..=l];
+            if prev != Some(pfx) {
+                count += 1;
+                prev = Some(pfx);
+            }
+        }
+        prefix_counts[l] = count;
+    }
+    let words = spec.storage_words(&prefix_counts);
+    Ok(BuildPlan { tuples, prefix_counts, words })
+}
+
+/// Materializes the levels and values array from a plan.
+///
+/// Returns `(levels, vals, parent_counts)` where `parent_counts[l]` is the
+/// number of positions *entering* level `l` (so `parent_counts[0] == 1`).
+///
+/// # Errors
+///
+/// [`FormatError::StorageTooLarge`] when the plan exceeds `budget_words`.
+pub fn materialize(
+    spec: &FormatSpec,
+    plan: &BuildPlan,
+    budget_words: u64,
+) -> Result<(Vec<LevelStorage>, Vec<Value>, Vec<usize>)> {
+    if plan.words > budget_words {
+        return Err(FormatError::StorageTooLarge { estimated: plan.words, budget: budget_words });
+    }
+    let nlev = spec.num_levels();
+    let n = plan.tuples.len();
+    let mut levels = Vec::with_capacity(nlev);
+    let mut parent_counts = Vec::with_capacity(nlev);
+    // Per-nonzero position at the previous level.
+    let mut pos_prev: Vec<usize> = vec![0; n];
+    let mut parent_count = 1usize;
+
+    for l in 0..nlev {
+        parent_counts.push(parent_count);
+        let extent = spec.axis_extent(spec.order()[l]);
+        match spec.formats()[l] {
+            LevelFormat::Uncompressed => {
+                for (i, (t, _)) in plan.tuples.iter().enumerate() {
+                    pos_prev[i] = pos_prev[i] * extent + t[l];
+                }
+                levels.push(LevelStorage::Uncompressed { extent });
+                parent_count *= extent;
+            }
+            LevelFormat::Compressed => {
+                // Entries = distinct (parent_pos, coord) pairs, in sorted
+                // order (the tuples are sorted, and parent positions are
+                // monotone in tuple order).
+                let mut pos = vec![0usize; parent_count + 1];
+                let mut crd = Vec::with_capacity(plan.prefix_counts[l]);
+                let mut prev: Option<(usize, usize)> = None;
+                for i in 0..n {
+                    let key = (pos_prev[i], plan.tuples[i].0[l]);
+                    if prev != Some(key) {
+                        crd.push(key.1);
+                        pos[key.0 + 1] += 1;
+                        prev = Some(key);
+                    }
+                    pos_prev[i] = crd.len() - 1;
+                }
+                for p in 0..parent_count {
+                    pos[p + 1] += pos[p];
+                }
+                parent_count = crd.len();
+                levels.push(LevelStorage::Compressed { pos, crd });
+            }
+        }
+    }
+
+    let mut vals = vec![0.0 as Value; parent_count];
+    for (i, (_, v)) in plan.tuples.iter().enumerate() {
+        vals[pos_prev[i]] += v;
+    }
+    Ok((levels, vals, parent_counts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::FormatSpec;
+
+    fn nz(coords: &[(usize, usize)]) -> Vec<(Vec<usize>, Value)> {
+        coords
+            .iter()
+            .enumerate()
+            .map(|(i, &(r, c))| (vec![r, c], (i + 1) as Value))
+            .collect()
+    }
+
+    #[test]
+    fn plan_counts_prefixes() {
+        let spec = FormatSpec::csr(4, 4);
+        let plan = plan(&spec, nz(&[(0, 1), (0, 3), (2, 2)])).unwrap();
+        // Level 0 = i1: rows {0, 2} → 2. Level 1 = k1: 3 distinct (row, col).
+        assert_eq!(plan.prefix_counts, vec![2, 3, 3, 3]);
+    }
+
+    #[test]
+    fn csr_materialization_matches_classic() {
+        let spec = FormatSpec::csr(4, 4);
+        let plan = plan(&spec, nz(&[(0, 1), (0, 3), (2, 2)])).unwrap();
+        let (levels, vals, parents) = materialize(&spec, &plan, DEFAULT_BUDGET_WORDS).unwrap();
+        assert_eq!(parents, vec![1, 4, 3, 3]);
+        match &levels[1] {
+            LevelStorage::Compressed { pos, crd } => {
+                assert_eq!(pos, &vec![0, 2, 2, 3, 3]);
+                assert_eq!(crd, &vec![1, 3, 2]);
+            }
+            _ => panic!("level 1 of CSR must be compressed"),
+        }
+        assert_eq!(vals, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn bcsr_pads_blocks() {
+        let spec = FormatSpec::bcsr(4, 4, 2, 2);
+        let plan = plan(&spec, nz(&[(0, 0), (1, 1)])).unwrap();
+        let (levels, vals, _) = materialize(&spec, &plan, DEFAULT_BUDGET_WORDS).unwrap();
+        // One stored block of 2x2 = 4 value slots, two nonzero.
+        assert_eq!(vals.len(), 4);
+        assert_eq!(vals.iter().filter(|v| **v != 0.0).count(), 2);
+        match &levels[1] {
+            LevelStorage::Compressed { crd, .. } => assert_eq!(crd, &vec![0]),
+            _ => panic!("BCSR level 1 compressed"),
+        }
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let spec = FormatSpec::dense(1024, 1024);
+        let plan = plan(&spec, nz(&[(0, 0)])).unwrap();
+        assert!(plan.words >= 1024 * 1024);
+        let r = materialize(&spec, &plan, 1000);
+        assert!(matches!(r, Err(FormatError::StorageTooLarge { .. })));
+    }
+
+    #[test]
+    fn column_major_orders_by_column() {
+        let spec = FormatSpec::csc(4, 4);
+        let plan = plan(&spec, nz(&[(0, 3), (3, 0)])).unwrap();
+        // Sorted by (k1, i1, ...): column 0 entry first.
+        assert_eq!(plan.tuples[0].0[0], 0);
+        assert_eq!(plan.tuples[1].0[0], 3);
+    }
+
+    #[test]
+    fn duplicate_coords_are_summed() {
+        let spec = FormatSpec::csr(2, 2);
+        let plan = plan(
+            &spec,
+            vec![(vec![0, 0], 1.0), (vec![0, 0], 2.0)],
+        )
+        .unwrap();
+        let (_, vals, _) = materialize(&spec, &plan, DEFAULT_BUDGET_WORDS).unwrap();
+        assert_eq!(vals, vec![3.0]);
+    }
+}

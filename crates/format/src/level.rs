@@ -1,0 +1,263 @@
+//! Level formats and per-level physical storage.
+
+/// The physical encoding of one level of a coordinate hierarchy.
+///
+/// The WACO search space uses the two workhorse level formats of TACO's
+/// abstraction (the paper, §3.1, restricts itself to these as well).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LevelFormat {
+    /// `U`: a dense coordinate interval `[0, N)`. Stores only the extent.
+    Uncompressed,
+    /// `C`: only coordinates that exist are stored, via `pos`/`crd` arrays.
+    Compressed,
+}
+
+impl std::fmt::Display for LevelFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LevelFormat::Uncompressed => write!(f, "U"),
+            LevelFormat::Compressed => write!(f, "C"),
+        }
+    }
+}
+
+/// Physical storage of one level.
+///
+/// Positions at level `l` identify distinct coordinate prefixes of length
+/// `l + 1`. An **Uncompressed** level maps parent position `p` and coordinate
+/// `c` to child position `p * extent + c` arithmetically. A **Compressed**
+/// level stores, for each parent position `p`, the child range
+/// `pos[p] .. pos[p+1]` with explicit coordinates `crd[q]`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LevelStorage {
+    /// Dense interval storage.
+    Uncompressed {
+        /// The coordinate extent `N` of this level.
+        extent: usize,
+    },
+    /// Explicit `pos`/`crd` storage.
+    Compressed {
+        /// `pos[p] .. pos[p+1]` bounds the children of parent position `p`;
+        /// length is `#parents + 1`.
+        pos: Vec<usize>,
+        /// Stored coordinates, sorted within each parent range.
+        crd: Vec<usize>,
+    },
+}
+
+impl LevelStorage {
+    /// The level format of this storage.
+    pub fn format(&self) -> LevelFormat {
+        match self {
+            LevelStorage::Uncompressed { .. } => LevelFormat::Uncompressed,
+            LevelStorage::Compressed { .. } => LevelFormat::Compressed,
+        }
+    }
+
+    /// Number of child positions this level exposes, given the number of
+    /// parent positions.
+    pub fn child_count(&self, parent_count: usize) -> usize {
+        match self {
+            LevelStorage::Uncompressed { extent } => parent_count * extent,
+            LevelStorage::Compressed { crd, .. } => crd.len(),
+        }
+    }
+
+    /// Iterates the stored `(coordinate, child_position)` pairs under
+    /// `parent_pos` — the cheap, *concordant* access path.
+    ///
+    /// For `U` this yields the full interval; for `C` only stored entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent_pos` is out of range for a compressed level.
+    pub fn iterate(&self, parent_pos: usize) -> LevelIter<'_> {
+        match self {
+            LevelStorage::Uncompressed { extent } => LevelIter::Dense {
+                base: parent_pos * extent,
+                coord: 0,
+                extent: *extent,
+            },
+            LevelStorage::Compressed { pos, crd } => LevelIter::Sparse {
+                crd,
+                cur: pos[parent_pos],
+                end: pos[parent_pos + 1],
+            },
+        }
+    }
+
+    /// Finds the child position of `coord` under `parent_pos` — the
+    /// *discordant* access path (`O(1)` for `U`, binary search for `C`).
+    ///
+    /// Returns `None` when the coordinate is structurally absent, along with
+    /// having cost `log₂(row population)` for compressed levels — the cost
+    /// model in `waco-sim` charges for this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent_pos` is out of range for a compressed level, or the
+    /// coordinate exceeds the extent of an uncompressed level (debug builds).
+    pub fn locate(&self, parent_pos: usize, coord: usize) -> Option<usize> {
+        match self {
+            LevelStorage::Uncompressed { extent } => {
+                debug_assert!(coord < *extent, "coordinate beyond level extent");
+                Some(parent_pos * extent + coord)
+            }
+            LevelStorage::Compressed { pos, crd } => {
+                let range = pos[parent_pos]..pos[parent_pos + 1];
+                let slice = &crd[range.clone()];
+                slice.binary_search(&coord).ok().map(|off| range.start + off)
+            }
+        }
+    }
+
+    /// Like [`LevelStorage::locate`], but also reports how many probes the
+    /// search performed (1 for uncompressed, ~`log₂(range)` for compressed) —
+    /// the quantity the cost simulator charges for discordant traversal.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`LevelStorage::locate`].
+    pub fn locate_counted(&self, parent_pos: usize, coord: usize) -> (Option<usize>, usize) {
+        match self {
+            LevelStorage::Uncompressed { extent } => {
+                debug_assert!(coord < *extent, "coordinate beyond level extent");
+                (Some(parent_pos * extent + coord), 1)
+            }
+            LevelStorage::Compressed { pos, crd } => {
+                let range = pos[parent_pos]..pos[parent_pos + 1];
+                let len = range.len();
+                let probes = (usize::BITS - len.leading_zeros()) as usize + 1;
+                let slice = &crd[range.clone()];
+                (
+                    slice.binary_search(&coord).ok().map(|off| range.start + off),
+                    probes,
+                )
+            }
+        }
+    }
+
+    /// Number of search probes [`LevelStorage::locate`] performs for a parent
+    /// with the given population (used by the cost simulator).
+    pub fn locate_probes(&self, parent_population: usize) -> usize {
+        match self {
+            LevelStorage::Uncompressed { .. } => 1,
+            LevelStorage::Compressed { .. } => {
+                (parent_population.max(1) as f64).log2().ceil() as usize + 1
+            }
+        }
+    }
+}
+
+/// Iterator over `(coordinate, child_position)` pairs of one level.
+#[derive(Debug)]
+pub enum LevelIter<'a> {
+    /// Iteration over a dense interval (`U`).
+    Dense {
+        /// `parent_pos * extent`.
+        base: usize,
+        /// Next coordinate.
+        coord: usize,
+        /// Level extent.
+        extent: usize,
+    },
+    /// Iteration over stored entries (`C`).
+    Sparse {
+        /// The coordinate array.
+        crd: &'a [usize],
+        /// Next position.
+        cur: usize,
+        /// One past the last position.
+        end: usize,
+    },
+}
+
+impl Iterator for LevelIter<'_> {
+    type Item = (usize, usize);
+
+    fn next(&mut self) -> Option<(usize, usize)> {
+        match self {
+            LevelIter::Dense { base, coord, extent } => {
+                if *coord < *extent {
+                    let item = (*coord, *base + *coord);
+                    *coord += 1;
+                    Some(item)
+                } else {
+                    None
+                }
+            }
+            LevelIter::Sparse { crd, cur, end } => {
+                if *cur < *end {
+                    let item = (crd[*cur], *cur);
+                    *cur += 1;
+                    Some(item)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = match self {
+            LevelIter::Dense { coord, extent, .. } => extent - coord,
+            LevelIter::Sparse { cur, end, .. } => end - cur,
+        };
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for LevelIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncompressed_iterate_and_locate() {
+        let l = LevelStorage::Uncompressed { extent: 3 };
+        let items: Vec<_> = l.iterate(2).collect();
+        assert_eq!(items, vec![(0, 6), (1, 7), (2, 8)]);
+        assert_eq!(l.locate(2, 1), Some(7));
+        assert_eq!(l.child_count(4), 12);
+    }
+
+    #[test]
+    fn compressed_iterate_and_locate() {
+        let l = LevelStorage::Compressed {
+            pos: vec![0, 2, 2, 5],
+            crd: vec![1, 3, 0, 2, 4],
+        };
+        let row0: Vec<_> = l.iterate(0).collect();
+        assert_eq!(row0, vec![(1, 0), (3, 1)]);
+        assert_eq!(l.iterate(1).count(), 0);
+        assert_eq!(l.locate(2, 2), Some(3));
+        assert_eq!(l.locate(2, 3), None);
+        assert_eq!(l.locate(0, 3), Some(1));
+        assert_eq!(l.child_count(3), 5);
+    }
+
+    #[test]
+    fn iterator_len() {
+        let l = LevelStorage::Uncompressed { extent: 5 };
+        let mut it = l.iterate(0);
+        assert_eq!(it.len(), 5);
+        it.next();
+        assert_eq!(it.len(), 4);
+    }
+
+    #[test]
+    fn locate_probe_counts() {
+        let u = LevelStorage::Uncompressed { extent: 8 };
+        assert_eq!(u.locate_probes(100), 1);
+        let c = LevelStorage::Compressed { pos: vec![0, 0], crd: vec![] };
+        assert_eq!(c.locate_probes(1), 1);
+        assert_eq!(c.locate_probes(1024), 11);
+    }
+
+    #[test]
+    fn format_display() {
+        assert_eq!(format!("{}", LevelFormat::Uncompressed), "U");
+        assert_eq!(format!("{}", LevelFormat::Compressed), "C");
+    }
+}

@@ -1,0 +1,436 @@
+//! Format specifications: splits, level order, level formats.
+
+use crate::level::LevelFormat;
+use crate::{FormatError, Result};
+
+/// Which half of a split dimension an axis refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AxisPart {
+    /// The outer (quotient) axis: `x1 = x / split`.
+    Outer,
+    /// The inner (remainder) axis: `x0 = x % split`.
+    Inner,
+}
+
+/// One split axis of an original tensor dimension.
+///
+/// Dimension `dim` (0-based tensor mode) split by `s` yields
+/// `Axis { dim, part: Outer }` with extent `⌈N/s⌉` and
+/// `Axis { dim, part: Inner }` with extent `s`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Axis {
+    /// Original tensor mode.
+    pub dim: usize,
+    /// Outer or inner part of the split.
+    pub part: AxisPart,
+}
+
+impl Axis {
+    /// The outer axis of mode `dim`.
+    pub fn outer(dim: usize) -> Self {
+        Axis { dim, part: AxisPart::Outer }
+    }
+
+    /// The inner axis of mode `dim`.
+    pub fn inner(dim: usize) -> Self {
+        Axis { dim, part: AxisPart::Inner }
+    }
+}
+
+impl std::fmt::Display for Axis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names = ["i", "k", "l", "m", "n", "o"];
+        let name = names.get(self.dim).copied().unwrap_or("d");
+        match self.part {
+            AxisPart::Outer => write!(f, "{name}1"),
+            AxisPart::Inner => write!(f, "{name}0"),
+        }
+    }
+}
+
+/// A complete sparse format description for one tensor.
+///
+/// A `FormatSpec` fixes the tensor's dimensions, the per-dimension split
+/// sizes, the storage order of the `2 × ndims` axes, and the level format of
+/// each stored level. Together with a tensor's nonzeros it fully determines a
+/// [`crate::SparseStorage`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FormatSpec {
+    /// Original dimensions of the tensor, e.g. `[nrows, ncols]`.
+    dims: Vec<usize>,
+    /// Split size per dimension (`1` = effectively unsplit).
+    splits: Vec<usize>,
+    /// Storage order of the axes, outermost first. Always a permutation of
+    /// all `2 × ndims` axes.
+    order: Vec<Axis>,
+    /// Level format of each level, parallel to `order`.
+    formats: Vec<LevelFormat>,
+}
+
+impl FormatSpec {
+    /// Creates a validated spec.
+    ///
+    /// # Errors
+    ///
+    /// * [`FormatError::InvalidSpec`] — zero dims/splits, or a split larger
+    ///   than its dimension is clamped rather than rejected, but zero splits
+    ///   are rejected; `formats.len() != order.len()` is rejected.
+    /// * [`FormatError::InvalidOrder`] — `order` is not a permutation of all
+    ///   axes.
+    pub fn new(
+        dims: Vec<usize>,
+        splits: Vec<usize>,
+        order: Vec<Axis>,
+        formats: Vec<LevelFormat>,
+    ) -> Result<Self> {
+        if dims.is_empty() || dims.iter().any(|&d| d == 0) {
+            return Err(FormatError::InvalidSpec(format!("bad dims {dims:?}")));
+        }
+        if splits.len() != dims.len() || splits.iter().any(|&s| s == 0) {
+            return Err(FormatError::InvalidSpec(format!(
+                "splits {splits:?} must be positive and match ndims {}",
+                dims.len()
+            )));
+        }
+        let n_axes = 2 * dims.len();
+        if order.len() != n_axes || formats.len() != n_axes {
+            return Err(FormatError::InvalidOrder(format!(
+                "expected {n_axes} axes, got order={} formats={}",
+                order.len(),
+                formats.len()
+            )));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for a in &order {
+            if a.dim >= dims.len() {
+                return Err(FormatError::InvalidOrder(format!("axis {a} out of range")));
+            }
+            if !seen.insert(*a) {
+                return Err(FormatError::InvalidOrder(format!("axis {a} repeated")));
+            }
+        }
+        // Clamp splits to the dimension size (splitting by more than N is
+        // the same as not splitting).
+        let splits = splits
+            .iter()
+            .zip(&dims)
+            .map(|(&s, &d)| s.min(d))
+            .collect();
+        Ok(Self { dims, splits, order, formats })
+    }
+
+    /// Number of original tensor modes.
+    pub fn ndims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Original dimensions.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Per-dimension split sizes.
+    pub fn splits(&self) -> &[usize] {
+        &self.splits
+    }
+
+    /// The storage order of axes, outermost first.
+    pub fn order(&self) -> &[Axis] {
+        &self.order
+    }
+
+    /// The per-level formats, parallel to [`FormatSpec::order`].
+    pub fn formats(&self) -> &[LevelFormat] {
+        &self.formats
+    }
+
+    /// Number of stored levels (`2 × ndims`).
+    pub fn num_levels(&self) -> usize {
+        self.order.len()
+    }
+
+    /// The extent of an axis under this spec's splits.
+    pub fn axis_extent(&self, axis: Axis) -> usize {
+        let n = self.dims[axis.dim];
+        let s = self.splits[axis.dim];
+        match axis.part {
+            AxisPart::Outer => n.div_ceil(s),
+            AxisPart::Inner => s,
+        }
+    }
+
+    /// Splits an original coordinate along `axis`'s dimension into this
+    /// axis's coordinate.
+    #[inline]
+    pub fn axis_coord(&self, axis: Axis, original: usize) -> usize {
+        let s = self.splits[axis.dim];
+        match axis.part {
+            AxisPart::Outer => original / s,
+            AxisPart::Inner => original % s,
+        }
+    }
+
+    /// Reconstructs the original coordinate of dimension `dim` from its two
+    /// axis coordinates.
+    #[inline]
+    pub fn original_coord(&self, dim: usize, outer: usize, inner: usize) -> usize {
+        outer * self.splits[dim] + inner
+    }
+
+    /// Estimated storage cost in words, *without* building: `pos`/`crd`
+    /// array sizes for compressed levels plus the values array.
+    ///
+    /// `nnz_prefixes[l]` must give the number of distinct coordinate prefixes
+    /// of length `l + 1` in storage order (computable by one pass over sorted
+    /// coordinates; see [`crate::build`]). Uncompressed levels multiply the
+    /// position space; compressed levels reset it to the actual prefix count.
+    pub fn storage_words(&self, nnz_prefixes: &[usize]) -> u64 {
+        let mut words: u64 = 0;
+        let mut pos_count: u64 = 1;
+        for (l, fmt) in self.formats.iter().enumerate() {
+            let extent = self.axis_extent(self.order[l]) as u64;
+            match fmt {
+                LevelFormat::Uncompressed => {
+                    pos_count = pos_count.saturating_mul(extent);
+                }
+                LevelFormat::Compressed => {
+                    // pos array (parent positions + 1) + crd array.
+                    words = words
+                        .saturating_add(pos_count + 1)
+                        .saturating_add(nnz_prefixes[l] as u64);
+                    pos_count = nnz_prefixes[l] as u64;
+                }
+            }
+        }
+        words.saturating_add(pos_count) // values array
+    }
+
+    /// Human-readable format string, e.g. `"i1(U) k1(C) i0(U) k0(U)"`.
+    pub fn describe(&self) -> String {
+        self.order
+            .iter()
+            .zip(&self.formats)
+            .map(|(a, f)| format!("{a}({f})"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    // ---- Named classic formats -------------------------------------------
+
+    /// CSR: row-major, compressed columns, unit splits (`UC` in the paper).
+    pub fn csr(nrows: usize, ncols: usize) -> Self {
+        Self::new(
+            vec![nrows, ncols],
+            vec![1, 1],
+            vec![Axis::outer(0), Axis::outer(1), Axis::inner(0), Axis::inner(1)],
+            vec![
+                LevelFormat::Uncompressed,
+                LevelFormat::Compressed,
+                LevelFormat::Uncompressed,
+                LevelFormat::Uncompressed,
+            ],
+        )
+        .expect("CSR spec is valid")
+    }
+
+    /// CSC: column-major CSR.
+    pub fn csc(nrows: usize, ncols: usize) -> Self {
+        Self::new(
+            vec![nrows, ncols],
+            vec![1, 1],
+            vec![Axis::outer(1), Axis::outer(0), Axis::inner(1), Axis::inner(0)],
+            vec![
+                LevelFormat::Uncompressed,
+                LevelFormat::Compressed,
+                LevelFormat::Uncompressed,
+                LevelFormat::Uncompressed,
+            ],
+        )
+        .expect("CSC spec is valid")
+    }
+
+    /// BCSR with `br × bc` dense blocks (`UCUU` in the paper).
+    pub fn bcsr(nrows: usize, ncols: usize, br: usize, bc: usize) -> Self {
+        Self::new(
+            vec![nrows, ncols],
+            vec![br, bc],
+            vec![Axis::outer(0), Axis::outer(1), Axis::inner(0), Axis::inner(1)],
+            vec![
+                LevelFormat::Uncompressed,
+                LevelFormat::Compressed,
+                LevelFormat::Uncompressed,
+                LevelFormat::Uncompressed,
+            ],
+        )
+        .expect("BCSR spec is valid")
+    }
+
+    /// Fully dense row-major storage (`UU`).
+    pub fn dense(nrows: usize, ncols: usize) -> Self {
+        Self::new(
+            vec![nrows, ncols],
+            vec![1, 1],
+            vec![Axis::outer(0), Axis::outer(1), Axis::inner(0), Axis::inner(1)],
+            vec![LevelFormat::Uncompressed; 4],
+        )
+        .expect("dense spec is valid")
+    }
+
+    /// DCSR (doubly compressed rows): `CC`, for hypersparse matrices.
+    pub fn dcsr(nrows: usize, ncols: usize) -> Self {
+        Self::new(
+            vec![nrows, ncols],
+            vec![1, 1],
+            vec![Axis::outer(0), Axis::outer(1), Axis::inner(0), Axis::inner(1)],
+            vec![
+                LevelFormat::Compressed,
+                LevelFormat::Compressed,
+                LevelFormat::Uncompressed,
+                LevelFormat::Uncompressed,
+            ],
+        )
+        .expect("DCSR spec is valid")
+    }
+
+    /// The "sparse block" format the paper highlights for SpMM locality
+    /// (§5.2.1): `k1(U) → i(U) → k0(C)` with a large `k` split.
+    pub fn sparse_block(nrows: usize, ncols: usize, ksplit: usize) -> Self {
+        Self::new(
+            vec![nrows, ncols],
+            vec![1, ksplit],
+            vec![Axis::outer(1), Axis::outer(0), Axis::inner(1), Axis::inner(0)],
+            vec![
+                LevelFormat::Uncompressed,
+                LevelFormat::Uncompressed,
+                LevelFormat::Compressed,
+                LevelFormat::Uncompressed,
+            ],
+        )
+        .expect("sparse-block spec is valid")
+    }
+
+    /// CSF for a 3-D tensor (`CCC` over unit splits, mode order i→k→l).
+    pub fn csf3(dims: [usize; 3]) -> Self {
+        Self::new(
+            dims.to_vec(),
+            vec![1, 1, 1],
+            vec![
+                Axis::outer(0),
+                Axis::outer(1),
+                Axis::outer(2),
+                Axis::inner(0),
+                Axis::inner(1),
+                Axis::inner(2),
+            ],
+            vec![
+                LevelFormat::Compressed,
+                LevelFormat::Compressed,
+                LevelFormat::Compressed,
+                LevelFormat::Uncompressed,
+                LevelFormat::Uncompressed,
+                LevelFormat::Uncompressed,
+            ],
+        )
+        .expect("CSF spec is valid")
+    }
+}
+
+impl std::fmt::Display for FormatSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_shape() {
+        let s = FormatSpec::csr(10, 20);
+        assert_eq!(s.num_levels(), 4);
+        assert_eq!(s.axis_extent(Axis::outer(0)), 10);
+        assert_eq!(s.axis_extent(Axis::inner(0)), 1);
+        assert_eq!(s.describe(), "i1(U) k1(C) i0(U) k0(U)");
+    }
+
+    #[test]
+    fn bcsr_extents() {
+        let s = FormatSpec::bcsr(10, 20, 4, 8);
+        assert_eq!(s.axis_extent(Axis::outer(0)), 3); // ceil(10/4)
+        assert_eq!(s.axis_extent(Axis::inner(0)), 4);
+        assert_eq!(s.axis_extent(Axis::outer(1)), 3); // ceil(20/8)
+        assert_eq!(s.axis_extent(Axis::inner(1)), 8);
+    }
+
+    #[test]
+    fn coord_split_roundtrip() {
+        let s = FormatSpec::bcsr(100, 100, 8, 8);
+        for x in [0usize, 7, 8, 63, 99] {
+            let outer = s.axis_coord(Axis::outer(0), x);
+            let inner = s.axis_coord(Axis::inner(0), x);
+            assert_eq!(s.original_coord(0, outer, inner), x);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_order() {
+        let r = FormatSpec::new(
+            vec![4, 4],
+            vec![1, 1],
+            vec![Axis::outer(0), Axis::outer(0), Axis::inner(0), Axis::inner(1)],
+            vec![LevelFormat::Uncompressed; 4],
+        );
+        assert!(matches!(r, Err(FormatError::InvalidOrder(_))));
+    }
+
+    #[test]
+    fn rejects_zero_split() {
+        let r = FormatSpec::new(
+            vec![4, 4],
+            vec![0, 1],
+            vec![Axis::outer(0), Axis::outer(1), Axis::inner(0), Axis::inner(1)],
+            vec![LevelFormat::Uncompressed; 4],
+        );
+        assert!(matches!(r, Err(FormatError::InvalidSpec(_))));
+    }
+
+    #[test]
+    fn split_clamped_to_dim() {
+        let s = FormatSpec::new(
+            vec![4, 4],
+            vec![100, 1],
+            vec![Axis::outer(0), Axis::outer(1), Axis::inner(0), Axis::inner(1)],
+            vec![LevelFormat::Uncompressed; 4],
+        )
+        .unwrap();
+        assert_eq!(s.splits()[0], 4);
+        assert_eq!(s.axis_extent(Axis::outer(0)), 1);
+    }
+
+    #[test]
+    fn dense_storage_words() {
+        let s = FormatSpec::dense(8, 8);
+        // Prefix counts are irrelevant for all-U formats.
+        assert_eq!(s.storage_words(&[0, 0, 0, 0]), 64);
+    }
+
+    #[test]
+    fn csr_storage_words() {
+        let s = FormatSpec::csr(4, 4);
+        // 5 nonzeros, all in distinct (row) prefixes except two sharing a row.
+        // prefixes: after level0 (i1): 3 rows touched; level1 (k1): 5; then
+        // unit splits keep 5.
+        let words = s.storage_words(&[3, 5, 5, 5]);
+        // pos: 4+1, crd: 5, vals: 5.
+        assert_eq!(words, 5 + 5 + 5);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(format!("{}", Axis::outer(1)), "k1");
+        assert_eq!(format!("{}", Axis::inner(2)), "l0");
+        let s = FormatSpec::csf3([4, 4, 4]);
+        assert!(format!("{s}").starts_with("i1(C) k1(C) l1(C)"));
+    }
+}

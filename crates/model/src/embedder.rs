@@ -1,0 +1,219 @@
+//! The program embedder (Figure 11): categorical lookup tables and
+//! permutation MLPs fused into one program embedding.
+
+use waco_nn::layers::{Embedding, Mlp};
+use waco_nn::{Mat, Param};
+use waco_schedule::encode::{Encoded, Layout, Segment};
+use waco_tensor::gen::Rng64;
+
+/// Embeds encoded SuperSchedules.
+///
+/// Each categorical parameter passes a learnable lookup table (the green
+/// boxes of Figure 11); each permutation parameter is flattened to its
+/// permutation matrix and passed through linear-ReLU layers (the orange
+/// boxes); everything is concatenated and fused by a final MLP into the
+/// program embedding.
+pub struct ProgramEmbedder {
+    layout: Layout,
+    cat_embeds: Vec<Embedding>,
+    perm_mlps: Vec<Mlp>,
+    fuse: Mlp,
+    cat_dim: usize,
+    perm_dim: usize,
+}
+
+impl std::fmt::Debug for ProgramEmbedder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgramEmbedder")
+            .field("categoricals", &self.cat_embeds.len())
+            .field("permutations", &self.perm_mlps.len())
+            .field("out_dim", &self.out_dim())
+            .finish()
+    }
+}
+
+impl ProgramEmbedder {
+    /// Builds the embedder for an encoding layout.
+    pub fn new(
+        layout: &Layout,
+        cat_dim: usize,
+        perm_dim: usize,
+        embed_dim: usize,
+        rng: &mut Rng64,
+    ) -> Self {
+        let mut cat_embeds = Vec::new();
+        let mut perm_mlps = Vec::new();
+        for seg in &layout.segments {
+            match seg {
+                Segment::Categorical { cardinality, .. } => {
+                    cat_embeds.push(Embedding::new(*cardinality, cat_dim, rng));
+                }
+                Segment::Permutation { n, .. } => {
+                    perm_mlps.push(Mlp::new(&[n * n, 2 * perm_dim, perm_dim], true, rng));
+                }
+            }
+        }
+        let concat = cat_embeds.len() * cat_dim + perm_mlps.len() * perm_dim;
+        let fuse = Mlp::new(&[concat, 2 * embed_dim, embed_dim], false, rng);
+        Self { layout: layout.clone(), cat_embeds, perm_mlps, fuse, cat_dim, perm_dim }
+    }
+
+    /// Program embedding width.
+    pub fn out_dim(&self) -> usize {
+        self.fuse.out_dim()
+    }
+
+    /// The layout this embedder was built for.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    fn perm_matrix_row(perm: &[usize]) -> Vec<f32> {
+        let n = perm.len();
+        let mut row = vec![0.0f32; n * n];
+        for (pos, &item) in perm.iter().enumerate() {
+            row[pos * n + item] = 1.0;
+        }
+        row
+    }
+
+    /// Embeds a batch of encoded schedules (caching for backward).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any encoding does not match the layout or `encs` is empty.
+    pub fn forward_batch(&mut self, encs: &[Encoded]) -> Mat {
+        assert!(!encs.is_empty(), "empty batch");
+        let b = encs.len();
+        let mut parts: Vec<Mat> = Vec::new();
+        for (s, emb) in self.cat_embeds.iter_mut().enumerate() {
+            let idxs: Vec<usize> = encs.iter().map(|e| e.categorical[s]).collect();
+            parts.push(emb.forward(&idxs));
+        }
+        for (p, mlp) in self.perm_mlps.iter_mut().enumerate() {
+            let n = encs[0].permutations[p].len();
+            let mut input = Mat::zeros(b, n * n);
+            for (r, e) in encs.iter().enumerate() {
+                input
+                    .row_mut(r)
+                    .copy_from_slice(&Self::perm_matrix_row(&e.permutations[p]));
+            }
+            parts.push(mlp.forward(&input));
+        }
+        let refs: Vec<&Mat> = parts.iter().collect();
+        let cat = Mat::concat_cols(&refs);
+        self.fuse.forward(&cat)
+    }
+
+    /// Backward for the latest [`ProgramEmbedder::forward_batch`].
+    pub fn backward_batch(&mut self, grad: &Mat) {
+        let dcat = self.fuse.backward(grad);
+        let mut widths = vec![self.cat_dim; self.cat_embeds.len()];
+        widths.extend(vec![self.perm_dim; self.perm_mlps.len()]);
+        let parts = dcat.split_cols(&widths);
+        for (s, emb) in self.cat_embeds.iter_mut().enumerate() {
+            emb.backward(&parts[s]);
+        }
+        for (p, mlp) in self.perm_mlps.iter_mut().enumerate() {
+            let _ = mlp.backward(&parts[self.cat_embeds.len() + p]);
+        }
+    }
+
+    /// Embeds one encoding without caching (inference).
+    pub fn infer_one(&self, enc: &Encoded) -> Vec<f32> {
+        let mut parts: Vec<Mat> = Vec::new();
+        for (s, emb) in self.cat_embeds.iter().enumerate() {
+            parts.push(emb.lookup(&[enc.categorical[s]]));
+        }
+        for (p, mlp) in self.perm_mlps.iter().enumerate() {
+            let row = Self::perm_matrix_row(&enc.permutations[p]);
+            parts.push(mlp.infer(&Mat::row_vector(&row)));
+        }
+        let refs: Vec<&Mat> = parts.iter().collect();
+        let cat = Mat::concat_cols(&refs);
+        self.fuse.infer(&cat).row(0).to_vec()
+    }
+
+    /// Zeroes all parameter gradients.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Mutable references to all parameters in a stable order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut out: Vec<&mut Param> = Vec::new();
+        for e in &mut self.cat_embeds {
+            out.push(&mut e.table);
+        }
+        for m in &mut self.perm_mlps {
+            out.extend(m.params_mut());
+        }
+        out.extend(self.fuse.params_mut());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waco_schedule::sample::sample_many;
+    use waco_schedule::{encode, Kernel, Space};
+
+    fn setup() -> (Space, ProgramEmbedder, Vec<Encoded>) {
+        let mut rng = Rng64::seed_from(1);
+        let space = Space::new(Kernel::SpMM, vec![32, 32], 8);
+        let layout = encode::layout(&space);
+        let emb = ProgramEmbedder::new(&layout, 4, 8, 16, &mut rng);
+        let encs: Vec<Encoded> = sample_many(&space, 5, &mut rng)
+            .iter()
+            .map(|s| encode::encode_structured(s, &space))
+            .collect();
+        (space, emb, encs)
+    }
+
+    #[test]
+    fn batch_shapes() {
+        let (_s, mut emb, encs) = setup();
+        let out = emb.forward_batch(&encs);
+        assert_eq!(out.rows(), 5);
+        assert_eq!(out.cols(), 16);
+    }
+
+    #[test]
+    fn infer_matches_batch() {
+        let (_s, mut emb, encs) = setup();
+        let batch = emb.forward_batch(&encs);
+        for (r, e) in encs.iter().enumerate() {
+            let one = emb.infer_one(e);
+            for c in 0..16 {
+                assert!((one[c] - batch.get(r, c)).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn backward_produces_grads() {
+        let (_s, mut emb, encs) = setup();
+        let out = emb.forward_batch(&encs);
+        emb.zero_grad();
+        emb.backward_batch(&Mat::from_fn(out.rows(), out.cols(), |_, _| 1.0));
+        assert!(emb.params_mut().iter().any(|p| p.grad.max_abs() > 0.0));
+    }
+
+    #[test]
+    fn different_schedules_embed_differently() {
+        let (_s, mut emb, encs) = setup();
+        let out = emb.forward_batch(&encs);
+        let a: Vec<f32> = out.row(0).to_vec();
+        let b: Vec<f32> = out.row(1).to_vec();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let (_s, emb, _e) = setup();
+        assert!(format!("{emb:?}").contains("ProgramEmbedder"));
+    }
+}

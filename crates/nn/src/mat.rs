@@ -1,0 +1,337 @@
+//! Row-major `f32` matrices with the kernels backpropagation needs.
+
+use waco_tensor::gen::Rng64;
+
+/// A dense row-major `f32` matrix (rows usually index a batch).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Mat {
+    /// An all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds from a row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// A matrix whose entry `(r, c)` is `f(r, c)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.data[r * cols + c] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// A single row vector from a slice.
+    pub fn row_vector(v: &[f32]) -> Self {
+        Self::from_vec(1, v.len(), v.to_vec())
+    }
+
+    /// Xavier/Glorot-uniform initialization.
+    pub fn xavier(rows: usize, cols: usize, rng: &mut Rng64) -> Self {
+        let bound = (6.0 / (rows + cols) as f64).sqrt();
+        Self::from_fn(rows, cols, |_, _| ((rng.unit_f64() * 2.0 - 1.0) * bound) as f32)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The raw buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The raw mutable buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// `self · other` (`[m×k] · [k×n] → [m×n]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Mat) -> Mat {
+        assert_eq!(self.cols, other.rows, "matmul inner dim mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Mat::zeros(m, n);
+        for i in 0..m {
+            let arow = self.row(i);
+            let orow = out.row_mut(i);
+            for (p, &a) in arow.iter().enumerate().take(k) {
+                if a == 0.0 {
+                    continue; // one-hot inputs are common; skip zero work
+                }
+                let brow = other.row(p);
+                for j in 0..n {
+                    orow[j] += a * brow[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` (`[k×m]ᵀ · [k×n] → [m×n]`) — the `dW = Xᵀ·dY` kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics on row-count mismatch.
+    pub fn matmul_tn(&self, other: &Mat) -> Mat {
+        assert_eq!(self.rows, other.rows, "matmul_tn row mismatch");
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        let mut out = Mat::zeros(m, n);
+        for p in 0..k {
+            let arow = self.row(p);
+            let brow = other.row(p);
+            for (i, &a) in arow.iter().enumerate().take(m) {
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = out.row_mut(i);
+                for j in 0..n {
+                    orow[j] += a * brow[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` (`[m×k] · [n×k]ᵀ → [m×n]`) — the `dX = dY·Wᵀ` kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics on column-count mismatch.
+    pub fn matmul_nt(&self, other: &Mat) -> Mat {
+        assert_eq!(self.cols, other.cols, "matmul_nt col mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = Mat::zeros(m, n);
+        for i in 0..m {
+            let arow = self.row(i);
+            let orow = out.row_mut(i);
+            for j in 0..n {
+                let brow = other.row(j);
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += arow[p] * brow[p];
+                }
+                orow[j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Adds `other` element-wise in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Mat) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Adds the row vector `bias` to every row in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != cols`.
+    pub fn add_bias(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols, "bias length mismatch");
+        for r in 0..self.rows {
+            for (x, b) in self.row_mut(r).iter_mut().zip(bias) {
+                *x += b;
+            }
+        }
+    }
+
+    /// Multiplies every element by `s` in place.
+    pub fn scale(&mut self, s: f32) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+
+    /// Fills with zeros in place.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Sums each column over rows, producing a length-`cols` vector — the
+    /// bias-gradient kernel.
+    pub fn col_sums(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for (o, &x) in out.iter_mut().zip(self.row(r)) {
+                *o += x;
+            }
+        }
+        out
+    }
+
+    /// Concatenates matrices horizontally (same row counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts differ or `parts` is empty.
+    pub fn concat_cols(parts: &[&Mat]) -> Mat {
+        assert!(!parts.is_empty(), "concat of nothing");
+        let rows = parts[0].rows;
+        assert!(parts.iter().all(|p| p.rows == rows), "row count mismatch");
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        let mut out = Mat::zeros(rows, cols);
+        for r in 0..rows {
+            let orow = out.row_mut(r);
+            let mut off = 0;
+            for p in parts {
+                orow[off..off + p.cols].copy_from_slice(p.row(r));
+                off += p.cols;
+            }
+        }
+        out
+    }
+
+    /// Splits a matrix column-wise into blocks of the given widths (inverse
+    /// of [`Mat::concat_cols`], used to route concatenated gradients).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths do not sum to `cols`.
+    pub fn split_cols(&self, widths: &[usize]) -> Vec<Mat> {
+        assert_eq!(widths.iter().sum::<usize>(), self.cols, "split widths mismatch");
+        let mut out = Vec::with_capacity(widths.len());
+        let mut off = 0;
+        for &w in widths {
+            let mut part = Mat::zeros(self.rows, w);
+            for r in 0..self.rows {
+                part.row_mut(r).copy_from_slice(&self.row(r)[off..off + w]);
+            }
+            out.push(part);
+            off += w;
+        }
+        out
+    }
+
+    /// Maximum absolute element.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0, |m, &x| m.max(x.abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small() {
+        let a = Mat::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Mat::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_tn_equals_transpose_matmul() {
+        let a = Mat::from_fn(4, 3, |r, c| (r + 2 * c) as f32);
+        let b = Mat::from_fn(4, 2, |r, c| (r * c + 1) as f32);
+        let tn = a.matmul_tn(&b);
+        // Explicit transpose.
+        let at = Mat::from_fn(3, 4, |r, c| a.get(c, r));
+        let expect = at.matmul(&b);
+        assert_eq!(tn, expect);
+    }
+
+    #[test]
+    fn matmul_nt_equals_matmul_transpose() {
+        let a = Mat::from_fn(2, 3, |r, c| (r + c) as f32);
+        let b = Mat::from_fn(4, 3, |r, c| (r * 2 + c) as f32);
+        let nt = a.matmul_nt(&b);
+        let bt = Mat::from_fn(3, 4, |r, c| b.get(c, r));
+        assert_eq!(nt, a.matmul(&bt));
+    }
+
+    #[test]
+    fn bias_and_sums() {
+        let mut m = Mat::zeros(3, 2);
+        m.add_bias(&[1.0, -2.0]);
+        assert_eq!(m.col_sums(), vec![3.0, -6.0]);
+    }
+
+    #[test]
+    fn concat_split_roundtrip() {
+        let a = Mat::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+        let b = Mat::from_fn(2, 2, |r, c| 100.0 + (r * 2 + c) as f32);
+        let cat = Mat::concat_cols(&[&a, &b]);
+        assert_eq!(cat.cols(), 5);
+        let parts = cat.split_cols(&[3, 2]);
+        assert_eq!(parts[0], a);
+        assert_eq!(parts[1], b);
+    }
+
+    #[test]
+    fn xavier_bounded() {
+        let mut rng = Rng64::seed_from(1);
+        let m = Mat::xavier(64, 64, &mut rng);
+        let bound = (6.0f32 / 128.0).sqrt();
+        assert!(m.max_abs() <= bound + 1e-6);
+        assert!(m.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn scale_and_zero() {
+        let mut m = Mat::from_vec(1, 3, vec![1., 2., 3.]);
+        m.scale(2.0);
+        assert_eq!(m.as_slice(), &[2., 4., 6.]);
+        m.fill_zero();
+        assert_eq!(m.max_abs(), 0.0);
+    }
+}

@@ -1,0 +1,324 @@
+//! Neural-network encoding of SuperSchedules (the program embedder's input).
+//!
+//! Following §4.1.2 of the paper, each **categorical** parameter (split
+//! sizes, parallelized variable, thread count, chunk size, level formats)
+//! becomes an index into a learnable lookup table, and each **permutation**
+//! parameter (loop order, level order) becomes a permutation matrix fed
+//! through linear-ReLU layers. [`layout`] describes the segments for a given
+//! [`Space`]; [`encode_structured`] produces indices + matrices;
+//! [`encode`] flattens everything to one `Vec<f32>` (one-hot categoricals)
+//! for distance computations and tests.
+
+use crate::{Space, SuperSchedule};
+use waco_format::LevelFormat;
+
+/// One input segment of the program embedder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Segment {
+    /// A categorical parameter with the given number of choices.
+    Categorical {
+        /// Parameter name (diagnostics).
+        name: String,
+        /// Number of categories.
+        cardinality: usize,
+    },
+    /// A permutation of `n` items, presented as an `n × n` matrix.
+    Permutation {
+        /// Parameter name (diagnostics).
+        name: String,
+        /// Number of permuted items.
+        n: usize,
+    },
+}
+
+/// The encoding layout of a space: segment descriptions in a fixed order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    /// The segments, in encoding order.
+    pub segments: Vec<Segment>,
+}
+
+impl Layout {
+    /// Total flattened length (one-hots + permutation matrices).
+    pub fn total_len(&self) -> usize {
+        self.segments
+            .iter()
+            .map(|s| match s {
+                Segment::Categorical { cardinality, .. } => *cardinality,
+                Segment::Permutation { n, .. } => n * n,
+            })
+            .sum()
+    }
+
+    /// Number of categorical segments.
+    pub fn num_categorical(&self) -> usize {
+        self.segments
+            .iter()
+            .filter(|s| matches!(s, Segment::Categorical { .. }))
+            .count()
+    }
+
+    /// Number of permutation segments.
+    pub fn num_permutations(&self) -> usize {
+        self.segments
+            .iter()
+            .filter(|s| matches!(s, Segment::Permutation { .. }))
+            .count()
+    }
+}
+
+/// The structured encoding: categorical indices and permutation matrices, in
+/// layout order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Encoded {
+    /// One index per categorical segment.
+    pub categorical: Vec<usize>,
+    /// One `position → item` mapping per permutation segment.
+    pub permutations: Vec<Vec<usize>>,
+}
+
+/// Builds the encoding layout for a space.
+///
+/// Segment order: split (per splittable dim) · parallel var (+1 "serial"
+/// category) · threads · chunk · level formats (per axis) · loop-order
+/// permutation · level-order permutation.
+pub fn layout(space: &Space) -> Layout {
+    let kernel = space.kernel;
+    let mut segments = Vec::new();
+    for d in 0..kernel.ndims() {
+        if kernel.is_splittable(d) {
+            segments.push(Segment::Categorical {
+                name: format!("split_{}", kernel.dim_names()[d]),
+                cardinality: space.max_split_log2 as usize + 1,
+            });
+        }
+    }
+    segments.push(Segment::Categorical {
+        name: "parallel_var".into(),
+        cardinality: space.parallelizable_vars().len() + 1, // + serial
+    });
+    segments.push(Segment::Categorical {
+        name: "threads".into(),
+        cardinality: space.thread_options.len(),
+    });
+    segments.push(Segment::Categorical {
+        name: "chunk".into(),
+        cardinality: space.max_chunk_log2 as usize + 1,
+    });
+    for (l, axis) in space.a_axes().iter().enumerate() {
+        segments.push(Segment::Categorical {
+            name: format!("format_l{l}_{axis}"),
+            cardinality: 2,
+        });
+    }
+    segments.push(Segment::Permutation {
+        name: "loop_order".into(),
+        n: space.loop_vars().len(),
+    });
+    segments.push(Segment::Permutation {
+        name: "level_order".into(),
+        n: space.a_axes().len(),
+    });
+    Layout { segments }
+}
+
+fn log2_index(x: usize) -> usize {
+    (usize::BITS - 1 - x.max(1).leading_zeros()) as usize
+}
+
+/// Encodes a schedule into categorical indices + permutations.
+///
+/// # Panics
+///
+/// Panics if the schedule does not belong to the space (call
+/// [`SuperSchedule::validate`] first).
+pub fn encode_structured(s: &SuperSchedule, space: &Space) -> Encoded {
+    let kernel = space.kernel;
+    let mut categorical = Vec::new();
+    for d in 0..kernel.ndims() {
+        if kernel.is_splittable(d) {
+            categorical.push(log2_index(s.splits[d]).min(space.max_split_log2 as usize));
+        }
+    }
+    let par_vars = space.parallelizable_vars();
+    match &s.parallel {
+        None => {
+            categorical.push(0); // serial
+            categorical.push(0);
+            categorical.push(0);
+        }
+        Some(p) => {
+            let var_idx = par_vars
+                .iter()
+                .position(|v| *v == p.var)
+                .expect("parallel var must be parallelizable");
+            categorical.push(var_idx + 1);
+            let t_idx = space
+                .thread_options
+                .iter()
+                .position(|&t| t == p.threads)
+                .unwrap_or(0);
+            categorical.push(t_idx);
+            categorical.push(log2_index(p.chunk).min(space.max_chunk_log2 as usize));
+        }
+    }
+    for fmt in &s.format.formats {
+        categorical.push(match fmt {
+            LevelFormat::Uncompressed => 0,
+            LevelFormat::Compressed => 1,
+        });
+    }
+
+    let canon_vars = space.loop_vars();
+    let loop_perm: Vec<usize> = s
+        .loop_order
+        .iter()
+        .map(|v| canon_vars.iter().position(|c| c == v).expect("var in space"))
+        .collect();
+    let canon_axes = space.a_axes();
+    let level_perm: Vec<usize> = s
+        .format
+        .order
+        .iter()
+        .map(|a| canon_axes.iter().position(|c| c == a).expect("axis in space"))
+        .collect();
+
+    Encoded { categorical, permutations: vec![loop_perm, level_perm] }
+}
+
+/// Flattens a schedule into a single `f32` vector (one-hot categoricals +
+/// flattened permutation matrices), matching [`Layout::total_len`].
+pub fn encode(s: &SuperSchedule, space: &Space) -> Vec<f32> {
+    let lay = layout(space);
+    let enc = encode_structured(s, space);
+    let mut out = Vec::with_capacity(lay.total_len());
+    let mut cat_iter = enc.categorical.iter();
+    let mut perm_iter = enc.permutations.iter();
+    for seg in &lay.segments {
+        match seg {
+            Segment::Categorical { cardinality, .. } => {
+                let idx = *cat_iter.next().expect("categorical count matches layout");
+                debug_assert!(idx < *cardinality, "index {idx} < cardinality {cardinality}");
+                for i in 0..*cardinality {
+                    out.push(if i == idx { 1.0 } else { 0.0 });
+                }
+            }
+            Segment::Permutation { n, .. } => {
+                let perm = perm_iter.next().expect("permutation count matches layout");
+                debug_assert_eq!(perm.len(), *n);
+                let mut matrix = vec![0.0f32; n * n];
+                for (pos, &item) in perm.iter().enumerate() {
+                    matrix[pos * n + item] = 1.0;
+                }
+                out.extend(matrix);
+            }
+        }
+    }
+    debug_assert_eq!(out.len(), lay.total_len());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{named, Kernel};
+    use waco_tensor::gen::Rng64;
+
+    fn space() -> Space {
+        Space::new(Kernel::SpMM, vec![64, 64], 16)
+    }
+
+    #[test]
+    fn layout_shape_spmm() {
+        let lay = layout(&space());
+        // 3 splits + parallel var + threads + chunk + 4 formats = 10
+        // categoricals; 2 permutations (6 vars, 4 axes).
+        assert_eq!(lay.num_categorical(), 10);
+        assert_eq!(lay.num_permutations(), 2);
+        let expected = 16 * 3 + (4 + 1) + 2 + 9 + 2 * 4 + 36 + 16;
+        assert_eq!(lay.total_len(), expected);
+    }
+
+    #[test]
+    fn layout_mttkrp_skips_j_split() {
+        let space = Space::new(Kernel::MTTKRP, vec![8, 8, 8], 4);
+        let lay = layout(&space);
+        // splits: i,k,l only (j unsplittable).
+        let split_segs = lay
+            .segments
+            .iter()
+            .filter(|s| matches!(s, Segment::Categorical { name, .. } if name.starts_with("split")))
+            .count();
+        assert_eq!(split_segs, 3);
+    }
+
+    #[test]
+    fn encode_is_deterministic_and_sized() {
+        let space = space();
+        let mut rng = Rng64::seed_from(1);
+        for _ in 0..50 {
+            let s = SuperSchedule::sample(&space, &mut rng);
+            let a = encode(&s, &space);
+            let b = encode(&s, &space);
+            assert_eq!(a, b);
+            assert_eq!(a.len(), layout(&space).total_len());
+        }
+    }
+
+    #[test]
+    fn distinct_schedules_encode_differently() {
+        let space = space();
+        let mut rng = Rng64::seed_from(2);
+        let a = SuperSchedule::sample(&space, &mut rng);
+        let mut b = a.clone();
+        b.splits[0] = if a.splits[0] == 1 { 2 } else { 1 };
+        assert_ne!(encode(&a, &space), encode(&b, &space));
+    }
+
+    #[test]
+    fn permutation_matrix_is_doubly_stochastic() {
+        let space = space();
+        let mut rng = Rng64::seed_from(3);
+        let s = SuperSchedule::sample(&space, &mut rng);
+        let enc = encode_structured(&s, &space);
+        for perm in &enc.permutations {
+            let mut seen = vec![false; perm.len()];
+            for &p in perm {
+                assert!(!seen[p], "permutation must be a bijection");
+                seen[p] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn serial_schedule_encodes() {
+        let space = space();
+        let mut s = named::default_csr(&space);
+        s.parallel = None;
+        let enc = encode_structured(&s, &space);
+        // parallel var categorical (index 3 after 3 split segments) is 0.
+        assert_eq!(enc.categorical[3], 0);
+        let _ = encode(&s, &space);
+    }
+
+    #[test]
+    fn log2_indices() {
+        assert_eq!(log2_index(1), 0);
+        assert_eq!(log2_index(2), 1);
+        assert_eq!(log2_index(256), 8);
+        assert_eq!(log2_index(0), 0, "clamped");
+    }
+
+    #[test]
+    fn default_schedule_round_trip_indices() {
+        let space = space();
+        let s = named::default_csr(&space);
+        let enc = encode_structured(&s, &space);
+        // splits 1,1,1 → log2 indices 0,0,0.
+        assert_eq!(&enc.categorical[..3], &[0, 0, 0]);
+        // chunk 32 → index 5.
+        assert_eq!(enc.categorical[5], 5);
+        // formats U,C,U,U → 0,1,0,0.
+        assert_eq!(&enc.categorical[6..10], &[0, 1, 0, 0]);
+    }
+}

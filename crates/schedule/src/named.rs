@@ -1,0 +1,333 @@
+//! Named reference schedules: TACO defaults and concordant schedules.
+
+use crate::{FormatSchedule, Kernel, LoopVar, Parallelize, Space, SuperSchedule};
+use waco_format::{Axis, LevelFormat};
+
+/// The TACO default used by the paper's **Fixed CSR** baseline: CSR (CSF for
+/// MTTKRP), unit splits, row-major concordant loops, parallelized over the
+/// outer row loop with the paper's fixed chunk sizes (§5.1: 128 for SpMV, 32
+/// for the rest) and the largest thread count in the menu.
+pub fn default_csr(space: &Space) -> SuperSchedule {
+    let kernel = space.kernel;
+    let ndims = kernel.ndims();
+    let nsparse = kernel.sparse_ndims();
+
+    let splits = vec![1usize; ndims];
+
+    // Outer vars in dimension order, then inner vars (which are trivial
+    // because all splits are 1): the classic i → k → j nest.
+    let mut loop_order: Vec<LoopVar> = (0..ndims).map(LoopVar::outer).collect();
+    for d in 0..ndims {
+        if kernel.is_splittable(d) {
+            loop_order.push(LoopVar::inner(d));
+        }
+    }
+
+    // Sparse levels: dense rows, compressed below — CSR for matrices
+    // (U C), CSF-like (C C C) for the 3-D tensor.
+    let mut order: Vec<Axis> = (0..nsparse).map(Axis::outer).collect();
+    order.extend((0..nsparse).map(Axis::inner));
+    let mut formats = Vec::with_capacity(order.len());
+    for l in 0..order.len() {
+        let fmt = if l < nsparse {
+            if kernel == Kernel::MTTKRP {
+                LevelFormat::Compressed // CSF: every outer level compressed
+            } else if l == 0 {
+                LevelFormat::Uncompressed
+            } else {
+                LevelFormat::Compressed
+            }
+        } else {
+            LevelFormat::Uncompressed // trivial inner levels
+        };
+        formats.push(fmt);
+    }
+
+    let chunk = if kernel == Kernel::SpMV { 128 } else { 32 };
+    let threads = *space.thread_options.iter().max().expect("non-empty thread menu");
+
+    SuperSchedule {
+        kernel,
+        splits,
+        loop_order,
+        parallel: Some(Parallelize { var: LoopVar::outer(0), threads, chunk }),
+        format: FormatSchedule { order, formats },
+    }
+}
+
+/// A schedule whose traversal order is *concordant* with the given format
+/// schedule: sparse loops follow the storage order of `A`'s levels, dense
+/// loops are appended innermost, and parallelization lands on the first
+/// parallelizable loop.
+///
+/// This is the "F." (format-only tuning) configuration of Table 1: the format
+/// varies, the traversal is whatever that format stores naturally.
+pub fn concordant(
+    space: &Space,
+    splits: Vec<usize>,
+    format: FormatSchedule,
+    threads: usize,
+    chunk: usize,
+) -> SuperSchedule {
+    let kernel = space.kernel;
+    let nsparse = kernel.sparse_ndims();
+    let mut loop_order: Vec<LoopVar> = format
+        .order
+        .iter()
+        .map(|a| LoopVar { dim: a.dim, part: a.part })
+        .collect();
+    // Dense-only dims innermost, outer part first.
+    for d in nsparse..kernel.ndims() {
+        loop_order.push(LoopVar::outer(d));
+        if kernel.is_splittable(d) {
+            loop_order.push(LoopVar::inner(d));
+        }
+    }
+    let par_var = loop_order
+        .iter()
+        .copied()
+        .find(|v| !kernel.is_reduction(v.dim));
+    SuperSchedule {
+        kernel,
+        splits,
+        loop_order,
+        parallel: par_var.map(|var| Parallelize { var, threads, chunk }),
+        format,
+    }
+}
+
+/// A format schedule in canonical (row-major, outer-then-inner) order with
+/// the given per-level formats.
+///
+/// # Panics
+///
+/// Panics if `formats.len() != 2 * kernel.sparse_ndims()`.
+pub fn canonical_format(kernel: Kernel, formats: Vec<LevelFormat>) -> FormatSchedule {
+    let nsparse = kernel.sparse_ndims();
+    assert_eq!(formats.len(), 2 * nsparse, "need one format per axis");
+    let mut order: Vec<Axis> = (0..nsparse).map(Axis::outer).collect();
+    order.extend((0..nsparse).map(Axis::inner));
+    FormatSchedule { order, formats }
+}
+
+/// The five candidate formats used by the **BestFormat** baseline for 2-D
+/// kernels: CSR, CSC, BCSR 16×16 (at the SIMD threshold), DCSR, and the
+/// sparse-block format
+/// (`k1(U) i1(U) k0(C)` with a large k split). Returned as
+/// `(name, splits, format_schedule)` tuples; pair with [`concordant`] to get
+/// runnable schedules.
+pub fn best_format_candidates(space: &Space) -> Vec<(String, Vec<usize>, FormatSchedule)> {
+    let kernel = space.kernel;
+    let ndims = kernel.ndims();
+    assert_eq!(kernel.sparse_ndims(), 2, "2-D candidates requested for {kernel}");
+    let u = LevelFormat::Uncompressed;
+    let c = LevelFormat::Compressed;
+    let unit = vec![1usize; ndims];
+    let mut blocked = vec![1usize; ndims];
+    blocked[0] = 16;
+    blocked[1] = 16;
+    let mut ksplit = vec![1usize; ndims];
+    ksplit[1] = (space.dim_extent(1) / 4).max(1).next_power_of_two();
+
+    vec![
+        (
+            "CSR".into(),
+            unit.clone(),
+            canonical_format(kernel, vec![u, c, u, u]),
+        ),
+        (
+            "CSC".into(),
+            unit.clone(),
+            FormatSchedule {
+                order: vec![Axis::outer(1), Axis::outer(0), Axis::inner(1), Axis::inner(0)],
+                formats: vec![u, c, u, u],
+            },
+        ),
+        (
+            "BCSR16x16".into(),
+            blocked,
+            canonical_format(kernel, vec![u, c, u, u]),
+        ),
+        (
+            "DCSR".into(),
+            unit,
+            canonical_format(kernel, vec![c, c, u, u]),
+        ),
+        (
+            "SparseBlock".into(),
+            ksplit,
+            FormatSchedule {
+                order: vec![Axis::outer(1), Axis::outer(0), Axis::inner(1), Axis::inner(0)],
+                formats: vec![u, u, c, u],
+            },
+        ),
+    ]
+}
+
+/// Candidate formats for the 3-D MTTKRP (CSF mode orders + a blocked
+/// variant), the SpTFS-style menu.
+pub fn best_format_candidates_3d(space: &Space) -> Vec<(String, Vec<usize>, FormatSchedule)> {
+    let kernel = space.kernel;
+    assert_eq!(kernel.sparse_ndims(), 3, "3-D candidates requested for {kernel}");
+    let u = LevelFormat::Uncompressed;
+    let c = LevelFormat::Compressed;
+    let unit = vec![1usize; kernel.ndims()];
+    let csf = |perm: [usize; 3]| FormatSchedule {
+        order: vec![
+            Axis::outer(perm[0]),
+            Axis::outer(perm[1]),
+            Axis::outer(perm[2]),
+            Axis::inner(perm[0]),
+            Axis::inner(perm[1]),
+            Axis::inner(perm[2]),
+        ],
+        formats: vec![c, c, c, u, u, u],
+    };
+    let mut blocked = unit.clone();
+    blocked[2] = 4;
+    vec![
+        ("CSF-ikl".into(), unit.clone(), csf([0, 1, 2])),
+        ("CSF-kil".into(), unit.clone(), csf([1, 0, 2])),
+        ("CSF-lik".into(), unit.clone(), csf([2, 0, 1])),
+        ("CSF-ilk".into(), unit, csf([0, 2, 1])),
+        (
+            "BlockedCSF".into(),
+            blocked,
+            FormatSchedule {
+                order: vec![
+                    Axis::outer(0),
+                    Axis::outer(1),
+                    Axis::outer(2),
+                    Axis::inner(0),
+                    Axis::inner(1),
+                    Axis::inner(2),
+                ],
+                formats: vec![c, c, c, u, u, u],
+            },
+        ),
+    ]
+}
+
+/// A structured portfolio of classic configurations: the TACO default plus
+/// every BestFormat candidate under the full (threads × chunk) menu with
+/// concordant loops. Used to densify both the training dataset and the KNN
+/// graph with reasonable configurations — the paper's 100-random-schedules ×
+/// 21k-matrices dataset achieves the same density by brute scale.
+pub fn portfolio(space: &Space) -> Vec<SuperSchedule> {
+    let mut out = vec![default_csr(space)];
+    let cands = if space.kernel.sparse_ndims() == 2 {
+        best_format_candidates(space)
+    } else {
+        best_format_candidates_3d(space)
+    };
+    for (_, splits, fmt) in cands {
+        for &threads in &space.thread_options {
+            for chunk in [1usize, 8, 32, 128, 256] {
+                out.push(concordant(space, splits.clone(), fmt.clone(), threads, chunk));
+            }
+        }
+    }
+    out.retain(|s| s.validate(space).is_ok());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn portfolio_is_valid_and_diverse() {
+        for kernel in Kernel::ALL {
+            let dims = match kernel {
+                Kernel::MTTKRP => vec![32, 32, 32],
+                _ => vec![64, 64],
+            };
+            let space = Space::new(kernel, dims, 16);
+            let p = portfolio(&space);
+            assert!(p.len() > 20, "{kernel}: {}", p.len());
+            for s in &p {
+                s.validate(&space).unwrap();
+            }
+            // At least two distinct formats and two distinct chunk sizes.
+            let formats: std::collections::HashSet<_> =
+                p.iter().map(|s| s.format.clone()).collect();
+            assert!(formats.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn defaults_are_valid_for_all_kernels() {
+        for kernel in Kernel::ALL {
+            let dims = match kernel {
+                Kernel::MTTKRP => vec![16, 16, 16],
+                _ => vec![64, 64],
+            };
+            let space = Space::new(kernel, dims, 16);
+            let s = default_csr(&space);
+            s.validate(&space).unwrap();
+            // Effective loops (unit splits) follow i → k → (j).
+            assert_eq!(s.loop_order[0], LoopVar::outer(0));
+            assert_eq!(s.parallel.unwrap().var, LoopVar::outer(0));
+        }
+    }
+
+    #[test]
+    fn default_csr_is_csr() {
+        let space = Space::new(Kernel::SpMM, vec![64, 64], 16);
+        let s = default_csr(&space);
+        let spec = s.a_format_spec(&space).unwrap();
+        assert_eq!(spec.describe(), "i1(U) k1(C) i0(U) k0(U)");
+        assert_eq!(s.parallel.unwrap().chunk, 32);
+        let spmv = default_csr(&Space::new(Kernel::SpMV, vec![64, 64], 0));
+        assert_eq!(spmv.parallel.unwrap().chunk, 128);
+    }
+
+    #[test]
+    fn default_mttkrp_is_csf() {
+        let space = Space::new(Kernel::MTTKRP, vec![8, 8, 8], 4);
+        let s = default_csr(&space);
+        let spec = s.a_format_spec(&space).unwrap();
+        assert!(spec.describe().starts_with("i1(C) k1(C) l1(C)"));
+    }
+
+    #[test]
+    fn concordant_follows_format_order() {
+        let space = Space::new(Kernel::SpMM, vec![64, 64], 16);
+        let fmt = FormatSchedule {
+            order: vec![Axis::outer(1), Axis::outer(0), Axis::inner(1), Axis::inner(0)],
+            formats: vec![
+                LevelFormat::Uncompressed,
+                LevelFormat::Compressed,
+                LevelFormat::Uncompressed,
+                LevelFormat::Uncompressed,
+            ],
+        };
+        let s = concordant(&space, vec![1, 1, 1], fmt, 8, 16);
+        s.validate(&space).unwrap();
+        assert_eq!(s.loop_order[0], LoopVar::outer(1)); // k-major traversal
+        // k is a reduction dim, so parallelization falls to the next var (i).
+        assert_eq!(s.parallel.unwrap().var, LoopVar::outer(0));
+    }
+
+    #[test]
+    fn best_format_candidates_are_valid() {
+        let space = Space::new(Kernel::SpMM, vec![64, 128], 16);
+        let cands = best_format_candidates(&space);
+        assert_eq!(cands.len(), 5);
+        for (name, splits, fmt) in cands {
+            let s = concordant(&space, splits, fmt, 8, 32);
+            s.validate(&space).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn best_format_candidates_3d_are_valid() {
+        let space = Space::new(Kernel::MTTKRP, vec![16, 16, 16], 8);
+        let cands = best_format_candidates_3d(&space);
+        assert_eq!(cands.len(), 5);
+        for (name, splits, fmt) in cands {
+            let s = concordant(&space, splits, fmt, 8, 32);
+            s.validate(&space).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests of the SuperSchedule encoding across all kernels and
+//! space shapes: the program embedder's input contract.
+
+use proptest::prelude::*;
+use waco_schedule::encode::{self, Segment};
+use waco_schedule::{Kernel, Space, SuperSchedule};
+use waco_tensor::gen::Rng64;
+
+fn space_for(kernel: Kernel, a: usize, b: usize, dense: usize) -> Space {
+    let dims = match kernel {
+        Kernel::MTTKRP => vec![a, b, a.max(b)],
+        _ => vec![a, b],
+    };
+    Space::new(kernel, dims, dense)
+}
+
+fn kernel_of(idx: usize) -> Kernel {
+    Kernel::ALL[idx % Kernel::ALL.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Every categorical index is within its segment's cardinality and every
+    /// permutation is a bijection, for any sampled schedule of any kernel.
+    #[test]
+    fn structured_encoding_respects_layout(kidx in 0usize..4, a in 4usize..256,
+                                           b in 4usize..256, dense in 1usize..64,
+                                           seed in 0u64..1_000_000) {
+        let kernel = kernel_of(kidx);
+        let space = space_for(kernel, a, b, dense);
+        let layout = encode::layout(&space);
+        let mut rng = Rng64::seed_from(seed);
+        let s = SuperSchedule::sample(&space, &mut rng);
+        let enc = encode::encode_structured(&s, &space);
+
+        let mut cat = enc.categorical.iter();
+        let mut perms = enc.permutations.iter();
+        for seg in &layout.segments {
+            match seg {
+                Segment::Categorical { cardinality, name } => {
+                    let idx = *cat.next().expect("index per categorical segment");
+                    prop_assert!(idx < *cardinality, "{name}: {idx} >= {cardinality}");
+                }
+                Segment::Permutation { n, name } => {
+                    let p = perms.next().expect("mapping per permutation segment");
+                    prop_assert_eq!(p.len(), *n, "{}", name);
+                    let mut seen = vec![false; *n];
+                    for &x in p {
+                        prop_assert!(!seen[x], "{name}: duplicate {x}");
+                        seen[x] = true;
+                    }
+                }
+            }
+        }
+        prop_assert!(cat.next().is_none(), "extra categorical values");
+        prop_assert!(perms.next().is_none(), "extra permutations");
+    }
+
+    /// The flat encoding always has the layout's advertised length and is a
+    /// 0/1 vector whose categorical blocks are exactly one-hot.
+    #[test]
+    fn flat_encoding_is_valid_one_hot(kidx in 0usize..4, a in 4usize..128,
+                                      seed in 0u64..1_000_000) {
+        let kernel = kernel_of(kidx);
+        let space = space_for(kernel, a, a + 3, 8);
+        let layout = encode::layout(&space);
+        let mut rng = Rng64::seed_from(seed);
+        let s = SuperSchedule::sample(&space, &mut rng);
+        let flat = encode::encode(&s, &space);
+        prop_assert_eq!(flat.len(), layout.total_len());
+        prop_assert!(flat.iter().all(|&v| v == 0.0 || v == 1.0));
+        let mut off = 0usize;
+        for seg in &layout.segments {
+            match seg {
+                Segment::Categorical { cardinality, name } => {
+                    let ones = flat[off..off + cardinality]
+                        .iter()
+                        .filter(|&&v| v == 1.0)
+                        .count();
+                    prop_assert_eq!(ones, 1, "{} not one-hot", name);
+                    off += cardinality;
+                }
+                Segment::Permutation { n, .. } => {
+                    let ones = flat[off..off + n * n]
+                        .iter()
+                        .filter(|&&v| v == 1.0)
+                        .count();
+                    prop_assert_eq!(ones, *n, "permutation matrix weight");
+                    off += n * n;
+                }
+            }
+        }
+    }
+
+    /// Mutation chains always stay valid and encodable.
+    #[test]
+    fn mutation_chains_stay_encodable(kidx in 0usize..4, seed in 0u64..1_000_000,
+                                      steps in 1usize..30) {
+        let kernel = kernel_of(kidx);
+        let space = space_for(kernel, 64, 64, 16);
+        let mut rng = Rng64::seed_from(seed);
+        let mut s = SuperSchedule::sample(&space, &mut rng);
+        for _ in 0..steps {
+            s = s.mutate(&space, &mut rng);
+        }
+        prop_assert!(s.validate(&space).is_ok());
+        let flat = encode::encode(&s, &space);
+        prop_assert_eq!(flat.len(), encode::layout(&space).total_len());
+    }
+}

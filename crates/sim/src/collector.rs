@@ -1,0 +1,184 @@
+//! Event collection during simulated walks.
+
+use waco_exec::nest::Instrument;
+use waco_schedule::LoopVar;
+
+/// Raw traversal event counts of one walked chunk.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EventCounts {
+    /// Children yielded by concordant level iterations.
+    pub concordant_steps: u64,
+    /// Iterations of discordant dense loops (including wasted ones).
+    pub dense_steps: u64,
+    /// Binary-search / arithmetic probes of locates.
+    pub locate_probes: u64,
+    /// Locates that missed (pruned subtrees).
+    pub locate_misses: u64,
+    /// Innermost bodies reached (stored nonzeros visited).
+    pub bodies: u64,
+}
+
+impl EventCounts {
+    /// Element-wise sum.
+    pub fn add(&mut self, other: &EventCounts) {
+        self.concordant_steps += other.concordant_steps;
+        self.dense_steps += other.dense_steps;
+        self.locate_probes += other.locate_probes;
+        self.locate_misses += other.locate_misses;
+        self.bodies += other.bodies;
+    }
+}
+
+impl Instrument for EventCounts {
+    fn concordant(&mut self, _level: usize, children: usize) {
+        self.concordant_steps += children as u64;
+    }
+    fn dense_loop(&mut self, _var: LoopVar, extent: usize) {
+        self.dense_steps += extent as u64;
+    }
+    fn locate(&mut self, _level: usize, probes: usize, hit: bool) {
+        self.locate_probes += probes as u64;
+        if !hit {
+            self.locate_misses += 1;
+        }
+    }
+    fn body(&mut self) {
+        self.bodies += 1;
+    }
+}
+
+/// A FIFO-set approximation of LRU cache residency for one gather operand.
+///
+/// Keys are operand units (a cache line of `x` for SpMV, a row of `B` for
+/// SpMM, ...). Capacity is `cache_bytes / unit_bytes`. On access, a resident
+/// key is a hit; a miss inserts the key, evicting in insertion order — a
+/// cheap deterministic stand-in for LRU that preserves the
+/// working-set-vs-capacity behavior the "sparse block" format exploits.
+#[derive(Debug)]
+pub struct ReuseTracker {
+    capacity: usize,
+    set: std::collections::HashSet<u64>,
+    queue: std::collections::VecDeque<u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ReuseTracker {
+    /// A tracker holding up to `capacity` units (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            capacity,
+            set: std::collections::HashSet::with_capacity(capacity.min(1 << 20)),
+            queue: std::collections::VecDeque::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Records an access to `key`; returns `true` on a hit.
+    pub fn access(&mut self, key: u64) -> bool {
+        if self.set.contains(&key) {
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if self.set.len() >= self.capacity {
+            if let Some(old) = self.queue.pop_front() {
+                self.set.remove(&old);
+            }
+        }
+        self.set.insert(key);
+        self.queue.push_back(key);
+        false
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss ratio in `[0, 1]` (0 when no accesses).
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_counts_accumulate() {
+        let mut a = EventCounts::default();
+        a.concordant(0, 5);
+        a.dense_loop(LoopVar::outer(0), 3);
+        a.locate(1, 4, false);
+        a.body();
+        assert_eq!(a.concordant_steps, 5);
+        assert_eq!(a.dense_steps, 3);
+        assert_eq!(a.locate_probes, 4);
+        assert_eq!(a.locate_misses, 1);
+        assert_eq!(a.bodies, 1);
+        let mut b = a;
+        b.add(&a);
+        assert_eq!(b.bodies, 2);
+    }
+
+    #[test]
+    fn reuse_tracker_hits_within_capacity() {
+        let mut t = ReuseTracker::new(4);
+        for k in 0..4 {
+            assert!(!t.access(k));
+        }
+        for k in 0..4 {
+            assert!(t.access(k), "resident key must hit");
+        }
+        assert_eq!(t.misses(), 4);
+        assert_eq!(t.hits(), 4);
+    }
+
+    #[test]
+    fn reuse_tracker_evicts_beyond_capacity() {
+        let mut t = ReuseTracker::new(2);
+        t.access(1);
+        t.access(2);
+        t.access(3); // evicts 1
+        assert!(!t.access(1), "evicted key must miss");
+        assert!(t.miss_ratio() > 0.9);
+    }
+
+    #[test]
+    fn streaming_pattern_all_misses() {
+        let mut t = ReuseTracker::new(8);
+        for k in 0..1000u64 {
+            t.access(k);
+        }
+        assert_eq!(t.misses(), 1000);
+    }
+
+    #[test]
+    fn blocked_pattern_mostly_hits() {
+        // Touch keys in blocks of 4, revisiting each block 16 times: with
+        // capacity 8, within-block reuse hits.
+        let mut t = ReuseTracker::new(8);
+        for block in 0..10u64 {
+            for _ in 0..16 {
+                for k in 0..4u64 {
+                    t.access(block * 4 + k);
+                }
+            }
+        }
+        assert!(t.miss_ratio() < 0.1);
+    }
+}

@@ -1,0 +1,163 @@
+//! Machine models: cost coefficients of the simulated CPUs.
+
+/// Cost coefficients and capacities of a simulated machine.
+///
+/// Two presets stand in for the paper's testbeds:
+/// [`MachineConfig::xeon_like`] (dual-socket 24-core, 48 SMT threads, 30 MB
+/// LLC, icc-style SIMD heuristics) and [`MachineConfig::epyc_like`]
+/// (8 cores / 16 threads, 16 MB LLC, gcc-style coefficients). All times are
+/// nanoseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Human-readable name (appears in experiment output).
+    pub name: String,
+    /// Thread-count menu exposed to the schedule space (paper: `[24, 48]`).
+    pub thread_menu: Vec<usize>,
+    /// Physical cores; threads beyond this are SMT.
+    pub cores: usize,
+    /// SMT throughput factor: total throughput with all hardware threads
+    /// busy, relative to `cores` (e.g. 1.25 = SMT adds 25%).
+    pub smt_factor: f64,
+    /// f32 lanes of the vector unit (8 = AVX2, 16 = AVX-512).
+    pub vector_width: usize,
+    /// Minimum dense run length before the compiler vectorizes — the icc
+    /// heuristic of Figure 14 (icc emits `vfmadd213ps` only from block size
+    /// 16).
+    pub simd_threshold: usize,
+    /// Last-level cache capacity in bytes.
+    pub cache_bytes: usize,
+    /// Cache line size in bytes.
+    pub line_bytes: usize,
+    /// Cost of one scalar body (FMA + index arithmetic), ns.
+    pub cost_body: f64,
+    /// Cost per concordantly iterated child, ns.
+    pub cost_concordant: f64,
+    /// Cost per discordant dense-loop iteration (wasted or not), ns.
+    pub cost_dense_iter: f64,
+    /// Cost per binary-search probe of a discordant locate, ns.
+    pub cost_locate_probe: f64,
+    /// Cost per cache line missing to DRAM, ns.
+    pub cost_mem_line: f64,
+    /// Cost of claiming one dynamic chunk (atomic + scheduling), ns.
+    pub cost_chunk_dispatch: f64,
+    /// Cost of entering a parallel region, per thread, ns.
+    pub cost_thread_spawn: f64,
+    /// Cost per storage word during format conversion (assembly), ns.
+    pub cost_convert_word: f64,
+}
+
+impl MachineConfig {
+    /// The Intel-testbed stand-in: 24 cores / 48 threads, AVX2 with the icc
+    /// block-size-16 vectorization heuristic. The LLC is scaled down with
+    /// the workload scale (the paper's 30 MB per socket serves matrices up
+    /// to 131k rows / 10M nnz; this workspace's laptop-scale matrices are
+    /// ~100x smaller, so the cache is scaled likewise to preserve the
+    /// working-set-vs-capacity phenomenology).
+    pub fn xeon_like() -> Self {
+        Self {
+            name: "xeon-like".into(),
+            thread_menu: vec![24, 48],
+            cores: 24,
+            smt_factor: 1.25,
+            vector_width: 8,
+            simd_threshold: 16,
+            cache_bytes: 256 << 10,
+            line_bytes: 64,
+            cost_body: 1.0,
+            cost_concordant: 0.5,
+            cost_dense_iter: 0.35,
+            cost_locate_probe: 1.6,
+            cost_mem_line: 28.0,
+            cost_chunk_dispatch: 40.0,
+            cost_thread_spawn: 400.0,
+            cost_convert_word: 1.2,
+        }
+    }
+
+    /// The AMD-testbed stand-in: 8 cores / 16 threads, 16 MB LLC, gcc-style
+    /// coefficients (cheaper dispatch, laxer vectorization threshold, slower
+    /// single-thread locate).
+    pub fn epyc_like() -> Self {
+        Self {
+            name: "epyc-like".into(),
+            thread_menu: vec![8, 16],
+            cores: 8,
+            smt_factor: 1.2,
+            vector_width: 8,
+            simd_threshold: 8,
+            cache_bytes: 128 << 10,
+            line_bytes: 64,
+            cost_body: 0.9,
+            cost_concordant: 0.55,
+            cost_dense_iter: 0.3,
+            cost_locate_probe: 2.0,
+            cost_mem_line: 34.0,
+            cost_chunk_dispatch: 30.0,
+            cost_thread_spawn: 300.0,
+            cost_convert_word: 1.0,
+        }
+    }
+
+    /// Effective per-thread speed when running `threads` workers
+    /// (1.0 = full core speed). Up to 2x oversubscription shares core
+    /// throughput with the SMT bonus; beyond 2x (more software threads than
+    /// hardware threads) total throughput degrades from scheduling and
+    /// cache thrash.
+    pub fn thread_speed(&self, threads: usize) -> f64 {
+        if threads <= self.cores {
+            return 1.0;
+        }
+        let base = (self.cores as f64 * self.smt_factor / threads as f64).min(1.0);
+        let thrash = (2.0 * self.cores as f64 / threads as f64).min(1.0);
+        base * thrash
+    }
+
+    /// SIMD speedup for an innermost dense run of length `run` — the
+    /// Figure 14 curve: scalar below the threshold, vectorized at or above.
+    pub fn simd_factor(&self, run: usize) -> f64 {
+        if run >= self.simd_threshold {
+            self.vector_width as f64
+        } else {
+            1.0
+        }
+    }
+
+    /// Per-element cost of an innermost dense block of size `b`
+    /// (regenerates Figure 14's per-element cost drop at the threshold).
+    pub fn simd_unit_cost(&self, b: usize) -> f64 {
+        self.cost_body / self.simd_factor(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ() {
+        let x = MachineConfig::xeon_like();
+        let e = MachineConfig::epyc_like();
+        assert_ne!(x.name, e.name);
+        assert!(x.cores > e.cores);
+        assert!(x.cache_bytes > e.cache_bytes);
+    }
+
+    #[test]
+    fn thread_speed_smt() {
+        let x = MachineConfig::xeon_like();
+        assert_eq!(x.thread_speed(24), 1.0);
+        assert_eq!(x.thread_speed(4), 1.0);
+        let s48 = x.thread_speed(48);
+        assert!(s48 < 1.0 && s48 > 0.5);
+        // Total throughput at 48 threads exceeds 24 cores' worth.
+        assert!(48.0 * s48 > 24.0);
+    }
+
+    #[test]
+    fn simd_kicks_in_at_threshold() {
+        let x = MachineConfig::xeon_like();
+        assert_eq!(x.simd_factor(15), 1.0);
+        assert_eq!(x.simd_factor(16), 8.0);
+        assert!(x.simd_unit_cost(16) < x.simd_unit_cost(15));
+    }
+}

@@ -1,0 +1,562 @@
+//! The cost simulator: replay, charge, and schedule onto virtual threads.
+
+use crate::collector::{EventCounts, ReuseTracker};
+use crate::machine::MachineConfig;
+use crate::{Result, SimError};
+use waco_exec::nest::LoopNest;
+use waco_exec::parallel::chunk_ranges;
+use waco_format::{LevelFormat, SparseStorage};
+use waco_schedule::{Kernel, Space, SuperSchedule};
+use waco_tensor::{CooMatrix, CooTensor3};
+
+/// Simulated timing of one kernel invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// End-to-end simulated kernel time in seconds.
+    pub seconds: f64,
+    /// Simulated one-off format conversion (assembly) time in seconds.
+    pub convert_seconds: f64,
+    /// Traversal cost (concordant steps, dense iterations, locate probes), ns.
+    pub traversal_ns: f64,
+    /// Compute cost of innermost bodies after SIMD, ns.
+    pub body_ns: f64,
+    /// Memory cost (storage streaming + gather-operand misses), ns.
+    pub mem_ns: f64,
+    /// Parallel overhead (spawn + chunk dispatch), ns.
+    pub parallel_ns: f64,
+    /// Innermost dense run length used for the SIMD decision.
+    pub simd_run: usize,
+    /// SIMD speedup applied to bodies (1 = scalar).
+    pub simd_factor: f64,
+    /// Number of dynamic chunks dispatched.
+    pub chunks: usize,
+    /// Worker threads used (1 = serial).
+    pub threads: usize,
+    /// Makespan / ideal-parallel-time ratio (1.0 = perfectly balanced).
+    pub imbalance: f64,
+    /// Gather-operand cache miss ratio.
+    pub miss_ratio: f64,
+    /// Stored nonzeros visited.
+    pub bodies: u64,
+}
+
+/// Deterministic machine-model simulator.
+///
+/// See the crate docs for the model; construct with a [`MachineConfig`]
+/// preset and call [`Simulator::time_matrix`] / [`Simulator::time_tensor3`].
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    /// The machine being simulated.
+    pub machine: MachineConfig,
+    /// Reject schedules whose reduced walk exceeds this iteration estimate.
+    pub work_limit: f64,
+    /// Storage budget passed to format materialization, in words.
+    pub storage_budget: u64,
+}
+
+impl Simulator {
+    /// A simulator with default limits.
+    pub fn new(machine: MachineConfig) -> Self {
+        Self { machine, work_limit: 2e6, storage_budget: 1 << 24 }
+    }
+
+    /// Overrides the work limit (iteration estimate above which schedules
+    /// are rejected as "too expensive", like the paper's 1-minute cutoff).
+    pub fn with_work_limit(mut self, limit: f64) -> Self {
+        self.work_limit = limit;
+        self
+    }
+
+    /// The schedule space for a kernel instance on this machine (thread menu
+    /// comes from the machine).
+    pub fn space_for(&self, kernel: Kernel, sparse_dims: Vec<usize>, dense_extent: usize) -> Space {
+        Space::new(kernel, sparse_dims, dense_extent)
+            .with_thread_options(self.machine.thread_menu.clone())
+    }
+
+    /// Simulates a 2-D kernel (SpMV / SpMM / SDDMM) on matrix `a`.
+    ///
+    /// # Errors
+    ///
+    /// Invalid schedules, over-budget storage, and over-limit work estimates.
+    pub fn time_matrix(
+        &self,
+        a: &CooMatrix,
+        sched: &SuperSchedule,
+        space: &Space,
+    ) -> Result<SimReport> {
+        sched.validate(space)?;
+        let spec = sched.a_format_spec(space)?;
+        let st = SparseStorage::from_matrix_with_budget(a, &spec, self.storage_budget)?;
+        self.time_stored(&st, sched, space)
+    }
+
+    /// Simulates MTTKRP on tensor `t`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Simulator::time_matrix`].
+    pub fn time_tensor3(
+        &self,
+        t: &CooTensor3,
+        sched: &SuperSchedule,
+        space: &Space,
+    ) -> Result<SimReport> {
+        sched.validate(space)?;
+        let spec = sched.a_format_spec(space)?;
+        let st = SparseStorage::from_nonzeros(
+            &spec,
+            t.iter().map(|(i, k, l, v)| (vec![i, k, l], v)),
+            self.storage_budget,
+        )?;
+        self.time_stored(&st, sched, space)
+    }
+
+    /// Simulates a kernel over pre-built storage (reuse across schedules that
+    /// share a format, and the `T_formatconvert`-free path of §5.6).
+    ///
+    /// # Errors
+    ///
+    /// Over-limit work estimates.
+    pub fn time_stored(
+        &self,
+        st: &SparseStorage,
+        sched: &SuperSchedule,
+        space: &Space,
+    ) -> Result<SimReport> {
+        let m = &self.machine;
+        let kernel = space.kernel;
+        let nsparse = kernel.sparse_ndims();
+
+        // Reduced space: collapse dense-only dims so the walk visits each
+        // stored nonzero once; their extents are folded back analytically.
+        let has_dense = kernel.ndims() > nsparse;
+        let reduced = Space {
+            dense_extent: if has_dense { 1 } else { 0 },
+            ..space.clone()
+        };
+        // Walk serially in the *written* loop order: TACO parallelizes a
+        // loop in place, so the traversal (and therefore cache locality —
+        // e.g. the k-outer "sparse block" reuse of §5.2.1) is that of the
+        // written nest; threading is modeled afterwards from per-coordinate
+        // work. (Building with `parallel: None` avoids the executor's
+        // hoisting.)
+        let serial_sched = SuperSchedule { parallel: None, ..sched.clone() };
+        let nest = LoopNest::new(st, &serial_sched, &reduced);
+
+        // Dense-dim factors (true, unpadded product for compute; padded
+        // outer factor for re-traversal).
+        let dense_dims: Vec<usize> = (nsparse..kernel.ndims()).collect();
+        let d_total: f64 = dense_dims
+            .iter()
+            .map(|&d| space.dim_extent(d) as f64)
+            .product();
+        let first_sparse = nest
+            .order()
+            .iter()
+            .position(|v| v.dim < nsparse)
+            .unwrap_or(0);
+        let d_above: f64 = nest.order()[..first_sparse]
+            .iter()
+            .filter(|v| v.dim >= nsparse)
+            .map(|&v| sched.loop_extent(space, v) as f64)
+            .product();
+
+        let estimate = nest.work_estimate();
+        if estimate > self.work_limit {
+            return Err(SimError::TooExpensive { estimate, limit: self.work_limit });
+        }
+
+        // SIMD decision from the *true* schedule's innermost non-trivial
+        // loop. Unit-extent loops are eliminated by codegen (the paper's
+        // "shaded lines can be ignored due to the split size 1"), so they
+        // are skipped when finding the vectorization candidate.
+        let innermost = nest
+            .order()
+            .iter()
+            .rev()
+            .find(|&&v| sched.loop_extent(space, v) > 1)
+            .copied()
+            .unwrap_or(*nest.order().last().expect("nests are non-empty"));
+        let simd_run = if innermost.dim >= nsparse {
+            sched.loop_extent(space, innermost)
+        } else {
+            let spec = st.spec();
+            match spec
+                .order()
+                .iter()
+                .position(|ax| ax.dim == innermost.dim && ax.part == innermost.part)
+            {
+                Some(l) if spec.formats()[l] == LevelFormat::Uncompressed => {
+                    spec.axis_extent(spec.order()[l])
+                }
+                _ => 1,
+            }
+        };
+        let simd = m.simd_factor(simd_run);
+
+        // Gather-operand reuse model: (key dimension, unit bytes).
+        let gathers: Vec<(usize, usize, usize)> = match kernel {
+            // (dim, key granularity divisor, unit bytes)
+            Kernel::SpMV => vec![(1, 16, m.line_bytes)],
+            Kernel::SpMM => vec![(1, 1, 4 * space.dense_extent.max(1))],
+            Kernel::SDDMM => vec![
+                (1, 1, 4 * space.dense_extent.max(1)), // C column j
+                (0, 1, 4 * space.dense_extent.max(1)), // B row i
+            ],
+            Kernel::MTTKRP => vec![
+                (1, 1, 4 * space.dense_extent.max(1)), // B row k
+                (2, 1, 4 * space.dense_extent.max(1)), // C row l
+            ],
+        };
+        let share = gathers.len().max(1);
+        let mut trackers: Vec<ReuseTracker> = gathers
+            .iter()
+            .map(|&(_, _, unit)| ReuseTracker::new(m.cache_bytes / share / unit.max(1)))
+            .collect();
+
+        // Parallel setup: the variable's per-coordinate work is collected
+        // during the single serial walk and list-scheduled afterwards.
+        let par = sched.parallel.as_ref().filter(|p| p.threads > 1);
+        let parallel_over_dense = par.map(|p| p.var.dim >= nsparse).unwrap_or(false);
+        let par_extent = par
+            .filter(|_| !parallel_over_dense)
+            .map(|p| serial_sched.loop_extent(&reduced, p.var))
+            .unwrap_or(1);
+
+        let mut ev = EventCounts::default();
+        let mut per_coord = vec![0.0f64; par_extent.max(1)];
+        {
+            let trackers = &mut trackers;
+            let per_coord = &mut per_coord;
+            let par_var = par.filter(|_| !parallel_over_dense).map(|p| p.var);
+            nest.walk(0..nest.outer_extent(), &mut ev, &mut |ctx, _, _| {
+                for (g, &(dim, div, _)) in gathers.iter().enumerate() {
+                    if let Some(c) = ctx.coord(dim) {
+                        trackers[g].access((c / div.max(1)) as u64);
+                    }
+                }
+                if let Some(v) = par_var {
+                    per_coord[ctx.axis_coord(v)] += 1.0;
+                }
+            });
+        }
+
+        // Charge costs from the walk totals.
+        let stream_lines =
+            (st.storage_words() as f64 * 4.0 / m.line_bytes as f64).ceil() * d_above;
+        let traversal_ns = d_above
+            * (ev.concordant_steps as f64 * m.cost_concordant
+                + ev.dense_steps as f64 * m.cost_dense_iter
+                + ev.locate_probes as f64 * m.cost_locate_probe);
+        let body_ns = ev.bodies as f64 * d_total.max(1.0) * m.cost_body / simd;
+        let gather_lines: f64 = {
+            let unit_lines: f64 = gathers
+                .iter()
+                .map(|&(_, _, unit)| (unit as f64 / m.line_bytes as f64).max(1.0))
+                .sum::<f64>()
+                / share as f64;
+            let total_misses: u64 = trackers.iter().map(|t| t.misses()).sum();
+            total_misses as f64 * unit_lines
+        };
+        let mem_ns = (gather_lines + stream_lines) * m.cost_mem_line;
+        let work = traversal_ns + body_ns + mem_ns;
+
+        // OpenMP `schedule(dynamic, chunk)` over the parallel variable:
+        // greedy list scheduling of per-chunk work (from the per-coordinate
+        // distribution — skewed rows produce real imbalance). The parallel
+        // region is re-entered once per iteration of every loop *outside*
+        // the parallelized one, as TACO/OpenMP do.
+        let (threads, dispatch_each) = match par {
+            Some(p) => (p.threads, m.cost_chunk_dispatch),
+            None => (1, 0.0),
+        };
+        let regions: f64 = match par {
+            Some(p) if !parallel_over_dense => {
+                let pos = nest
+                    .order()
+                    .iter()
+                    .position(|v| *v == p.var)
+                    .unwrap_or(0);
+                nest.order()[..pos]
+                    .iter()
+                    .map(|&v| sched.loop_extent(space, v) as f64)
+                    .product()
+            }
+            Some(_) => 1.0,
+            None => 0.0,
+        };
+        let speed = m.thread_speed(threads);
+        let (makespan, parallel_ns, nchunks) = if threads <= 1 {
+            (work, 0.0, 1usize)
+        } else if parallel_over_dense {
+            let p = par.expect("threads > 1 implies parallel");
+            let nchunks = sched
+                .loop_extent(space, p.var)
+                .div_ceil(p.chunk.max(1));
+            let dispatch = nchunks as f64 * dispatch_each;
+            let overhead = m.cost_thread_spawn + dispatch;
+            (
+                work / (threads as f64 * speed) + dispatch / threads as f64
+                    + m.cost_thread_spawn,
+                overhead,
+                nchunks,
+            )
+        } else {
+            let p = par.expect("threads > 1 implies parallel");
+            // Per-coordinate cost: proportional share of the total work by
+            // visited nonzeros, plus a uniform loop-overhead floor.
+            let weight_sum: f64 = per_coord.iter().sum::<f64>() + par_extent as f64;
+            let coord_cost: Vec<f64> = per_coord
+                .iter()
+                .map(|&w| work * (w + 1.0) / weight_sum)
+                .collect();
+            let ranges = chunk_ranges(par_extent, p.chunk);
+            let nchunks = ranges.len();
+            let mut finish = vec![0.0f64; threads];
+            for range in ranges {
+                let c: f64 = coord_cost[range].iter().sum();
+                let t = (0..threads)
+                    .min_by(|&a, &b| finish[a].total_cmp(&finish[b]))
+                    .expect("threads > 0");
+                finish[t] += c / speed + dispatch_each;
+            }
+            // Each of the `regions` re-entries schedules 1/regions of every
+            // coordinate's work, so the summed makespan ≈ `span`; the spawn
+            // cost is paid once per region.
+            let span = finish.iter().copied().fold(0.0, f64::max);
+            let spawn = m.cost_thread_spawn * regions.max(1.0);
+            let overhead = spawn + nchunks as f64 * dispatch_each;
+            (span + spawn, overhead, nchunks)
+        };
+
+        let ideal = if threads <= 1 { work } else { work / (threads as f64 * speed) };
+        let total_ns = makespan;
+
+        let (hits, misses): (u64, u64) = trackers
+            .iter()
+            .fold((0, 0), |(h, ms), t| (h + t.hits(), ms + t.misses()));
+
+        Ok(SimReport {
+            seconds: total_ns * 1e-9,
+            convert_seconds: self.convert_seconds(st),
+            traversal_ns,
+            body_ns,
+            mem_ns,
+            parallel_ns,
+            simd_run,
+            simd_factor: simd,
+            chunks: nchunks,
+            threads,
+            imbalance: if ideal > 0.0 { makespan / ideal } else { 1.0 },
+            miss_ratio: if hits + misses == 0 {
+                0.0
+            } else {
+                misses as f64 / (hits + misses) as f64
+            },
+            bodies: ev.bodies,
+        })
+    }
+
+    /// Simulated format conversion (assembly) time: linear in materialized
+    /// storage words.
+    pub fn convert_seconds(&self, st: &SparseStorage) -> f64 {
+        st.storage_words() as f64 * self.machine.cost_convert_word * 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waco_schedule::{named, LoopVar, Parallelize};
+    use waco_tensor::gen::{self, Rng64};
+
+    fn sim() -> Simulator {
+        Simulator::new(MachineConfig::xeon_like())
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut rng = Rng64::seed_from(1);
+        let a = gen::uniform_random(64, 64, 0.05, &mut rng);
+        let space = sim().space_for(Kernel::SpMV, vec![64, 64], 0);
+        let sched = named::default_csr(&space);
+        let r1 = sim().time_matrix(&a, &sched, &space).unwrap();
+        let r2 = sim().time_matrix(&a, &sched, &space).unwrap();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn concordant_beats_discordant() {
+        let mut rng = Rng64::seed_from(2);
+        let a = gen::uniform_random(128, 128, 0.05, &mut rng);
+        let space = sim().space_for(Kernel::SpMV, vec![128, 128], 0);
+        let good = named::default_csr(&space);
+        let mut bad = good.clone();
+        // Column-major traversal of the row-major CSR: k1 outside i1.
+        bad.loop_order = vec![
+            LoopVar::outer(1),
+            LoopVar::outer(0),
+            LoopVar::inner(0),
+            LoopVar::inner(1),
+        ];
+        bad.parallel = None;
+        let mut good_serial = good.clone();
+        good_serial.parallel = None;
+        let tg = sim().time_matrix(&a, &good_serial, &space).unwrap();
+        let tb = sim().time_matrix(&a, &bad, &space).unwrap();
+        assert!(
+            tb.seconds > 1.5 * tg.seconds,
+            "discordant {}s vs concordant {}s",
+            tb.seconds,
+            tg.seconds
+        );
+    }
+
+    #[test]
+    fn fine_chunks_fix_skew() {
+        // Heavily skewed rows: a few giant rows. Coarse chunks strand the
+        // giant rows on one thread.
+        let mut rng = Rng64::seed_from(3);
+        let a = gen::powerlaw_rows(512, 512, 16.0, 1.4, &mut rng);
+        let space = sim().space_for(Kernel::SpMV, vec![512, 512], 0);
+        let mut fine = named::default_csr(&space);
+        fine.parallel = Some(Parallelize { var: LoopVar::outer(0), threads: 24, chunk: 1 });
+        let mut coarse = fine.clone();
+        coarse.parallel = Some(Parallelize { var: LoopVar::outer(0), threads: 24, chunk: 256 });
+        let tf = sim().time_matrix(&a, &fine, &space).unwrap();
+        let tc = sim().time_matrix(&a, &coarse, &space).unwrap();
+        assert!(
+            tc.imbalance > tf.imbalance,
+            "coarse imbalance {} should exceed fine {}",
+            tc.imbalance,
+            tf.imbalance
+        );
+    }
+
+    #[test]
+    fn simd_detected_for_dense_blocks() {
+        let mut rng = Rng64::seed_from(4);
+        let a = gen::blocked(128, 128, 16, 24, 1.0, &mut rng);
+        let space = sim().space_for(Kernel::SpMV, vec![128, 128], 0);
+        // BCSR 16x16 with k0 innermost: dense run of 16 → vectorized.
+        let mut bcsr = named::default_csr(&space);
+        bcsr.splits = vec![16, 16];
+        let r = sim().time_matrix(&a, &bcsr, &space).unwrap();
+        assert_eq!(r.simd_run, 16);
+        assert!(r.simd_factor > 1.0);
+
+        // 8-wide blocks stay scalar under the icc-like threshold of 16.
+        let mut small = bcsr.clone();
+        small.splits = vec![8, 8];
+        let r8 = sim().time_matrix(&a, &small, &space).unwrap();
+        assert_eq!(r8.simd_factor, 1.0);
+    }
+
+    #[test]
+    fn sparse_block_format_improves_locality() {
+        // Gather-operand working set far beyond a tiny cache: a k-split
+        // compressed level (sparse block) restores locality.
+        let mut machine = MachineConfig::xeon_like();
+        machine.cache_bytes = 4096; // 64 lines — tiny on purpose
+        let sim = Simulator::new(machine);
+        let mut rng = Rng64::seed_from(5);
+        let a = gen::uniform_random(256, 4096, 0.01, &mut rng);
+        let space = sim.space_for(Kernel::SpMV, vec![256, 4096], 0);
+        let csr = {
+            let mut s = named::default_csr(&space);
+            s.parallel = None;
+            s
+        };
+        let sparse_block = {
+            let cands = named::best_format_candidates(&space);
+            let (_, splits, fmt) = cands
+                .into_iter()
+                .find(|(n, _, _)| n == "SparseBlock")
+                .unwrap();
+            let mut s = named::concordant(&space, splits, fmt, 1, 32);
+            s.parallel = None;
+            s
+        };
+        let t_csr = sim.time_matrix(&a, &csr, &space).unwrap();
+        let t_sb = sim.time_matrix(&a, &sparse_block, &space).unwrap();
+        assert!(
+            t_sb.miss_ratio < t_csr.miss_ratio,
+            "sparse block miss {} should beat CSR miss {}",
+            t_sb.miss_ratio,
+            t_csr.miss_ratio
+        );
+    }
+
+    #[test]
+    fn work_limit_rejects_pathological() {
+        let mut rng = Rng64::seed_from(6);
+        let a = gen::uniform_random(256, 256, 0.02, &mut rng);
+        let sim = sim().with_work_limit(1000.0);
+        let space = sim.space_for(Kernel::SpMV, vec![256, 256], 0);
+        let sched = named::default_csr(&space);
+        assert!(matches!(
+            sim.time_matrix(&a, &sched, &space),
+            Err(SimError::TooExpensive { .. })
+        ));
+    }
+
+    #[test]
+    fn spmm_dense_factor_scales_body() {
+        let mut rng = Rng64::seed_from(7);
+        let a = gen::uniform_random(64, 64, 0.05, &mut rng);
+        // Both j extents below the SIMD threshold so the dense factor is
+        // isolated from vectorization.
+        let sp2 = sim().space_for(Kernel::SpMM, vec![64, 64], 2);
+        let sp12 = sim().space_for(Kernel::SpMM, vec![64, 64], 12);
+        let s2 = named::default_csr(&sp2);
+        let s12 = named::default_csr(&sp12);
+        let t2 = sim().time_matrix(&a, &s2, &sp2).unwrap();
+        let t12 = sim().time_matrix(&a, &s12, &sp12).unwrap();
+        assert!(t12.body_ns > 4.0 * t2.body_ns);
+    }
+
+    #[test]
+    fn mttkrp_simulates() {
+        let mut rng = Rng64::seed_from(8);
+        let t = gen::random_tensor3([32, 32, 32], 400, &mut rng);
+        let space = sim().space_for(Kernel::MTTKRP, vec![32, 32, 32], 16);
+        let sched = named::default_csr(&space);
+        let r = sim().time_tensor3(&t, &sched, &space).unwrap();
+        assert!(r.seconds > 0.0);
+        assert_eq!(r.bodies, t.nnz() as u64);
+    }
+
+    #[test]
+    fn convert_time_scales_with_storage() {
+        let mut rng = Rng64::seed_from(9);
+        let a = gen::uniform_random(64, 64, 0.1, &mut rng);
+        let space = sim().space_for(Kernel::SpMV, vec![64, 64], 0);
+        let csr = named::default_csr(&space);
+        let spec = csr.a_format_spec(&space).unwrap();
+        let st = SparseStorage::from_matrix(&a, &spec).unwrap();
+        let dense_spec = waco_format::FormatSpec::dense(64, 64);
+        let st_dense = SparseStorage::from_matrix(&a, &dense_spec).unwrap();
+        let s = sim();
+        assert!(s.convert_seconds(&st_dense) > s.convert_seconds(&st));
+    }
+
+    #[test]
+    fn more_threads_help_balanced_work() {
+        let mut rng = Rng64::seed_from(10);
+        let a = gen::uniform_random(2048, 2048, 0.004, &mut rng);
+        let space = sim().space_for(Kernel::SpMV, vec![2048, 2048], 0);
+        let mut s1 = named::default_csr(&space);
+        s1.parallel = Some(Parallelize { var: LoopVar::outer(0), threads: 24, chunk: 16 });
+        let mut s2 = s1.clone();
+        s2.parallel = None;
+        let tp = sim().time_matrix(&a, &s1, &space).unwrap();
+        let ts = sim().time_matrix(&a, &s2, &space).unwrap();
+        assert!(
+            tp.seconds < ts.seconds,
+            "24 threads {} should beat serial {}",
+            tp.seconds,
+            ts.seconds
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! Phenomenology tests: the machine model must reproduce the performance
+//! effects the paper's evaluation attributes speedups to (Table 6).
+
+use waco_schedule::{named, Kernel, LoopVar, Parallelize};
+use waco_sim::{MachineConfig, Simulator};
+use waco_tensor::gen::{self, Rng64};
+
+fn sim() -> Simulator {
+    Simulator::new(MachineConfig::xeon_like())
+}
+
+/// Placing the dense `j` loop outside the sparse traversal re-walks the
+/// sparse structure |j1| times — the model must punish it.
+#[test]
+fn dense_loop_hoisted_outside_sparse_is_slower() {
+    let mut rng = Rng64::seed_from(1);
+    let m = gen::uniform_random(512, 512, 0.02, &mut rng);
+    let s = sim();
+    let space = s.space_for(Kernel::SpMM, vec![512, 512], 32);
+    let inner = {
+        let mut x = named::default_csr(&space);
+        x.parallel = None;
+        x
+    };
+    let mut outer = inner.clone();
+    // Move j1 to the outermost position.
+    let ji = outer
+        .loop_order
+        .iter()
+        .position(|v| *v == LoopVar::outer(2))
+        .unwrap();
+    let j = outer.loop_order.remove(ji);
+    outer.loop_order.insert(0, j);
+    let ti = s.time_matrix(&m, &inner, &space).unwrap();
+    let to = s.time_matrix(&m, &outer, &space).unwrap();
+    assert!(
+        to.traversal_ns > 4.0 * ti.traversal_ns,
+        "j-outer traversal {} should dwarf j-inner {}",
+        to.traversal_ns,
+        ti.traversal_ns
+    );
+}
+
+/// The chunk-size sweet spot: tiny chunks pay dispatch, huge chunks strand
+/// work; something in between wins on a skewed matrix (why "OpenMP Chunk
+/// Size" is Table 6's dominant factor).
+#[test]
+fn chunk_size_has_an_interior_optimum() {
+    let mut rng = Rng64::seed_from(2);
+    let m = gen::powerlaw_rows(4096, 4096, 10.0, 1.4, &mut rng);
+    let s = sim();
+    let space = s.space_for(Kernel::SpMV, vec![4096, 4096], 0);
+    let report = |chunk: usize| {
+        let mut sched = named::default_csr(&space);
+        sched.parallel = Some(Parallelize { var: LoopVar::outer(0), threads: 24, chunk });
+        s.time_matrix(&m, &sched, &space).unwrap()
+    };
+    let r1 = report(1);
+    let r32 = report(32);
+    let r256 = report(256); // menu max: only 16 chunks for 24 threads
+    assert!(
+        r32.seconds < r256.seconds,
+        "moderate chunks {} must beat starving chunks {}",
+        r32.seconds,
+        r256.seconds
+    );
+    // Fine chunks balance better but pay strictly more dispatch overhead —
+    // the trade-off that makes chunk size worth learning.
+    assert!(r1.imbalance <= r32.imbalance + 1e-9);
+    assert!(r1.parallel_ns > r32.parallel_ns);
+}
+
+/// SMT: 48 threads on 24 cores still help throughput-bound balanced work
+/// (the paper's thread menu exists for a reason).
+#[test]
+fn smt_oversubscription_helps_balanced_work() {
+    let mut rng = Rng64::seed_from(3);
+    let m = gen::uniform_random(8192, 8192, 8.0 / 8192.0, &mut rng);
+    let s = sim();
+    let space = s.space_for(Kernel::SpMV, vec![8192, 8192], 0);
+    let run = |threads: usize| {
+        let mut sched = named::default_csr(&space);
+        sched.parallel = Some(Parallelize { var: LoopVar::outer(0), threads, chunk: 16 });
+        s.time_matrix(&m, &sched, &space).unwrap().seconds
+    };
+    let t24 = run(24);
+    let t48 = run(48);
+    assert!(
+        t48 < t24,
+        "48 SMT threads ({t48}) should beat 24 ({t24}) on balanced work"
+    );
+}
+
+/// The EPYC-like machine ranks thread counts differently (its menu tops out
+/// at 16), which is what makes cross-hardware schedules mismatch (Table 7).
+#[test]
+fn machines_disagree_on_thread_counts() {
+    let mut rng = Rng64::seed_from(4);
+    let m = gen::uniform_random(4096, 4096, 0.002, &mut rng);
+    let xeon = Simulator::new(MachineConfig::xeon_like());
+    let epyc = Simulator::new(MachineConfig::epyc_like());
+    let space_x = xeon.space_for(Kernel::SpMV, vec![4096, 4096], 0);
+    let run = |s: &Simulator, threads: usize| {
+        let mut sched = named::default_csr(&space_x);
+        sched.parallel = Some(Parallelize { var: LoopVar::outer(0), threads, chunk: 16 });
+        s.time_matrix(&m, &sched, &space_x).unwrap().seconds
+    };
+    // 48 threads: fine on the Xeon-like machine, oversubscribed 6x on EPYC.
+    let xeon_pref = run(&xeon, 48) < run(&xeon, 8);
+    let epyc_pref = run(&epyc, 8) < run(&epyc, 48);
+    assert!(xeon_pref, "xeon should prefer 48 threads");
+    assert!(epyc_pref, "epyc should prefer 8 threads");
+}
+
+/// Block padding is not free: a mostly-empty dense block format wastes
+/// memory traffic and body work on zeros, unless SIMD pays for it
+/// (the <50%-filled trade-off of Table 6 / Figure 14).
+#[test]
+fn padding_has_a_cost_without_simd() {
+    let mut rng = Rng64::seed_from(5);
+    // Scattered matrix: blocks would be nearly empty.
+    let m = gen::uniform_random(1024, 1024, 0.005, &mut rng);
+    let s = sim();
+    let space = s.space_for(Kernel::SpMV, vec![1024, 1024], 0);
+    let csr = {
+        let mut x = named::default_csr(&space);
+        x.parallel = None;
+        x
+    };
+    let mut bcsr8 = csr.clone();
+    bcsr8.splits = vec![8, 8]; // 8-wide blocks: padded but NOT vectorized
+    let t_csr = s.time_matrix(&m, &csr, &space).unwrap();
+    let t_b = s.time_matrix(&m, &bcsr8, &space).unwrap();
+    assert!(
+        t_b.seconds > t_csr.seconds,
+        "sub-threshold blocks on scatter ({}) must lose to CSR ({})",
+        t_b.seconds,
+        t_csr.seconds
+    );
+}

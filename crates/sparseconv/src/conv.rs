@@ -1,0 +1,344 @@
+//! Submanifold sparse convolution and global average pooling.
+
+use crate::grid::SparseTensorD;
+use waco_nn::{Mat, Param};
+use waco_tensor::gen::Rng64;
+
+/// Enumerates the `filter^D` tap offsets, centered (`-f/2 ..= f/2` per dim).
+fn offsets<const D: usize>(filter: usize) -> Vec<[i32; D]> {
+    let half = (filter / 2) as i32;
+    let mut out: Vec<[i32; D]> = vec![[0; D]];
+    for d in 0..D {
+        let mut next = Vec::with_capacity(out.len() * filter);
+        for base in &out {
+            for o in -half..=half {
+                let mut c = *base;
+                c[d] = o;
+                next.push(c);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+#[derive(Debug, Clone)]
+struct ConvCache {
+    gathered: Mat,
+    /// `(out_row, tap, in_row)` triples of present neighbors.
+    pairs: Vec<(usize, usize, usize)>,
+    n_in: usize,
+}
+
+/// A sparse convolution layer.
+///
+/// * `stride == 1`: **submanifold** semantics — output sites equal input
+///   sites, so sparsity never dilates (Figure 7 of the paper).
+/// * `stride > 1`: strided semantics — output sites are the distinct
+///   `coord.div_euclid(stride)` cells of the input sites, which is what
+///   grows the receptive field for distant non-zeros (Figure 8).
+#[derive(Debug, Clone)]
+pub struct SubmanifoldConv<const D: usize> {
+    /// Weights, `(taps · in_ch) × out_ch`.
+    pub w: Param,
+    /// Bias, `1 × out_ch`.
+    pub b: Param,
+    filter: usize,
+    stride: usize,
+    in_ch: usize,
+    out_ch: usize,
+    taps: Vec<[i32; D]>,
+    cache: Option<ConvCache>,
+}
+
+impl<const D: usize> SubmanifoldConv<D> {
+    /// A new layer with Xavier-initialized weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `filter` is even or zero, or `stride` is zero.
+    pub fn new(filter: usize, stride: usize, in_ch: usize, out_ch: usize, rng: &mut Rng64) -> Self {
+        assert!(filter % 2 == 1 && filter > 0, "filter must be odd");
+        assert!(stride > 0, "stride must be positive");
+        let taps = offsets::<D>(filter);
+        Self {
+            w: Param::new(Mat::xavier(taps.len() * in_ch, out_ch, rng)),
+            b: Param::new(Mat::zeros(1, out_ch)),
+            filter,
+            stride,
+            in_ch,
+            out_ch,
+            taps,
+            cache: None,
+        }
+    }
+
+    /// Input channels.
+    pub fn in_ch(&self) -> usize {
+        self.in_ch
+    }
+
+    /// Output channels.
+    pub fn out_ch(&self) -> usize {
+        self.out_ch
+    }
+
+    /// Filter width.
+    pub fn filter(&self) -> usize {
+        self.filter
+    }
+
+    /// Forward pass; caches the gather map for backward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input channel count differs from `in_ch`.
+    pub fn forward(&mut self, x: &SparseTensorD<D>) -> SparseTensorD<D> {
+        assert_eq!(x.channels(), self.in_ch, "channel mismatch");
+        let s = self.stride as i32;
+        let out_coords: Vec<[i32; D]> = if self.stride == 1 {
+            x.coords.clone()
+        } else {
+            let mut v: Vec<[i32; D]> = x
+                .coords
+                .iter()
+                .map(|c| {
+                    let mut o = [0i32; D];
+                    for d in 0..D {
+                        o[d] = c[d].div_euclid(s);
+                    }
+                    o
+                })
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+
+        let taps = self.taps.len();
+        let mut gathered = Mat::zeros(out_coords.len(), taps * self.in_ch);
+        let mut pairs = Vec::new();
+        for (r, oc) in out_coords.iter().enumerate() {
+            let mut center = [0i32; D];
+            for d in 0..D {
+                center[d] = oc[d] * s;
+            }
+            for (t, off) in self.taps.iter().enumerate() {
+                let mut q = center;
+                for d in 0..D {
+                    q[d] += off[d];
+                }
+                if let Some(&ir) = x.index.get(&q) {
+                    gathered.row_mut(r)[t * self.in_ch..(t + 1) * self.in_ch]
+                        .copy_from_slice(x.feats.row(ir));
+                    pairs.push((r, t, ir));
+                }
+            }
+        }
+
+        let mut out_feats = gathered.matmul(&self.w.value);
+        out_feats.add_bias(self.b.value.row(0));
+        self.cache = Some(ConvCache { gathered, pairs, n_in: x.len() });
+        SparseTensorD::new(out_coords, out_feats)
+    }
+
+    /// Backward pass: accumulates weight/bias gradients and returns the
+    /// gradient w.r.t. the input features (`n_in × in_ch`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, dout: &Mat) -> Mat {
+        let cache = self.cache.as_ref().expect("forward before backward");
+        self.w.grad.add_assign(&cache.gathered.matmul_tn(dout));
+        self.b.grad.add_assign(&Mat::row_vector(&dout.col_sums()));
+        let dg = dout.matmul_nt(&self.w.value);
+        let mut din = Mat::zeros(cache.n_in, self.in_ch);
+        for &(r, t, ir) in &cache.pairs {
+            let src = &dg.row(r)[t * self.in_ch..(t + 1) * self.in_ch];
+            for (d, &g) in din.row_mut(ir).iter_mut().zip(src) {
+                *d += g;
+            }
+        }
+        din
+    }
+
+    /// Mutable references to the parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+}
+
+/// Global average pooling over active sites (one pooled vector per tensor).
+#[derive(Debug, Clone, Default)]
+pub struct AvgPool {
+    cached_n: usize,
+}
+
+impl AvgPool {
+    /// A fresh pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pools features to their per-channel mean; zero vector when empty.
+    pub fn forward(&mut self, feats: &Mat) -> Vec<f32> {
+        self.cached_n = feats.rows();
+        if feats.rows() == 0 {
+            return vec![0.0; feats.cols()];
+        }
+        let mut out = feats.col_sums();
+        let inv = 1.0 / feats.rows() as f32;
+        for v in &mut out {
+            *v *= inv;
+        }
+        out
+    }
+
+    /// Distributes the pooled gradient back over the sites.
+    pub fn backward(&self, grad: &[f32]) -> Mat {
+        let n = self.cached_n;
+        if n == 0 {
+            return Mat::zeros(0, grad.len());
+        }
+        let inv = 1.0 / n as f32;
+        Mat::from_fn(n, grad.len(), |_, c| grad[c] * inv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_cover_filter() {
+        let o2 = offsets::<2>(3);
+        assert_eq!(o2.len(), 9);
+        assert!(o2.contains(&[-1, 1]));
+        let o3 = offsets::<3>(3);
+        assert_eq!(o3.len(), 27);
+        assert_eq!(offsets::<2>(5).len(), 25);
+    }
+
+    #[test]
+    fn submanifold_preserves_sites() {
+        let mut rng = Rng64::seed_from(1);
+        let x = SparseTensorD::<2>::from_coords(&[[0, 0], [5, 5], [9, 2]]);
+        let mut conv = SubmanifoldConv::<2>::new(3, 1, 1, 4, &mut rng);
+        let y = conv.forward(&x);
+        assert_eq!(y.coords, x.coords);
+        assert_eq!(y.channels(), 4);
+    }
+
+    #[test]
+    fn strided_downsamples() {
+        let mut rng = Rng64::seed_from(2);
+        let x = SparseTensorD::<2>::from_coords(&[[0, 0], [1, 1], [4, 4], [5, 5]]);
+        let mut conv = SubmanifoldConv::<2>::new(3, 2, 1, 2, &mut rng);
+        let y = conv.forward(&x);
+        // (0,0),(1,1) → (0,0); (4,4),(5,5) → (2,2).
+        assert_eq!(y.coords, vec![[0, 0], [2, 2]]);
+    }
+
+    #[test]
+    fn isolated_points_dont_mix_at_stride_1() {
+        let mut rng = Rng64::seed_from(3);
+        // Two far-apart points: under submanifold conv, each output only sees
+        // its own input (Figure 8a).
+        let x = SparseTensorD::<2>::from_coords(&[[0, 0], [100, 100]]);
+        let mut conv = SubmanifoldConv::<2>::new(3, 1, 1, 3, &mut rng);
+        let y1 = conv.forward(&x);
+        // Perturb the second point's feature; first output must not change.
+        let mut x2 = x.clone();
+        x2.feats.set(1, 0, 5.0);
+        let y2 = conv.forward(&x2);
+        for c in 0..3 {
+            assert_eq!(y1.feats.get(0, c), y2.feats.get(0, c));
+            assert_ne!(y1.feats.get(1, c), y2.feats.get(1, c));
+        }
+    }
+
+    #[test]
+    fn strided_stack_eventually_mixes() {
+        let mut rng = Rng64::seed_from(4);
+        // Distance 8 → after 3 stride-2 layers coordinates coincide.
+        let x = SparseTensorD::<2>::from_coords(&[[0, 0], [8, 8]]);
+        let mut convs: Vec<SubmanifoldConv<2>> = (0..4)
+            .map(|i| SubmanifoldConv::new(3, 2, if i == 0 { 1 } else { 2 }, 2, &mut rng))
+            .collect();
+        let mut h = x;
+        for c in &mut convs {
+            h = c.forward(&h);
+        }
+        assert_eq!(h.len(), 1, "strided stack merges distant points");
+    }
+
+    #[test]
+    fn conv_gradient_matches_finite_difference() {
+        let mut rng = Rng64::seed_from(5);
+        let x = SparseTensorD::<2>::from_coords(&[[0, 0], [0, 1], [2, 2]]);
+        let mut conv = SubmanifoldConv::<2>::new(3, 1, 1, 2, &mut rng);
+        let y = conv.forward(&x);
+        let l0: f32 = y.feats.as_slice().iter().map(|v| 0.5 * v * v).sum();
+        conv.w.zero_grad();
+        conv.b.zero_grad();
+        conv.backward(&y.feats.clone());
+
+        let (wi, wj) = (4, 1); // arbitrary weight
+        let analytic = conv.w.grad.get(wi, wj);
+        let eps = 1e-3;
+        let mut conv2 = conv.clone();
+        let old = conv2.w.value.get(wi, wj);
+        conv2.w.value.set(wi, wj, old + eps);
+        let y2 = conv2.forward(&x);
+        let l1: f32 = y2.feats.as_slice().iter().map(|v| 0.5 * v * v).sum();
+        let numeric = (l1 - l0) / eps;
+        assert!(
+            (analytic - numeric).abs() < 2e-2 * numeric.abs().max(1.0),
+            "analytic {analytic} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn input_gradient_flows_to_contributing_sites() {
+        let mut rng = Rng64::seed_from(6);
+        let x = SparseTensorD::<2>::from_coords(&[[0, 0], [50, 50]]);
+        let mut conv = SubmanifoldConv::<2>::new(3, 1, 1, 2, &mut rng);
+        let y = conv.forward(&x);
+        let din = conv.backward(&Mat::from_fn(y.len(), 2, |_, _| 1.0));
+        assert_eq!(din.rows(), 2);
+        // Each input only contributes to its own output; grads nonzero.
+        assert!(din.get(0, 0).abs() > 0.0);
+        assert!(din.get(1, 0).abs() > 0.0);
+    }
+
+    #[test]
+    fn avgpool_forward_backward() {
+        let mut pool = AvgPool::new();
+        let feats = Mat::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let p = pool.forward(&feats);
+        assert_eq!(p, vec![2.0, 3.0]);
+        let g = pool.backward(&[1.0, 0.0]);
+        assert_eq!(g.get(0, 0), 0.5);
+        assert_eq!(g.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn avgpool_empty() {
+        let mut pool = AvgPool::new();
+        let p = pool.forward(&Mat::zeros(0, 3));
+        assert_eq!(p, vec![0.0; 3]);
+        assert_eq!(pool.backward(&[1.0; 3]).rows(), 0);
+    }
+
+    #[test]
+    fn conv3d_works() {
+        let mut rng = Rng64::seed_from(7);
+        let x = SparseTensorD::<3>::from_coords(&[[0, 0, 0], [1, 1, 1], [3, 3, 3]]);
+        let mut conv = SubmanifoldConv::<3>::new(3, 2, 1, 2, &mut rng);
+        let y = conv.forward(&x);
+        assert_eq!(y.coords, vec![[0, 0, 0], [1, 1, 1]]);
+        let din = conv.backward(&Mat::from_fn(y.len(), 2, |_, _| 1.0));
+        assert_eq!(din.rows(), 3);
+    }
+}

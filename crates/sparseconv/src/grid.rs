@@ -1,0 +1,153 @@
+//! Sparse coordinate grids: the activations of a sparse CNN.
+
+use std::collections::HashMap;
+use waco_nn::Mat;
+use waco_tensor::{CooMatrix, CooTensor3};
+
+/// A sparsity pattern handed to a feature extractor: raw coordinates plus
+/// dimensions, 2-D or 3-D.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pattern {
+    /// A 2-D pattern (sparse matrix).
+    D2 {
+        /// Nonzero coordinates.
+        coords: Vec<[i32; 2]>,
+        /// `[nrows, ncols]`.
+        dims: [usize; 2],
+    },
+    /// A 3-D pattern (sparse tensor).
+    D3 {
+        /// Nonzero coordinates.
+        coords: Vec<[i32; 3]>,
+        /// `[|i|, |k|, |l|]`.
+        dims: [usize; 3],
+    },
+}
+
+impl Pattern {
+    /// The pattern of a sparse matrix.
+    pub fn from_matrix(m: &CooMatrix) -> Self {
+        Pattern::D2 {
+            coords: m.iter().map(|(r, c, _)| [r as i32, c as i32]).collect(),
+            dims: [m.nrows(), m.ncols()],
+        }
+    }
+
+    /// The pattern of a 3-D sparse tensor.
+    pub fn from_tensor3(t: &CooTensor3) -> Self {
+        Pattern::D3 {
+            coords: t.iter().map(|(i, k, l, _)| [i as i32, k as i32, l as i32]).collect(),
+            dims: t.dims(),
+        }
+    }
+
+    /// Number of nonzeros.
+    pub fn nnz(&self) -> usize {
+        match self {
+            Pattern::D2 { coords, .. } => coords.len(),
+            Pattern::D3 { coords, .. } => coords.len(),
+        }
+    }
+
+    /// Dimensions as a slice.
+    pub fn dims(&self) -> &[usize] {
+        match self {
+            Pattern::D2 { dims, .. } => dims,
+            Pattern::D3 { dims, .. } => dims,
+        }
+    }
+}
+
+/// A sparse tensor of CNN activations: sorted site coordinates, a lookup
+/// index, and a feature row per site.
+#[derive(Debug, Clone)]
+pub struct SparseTensorD<const D: usize> {
+    /// Site coordinates, sorted lexicographically (deterministic order).
+    pub coords: Vec<[i32; D]>,
+    /// Coordinate → row index.
+    pub index: HashMap<[i32; D], usize>,
+    /// Features, one row per site.
+    pub feats: Mat,
+}
+
+impl<const D: usize> SparseTensorD<D> {
+    /// Builds a tensor from coordinates with constant feature `1.0`
+    /// (the network input: the raw pattern, no downsampling).
+    /// Duplicate coordinates are merged.
+    pub fn from_coords(coords: &[[i32; D]]) -> Self {
+        let mut sorted: Vec<[i32; D]> = coords.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let index: HashMap<[i32; D], usize> =
+            sorted.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+        let n = sorted.len();
+        Self { coords: sorted, index, feats: Mat::from_fn(n, 1, |_, _| 1.0) }
+    }
+
+    /// Builds a tensor from sorted unique coordinates and features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feats.rows() != coords.len()`.
+    pub fn new(coords: Vec<[i32; D]>, feats: Mat) -> Self {
+        assert_eq!(coords.len(), feats.rows(), "one feature row per site");
+        let index = coords.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+        Self { coords, index, feats }
+    }
+
+    /// Number of active sites.
+    pub fn len(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Whether the tensor has no active sites.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// Feature channels.
+    pub fn channels(&self) -> usize {
+        self.feats.cols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waco_tensor::gen::{self, Rng64};
+
+    #[test]
+    fn pattern_from_matrix() {
+        let mut rng = Rng64::seed_from(1);
+        let m = gen::uniform_random(10, 12, 0.2, &mut rng);
+        let p = Pattern::from_matrix(&m);
+        assert_eq!(p.nnz(), m.nnz());
+        assert_eq!(p.dims(), &[10, 12]);
+    }
+
+    #[test]
+    fn pattern_from_tensor() {
+        let mut rng = Rng64::seed_from(2);
+        let t = gen::random_tensor3([4, 5, 6], 20, &mut rng);
+        let p = Pattern::from_tensor3(&t);
+        assert_eq!(p.nnz(), t.nnz());
+        assert_eq!(p.dims(), &[4, 5, 6]);
+    }
+
+    #[test]
+    fn sparse_tensor_sorted_and_indexed() {
+        let st = SparseTensorD::<2>::from_coords(&[[3, 1], [0, 2], [3, 1], [1, 1]]);
+        assert_eq!(st.len(), 3, "duplicates merged");
+        assert_eq!(st.coords, vec![[0, 2], [1, 1], [3, 1]]);
+        assert_eq!(st.index[&[3, 1]], 2);
+        assert_eq!(st.channels(), 1);
+        assert_eq!(st.feats.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn empty_tensor() {
+        let st = SparseTensorD::<2>::from_coords(&[]);
+        assert!(st.is_empty());
+        assert_eq!(st.len(), 0);
+    }
+}

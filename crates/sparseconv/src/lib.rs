@@ -1,0 +1,103 @@
+//! Submanifold sparse convolutional networks — WACONet and its ablations.
+//!
+//! This crate is the MinkowskiEngine substitute: it implements **submanifold
+//! sparse convolution** (Graham & van der Maaten, 2017) from scratch on CPU,
+//! with strides, for 2-D and 3-D coordinate sets, plus the four sparsity
+//! pattern feature extractors compared in Figure 15 of the WACO paper:
+//!
+//! * [`waconet::WacoNet`] — the paper's extractor: one 5×5 stride-1
+//!   submanifold layer, then a stack of 3×3 stride-2 layers whose global
+//!   average poolings are all concatenated (receptive field doubles per
+//!   layer, which is what lets distant non-zeros communicate — Figure 8);
+//! * [`baselines::MinkowskiLike`] — stride-1 submanifold stack (limited
+//!   receptive-field growth);
+//! * [`baselines::DenseConvNet`] — a conventional CNN over a downsampled
+//!   pattern (information loss by construction — Figure 5);
+//! * [`baselines::HumanFeature`] — an MLP over `(#rows, #cols, #nnz)`.
+//!
+//! All extractors implement [`Extractor`] so the cost model in `waco-model`
+//! can swap them (the Figure 15 ablation harness does exactly that).
+//!
+//! # Example
+//!
+//! ```
+//! use waco_sparseconv::{waconet::{WacoNet, WacoNetConfig}, Extractor, Pattern};
+//! use waco_tensor::gen::{self, Rng64};
+//!
+//! let mut rng = Rng64::seed_from(1);
+//! let m = gen::uniform_random(64, 64, 0.05, &mut rng);
+//! let mut net = WacoNet::new_2d(WacoNetConfig::tiny(), &mut rng);
+//! let feat = net.forward(&Pattern::from_matrix(&m));
+//! assert_eq!(feat.len(), net.dim());
+//! ```
+
+pub mod baselines;
+pub mod conv;
+pub mod grid;
+pub mod waconet;
+
+pub use grid::{Pattern, SparseTensorD};
+pub use waco_nn::Param;
+
+/// A sparsity-pattern feature extractor with a trainable backward pass.
+///
+/// `forward` caches activations; `backward` must be called with the gradient
+/// of the most recent `forward`'s output. Batch size is one pattern (the
+/// cost model reuses one extracted feature across a whole batch of
+/// SuperSchedules, like the paper's search-time breakdown assumes).
+pub trait Extractor {
+    /// Extractor name (appears in the Figure 15 ablation output).
+    fn name(&self) -> &'static str;
+
+    /// Output feature width.
+    fn dim(&self) -> usize;
+
+    /// Extracts the feature vector of a pattern, caching for backward.
+    fn forward(&mut self, p: &Pattern) -> Vec<f32>;
+
+    /// Backpropagates the feature gradient into parameter gradients.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if called before `forward`.
+    fn backward(&mut self, grad: &[f32]);
+
+    /// Zeroes all parameter gradients.
+    fn zero_grad(&mut self);
+
+    /// Mutable access to all parameters (for the optimizer).
+    fn params_mut(&mut self) -> Vec<&mut Param>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waco_tensor::gen::{self, Rng64};
+
+    /// Every extractor must produce finite features and accept gradients.
+    #[test]
+    fn all_extractors_roundtrip() {
+        let mut rng = Rng64::seed_from(2);
+        let m = gen::blocked(48, 48, 4, 12, 0.9, &mut rng);
+        let p = Pattern::from_matrix(&m);
+        let mut extractors: Vec<Box<dyn Extractor>> = vec![
+            Box::new(waconet::WacoNet::new_2d(waconet::WacoNetConfig::tiny(), &mut rng)),
+            Box::new(baselines::MinkowskiLike::new(8, 3, 16, &mut rng)),
+            Box::new(baselines::DenseConvNet::new(16, 8, 16, &mut rng)),
+            Box::new(baselines::HumanFeature::new(16, &mut rng)),
+        ];
+        for e in &mut extractors {
+            let f = e.forward(&p);
+            assert_eq!(f.len(), e.dim(), "{}", e.name());
+            assert!(f.iter().all(|v| v.is_finite()), "{}", e.name());
+            e.zero_grad();
+            let g = vec![0.1f32; f.len()];
+            e.backward(&g);
+            let has_grad = e
+                .params_mut()
+                .iter()
+                .any(|pr| pr.grad.max_abs() > 0.0);
+            assert!(has_grad, "{} produced no gradient", e.name());
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Dataset augmentation: resizing sparsity patterns.
+//!
+//! The paper (§4.1.3) augments 2,893 SuiteSparse matrices into 21,400 by
+//! "arbitrarily resizing them". Resizing maps each nonzero coordinate of the
+//! source pattern into the target shape, preserving the *relative* structure
+//! (bands stay bands, blocks stay blocky at the new scale) while producing a
+//! different absolute shape and nonzero count.
+
+use crate::gen::Rng64;
+use crate::{CooMatrix, Value};
+
+/// Resizes a pattern to `new_rows × new_cols` by coordinate rescaling.
+///
+/// When shrinking, multiple source nonzeros may collapse into one target cell
+/// (values are summed). When growing, each source nonzero lands in the
+/// top-left cell of its scaled region — use [`resize_jittered`] to spread them.
+pub fn resize(m: &CooMatrix, new_rows: usize, new_cols: usize) -> CooMatrix {
+    assert!(new_rows > 0 && new_cols > 0, "target dims must be positive");
+    let rscale = new_rows as f64 / m.nrows() as f64;
+    let cscale = new_cols as f64 / m.ncols() as f64;
+    CooMatrix::from_triplets(
+        new_rows,
+        new_cols,
+        m.iter().map(|(r, c, v)| {
+            let nr = ((r as f64 * rscale) as usize).min(new_rows - 1);
+            let nc = ((c as f64 * cscale) as usize).min(new_cols - 1);
+            (nr, nc, v)
+        }),
+    )
+    .expect("scaled coords are clamped in bounds")
+}
+
+/// Resizes with sub-cell jitter so up-scaling spreads nonzeros through the
+/// scaled region instead of aliasing onto a grid. Deterministic given `rng`.
+pub fn resize_jittered(
+    m: &CooMatrix,
+    new_rows: usize,
+    new_cols: usize,
+    rng: &mut Rng64,
+) -> CooMatrix {
+    assert!(new_rows > 0 && new_cols > 0, "target dims must be positive");
+    let rscale = new_rows as f64 / m.nrows() as f64;
+    let cscale = new_cols as f64 / m.ncols() as f64;
+    CooMatrix::from_triplets(
+        new_rows,
+        new_cols,
+        m.iter().map(|(r, c, v)| {
+            let nr = (((r as f64 + rng.unit_f64()) * rscale) as usize).min(new_rows - 1);
+            let nc = (((c as f64 + rng.unit_f64()) * cscale) as usize).min(new_cols - 1);
+            (nr, nc, v)
+        }),
+    )
+    .expect("scaled coords are clamped in bounds")
+}
+
+/// Randomly permutes rows of the pattern (a pattern-destroying augmentation
+/// used to test pattern sensitivity; also what ASpT-style reordering undoes).
+pub fn permute_rows(m: &CooMatrix, rng: &mut Rng64) -> CooMatrix {
+    let mut perm: Vec<usize> = (0..m.nrows()).collect();
+    rng.shuffle(&mut perm);
+    CooMatrix::from_triplets(
+        m.nrows(),
+        m.ncols(),
+        m.iter().map(|(r, c, v)| (perm[r], c, v)),
+    )
+    .expect("permutation keeps coords in bounds")
+}
+
+/// Extracts the principal submatrix `[0, rows) × [0, cols)`.
+pub fn crop(m: &CooMatrix, rows: usize, cols: usize) -> CooMatrix {
+    assert!(rows > 0 && cols > 0, "crop dims must be positive");
+    CooMatrix::from_triplets(
+        rows.min(m.nrows()),
+        cols.min(m.ncols()),
+        m.iter()
+            .filter(move |&(r, c, _)| r < rows && c < cols)
+            .map(|(r, c, v)| (r, c, v)),
+    )
+    .expect("cropped coords in bounds")
+}
+
+/// Replaces stored values with fresh uniform values in `[-1, 1)` (patterns are
+/// what matter to the tuner; this decorrelates values across augmentations).
+pub fn refresh_values(m: &CooMatrix, rng: &mut Rng64) -> CooMatrix {
+    let vals: Vec<(usize, usize, Value)> =
+        m.iter().map(|(r, c, _)| (r, c, rng.value())).collect();
+    CooMatrix::from_triplets(m.nrows(), m.ncols(), vals).expect("same coords")
+}
+
+/// The paper's augmentation pipeline: resize a base pattern into `count`
+/// variants with random target shapes in `[min_dim, max_dim]`.
+pub fn augment(
+    base: &CooMatrix,
+    count: usize,
+    min_dim: usize,
+    max_dim: usize,
+    rng: &mut Rng64,
+) -> Vec<CooMatrix> {
+    assert!(min_dim > 0 && max_dim >= min_dim, "invalid dim range");
+    (0..count)
+        .map(|_| {
+            let nr = min_dim + rng.below(max_dim - min_dim + 1);
+            let nc = min_dim + rng.below(max_dim - min_dim + 1);
+            let resized = resize_jittered(base, nr, nc, rng);
+            refresh_values(&resized, rng)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn shrink_preserves_band() {
+        let mut rng = Rng64::seed_from(1);
+        let m = gen::banded(128, 4, 0.9, &mut rng);
+        let small = resize(&m, 32, 32);
+        assert_eq!(small.nrows(), 32);
+        // Band structure survives scaling: max |r-c| ~ 4 * (32/128) rounded up.
+        for (r, c, _) in small.iter() {
+            assert!(r.abs_diff(c) <= 2, "band must survive shrink: ({r},{c})");
+        }
+    }
+
+    #[test]
+    fn grow_spreads_with_jitter() {
+        let mut rng = Rng64::seed_from(2);
+        let m = gen::uniform_random(16, 16, 0.3, &mut rng);
+        let big = resize_jittered(&m, 64, 64, &mut rng);
+        assert_eq!(big.nrows(), 64);
+        assert!(big.nnz() <= m.nnz());
+        // Jittered coordinates should not all be multiples of 4.
+        let aligned = big.iter().filter(|(r, c, _)| r % 4 == 0 && c % 4 == 0).count();
+        assert!(aligned < big.nnz());
+    }
+
+    #[test]
+    fn permute_preserves_counts() {
+        let mut rng = Rng64::seed_from(3);
+        let m = gen::powerlaw_rows(64, 64, 4.0, 1.1, &mut rng);
+        let p = permute_rows(&m, &mut rng);
+        assert_eq!(p.nnz(), m.nnz());
+        let mut a = m.row_nnz();
+        let mut b = p.row_nnz();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "row populations are a permutation");
+    }
+
+    #[test]
+    fn crop_bounds() {
+        let mut rng = Rng64::seed_from(4);
+        let m = gen::uniform_random(50, 50, 0.2, &mut rng);
+        let c = crop(&m, 10, 20);
+        assert_eq!((c.nrows(), c.ncols()), (10, 20));
+        for (r, col, _) in c.iter() {
+            assert!(r < 10 && col < 20);
+        }
+    }
+
+    #[test]
+    fn augment_produces_varied_shapes() {
+        let mut rng = Rng64::seed_from(5);
+        let base = gen::mesh2d(16, 16);
+        let variants = augment(&base, 8, 32, 128, &mut rng);
+        assert_eq!(variants.len(), 8);
+        let shapes: std::collections::HashSet<(usize, usize)> =
+            variants.iter().map(|v| (v.nrows(), v.ncols())).collect();
+        assert!(shapes.len() > 1, "shapes should vary");
+        for v in &variants {
+            assert!(v.nrows() >= 32 && v.nrows() <= 128);
+            assert!(v.nnz() > 0);
+        }
+    }
+
+    #[test]
+    fn refresh_keeps_pattern() {
+        let mut rng = Rng64::seed_from(6);
+        let m = gen::uniform_random(20, 20, 0.1, &mut rng);
+        let r = refresh_values(&m, &mut rng);
+        assert_eq!(r.pattern(), m.pattern());
+    }
+}

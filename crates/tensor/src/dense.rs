@@ -1,0 +1,244 @@
+//! Dense operands of the four kernels: row-major matrices and vectors.
+
+use crate::Value;
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<Value>,
+}
+
+impl DenseMatrix {
+    /// An all-zero matrix of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        assert!(nrows > 0 && ncols > 0, "dense matrix dims must be positive");
+        Self { nrows, ncols, data: vec![0.0; nrows * ncols] }
+    }
+
+    /// A matrix filled with `v`.
+    pub fn constant(nrows: usize, ncols: usize, v: Value) -> Self {
+        let mut m = Self::zeros(nrows, ncols);
+        m.data.fill(v);
+        m
+    }
+
+    /// Builds a matrix from a row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != nrows * ncols`.
+    pub fn from_vec(nrows: usize, ncols: usize, data: Vec<Value>) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "buffer length mismatch");
+        assert!(nrows > 0 && ncols > 0, "dense matrix dims must be positive");
+        Self { nrows, ncols, data }
+    }
+
+    /// A matrix whose entry `(r, c)` is `f(r, c)`.
+    pub fn from_fn(nrows: usize, ncols: usize, mut f: impl FnMut(usize, usize) -> Value) -> Self {
+        let mut m = Self::zeros(nrows, ncols);
+        for r in 0..nrows {
+            for c in 0..ncols {
+                m.data[r * ncols + c] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> Value {
+        debug_assert!(r < self.nrows && c < self.ncols);
+        self.data[r * self.ncols + c]
+    }
+
+    /// Mutable element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get_mut(&mut self, r: usize, c: usize) -> &mut Value {
+        debug_assert!(r < self.nrows && c < self.ncols);
+        &mut self.data[r * self.ncols + c]
+    }
+
+    /// A view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[Value] {
+        &self.data[r * self.ncols..(r + 1) * self.ncols]
+    }
+
+    /// A mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [Value] {
+        &mut self.data[r * self.ncols..(r + 1) * self.ncols]
+    }
+
+    /// The raw row-major buffer.
+    pub fn as_slice(&self) -> &[Value] {
+        &self.data
+    }
+
+    /// The raw mutable row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [Value] {
+        &mut self.data
+    }
+
+    /// Maximum absolute element-wise difference to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> Value {
+        assert_eq!((self.nrows, self.ncols), (other.nrows, other.ncols), "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, Value::max)
+    }
+
+    /// Resets all elements to zero (for accumulator reuse).
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+}
+
+/// A dense vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseVector {
+    data: Vec<Value>,
+}
+
+impl DenseVector {
+    /// An all-zero vector of length `n`.
+    pub fn zeros(n: usize) -> Self {
+        Self { data: vec![0.0; n] }
+    }
+
+    /// A vector filled with `v`.
+    pub fn constant(n: usize, v: Value) -> Self {
+        Self { data: vec![v; n] }
+    }
+
+    /// Builds a vector from a buffer.
+    pub fn from_vec(data: Vec<Value>) -> Self {
+        Self { data }
+    }
+
+    /// A vector whose entry `i` is `f(i)`.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize) -> Value) -> Self {
+        Self { data: (0..n).map(|i| f(i)).collect() }
+    }
+
+    /// Length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the vector has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The raw buffer.
+    pub fn as_slice(&self) -> &[Value] {
+        &self.data
+    }
+
+    /// The raw mutable buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [Value] {
+        &mut self.data
+    }
+
+    /// Maximum absolute element-wise difference to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn max_abs_diff(&self, other: &DenseVector) -> Value {
+        assert_eq!(self.len(), other.len(), "length mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, Value::max)
+    }
+}
+
+impl std::ops::Index<usize> for DenseVector {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        &self.data[i]
+    }
+}
+
+impl std::ops::IndexMut<usize> for DenseVector {
+    fn index_mut(&mut self, i: usize) -> &mut Value {
+        &mut self.data[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_matrix_indexing() {
+        let mut m = DenseMatrix::zeros(2, 3);
+        *m.get_mut(1, 2) = 5.0;
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.row(1), &[0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn from_fn_layout() {
+        let m = DenseMatrix::from_fn(2, 2, |r, c| (r * 10 + c) as Value);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn max_abs_diff_works() {
+        let a = DenseMatrix::constant(2, 2, 1.0);
+        let b = DenseMatrix::constant(2, 2, 1.5);
+        assert_eq!(a.max_abs_diff(&b), 0.5);
+        let v = DenseVector::constant(3, 2.0);
+        let w = DenseVector::from_vec(vec![2.0, 4.0, 2.0]);
+        assert_eq!(v.max_abs_diff(&w), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length mismatch")]
+    fn from_vec_checks_len() {
+        let _ = DenseMatrix::from_vec(2, 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn vector_index_ops() {
+        let mut v = DenseVector::zeros(4);
+        v[2] = 3.0;
+        assert_eq!(v[2], 3.0);
+        assert_eq!(v.len(), 4);
+        assert!(!v.is_empty());
+    }
+}

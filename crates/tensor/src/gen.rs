@@ -1,0 +1,539 @@
+//! Synthetic sparsity-pattern generators.
+//!
+//! The WACO paper trains and evaluates on the SuiteSparse collection, whose
+//! matrices matter to the auto-tuner only through their *sparsity patterns*:
+//! local dense blocks, banded structure, skewed row populations, scale-free
+//! graph structure, mesh regularity. The generators here produce the same
+//! structural families deterministically, so the full pipeline is reproducible
+//! without the (multi-GB) collection. Real `.mtx` files can still be loaded
+//! through [`crate::io`].
+//!
+//! All generators take an explicit [`Rng64`], a small deterministic
+//! xoshiro256**-based PRNG, so that every experiment in the workspace is
+//! exactly reproducible from a seed.
+
+use crate::{CooMatrix, CooTensor3, Value};
+
+/// A small, fast, deterministic PRNG (xoshiro256** seeded via SplitMix64).
+///
+/// Used across the whole workspace instead of an external RNG so that results
+/// are stable across platforms and dependency upgrades.
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+impl Rng64 {
+    /// Creates a generator from a seed. Any seed is valid.
+    pub fn seed_from(seed: u64) -> Self {
+        // SplitMix64 to spread the seed into 256 bits of state.
+        let mut x = seed.wrapping_add(0x9E3779B97F4A7C15);
+        let mut next = || {
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        Self { s }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "Rng64::below bound must be positive");
+        // Widening-multiply rejection-free mapping (Lemire); bias is negligible
+        // for the bounds used here (< 2^32).
+        ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    pub fn unit_f32(&mut self) -> f32 {
+        self.unit_f64() as f32
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit_f64() < p
+    }
+
+    /// Uniform value in `[-1, 1)` — the stored-value distribution used by the
+    /// generators.
+    pub fn value(&mut self) -> Value {
+        (self.unit_f64() * 2.0 - 1.0) as Value
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            xs.swap(i, self.below(i + 1));
+        }
+    }
+
+    /// Picks one element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len())]
+    }
+}
+
+fn collect_unique(
+    nrows: usize,
+    ncols: usize,
+    coords: impl IntoIterator<Item = (usize, usize)>,
+    rng: &mut Rng64,
+) -> CooMatrix {
+    let triplets: Vec<(usize, usize, Value)> = coords
+        .into_iter()
+        .map(|(r, c)| (r, c, rng.value()))
+        .collect();
+    CooMatrix::from_triplets(nrows, ncols, triplets).expect("generator coords in bounds")
+}
+
+/// Uniformly random pattern of the given density (Erdős–Rényi style).
+pub fn uniform_random(nrows: usize, ncols: usize, density: f64, rng: &mut Rng64) -> CooMatrix {
+    let target = ((nrows * ncols) as f64 * density).round() as usize;
+    let mut coords = Vec::with_capacity(target);
+    for _ in 0..target {
+        coords.push((rng.below(nrows), rng.below(ncols)));
+    }
+    collect_unique(nrows, ncols, coords, rng)
+}
+
+/// Banded matrix: nonzeros concentrated within `bandwidth` of the diagonal,
+/// each in-band position present with probability `fill`.
+pub fn banded(n: usize, bandwidth: usize, fill: f64, rng: &mut Rng64) -> CooMatrix {
+    let mut coords = Vec::new();
+    for r in 0..n {
+        let lo = r.saturating_sub(bandwidth);
+        let hi = (r + bandwidth + 1).min(n);
+        for c in lo..hi {
+            if rng.chance(fill) {
+                coords.push((r, c));
+            }
+        }
+    }
+    collect_unique(n, n, coords, rng)
+}
+
+/// Block-structured matrix: `nblocks` dense blocks of size `block × block`
+/// placed at block-aligned positions, each block filled to `block_fill`.
+///
+/// This is the family where dense-block formats (UCU / UCUU) win; `block_fill`
+/// below 0.5 exercises the "<50% filled" SIMD trade-off of Table 6.
+pub fn blocked(
+    nrows: usize,
+    ncols: usize,
+    block: usize,
+    nblocks: usize,
+    block_fill: f64,
+    rng: &mut Rng64,
+) -> CooMatrix {
+    assert!(block > 0, "block size must be positive");
+    let brows = nrows.div_ceil(block);
+    let bcols = ncols.div_ceil(block);
+    let mut coords = Vec::new();
+    for _ in 0..nblocks {
+        let br = rng.below(brows);
+        let bc = rng.below(bcols);
+        for dr in 0..block {
+            for dc in 0..block {
+                let (r, c) = (br * block + dr, bc * block + dc);
+                if r < nrows && c < ncols && rng.chance(block_fill) {
+                    coords.push((r, c));
+                }
+            }
+        }
+    }
+    collect_unique(nrows, ncols, coords, rng)
+}
+
+/// Skewed (power-law) row populations: row `r`'s nonzero count follows a
+/// Zipf-like law with exponent `alpha`, scaled so the mean is
+/// `avg_row_nnz`. Heavy rows make coarse-grained load balancing fail — the
+/// pattern family where small OpenMP chunk sizes win.
+pub fn powerlaw_rows(
+    nrows: usize,
+    ncols: usize,
+    avg_row_nnz: f64,
+    alpha: f64,
+    rng: &mut Rng64,
+) -> CooMatrix {
+    let mut ranks: Vec<usize> = (0..nrows).collect();
+    rng.shuffle(&mut ranks);
+    let weights: Vec<f64> = (0..nrows).map(|i| 1.0 / ((i + 1) as f64).powf(alpha)).collect();
+    let wsum: f64 = weights.iter().sum();
+    let total = avg_row_nnz * nrows as f64;
+    let mut coords = Vec::new();
+    for r in 0..nrows {
+        let count = (total * weights[ranks[r]] / wsum).round() as usize;
+        let count = count.min(ncols);
+        for _ in 0..count {
+            coords.push((r, rng.below(ncols)));
+        }
+    }
+    collect_unique(nrows, ncols, coords, rng)
+}
+
+/// R-MAT / stochastic Kronecker graph pattern (scale-free, like web or social
+/// graphs in SuiteSparse). `scale` is log2 of the dimension.
+pub fn kronecker(scale: u32, nnz: usize, rng: &mut Rng64) -> CooMatrix {
+    let n = 1usize << scale;
+    // Classic R-MAT quadrant probabilities.
+    let (a, b, c) = (0.57, 0.19, 0.19);
+    let mut coords = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        let (mut r, mut col) = (0usize, 0usize);
+        for _ in 0..scale {
+            let p = rng.unit_f64();
+            let (dr, dc) = if p < a {
+                (0, 0)
+            } else if p < a + b {
+                (0, 1)
+            } else if p < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            r = (r << 1) | dr;
+            col = (col << 1) | dc;
+        }
+        coords.push((r, col));
+    }
+    collect_unique(n, n, coords, rng)
+}
+
+/// 5-point-stencil Laplacian of a `width × height` grid (mesh / PDE family).
+pub fn mesh2d(width: usize, height: usize) -> CooMatrix {
+    let n = width * height;
+    let mut triplets = Vec::with_capacity(5 * n);
+    let idx = |x: usize, y: usize| y * width + x;
+    for y in 0..height {
+        for x in 0..width {
+            let i = idx(x, y);
+            triplets.push((i, i, 4.0));
+            if x > 0 {
+                triplets.push((i, idx(x - 1, y), -1.0));
+            }
+            if x + 1 < width {
+                triplets.push((i, idx(x + 1, y), -1.0));
+            }
+            if y > 0 {
+                triplets.push((i, idx(x, y - 1), -1.0));
+            }
+            if y + 1 < height {
+                triplets.push((i, idx(x, y + 1), -1.0));
+            }
+        }
+    }
+    CooMatrix::from_triplets(n, n, triplets).expect("stencil coords in bounds")
+}
+
+/// Matrix with nonzeros only on the given diagonals (DIA family).
+pub fn diagonals(n: usize, offsets: &[isize], rng: &mut Rng64) -> CooMatrix {
+    let mut coords = Vec::new();
+    for &off in offsets {
+        for r in 0..n {
+            let c = r as isize + off;
+            if c >= 0 && (c as usize) < n {
+                coords.push((r, c as usize));
+            }
+        }
+    }
+    collect_unique(n, n, coords, rng)
+}
+
+/// Random 3-D sparse tensor with roughly `nnz` nonzeros (for MTTKRP).
+pub fn random_tensor3(dims: [usize; 3], nnz: usize, rng: &mut Rng64) -> CooTensor3 {
+    let quads: Vec<(usize, usize, usize, Value)> = (0..nnz)
+        .map(|_| (rng.below(dims[0]), rng.below(dims[1]), rng.below(dims[2]), rng.value()))
+        .collect();
+    CooTensor3::from_quads(dims, quads).expect("generator coords in bounds")
+}
+
+/// 3-D tensor with block/slice structure: a few dense fibers per slice, the
+/// structured counterpart of [`random_tensor3`].
+pub fn fibered_tensor3(
+    dims: [usize; 3],
+    fibers_per_slice: usize,
+    fiber_fill: f64,
+    rng: &mut Rng64,
+) -> CooTensor3 {
+    let mut quads = Vec::new();
+    for i in 0..dims[0] {
+        for _ in 0..fibers_per_slice {
+            let k = rng.below(dims[1]);
+            for l in 0..dims[2] {
+                if rng.chance(fiber_fill) {
+                    quads.push((i, k, l, rng.value()));
+                }
+            }
+        }
+    }
+    CooTensor3::from_quads(dims, quads).expect("generator coords in bounds")
+}
+
+/// A named matrix family, used to assemble reproducible corpora.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Uniformly random ([`uniform_random`]).
+    Uniform,
+    /// Banded / near-diagonal ([`banded`]).
+    Banded,
+    /// Dense blocks, well filled (≥ 50%).
+    BlockedDense,
+    /// Dense blocks, sparsely filled (< 50%).
+    BlockedSparse,
+    /// Skewed row populations ([`powerlaw_rows`]).
+    PowerLaw,
+    /// Scale-free graph ([`kronecker`]).
+    Kronecker,
+    /// 2-D mesh stencil ([`mesh2d`]).
+    Mesh,
+}
+
+impl Family {
+    /// All families, in a stable order.
+    pub const ALL: [Family; 7] = [
+        Family::Uniform,
+        Family::Banded,
+        Family::BlockedDense,
+        Family::BlockedSparse,
+        Family::PowerLaw,
+        Family::Kronecker,
+        Family::Mesh,
+    ];
+
+    /// Generates one representative of this family sized around `n` rows,
+    /// with nonzero counts linear in `n` (like SuiteSparse matrices, whose
+    /// mean row population does not grow with the dimension).
+    pub fn generate(self, n: usize, rng: &mut Rng64) -> CooMatrix {
+        match self {
+            Family::Uniform => uniform_random(n, n, 8.0 / n as f64, rng),
+            Family::Banded => banded(n, (n / 256).max(2), 0.4, rng),
+            Family::BlockedDense => blocked(n, n, 16, (n / 16).max(4), 0.9, rng),
+            Family::BlockedSparse => blocked(n, n, 16, (n / 12).max(4), 0.3, rng),
+            Family::PowerLaw => powerlaw_rows(n, n, 8.0, 1.1, rng),
+            Family::Kronecker => {
+                let scale = (n as f64).log2().ceil() as u32;
+                kronecker(scale, n * 8, rng)
+            }
+            Family::Mesh => {
+                let side = (n as f64).sqrt().round() as usize;
+                mesh2d(side.max(2), side.max(2))
+            }
+        }
+    }
+}
+
+/// A deterministic corpus of `count` matrices cycling through all families,
+/// sized `n` (± jitter). This stands in for the SuiteSparse train/test splits.
+pub fn corpus(count: usize, n: usize, seed: u64) -> Vec<(String, CooMatrix)> {
+    let mut rng = Rng64::seed_from(seed);
+    let mut out = Vec::with_capacity(count);
+    for idx in 0..count {
+        let family = Family::ALL[idx % Family::ALL.len()];
+        // Jitter the size so shapes vary like the paper's resized dataset.
+        let jitter = 1.0 + 0.5 * rng.unit_f64();
+        let size = ((n as f64 * jitter) as usize).max(16);
+        let m = family.generate(size, &mut rng);
+        out.push((format!("{family:?}-{idx}"), m));
+    }
+    out
+}
+
+/// The three motivation matrices of the paper (Figure 2), reproduced as
+/// structural analogs at a configurable scale:
+///
+/// * `pli`-like — moderately dense, unstructured.
+/// * `TSOPF`-like — strong dense-block structure (where co-optimization gave
+///   the paper its 2.02× win).
+/// * `sparsine`-like — very sparse, scattered, locality-bound (where the
+///   sparse-block format won).
+pub fn motivation_trio(n: usize, seed: u64) -> Vec<(String, CooMatrix)> {
+    let mut rng = Rng64::seed_from(seed);
+    let pli = uniform_random(n, n, 16.0 / n as f64, &mut rng);
+    // ~4x pli's nnz, all in dense 16x16 blocks (the TSOPF signature).
+    let tsopf = blocked(n, n, 16, (n / 4).max(8), 0.95, &mut rng);
+    let sparsine = {
+        // Scattered far-from-diagonal pattern with mild column clustering.
+        let mut coords = Vec::new();
+        let per_row = 8;
+        for r in 0..n {
+            for _ in 0..per_row {
+                let c = (rng.below(n / 4) * 4 + rng.below(4)) % n;
+                coords.push((r, c));
+            }
+        }
+        collect_unique(n, n, coords, &mut rng)
+    };
+    vec![
+        ("pli-like".to_string(), pli),
+        ("tsopf-like".to_string(), tsopf),
+        ("sparsine-like".to_string(), sparsine),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = Rng64::seed_from(42);
+        let mut b = Rng64::seed_from(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn rng_below_respects_bound() {
+        let mut rng = Rng64::seed_from(1);
+        for bound in [1usize, 2, 7, 1000] {
+            for _ in 0..200 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn rng_unit_in_range() {
+        let mut rng = Rng64::seed_from(3);
+        for _ in 0..1000 {
+            let x = rng.unit_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_random_density_close() {
+        let mut rng = Rng64::seed_from(5);
+        let m = uniform_random(200, 200, 0.05, &mut rng);
+        // Duplicates shave a little off; allow 20% tolerance.
+        let expected = 200.0 * 200.0 * 0.05;
+        assert!((m.nnz() as f64) > expected * 0.8);
+        assert!((m.nnz() as f64) <= expected);
+    }
+
+    #[test]
+    fn banded_stays_in_band() {
+        let mut rng = Rng64::seed_from(6);
+        let m = banded(100, 3, 0.8, &mut rng);
+        for (r, c, _) in m.iter() {
+            assert!(r.abs_diff(c) <= 3);
+        }
+        assert!(m.nnz() > 100);
+    }
+
+    #[test]
+    fn blocked_is_block_aligned() {
+        let mut rng = Rng64::seed_from(7);
+        let m = blocked(64, 64, 8, 10, 1.0, &mut rng);
+        assert!(m.nnz() > 0);
+        // With fill 1.0, every touched block-aligned 8x8 block is fully dense:
+        // each nonzero's block contains exactly 64 nonzeros.
+        let mut per_block = std::collections::HashMap::new();
+        for (r, c, _) in m.iter() {
+            *per_block.entry((r / 8, c / 8)).or_insert(0usize) += 1;
+        }
+        for (_, cnt) in per_block {
+            assert_eq!(cnt, 64);
+        }
+    }
+
+    #[test]
+    fn powerlaw_is_skewed() {
+        let mut rng = Rng64::seed_from(8);
+        let m = powerlaw_rows(256, 256, 8.0, 1.2, &mut rng);
+        let counts = m.row_nnz();
+        let max = *counts.iter().max().unwrap();
+        let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+        assert!(max as f64 > 4.0 * mean, "max {max} should dwarf mean {mean}");
+    }
+
+    #[test]
+    fn kronecker_shape() {
+        let mut rng = Rng64::seed_from(9);
+        let m = kronecker(6, 300, &mut rng);
+        assert_eq!(m.nrows(), 64);
+        assert_eq!(m.ncols(), 64);
+        assert!(m.nnz() > 100);
+    }
+
+    #[test]
+    fn mesh_is_symmetric_pentadiagonal() {
+        let m = mesh2d(4, 4);
+        assert_eq!(m.nrows(), 16);
+        for (r, c, v) in m.iter() {
+            assert_eq!(m.get(c, r), Some(v), "mesh must be symmetric");
+        }
+        // Interior node has 5 entries.
+        assert_eq!(m.row_nnz()[5], 5);
+    }
+
+    #[test]
+    fn diagonals_pattern() {
+        let mut rng = Rng64::seed_from(10);
+        let m = diagonals(10, &[-1, 0, 2], &mut rng);
+        for (r, c, _) in m.iter() {
+            let off = c as isize - r as isize;
+            assert!(off == -1 || off == 0 || off == 2);
+        }
+        assert_eq!(m.nnz(), 9 + 10 + 8);
+    }
+
+    #[test]
+    fn corpus_is_reproducible() {
+        let a = corpus(7, 64, 99);
+        let b = corpus(7, 64, 99);
+        assert_eq!(a.len(), 7);
+        for ((na, ma), (nb, mb)) in a.iter().zip(&b) {
+            assert_eq!(na, nb);
+            assert_eq!(ma, mb);
+        }
+    }
+
+    #[test]
+    fn motivation_trio_families() {
+        let trio = motivation_trio(128, 1);
+        assert_eq!(trio.len(), 3);
+        // tsopf-like must be noticeably denser than sparsine-like.
+        assert!(trio[1].1.density() > trio[2].1.density());
+    }
+
+    #[test]
+    fn tensor3_generators() {
+        let mut rng = Rng64::seed_from(11);
+        let t = random_tensor3([16, 16, 16], 100, &mut rng);
+        assert!(t.nnz() > 50);
+        let f = fibered_tensor3([8, 8, 8], 2, 0.8, &mut rng);
+        assert!(f.nnz() > 0);
+        assert_eq!(f.dims(), [8, 8, 8]);
+    }
+}

@@ -1,0 +1,186 @@
+//! Summary statistics of a sparsity pattern.
+//!
+//! These are the "human-crafted features" of §3.2.1: the paper's
+//! `HumanFeature` ablation baseline uses a small subset of them, and the
+//! machine-model simulator in `waco-sim` uses several to reason about load
+//! balance and locality.
+
+use crate::CooMatrix;
+
+/// Statistical summary of a sparse matrix pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixStats {
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// Number of stored nonzeros.
+    pub nnz: usize,
+    /// `nnz / (nrows * ncols)`.
+    pub density: f64,
+    /// Mean nonzeros per row.
+    pub row_nnz_mean: f64,
+    /// Variance of nonzeros per row.
+    pub row_nnz_var: f64,
+    /// Maximum nonzeros in any row.
+    pub row_nnz_max: usize,
+    /// Coefficient of variation of row populations (std / mean); the skew
+    /// signal that decides fine- vs coarse-grained load balancing.
+    pub row_cv: f64,
+    /// Mean |row − col| over nonzeros, normalized by the dimension — the DIA
+    /// style "average distance from the diagonal" feature.
+    pub diag_distance_mean: f64,
+    /// Fraction of nonzeros whose mirror position is also a nonzero.
+    pub symmetry: f64,
+    /// Fraction of occupied `b×b` blocks that are at least half full, for
+    /// `b = 8` — a cheap dense-block detector.
+    pub block8_fill_mean: f64,
+    /// Number of distinct occupied 8×8 blocks.
+    pub block8_count: usize,
+}
+
+impl MatrixStats {
+    /// Computes all statistics in one pass (plus one sort-based pass for
+    /// symmetry).
+    pub fn compute(m: &CooMatrix) -> Self {
+        let nrows = m.nrows();
+        let ncols = m.ncols();
+        let nnz = m.nnz();
+        let row_counts = m.row_nnz();
+        let mean = nnz as f64 / nrows as f64;
+        let var = row_counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / nrows as f64;
+        let max = row_counts.iter().copied().max().unwrap_or(0);
+        let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+
+        let dim = nrows.max(ncols) as f64;
+        let diag_distance_mean = if nnz == 0 {
+            0.0
+        } else {
+            m.iter().map(|(r, c, _)| r.abs_diff(c) as f64).sum::<f64>() / nnz as f64 / dim
+        };
+
+        // Symmetry: fraction of off-diagonal entries with a stored mirror.
+        let mut sym_hits = 0usize;
+        let mut off_diag = 0usize;
+        for (r, c, _) in m.iter() {
+            if r != c {
+                off_diag += 1;
+                if m.get(c, r).is_some() {
+                    sym_hits += 1;
+                }
+            }
+        }
+        let symmetry = if off_diag == 0 { 1.0 } else { sym_hits as f64 / off_diag as f64 };
+
+        // 8×8 block occupancy.
+        let mut blocks = std::collections::HashMap::new();
+        for (r, c, _) in m.iter() {
+            *blocks.entry((r / 8, c / 8)).or_insert(0usize) += 1;
+        }
+        let block8_count = blocks.len();
+        let block8_fill_mean = if blocks.is_empty() {
+            0.0
+        } else {
+            blocks.values().map(|&c| c as f64 / 64.0).sum::<f64>() / blocks.len() as f64
+        };
+
+        Self {
+            nrows,
+            ncols,
+            nnz,
+            density: nnz as f64 / (nrows as f64 * ncols as f64),
+            row_nnz_mean: mean,
+            row_nnz_var: var,
+            row_nnz_max: max,
+            row_cv: cv,
+            diag_distance_mean,
+            symmetry,
+            block8_fill_mean,
+            block8_count,
+        }
+    }
+
+    /// The minimal three-feature vector the paper's `HumanFeature` ablation
+    /// uses: `(#rows, #cols, #nonzeros)`, log-scaled for conditioning.
+    pub fn human_feature3(&self) -> [f32; 3] {
+        [
+            (self.nrows as f32).ln_1p(),
+            (self.ncols as f32).ln_1p(),
+            (self.nnz as f32).ln_1p(),
+        ]
+    }
+
+    /// A richer fixed-length feature vector (all statistics), for extended
+    /// hand-crafted baselines.
+    pub fn feature_vector(&self) -> Vec<f32> {
+        vec![
+            (self.nrows as f32).ln_1p(),
+            (self.ncols as f32).ln_1p(),
+            (self.nnz as f32).ln_1p(),
+            self.density as f32,
+            self.row_nnz_mean as f32,
+            self.row_nnz_var.sqrt() as f32,
+            self.row_nnz_max as f32,
+            self.row_cv as f32,
+            self.diag_distance_mean as f32,
+            self.symmetry as f32,
+            self.block8_fill_mean as f32,
+            (self.block8_count as f32).ln_1p(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{self, Rng64};
+
+    #[test]
+    fn mesh_stats() {
+        let m = gen::mesh2d(8, 8);
+        let s = MatrixStats::compute(&m);
+        assert_eq!(s.nrows, 64);
+        assert_eq!(s.nnz, m.nnz());
+        assert!(s.symmetry > 0.99, "mesh is symmetric");
+        assert!(s.diag_distance_mean < 0.2, "mesh is near-diagonal");
+        assert_eq!(s.row_nnz_max, 5);
+    }
+
+    #[test]
+    fn skew_shows_in_cv() {
+        let mut rng = Rng64::seed_from(2);
+        let uniform = gen::uniform_random(256, 256, 0.03, &mut rng);
+        let skewed = gen::powerlaw_rows(256, 256, 8.0, 1.2, &mut rng);
+        let su = MatrixStats::compute(&uniform);
+        let ss = MatrixStats::compute(&skewed);
+        assert!(ss.row_cv > 2.0 * su.row_cv, "power-law rows must have higher CV");
+    }
+
+    #[test]
+    fn blocks_show_in_fill() {
+        let mut rng = Rng64::seed_from(3);
+        let blocked = gen::blocked(128, 128, 8, 40, 0.95, &mut rng);
+        let uniform = gen::uniform_random(128, 128, blocked.density(), &mut rng);
+        let sb = MatrixStats::compute(&blocked);
+        let su = MatrixStats::compute(&uniform);
+        assert!(sb.block8_fill_mean > 2.0 * su.block8_fill_mean);
+    }
+
+    #[test]
+    fn feature_vectors_are_finite() {
+        let mut rng = Rng64::seed_from(4);
+        let m = gen::kronecker(6, 200, &mut rng);
+        let s = MatrixStats::compute(&m);
+        for f in s.feature_vector() {
+            assert!(f.is_finite());
+        }
+        assert_eq!(s.human_feature3().len(), 3);
+    }
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerates every paper table/figure and captures the outputs under
+# results/. Pass --quick for the smoke-test scale.
+set -u
+cd "$(dirname "$0")/.."
+mkdir -p results
+cargo build --release -p waco-bench --bins || exit 1
+EXTRA="${1:-}"
+STATUS=0
+for exp in table1 table2 table3 table4 table5 table6 table7 table8 \
+           fig13 fig14 fig15 fig16a fig16b fig17 ablation; do
+  echo "=== $exp ==="
+  if ./target/release/$exp $EXTRA > "results/$exp.txt" 2>&1; then
+    echo "    ok → results/$exp.txt"
+  else
+    echo "    FAILED (see results/$exp.txt)"
+    STATUS=1
+  fi
+done
+exit $STATUS

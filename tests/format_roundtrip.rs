@@ -1,0 +1,77 @@
+//! Property tests: every sampled format spec must store and reproduce any
+//! matrix/tensor exactly (format ⊣ storage adjunction across crates).
+
+use proptest::prelude::*;
+use waco::format::SparseStorage;
+use waco::prelude::*;
+use waco::tensor::gen;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn matrix_roundtrip_any_format(seed in 0u64..1_000_000, sseed in 0u64..1_000_000,
+                                   nrows in 2usize..48, ncols in 2usize..48) {
+        let mut rng = Rng64::seed_from(seed);
+        let m = gen::uniform_random(nrows, ncols, 0.15, &mut rng);
+        // Sample a format through the schedule sampler (the realistic
+        // distribution over specs).
+        let space = Space::new(Kernel::SpMV, vec![nrows, ncols], 0);
+        let mut srng = Rng64::seed_from(sseed);
+        let sched = SuperSchedule::sample(&space, &mut srng);
+        let spec = sched.a_format_spec(&space).unwrap();
+        match SparseStorage::from_matrix(&m, &spec) {
+            Ok(st) => {
+                prop_assert_eq!(st.to_matrix(), m, "format {}", spec.describe());
+                // Storage accounting is self-consistent.
+                prop_assert!(st.storage_words() >= st.vals().len());
+            }
+            Err(waco::format::FormatError::StorageTooLarge { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected {e}"),
+        }
+    }
+
+    #[test]
+    fn tensor_roundtrip_any_format(seed in 0u64..1_000_000, sseed in 0u64..1_000_000,
+                                   n in 2usize..14) {
+        let mut rng = Rng64::seed_from(seed);
+        let t = gen::random_tensor3([n, n, n], n * n, &mut rng);
+        let space = Space::new(Kernel::MTTKRP, vec![n, n, n], 4);
+        let mut srng = Rng64::seed_from(sseed);
+        let sched = SuperSchedule::sample(&space, &mut srng);
+        let spec = sched.a_format_spec(&space).unwrap();
+        if let Ok(st) = SparseStorage::from_tensor3(&t, &spec) {
+            prop_assert_eq!(st.to_tensor3(), t, "format {}", spec.describe());
+        }
+    }
+
+    /// locate() agrees with iterate() on every level of any built storage.
+    #[test]
+    fn locate_consistent_with_iterate(seed in 0u64..1_000_000, sseed in 0u64..1_000_000) {
+        let mut rng = Rng64::seed_from(seed);
+        let m = gen::uniform_random(20, 20, 0.2, &mut rng);
+        let space = Space::new(Kernel::SpMV, vec![20, 20], 0);
+        let mut srng = Rng64::seed_from(sseed);
+        let sched = SuperSchedule::sample(&space, &mut srng);
+        let spec = sched.a_format_spec(&space).unwrap();
+        let Ok(st) = SparseStorage::from_matrix(&m, &spec) else { return Ok(()); };
+        // Walk level 0 and verify locate for each child at level 1.
+        for (c0, p0) in st.iterate(0, 0) {
+            prop_assert_eq!(st.locate(0, 0, c0), Some(p0));
+            for (c1, p1) in st.iterate(1, p0) {
+                prop_assert_eq!(st.locate(1, p0, c1), Some(p1));
+            }
+        }
+    }
+
+    /// Matrix Market round-trips arbitrary generated matrices.
+    #[test]
+    fn matrix_market_roundtrip(seed in 0u64..1_000_000, n in 2usize..40) {
+        let mut rng = Rng64::seed_from(seed);
+        let m = gen::uniform_random(n, n + 3, 0.2, &mut rng);
+        let mut buf = Vec::new();
+        waco::tensor::io::write_matrix_market(&mut buf, &m).unwrap();
+        let back = waco::tensor::io::read_matrix_market(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.pattern(), m.pattern());
+    }
+}
