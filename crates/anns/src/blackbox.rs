@@ -8,6 +8,7 @@
 //! Bayesian/bandit tuners spend most of their time on metadata, while ANNS
 //! spends it on the cost model.
 
+use waco_runtime::ThreadPool;
 use waco_schedule::encode::{self};
 use waco_schedule::{Space, SuperSchedule};
 use waco_tensor::gen::Rng64;
@@ -47,7 +48,12 @@ struct Run<'a> {
 
 impl<'a> Run<'a> {
     fn new(objective: &'a mut dyn FnMut(&SuperSchedule) -> f32) -> Self {
-        Self { objective, best: None, trace: Vec::new(), eval_seconds: 0.0 }
+        Self {
+            objective,
+            best: None,
+            trace: Vec::new(),
+            eval_seconds: 0.0,
+        }
     }
 
     fn eval(&mut self, s: &SuperSchedule) -> f32 {
@@ -97,6 +103,54 @@ pub fn random_search(
     run.finish(started)
 }
 
+/// Random search with the objective evaluated in parallel batches on the
+/// persistent pool — for thread-safe objectives such as the trained cost
+/// model. Samples, best, and trace are identical to [`random_search`] with
+/// the same seed; only wall time differs. `eval_seconds` sums per-thread
+/// evaluation time, so it may exceed `seconds` under parallelism (and
+/// [`TraceResult::eval_fraction`] saturates at 1).
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+pub fn random_search_batched(
+    space: &Space,
+    trials: usize,
+    seed: u64,
+    objective: &(dyn Fn(&SuperSchedule) -> f32 + Sync),
+) -> TraceResult {
+    assert!(trials > 0, "need at least one trial");
+    let started = std::time::Instant::now();
+    let mut rng = Rng64::seed_from(seed);
+    let samples: Vec<SuperSchedule> = (0..trials)
+        .map(|_| SuperSchedule::sample(space, &mut rng))
+        .collect();
+    let pool = ThreadPool::global();
+    let scored = pool.map(&samples, pool.max_participants(), |s| {
+        let t = std::time::Instant::now();
+        let v = objective(s);
+        (v, t.elapsed().as_secs_f64())
+    });
+    let mut best: Option<(usize, f32)> = None;
+    let mut trace = Vec::with_capacity(trials);
+    let mut eval_seconds = 0.0;
+    for (i, (v, dt)) in scored.iter().enumerate() {
+        eval_seconds += dt;
+        if best.map(|(_, b)| *v < b).unwrap_or(true) {
+            best = Some((i, *v));
+        }
+        trace.push(best.expect("just set").1);
+    }
+    let (best_idx, best_score) = best.expect("trials > 0");
+    TraceResult {
+        best: samples[best_idx].clone(),
+        best_score,
+        trace,
+        seconds: started.elapsed().as_secs_f64(),
+        eval_seconds,
+    }
+}
+
 fn flat_distance(a: &[f32], b: &[f32]) -> f32 {
     a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
 }
@@ -137,15 +191,22 @@ pub fn tpe_like(
                 history.iter().filter(|h| h.2 <= cut).collect();
             let bad: Vec<&(SuperSchedule, Vec<f32>, f32)> =
                 history.iter().filter(|h| h.2 > cut).collect();
-            // Propose candidates from good mutations + fresh samples.
-            let mut best_cand: Option<(SuperSchedule, f32)> = None;
-            for c in 0..12 {
-                let cand = if c % 3 == 2 || good.is_empty() {
-                    SuperSchedule::sample(space, &mut rng)
-                } else {
-                    good[rng.below(good.len())].0.mutate(space, &mut rng)
-                };
-                let flat = encode::encode(&cand, space);
+            // Propose candidates from good mutations + fresh samples, then
+            // score the batch in parallel: the surrogate's distance scans
+            // over the whole history are the expensive "metadata" work, and
+            // each candidate's scan is independent.
+            let proposals: Vec<SuperSchedule> = (0..12)
+                .map(|c| {
+                    if c % 3 == 2 || good.is_empty() {
+                        SuperSchedule::sample(space, &mut rng)
+                    } else {
+                        good[rng.below(good.len())].0.mutate(space, &mut rng)
+                    }
+                })
+                .collect();
+            let pool = ThreadPool::global();
+            let acqs = pool.map(&proposals, pool.max_participants(), |cand| {
+                let flat = encode::encode(cand, space);
                 let d_good = good
                     .iter()
                     .map(|h| flat_distance(&flat, &h.1))
@@ -155,12 +216,17 @@ pub fn tpe_like(
                     .map(|h| flat_distance(&flat, &h.1))
                     .fold(f32::INFINITY, f32::min);
                 // Lower is better: near good, far from bad.
-                let acq = d_good - 0.5 * d_bad;
-                if best_cand.as_ref().map(|b| acq < b.1).unwrap_or(true) {
-                    best_cand = Some((cand, acq));
+                d_good - 0.5 * d_bad
+            });
+            // First minimal candidate wins ties (the sequential fold's
+            // strict-< semantics, kept for bit-identical search traces).
+            let mut best_idx = 0;
+            for (i, acq) in acqs.iter().enumerate().skip(1) {
+                if *acq < acqs[best_idx] {
+                    best_idx = i;
                 }
             }
-            best_cand.expect("candidates generated").0
+            proposals[best_idx].clone()
         };
         let v = run.eval(&s);
         let flat = encode::encode(&s, space);
@@ -208,13 +274,8 @@ pub fn bandit_ensemble(
         let s = match arm {
             0 => SuperSchedule::sample(space, &mut rng),
             1 if !elites.is_empty() => elites[0].0.mutate(space, &mut rng),
-            2 if !elites.is_empty() => {
-                elites[rng.below(elites.len())].0.mutate(space, &mut rng)
-            }
-            3 if !elites.is_empty() => elites[0]
-                .0
-                .mutate(space, &mut rng)
-                .mutate(space, &mut rng),
+            2 if !elites.is_empty() => elites[rng.below(elites.len())].0.mutate(space, &mut rng),
+            3 if !elites.is_empty() => elites[0].0.mutate(space, &mut rng).mutate(space, &mut rng),
             _ => SuperSchedule::sample(space, &mut rng),
         };
         let before = run.best.as_ref().map(|b| b.1).unwrap_or(f32::INFINITY);
@@ -286,8 +347,28 @@ mod tests {
         let b = bandit_ensemble(&space, 150, 3, &mut objective);
         // With a smooth structured objective, guided search should not be
         // much worse than random.
-        assert!(t.best_score <= r.best_score + 1.0, "tpe {} vs random {}", t.best_score, r.best_score);
-        assert!(b.best_score <= r.best_score + 1.0, "bandit {} vs random {}", b.best_score, r.best_score);
+        assert!(
+            t.best_score <= r.best_score + 1.0,
+            "tpe {} vs random {}",
+            t.best_score,
+            r.best_score
+        );
+        assert!(
+            b.best_score <= r.best_score + 1.0,
+            "bandit {} vs random {}",
+            b.best_score,
+            r.best_score
+        );
+    }
+
+    #[test]
+    fn batched_random_search_matches_sequential() {
+        let space = space();
+        let seq = random_search(&space, 100, 7, &mut objective);
+        let par = random_search_batched(&space, 100, 7, &objective);
+        assert_eq!(seq.best_score, par.best_score);
+        assert_eq!(seq.trace, par.trace);
+        assert_eq!(seq.best, par.best);
     }
 
     #[test]

@@ -118,8 +118,7 @@ impl Hnsw {
         for l in (0..=level.min(top)).rev() {
             let found = self.search_layer_l2(&q, &[cur], ef_c, l);
             let max_links = if l == 0 { 2 * self.m } else { self.m };
-            let selected: Vec<usize> =
-                found.iter().take(self.m).map(|&(_, n)| n).collect();
+            let selected: Vec<usize> = found.iter().take(self.m).map(|&(_, n)| n).collect();
             for &nb in &selected {
                 self.links[id][l].push(nb);
                 self.links[nb][l].push(id);
@@ -219,8 +218,7 @@ impl Hnsw {
                 }
             }
         }
-        let mut out: Vec<(f32, usize)> =
-            results.into_iter().map(|h| (h.dist, h.node)).collect();
+        let mut out: Vec<(f32, usize)> = results.into_iter().map(|h| (h.dist, h.node)).collect();
         out.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         out
     }
@@ -284,7 +282,7 @@ impl Hnsw {
             let evals_total = memo.len();
             let result: Vec<(usize, f32)> =
                 found.into_iter().take(k).map(|(d, n)| (n, d)).collect();
-            return (result, evals_total, trace);
+            (result, evals_total, trace)
         }
     }
 }
@@ -339,8 +337,7 @@ mod tests {
         let g = Hnsw::build(grid_vectors(300), 8, 64, 4);
         // Cost = |x - 123|: minimum at node 123; embeddings correlate with
         // cost, which is the WACO assumption.
-        let (res, evals, trace) =
-            g.search_generic(|n| (n as f32 - 123.0).abs(), 5, 48);
+        let (res, evals, trace) = g.search_generic(|n| (n as f32 - 123.0).abs(), 5, 48);
         assert_eq!(res[0].0, 123);
         assert!(evals < 300, "ANNS must not evaluate everything");
         assert!(!trace.is_empty());
@@ -365,7 +362,10 @@ mod tests {
         let v = grid_vectors(100);
         let a = Hnsw::build(v.clone(), 6, 32, 9);
         let b = Hnsw::build(v, 6, 32, 9);
-        assert_eq!(a.search_l2(&[40.1, 0.0], 4, 16), b.search_l2(&[40.1, 0.0], 4, 16));
+        assert_eq!(
+            a.search_l2(&[40.1, 0.0], 4, 16),
+            b.search_l2(&[40.1, 0.0], 4, 16)
+        );
     }
 
     #[test]

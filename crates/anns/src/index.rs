@@ -94,7 +94,13 @@ impl ScheduleIndex {
         }
         let m = 12.min(schedules.len().max(2) - 1).max(2);
         let hnsw = Hnsw::build(embeddings.clone(), m, 64, seed ^ 0xA5A5);
-        Self { schedules, encodings, embeddings, hnsw, space: space.clone() }
+        Self {
+            schedules,
+            encodings,
+            embeddings,
+            hnsw,
+            space: space.clone(),
+        }
     }
 
     /// Number of indexed schedules.
@@ -141,7 +147,14 @@ impl ScheduleIndex {
         let t1 = std::time::Instant::now();
         let (res, evals, _) = self.query_with_feature(model, &feat, k, ef);
         let anns_seconds = t1.elapsed().as_secs_f64();
-        (res, SearchBreakdown { feature_seconds, anns_seconds, evals })
+        (
+            res,
+            SearchBreakdown {
+                feature_seconds,
+                anns_seconds,
+                evals,
+            },
+        )
     }
 }
 

@@ -54,7 +54,10 @@ fn generic_search_cost_monotone_with_ef() {
     let cost = |n: usize| -> f32 {
         // An arbitrary smooth function of the stored vector.
         let v = g.vector(n);
-        v.iter().enumerate().map(|(i, &x)| (x - 0.3 * i as f32).abs()).sum()
+        v.iter()
+            .enumerate()
+            .map(|(i, &x)| (x - 0.3 * i as f32).abs())
+            .sum()
     };
     let (res_small, evals_small, _) = g.search_generic(cost, 3, 8);
     let (res_big, evals_big, _) = g.search_generic(cost, 3, 128);
@@ -66,8 +69,8 @@ fn generic_search_cost_monotone_with_ef() {
 fn search_handles_duplicate_vectors() {
     // Many identical embeddings (plausible for degenerate schedules).
     let mut v = random_vectors(50, 4, 7);
-    for i in 0..25 {
-        v[i] = vec![0.5; 4];
+    for vi in v.iter_mut().take(25) {
+        *vi = vec![0.5; 4];
     }
     let g = Hnsw::build(v, 6, 32, 8);
     let res = g.search_l2(&[0.5, 0.5, 0.5, 0.5], 5, 32);

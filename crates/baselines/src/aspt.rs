@@ -58,15 +58,18 @@ pub fn similarity_reorder(m: &CooMatrix) -> (CooMatrix, Vec<usize>) {
 /// The tiled schedule ASpT's executor corresponds to in the SuperSchedule
 /// space: concordant traversal of a `k`-tiled format
 /// (`k1(U) i1(U) k0(C) i0(U)`), fine dynamic chunks.
-pub fn aspt_schedule(
-    space: &waco_schedule::Space,
-) -> SuperSchedule {
+pub fn aspt_schedule(space: &waco_schedule::Space) -> SuperSchedule {
     let u = LevelFormat::Uncompressed;
     let c = LevelFormat::Compressed;
     let mut splits = vec![1usize; space.kernel.ndims()];
     splits[1] = TILE_WIDTH * 4;
     let fmt = FormatSchedule {
-        order: vec![Axis::outer(1), Axis::outer(0), Axis::inner(1), Axis::inner(0)],
+        order: vec![
+            Axis::outer(1),
+            Axis::outer(0),
+            Axis::inner(1),
+            Axis::inner(0),
+        ],
         formats: vec![u, u, c, u],
     };
     let threads = *space.thread_options.iter().max().expect("non-empty menu");
@@ -110,8 +113,7 @@ pub fn aspt_matrix(
     let sched = aspt_schedule(&space);
     let report = sim.time_matrix(&permuted, &sched, &space)?;
     // Inspection: one pass over nonzeros plus a row sort.
-    let tuning = m.nnz() as f64 * 2e-9
-        + m.nrows() as f64 * (m.nrows().max(2) as f64).log2() * 2e-9;
+    let tuning = m.nnz() as f64 * 2e-9 + m.nrows() as f64 * (m.nrows().max(2) as f64).log2() * 2e-9;
     Ok(TunedResult {
         name: "ASpT".into(),
         sched,
@@ -156,7 +158,9 @@ mod tests {
         // After reordering, adjacent rows should mostly share their tile
         // family: count adjacent pairs whose first tile matches.
         let first_tile = |mat: &CooMatrix, r: usize| {
-            mat.iter().find(|&(rr, _, _)| rr == r).map(|(_, c, _)| c / TILE_WIDTH)
+            mat.iter()
+                .find(|&(rr, _, _)| rr == r)
+                .map(|(_, c, _)| c / TILE_WIDTH)
         };
         let score = |mat: &CooMatrix| {
             (0..63)

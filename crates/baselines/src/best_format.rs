@@ -34,7 +34,11 @@ fn pick_best(
             Ok((seconds, convert)) => {
                 // CSR arrives for free; other formats pay conversion.
                 let convert = if name == "CSR" { 0.0 } else { convert };
-                if best.as_ref().map(|(b, _, _, _)| seconds < *b).unwrap_or(true) {
+                if best
+                    .as_ref()
+                    .map(|(b, _, _, _)| seconds < *b)
+                    .unwrap_or(true)
+                {
                     best = Some((seconds, convert, sched, name));
                 }
             }

@@ -44,7 +44,11 @@ pub fn mkl_like_matrix(
     for &threads in &space.thread_options {
         for &chunk in &CHUNK_MENU {
             let mut cand = base.clone();
-            cand.parallel = Some(Parallelize { var: LoopVar::outer(0), threads, chunk });
+            cand.parallel = Some(Parallelize {
+                var: LoopVar::outer(0),
+                threads,
+                chunk,
+            });
             match sim.time_matrix(m, &cand, &space) {
                 Ok(r) => {
                     tuning += r.seconds; // the inspector actually runs it
@@ -65,7 +69,11 @@ pub fn mkl_like_matrix(
         }
     };
     let mut sched = base;
-    sched.parallel = Some(Parallelize { var: LoopVar::outer(0), threads, chunk });
+    sched.parallel = Some(Parallelize {
+        var: LoopVar::outer(0),
+        threads,
+        chunk,
+    });
     Ok(TunedResult {
         name: "MKL".into(),
         sched,

@@ -40,8 +40,7 @@ fn quality(
         } else {
             Vec::new()
         };
-        let index =
-            ScheduleIndex::build_with_extras(&waco.model, &space, index_size, 2023, extras);
+        let index = ScheduleIndex::build_with_extras(&waco.model, &space, index_size, 2023, extras);
         let pattern = Pattern::from_matrix(m);
         let feat = waco.model.extract_feature(&pattern);
         let (hits, _, _) = index.query_with_feature(&waco.model, &feat, topk, 64);
@@ -69,30 +68,48 @@ fn main() {
         let sim = Simulator::new(MachineConfig::xeon_like());
         let corpus = scale.train_corpus();
         let mut cfg = scale.waco_config();
-        cfg.datagen = DataGenConfig { include_portfolio: portfolio, ..cfg.datagen };
+        cfg.datagen = DataGenConfig {
+            include_portfolio: portfolio,
+            ..cfg.datagen
+        };
         let (waco, _) = Waco::train_2d(sim, Kernel::SpMM, &corpus, 32, cfg);
         waco
     };
     let mut enriched = train(true);
     let mut plain = train(false);
 
-    println!("-- portfolio enrichment (index {} / topk {}) --", scale.index_size, scale.topk);
+    println!(
+        "-- portfolio enrichment (index {} / topk {}) --",
+        scale.index_size, scale.topk
+    );
     let rows = vec![
         vec![
             "dataset+index enriched".to_string(),
-            format!("{:.2}x", quality(&mut enriched, &test, scale.index_size, scale.topk, true)),
+            format!(
+                "{:.2}x",
+                quality(&mut enriched, &test, scale.index_size, scale.topk, true)
+            ),
         ],
         vec![
             "dataset enriched, index uniform".to_string(),
-            format!("{:.2}x", quality(&mut enriched, &test, scale.index_size, scale.topk, false)),
+            format!(
+                "{:.2}x",
+                quality(&mut enriched, &test, scale.index_size, scale.topk, false)
+            ),
         ],
         vec![
             "dataset uniform, index enriched".to_string(),
-            format!("{:.2}x", quality(&mut plain, &test, scale.index_size, scale.topk, true)),
+            format!(
+                "{:.2}x",
+                quality(&mut plain, &test, scale.index_size, scale.topk, true)
+            ),
         ],
         vec![
             "dataset+index uniform (paper relies on raw scale)".to_string(),
-            format!("{:.2}x", quality(&mut plain, &test, scale.index_size, scale.topk, false)),
+            format!(
+                "{:.2}x",
+                quality(&mut plain, &test, scale.index_size, scale.topk, false)
+            ),
         ],
     ];
     render::table(&["configuration", "geomean speedup vs FixedCSR"], &rows);
@@ -103,13 +120,19 @@ fn main() {
         .map(|&k| {
             vec![
                 k.to_string(),
-                format!("{:.2}x", quality(&mut enriched, &test, scale.index_size, k, true)),
+                format!(
+                    "{:.2}x",
+                    quality(&mut enriched, &test, scale.index_size, k, true)
+                ),
             ]
         })
         .collect();
     render::table(&["top-k measured", "geomean speedup"], &rows);
 
-    println!("\n-- KNN graph size (enriched model, topk {}) --", scale.topk);
+    println!(
+        "\n-- KNN graph size (enriched model, topk {}) --",
+        scale.topk
+    );
     let rows: Vec<Vec<String>> = [40usize, 120, 240, 480]
         .iter()
         .map(|&n| {

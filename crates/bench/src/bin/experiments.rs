@@ -8,8 +8,8 @@
 use std::process::Command;
 
 const EXPERIMENTS: &[&str] = &[
-    "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
-    "fig13", "fig14", "fig15", "fig16a", "fig16b", "fig17",
+    "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8", "fig13",
+    "fig14", "fig15", "fig16a", "fig16b", "fig17",
 ];
 
 fn main() {

@@ -32,7 +32,10 @@ fn main() {
 
     let panels: [(&str, Vec<f64>); 4] = [
         ("MKL", eval::speedups(&rows, |r| r.mkl.as_ref())),
-        ("BestFormat", eval::speedups(&rows, |r| r.best_format.as_ref())),
+        (
+            "BestFormat",
+            eval::speedups(&rows, |r| r.best_format.as_ref()),
+        ),
         ("Fixed CSR", eval::speedups(&rows, |r| r.fixed.as_ref())),
         ("ASpT", eval::speedups(&rows, |r| r.aspt.as_ref())),
     ];
@@ -61,7 +64,16 @@ fn main() {
             ]
         })
         .collect();
-    render::table(&["matrix", "vs MKL", "vs BestFormat", "vs FixedCSR", "vs ASpT"], &detail);
+    render::table(
+        &[
+            "matrix",
+            "vs MKL",
+            "vs BestFormat",
+            "vs FixedCSR",
+            "vs ASpT",
+        ],
+        &detail,
+    );
 
     println!(
         "\nPaper's Figure 13 geomeans (SpMM): 1.7x MKL, 1.2x BestFormat, 1.3x FixedCSR, 1.4x ASpT."

@@ -19,7 +19,10 @@ use waco_tensor::gen::{self, Rng64};
 
 fn main() {
     let machine = MachineConfig::xeon_like();
-    println!("== Figure 14: SIMD kicks in at block size {} ==\n", machine.simd_threshold);
+    println!(
+        "== Figure 14: SIMD kicks in at block size {} ==\n",
+        machine.simd_threshold
+    );
 
     let mut rows = Vec::new();
     let mut curve = Vec::new();
@@ -65,7 +68,10 @@ fn main() {
             r.simd_run.to_string(),
         ]);
     }
-    render::table(&["block b", "ns per nnz", "simd factor", "innermost run"], &rows);
+    render::table(
+        &["block b", "ns per nnz", "simd factor", "innermost run"],
+        &rows,
+    );
     println!(
         "\nShape check: cost per element drops ~{}x between b=15 and b=16,\n\
          reproducing why WACO 'learned the compiler's heuristics and chose the\n\

@@ -15,7 +15,7 @@
 use waco_bench::{render, Scale};
 use waco_model::dataset::generate_2d;
 use waco_model::train::{train, TrainConfig};
-use waco_model::{CostModel, CostModelConfig};
+use waco_model::CostModel;
 use waco_schedule::Kernel;
 use waco_sim::{MachineConfig, Simulator};
 use waco_sparseconv::baselines::{DenseConvNet, HumanFeature, MinkowskiLike};
@@ -40,7 +40,12 @@ fn main() {
     let mk = |name: &str, rng: &mut Rng64| -> Box<dyn Extractor> {
         match name {
             "HumanFeature" => Box::new(HumanFeature::new(out_dim, rng)),
-            "DenseConv" => Box::new(DenseConvNet::new(32, cfg.model.waconet.channels, out_dim, rng)),
+            "DenseConv" => Box::new(DenseConvNet::new(
+                32,
+                cfg.model.waconet.channels,
+                out_dim,
+                rng,
+            )),
             "MinkowskiNet" => Box::new(MinkowskiLike::new(
                 cfg.model.waconet.channels,
                 4,
@@ -99,7 +104,13 @@ fn main() {
 
     println!();
     render::table(
-        &["extractor", "final train loss", "final val loss", "val rank acc", "train time"],
+        &[
+            "extractor",
+            "final train loss",
+            "final val loss",
+            "val rank acc",
+            "train time",
+        ],
         &rows,
     );
 
@@ -109,13 +120,23 @@ fn main() {
         .collect();
     render::line_chart("validation loss vs epoch", "epoch →", &refs, 10);
 
-    let get = |n: &str| finals.iter().find(|(m, _)| m == n).map(|(_, v)| *v).unwrap();
+    let get = |n: &str| {
+        finals
+            .iter()
+            .find(|(m, _)| m == n)
+            .map(|(_, v)| *v)
+            .unwrap()
+    };
     let (h, w) = (get("HumanFeature"), get("WACONet"));
     println!(
         "\nShape check: WACONet final val loss {:.4} vs HumanFeature {:.4} \
          ({}; paper reports ~50% lower loss for WACONet vs conventional CNN).",
         w,
         h,
-        if w < h { "WACONet better ✓" } else { "UNEXPECTED" }
+        if w < h {
+            "WACONet better ✓"
+        } else {
+            "UNEXPECTED"
+        }
     );
 }

@@ -14,8 +14,8 @@
 use waco_anns::{blackbox, ScheduleIndex};
 use waco_bench::{render, Scale};
 use waco_schedule::encode;
-use waco_sim::MachineConfig;
 use waco_schedule::Kernel;
+use waco_sim::MachineConfig;
 use waco_sparseconv::Pattern;
 use waco_tensor::gen;
 
@@ -38,8 +38,7 @@ fn main() {
     let index = ScheduleIndex::build(&waco.model, &space, scale.index_size, scale.seed);
     let build_secs = t0.elapsed().as_secs_f64();
     let t1 = std::time::Instant::now();
-    let (hits, evals, anns_trace) =
-        index.query_with_feature(&waco.model, &feat, 10, trials);
+    let (hits, evals, anns_trace) = index.query_with_feature(&waco.model, &feat, 10, trials);
     let anns_secs = t1.elapsed().as_secs_f64();
     let anns_best = hits.first().map(|&(_, c)| c).unwrap_or(f32::NAN);
 
@@ -49,7 +48,9 @@ fn main() {
         let enc = encode::encode_structured(s, &space);
         model.score(&feat, &model.embed(&enc))
     };
-    let random = blackbox::random_search(&space, trials, scale.seed, &mut objective);
+    // Random search has no cross-trial dependence, so its cost-model
+    // evaluations run as a parallel batch on the persistent pool.
+    let random = blackbox::random_search_batched(&space, trials, scale.seed, &objective);
     let tpe = blackbox::tpe_like(&space, trials, scale.seed, &mut objective);
     let bandit = blackbox::bandit_ensemble(&space, trials, scale.seed, &mut objective);
 
@@ -140,7 +141,10 @@ fn main() {
         ],
         &rows,
     );
-    println!("  (KNN graph build: {:.1}ms, amortized across queries)", build_secs * 1e3);
+    println!(
+        "  (KNN graph build: {:.1}ms, amortized across queries)",
+        build_secs * 1e3
+    );
 
     // Best-so-far traces.
     let pad = |t: &[f32], n: usize| -> Vec<f64> {

@@ -63,13 +63,22 @@ fn main() {
         anns_series.push(a * 1e3);
     }
     render::table(
-        &["matrix", "nnz", "feature extraction", "ANNS", "feature share"],
+        &[
+            "matrix",
+            "nnz",
+            "feature extraction",
+            "ANNS",
+            "feature share",
+        ],
         &rows,
     );
     render::line_chart(
         "wall time (ms) vs matrix size",
         "growing nnz →",
-        &[("feature extraction", feat_series.clone()), ("ANNS", anns_series.clone())],
+        &[
+            ("feature extraction", feat_series.clone()),
+            ("ANNS", anns_series.clone()),
+        ],
         8,
     );
     println!(

@@ -32,13 +32,11 @@ fn main() {
         for (name, m) in &test {
             let row = eval::evaluate_matrix(&mut waco, name, m);
             // MKL-Naive = the fixed CSR implementation without tuning.
-            let Some(naive) = row.fixed.as_ref() else { continue };
+            let Some(naive) = row.fixed.as_ref() else {
+                continue;
+            };
             let unit = naive.kernel_seconds;
-            let entries = [
-                row.mkl.as_ref(),
-                row.best_format.as_ref(),
-                Some(&row.waco),
-            ];
+            let entries = [row.mkl.as_ref(), row.best_format.as_ref(), Some(&row.waco)];
             for (i, t) in entries.iter().enumerate() {
                 if let Some(t) = t {
                     overhead[i].push((t.tuning_seconds + t.convert_seconds) / unit);
@@ -59,7 +57,12 @@ fn main() {
             ]);
         }
         render::table(
-            &["tuner", "mean search (naive calls)", "median search", "geomean speedup"],
+            &[
+                "tuner",
+                "mean search (naive calls)",
+                "median search",
+                "geomean speedup",
+            ],
             &rows,
         );
     }

@@ -18,7 +18,11 @@ fn main() {
     let scale = Scale::from_args();
     println!(
         "== SpMV probe: WACONet {}ch x {}L, {} matrices x {} schedules, {} epochs ==\n",
-        scale.channels, scale.layers, scale.train_matrices, scale.schedules_per_matrix, scale.epochs
+        scale.channels,
+        scale.layers,
+        scale.train_matrices,
+        scale.schedules_per_matrix,
+        scale.epochs
     );
     let mut waco = scale.train_waco_2d(MachineConfig::xeon_like(), Kernel::SpMV, 0);
     let test = scale.test_corpus();
@@ -50,7 +54,12 @@ fn main() {
         ]);
     }
     render::table(
-        &["matrix", "WACO vs MKL", "portfolio oracle vs MKL", "WACO gap to oracle"],
+        &[
+            "matrix",
+            "WACO vs MKL",
+            "portfolio oracle vs MKL",
+            "WACO gap to oracle",
+        ],
         &rows,
     );
     println!(

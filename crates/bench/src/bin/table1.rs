@@ -11,9 +11,9 @@
 //! cargo run --release -p waco-bench --bin table1 [--quick|--trials N]
 //! ```
 
+use waco_baselines::fixed::fixed_csr_matrix;
 use waco_bench::{render, Scale};
 use waco_core::autotune::{self, Restriction};
-use waco_baselines::fixed::fixed_csr_matrix;
 use waco_schedule::Kernel;
 use waco_sim::{MachineConfig, Simulator};
 use waco_tensor::gen;
@@ -23,7 +23,10 @@ const DENSE_J: usize = 64;
 fn main() {
     let scale = Scale::from_args();
     let sim = Simulator::new(MachineConfig::xeon_like());
-    let trio = gen::motivation_trio(2048, scale.seed);
+    // The motivation trio keeps its paper-scale structure except under
+    // `--smoke`, where CI needs seconds-per-binary.
+    let trio_dim = if scale.smoke { 256 } else { 2048 };
+    let trio = gen::motivation_trio(trio_dim, scale.seed);
 
     println!("== Table 1: SpMM speedup over Base (CSR + default schedule) ==");
     println!("   tuning budget: {} trials per space\n", scale.trials);

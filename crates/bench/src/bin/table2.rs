@@ -9,8 +9,8 @@
 //! cargo run --release -p waco-bench --bin table2 [--quick|--trials N]
 //! ```
 
-use waco_bench::{render, Scale};
 use waco_baselines::fixed::fixed_csr_matrix;
+use waco_bench::{render, Scale};
 use waco_core::autotune::{self, Restriction};
 use waco_schedule::Kernel;
 use waco_sim::{MachineConfig, Simulator};
@@ -54,7 +54,11 @@ fn main() {
                 .map(|t| base.kernel_seconds / t)
                 .unwrap_or(f64::NAN);
             speedups.push(s);
-            row.push(if s.is_nan() { "n/a".into() } else { render::speedup(s) });
+            row.push(if s.is_nan() {
+                "n/a".into()
+            } else {
+                render::speedup(s)
+            });
         }
         let diag = speedups[mi];
         let max = speedups.iter().cloned().fold(f64::NAN, f64::max);
@@ -77,5 +81,8 @@ fn main() {
         "Paper's Table 2: diagonal 1.21/2.02/2.5; worst transfer 0.37x (sparsine ← opt-TSOPF).\n\
          Shape check: diagonal dominates; transfers can regress below 1x."
     );
-    assert!(diag_best_count >= 2, "diagonal must dominate on most matrices");
+    assert!(
+        diag_best_count >= 2,
+        "diagonal must dominate on most matrices"
+    );
 }

@@ -37,7 +37,10 @@ fn main() {
                 Segment::Permutation { name, n } => rows.push(vec![
                     name.clone(),
                     "permutation".to_string(),
-                    format!("P({n}) = {} orders", (2..=*n as u64).product::<u64>().max(1)),
+                    format!(
+                        "P({n}) = {} orders",
+                        (2..=*n as u64).product::<u64>().max(1)
+                    ),
                 ]),
             }
         }
@@ -50,7 +53,11 @@ fn main() {
                 .map(|v| format!(
                     "{}{}",
                     kernel.dim_names()[v.dim],
-                    if v.part == waco_format::AxisPart::Outer { "1" } else { "0" }
+                    if v.part == waco_format::AxisPart::Outer {
+                        "1"
+                    } else {
+                        "0"
+                    }
                 ))
                 .collect::<Vec<_>>()
         );

@@ -58,7 +58,11 @@ fn main() {
     }
 
     render::table(
-        &["kernel", "vs Format-only (BestFormat)", "vs Schedule-only (MKL)"],
+        &[
+            "kernel",
+            "vs Format-only (BestFormat)",
+            "vs Schedule-only (MKL)",
+        ],
         &rows,
     );
     println!(

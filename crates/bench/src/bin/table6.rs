@@ -21,9 +21,7 @@ const SPEEDUP_GATE: f64 = 1.5;
 
 fn main() {
     let scale = Scale::from_args();
-    println!(
-        "== Table 6: speedup-factor analysis (wins > {SPEEDUP_GATE}x over Fixed CSR) ==\n"
-    );
+    println!("== Table 6: speedup-factor analysis (wins > {SPEEDUP_GATE}x over Fixed CSR) ==\n");
 
     let mut per_kernel: Vec<(Kernel, HashMap<factors::Factor, usize>, usize)> = Vec::new();
     for kernel in [Kernel::SpMV, Kernel::SpMM, Kernel::SDDMM] {
@@ -60,9 +58,7 @@ fn main() {
         let mut row = vec![factor.label().to_string()];
         for (_, counts, wins) in &per_kernel {
             let c = counts.get(&factor).copied().unwrap_or(0);
-            row.push(if *wins == 0 {
-                "-".into()
-            } else if c == 0 {
+            row.push(if *wins == 0 || c == 0 {
                 "-".into()
             } else {
                 format!("{:.0}%", 100.0 * c as f64 / *wins as f64)

@@ -77,8 +77,8 @@ fn main() {
         .enumerate()
         .map(|(ti, mc)| {
             let mut row = vec![format!("tested on {}", mc.name)];
-            for tr in 0..machines.len() {
-                row.push(render::speedup(geomean(&cells[ti][tr])));
+            for cell in cells[ti].iter().take(machines.len()) {
+                row.push(render::speedup(geomean(cell)));
             }
             row
         })

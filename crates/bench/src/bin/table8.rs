@@ -20,17 +20,12 @@ use waco_tensor::gen::{self, Rng64};
 /// Crossover `N` where tuner `a` overtakes `b`
 /// (`end_to_end_a(N) = end_to_end_b(N)`), or `None` if `a` never wins.
 fn crossover(a: &TunedResult, b: &TunedResult) -> Option<f64> {
-    let fixed_gap = (a.tuning_seconds + a.convert_seconds)
-        - (b.tuning_seconds + b.convert_seconds);
+    let fixed_gap = (a.tuning_seconds + a.convert_seconds) - (b.tuning_seconds + b.convert_seconds);
     let per_run_gain = b.kernel_seconds - a.kernel_seconds;
     (per_run_gain > 0.0).then(|| (fixed_gap / per_run_gain).max(0.0))
 }
 
-fn scenario_table(
-    kernel: Kernel,
-    scenarios: &[(&str, usize)],
-    row: &eval::BaselineTimes,
-) {
+fn scenario_table(kernel: Kernel, scenarios: &[(&str, usize)], row: &eval::BaselineTimes) {
     let naive = row.fixed.as_ref().expect("fixed baseline runs");
     let unit = naive.kernel_seconds;
     let waco = &row.waco;
@@ -42,8 +37,10 @@ fn scenario_table(
         "Initial cost (N=0)".to_string(),
         "0".into(),
         format!("{:.0}", waco.end_to_end(0) / unit),
-        bf.map(|b| format!("{:.0}", b.end_to_end(0) / unit)).unwrap_or("n/a".into()),
-        mkl.map(|m| format!("{:.0}", m.end_to_end(0) / unit)).unwrap_or("n/a".into()),
+        bf.map(|b| format!("{:.0}", b.end_to_end(0) / unit))
+            .unwrap_or("n/a".into()),
+        mkl.map(|m| format!("{:.0}", m.end_to_end(0) / unit))
+            .unwrap_or("n/a".into()),
     ]);
     for (label, n) in scenarios {
         let best = [
@@ -69,10 +66,7 @@ fn scenario_table(
             mkl.map(|m| mark(m.end_to_end(*n))).unwrap_or("n/a".into()),
         ]);
     }
-    render::table(
-        &["scenario", "N_runs", "WACO", "BestFormat", "MKL"],
-        &rows,
-    );
+    render::table(&["scenario", "N_runs", "WACO", "BestFormat", "MKL"], &rows);
     println!("  (* = winner; all in units of one MKL-Naive {kernel} invocation)");
     if let Some(m) = mkl {
         match crossover(waco, m) {
@@ -121,7 +115,10 @@ fn main() {
         let mut rng = Rng64::seed_from(scale.seed ^ 0x6E6E);
         let scale_pow = (scale.test_size as f64).log2().ceil() as u32;
         let m = gen::kronecker(scale_pow, scale.test_size * 8, &mut rng);
-        println!("\n(b) SpMM on a scale-free graph (2^{scale_pow} nodes, {} nnz)", m.nnz());
+        println!(
+            "\n(b) SpMM on a scale-free graph (2^{scale_pow} nodes, {} nnz)",
+            m.nnz()
+        );
         let row = eval::evaluate_matrix(&mut waco, "graph", &m);
         scenario_table(
             Kernel::SpMM,

@@ -51,7 +51,14 @@ pub fn evaluate_matrix(waco: &mut Waco, name: &str, m: &CooMatrix) -> BaselineTi
     let aspt = matches!(kernel, Kernel::SpMM | Kernel::SDDMM)
         .then(|| aspt::aspt_matrix(sim, kernel, m, dense).ok())
         .flatten();
-    BaselineTimes { name: name.to_string(), waco: tuned.result, mkl, best_format, fixed, aspt }
+    BaselineTimes {
+        name: name.to_string(),
+        waco: tuned.result,
+        mkl,
+        best_format,
+        fixed,
+        aspt,
+    }
 }
 
 /// Tunes one tensor (MTTKRP) with WACO, BestFormat, and Fixed CSF.
@@ -61,7 +68,9 @@ pub fn evaluate_matrix(waco: &mut Waco, name: &str, m: &CooMatrix) -> BaselineTi
 /// Panics if WACO cannot tune the tensor.
 pub fn evaluate_tensor(waco: &mut Waco, name: &str, t: &CooTensor3) -> BaselineTimes {
     let rank = waco.dense_extent;
-    let tuned = waco.tune_tensor3(t).expect("WACO tunes (falls back to CSF)");
+    let tuned = waco
+        .tune_tensor3(t)
+        .expect("WACO tunes (falls back to CSF)");
     let sim = &waco.sim;
     BaselineTimes {
         name: name.to_string(),

@@ -54,15 +54,9 @@ pub fn inner_block_fill(m: &CooMatrix, sched: &SuperSchedule, space: &Space) -> 
     let spec = sched.a_format_spec(space).ok()?;
     // A dense inner block exists when some Inner axis is Uncompressed with
     // extent > 1.
-    let has_dense_inner = spec
-        .order()
-        .iter()
-        .zip(spec.formats())
-        .any(|(ax, f)| {
-            ax.part == AxisPart::Inner
-                && *f == LevelFormat::Uncompressed
-                && spec.axis_extent(*ax) > 1
-        });
+    let has_dense_inner = spec.order().iter().zip(spec.formats()).any(|(ax, f)| {
+        ax.part == AxisPart::Inner && *f == LevelFormat::Uncompressed && spec.axis_extent(*ax) > 1
+    });
     if !has_dense_inner {
         return None;
     }
@@ -81,15 +75,9 @@ pub fn classify(m: &CooMatrix, sched: &SuperSchedule, space: &Space) -> Factor {
         Ok(s) => s,
         Err(_) => return Factor::Other,
     };
-    let sparse_block = spec
-        .order()
-        .iter()
-        .zip(spec.formats())
-        .any(|(ax, f)| {
-            ax.part == AxisPart::Inner
-                && *f == LevelFormat::Compressed
-                && spec.axis_extent(*ax) > 1
-        });
+    let sparse_block = spec.order().iter().zip(spec.formats()).any(|(ax, f)| {
+        ax.part == AxisPart::Inner && *f == LevelFormat::Compressed && spec.axis_extent(*ax) > 1
+    });
 
     // Dense block: dense inner level with extent > 1.
     let block_fill = inner_block_fill(m, sched, space);
@@ -140,7 +128,11 @@ mod tests {
         let m = gen::uniform_random(32, 32, 0.1, &mut rng);
         let sp = space(32, Kernel::SpMM);
         let mut s = named::default_csr(&sp);
-        s.parallel = Some(Parallelize { var: LoopVar::outer(0), threads: 48, chunk: 1 });
+        s.parallel = Some(Parallelize {
+            var: LoopVar::outer(0),
+            threads: 48,
+            chunk: 1,
+        });
         assert_eq!(classify(&m, &s, &sp), Factor::ChunkSize);
     }
 
@@ -163,7 +155,10 @@ mod tests {
         let m = gen::uniform_random(64, 64, 0.05, &mut rng);
         let sp = space(64, Kernel::SpMM);
         let cands = named::best_format_candidates(&sp);
-        let (_, splits, fmt) = cands.into_iter().find(|(n, _, _)| n == "SparseBlock").unwrap();
+        let (_, splits, fmt) = cands
+            .into_iter()
+            .find(|(n, _, _)| n == "SparseBlock")
+            .unwrap();
         let s = named::concordant(&sp, splits, fmt, 48, 32);
         assert_eq!(classify(&m, &s, &sp), Factor::SparseBlock);
     }
@@ -174,7 +169,11 @@ mod tests {
         let m = gen::uniform_random(32, 32, 0.1, &mut rng);
         let sp = space(32, Kernel::SDDMM);
         let mut s = named::default_csr(&sp);
-        s.parallel = Some(Parallelize { var: LoopVar::outer(1), threads: 48, chunk: 8 });
+        s.parallel = Some(Parallelize {
+            var: LoopVar::outer(1),
+            threads: 48,
+            chunk: 8,
+        });
         assert_eq!(classify(&m, &s, &sp), Factor::ParallelizeColumn);
     }
 

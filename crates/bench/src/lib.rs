@@ -13,10 +13,12 @@
 
 pub mod eval;
 pub mod factors;
+pub mod micro;
 pub mod render;
 pub mod scale;
 
 pub use eval::{evaluate_matrix, BaselineTimes};
+pub use micro::{Harness, MicroStat};
 pub use scale::Scale;
 
 /// Geometric mean of positive values (1.0 when empty).

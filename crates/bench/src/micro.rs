@@ -1,0 +1,179 @@
+//! Minimal micro-benchmark harness (the external `criterion` dependency's
+//! replacement, keeping the build hermetic).
+//!
+//! Each benchmark is calibrated to a target sample duration, warmed up,
+//! then timed over a fixed number of samples; the reported statistic is
+//! the **median** per-iteration time (robust to scheduler noise), next to
+//! the min and mean. Results print as a table and are written to
+//! `results/microbench.json`.
+
+use std::io::Write;
+use std::time::Instant;
+
+/// One benchmark's timing summary. All times are nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct MicroStat {
+    /// Benchmark name (`group/case`).
+    pub name: String,
+    /// Iterations timed per sample.
+    pub iters_per_sample: usize,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Median per-iteration time.
+    pub median_ns: f64,
+    /// Fastest sample's per-iteration time.
+    pub min_ns: f64,
+    /// Mean per-iteration time.
+    pub mean_ns: f64,
+}
+
+/// Collects micro-benchmark results.
+pub struct Harness {
+    samples: usize,
+    target_sample_ns: f64,
+    stats: Vec<MicroStat>,
+}
+
+impl Harness {
+    /// A harness taking `samples` samples of roughly `target_sample_ms`
+    /// each per benchmark.
+    pub fn new(samples: usize, target_sample_ms: f64) -> Self {
+        Self {
+            samples: samples.max(3),
+            target_sample_ns: target_sample_ms * 1e6,
+            stats: Vec::new(),
+        }
+    }
+
+    /// The default configuration: 11 samples of ~30 ms (`--smoke`: 3 of
+    /// ~5 ms, for CI).
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--smoke") {
+            Self::new(3, 5.0)
+        } else {
+            Self::new(11, 30.0)
+        }
+    }
+
+    /// Times `f`, printing one line and recording the stat.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        // Calibrate: one untimed run, then scale iterations to the target.
+        let t = Instant::now();
+        std::hint::black_box(f());
+        let once_ns = t.elapsed().as_nanos().max(1) as f64;
+        let iters = ((self.target_sample_ns / once_ns).ceil() as usize).clamp(1, 1_000_000);
+        // Warm up one full sample.
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let mut per_iter: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(f64::total_cmp);
+        let stat = MicroStat {
+            name: name.to_string(),
+            iters_per_sample: iters,
+            samples: self.samples,
+            median_ns: per_iter[per_iter.len() / 2],
+            min_ns: per_iter[0],
+            mean_ns: per_iter.iter().sum::<f64>() / per_iter.len() as f64,
+        };
+        println!(
+            "  {:<44} median {:>12}  min {:>12}  ({} x {} iters)",
+            stat.name,
+            fmt_ns(stat.median_ns),
+            fmt_ns(stat.min_ns),
+            stat.samples,
+            stat.iters_per_sample,
+        );
+        self.stats.push(stat);
+    }
+
+    /// The stat recorded under `name`, if any.
+    pub fn stat(&self, name: &str) -> Option<&MicroStat> {
+        self.stats.iter().find(|s| s.name == name)
+    }
+
+    /// Serializes all stats as JSON (no external serializer: names are
+    /// ASCII identifiers and every number is finite).
+    pub fn to_json(&self) -> String {
+        let mut out =
+            String::from("{\n  \"harness\": \"waco-bench-micro\",\n  \"benchmarks\": [\n");
+        for (i, s) in self.stats.iter().enumerate() {
+            let comma = if i + 1 < self.stats.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \
+                 \"mean_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+                s.name, s.median_ns, s.min_ns, s.mean_ns, s.samples, s.iters_per_sample, comma
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the JSON report to `results/microbench.json` (repo-rooted).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating or writing the file.
+    pub fn write_results(&self) -> std::io::Result<std::path::PathBuf> {
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join("microbench.json");
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(self.to_json().as_bytes())?;
+        Ok(path)
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_records_and_serializes() {
+        let mut h = Harness::new(3, 0.01);
+        h.bench("group/fast", || 1 + 1);
+        h.bench("group/slow", || {
+            std::thread::sleep(std::time::Duration::from_micros(50))
+        });
+        assert!(h.stat("group/fast").is_some());
+        assert!(h.stat("missing").is_none());
+        let fast = h.stat("group/fast").unwrap();
+        let slow = h.stat("group/slow").unwrap();
+        assert!(fast.median_ns < slow.median_ns);
+        assert!(fast.min_ns <= fast.median_ns);
+        let json = h.to_json();
+        assert!(json.contains("\"name\": \"group/fast\""));
+        assert!(json.contains("\"median_ns\""));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn formatting_covers_magnitudes() {
+        assert_eq!(fmt_ns(12.0), "12 ns");
+        assert_eq!(fmt_ns(1500.0), "1.50 µs");
+        assert_eq!(fmt_ns(2.5e6), "2.50 ms");
+        assert_eq!(fmt_ns(3.0e9), "3.00 s");
+    }
+}

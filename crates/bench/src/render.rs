@@ -38,7 +38,11 @@ pub fn secs(x: f64) -> String {
 /// An ASCII log-scale scatter of sorted speedups — the Figure 13 view
 /// (one column per bucket of matrices, `y = 1.0` marked).
 pub fn speedup_profile(title: &str, mut speedups: Vec<f64>, geomean: f64) {
-    println!("\n  {title}  (n={}, geomean {:.2}x)", speedups.len(), geomean);
+    println!(
+        "\n  {title}  (n={}, geomean {:.2}x)",
+        speedups.len(),
+        geomean
+    );
     if speedups.is_empty() {
         return;
     }
@@ -78,7 +82,10 @@ pub fn speedup_profile(title: &str, mut speedups: Vec<f64>, geomean: f64) {
 /// An ASCII line chart of one or more series over a shared x-axis.
 pub fn line_chart(title: &str, x_label: &str, series: &[(&str, Vec<f64>)], height: usize) {
     println!("\n  {title}");
-    let all: Vec<f64> = series.iter().flat_map(|(_, ys)| ys.iter().copied()).collect();
+    let all: Vec<f64> = series
+        .iter()
+        .flat_map(|(_, ys)| ys.iter().copied())
+        .collect();
     if all.is_empty() {
         return;
     }
@@ -87,7 +94,7 @@ pub fn line_chart(title: &str, x_label: &str, series: &[(&str, Vec<f64>)], heigh
         lo = lo.min(v);
         hi = hi.max(v);
     }
-    if !(hi > lo) {
+    if hi <= lo {
         hi = lo + 1.0;
     }
     let width = series.iter().map(|(_, ys)| ys.len()).max().unwrap_or(0);
@@ -132,7 +139,12 @@ mod tests {
         table(&["a", "bb"], &[vec!["1".into(), "2".into()]]);
         speedup_profile("t", vec![0.5, 1.0, 2.0, 11.0, 0.05], 1.2);
         speedup_profile("empty", vec![], 1.0);
-        line_chart("c", "x", &[("s1", vec![1.0, 2.0, 3.0]), ("s2", vec![3.0, 1.0])], 5);
+        line_chart(
+            "c",
+            "x",
+            &[("s1", vec![1.0, 2.0, 3.0]), ("s2", vec![3.0, 1.0])],
+            5,
+        );
         line_chart("flat", "x", &[("s", vec![2.0, 2.0])], 4);
     }
 }

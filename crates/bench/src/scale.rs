@@ -39,6 +39,9 @@ pub struct Scale {
     pub layers: usize,
     /// Master seed.
     pub seed: u64,
+    /// CI smoke mode (`--smoke`): smallest everything, fixed-size inputs
+    /// shrunk, so each binary finishes in seconds on one core.
+    pub smoke: bool,
 }
 
 impl Scale {
@@ -57,6 +60,7 @@ impl Scale {
             channels: 8,
             layers: 6,
             seed: 2023,
+            smoke: false,
         }
     }
 
@@ -75,14 +79,39 @@ impl Scale {
             channels: 8,
             layers: 4,
             seed: 2023,
+            smoke: false,
+        }
+    }
+
+    /// The CI scale (`--smoke`): `quick()` shrunk further, plus the
+    /// `smoke` flag that tells binaries to shrink any fixed-size inputs.
+    /// Every experiment binary must finish in seconds on one core at this
+    /// scale; `scripts/ci_smoke.sh` runs a subset on every commit.
+    pub fn smoke() -> Self {
+        Self {
+            train_matrices: 4,
+            train_size: 32,
+            schedules_per_matrix: 6,
+            epochs: 2,
+            test_matrices: 3,
+            test_size: 40,
+            index_size: 40,
+            topk: 3,
+            trials: 16,
+            channels: 4,
+            layers: 3,
+            seed: 2023,
+            smoke: true,
         }
     }
 
     /// Parses `--key value` overrides from the process arguments
-    /// (`--quick` switches to the smoke-test scale first).
+    /// (`--quick` / `--smoke` switch to the reduced scales first).
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
-        let mut s = if args.iter().any(|a| a == "--quick") {
+        let mut s = if args.iter().any(|a| a == "--smoke") {
+            Self::smoke()
+        } else if args.iter().any(|a| a == "--quick") {
             Self::quick()
         } else {
             Self::default_scale()
@@ -136,7 +165,11 @@ impl Scale {
     pub fn waco_config(&self) -> WacoConfig {
         WacoConfig {
             model: CostModelConfig {
-                waconet: WacoNetConfig { channels: self.channels, layers: self.layers, out_dim: 48 },
+                waconet: WacoNetConfig {
+                    channels: self.channels,
+                    layers: self.layers,
+                    out_dim: 48,
+                },
                 cat_dim: 6,
                 perm_dim: 12,
                 embed_dim: 32,
@@ -172,7 +205,12 @@ impl Scale {
     }
 
     /// A 3-D tensor corpus for MTTKRP experiments.
-    pub fn tensor_corpus(&self, count: usize, dim: usize, seed_xor: u64) -> Vec<(String, CooTensor3)> {
+    pub fn tensor_corpus(
+        &self,
+        count: usize,
+        dim: usize,
+        seed_xor: u64,
+    ) -> Vec<(String, CooTensor3)> {
         let mut rng = gen::Rng64::seed_from(self.seed ^ seed_xor);
         (0..count)
             .map(|i| {
@@ -195,7 +233,8 @@ impl Scale {
     ) -> waco_core::Waco {
         let sim = Simulator::new(machine);
         let corpus = self.train_corpus();
-        let (waco, _) = waco_core::Waco::train_2d(sim, kernel, &corpus, dense_extent, self.waco_config());
+        let (waco, _) =
+            waco_core::Waco::train_2d(sim, kernel, &corpus, dense_extent, self.waco_config());
         waco
     }
 
@@ -222,8 +261,11 @@ mod tests {
     fn scales_are_ordered() {
         let d = Scale::default_scale();
         let q = Scale::quick();
+        let s = Scale::smoke();
         assert!(q.train_matrices < d.train_matrices);
         assert!(q.epochs < d.epochs);
+        assert!(s.trials < q.trials);
+        assert!(s.smoke && !q.smoke && !d.smoke);
     }
 
     #[test]

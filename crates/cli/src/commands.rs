@@ -60,7 +60,9 @@ impl Flags {
     fn usize_or(&self, key: &str, default: usize) -> Result<usize, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got `{v}`")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects an integer, got `{v}`")),
         }
     }
 
@@ -113,7 +115,12 @@ pub fn gen(args: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown family `{other}`")),
     };
     io::write_matrix_market_file(out, &m).map_err(|e| format!("writing {out}: {e}"))?;
-    println!("wrote {out}: {}x{}, {} nnz ({family})", m.nrows(), m.ncols(), m.nnz());
+    println!(
+        "wrote {out}: {}x{}, {} nnz ({family})",
+        m.nrows(),
+        m.ncols(),
+        m.nnz()
+    );
     Ok(())
 }
 
@@ -125,11 +132,22 @@ pub fn inspect(args: &[String]) -> Result<(), String> {
     let s = MatrixStats::compute(&m);
     println!("{path}");
     println!("  shape          {} x {}", s.nrows, s.ncols);
-    println!("  nonzeros       {} ({:.4}% dense)", s.nnz, s.density * 100.0);
-    println!("  row nnz        mean {:.2}, max {}, cv {:.2}", s.row_nnz_mean, s.row_nnz_max, s.row_cv);
+    println!(
+        "  nonzeros       {} ({:.4}% dense)",
+        s.nnz,
+        s.density * 100.0
+    );
+    println!(
+        "  row nnz        mean {:.2}, max {}, cv {:.2}",
+        s.row_nnz_mean, s.row_nnz_max, s.row_cv
+    );
     println!("  diag distance  {:.3} (normalized)", s.diag_distance_mean);
     println!("  symmetry       {:.0}%", s.symmetry * 100.0);
-    println!("  8x8 blocks     {} occupied, mean fill {:.0}%", s.block8_count, s.block8_fill_mean * 100.0);
+    println!(
+        "  8x8 blocks     {} occupied, mean fill {:.0}%",
+        s.block8_count,
+        s.block8_fill_mean * 100.0
+    );
     Ok(())
 }
 
@@ -170,8 +188,14 @@ fn waco_config(flags: &Flags) -> Result<(WacoConfig, usize, usize), String> {
     let epochs = flags.usize_or("epochs", 10)?;
     let seed = flags.usize_or("seed", 2023)? as u64;
     let cfg = WacoConfig {
-        train: TrainConfig { epochs, ..TrainConfig::small() },
-        datagen: DataGenConfig { schedules_per_matrix: 16, ..Default::default() },
+        train: TrainConfig {
+            epochs,
+            ..TrainConfig::small()
+        },
+        datagen: DataGenConfig {
+            schedules_per_matrix: 16,
+            ..Default::default()
+        },
         seed,
         ..WacoConfig::small()
     };
@@ -225,12 +249,16 @@ pub fn tune(args: &[String]) -> Result<(), String> {
         println!("loaded model weights from {ckpt}");
     }
 
-    let tuned = waco.tune_matrix(&m).map_err(|e| format!("tuning failed: {e}"))?;
+    let tuned = waco
+        .tune_matrix(&m)
+        .map_err(|e| format!("tuning failed: {e}"))?;
     let space = waco.space_for_matrix(&m);
     println!("\n{kernel} on {path} ({} nnz):", m.nnz());
     println!("  WACO chose : {}", tuned.result.sched.describe(&space));
-    println!("  kernel time: {:.3e}s  (tuning {:.3e}s, conversion {:.3e}s)",
-        tuned.result.kernel_seconds, tuned.result.tuning_seconds, tuned.result.convert_seconds);
+    println!(
+        "  kernel time: {:.3e}s  (tuning {:.3e}s, conversion {:.3e}s)",
+        tuned.result.kernel_seconds, tuned.result.tuning_seconds, tuned.result.convert_seconds
+    );
 
     let mut lines = Vec::new();
     if let Ok(f) = fixed::fixed_csr_matrix(&waco.sim, kernel, &m, dense) {

@@ -37,7 +37,11 @@ fn gen_inspect_bench_roundtrip() {
         .arg(&mtx)
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("wrote"));
 
     let out = cli().arg("inspect").arg(&mtx).output().expect("runs");
@@ -51,7 +55,11 @@ fn gen_inspect_bench_roundtrip() {
         .arg(&mtx)
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("configurations"));
 }
@@ -81,25 +89,49 @@ fn train_then_tune_with_checkpoint() {
     // Tiny training budget to keep the test fast.
     let out = cli()
         .args([
-            "train", "--kernel", "spmv", "--matrices", "4", "--size", "48", "--epochs", "2",
+            "train",
+            "--kernel",
+            "spmv",
+            "--matrices",
+            "4",
+            "--size",
+            "48",
+            "--epochs",
+            "2",
             "--out",
         ])
         .arg(&ckpt)
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(ckpt.exists());
 
     let out = cli()
         .args([
-            "tune", "--kernel", "spmv", "--matrices", "4", "--size", "48", "--epochs", "1",
+            "tune",
+            "--kernel",
+            "spmv",
+            "--matrices",
+            "4",
+            "--size",
+            "48",
+            "--epochs",
+            "1",
             "--model",
         ])
         .arg(&ckpt)
         .arg(&mtx)
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("WACO chose"), "{text}");
     assert!(text.contains("FixedCSR"));

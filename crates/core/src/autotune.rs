@@ -25,6 +25,7 @@
 //!   structurally; its tuning bill is correspondingly larger.
 
 use waco_baselines::TunedResult;
+use waco_runtime::ThreadPool;
 use waco_schedule::{named, Kernel, Parallelize, Space, SuperSchedule};
 use waco_sim::{Result, SimError, Simulator};
 use waco_tensor::gen::Rng64;
@@ -60,34 +61,61 @@ fn project_schedule_only(space: &Space, sampled: SuperSchedule) -> SuperSchedule
 
 /// A running oracle search: measures candidates, tracks the best and the
 /// accumulated tuning bill.
-struct Oracle<'a, F: FnMut(&SuperSchedule) -> Result<(f64, f64)>> {
+///
+/// Candidates are measured in parallel batches on the persistent pool, but
+/// folded in generation order, so the chosen schedule and the tuning bill
+/// are bit-identical to a sequential search.
+struct Oracle<'a, F: Fn(&SuperSchedule) -> Result<(f64, f64)> + Sync> {
     space: &'a Space,
     time: F,
     best: Option<(f64, f64, SuperSchedule)>,
     tuning: f64,
 }
 
-impl<'a, F: FnMut(&SuperSchedule) -> Result<(f64, f64)>> Oracle<'a, F> {
+impl<'a, F: Fn(&SuperSchedule) -> Result<(f64, f64)> + Sync> Oracle<'a, F> {
     fn new(space: &'a Space, time: F) -> Self {
-        Self { space, time, best: None, tuning: 0.0 }
+        Self {
+            space,
+            time,
+            best: None,
+            tuning: 0.0,
+        }
     }
 
     fn try_candidate(&mut self, cand: &SuperSchedule) {
-        if cand.validate(self.space).is_err() {
-            return;
-        }
-        if let Ok((seconds, convert)) = (self.time)(cand) {
-            self.tuning += seconds + convert;
-            if self.best.as_ref().map(|(b, _, _)| seconds < *b).unwrap_or(true) {
-                self.best = Some((seconds, convert, cand.clone()));
+        self.try_batch(std::slice::from_ref(cand));
+    }
+
+    /// Evaluates a batch of candidates (the oracle-search fan-out) on the
+    /// pool and folds the measurements in candidate order.
+    fn try_batch(&mut self, cands: &[SuperSchedule]) {
+        let valid: Vec<&SuperSchedule> = cands
+            .iter()
+            .filter(|c| c.validate(self.space).is_ok())
+            .collect();
+        let pool = ThreadPool::global();
+        let time = &self.time;
+        let timed = pool.map(&valid, pool.max_participants(), |c| time(c).ok());
+        for (cand, res) in valid.iter().zip(timed) {
+            if let Some((seconds, convert)) = res {
+                self.tuning += seconds + convert;
+                if self
+                    .best
+                    .as_ref()
+                    .map(|(b, _, _)| seconds < *b)
+                    .unwrap_or(true)
+                {
+                    self.best = Some((seconds, convert, (*cand).clone()));
+                }
             }
         }
     }
 
     fn finish(self, name: String) -> Result<TunedResult> {
-        let (seconds, convert, sched) = self
-            .best
-            .ok_or(SimError::TooExpensive { estimate: f64::INFINITY, limit: 0.0 })?;
+        let (seconds, convert, sched) = self.best.ok_or(SimError::TooExpensive {
+            estimate: f64::INFINITY,
+            limit: 0.0,
+        })?;
         let baseline = named::default_csr(self.space);
         let is_default =
             sched.a_format_spec(self.space).ok() == baseline.a_format_spec(self.space).ok();
@@ -106,7 +134,7 @@ fn run_search(
     trials: usize,
     seed: u64,
     restriction: Restriction,
-    time: impl FnMut(&SuperSchedule) -> Result<(f64, f64)>,
+    time: impl Fn(&SuperSchedule) -> Result<(f64, f64)> + Sync,
 ) -> Result<TunedResult> {
     let mut rng = Rng64::seed_from(seed);
     let mut oracle = Oracle::new(space, time);
@@ -115,38 +143,46 @@ fn run_search(
 
     match restriction {
         Restriction::FormatOnly => {
-            for _ in 0..trials {
-                let cand = project_format_only(space, SuperSchedule::sample(space, &mut rng));
-                oracle.try_candidate(&cand);
-            }
+            let cands: Vec<SuperSchedule> = (0..trials)
+                .map(|_| project_format_only(space, SuperSchedule::sample(space, &mut rng)))
+                .collect();
+            oracle.try_batch(&cands);
         }
         Restriction::ScheduleOnly => {
-            for _ in 0..trials {
-                let cand = project_schedule_only(space, SuperSchedule::sample(space, &mut rng));
-                oracle.try_candidate(&cand);
-            }
+            let cands: Vec<SuperSchedule> = (0..trials)
+                .map(|_| project_schedule_only(space, SuperSchedule::sample(space, &mut rng)))
+                .collect();
+            oracle.try_batch(&cands);
         }
         Restriction::Joint => {
             // Both single-axis candidate sets (same seed → superset of what
             // the restricted searches see)…
+            let mut cands = Vec::with_capacity(trials * 3);
             for _ in 0..trials {
                 let s = SuperSchedule::sample(space, &mut rng);
-                oracle.try_candidate(&project_format_only(space, s.clone()));
-                oracle.try_candidate(&project_schedule_only(space, s.clone()));
-                oracle.try_candidate(&s);
+                cands.push(project_format_only(space, s.clone()));
+                cands.push(project_schedule_only(space, s.clone()));
+                cands.push(s);
             }
+            oracle.try_batch(&cands);
             // …then couple: sweep parallelization on the best format found.
             if let Some((_, _, best)) = oracle.best.clone() {
                 let par_vars = space.parallelizable_vars();
+                let mut sweep = Vec::new();
                 for &threads in &space.thread_options.clone() {
                     for chunk in [1usize, 8, 32, 128, 256] {
                         for var in [par_vars[0], *par_vars.last().expect("non-empty")] {
                             let mut cand = best.clone();
-                            cand.parallel = Some(Parallelize { var, threads, chunk });
-                            oracle.try_candidate(&cand);
+                            cand.parallel = Some(Parallelize {
+                                var,
+                                threads,
+                                chunk,
+                            });
+                            sweep.push(cand);
                         }
                     }
                 }
+                oracle.try_batch(&sweep);
             }
         }
     }
@@ -261,7 +297,9 @@ mod tests {
         let mut rng = Rng64::seed_from(3);
         let m = gen::banded(96, 4, 0.6, &mut rng);
         let f = tune_matrix(&sim, Kernel::SpMV, &m, 0, 40, 3, Restriction::FormatOnly).unwrap();
-        if f.name == "FormatOnly" && f.sched != named::default_csr(&sim.space_for(Kernel::SpMV, vec![96, 96], 0)) {
+        if f.name == "FormatOnly"
+            && f.sched != named::default_csr(&sim.space_for(Kernel::SpMV, vec![96, 96], 0))
+        {
             let loops = &f.sched.loop_order[..f.sched.format.order.len()];
             for (lv, ax) in loops.iter().zip(&f.sched.format.order) {
                 assert_eq!((lv.dim, lv.part), (ax.dim, ax.part));

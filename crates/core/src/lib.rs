@@ -99,7 +99,10 @@ impl WacoConfig {
         Self {
             model: CostModelConfig::tiny(),
             train: TrainConfig::tiny(),
-            datagen: DataGenConfig { schedules_per_matrix: 8, ..Default::default() },
+            datagen: DataGenConfig {
+                schedules_per_matrix: 8,
+                ..Default::default()
+            },
             index_size: 80,
             topk: 5,
             ef: 32,
@@ -169,7 +172,14 @@ impl Waco {
         let mut model = CostModel::for_kernel(kernel, &ds.layout, cfg.model, &mut rng);
         let stats = train::train(&mut model, &ds, &cfg.train, &mut rng);
         (
-            Self { kernel, sim, model, dense_extent, cfg, indices: HashMap::new() },
+            Self {
+                kernel,
+                sim,
+                model,
+                dense_extent,
+                cfg,
+                indices: HashMap::new(),
+            },
             stats,
         )
     }
@@ -287,7 +297,11 @@ impl Waco {
         let t1 = std::time::Instant::now();
         let (hits, evals, _) = index.query_with_feature(&self.model, &feat, topk, ef);
         let anns_seconds = t1.elapsed().as_secs_f64();
-        let breakdown = SearchBreakdown { feature_seconds, anns_seconds, evals };
+        let breakdown = SearchBreakdown {
+            feature_seconds,
+            anns_seconds,
+            evals,
+        };
 
         // Measure the top-k plus the TACO default on the simulated
         // hardware; keep the fastest (measuring the default costs one extra
@@ -403,7 +417,10 @@ mod tests {
                 wins += 1;
             }
         }
-        assert!(wins * 2 >= total, "tuned lost badly too often: {wins}/{total}");
+        assert!(
+            wins * 2 >= total,
+            "tuned lost badly too often: {wins}/{total}"
+        );
     }
 
     #[test]

@@ -208,7 +208,11 @@ pub fn sddmm_storage(
     b: &DenseMatrix,
     c: &DenseMatrix,
 ) -> Result<CooMatrix> {
-    let (ni, nj, nk) = (space.sparse_dims[0], space.sparse_dims[1], space.dense_extent);
+    let (ni, nj, nk) = (
+        space.sparse_dims[0],
+        space.sparse_dims[1],
+        space.dense_extent,
+    );
     if b.nrows() != ni || b.ncols() != nk || c.nrows() != nk || c.ncols() != nj {
         return Err(ExecError::OperandMismatch(format!(
             "SDDMM operands B {}x{} C {}x{}, expected B {ni}x{nk} C {nk}x{nj}",
@@ -338,7 +342,11 @@ mod tests {
     use waco_tensor::CsrMatrix;
 
     fn close_m(a: &DenseMatrix, b: &DenseMatrix, tol: f32) {
-        assert!(a.max_abs_diff(b) < tol, "diff {} >= {tol}", a.max_abs_diff(b));
+        assert!(
+            a.max_abs_diff(b) < tol,
+            "diff {} >= {tol}",
+            a.max_abs_diff(b)
+        );
     }
 
     #[test]
@@ -469,12 +477,7 @@ mod tests {
         let space = Space::new(Kernel::SpMV, vec![8, 8], 0);
         let sched = named::default_csr(&space);
         let a = gen::mesh2d(3, 3);
-        let r = spmm(
-            &a,
-            &sched,
-            &space,
-            &DenseMatrix::zeros(9, 1),
-        );
+        let r = spmm(&a, &sched, &space, &DenseMatrix::zeros(9, 1));
         assert!(matches!(r, Err(ExecError::OperandMismatch(_))));
     }
 

@@ -115,14 +115,19 @@ impl<'a> LoopNest<'a> {
             let v = order.remove(idx);
             order.insert(0, v);
         }
-        let order_extents: Vec<usize> =
-            order.iter().map(|&v| schedule.loop_extent(space, v)).collect();
+        let order_extents: Vec<usize> = order
+            .iter()
+            .map(|&v| schedule.loop_extent(space, v))
+            .collect();
 
         let level_var: Vec<LoopVar> = a
             .spec()
             .order()
             .iter()
-            .map(|ax| LoopVar { dim: ax.dim, part: ax.part })
+            .map(|ax| LoopVar {
+                dim: ax.dim,
+                part: ax.part,
+            })
             .collect();
         let ndims = space.kernel.ndims();
         let mut var_level = vec![None; ndims * 2];
@@ -190,7 +195,10 @@ impl<'a> LoopNest<'a> {
             let concordant = self.var_level[slot] == Some(resolved);
             if concordant {
                 // Average branching of the level: children / parents.
-                let children = self.a.level(resolved).child_count(self.a.parent_count(resolved));
+                let children = self
+                    .a
+                    .level(resolved)
+                    .child_count(self.a.parent_count(resolved));
                 let parents = self.a.parent_count(resolved).max(1);
                 est *= (children as f64 / parents as f64).max(1.0);
             } else {
@@ -310,11 +318,7 @@ mod tests {
     use waco_tensor::gen::{self, Rng64};
     use waco_tensor::CooMatrix;
 
-    fn storage_for(
-        m: &CooMatrix,
-        sched: &SuperSchedule,
-        space: &Space,
-    ) -> SparseStorage {
+    fn storage_for(m: &CooMatrix, sched: &SuperSchedule, space: &Space) -> SparseStorage {
         let spec = sched.a_format_spec(space).unwrap();
         SparseStorage::from_matrix(m, &spec).unwrap()
     }
@@ -325,12 +329,16 @@ mod tests {
         let nest = LoopNest::new(&st, sched, space);
         let mut y = vec![0.0f32; m.nrows()];
         let x: Vec<f32> = (0..m.ncols()).map(|k| (k + 1) as f32).collect();
-        nest.walk(0..nest.outer_extent(), &mut NoInstrument, &mut |ctx, _, v| {
-            let (Some(i), Some(k)) = (ctx.coord(0), ctx.coord(1)) else {
-                return;
-            };
-            y[i] += v * x[k];
-        });
+        nest.walk(
+            0..nest.outer_extent(),
+            &mut NoInstrument,
+            &mut |ctx, _, v| {
+                let (Some(i), Some(k)) = (ctx.coord(0), ctx.coord(1)) else {
+                    return;
+                };
+                y[i] += v * x[k];
+            },
+        );
         y
     }
 

@@ -7,13 +7,20 @@
 //! parameter tunes (small chunks fix skewed row distributions, large chunks
 //! minimize dispatch overhead; Table 6 attributes about half of all WACO wins
 //! to this knob).
+//!
+//! Since a tuned kernel may run for microseconds, thread startup cannot sit
+//! on this path: chunks are dispatched to the persistent
+//! [`waco_runtime::ThreadPool`] instead of freshly spawned threads (the old
+//! spawn-per-call strategy survives as [`waco_runtime::run_chunked_spawn`]
+//! for reference and benchmarking).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use waco_runtime::ThreadPool;
 
 /// Runs `run(range, &mut acc)` over every chunk of `0..extent`, distributing
-/// chunks dynamically over `threads` workers. Returns one accumulator per
-/// worker (merge order is deterministic; which chunks a worker processed is
-/// not, so accumulators must be mergeable by commutative reduction).
+/// chunks dynamically over `threads` workers of the process-wide pool.
+/// Returns one accumulator per worker (merge order is deterministic; which
+/// chunks a worker processed is not, so accumulators must be mergeable by
+/// commutative reduction).
 ///
 /// With `threads <= 1` everything runs on the calling thread.
 pub fn run_chunked<Acc: Send>(
@@ -23,47 +30,7 @@ pub fn run_chunked<Acc: Send>(
     make_acc: impl Fn() -> Acc + Sync,
     run: impl Fn(std::ops::Range<usize>, &mut Acc) + Sync,
 ) -> Vec<Acc> {
-    let chunk = chunk.max(1);
-    let nchunks = extent.div_ceil(chunk);
-    let workers = threads.clamp(1, nchunks.max(1));
-    if workers <= 1 {
-        let mut acc = make_acc();
-        let mut idx = 0;
-        while idx * chunk < extent {
-            let start = idx * chunk;
-            run(start..(start + chunk).min(extent), &mut acc);
-            idx += 1;
-        }
-        return vec![acc];
-    }
-
-    let next = AtomicUsize::new(0);
-    crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                let next = &next;
-                let make_acc = &make_acc;
-                let run = &run;
-                s.spawn(move |_| {
-                    let mut acc = make_acc();
-                    loop {
-                        let idx = next.fetch_add(1, Ordering::Relaxed);
-                        let start = idx * chunk;
-                        if start >= extent {
-                            break;
-                        }
-                        run(start..(start + chunk).min(extent), &mut acc);
-                    }
-                    acc
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    })
-    .expect("thread scope failed")
+    ThreadPool::global().run_chunked(extent, threads, chunk, make_acc, run)
 }
 
 /// Splits `0..extent` into the chunk ranges dynamic scheduling would dispatch
@@ -121,11 +88,17 @@ mod tests {
 
     #[test]
     fn sums_are_correct_under_parallelism() {
-        let accs = run_chunked(10_000, 8, 13, || 0u64, |r, acc| {
-            for i in r {
-                *acc += i as u64;
-            }
-        });
+        let accs = run_chunked(
+            10_000,
+            8,
+            13,
+            || 0u64,
+            |r, acc| {
+                for i in r {
+                    *acc += i as u64;
+                }
+            },
+        );
         let total: u64 = accs.iter().sum();
         assert_eq!(total, 10_000 * 9_999 / 2);
     }

@@ -20,7 +20,11 @@ fn sddmm_column_parallelism_matches_reference() {
 
     for var in [LoopVar::outer(0), LoopVar::outer(1), LoopVar::inner(1)] {
         let mut sched = named::default_csr(&space);
-        sched.parallel = Some(Parallelize { var, threads: 4, chunk: 2 });
+        sched.parallel = Some(Parallelize {
+            var,
+            threads: 4,
+            chunk: 2,
+        });
         sched.validate(&space).unwrap();
         let d = kernels::sddmm(&a, &sched, &space, &b, &c).unwrap();
         assert!(
@@ -39,7 +43,11 @@ fn chunk_sizes_do_not_change_results() {
     let reference = CsrMatrix::from_coo(&a).spmm(&b);
     for chunk in [1usize, 7, 32, 256] {
         let mut sched = named::default_csr(&space);
-        sched.parallel = Some(Parallelize { var: LoopVar::outer(0), threads: 3, chunk });
+        sched.parallel = Some(Parallelize {
+            var: LoopVar::outer(0),
+            threads: 3,
+            chunk,
+        });
         let c = kernels::spmm(&a, &sched, &space, &b).unwrap();
         assert!(c.max_abs_diff(&reference) < 1e-2, "chunk {chunk}");
     }
@@ -54,7 +62,11 @@ fn oversubscribed_threads_are_safe() {
     let x = waco_tensor::DenseVector::from_fn(64, |i| (i as f32 * 0.17).sin());
     let reference = CsrMatrix::from_coo(&a).spmv(&x);
     let mut sched = named::default_csr(&space);
-    sched.parallel = Some(Parallelize { var: LoopVar::outer(0), threads: 16, chunk: 64 });
+    sched.parallel = Some(Parallelize {
+        var: LoopVar::outer(0),
+        threads: 16,
+        chunk: 64,
+    });
     let y = kernels::spmv(&a, &sched, &space, &x).unwrap();
     assert!(y.max_abs_diff(&reference) < 1e-3);
 }

@@ -73,7 +73,11 @@ pub fn plan(
         prefix_counts[l] = count;
     }
     let words = spec.storage_words(&prefix_counts);
-    Ok(BuildPlan { tuples, prefix_counts, words })
+    Ok(BuildPlan {
+        tuples,
+        prefix_counts,
+        words,
+    })
 }
 
 /// Materializes the levels and values array from a plan.
@@ -90,7 +94,10 @@ pub fn materialize(
     budget_words: u64,
 ) -> Result<(Vec<LevelStorage>, Vec<Value>, Vec<usize>)> {
     if plan.words > budget_words {
-        return Err(FormatError::StorageTooLarge { estimated: plan.words, budget: budget_words });
+        return Err(FormatError::StorageTooLarge {
+            estimated: plan.words,
+            budget: budget_words,
+        });
     }
     let nlev = spec.num_levels();
     let n = plan.tuples.len();
@@ -118,14 +125,14 @@ pub fn materialize(
                 let mut pos = vec![0usize; parent_count + 1];
                 let mut crd = Vec::with_capacity(plan.prefix_counts[l]);
                 let mut prev: Option<(usize, usize)> = None;
-                for i in 0..n {
-                    let key = (pos_prev[i], plan.tuples[i].0[l]);
+                for (pp, (t, _)) in pos_prev.iter_mut().zip(plan.tuples.iter()) {
+                    let key = (*pp, t[l]);
                     if prev != Some(key) {
                         crd.push(key.1);
                         pos[key.0 + 1] += 1;
                         prev = Some(key);
                     }
-                    pos_prev[i] = crd.len() - 1;
+                    *pp = crd.len() - 1;
                 }
                 for p in 0..parent_count {
                     pos[p + 1] += pos[p];
@@ -215,11 +222,7 @@ mod tests {
     #[test]
     fn duplicate_coords_are_summed() {
         let spec = FormatSpec::csr(2, 2);
-        let plan = plan(
-            &spec,
-            vec![(vec![0, 0], 1.0), (vec![0, 0], 2.0)],
-        )
-        .unwrap();
+        let plan = plan(&spec, vec![(vec![0, 0], 1.0), (vec![0, 0], 2.0)]).unwrap();
         let (_, vals, _) = materialize(&spec, &plan, DEFAULT_BUDGET_WORDS).unwrap();
         assert_eq!(vals, vec![3.0]);
     }

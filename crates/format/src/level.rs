@@ -106,7 +106,10 @@ impl LevelStorage {
             LevelStorage::Compressed { pos, crd } => {
                 let range = pos[parent_pos]..pos[parent_pos + 1];
                 let slice = &crd[range.clone()];
-                slice.binary_search(&coord).ok().map(|off| range.start + off)
+                slice
+                    .binary_search(&coord)
+                    .ok()
+                    .map(|off| range.start + off)
             }
         }
     }
@@ -130,7 +133,10 @@ impl LevelStorage {
                 let probes = (usize::BITS - len.leading_zeros()) as usize + 1;
                 let slice = &crd[range.clone()];
                 (
-                    slice.binary_search(&coord).ok().map(|off| range.start + off),
+                    slice
+                        .binary_search(&coord)
+                        .ok()
+                        .map(|off| range.start + off),
                     probes,
                 )
             }
@@ -177,7 +183,11 @@ impl Iterator for LevelIter<'_> {
 
     fn next(&mut self) -> Option<(usize, usize)> {
         match self {
-            LevelIter::Dense { base, coord, extent } => {
+            LevelIter::Dense {
+                base,
+                coord,
+                extent,
+            } => {
                 if *coord < *extent {
                     let item = (*coord, *base + *coord);
                     *coord += 1;
@@ -250,7 +260,10 @@ mod tests {
     fn locate_probe_counts() {
         let u = LevelStorage::Uncompressed { extent: 8 };
         assert_eq!(u.locate_probes(100), 1);
-        let c = LevelStorage::Compressed { pos: vec![0, 0], crd: vec![] };
+        let c = LevelStorage::Compressed {
+            pos: vec![0, 0],
+            crd: vec![],
+        };
         assert_eq!(c.locate_probes(1), 1);
         assert_eq!(c.locate_probes(1024), 11);
     }

@@ -82,10 +82,19 @@ impl std::fmt::Display for FormatError {
             FormatError::InvalidOrder(msg) => write!(f, "invalid level order: {msg}"),
             FormatError::InvalidSpec(msg) => write!(f, "invalid format spec: {msg}"),
             FormatError::StorageTooLarge { estimated, budget } => {
-                write!(f, "storage would need ~{estimated} words, budget is {budget}")
+                write!(
+                    f,
+                    "storage would need ~{estimated} words, budget is {budget}"
+                )
             }
-            FormatError::DimMismatch { spec_dims, tensor_dims } => {
-                write!(f, "spec dims {spec_dims:?} do not match tensor dims {tensor_dims:?}")
+            FormatError::DimMismatch {
+                spec_dims,
+                tensor_dims,
+            } => {
+                write!(
+                    f,
+                    "spec dims {spec_dims:?} do not match tensor dims {tensor_dims:?}"
+                )
             }
         }
     }
@@ -102,7 +111,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = FormatError::StorageTooLarge { estimated: 10, budget: 5 };
+        let e = FormatError::StorageTooLarge {
+            estimated: 10,
+            budget: 5,
+        };
         assert!(format!("{e}").contains("10"));
     }
 }

@@ -28,12 +28,18 @@ pub struct Axis {
 impl Axis {
     /// The outer axis of mode `dim`.
     pub fn outer(dim: usize) -> Self {
-        Axis { dim, part: AxisPart::Outer }
+        Axis {
+            dim,
+            part: AxisPart::Outer,
+        }
     }
 
     /// The inner axis of mode `dim`.
     pub fn inner(dim: usize) -> Self {
-        Axis { dim, part: AxisPart::Inner }
+        Axis {
+            dim,
+            part: AxisPart::Inner,
+        }
     }
 }
 
@@ -83,10 +89,10 @@ impl FormatSpec {
         order: Vec<Axis>,
         formats: Vec<LevelFormat>,
     ) -> Result<Self> {
-        if dims.is_empty() || dims.iter().any(|&d| d == 0) {
+        if dims.is_empty() || dims.contains(&0) {
             return Err(FormatError::InvalidSpec(format!("bad dims {dims:?}")));
         }
-        if splits.len() != dims.len() || splits.iter().any(|&s| s == 0) {
+        if splits.len() != dims.len() || splits.contains(&0) {
             return Err(FormatError::InvalidSpec(format!(
                 "splits {splits:?} must be positive and match ndims {}",
                 dims.len()
@@ -111,12 +117,13 @@ impl FormatSpec {
         }
         // Clamp splits to the dimension size (splitting by more than N is
         // the same as not splitting).
-        let splits = splits
-            .iter()
-            .zip(&dims)
-            .map(|(&s, &d)| s.min(d))
-            .collect();
-        Ok(Self { dims, splits, order, formats })
+        let splits = splits.iter().zip(&dims).map(|(&s, &d)| s.min(d)).collect();
+        Ok(Self {
+            dims,
+            splits,
+            order,
+            formats,
+        })
     }
 
     /// Number of original tensor modes.
@@ -222,7 +229,12 @@ impl FormatSpec {
         Self::new(
             vec![nrows, ncols],
             vec![1, 1],
-            vec![Axis::outer(0), Axis::outer(1), Axis::inner(0), Axis::inner(1)],
+            vec![
+                Axis::outer(0),
+                Axis::outer(1),
+                Axis::inner(0),
+                Axis::inner(1),
+            ],
             vec![
                 LevelFormat::Uncompressed,
                 LevelFormat::Compressed,
@@ -238,7 +250,12 @@ impl FormatSpec {
         Self::new(
             vec![nrows, ncols],
             vec![1, 1],
-            vec![Axis::outer(1), Axis::outer(0), Axis::inner(1), Axis::inner(0)],
+            vec![
+                Axis::outer(1),
+                Axis::outer(0),
+                Axis::inner(1),
+                Axis::inner(0),
+            ],
             vec![
                 LevelFormat::Uncompressed,
                 LevelFormat::Compressed,
@@ -254,7 +271,12 @@ impl FormatSpec {
         Self::new(
             vec![nrows, ncols],
             vec![br, bc],
-            vec![Axis::outer(0), Axis::outer(1), Axis::inner(0), Axis::inner(1)],
+            vec![
+                Axis::outer(0),
+                Axis::outer(1),
+                Axis::inner(0),
+                Axis::inner(1),
+            ],
             vec![
                 LevelFormat::Uncompressed,
                 LevelFormat::Compressed,
@@ -270,7 +292,12 @@ impl FormatSpec {
         Self::new(
             vec![nrows, ncols],
             vec![1, 1],
-            vec![Axis::outer(0), Axis::outer(1), Axis::inner(0), Axis::inner(1)],
+            vec![
+                Axis::outer(0),
+                Axis::outer(1),
+                Axis::inner(0),
+                Axis::inner(1),
+            ],
             vec![LevelFormat::Uncompressed; 4],
         )
         .expect("dense spec is valid")
@@ -281,7 +308,12 @@ impl FormatSpec {
         Self::new(
             vec![nrows, ncols],
             vec![1, 1],
-            vec![Axis::outer(0), Axis::outer(1), Axis::inner(0), Axis::inner(1)],
+            vec![
+                Axis::outer(0),
+                Axis::outer(1),
+                Axis::inner(0),
+                Axis::inner(1),
+            ],
             vec![
                 LevelFormat::Compressed,
                 LevelFormat::Compressed,
@@ -298,7 +330,12 @@ impl FormatSpec {
         Self::new(
             vec![nrows, ncols],
             vec![1, ksplit],
-            vec![Axis::outer(1), Axis::outer(0), Axis::inner(1), Axis::inner(0)],
+            vec![
+                Axis::outer(1),
+                Axis::outer(0),
+                Axis::inner(1),
+                Axis::inner(0),
+            ],
             vec![
                 LevelFormat::Uncompressed,
                 LevelFormat::Uncompressed,
@@ -378,7 +415,12 @@ mod tests {
         let r = FormatSpec::new(
             vec![4, 4],
             vec![1, 1],
-            vec![Axis::outer(0), Axis::outer(0), Axis::inner(0), Axis::inner(1)],
+            vec![
+                Axis::outer(0),
+                Axis::outer(0),
+                Axis::inner(0),
+                Axis::inner(1),
+            ],
             vec![LevelFormat::Uncompressed; 4],
         );
         assert!(matches!(r, Err(FormatError::InvalidOrder(_))));
@@ -389,7 +431,12 @@ mod tests {
         let r = FormatSpec::new(
             vec![4, 4],
             vec![0, 1],
-            vec![Axis::outer(0), Axis::outer(1), Axis::inner(0), Axis::inner(1)],
+            vec![
+                Axis::outer(0),
+                Axis::outer(1),
+                Axis::inner(0),
+                Axis::inner(1),
+            ],
             vec![LevelFormat::Uncompressed; 4],
         );
         assert!(matches!(r, Err(FormatError::InvalidSpec(_))));
@@ -400,7 +447,12 @@ mod tests {
         let s = FormatSpec::new(
             vec![4, 4],
             vec![100, 1],
-            vec![Axis::outer(0), Axis::outer(1), Axis::inner(0), Axis::inner(1)],
+            vec![
+                Axis::outer(0),
+                Axis::outer(1),
+                Axis::inner(0),
+                Axis::inner(1),
+            ],
             vec![LevelFormat::Uncompressed; 4],
         )
         .unwrap();

@@ -49,7 +49,11 @@ impl SparseStorage {
                 tensor_dims: vec![m.nrows(), m.ncols()],
             });
         }
-        Self::from_nonzeros(spec, m.iter().map(|(r, c, v)| (vec![r, c], v)), budget_words)
+        Self::from_nonzeros(
+            spec,
+            m.iter().map(|(r, c, v)| (vec![r, c], v)),
+            budget_words,
+        )
     }
 
     /// Builds storage for a 3-D tensor with the default budget.
@@ -83,7 +87,12 @@ impl SparseStorage {
     ) -> Result<Self> {
         let plan = build::plan(spec, nonzeros)?;
         let (levels, vals, parent_counts) = build::materialize(spec, &plan, budget_words)?;
-        Ok(Self { spec: spec.clone(), levels, vals, parent_counts })
+        Ok(Self {
+            spec: spec.clone(),
+            levels,
+            vals,
+            parent_counts,
+        })
     }
 
     /// The format this tensor is stored in.
@@ -224,7 +233,9 @@ impl SparseStorage {
         let dims = self.spec.dims();
         CooTensor3::from_quads(
             [dims[0], dims[1], dims[2]],
-            self.to_nonzeros().into_iter().map(|(c, v)| (c[0], c[1], c[2], v)),
+            self.to_nonzeros()
+                .into_iter()
+                .map(|(c, v)| (c[0], c[1], c[2], v)),
         )
         .expect("reconstructed coords are in bounds")
     }
@@ -241,7 +252,13 @@ mod tests {
         CooMatrix::from_triplets(
             6,
             6,
-            vec![(0, 0, 1.0), (0, 5, 2.0), (2, 2, 3.0), (3, 1, 4.0), (5, 5, 5.0)],
+            vec![
+                (0, 0, 1.0),
+                (0, 5, 2.0),
+                (2, 2, 3.0),
+                (3, 1, 4.0),
+                (5, 5, 5.0),
+            ],
         )
         .unwrap()
     }
@@ -304,7 +321,12 @@ mod tests {
         let spec = FormatSpec::new(
             vec![17, 13],
             vec![4, 3],
-            vec![Axis::outer(1), Axis::outer(0), Axis::inner(0), Axis::inner(1)],
+            vec![
+                Axis::outer(1),
+                Axis::outer(0),
+                Axis::inner(0),
+                Axis::inner(1),
+            ],
             vec![
                 LevelFormat::Uncompressed,
                 LevelFormat::Compressed,

@@ -165,7 +165,11 @@ fn collect(
     let mut samples = Vec::with_capacity(cfg.schedules_per_matrix);
     let push = |sched: SuperSchedule, seconds: f64, samples: &mut Vec<Sample>| {
         let enc = encode::encode_structured(&sched, space);
-        samples.push(Sample { sched, enc, seconds });
+        samples.push(Sample {
+            sched,
+            enc,
+            seconds,
+        });
     };
     if cfg.include_portfolio {
         for sched in waco_schedule::named::portfolio(space) {
@@ -203,7 +207,10 @@ mod tests {
             Kernel::SpMV,
             &corpus,
             0,
-            &DataGenConfig { schedules_per_matrix: 5, ..Default::default() },
+            &DataGenConfig {
+                schedules_per_matrix: 5,
+                ..Default::default()
+            },
         );
         assert_eq!(ds.entries.len(), 3);
         for e in &ds.entries {
@@ -219,7 +226,10 @@ mod tests {
     fn generation_is_deterministic() {
         let sim = Simulator::new(MachineConfig::xeon_like());
         let corpus = gen::corpus(2, 24, 6);
-        let cfg = DataGenConfig { schedules_per_matrix: 4, ..Default::default() };
+        let cfg = DataGenConfig {
+            schedules_per_matrix: 4,
+            ..Default::default()
+        };
         let a = generate_2d(&sim, Kernel::SpMV, &corpus, 0, &cfg);
         let b = generate_2d(&sim, Kernel::SpMV, &corpus, 0, &cfg);
         for (ea, eb) in a.entries.iter().zip(&b.entries) {
@@ -236,14 +246,23 @@ mod tests {
         let sim = Simulator::new(MachineConfig::xeon_like());
         let mut rng = Rng64::seed_from(7);
         let tensors = vec![
-            ("t0".to_string(), gen::random_tensor3([12, 12, 12], 80, &mut rng)),
-            ("t1".to_string(), gen::fibered_tensor3([8, 8, 8], 2, 0.7, &mut rng)),
+            (
+                "t0".to_string(),
+                gen::random_tensor3([12, 12, 12], 80, &mut rng),
+            ),
+            (
+                "t1".to_string(),
+                gen::fibered_tensor3([8, 8, 8], 2, 0.7, &mut rng),
+            ),
         ];
         let ds = generate_3d(
             &sim,
             &tensors,
             4,
-            &DataGenConfig { schedules_per_matrix: 4, ..Default::default() },
+            &DataGenConfig {
+                schedules_per_matrix: 4,
+                ..Default::default()
+            },
         );
         assert_eq!(ds.kernel, Kernel::MTTKRP);
         assert!(ds.entries.iter().all(|e| !e.samples.is_empty()));
@@ -258,11 +277,17 @@ mod tests {
             Kernel::SpMV,
             &corpus,
             0,
-            &DataGenConfig { schedules_per_matrix: 10, ..Default::default() },
+            &DataGenConfig {
+                schedules_per_matrix: 10,
+                ..Default::default()
+            },
         );
         let secs: Vec<f64> = ds.entries[0].samples.iter().map(|s| s.seconds).collect();
         let min = secs.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = secs.iter().cloned().fold(0.0, f64::max);
-        assert!(max > 1.2 * min, "schedule choice must matter: {min} vs {max}");
+        assert!(
+            max > 1.2 * min,
+            "schedule choice must matter: {min} vs {max}"
+        );
     }
 }

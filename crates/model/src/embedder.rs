@@ -55,7 +55,14 @@ impl ProgramEmbedder {
         }
         let concat = cat_embeds.len() * cat_dim + perm_mlps.len() * perm_dim;
         let fuse = Mlp::new(&[concat, 2 * embed_dim, embed_dim], false, rng);
-        Self { layout: layout.clone(), cat_embeds, perm_mlps, fuse, cat_dim, perm_dim }
+        Self {
+            layout: layout.clone(),
+            cat_embeds,
+            perm_mlps,
+            fuse,
+            cat_dim,
+            perm_dim,
+        }
     }
 
     /// Program embedding width.
@@ -187,8 +194,8 @@ mod tests {
         let batch = emb.forward_batch(&encs);
         for (r, e) in encs.iter().enumerate() {
             let one = emb.infer_one(e);
-            for c in 0..16 {
-                assert!((one[c] - batch.get(r, c)).abs() < 1e-5);
+            for (c, &o) in one.iter().enumerate().take(16) {
+                assert!((o - batch.get(r, c)).abs() < 1e-5);
             }
         }
     }

@@ -138,7 +138,13 @@ impl CostModel {
             false,
             rng,
         );
-        Self { extractor, embedder, predictor, cached_feat: None, cached_batch: 0 }
+        Self {
+            extractor,
+            embedder,
+            predictor,
+            cached_feat: None,
+            cached_batch: 0,
+        }
     }
 
     /// Builds the standard model for a kernel: 2-D WACONet for the matrix
@@ -235,7 +241,9 @@ impl CostModel {
     /// Scores a batch of schedules end-to-end without caching.
     pub fn predict(&mut self, pattern: &Pattern, encs: &[Encoded]) -> Vec<f32> {
         let feat = self.extract_feature(pattern);
-        encs.iter().map(|e| self.score(&feat, &self.embed(e))).collect()
+        encs.iter()
+            .map(|e| self.score(&feat, &self.embed(e)))
+            .collect()
     }
 
     /// Saves all parameters to a writer (text checkpoint).
@@ -309,7 +317,7 @@ mod tests {
         assert_eq!(preds.len(), 6);
         assert!(preds.iter().all(|p| p.is_finite()));
         model.zero_grad();
-        model.backward_batch(&vec![1.0; 6]);
+        model.backward_batch(&[1.0; 6]);
         assert!(model.params_mut().iter().any(|p| p.grad.max_abs() > 0.0));
     }
 

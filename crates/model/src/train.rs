@@ -22,12 +22,22 @@ pub struct TrainConfig {
 impl TrainConfig {
     /// Laptop-scale default.
     pub fn small() -> Self {
-        Self { epochs: 20, batch: 16, lr: 5e-4, val_fraction: 0.2 }
+        Self {
+            epochs: 20,
+            batch: 16,
+            lr: 5e-4,
+            val_fraction: 0.2,
+        }
     }
 
     /// Test-scale.
     pub fn tiny() -> Self {
-        Self { epochs: 4, batch: 8, lr: 1e-3, val_fraction: 0.25 }
+        Self {
+            epochs: 4,
+            batch: 8,
+            lr: 1e-3,
+            val_fraction: 0.25,
+        }
     }
 }
 
@@ -112,8 +122,10 @@ pub fn train(
             rng.shuffle(&mut sel);
             sel.truncate(cfg.batch.max(2));
             let encs: Vec<_> = sel.iter().map(|&s| entry.samples[s].enc.clone()).collect();
-            let truths: Vec<f32> =
-                sel.iter().map(|&s| entry.samples[s].seconds.ln() as f32).collect();
+            let truths: Vec<f32> = sel
+                .iter()
+                .map(|&s| entry.samples[s].seconds.ln() as f32)
+                .collect();
 
             let preds = model.forward_batch(&entry.pattern, &encs);
             let (loss, grad) = pairwise_hinge(&preds, &truths);
@@ -123,9 +135,11 @@ pub fn train(
             epoch_loss += loss as f64;
             batches += 1;
         }
-        stats
-            .train_loss
-            .push(if batches > 0 { epoch_loss / batches as f64 } else { 0.0 });
+        stats.train_loss.push(if batches > 0 {
+            epoch_loss / batches as f64
+        } else {
+            0.0
+        });
         let (vl, va) = evaluate(model, &val_entries);
         stats.val_loss.push(vl);
         stats.val_rank_acc.push(va);
@@ -150,7 +164,10 @@ mod tests {
             Kernel::SpMV,
             &corpus,
             0,
-            &DataGenConfig { schedules_per_matrix: 10, ..Default::default() },
+            &DataGenConfig {
+                schedules_per_matrix: 10,
+                ..Default::default()
+            },
         )
     }
 
@@ -171,15 +188,17 @@ mod tests {
         let mut rng = Rng64::seed_from(2);
         let mut model =
             CostModel::for_kernel(Kernel::SpMV, &ds.layout, CostModelConfig::tiny(), &mut rng);
-        let cfg = TrainConfig { epochs: 8, batch: 8, lr: 2e-3, val_fraction: 0.2 };
+        let cfg = TrainConfig {
+            epochs: 8,
+            batch: 8,
+            lr: 2e-3,
+            val_fraction: 0.2,
+        };
         let stats = train(&mut model, &ds, &cfg, &mut rng);
         assert_eq!(stats.train_loss.len(), 8);
         let first = stats.train_loss[0];
         let last = *stats.train_loss.last().unwrap();
-        assert!(
-            last < first,
-            "training loss should fall: {first} → {last}"
-        );
+        assert!(last < first, "training loss should fall: {first} → {last}");
     }
 
     #[test]
@@ -190,7 +209,12 @@ mod tests {
             CostModel::for_kernel(Kernel::SpMV, &ds.layout, CostModelConfig::tiny(), &mut rng);
         let all: Vec<&Entry> = ds.entries.iter().collect();
         let (_, acc_before) = evaluate(&mut model, &all);
-        let cfg = TrainConfig { epochs: 10, batch: 10, lr: 2e-3, val_fraction: 0.2 };
+        let cfg = TrainConfig {
+            epochs: 10,
+            batch: 10,
+            lr: 2e-3,
+            val_fraction: 0.2,
+        };
         let _ = train(&mut model, &ds, &cfg, &mut rng);
         let (_, acc_after) = evaluate(&mut model, &all);
         assert!(

@@ -20,7 +20,13 @@ pub struct Adam {
 impl Adam {
     /// Adam with the standard β₁ = 0.9, β₂ = 0.999, ε = 1e-8.
     pub fn new(lr: f32) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0 }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+        }
     }
 
     /// Steps on every parameter: call once per batch after backward.
@@ -65,7 +71,11 @@ mod tests {
             p.grad.set(0, 0, 2.0 * (x - 3.0));
             opt.step(&mut [&mut p]);
         }
-        assert!((p.value.get(0, 0) - 3.0).abs() < 0.05, "got {}", p.value.get(0, 0));
+        assert!(
+            (p.value.get(0, 0) - 3.0).abs() < 0.05,
+            "got {}",
+            p.value.get(0, 0)
+        );
         assert_eq!(opt.steps(), 500);
     }
 

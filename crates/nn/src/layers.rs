@@ -20,7 +20,12 @@ impl Param {
     /// A parameter with the given initial value and zeroed state.
     pub fn new(value: Mat) -> Self {
         let (r, c) = (value.rows(), value.cols());
-        Self { value, grad: Mat::zeros(r, c), m: Mat::zeros(r, c), v: Mat::zeros(r, c) }
+        Self {
+            value,
+            grad: Mat::zeros(r, c),
+            m: Mat::zeros(r, c),
+            v: Mat::zeros(r, c),
+        }
     }
 
     /// Zeroes the gradient.
@@ -161,13 +166,24 @@ impl Mlp {
     ///
     /// Panics if fewer than two widths are given.
     pub fn new(dims: &[usize], relu_last: bool, rng: &mut Rng64) -> Self {
-        assert!(dims.len() >= 2, "an MLP needs at least input and output widths");
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least input and output widths"
+        );
         let linears: Vec<Linear> = dims
             .windows(2)
             .map(|w| Linear::new(w[0], w[1], rng))
             .collect();
-        let n_relu = if relu_last { linears.len() } else { linears.len() - 1 };
-        Self { linears, relus: vec![Relu::new(); n_relu], relu_last }
+        let n_relu = if relu_last {
+            linears.len()
+        } else {
+            linears.len() - 1
+        };
+        Self {
+            linears,
+            relus: vec![Relu::new(); n_relu],
+            relu_last,
+        }
     }
 
     /// Input width.
@@ -228,7 +244,10 @@ impl Mlp {
 
     /// Mutable references to all parameters.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
-        self.linears.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.linears
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     /// Whether a ReLU follows the last linear layer.
@@ -249,7 +268,10 @@ pub struct Embedding {
 impl Embedding {
     /// A table of `vocab` rows of width `dim`.
     pub fn new(vocab: usize, dim: usize, rng: &mut Rng64) -> Self {
-        Self { table: Param::new(Mat::xavier(vocab, dim, rng)), cached_idx: None }
+        Self {
+            table: Param::new(Mat::xavier(vocab, dim, rng)),
+            cached_idx: None,
+        }
     }
 
     /// Embedding width.
@@ -286,13 +308,7 @@ impl Embedding {
     pub fn backward(&mut self, dy: &Mat) {
         let idx = self.cached_idx.as_ref().expect("forward before backward");
         for (r, &i) in idx.iter().enumerate() {
-            for (g, &d) in self
-                .table
-                .grad
-                .row_mut(i)
-                .iter_mut()
-                .zip(dy.row(r))
-            {
+            for (g, &d) in self.table.grad.row_mut(i).iter_mut().zip(dy.row(r)) {
                 *g += d;
             }
         }

@@ -167,8 +167,14 @@ mod tests {
 
     #[test]
     fn accuracy_metric() {
-        assert_eq!(pairwise_accuracy(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]), 1.0);
-        assert_eq!(pairwise_accuracy(&[3.0, 2.0, 1.0], &[10.0, 20.0, 30.0]), 0.0);
+        assert_eq!(
+            pairwise_accuracy(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]),
+            1.0
+        );
+        assert_eq!(
+            pairwise_accuracy(&[3.0, 2.0, 1.0], &[10.0, 20.0, 30.0]),
+            0.0
+        );
         let half = pairwise_accuracy(&[1.0, 2.0], &[5.0, 5.0]);
         assert_eq!(half, 1.0, "no comparable pairs → vacuously perfect");
     }

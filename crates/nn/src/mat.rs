@@ -13,7 +13,11 @@ pub struct Mat {
 impl Mat {
     /// An all-zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Builds from a row-major buffer.
@@ -45,7 +49,9 @@ impl Mat {
     /// Xavier/Glorot-uniform initialization.
     pub fn xavier(rows: usize, cols: usize, rng: &mut Rng64) -> Self {
         let bound = (6.0 / (rows + cols) as f64).sqrt();
-        Self::from_fn(rows, cols, |_, _| ((rng.unit_f64() * 2.0 - 1.0) * bound) as f32)
+        Self::from_fn(rows, cols, |_, _| {
+            ((rng.unit_f64() * 2.0 - 1.0) * bound) as f32
+        })
     }
 
     /// Number of rows.
@@ -156,13 +162,13 @@ impl Mat {
         for i in 0..m {
             let arow = self.row(i);
             let orow = out.row_mut(i);
-            for j in 0..n {
+            for (j, o) in orow.iter_mut().enumerate().take(n) {
                 let brow = other.row(j);
                 let mut acc = 0.0;
                 for p in 0..k {
                     acc += arow[p] * brow[p];
                 }
-                orow[j] = acc;
+                *o = acc;
             }
         }
         out
@@ -174,7 +180,11 @@ impl Mat {
     ///
     /// Panics on shape mismatch.
     pub fn add_assign(&mut self, other: &Mat) {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
         for (a, b) in self.data.iter_mut().zip(&other.data) {
             *a += b;
         }
@@ -247,7 +257,11 @@ impl Mat {
     ///
     /// Panics if the widths do not sum to `cols`.
     pub fn split_cols(&self, widths: &[usize]) -> Vec<Mat> {
-        assert_eq!(widths.iter().sum::<usize>(), self.cols, "split widths mismatch");
+        assert_eq!(
+            widths.iter().sum::<usize>(),
+            self.cols,
+            "split widths mismatch"
+        );
         let mut out = Vec::with_capacity(widths.len());
         let mut off = 0;
         for &w in widths {

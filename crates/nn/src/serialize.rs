@@ -68,7 +68,9 @@ pub fn read_mat<R: BufRead>(r: &mut R) -> Result<Mat, SerializeError> {
     }
     let toks: Vec<&str> = header.split_whitespace().collect();
     if toks.len() != 3 || toks[0] != "mat" {
-        return Err(SerializeError::Parse(format!("bad matrix header: {header}")));
+        return Err(SerializeError::Parse(format!(
+            "bad matrix header: {header}"
+        )));
     }
     let rows: usize = toks[1]
         .parse()
@@ -129,7 +131,9 @@ pub fn read_checkpoint<R: Read>(r: R) -> Result<(String, Vec<Mat>), SerializeErr
     br.read_line(&mut header)?;
     let toks: Vec<&str> = header.split_whitespace().collect();
     if toks.len() != 3 || toks[0] != "waco-checkpoint" {
-        return Err(SerializeError::Parse(format!("bad checkpoint header: {header}")));
+        return Err(SerializeError::Parse(format!(
+            "bad checkpoint header: {header}"
+        )));
     }
     let name = toks[1].to_string();
     let count: usize = toks[2]

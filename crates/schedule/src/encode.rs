@@ -173,17 +173,30 @@ pub fn encode_structured(s: &SuperSchedule, space: &Space) -> Encoded {
     let loop_perm: Vec<usize> = s
         .loop_order
         .iter()
-        .map(|v| canon_vars.iter().position(|c| c == v).expect("var in space"))
+        .map(|v| {
+            canon_vars
+                .iter()
+                .position(|c| c == v)
+                .expect("var in space")
+        })
         .collect();
     let canon_axes = space.a_axes();
     let level_perm: Vec<usize> = s
         .format
         .order
         .iter()
-        .map(|a| canon_axes.iter().position(|c| c == a).expect("axis in space"))
+        .map(|a| {
+            canon_axes
+                .iter()
+                .position(|c| c == a)
+                .expect("axis in space")
+        })
         .collect();
 
-    Encoded { categorical, permutations: vec![loop_perm, level_perm] }
+    Encoded {
+        categorical,
+        permutations: vec![loop_perm, level_perm],
+    }
 }
 
 /// Flattens a schedule into a single `f32` vector (one-hot categoricals +
@@ -198,7 +211,10 @@ pub fn encode(s: &SuperSchedule, space: &Space) -> Vec<f32> {
         match seg {
             Segment::Categorical { cardinality, .. } => {
                 let idx = *cat_iter.next().expect("categorical count matches layout");
-                debug_assert!(idx < *cardinality, "index {idx} < cardinality {cardinality}");
+                debug_assert!(
+                    idx < *cardinality,
+                    "index {idx} < cardinality {cardinality}"
+                );
                 for i in 0..*cardinality {
                     out.push(if i == idx { 1.0 } else { 0.0 });
                 }

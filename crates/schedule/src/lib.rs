@@ -86,9 +86,9 @@ impl Kernel {
     /// over it would race on the output).
     pub fn is_reduction(self, dim: usize) -> bool {
         match self {
-            Kernel::SpMV | Kernel::SpMM => dim == 1,          // k
-            Kernel::SDDMM => dim == 2,                        // k
-            Kernel::MTTKRP => dim == 1 || dim == 2,           // k, l
+            Kernel::SpMV | Kernel::SpMM => dim == 1, // k
+            Kernel::SDDMM => dim == 2,               // k
+            Kernel::MTTKRP => dim == 1 || dim == 2,  // k, l
         }
     }
 
@@ -124,12 +124,18 @@ pub struct LoopVar {
 impl LoopVar {
     /// The outer loop variable of dimension `dim`.
     pub fn outer(dim: usize) -> Self {
-        LoopVar { dim, part: AxisPart::Outer }
+        LoopVar {
+            dim,
+            part: AxisPart::Outer,
+        }
     }
 
     /// The inner loop variable of dimension `dim`.
     pub fn inner(dim: usize) -> Self {
-        LoopVar { dim, part: AxisPart::Inner }
+        LoopVar {
+            dim,
+            part: AxisPart::Inner,
+        }
     }
 }
 
@@ -328,14 +334,18 @@ impl SuperSchedule {
         want.sort();
         got.sort();
         if want != got {
-            return Err(ScheduleError("loop order is not a permutation of loop vars".into()));
+            return Err(ScheduleError(
+                "loop order is not a permutation of loop vars".into(),
+            ));
         }
         let mut want_axes = space.a_axes();
         let mut got_axes = self.format.order.clone();
         want_axes.sort();
         got_axes.sort();
         if want_axes != got_axes {
-            return Err(ScheduleError("format order is not a permutation of A's axes".into()));
+            return Err(ScheduleError(
+                "format order is not a permutation of A's axes".into(),
+            ));
         }
         if self.format.formats.len() != self.format.order.len() {
             return Err(ScheduleError("format list length mismatch".into()));
@@ -401,12 +411,7 @@ impl SuperSchedule {
         };
         let loops: Vec<String> = self.loop_order.iter().map(var_name).collect();
         let par = match &self.parallel {
-            Some(p) => format!(
-                " par({},t={},c={})",
-                var_name(&p.var),
-                p.threads,
-                p.chunk
-            ),
+            Some(p) => format!(" par({},t={},c={})", var_name(&p.var), p.threads, p.chunk),
             None => " serial".to_string(),
         };
         let fmt = self
@@ -475,7 +480,11 @@ mod tests {
         assert!(bad.validate(&space).is_err());
 
         let mut bad = s.clone();
-        bad.parallel = Some(Parallelize { var: LoopVar::outer(1), threads: 4, chunk: 8 });
+        bad.parallel = Some(Parallelize {
+            var: LoopVar::outer(1),
+            threads: 4,
+            chunk: 8,
+        });
         assert!(bad.validate(&space).is_err(), "k is a reduction dim");
 
         s.parallel = None;

@@ -44,13 +44,21 @@ pub fn default_csr(space: &Space) -> SuperSchedule {
     }
 
     let chunk = if kernel == Kernel::SpMV { 128 } else { 32 };
-    let threads = *space.thread_options.iter().max().expect("non-empty thread menu");
+    let threads = *space
+        .thread_options
+        .iter()
+        .max()
+        .expect("non-empty thread menu");
 
     SuperSchedule {
         kernel,
         splits,
         loop_order,
-        parallel: Some(Parallelize { var: LoopVar::outer(0), threads, chunk }),
+        parallel: Some(Parallelize {
+            var: LoopVar::outer(0),
+            threads,
+            chunk,
+        }),
         format: FormatSchedule { order, formats },
     }
 }
@@ -74,7 +82,10 @@ pub fn concordant(
     let mut loop_order: Vec<LoopVar> = format
         .order
         .iter()
-        .map(|a| LoopVar { dim: a.dim, part: a.part })
+        .map(|a| LoopVar {
+            dim: a.dim,
+            part: a.part,
+        })
         .collect();
     // Dense-only dims innermost, outer part first.
     for d in nsparse..kernel.ndims() {
@@ -91,7 +102,11 @@ pub fn concordant(
         kernel,
         splits,
         loop_order,
-        parallel: par_var.map(|var| Parallelize { var, threads, chunk }),
+        parallel: par_var.map(|var| Parallelize {
+            var,
+            threads,
+            chunk,
+        }),
         format,
     }
 }
@@ -119,7 +134,11 @@ pub fn canonical_format(kernel: Kernel, formats: Vec<LevelFormat>) -> FormatSche
 pub fn best_format_candidates(space: &Space) -> Vec<(String, Vec<usize>, FormatSchedule)> {
     let kernel = space.kernel;
     let ndims = kernel.ndims();
-    assert_eq!(kernel.sparse_ndims(), 2, "2-D candidates requested for {kernel}");
+    assert_eq!(
+        kernel.sparse_ndims(),
+        2,
+        "2-D candidates requested for {kernel}"
+    );
     let u = LevelFormat::Uncompressed;
     let c = LevelFormat::Compressed;
     let unit = vec![1usize; ndims];
@@ -139,7 +158,12 @@ pub fn best_format_candidates(space: &Space) -> Vec<(String, Vec<usize>, FormatS
             "CSC".into(),
             unit.clone(),
             FormatSchedule {
-                order: vec![Axis::outer(1), Axis::outer(0), Axis::inner(1), Axis::inner(0)],
+                order: vec![
+                    Axis::outer(1),
+                    Axis::outer(0),
+                    Axis::inner(1),
+                    Axis::inner(0),
+                ],
                 formats: vec![u, c, u, u],
             },
         ),
@@ -157,7 +181,12 @@ pub fn best_format_candidates(space: &Space) -> Vec<(String, Vec<usize>, FormatS
             "SparseBlock".into(),
             ksplit,
             FormatSchedule {
-                order: vec![Axis::outer(1), Axis::outer(0), Axis::inner(1), Axis::inner(0)],
+                order: vec![
+                    Axis::outer(1),
+                    Axis::outer(0),
+                    Axis::inner(1),
+                    Axis::inner(0),
+                ],
                 formats: vec![u, u, c, u],
             },
         ),
@@ -168,7 +197,11 @@ pub fn best_format_candidates(space: &Space) -> Vec<(String, Vec<usize>, FormatS
 /// variant), the SpTFS-style menu.
 pub fn best_format_candidates_3d(space: &Space) -> Vec<(String, Vec<usize>, FormatSchedule)> {
     let kernel = space.kernel;
-    assert_eq!(kernel.sparse_ndims(), 3, "3-D candidates requested for {kernel}");
+    assert_eq!(
+        kernel.sparse_ndims(),
+        3,
+        "3-D candidates requested for {kernel}"
+    );
     let u = LevelFormat::Uncompressed;
     let c = LevelFormat::Compressed;
     let unit = vec![1usize; kernel.ndims()];
@@ -223,7 +256,13 @@ pub fn portfolio(space: &Space) -> Vec<SuperSchedule> {
     for (_, splits, fmt) in cands {
         for &threads in &space.thread_options {
             for chunk in [1usize, 8, 32, 128, 256] {
-                out.push(concordant(space, splits.clone(), fmt.clone(), threads, chunk));
+                out.push(concordant(
+                    space,
+                    splits.clone(),
+                    fmt.clone(),
+                    threads,
+                    chunk,
+                ));
             }
         }
     }
@@ -294,7 +333,12 @@ mod tests {
     fn concordant_follows_format_order() {
         let space = Space::new(Kernel::SpMM, vec![64, 64], 16);
         let fmt = FormatSchedule {
-            order: vec![Axis::outer(1), Axis::outer(0), Axis::inner(1), Axis::inner(0)],
+            order: vec![
+                Axis::outer(1),
+                Axis::outer(0),
+                Axis::inner(1),
+                Axis::inner(0),
+            ],
             formats: vec![
                 LevelFormat::Uncompressed,
                 LevelFormat::Compressed,
@@ -305,7 +349,7 @@ mod tests {
         let s = concordant(&space, vec![1, 1, 1], fmt, 8, 16);
         s.validate(&space).unwrap();
         assert_eq!(s.loop_order[0], LoopVar::outer(1)); // k-major traversal
-        // k is a reduction dim, so parallelization falls to the next var (i).
+                                                        // k is a reduction dim, so parallelization falls to the next var (i).
         assert_eq!(s.parallel.unwrap().var, LoopVar::outer(0));
     }
 

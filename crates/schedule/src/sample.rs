@@ -141,7 +141,9 @@ impl SuperSchedule {
 
 /// Samples `count` schedules (convenience for dataset generation).
 pub fn sample_many(space: &Space, count: usize, rng: &mut Rng64) -> Vec<SuperSchedule> {
-    (0..count).map(|_| SuperSchedule::sample(space, rng)).collect()
+    (0..count)
+        .map(|_| SuperSchedule::sample(space, rng))
+        .collect()
 }
 
 /// Deterministic seed-indexed sampling: schedule `i` of a virtual stream.
@@ -200,7 +202,10 @@ mod tests {
                 changed += 1;
             }
         }
-        assert!(changed >= 15, "mutations should usually change the schedule");
+        assert!(
+            changed >= 15,
+            "mutations should usually change the schedule"
+        );
     }
 
     #[test]
@@ -225,8 +230,7 @@ mod tests {
     fn sample_where_filters() {
         let space = Space::new(Kernel::SpMV, vec![64, 64], 0);
         let mut rng = Rng64::seed_from(11);
-        let (s, ok) =
-            SuperSchedule::sample_where(&space, &mut rng, 500, |s| s.splits[0] == 1);
+        let (s, ok) = SuperSchedule::sample_where(&space, &mut rng, 500, |s| s.splits[0] == 1);
         assert!(ok);
         assert_eq!(s.splits[0], 1);
     }

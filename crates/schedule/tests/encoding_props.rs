@@ -1,7 +1,7 @@
 //! Property tests of the SuperSchedule encoding across all kernels and
 //! space shapes: the program embedder's input contract.
 
-use proptest::prelude::*;
+use waco_check::props;
 use waco_schedule::encode::{self, Segment};
 use waco_schedule::{Kernel, Space, SuperSchedule};
 use waco_tensor::gen::Rng64;
@@ -18,12 +18,10 @@ fn kernel_of(idx: usize) -> Kernel {
     Kernel::ALL[idx % Kernel::ALL.len()]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
-
+props! {
     /// Every categorical index is within its segment's cardinality and every
     /// permutation is a bijection, for any sampled schedule of any kernel.
-    #[test]
+    cases = 64,
     fn structured_encoding_respects_layout(kidx in 0usize..4, a in 4usize..256,
                                            b in 4usize..256, dense in 1usize..64,
                                            seed in 0u64..1_000_000) {
@@ -40,26 +38,26 @@ proptest! {
             match seg {
                 Segment::Categorical { cardinality, name } => {
                     let idx = *cat.next().expect("index per categorical segment");
-                    prop_assert!(idx < *cardinality, "{name}: {idx} >= {cardinality}");
+                    assert!(idx < *cardinality, "{name}: {idx} >= {cardinality}");
                 }
                 Segment::Permutation { n, name } => {
                     let p = perms.next().expect("mapping per permutation segment");
-                    prop_assert_eq!(p.len(), *n, "{}", name);
+                    assert_eq!(p.len(), *n, "{name}");
                     let mut seen = vec![false; *n];
                     for &x in p {
-                        prop_assert!(!seen[x], "{name}: duplicate {x}");
+                        assert!(!seen[x], "{name}: duplicate {x}");
                         seen[x] = true;
                     }
                 }
             }
         }
-        prop_assert!(cat.next().is_none(), "extra categorical values");
-        prop_assert!(perms.next().is_none(), "extra permutations");
+        assert!(cat.next().is_none(), "extra categorical values");
+        assert!(perms.next().is_none(), "extra permutations");
     }
 
     /// The flat encoding always has the layout's advertised length and is a
     /// 0/1 vector whose categorical blocks are exactly one-hot.
-    #[test]
+    cases = 64,
     fn flat_encoding_is_valid_one_hot(kidx in 0usize..4, a in 4usize..128,
                                       seed in 0u64..1_000_000) {
         let kernel = kernel_of(kidx);
@@ -68,8 +66,8 @@ proptest! {
         let mut rng = Rng64::seed_from(seed);
         let s = SuperSchedule::sample(&space, &mut rng);
         let flat = encode::encode(&s, &space);
-        prop_assert_eq!(flat.len(), layout.total_len());
-        prop_assert!(flat.iter().all(|&v| v == 0.0 || v == 1.0));
+        assert_eq!(flat.len(), layout.total_len());
+        assert!(flat.iter().all(|&v| v == 0.0 || v == 1.0));
         let mut off = 0usize;
         for seg in &layout.segments {
             match seg {
@@ -78,7 +76,7 @@ proptest! {
                         .iter()
                         .filter(|&&v| v == 1.0)
                         .count();
-                    prop_assert_eq!(ones, 1, "{} not one-hot", name);
+                    assert_eq!(ones, 1, "{name} not one-hot");
                     off += cardinality;
                 }
                 Segment::Permutation { n, .. } => {
@@ -86,7 +84,7 @@ proptest! {
                         .iter()
                         .filter(|&&v| v == 1.0)
                         .count();
-                    prop_assert_eq!(ones, *n, "permutation matrix weight");
+                    assert_eq!(ones, *n, "permutation matrix weight");
                     off += n * n;
                 }
             }
@@ -94,7 +92,7 @@ proptest! {
     }
 
     /// Mutation chains always stay valid and encodable.
-    #[test]
+    cases = 64,
     fn mutation_chains_stay_encodable(kidx in 0usize..4, seed in 0u64..1_000_000,
                                       steps in 1usize..30) {
         let kernel = kernel_of(kidx);
@@ -104,8 +102,8 @@ proptest! {
         for _ in 0..steps {
             s = s.mutate(&space, &mut rng);
         }
-        prop_assert!(s.validate(&space).is_ok());
+        assert!(s.validate(&space).is_ok());
         let flat = encode::encode(&s, &space);
-        prop_assert_eq!(flat.len(), encode::layout(&space).total_len());
+        assert_eq!(flat.len(), encode::layout(&space).total_len());
     }
 }

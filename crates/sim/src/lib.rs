@@ -73,7 +73,10 @@ impl std::fmt::Display for SimError {
         match self {
             SimError::Exec(e) => write!(f, "simulation setup failed: {e}"),
             SimError::TooExpensive { estimate, limit } => {
-                write!(f, "schedule too expensive to simulate: ~{estimate:.2e} > {limit:.2e}")
+                write!(
+                    f,
+                    "schedule too expensive to simulate: ~{estimate:.2e} > {limit:.2e}"
+                )
             }
         }
     }

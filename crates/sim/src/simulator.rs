@@ -57,7 +57,11 @@ pub struct Simulator {
 impl Simulator {
     /// A simulator with default limits.
     pub fn new(machine: MachineConfig) -> Self {
-        Self { machine, work_limit: 2e6, storage_budget: 1 << 24 }
+        Self {
+            machine,
+            work_limit: 2e6,
+            storage_budget: 1 << 24,
+        }
     }
 
     /// Overrides the work limit (iteration estimate above which schedules
@@ -141,7 +145,10 @@ impl Simulator {
         // written nest; threading is modeled afterwards from per-coordinate
         // work. (Building with `parallel: None` avoids the executor's
         // hoisting.)
-        let serial_sched = SuperSchedule { parallel: None, ..sched.clone() };
+        let serial_sched = SuperSchedule {
+            parallel: None,
+            ..sched.clone()
+        };
         let nest = LoopNest::new(st, &serial_sched, &reduced);
 
         // Dense-dim factors (true, unpadded product for compute; padded
@@ -164,7 +171,10 @@ impl Simulator {
 
         let estimate = nest.work_estimate();
         if estimate > self.work_limit {
-            return Err(SimError::TooExpensive { estimate, limit: self.work_limit });
+            return Err(SimError::TooExpensive {
+                estimate,
+                limit: self.work_limit,
+            });
         }
 
         // SIMD decision from the *true* schedule's innermost non-trivial
@@ -243,8 +253,7 @@ impl Simulator {
         }
 
         // Charge costs from the walk totals.
-        let stream_lines =
-            (st.storage_words() as f64 * 4.0 / m.line_bytes as f64).ceil() * d_above;
+        let stream_lines = (st.storage_words() as f64 * 4.0 / m.line_bytes as f64).ceil() * d_above;
         let traversal_ns = d_above
             * (ev.concordant_steps as f64 * m.cost_concordant
                 + ev.dense_steps as f64 * m.cost_dense_iter
@@ -273,11 +282,7 @@ impl Simulator {
         };
         let regions: f64 = match par {
             Some(p) if !parallel_over_dense => {
-                let pos = nest
-                    .order()
-                    .iter()
-                    .position(|v| *v == p.var)
-                    .unwrap_or(0);
+                let pos = nest.order().iter().position(|v| *v == p.var).unwrap_or(0);
                 nest.order()[..pos]
                     .iter()
                     .map(|&v| sched.loop_extent(space, v) as f64)
@@ -291,14 +296,11 @@ impl Simulator {
             (work, 0.0, 1usize)
         } else if parallel_over_dense {
             let p = par.expect("threads > 1 implies parallel");
-            let nchunks = sched
-                .loop_extent(space, p.var)
-                .div_ceil(p.chunk.max(1));
+            let nchunks = sched.loop_extent(space, p.var).div_ceil(p.chunk.max(1));
             let dispatch = nchunks as f64 * dispatch_each;
             let overhead = m.cost_thread_spawn + dispatch;
             (
-                work / (threads as f64 * speed) + dispatch / threads as f64
-                    + m.cost_thread_spawn,
+                work / (threads as f64 * speed) + dispatch / threads as f64 + m.cost_thread_spawn,
                 overhead,
                 nchunks,
             )
@@ -330,7 +332,11 @@ impl Simulator {
             (span + spawn, overhead, nchunks)
         };
 
-        let ideal = if threads <= 1 { work } else { work / (threads as f64 * speed) };
+        let ideal = if threads <= 1 {
+            work
+        } else {
+            work / (threads as f64 * speed)
+        };
         let total_ns = makespan;
 
         let (hits, misses): (u64, u64) = trackers
@@ -421,9 +427,17 @@ mod tests {
         let a = gen::powerlaw_rows(512, 512, 16.0, 1.4, &mut rng);
         let space = sim().space_for(Kernel::SpMV, vec![512, 512], 0);
         let mut fine = named::default_csr(&space);
-        fine.parallel = Some(Parallelize { var: LoopVar::outer(0), threads: 24, chunk: 1 });
+        fine.parallel = Some(Parallelize {
+            var: LoopVar::outer(0),
+            threads: 24,
+            chunk: 1,
+        });
         let mut coarse = fine.clone();
-        coarse.parallel = Some(Parallelize { var: LoopVar::outer(0), threads: 24, chunk: 256 });
+        coarse.parallel = Some(Parallelize {
+            var: LoopVar::outer(0),
+            threads: 24,
+            chunk: 256,
+        });
         let tf = sim().time_matrix(&a, &fine, &space).unwrap();
         let tc = sim().time_matrix(&a, &coarse, &space).unwrap();
         assert!(
@@ -547,7 +561,11 @@ mod tests {
         let a = gen::uniform_random(2048, 2048, 0.004, &mut rng);
         let space = sim().space_for(Kernel::SpMV, vec![2048, 2048], 0);
         let mut s1 = named::default_csr(&space);
-        s1.parallel = Some(Parallelize { var: LoopVar::outer(0), threads: 24, chunk: 16 });
+        s1.parallel = Some(Parallelize {
+            var: LoopVar::outer(0),
+            threads: 24,
+            chunk: 16,
+        });
         let mut s2 = s1.clone();
         s2.parallel = None;
         let tp = sim().time_matrix(&a, &s1, &space).unwrap();

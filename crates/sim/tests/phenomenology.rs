@@ -52,7 +52,11 @@ fn chunk_size_has_an_interior_optimum() {
     let space = s.space_for(Kernel::SpMV, vec![4096, 4096], 0);
     let report = |chunk: usize| {
         let mut sched = named::default_csr(&space);
-        sched.parallel = Some(Parallelize { var: LoopVar::outer(0), threads: 24, chunk });
+        sched.parallel = Some(Parallelize {
+            var: LoopVar::outer(0),
+            threads: 24,
+            chunk,
+        });
         s.time_matrix(&m, &sched, &space).unwrap()
     };
     let r1 = report(1);
@@ -80,7 +84,11 @@ fn smt_oversubscription_helps_balanced_work() {
     let space = s.space_for(Kernel::SpMV, vec![8192, 8192], 0);
     let run = |threads: usize| {
         let mut sched = named::default_csr(&space);
-        sched.parallel = Some(Parallelize { var: LoopVar::outer(0), threads, chunk: 16 });
+        sched.parallel = Some(Parallelize {
+            var: LoopVar::outer(0),
+            threads,
+            chunk: 16,
+        });
         s.time_matrix(&m, &sched, &space).unwrap().seconds
     };
     let t24 = run(24);
@@ -102,7 +110,11 @@ fn machines_disagree_on_thread_counts() {
     let space_x = xeon.space_for(Kernel::SpMV, vec![4096, 4096], 0);
     let run = |s: &Simulator, threads: usize| {
         let mut sched = named::default_csr(&space_x);
-        sched.parallel = Some(Parallelize { var: LoopVar::outer(0), threads, chunk: 16 });
+        sched.parallel = Some(Parallelize {
+            var: LoopVar::outer(0),
+            threads,
+            chunk: 16,
+        });
         s.time_matrix(&m, &sched, &space_x).unwrap().seconds
     };
     // 48 threads: fine on the Xeon-like machine, oversubscribed 6x on EPYC.

@@ -17,7 +17,9 @@ pub struct HumanFeature {
 impl HumanFeature {
     /// A `[3 → 32 → out_dim]` MLP.
     pub fn new(out_dim: usize, rng: &mut Rng64) -> Self {
-        Self { mlp: Mlp::new(&[3, 32, out_dim], false, rng) }
+        Self {
+            mlp: Mlp::new(&[3, 32, out_dim], false, rng),
+        }
     }
 
     fn features(p: &Pattern) -> Mat {
@@ -71,7 +73,10 @@ impl DenseConvNet {
     ///
     /// Panics if `grid < 4` or `grid` is not a power of two.
     pub fn new(grid: usize, channels: usize, out_dim: usize, rng: &mut Rng64) -> Self {
-        assert!(grid >= 4 && grid.is_power_of_two(), "grid must be a power of two ≥ 4");
+        assert!(
+            grid >= 4 && grid.is_power_of_two(),
+            "grid must be a power of two ≥ 4"
+        );
         let layers = grid.trailing_zeros().saturating_sub(1) as usize;
         let core = SparseCnnCore::new(
             CoreConfig {
@@ -239,7 +244,10 @@ mod tests {
         )
         .unwrap();
         let img2 = d.downsample(&Pattern::from_matrix(&shifted));
-        assert_eq!(img1.feats, img2.feats, "downsampling aliases sub-cell structure");
+        assert_eq!(
+            img1.feats, img2.feats,
+            "downsampling aliases sub-cell structure"
+        );
     }
 
     #[test]
@@ -250,7 +258,7 @@ mod tests {
         let f = d.forward(&Pattern::from_matrix(&m));
         assert_eq!(f.len(), 8);
         d.zero_grad();
-        d.backward(&vec![1.0; 8]);
+        d.backward(&[1.0; 8]);
     }
 
     #[test]
@@ -261,7 +269,7 @@ mod tests {
         let f = mk.forward(&Pattern::from_matrix(&m));
         assert_eq!(f.len(), 8);
         mk.zero_grad();
-        mk.backward(&vec![0.5; 8]);
+        mk.backward(&[0.5; 8]);
         assert!(mk.params_mut().iter().any(|p| p.grad.max_abs() > 0.0));
     }
 

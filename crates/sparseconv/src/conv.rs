@@ -138,7 +138,11 @@ impl<const D: usize> SubmanifoldConv<D> {
 
         let mut out_feats = gathered.matmul(&self.w.value);
         out_feats.add_bias(self.b.value.row(0));
-        self.cache = Some(ConvCache { gathered, pairs, n_in: x.len() });
+        self.cache = Some(ConvCache {
+            gathered,
+            pairs,
+            n_in: x.len(),
+        });
         SparseTensorD::new(out_coords, out_feats)
     }
 

@@ -36,7 +36,10 @@ impl Pattern {
     /// The pattern of a 3-D sparse tensor.
     pub fn from_tensor3(t: &CooTensor3) -> Self {
         Pattern::D3 {
-            coords: t.iter().map(|(i, k, l, _)| [i as i32, k as i32, l as i32]).collect(),
+            coords: t
+                .iter()
+                .map(|(i, k, l, _)| [i as i32, k as i32, l as i32])
+                .collect(),
             dims: t.dims(),
         }
     }
@@ -81,7 +84,11 @@ impl<const D: usize> SparseTensorD<D> {
         let index: HashMap<[i32; D], usize> =
             sorted.iter().enumerate().map(|(i, &c)| (c, i)).collect();
         let n = sorted.len();
-        Self { coords: sorted, index, feats: Mat::from_fn(n, 1, |_, _| 1.0) }
+        Self {
+            coords: sorted,
+            index,
+            feats: Mat::from_fn(n, 1, |_, _| 1.0),
+        }
     }
 
     /// Builds a tensor from sorted unique coordinates and features.
@@ -92,7 +99,11 @@ impl<const D: usize> SparseTensorD<D> {
     pub fn new(coords: Vec<[i32; D]>, feats: Mat) -> Self {
         assert_eq!(coords.len(), feats.rows(), "one feature row per site");
         let index = coords.iter().enumerate().map(|(i, &c)| (c, i)).collect();
-        Self { coords, index, feats }
+        Self {
+            coords,
+            index,
+            feats,
+        }
     }
 
     /// Number of active sites.

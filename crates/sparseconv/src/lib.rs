@@ -45,7 +45,10 @@ pub use waco_nn::Param;
 /// of the most recent `forward`'s output. Batch size is one pattern (the
 /// cost model reuses one extracted feature across a whole batch of
 /// SuperSchedules, like the paper's search-time breakdown assumes).
-pub trait Extractor {
+///
+/// `Send + Sync` so a trained model can be shared across the `waco-runtime`
+/// pool during batched candidate evaluation (inference is `&self`-only).
+pub trait Extractor: Send + Sync {
     /// Extractor name (appears in the Figure 15 ablation output).
     fn name(&self) -> &'static str;
 
@@ -81,7 +84,10 @@ mod tests {
         let m = gen::blocked(48, 48, 4, 12, 0.9, &mut rng);
         let p = Pattern::from_matrix(&m);
         let mut extractors: Vec<Box<dyn Extractor>> = vec![
-            Box::new(waconet::WacoNet::new_2d(waconet::WacoNetConfig::tiny(), &mut rng)),
+            Box::new(waconet::WacoNet::new_2d(
+                waconet::WacoNetConfig::tiny(),
+                &mut rng,
+            )),
             Box::new(baselines::MinkowskiLike::new(8, 3, 16, &mut rng)),
             Box::new(baselines::DenseConvNet::new(16, 8, 16, &mut rng)),
             Box::new(baselines::HumanFeature::new(16, &mut rng)),
@@ -93,10 +99,7 @@ mod tests {
             e.zero_grad();
             let g = vec![0.1f32; f.len()];
             e.backward(&g);
-            let has_grad = e
-                .params_mut()
-                .iter()
-                .any(|pr| pr.grad.max_abs() > 0.0);
+            let has_grad = e.params_mut().iter().any(|pr| pr.grad.max_abs() > 0.0);
             assert!(has_grad, "{} produced no gradient", e.name());
         }
     }

@@ -37,17 +37,29 @@ pub struct WacoNetConfig {
 impl WacoNetConfig {
     /// The paper's architecture: 32 channels, 14 strided layers, 128-d output.
     pub fn paper() -> Self {
-        Self { channels: 32, layers: 14, out_dim: 128 }
+        Self {
+            channels: 32,
+            layers: 14,
+            out_dim: 128,
+        }
     }
 
     /// Laptop-scale default: 16 channels, 8 layers, 64-d output.
     pub fn small() -> Self {
-        Self { channels: 16, layers: 8, out_dim: 64 }
+        Self {
+            channels: 16,
+            layers: 8,
+            out_dim: 64,
+        }
     }
 
     /// Test-scale: 8 channels, 4 layers, 32-d output.
     pub fn tiny() -> Self {
-        Self { channels: 8, layers: 4, out_dim: 32 }
+        Self {
+            channels: 8,
+            layers: 4,
+            out_dim: 32,
+        }
     }
 
     fn core(self) -> CoreConfig {
@@ -83,7 +95,10 @@ impl<const D: usize> SparseCnnCore<D> {
     ///
     /// Panics if `layer_strides` is empty.
     pub fn new(cfg: CoreConfig, rng: &mut Rng64) -> Self {
-        assert!(!cfg.layer_strides.is_empty(), "need at least one conv layer");
+        assert!(
+            !cfg.layer_strides.is_empty(),
+            "need at least one conv layer"
+        );
         let c = cfg.channels;
         let stem = SubmanifoldConv::new(cfg.stem_filter, 1, 1, c, rng);
         let convs: Vec<SubmanifoldConv<D>> = cfg
@@ -145,7 +160,9 @@ impl<const D: usize> SparseCnnCore<D> {
         let n = self.convs.len();
         let c = self.cfg.channels;
         let chunks: Vec<Vec<f32>> = if self.cfg.pool_all {
-            (0..n).map(|i| dcat.row(0)[i * c..(i + 1) * c].to_vec()).collect()
+            (0..n)
+                .map(|i| dcat.row(0)[i * c..(i + 1) * c].to_vec())
+                .collect()
         } else {
             let mut v = vec![vec![0.0f32; c]; n];
             v[n - 1] = dcat.row(0).to_vec();
@@ -304,7 +321,10 @@ mod tests {
     fn empty_pattern_is_safe() {
         let mut rng = Rng64::seed_from(5);
         let mut net = WacoNet::new_2d(WacoNetConfig::tiny(), &mut rng);
-        let p = Pattern::D2 { coords: vec![], dims: [8, 8] };
+        let p = Pattern::D2 {
+            coords: vec![],
+            dims: [8, 8],
+        };
         let f = net.forward(&p);
         assert_eq!(f.len(), 32);
         assert!(f.iter().all(|v| v.is_finite()));
@@ -331,7 +351,9 @@ mod tests {
         let l0: f32 = f0.iter().sum();
         net.zero_grad();
         net.backward(&vec![1.0; f0.len()]);
-        let WacoNet::D2(core) = &mut net else { unreachable!() };
+        let WacoNet::D2(core) = &mut net else {
+            unreachable!()
+        };
         let analytic = core.head.w.grad.get(3, 5);
         let eps = 1e-2;
         let old = core.head.w.value.get(3, 5);

@@ -72,9 +72,7 @@ pub fn crop(m: &CooMatrix, rows: usize, cols: usize) -> CooMatrix {
     CooMatrix::from_triplets(
         rows.min(m.nrows()),
         cols.min(m.ncols()),
-        m.iter()
-            .filter(move |&(r, c, _)| r < rows && c < cols)
-            .map(|(r, c, v)| (r, c, v)),
+        m.iter().filter(move |&(r, c, _)| r < rows && c < cols),
     )
     .expect("cropped coords in bounds")
 }
@@ -82,8 +80,7 @@ pub fn crop(m: &CooMatrix, rows: usize, cols: usize) -> CooMatrix {
 /// Replaces stored values with fresh uniform values in `[-1, 1)` (patterns are
 /// what matter to the tuner; this decorrelates values across augmentations).
 pub fn refresh_values(m: &CooMatrix, rng: &mut Rng64) -> CooMatrix {
-    let vals: Vec<(usize, usize, Value)> =
-        m.iter().map(|(r, c, _)| (r, c, rng.value())).collect();
+    let vals: Vec<(usize, usize, Value)> = m.iter().map(|(r, c, _)| (r, c, rng.value())).collect();
     CooMatrix::from_triplets(m.nrows(), m.ncols(), vals).expect("same coords")
 }
 
@@ -132,7 +129,10 @@ mod tests {
         assert_eq!(big.nrows(), 64);
         assert!(big.nnz() <= m.nnz());
         // Jittered coordinates should not all be multiples of 4.
-        let aligned = big.iter().filter(|(r, c, _)| r % 4 == 0 && c % 4 == 0).count();
+        let aligned = big
+            .iter()
+            .filter(|(r, c, _)| r % 4 == 0 && c % 4 == 0)
+            .count();
         assert!(aligned < big.nnz());
     }
 

@@ -59,7 +59,7 @@ impl CooMatrix {
             }
             entries.push(Entry { row, col, val });
         }
-        entries.sort_by(|a, b| (a.row, a.col).cmp(&(b.row, b.col)));
+        entries.sort_by_key(|a| (a.row, a.col));
         entries.dedup_by(|later, earlier| {
             if later.row == earlier.row && later.col == earlier.col {
                 earlier.val += later.val;
@@ -68,7 +68,11 @@ impl CooMatrix {
                 false
             }
         });
-        Ok(Self { nrows, ncols, entries })
+        Ok(Self {
+            nrows,
+            ncols,
+            entries,
+        })
     }
 
     /// Creates an empty matrix (no nonzeros) of the given shape.
@@ -164,7 +168,11 @@ impl CooMatrix {
             entries: self
                 .entries
                 .iter()
-                .map(|e| Entry { row: e.row, col: e.col, val: v })
+                .map(|e| Entry {
+                    row: e.row,
+                    col: e.col,
+                    val: v,
+                })
                 .collect(),
         }
     }
@@ -208,7 +216,7 @@ impl CooTensor3 {
         dims: [usize; 3],
         quads: impl IntoIterator<Item = (usize, usize, usize, Value)>,
     ) -> Result<Self> {
-        if dims.iter().any(|&d| d == 0) {
+        if dims.contains(&0) {
             return Err(TensorError::InvalidDims(format!(
                 "tensor dimensions must be positive, got {dims:?}"
             )));
@@ -223,7 +231,7 @@ impl CooTensor3 {
             }
             entries.push(Entry3 { i, k, l, val });
         }
-        entries.sort_by(|a, b| (a.i, a.k, a.l).cmp(&(b.i, b.k, b.l)));
+        entries.sort_by_key(|a| (a.i, a.k, a.l));
         entries.dedup_by(|later, earlier| {
             if later.i == earlier.i && later.k == earlier.k && later.l == earlier.l {
                 earlier.val += later.val;

@@ -35,7 +35,13 @@ impl CsrMatrix {
             col_idx.push(c);
             vals.push(v);
         }
-        Self { nrows, ncols, row_ptr, col_idx, vals }
+        Self {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            vals,
+        }
     }
 
     /// Converts back to COO.
@@ -146,8 +152,8 @@ impl CsrMatrix {
             for p in self.row_ptr[r]..self.row_ptr[r + 1] {
                 let j = self.col_idx[p];
                 let mut dot = 0.0;
-                for k in 0..kdim {
-                    dot += brow[k] * c.get(k, j);
+                for (k, &bv) in brow.iter().enumerate().take(kdim) {
+                    dot += bv * c.get(k, j);
                 }
                 triplets.push((r, j, self.vals[p] * dot));
             }
@@ -163,11 +169,7 @@ impl CsrMatrix {
 /// # Panics
 ///
 /// Panics on dimension mismatches between `a`, `b`, and `c`.
-pub fn mttkrp_reference(
-    a: &crate::CooTensor3,
-    b: &DenseMatrix,
-    c: &DenseMatrix,
-) -> DenseMatrix {
+pub fn mttkrp_reference(a: &crate::CooTensor3, b: &DenseMatrix, c: &DenseMatrix) -> DenseMatrix {
     let [di, dk, dl] = a.dims();
     assert_eq!(b.nrows(), dk, "mttkrp B row mismatch");
     assert_eq!(c.nrows(), dl, "mttkrp C row mismatch");
@@ -194,7 +196,13 @@ mod tests {
         CooMatrix::from_triplets(
             3,
             4,
-            vec![(0, 0, 1.0), (0, 3, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+            vec![
+                (0, 0, 1.0),
+                (0, 3, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0),
+            ],
         )
         .unwrap()
     }

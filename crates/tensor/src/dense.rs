@@ -18,7 +18,11 @@ impl DenseMatrix {
     /// Panics if either dimension is zero.
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
         assert!(nrows > 0 && ncols > 0, "dense matrix dims must be positive");
-        Self { nrows, ncols, data: vec![0.0; nrows * ncols] }
+        Self {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
     }
 
     /// A matrix filled with `v`.
@@ -110,7 +114,11 @@ impl DenseMatrix {
     ///
     /// Panics if shapes differ.
     pub fn max_abs_diff(&self, other: &DenseMatrix) -> Value {
-        assert_eq!((self.nrows, self.ncols), (other.nrows, other.ncols), "shape mismatch");
+        assert_eq!(
+            (self.nrows, self.ncols),
+            (other.nrows, other.ncols),
+            "shape mismatch"
+        );
         self.data
             .iter()
             .zip(&other.data)
@@ -147,8 +155,10 @@ impl DenseVector {
     }
 
     /// A vector whose entry `i` is `f(i)`.
-    pub fn from_fn(n: usize, mut f: impl FnMut(usize) -> Value) -> Self {
-        Self { data: (0..n).map(|i| f(i)).collect() }
+    pub fn from_fn(n: usize, f: impl FnMut(usize) -> Value) -> Self {
+        Self {
+            data: (0..n).map(f).collect(),
+        }
     }
 
     /// Length.

@@ -186,7 +186,9 @@ pub fn powerlaw_rows(
 ) -> CooMatrix {
     let mut ranks: Vec<usize> = (0..nrows).collect();
     rng.shuffle(&mut ranks);
-    let weights: Vec<f64> = (0..nrows).map(|i| 1.0 / ((i + 1) as f64).powf(alpha)).collect();
+    let weights: Vec<f64> = (0..nrows)
+        .map(|i| 1.0 / ((i + 1) as f64).powf(alpha))
+        .collect();
     let wsum: f64 = weights.iter().sum();
     let total = avg_row_nnz * nrows as f64;
     let mut coords = Vec::new();
@@ -271,7 +273,14 @@ pub fn diagonals(n: usize, offsets: &[isize], rng: &mut Rng64) -> CooMatrix {
 /// Random 3-D sparse tensor with roughly `nnz` nonzeros (for MTTKRP).
 pub fn random_tensor3(dims: [usize; 3], nnz: usize, rng: &mut Rng64) -> CooTensor3 {
     let quads: Vec<(usize, usize, usize, Value)> = (0..nnz)
-        .map(|_| (rng.below(dims[0]), rng.below(dims[1]), rng.below(dims[2]), rng.value()))
+        .map(|_| {
+            (
+                rng.below(dims[0]),
+                rng.below(dims[1]),
+                rng.below(dims[2]),
+                rng.value(),
+            )
+        })
         .collect();
     CooTensor3::from_quads(dims, quads).expect("generator coords in bounds")
 }
@@ -474,7 +483,10 @@ mod tests {
         let counts = m.row_nnz();
         let max = *counts.iter().max().unwrap();
         let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
-        assert!(max as f64 > 4.0 * mean, "max {max} should dwarf mean {mean}");
+        assert!(
+            max as f64 > 4.0 * mean,
+            "max {max} should dwarf mean {mean}"
+        );
     }
 
     #[test]

@@ -24,7 +24,10 @@ enum Symmetry {
 }
 
 fn parse_err(line: usize, msg: impl Into<String>) -> TensorError {
-    TensorError::Parse { line, msg: msg.into() }
+    TensorError::Parse {
+        line,
+        msg: msg.into(),
+    }
 }
 
 /// Reads a Matrix Market stream into a [`CooMatrix`].

@@ -77,7 +77,11 @@ impl MatrixStats {
                 }
             }
         }
-        let symmetry = if off_diag == 0 { 1.0 } else { sym_hits as f64 / off_diag as f64 };
+        let symmetry = if off_diag == 0 {
+            1.0
+        } else {
+            sym_hits as f64 / off_diag as f64
+        };
 
         // 8×8 block occupancy.
         let mut blocks = std::collections::HashMap::new();
@@ -160,7 +164,10 @@ mod tests {
         let skewed = gen::powerlaw_rows(256, 256, 8.0, 1.2, &mut rng);
         let su = MatrixStats::compute(&uniform);
         let ss = MatrixStats::compute(&skewed);
-        assert!(ss.row_cv > 2.0 * su.row_cv, "power-law rows must have higher CV");
+        assert!(
+            ss.row_cv > 2.0 * su.row_cv,
+            "power-law rows must have higher CV"
+        );
     }
 
     #[test]

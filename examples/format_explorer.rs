@@ -18,19 +18,19 @@ fn main() {
     // A matrix with mixed structure: dense blocks on a sparse background.
     let blocks = waco::tensor::gen::blocked(256, 256, 16, 32, 0.9, &mut rng);
     let noise = waco::tensor::gen::uniform_random(256, 256, 0.002, &mut rng);
-    let m = CooMatrix::from_triplets(
-        256,
-        256,
-        blocks.iter().chain(noise.iter()),
-    )
-    .expect("in bounds");
+    let m =
+        CooMatrix::from_triplets(256, 256, blocks.iter().chain(noise.iter())).expect("in bounds");
 
     let sim = Simulator::new(MachineConfig::xeon_like());
     let space = sim.space_for(Kernel::SpMM, vec![256, 256], 32);
     let b = DenseMatrix::from_fn(256, 32, |r, c| ((r + c) % 7) as f32 * 0.2 - 0.5);
     let reference = CsrMatrix::from_coo(&m).spmm(&b);
 
-    println!("matrix: 256x256, {} nnz, {:.2}% dense", m.nnz(), m.density() * 100.0);
+    println!(
+        "matrix: 256x256, {} nnz, {:.2}% dense",
+        m.nnz(),
+        m.density() * 100.0
+    );
     println!(
         "\n{:<14} {:<34} {:>12} {:>10} {:>8}",
         "format", "levels", "sim time", "storage", "check"

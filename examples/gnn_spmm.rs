@@ -48,9 +48,9 @@ fn main() {
     let adj = CooMatrix::from_triplets(
         96,
         96,
-        with_loops.iter().map(|(r, c, v)| {
-            (r, c, v / ((deg[r] as f32).sqrt() * (deg[c] as f32).sqrt()))
-        }),
+        with_loops
+            .iter()
+            .map(|(r, c, v)| (r, c, v / ((deg[r] as f32).sqrt() * (deg[c] as f32).sqrt()))),
     )
     .expect("in bounds");
 
@@ -72,18 +72,17 @@ fn main() {
     );
 
     // Real 2-layer forward pass over random node features.
-    let h0 = DenseMatrix::from_fn(96, FEATURES, |r, c| ((r * 31 + c * 7) % 13) as f32 * 0.1 - 0.6);
+    let h0 = DenseMatrix::from_fn(96, FEATURES, |r, c| {
+        ((r * 31 + c * 7) % 13) as f32 * 0.1 - 0.6
+    });
     let h1 = propagate(&adj, &tuned.result.sched, &space, &h0);
     let h2 = propagate(&adj, &tuned.result.sched, &space, &h1);
-    let act_mean: f32 =
-        h2.as_slice().iter().sum::<f32>() / (h2.nrows() * h2.ncols()) as f32;
+    let act_mean: f32 = h2.as_slice().iter().sum::<f32>() / (h2.nrows() * h2.ncols()) as f32;
     println!("\n2-layer GNN forward done; mean activation {act_mean:.4}");
 
     // Training a GNN = thousands of epochs × layers of this SpMM.
     let epochs = 10_000usize;
-    println!(
-        "\nend-to-end for {epochs} propagations (units of one FixedCSR SpMM):"
-    );
+    println!("\nend-to-end for {epochs} propagations (units of one FixedCSR SpMM):");
     println!(
         "  WACO  {:.0}   FixedCSR  {epochs}",
         tuned.result.end_to_end(epochs) / fixed.kernel_seconds

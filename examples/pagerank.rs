@@ -10,7 +10,9 @@
 //! cargo run --release --example pagerank
 //! ```
 
-use waco::baselines::{best_format::best_format_matrix, fixed::fixed_csr_matrix, mkl::mkl_like_matrix};
+use waco::baselines::{
+    best_format::best_format_matrix, fixed::fixed_csr_matrix, mkl::mkl_like_matrix,
+};
 use waco::prelude::*;
 
 /// Power iteration: `r ← d·Aᵀr + (1−d)/n`, using the tuned SpMV.
@@ -71,7 +73,10 @@ fn main() {
 
     // Table 8-style amortization: who wins at which N_runs?
     println!("\nend-to-end time in units of one naive SpMV invocation:");
-    println!("{:>10} {:>12} {:>12} {:>12}", "N_runs", "WACO", "BestFormat", "MKL");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12}",
+        "N_runs", "WACO", "BestFormat", "MKL"
+    );
     for n_runs in [0usize, 50, 1_000, 10_000, 500_000] {
         let unit = naive.kernel_seconds;
         println!(

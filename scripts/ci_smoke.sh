@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for CI: exercises the CLI pipeline (gen → inspect →
+# bench → train → tune) and two experiment binaries (Table 1, Figure 13) at
+# `--smoke` scale. Everything runs offline against pre-built release
+# binaries; total runtime is a few minutes on one core.
+#
+#   cargo build --release --offline   # once
+#   scripts/ci_smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CARGO="${CARGO:-cargo}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+run() {
+    echo
+    echo "--- $* ---"
+    "$@"
+}
+
+# Build once so each step below is pure execution time.
+run "$CARGO" build --release --offline -p waco-cli -p waco-bench
+
+CLI=target/release/waco-cli
+
+# 1. The CLI pipeline on a generated Kronecker matrix.
+run "$CLI" gen --family kronecker --size 256 --seed 7 --out "$TMP/g.mtx"
+run "$CLI" inspect "$TMP/g.mtx"
+run "$CLI" bench --kernel spmm "$TMP/g.mtx"
+run "$CLI" train --kernel spmm --matrices 4 --size 32 --epochs 2 \
+    --out "$TMP/model.ckpt"
+run "$CLI" tune --kernel spmm --model "$TMP/model.ckpt" \
+    --matrices 4 --size 32 --epochs 2 "$TMP/g.mtx"
+
+# 2. Two experiment binaries at smoke scale (co-optimization table and the
+#    headline baseline-comparison figure).
+run target/release/table1 --smoke
+run target/release/fig13 --smoke
+
+echo
+echo "smoke test passed"

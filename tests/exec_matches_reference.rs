@@ -3,10 +3,10 @@
 //! kernels. This is the central correctness property of the TACO-substitute
 //! stack (tensor → format → schedule → exec).
 
-use proptest::prelude::*;
 use waco::prelude::*;
 use waco::tensor::csr::mttkrp_reference;
 use waco::tensor::gen;
+use waco_check::props;
 
 fn matrix_from(seed: u64, nrows: usize, ncols: usize, nnz_target: usize) -> CooMatrix {
     let mut rng = Rng64::seed_from(seed);
@@ -19,10 +19,8 @@ fn sched_from(space: &Space, seed: u64) -> SuperSchedule {
     SuperSchedule::sample(space, &mut rng)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
-
-    #[test]
+props! {
+    cases = 48,
     fn spmv_any_schedule(seed in 0u64..1_000_000, sseed in 0u64..1_000_000,
                          nrows in 4usize..40, ncols in 4usize..40) {
         let m = matrix_from(seed, nrows, ncols, nrows * 3);
@@ -32,15 +30,15 @@ proptest! {
         match waco::exec::kernels::spmv(&m, &sched, &space, &x) {
             Ok(y) => {
                 let r = CsrMatrix::from_coo(&m).spmv(&x);
-                prop_assert!(y.max_abs_diff(&r) < 1e-2,
+                assert!(y.max_abs_diff(&r) < 1e-2,
                     "schedule {} diff {}", sched.describe(&space), y.max_abs_diff(&r));
             }
             Err(waco::exec::ExecError::Format(_)) => {} // over storage budget: excluded
-            Err(e) => prop_assert!(false, "unexpected error {e}"),
+            Err(e) => panic!("unexpected error {e}"),
         }
     }
 
-    #[test]
+    cases = 48,
     fn spmm_any_schedule(seed in 0u64..1_000_000, sseed in 0u64..1_000_000,
                          n in 4usize..32, nj in 1usize..12) {
         let m = matrix_from(seed, n, n, n * 3);
@@ -49,12 +47,12 @@ proptest! {
         let b = DenseMatrix::from_fn(n, nj, |r, c| ((r * 5 + c * 3) % 11) as f32 * 0.25 - 1.0);
         if let Ok(c) = waco::exec::kernels::spmm(&m, &sched, &space, &b) {
             let r = CsrMatrix::from_coo(&m).spmm(&b);
-            prop_assert!(c.max_abs_diff(&r) < 1e-2,
+            assert!(c.max_abs_diff(&r) < 1e-2,
                 "schedule {} diff {}", sched.describe(&space), c.max_abs_diff(&r));
         }
     }
 
-    #[test]
+    cases = 48,
     fn sddmm_any_schedule(seed in 0u64..1_000_000, sseed in 0u64..1_000_000,
                           n in 4usize..28, nk in 1usize..10) {
         let m = matrix_from(seed, n, n, n * 2);
@@ -64,12 +62,12 @@ proptest! {
         let cm = DenseMatrix::from_fn(nk, n, |r, c| ((2 * r + c) % 7) as f32 * 0.4 - 1.0);
         if let Ok(d) = waco::exec::kernels::sddmm(&m, &sched, &space, &b, &cm) {
             let r = CsrMatrix::from_coo(&m).sddmm(&b, &cm);
-            prop_assert!(d.to_dense().max_abs_diff(&r.to_dense()) < 1e-2,
+            assert!(d.to_dense().max_abs_diff(&r.to_dense()) < 1e-2,
                 "schedule {}", sched.describe(&space));
         }
     }
 
-    #[test]
+    cases = 48,
     fn mttkrp_any_schedule(seed in 0u64..1_000_000, sseed in 0u64..1_000_000,
                            n in 3usize..14, rank in 1usize..8) {
         let mut rng = Rng64::seed_from(seed);
@@ -80,13 +78,13 @@ proptest! {
         let cm = DenseMatrix::from_fn(n, rank, |r, c| ((r + c * 2) % 6) as f32 * 0.25 - 0.5);
         if let Ok(d) = waco::exec::kernels::mttkrp(&t, &sched, &space, &b, &cm) {
             let r = mttkrp_reference(&t, &b, &cm);
-            prop_assert!(d.max_abs_diff(&r) < 1e-2,
+            assert!(d.max_abs_diff(&r) < 1e-2,
                 "schedule {}", sched.describe(&space));
         }
     }
 
     /// Structured patterns (not just uniform noise) through random schedules.
-    #[test]
+    cases = 48,
     fn spmv_structured_patterns(sseed in 0u64..1_000_000, pick in 0usize..4) {
         let mut rng = Rng64::seed_from(sseed);
         let m = match pick {
@@ -100,7 +98,7 @@ proptest! {
         let x = DenseVector::from_fn(m.ncols(), |i| (i as f32 * 0.11).cos());
         if let Ok(y) = waco::exec::kernels::spmv(&m, &sched, &space, &x) {
             let r = CsrMatrix::from_coo(&m).spmv(&x);
-            prop_assert!(y.max_abs_diff(&r) < 1e-2);
+            assert!(y.max_abs_diff(&r) < 1e-2);
         }
     }
 }

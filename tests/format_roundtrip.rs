@@ -1,15 +1,13 @@
 //! Property tests: every sampled format spec must store and reproduce any
 //! matrix/tensor exactly (format ⊣ storage adjunction across crates).
 
-use proptest::prelude::*;
 use waco::format::SparseStorage;
 use waco::prelude::*;
 use waco::tensor::gen;
+use waco_check::props;
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
-
-    #[test]
+props! {
+    cases = 64,
     fn matrix_roundtrip_any_format(seed in 0u64..1_000_000, sseed in 0u64..1_000_000,
                                    nrows in 2usize..48, ncols in 2usize..48) {
         let mut rng = Rng64::seed_from(seed);
@@ -22,16 +20,16 @@ proptest! {
         let spec = sched.a_format_spec(&space).unwrap();
         match SparseStorage::from_matrix(&m, &spec) {
             Ok(st) => {
-                prop_assert_eq!(st.to_matrix(), m, "format {}", spec.describe());
+                assert_eq!(st.to_matrix(), m, "format {}", spec.describe());
                 // Storage accounting is self-consistent.
-                prop_assert!(st.storage_words() >= st.vals().len());
+                assert!(st.storage_words() >= st.vals().len());
             }
             Err(waco::format::FormatError::StorageTooLarge { .. }) => {}
-            Err(e) => prop_assert!(false, "unexpected {e}"),
+            Err(e) => panic!("unexpected {e}"),
         }
     }
 
-    #[test]
+    cases = 64,
     fn tensor_roundtrip_any_format(seed in 0u64..1_000_000, sseed in 0u64..1_000_000,
                                    n in 2usize..14) {
         let mut rng = Rng64::seed_from(seed);
@@ -41,12 +39,12 @@ proptest! {
         let sched = SuperSchedule::sample(&space, &mut srng);
         let spec = sched.a_format_spec(&space).unwrap();
         if let Ok(st) = SparseStorage::from_tensor3(&t, &spec) {
-            prop_assert_eq!(st.to_tensor3(), t, "format {}", spec.describe());
+            assert_eq!(st.to_tensor3(), t, "format {}", spec.describe());
         }
     }
 
     /// locate() agrees with iterate() on every level of any built storage.
-    #[test]
+    cases = 64,
     fn locate_consistent_with_iterate(seed in 0u64..1_000_000, sseed in 0u64..1_000_000) {
         let mut rng = Rng64::seed_from(seed);
         let m = gen::uniform_random(20, 20, 0.2, &mut rng);
@@ -54,24 +52,24 @@ proptest! {
         let mut srng = Rng64::seed_from(sseed);
         let sched = SuperSchedule::sample(&space, &mut srng);
         let spec = sched.a_format_spec(&space).unwrap();
-        let Ok(st) = SparseStorage::from_matrix(&m, &spec) else { return Ok(()); };
+        let Ok(st) = SparseStorage::from_matrix(&m, &spec) else { return };
         // Walk level 0 and verify locate for each child at level 1.
         for (c0, p0) in st.iterate(0, 0) {
-            prop_assert_eq!(st.locate(0, 0, c0), Some(p0));
+            assert_eq!(st.locate(0, 0, c0), Some(p0));
             for (c1, p1) in st.iterate(1, p0) {
-                prop_assert_eq!(st.locate(1, p0, c1), Some(p1));
+                assert_eq!(st.locate(1, p0, c1), Some(p1));
             }
         }
     }
 
     /// Matrix Market round-trips arbitrary generated matrices.
-    #[test]
+    cases = 64,
     fn matrix_market_roundtrip(seed in 0u64..1_000_000, n in 2usize..40) {
         let mut rng = Rng64::seed_from(seed);
         let m = gen::uniform_random(n, n + 3, 0.2, &mut rng);
         let mut buf = Vec::new();
         waco::tensor::io::write_matrix_market(&mut buf, &m).unwrap();
         let back = waco::tensor::io::read_matrix_market(buf.as_slice()).unwrap();
-        prop_assert_eq!(back.pattern(), m.pattern());
+        assert_eq!(back.pattern(), m.pattern());
     }
 }

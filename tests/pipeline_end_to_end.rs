@@ -82,8 +82,8 @@ fn restricted_tuning_spaces_are_ordered() {
     let mut rng = Rng64::seed_from(6);
     let m = gen::blocked(96, 96, 16, 20, 0.95, &mut rng);
     let base = fixed_csr_matrix(&sim, Kernel::SpMM, &m, 16).unwrap();
-    let f = autotune::tune_matrix(&sim, Kernel::SpMM, &m, 16, 40, 9, Restriction::FormatOnly)
-        .unwrap();
+    let f =
+        autotune::tune_matrix(&sim, Kernel::SpMM, &m, 16, 40, 9, Restriction::FormatOnly).unwrap();
     let s = autotune::tune_matrix(&sim, Kernel::SpMM, &m, 16, 40, 9, Restriction::ScheduleOnly)
         .unwrap();
     let fs = autotune::tune_matrix(&sim, Kernel::SpMM, &m, 16, 40, 9, Restriction::Joint).unwrap();
@@ -113,7 +113,12 @@ fn cross_machine_simulators_differ() {
 fn mttkrp_pipeline_works() {
     let mut rng = Rng64::seed_from(8);
     let corpus: Vec<(String, CooTensor3)> = (0..4)
-        .map(|i| (format!("t{i}"), gen::random_tensor3([10, 10, 10], 80, &mut rng)))
+        .map(|i| {
+            (
+                format!("t{i}"),
+                gen::random_tensor3([10, 10, 10], 80, &mut rng),
+            )
+        })
         .collect();
     let (mut waco, _) = Waco::train_3d(xeon(), &corpus, 4, WacoConfig::tiny());
     let t = gen::fibered_tensor3([10, 10, 10], 2, 0.6, &mut rng);
@@ -121,9 +126,7 @@ fn mttkrp_pipeline_works() {
     assert!(tuned.result.kernel_seconds > 0.0);
 
     // Execute the tuned MTTKRP for real.
-    let space = waco
-        .sim
-        .space_for(Kernel::MTTKRP, t.dims().to_vec(), 4);
+    let space = waco.sim.space_for(Kernel::MTTKRP, t.dims().to_vec(), 4);
     let b = DenseMatrix::from_fn(10, 4, |r, c| (r + c) as f32 * 0.1);
     let c = DenseMatrix::from_fn(10, 4, |r, c| (r * c) as f32 * 0.05 - 0.2);
     let d = waco::exec::kernels::mttkrp(&t, &tuned.result.sched, &space, &b, &c).unwrap();

@@ -1,20 +1,18 @@
 //! Cross-crate invariants of the cost simulator: determinism, agreement
 //! with the interpreter's control flow, and sensible monotonicities.
 
-use proptest::prelude::*;
 use waco::prelude::*;
 use waco::schedule::named;
 use waco::tensor::gen;
+use waco_check::props;
 
 fn xeon() -> Simulator {
     Simulator::new(MachineConfig::xeon_like())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
-
+props! {
     /// Simulation is a pure function of (matrix, schedule, machine).
-    #[test]
+    cases = 32,
     fn deterministic(seed in 0u64..1_000_000, sseed in 0u64..1_000_000) {
         let mut rng = Rng64::seed_from(seed);
         let m = gen::uniform_random(32, 32, 0.1, &mut rng);
@@ -25,15 +23,15 @@ proptest! {
         let a = sim.time_matrix(&m, &sched, &space);
         let b = sim.time_matrix(&m, &sched, &space);
         match (a, b) {
-            (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+            (Ok(x), Ok(y)) => assert_eq!(x, y),
             (Err(_), Err(_)) => {}
-            _ => prop_assert!(false, "non-deterministic feasibility"),
+            _ => panic!("non-deterministic feasibility"),
         }
     }
 
     /// The simulator's body count equals the true number of stored nonzeros
     /// visited (for padding-free formats: exactly nnz).
-    #[test]
+    cases = 32,
     fn bodies_equal_nnz_for_csr(seed in 0u64..1_000_000, n in 8usize..64) {
         let mut rng = Rng64::seed_from(seed);
         let m = gen::uniform_random(n, n, 0.1, &mut rng);
@@ -41,12 +39,12 @@ proptest! {
         let space = sim.space_for(Kernel::SpMV, vec![n, n], 0);
         let sched = named::default_csr(&space);
         let r = sim.time_matrix(&m, &sched, &space).unwrap();
-        prop_assert_eq!(r.bodies, m.nnz() as u64);
+        assert_eq!(r.bodies, m.nnz() as u64);
     }
 
     /// More nonzeros (same shape, superset pattern) never simulate faster
     /// under the default schedule.
-    #[test]
+    cases = 32,
     fn monotone_in_nnz(seed in 0u64..1_000_000) {
         let mut rng = Rng64::seed_from(seed);
         let small = gen::uniform_random(64, 64, 0.05, &mut rng);
@@ -61,7 +59,7 @@ proptest! {
         sched.parallel = None; // isolate work from load balance
         let ts = sim.time_matrix(&small, &sched, &space).unwrap();
         let tb = sim.time_matrix(&big, &sched, &space).unwrap();
-        prop_assert!(tb.seconds >= ts.seconds * 0.999,
+        assert!(tb.seconds >= ts.seconds * 0.999,
             "superset pattern got faster: {} vs {}", tb.seconds, ts.seconds);
     }
 }

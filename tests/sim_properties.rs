@@ -3,20 +3,18 @@
 //! visit every stored nonzero exactly once, and its derived quantities must
 //! stay in their domains.
 
-use proptest::prelude::*;
 use waco::prelude::*;
 use waco::tensor::gen;
+use waco_check::props;
 
 fn xeon() -> Simulator {
     Simulator::new(MachineConfig::xeon_like())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 40, .. ProptestConfig::default() })]
-
+props! {
     /// Every complete loop-space point maps to exactly one storage slot, so
     /// any schedule's walk sees each stored nonzero exactly once.
-    #[test]
+    cases = 40,
     fn bodies_equal_nnz_for_any_schedule(seed in 0u64..1_000_000,
                                          sseed in 0u64..1_000_000,
                                          n in 8usize..48) {
@@ -27,13 +25,13 @@ proptest! {
         let mut srng = Rng64::seed_from(sseed);
         let sched = SuperSchedule::sample(&space, &mut srng);
         if let Ok(r) = sim.time_matrix(&m, &sched, &space) {
-            prop_assert_eq!(r.bodies, m.nnz() as u64,
+            assert_eq!(r.bodies, m.nnz() as u64,
                 "schedule {}", sched.describe(&space));
         }
     }
 
     /// Report invariants: positive time, ratios in domain, imbalance ≥ ~1.
-    #[test]
+    cases = 40,
     fn report_domains(seed in 0u64..1_000_000, sseed in 0u64..1_000_000) {
         let mut rng = Rng64::seed_from(seed);
         let m = gen::powerlaw_rows(48, 48, 5.0, 1.2, &mut rng);
@@ -42,18 +40,18 @@ proptest! {
         let mut srng = Rng64::seed_from(sseed);
         let sched = SuperSchedule::sample(&space, &mut srng);
         if let Ok(r) = sim.time_matrix(&m, &sched, &space) {
-            prop_assert!(r.seconds > 0.0);
-            prop_assert!((0.0..=1.0).contains(&r.miss_ratio));
-            prop_assert!(r.imbalance >= 0.99, "imbalance {}", r.imbalance);
-            prop_assert!(r.simd_factor >= 1.0);
-            prop_assert!(r.threads >= 1);
-            prop_assert!(r.convert_seconds > 0.0);
+            assert!(r.seconds > 0.0);
+            assert!((0.0..=1.0).contains(&r.miss_ratio));
+            assert!(r.imbalance >= 0.99, "imbalance {}", r.imbalance);
+            assert!(r.simd_factor >= 1.0);
+            assert!(r.threads >= 1);
+            assert!(r.convert_seconds > 0.0);
         }
     }
 
     /// The same schedule under more threads (same chunk) never increases
     /// the pure-work term and the report stays finite.
-    #[test]
+    cases = 40,
     fn thread_count_is_modeled(seed in 0u64..1_000_000) {
         let mut rng = Rng64::seed_from(seed);
         let m = gen::uniform_random(256, 256, 0.03, &mut rng);
@@ -71,7 +69,7 @@ proptest! {
         let t1 = sim.time_matrix(&m, &s1, &space).unwrap();
         // 2k nnz of work across 24 threads must beat serial at these
         // machine constants.
-        prop_assert!(t24.seconds < t1.seconds,
+        assert!(t24.seconds < t1.seconds,
             "24 threads {} vs serial {}", t24.seconds, t1.seconds);
     }
 }
