@@ -128,8 +128,15 @@ impl ScheduleIndex {
         k: usize,
         ef: usize,
     ) -> (Vec<(usize, f32)>, usize, Vec<f32>) {
-        self.hnsw
-            .search_generic(|n| model.score(feat, &self.embeddings[n]), k, ef)
+        let _s = waco_obs::span("anns_traversal");
+        let out = self
+            .hnsw
+            .search_generic(|n| model.score(feat, &self.embeddings[n]), k, ef);
+        if waco_obs::enabled() {
+            waco_obs::counter("anns.queries", 1);
+            waco_obs::counter("anns.predictor_calls", out.1 as u64);
+        }
+        out
     }
 
     /// Full WACO search: extract the feature, then ANNS — with the

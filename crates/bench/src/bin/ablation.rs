@@ -72,7 +72,8 @@ fn main() {
             include_portfolio: portfolio,
             ..cfg.datagen
         };
-        let (waco, _) = Waco::train_2d(sim, Kernel::SpMM, &corpus, 32, cfg);
+        let (waco, _) =
+            Waco::train_2d(sim, Kernel::SpMM, &corpus, 32, cfg).expect("ablation training");
         waco
     };
     let mut enriched = train(true);

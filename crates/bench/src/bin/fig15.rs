@@ -34,7 +34,7 @@ fn main() {
         scale.epochs
     );
     let cfg = scale.waco_config();
-    let ds = generate_2d(&sim, Kernel::SpMM, &corpus, 32, &cfg.datagen);
+    let ds = generate_2d(&sim, Kernel::SpMM, &corpus, 32, &cfg.datagen).expect("fig15 dataset");
 
     let out_dim = cfg.model.waconet.out_dim;
     let mk = |name: &str, rng: &mut Rng64| -> Box<dyn Extractor> {

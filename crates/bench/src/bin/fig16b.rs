@@ -1,6 +1,12 @@
 //! Figure 16b: WACO search-time breakdown — feature extraction vs ANNS —
 //! as the number of nonzeros grows.
 //!
+//! The timings come from the live `waco-obs` trace rather than ad-hoc
+//! stopwatches: the pipeline's own `feature_extraction` and
+//! `anns_traversal` spans (recorded inside `CostModel::extract_feature`
+//! and `ScheduleIndex::query_with_feature`) are aggregated per matrix
+//! size, so this figure measures exactly what a `--trace` run reports.
+//!
 //! Shape to hold: ANNS time is roughly constant (it depends on the graph,
 //! not the matrix), while feature extraction grows linearly with nnz
 //! (sparse convolution cost), dominating for large matrices — the
@@ -29,6 +35,9 @@ fn main() {
         &[256, 512, 1024, 2048, 4096]
     };
 
+    // The breakdown is read off the observability layer, not re-timed here.
+    waco_obs::install();
+
     let mut rows = Vec::new();
     let mut feat_series = Vec::new();
     let mut anns_series = Vec::new();
@@ -41,33 +50,35 @@ fn main() {
         let index = ScheduleIndex::build(&waco.model, &space, scale.index_size, scale.seed);
         let pattern = Pattern::from_matrix(&m);
 
-        // Median of 3 queries for stability.
-        let mut feats = Vec::new();
-        let mut anns = Vec::new();
+        // 3 queries per size; the spans aggregate, so report the mean.
+        waco_obs::reset();
         for _ in 0..3 {
-            let (_, bd) = index.query(&mut waco.model, &pattern, 10, 64);
-            feats.push(bd.feature_seconds);
-            anns.push(bd.anns_seconds);
+            let feat = waco.model.extract_feature(&pattern);
+            let _ = index.query_with_feature(&waco.model, &feat, 10, 64);
         }
-        feats.sort_by(|a, b| a.total_cmp(b));
-        anns.sort_by(|a, b| a.total_cmp(b));
-        let (f, a) = (feats[1], anns[1]);
+        let snap = waco_obs::snapshot();
+        let f = snap.span_total("feature_extraction").mean_seconds();
+        let a = snap.span_total("anns_traversal").mean_seconds();
+        let evals = snap.counter("anns.predictor_calls") / snap.counter("anns.queries").max(1);
         rows.push(vec![
             format!("{n}x{n}"),
             m.nnz().to_string(),
             format!("{:.2}ms", f * 1e3),
             format!("{:.2}ms", a * 1e3),
+            evals.to_string(),
             format!("{:.0}%", 100.0 * f / (f + a)),
         ]);
         feat_series.push(f * 1e3);
         anns_series.push(a * 1e3);
     }
+    waco_obs::uninstall();
     render::table(
         &[
             "matrix",
             "nnz",
             "feature extraction",
             "ANNS",
+            "vertices/query",
             "feature share",
         ],
         &rows,

@@ -161,37 +161,46 @@ impl Scale {
         s
     }
 
-    /// The WACO pipeline configuration at this scale.
+    /// The WACO pipeline configuration at this scale. Built through the
+    /// validated builders, so nonsense command-line overrides (zero epochs,
+    /// zero channels, …) fail loudly here instead of deep in training.
     pub fn waco_config(&self) -> WacoConfig {
-        WacoConfig {
-            model: CostModelConfig {
-                waconet: WacoNetConfig {
-                    channels: self.channels,
-                    layers: self.layers,
-                    out_dim: 48,
-                },
+        let waconet = WacoNetConfig::builder()
+            .channels(self.channels)
+            .layers(self.layers)
+            .out_dim(48)
+            .build()
+            .expect("scale WACONet config");
+        let train = TrainConfig::builder()
+            .epochs(self.epochs)
+            .batch(12)
+            .lr(1e-3)
+            .val_fraction(0.2)
+            .build()
+            .expect("scale train config");
+        let datagen = DataGenConfig::builder()
+            .schedules_per_matrix(self.schedules_per_matrix)
+            .max_tries_factor(8)
+            .include_portfolio(true)
+            .seed(self.seed)
+            .build()
+            .expect("scale datagen config");
+        WacoConfig::builder()
+            .model(CostModelConfig {
+                waconet,
                 cat_dim: 6,
                 perm_dim: 12,
                 embed_dim: 32,
                 predictor_hidden: 48,
-            },
-            train: TrainConfig {
-                epochs: self.epochs,
-                batch: 12,
-                lr: 1e-3,
-                val_fraction: 0.2,
-            },
-            datagen: DataGenConfig {
-                schedules_per_matrix: self.schedules_per_matrix,
-                max_tries_factor: 8,
-                include_portfolio: true,
-                seed: self.seed,
-            },
-            index_size: self.index_size,
-            topk: self.topk,
-            ef: 64,
-            seed: self.seed,
-        }
+            })
+            .train(train)
+            .datagen(datagen)
+            .index_size(self.index_size)
+            .topk(self.topk)
+            .ef(64)
+            .seed(self.seed)
+            .build()
+            .expect("scale WACO config")
     }
 
     /// The training corpus (synthetic SuiteSparse stand-in).
@@ -234,7 +243,8 @@ impl Scale {
         let sim = Simulator::new(machine);
         let corpus = self.train_corpus();
         let (waco, _) =
-            waco_core::Waco::train_2d(sim, kernel, &corpus, dense_extent, self.waco_config());
+            waco_core::Waco::train_2d(sim, kernel, &corpus, dense_extent, self.waco_config())
+                .expect("training succeeds at bench scale");
         waco
     }
 
@@ -242,7 +252,8 @@ impl Scale {
     pub fn train_waco_3d(&self, machine: MachineConfig, rank: usize) -> waco_core::Waco {
         let sim = Simulator::new(machine);
         let corpus = self.tensor_corpus(self.train_matrices.max(4), 512, 0x3D);
-        let (waco, _) = waco_core::Waco::train_3d(sim, &corpus, rank, self.waco_config());
+        let (waco, _) = waco_core::Waco::train_3d(sim, &corpus, rank, self.waco_config())
+            .expect("training succeeds at bench scale");
         waco
     }
 }

@@ -1,13 +1,17 @@
 //! Subcommand implementations.
+//!
+//! Every command returns `Result<(), WacoError>`; `main` maps errors to a
+//! one-line `error: …` message and exit code 2. Flag and parse problems
+//! become [`WacoError::InvalidConfig`], file problems [`WacoError::Io`].
 
 use waco_baselines::{best_format, fixed, mkl};
-use waco_core::{Waco, WacoConfig};
-use waco_model::dataset::DataGenConfig;
-use waco_model::train::TrainConfig;
+use waco_core::{Waco, WacoConfig, WacoError};
 use waco_schedule::Kernel;
 use waco_sim::{MachineConfig, Simulator};
 use waco_tensor::gen::{self, Rng64};
 use waco_tensor::{io, CooMatrix, MatrixStats};
+
+type Result<T> = std::result::Result<T, WacoError>;
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -23,7 +27,17 @@ USAGE:
   waco-cli tune    [--kernel spmv|spmm|sddmm] [--model MODEL.ckpt]
                    [--dense N] [--seed S] FILE.mtx
 
-All timing is on the deterministic xeon-like machine model.";
+Global flags:
+  --trace FILE.json   record a structured trace (spans, counters,
+                      histograms); the span tree is printed to stderr and
+                      the full trace written to FILE.json
+
+All timing is on the deterministic xeon-like machine model.
+Exit codes: 0 success, 2 error.";
+
+fn bad(msg: impl Into<String>) -> WacoError {
+    WacoError::InvalidConfig(msg.into())
+}
 
 /// Parsed `--key value` flags plus positional arguments.
 struct Flags {
@@ -32,15 +46,13 @@ struct Flags {
 }
 
 impl Flags {
-    fn parse(args: &[String]) -> Result<Self, String> {
+    fn parse(args: &[String]) -> Result<Self> {
         let mut kv = Vec::new();
         let mut positional = Vec::new();
         let mut it = args.iter().peekable();
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
-                let val = it
-                    .next()
-                    .ok_or_else(|| format!("flag --{key} needs a value"))?;
+                let val = it.next().ok_or_else(|| bad(format!("flag --{key} needs a value")))?;
                 kv.push((key.to_string(), val.clone()));
             } else {
                 positional.push(a.clone());
@@ -57,50 +69,54 @@ impl Flags {
             .map(|(_, v)| v.as_str())
     }
 
-    fn usize_or(&self, key: &str, default: usize) -> Result<usize, String> {
+    fn usize_or(&self, key: &str, default: usize) -> Result<usize> {
         match self.get(key) {
             None => Ok(default),
             Some(v) => v
                 .parse()
-                .map_err(|_| format!("--{key} expects an integer, got `{v}`")),
+                .map_err(|_| bad(format!("--{key} expects an integer, got `{v}`"))),
         }
     }
 
-    fn one_positional(&self, what: &str) -> Result<&str, String> {
+    fn one_positional(&self, what: &str) -> Result<&str> {
         match self.positional.as_slice() {
             [p] => Ok(p),
-            [] => Err(format!("missing {what}")),
-            _ => Err(format!("expected exactly one {what}")),
+            [] => Err(bad(format!("missing {what}"))),
+            _ => Err(bad(format!("expected exactly one {what}"))),
         }
     }
 }
 
-fn parse_kernel(flags: &Flags) -> Result<Kernel, String> {
+fn parse_kernel(flags: &Flags) -> Result<Kernel> {
     match flags.get("kernel").unwrap_or("spmm") {
         "spmv" => Ok(Kernel::SpMV),
         "spmm" => Ok(Kernel::SpMM),
         "sddmm" => Ok(Kernel::SDDMM),
-        other => Err(format!(
+        other => Err(bad(format!(
             "unsupported kernel `{other}` (CLI supports spmv/spmm/sddmm; MTTKRP needs the library API)"
-        )),
+        ))),
     }
 }
 
-fn dense_extent(flags: &Flags, kernel: Kernel) -> Result<usize, String> {
+fn dense_extent(flags: &Flags, kernel: Kernel) -> Result<usize> {
     flags.usize_or("dense", if kernel == Kernel::SpMV { 0 } else { 32 })
 }
 
-fn load_matrix(path: &str) -> Result<CooMatrix, String> {
-    io::read_matrix_market_file(path).map_err(|e| format!("reading {path}: {e}"))
+fn io_err(context: impl Into<String>, e: impl std::fmt::Display) -> WacoError {
+    WacoError::io(context, std::io::Error::other(e.to_string()))
+}
+
+fn load_matrix(path: &str) -> Result<CooMatrix> {
+    io::read_matrix_market_file(path).map_err(|e| io_err(format!("reading {path}"), e))
 }
 
 /// `waco-cli gen`: writes a synthetic matrix in Matrix Market form.
-pub fn gen(args: &[String]) -> Result<(), String> {
+pub fn gen(args: &[String]) -> Result<()> {
     let flags = Flags::parse(args)?;
     let family = flags.get("family").unwrap_or("uniform").to_string();
     let n = flags.usize_or("size", 512)?;
     let seed = flags.usize_or("seed", 7)? as u64;
-    let out = flags.get("out").ok_or("--out FILE.mtx is required")?;
+    let out = flags.get("out").ok_or_else(|| bad("--out FILE.mtx is required"))?;
     let mut rng = Rng64::seed_from(seed);
     let m = match family.as_str() {
         "uniform" => gen::uniform_random(n, n, 8.0 / n as f64, &mut rng),
@@ -112,9 +128,9 @@ pub fn gen(args: &[String]) -> Result<(), String> {
             let side = (n as f64).sqrt().round() as usize;
             gen::mesh2d(side.max(2), side.max(2))
         }
-        other => return Err(format!("unknown family `{other}`")),
+        other => return Err(bad(format!("unknown family `{other}`"))),
     };
-    io::write_matrix_market_file(out, &m).map_err(|e| format!("writing {out}: {e}"))?;
+    io::write_matrix_market_file(out, &m).map_err(|e| io_err(format!("writing {out}"), e))?;
     println!(
         "wrote {out}: {}x{}, {} nnz ({family})",
         m.nrows(),
@@ -125,7 +141,7 @@ pub fn gen(args: &[String]) -> Result<(), String> {
 }
 
 /// `waco-cli inspect`: pattern statistics.
-pub fn inspect(args: &[String]) -> Result<(), String> {
+pub fn inspect(args: &[String]) -> Result<()> {
     let flags = Flags::parse(args)?;
     let path = flags.one_positional("FILE.mtx")?;
     let m = load_matrix(path)?;
@@ -152,7 +168,7 @@ pub fn inspect(args: &[String]) -> Result<(), String> {
 }
 
 /// `waco-cli bench`: a no-ML leaderboard of the classic formats.
-pub fn bench(args: &[String]) -> Result<(), String> {
+pub fn bench(args: &[String]) -> Result<()> {
     let flags = Flags::parse(args)?;
     let kernel = parse_kernel(&flags)?;
     let dense = dense_extent(&flags, kernel)?;
@@ -182,53 +198,52 @@ pub fn bench(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn waco_config(flags: &Flags) -> Result<(WacoConfig, usize, usize), String> {
+fn waco_config(flags: &Flags) -> Result<(WacoConfig, usize, usize)> {
     let matrices = flags.usize_or("matrices", 12)?;
     let size = flags.usize_or("size", 384)?;
     let epochs = flags.usize_or("epochs", 10)?;
     let seed = flags.usize_or("seed", 2023)? as u64;
-    let cfg = WacoConfig {
-        train: TrainConfig {
-            epochs,
-            ..TrainConfig::small()
-        },
-        datagen: DataGenConfig {
-            schedules_per_matrix: 16,
-            ..Default::default()
-        },
-        seed,
-        ..WacoConfig::small()
-    };
+    let train = waco_model::train::TrainConfig::builder()
+        .epochs(epochs)
+        .build()?;
+    let datagen = waco_model::dataset::DataGenConfig::builder()
+        .schedules_per_matrix(16)
+        .build()?;
+    let cfg = WacoConfig::builder()
+        .train(train)
+        .datagen(datagen)
+        .seed(seed)
+        .build()?;
     Ok((cfg, matrices, size))
 }
 
 /// `waco-cli train`: trains a cost model and writes a checkpoint.
-pub fn train(args: &[String]) -> Result<(), String> {
+pub fn train(args: &[String]) -> Result<()> {
     let flags = Flags::parse(args)?;
     let kernel = parse_kernel(&flags)?;
     let dense = dense_extent(&flags, kernel)?;
-    let out = flags.get("out").ok_or("--out MODEL.ckpt is required")?;
+    let out = flags
+        .get("out")
+        .ok_or_else(|| bad("--out MODEL.ckpt is required"))?
+        .to_string();
     let (cfg, matrices, size) = waco_config(&flags)?;
     let corpus = gen::corpus(matrices, size, cfg.seed);
     println!("training {kernel} cost model on {matrices} matrices (~{size} rows) …");
     let sim = Simulator::new(MachineConfig::xeon_like());
     let t0 = std::time::Instant::now();
-    let (mut waco, stats) = Waco::train_2d(sim, kernel, &corpus, dense, cfg);
+    let (mut waco, stats) = Waco::train_2d(sim, kernel, &corpus, dense, cfg)?;
     println!(
         "trained in {:.1}s; final val ranking accuracy {:.2}",
         t0.elapsed().as_secs_f64(),
         stats.val_rank_acc.last().copied().unwrap_or(0.0)
     );
-    let mut file = std::fs::File::create(out).map_err(|e| format!("creating {out}: {e}"))?;
-    waco.model
-        .save(&mut file)
-        .map_err(|e| format!("writing checkpoint: {e}"))?;
+    waco.save_checkpoint(&out)?;
     println!("checkpoint written to {out}");
     Ok(())
 }
 
 /// `waco-cli tune`: tunes one matrix, comparing against the baselines.
-pub fn tune(args: &[String]) -> Result<(), String> {
+pub fn tune(args: &[String]) -> Result<()> {
     let flags = Flags::parse(args)?;
     let kernel = parse_kernel(&flags)?;
     let dense = dense_extent(&flags, kernel)?;
@@ -240,18 +255,13 @@ pub fn tune(args: &[String]) -> Result<(), String> {
     // from the checkpoint when one is given.
     let corpus = gen::corpus(matrices, size, cfg.seed);
     let sim = Simulator::new(MachineConfig::xeon_like());
-    let (mut waco, _) = Waco::train_2d(sim, kernel, &corpus, dense, cfg);
+    let (mut waco, _) = Waco::train_2d(sim, kernel, &corpus, dense, cfg)?;
     if let Some(ckpt) = flags.get("model") {
-        let file = std::fs::File::open(ckpt).map_err(|e| format!("opening {ckpt}: {e}"))?;
-        waco.model
-            .load(file)
-            .map_err(|e| format!("loading checkpoint: {e}"))?;
+        waco.load_checkpoint(ckpt)?;
         println!("loaded model weights from {ckpt}");
     }
 
-    let tuned = waco
-        .tune_matrix(&m)
-        .map_err(|e| format!("tuning failed: {e}"))?;
+    let tuned = waco.tune_matrix(&m)?;
     let space = waco.space_for_matrix(&m);
     println!("\n{kernel} on {path} ({} nnz):", m.nnz());
     println!("  WACO chose : {}", tuned.result.sched.describe(&space));
@@ -306,6 +316,15 @@ mod tests {
         let args: Vec<String> = ["--size", "abc"].iter().map(|s| s.to_string()).collect();
         let f = Flags::parse(&args).unwrap();
         assert!(f.usize_or("size", 1).is_err());
+    }
+
+    #[test]
+    fn flag_errors_are_invalid_config() {
+        let f = Flags::parse(&["--size".into(), "abc".into()]).unwrap();
+        assert!(matches!(
+            f.usize_or("size", 1),
+            Err(WacoError::InvalidConfig(_))
+        ));
     }
 
     #[test]

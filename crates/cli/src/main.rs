@@ -11,19 +11,43 @@
 //! All tuning runs against the deterministic machine simulator (see the
 //! `waco-sim` crate); `tune` prints the chosen SuperSchedule and compares it
 //! with the Fixed CSR, MKL-like, and BestFormat baselines.
+//!
+//! A global `--trace <path>` flag (any command) installs the `waco-obs`
+//! subscriber: at exit the span tree is printed to stderr and the full
+//! trace is written to `<path>` as JSON.
+//!
+//! Exit codes: 0 on success, 2 on any error (bad flags, missing files,
+//! malformed checkpoints, infeasible tuning) — always with a one-line
+//! `error: …` message on stderr.
 
 mod commands;
 
 use std::process::ExitCode;
+use waco_core::WacoError;
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+/// Removes a global `--trace <path>` flag pair from the argument list,
+/// returning the path when present.
+fn extract_trace(args: &mut Vec<String>) -> Result<Option<String>, WacoError> {
+    let Some(i) = args.iter().position(|a| a == "--trace") else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        return Err(WacoError::InvalidConfig(
+            "--trace needs a file path".into(),
+        ));
+    }
+    let path = args.remove(i + 1);
+    args.remove(i);
+    Ok(Some(path))
+}
+
+fn run(args: Vec<String>) -> Result<(), WacoError> {
     let Some(cmd) = args.first() else {
         eprintln!("{}", commands::USAGE);
-        return ExitCode::FAILURE;
+        return Err(WacoError::InvalidConfig("no command given".into()));
     };
     let rest = &args[1..];
-    let result = match cmd.as_str() {
+    match cmd.as_str() {
         "gen" => commands::gen(rest),
         "inspect" => commands::inspect(rest),
         "bench" => commands::bench(rest),
@@ -33,13 +57,40 @@ fn main() -> ExitCode {
             println!("{}", commands::USAGE);
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`\n{}", commands::USAGE)),
+        other => {
+            eprintln!("{}", commands::USAGE);
+            Err(WacoError::InvalidConfig(format!(
+                "unknown command `{other}`"
+            )))
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = match extract_trace(&mut args) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
     };
+    if trace.is_some() {
+        waco_obs::install();
+    }
+    let result = run(args);
+    if let Some(path) = trace {
+        waco_obs::print_tree();
+        match waco_obs::write_trace(&path) {
+            Ok(p) => eprintln!("trace written to {}", p.display()),
+            Err(e) => eprintln!("error: writing trace {path}: {e}"),
+        }
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
         }
     }
 }

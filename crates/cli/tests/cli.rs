@@ -146,3 +146,62 @@ fn tune_missing_file_fails_cleanly() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
 }
+
+#[test]
+fn errors_exit_with_code_2() {
+    // Bad flag value.
+    let out = cli()
+        .args(["bench", "--dense", "abc", "x.mtx"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error: "), "{err}");
+    // Missing input file.
+    let out = cli()
+        .args(["inspect", "/nonexistent/path.mtx"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    // Unknown command.
+    let out = cli().arg("bogus").output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn trace_flag_writes_json_with_pipeline_spans() {
+    let dir = tmpdir();
+    let mtx = dir.join("trace.mtx");
+    let trace = dir.join("trace.json");
+    assert!(cli()
+        .args(["gen", "--family", "uniform", "--size", "64", "--out"])
+        .arg(&mtx)
+        .status()
+        .expect("runs")
+        .success());
+    let out = cli()
+        .args([
+            "tune", "--kernel", "spmv", "--matrices", "3", "--size", "48", "--epochs", "1",
+            "--trace",
+        ])
+        .arg(&trace)
+        .arg(&mtx)
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    // Structured trace: parses as our JSON and carries the extractor/ANNS
+    // split that fig16b consumes.
+    assert!(text.trim_start().starts_with('{'), "not JSON: {text}");
+    assert!(text.contains("\"trace\": \"waco-obs\""), "{text}");
+    assert!(text.contains("feature_extraction"), "{text}");
+    assert!(text.contains("anns_traversal"), "{text}");
+    assert!(text.contains("tune/measure"), "{text}");
+    // The span tree went to stderr.
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("trace written to"), "{err}");
+}

@@ -24,10 +24,11 @@
 //!   always evaluate single-axis candidates, so `F.+S. ≥ max(F., S.)` holds
 //!   structurally; its tuning bill is correspondingly larger.
 
+use crate::{Result, WacoError};
 use waco_baselines::TunedResult;
 use waco_runtime::ThreadPool;
 use waco_schedule::{named, Kernel, Parallelize, Space, SuperSchedule};
-use waco_sim::{Result, SimError, Simulator};
+use waco_sim::Simulator;
 use waco_tensor::gen::Rng64;
 use waco_tensor::{CooMatrix, CooTensor3};
 
@@ -65,14 +66,14 @@ fn project_schedule_only(space: &Space, sampled: SuperSchedule) -> SuperSchedule
 /// Candidates are measured in parallel batches on the persistent pool, but
 /// folded in generation order, so the chosen schedule and the tuning bill
 /// are bit-identical to a sequential search.
-struct Oracle<'a, F: Fn(&SuperSchedule) -> Result<(f64, f64)> + Sync> {
+struct Oracle<'a, F: Fn(&SuperSchedule) -> waco_sim::Result<(f64, f64)> + Sync> {
     space: &'a Space,
     time: F,
     best: Option<(f64, f64, SuperSchedule)>,
     tuning: f64,
 }
 
-impl<'a, F: Fn(&SuperSchedule) -> Result<(f64, f64)> + Sync> Oracle<'a, F> {
+impl<'a, F: Fn(&SuperSchedule) -> waco_sim::Result<(f64, f64)> + Sync> Oracle<'a, F> {
     fn new(space: &'a Space, time: F) -> Self {
         Self {
             space,
@@ -112,9 +113,10 @@ impl<'a, F: Fn(&SuperSchedule) -> Result<(f64, f64)> + Sync> Oracle<'a, F> {
     }
 
     fn finish(self, name: String) -> Result<TunedResult> {
-        let (seconds, convert, sched) = self.best.ok_or(SimError::TooExpensive {
-            estimate: f64::INFINITY,
-            limit: 0.0,
+        let (seconds, convert, sched) = self.best.ok_or_else(|| {
+            WacoError::Infeasible(
+                "no candidate (nor the default format) simulated within budget".into(),
+            )
         })?;
         let baseline = named::default_csr(self.space);
         let is_default =
@@ -134,7 +136,7 @@ fn run_search(
     trials: usize,
     seed: u64,
     restriction: Restriction,
-    time: impl Fn(&SuperSchedule) -> Result<(f64, f64)> + Sync,
+    time: impl Fn(&SuperSchedule) -> waco_sim::Result<(f64, f64)> + Sync,
 ) -> Result<TunedResult> {
     let mut rng = Rng64::seed_from(seed);
     let mut oracle = Oracle::new(space, time);
@@ -168,10 +170,13 @@ fn run_search(
             // …then couple: sweep parallelization on the best format found.
             if let Some((_, _, best)) = oracle.best.clone() {
                 let par_vars = space.parallelizable_vars();
+                if par_vars.is_empty() {
+                    return oracle.finish(format!("{restriction:?}"));
+                }
                 let mut sweep = Vec::new();
                 for &threads in &space.thread_options.clone() {
                     for chunk in [1usize, 8, 32, 128, 256] {
-                        for var in [par_vars[0], *par_vars.last().expect("non-empty")] {
+                        for var in [par_vars[0], par_vars[par_vars.len() - 1]] {
                             let mut cand = best.clone();
                             cand.parallel = Some(Parallelize {
                                 var,
@@ -193,11 +198,8 @@ fn run_search(
 ///
 /// # Errors
 ///
-/// When not even the TACO default simulates.
-///
-/// # Panics
-///
-/// Panics if `kernel` is MTTKRP (use [`tune_tensor3`]).
+/// [`WacoError::WrongKernel`] if `kernel` is MTTKRP (use [`tune_tensor3`]);
+/// [`WacoError::Infeasible`] when not even the TACO default simulates.
 pub fn tune_matrix(
     sim: &Simulator,
     kernel: Kernel,
@@ -207,7 +209,12 @@ pub fn tune_matrix(
     seed: u64,
     restriction: Restriction,
 ) -> Result<TunedResult> {
-    assert_ne!(kernel, Kernel::MTTKRP, "use tune_tensor3 for MTTKRP");
+    if kernel == Kernel::MTTKRP {
+        return Err(WacoError::WrongKernel {
+            kernel,
+            expected: "tune_tensor3",
+        });
+    }
     let space = sim.space_for(kernel, vec![m.nrows(), m.ncols()], dense_extent);
     run_search(&space, trials, seed, restriction, |sched| {
         sim.time_matrix(m, sched, &space)
@@ -219,7 +226,7 @@ pub fn tune_matrix(
 ///
 /// # Errors
 ///
-/// When not even the CSF default simulates.
+/// [`WacoError::Infeasible`] when not even the CSF default simulates.
 pub fn tune_tensor3(
     sim: &Simulator,
     t: &CooTensor3,
@@ -240,7 +247,7 @@ pub fn tune_tensor3(
 ///
 /// # Errors
 ///
-/// Simulation failures.
+/// [`WacoError::Sim`] on simulation failures.
 pub fn transfer_matrix(
     sim: &Simulator,
     kernel: Kernel,

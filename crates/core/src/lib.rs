@@ -30,7 +30,8 @@
 //!
 //! let sim = Simulator::new(MachineConfig::xeon_like());
 //! let corpus = gen::corpus(4, 24, 3);
-//! let (mut waco, _stats) = Waco::train_2d(sim, Kernel::SpMV, &corpus, 0, WacoConfig::tiny());
+//! let (mut waco, _stats) =
+//!     Waco::train_2d(sim, Kernel::SpMV, &corpus, 0, WacoConfig::tiny()).unwrap();
 //! let (name, m) = &corpus[0];
 //! let tuned = waco.tune_matrix(m).unwrap();
 //! let space = waco.space_for_matrix(m);
@@ -38,18 +39,25 @@
 //! ```
 
 pub mod autotune;
+pub mod error;
+
+pub use error::WacoError;
 
 use std::collections::HashMap;
+use std::path::Path;
 use waco_anns::{ScheduleIndex, SearchBreakdown};
 use waco_baselines::TunedResult;
 use waco_model::dataset::{self, DataGenConfig};
 use waco_model::train::{self, TrainConfig, TrainStats};
 use waco_model::{CostModel, CostModelConfig};
 use waco_schedule::{Kernel, Space, SuperSchedule};
-use waco_sim::{Result, SimError, Simulator};
+use waco_sim::{SimError, Simulator};
 use waco_sparseconv::Pattern;
 use waco_tensor::gen::Rng64;
 use waco_tensor::{CooMatrix, CooTensor3};
+
+/// The result type of the public WACO API.
+pub type Result<T> = std::result::Result<T, WacoError>;
 
 /// Simulated feature-extraction cost per nonzero (sparse convolution is
 /// linear in nnz — §5.4), used to express WACO's tuning overhead in the
@@ -117,6 +125,98 @@ impl Default for WacoConfig {
     }
 }
 
+/// Builder for [`WacoConfig`]; `build` validates the search parameters
+/// (the nested model/train/datagen configs have builders of their own:
+/// [`CostModelConfig`], [`TrainConfig::builder`],
+/// [`DataGenConfig::builder`], [`waco_sparseconv::waconet::WacoNetConfig::builder`]).
+#[derive(Debug, Clone)]
+pub struct WacoConfigBuilder {
+    cfg: WacoConfig,
+}
+
+impl WacoConfig {
+    /// Starts a validated builder seeded with the laptop-scale defaults.
+    pub fn builder() -> WacoConfigBuilder {
+        WacoConfigBuilder { cfg: Self::small() }
+    }
+}
+
+impl WacoConfigBuilder {
+    /// Cost model architecture.
+    pub fn model(mut self, model: CostModelConfig) -> Self {
+        self.cfg.model = model;
+        self
+    }
+
+    /// Training hyper-parameters.
+    pub fn train(mut self, train: TrainConfig) -> Self {
+        self.cfg.train = train;
+        self
+    }
+
+    /// Dataset generation parameters.
+    pub fn datagen(mut self, datagen: DataGenConfig) -> Self {
+        self.cfg.datagen = datagen;
+        self
+    }
+
+    /// KNN-graph size.
+    pub fn index_size(mut self, n: usize) -> Self {
+        self.cfg.index_size = n;
+        self
+    }
+
+    /// Candidates measured per query.
+    pub fn topk(mut self, n: usize) -> Self {
+        self.cfg.topk = n;
+        self
+    }
+
+    /// ANNS beam width.
+    pub fn ef(mut self, n: usize) -> Self {
+        self.cfg.ef = n;
+        self
+    }
+
+    /// Master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// The index, top-k, and beam width must be nonzero; top-k cannot
+    /// exceed the index size, and the beam must be at least top-k (HNSW
+    /// returns at most `ef` candidates).
+    pub fn build(self) -> Result<WacoConfig> {
+        let c = &self.cfg;
+        if c.index_size == 0 {
+            return Err(WacoError::InvalidConfig(
+                "index_size must be at least 1".into(),
+            ));
+        }
+        if c.topk == 0 {
+            return Err(WacoError::InvalidConfig("topk must be at least 1".into()));
+        }
+        if c.topk > c.index_size {
+            return Err(WacoError::InvalidConfig(format!(
+                "topk ({}) cannot exceed index_size ({})",
+                c.topk, c.index_size
+            )));
+        }
+        if c.ef < c.topk {
+            return Err(WacoError::InvalidConfig(format!(
+                "ef ({}) must be at least topk ({})",
+                c.ef, c.topk
+            )));
+        }
+        Ok(self.cfg)
+    }
+}
+
 /// A WACO tuning outcome: the co-optimized format + schedule with full
 /// overhead accounting, plus the search breakdown.
 #[derive(Debug, Clone)]
@@ -156,22 +256,22 @@ impl std::fmt::Debug for Waco {
 impl Waco {
     /// Trains a WACO tuner for a 2-D kernel on a matrix corpus.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `kernel` is MTTKRP or the corpus is empty.
+    /// [`WacoError::WrongKernel`] if `kernel` is MTTKRP (use
+    /// [`Waco::train_3d`]); [`WacoError::EmptyCorpus`] on an empty corpus.
     pub fn train_2d(
         sim: Simulator,
         kernel: Kernel,
         corpus: &[(String, CooMatrix)],
         dense_extent: usize,
         cfg: WacoConfig,
-    ) -> (Self, TrainStats) {
-        assert!(!corpus.is_empty(), "empty training corpus");
-        let ds = dataset::generate_2d(&sim, kernel, corpus, dense_extent, &cfg.datagen);
+    ) -> Result<(Self, TrainStats)> {
+        let ds = dataset::generate_2d(&sim, kernel, corpus, dense_extent, &cfg.datagen)?;
         let mut rng = Rng64::seed_from(cfg.seed);
         let mut model = CostModel::for_kernel(kernel, &ds.layout, cfg.model, &mut rng);
         let stats = train::train(&mut model, &ds, &cfg.train, &mut rng);
-        (
+        Ok((
             Self {
                 kernel,
                 sim,
@@ -181,26 +281,25 @@ impl Waco {
                 indices: HashMap::new(),
             },
             stats,
-        )
+        ))
     }
 
     /// Trains a WACO tuner for MTTKRP on a tensor corpus.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the corpus is empty.
+    /// [`WacoError::EmptyCorpus`] on an empty corpus.
     pub fn train_3d(
         sim: Simulator,
         corpus: &[(String, CooTensor3)],
         rank: usize,
         cfg: WacoConfig,
-    ) -> (Self, TrainStats) {
-        assert!(!corpus.is_empty(), "empty training corpus");
-        let ds = dataset::generate_3d(&sim, corpus, rank, &cfg.datagen);
+    ) -> Result<(Self, TrainStats)> {
+        let ds = dataset::generate_3d(&sim, corpus, rank, &cfg.datagen)?;
         let mut rng = Rng64::seed_from(cfg.seed);
         let mut model = CostModel::for_kernel(Kernel::MTTKRP, &ds.layout, cfg.model, &mut rng);
         let stats = train::train(&mut model, &ds, &cfg.train, &mut rng);
-        (
+        Ok((
             Self {
                 kernel: Kernel::MTTKRP,
                 sim,
@@ -210,7 +309,39 @@ impl Waco {
                 indices: HashMap::new(),
             },
             stats,
-        )
+        ))
+    }
+
+    /// Writes the trained cost model to `path` (text checkpoint).
+    ///
+    /// # Errors
+    ///
+    /// [`WacoError::Io`] on filesystem failures.
+    pub fn save_checkpoint(&mut self, path: impl AsRef<Path>) -> Result<()> {
+        let path = path.as_ref();
+        let mut file = std::fs::File::create(path)
+            .map_err(|e| WacoError::io(format!("creating checkpoint {}", path.display()), e))?;
+        self.model.save(&mut file)?;
+        Ok(())
+    }
+
+    /// Replaces this tuner's model parameters with a checkpoint written by
+    /// [`Waco::save_checkpoint`]. The checkpoint must match the model
+    /// architecture (same config the tuner was trained with).
+    ///
+    /// # Errors
+    ///
+    /// [`WacoError::Io`] when the file cannot be read,
+    /// [`WacoError::Checkpoint`] when it does not parse, and
+    /// [`WacoError::ShapeMismatch`] when the architectures differ.
+    pub fn load_checkpoint(&mut self, path: impl AsRef<Path>) -> Result<()> {
+        let path = path.as_ref();
+        let file = std::fs::File::open(path)
+            .map_err(|e| WacoError::io(format!("opening checkpoint {}", path.display()), e))?;
+        self.model.load(std::io::BufReader::new(file))?;
+        // Cached per-shape indices embed schedules under the old weights.
+        self.indices.clear();
+        Ok(())
     }
 
     /// The schedule space for a matrix under this tuner's machine.
@@ -245,7 +376,8 @@ impl Waco {
     ///
     /// # Errors
     ///
-    /// [`SimError`] when not even the fallback CSR default can be simulated.
+    /// [`WacoError::Infeasible`] when not even the fallback CSR default can
+    /// be simulated.
     pub fn tune_matrix(&mut self, m: &CooMatrix) -> Result<WacoTuned> {
         let space = self.space_for_matrix(m);
         let pattern = Pattern::from_matrix(m);
@@ -260,7 +392,8 @@ impl Waco {
     ///
     /// # Errors
     ///
-    /// [`SimError`] when not even the fallback CSF default can be simulated.
+    /// [`WacoError::Infeasible`] when not even the fallback CSF default can
+    /// be simulated.
     pub fn tune_tensor3(&mut self, t: &CooTensor3) -> Result<WacoTuned> {
         let space = self
             .sim
@@ -278,8 +411,13 @@ impl Waco {
         space: Space,
         pattern: Pattern,
         nnz: usize,
-        mut measure: impl FnMut(&Simulator, &SuperSchedule, &Space) -> Result<(f64, f64)>,
+        mut measure: impl FnMut(
+            &Simulator,
+            &SuperSchedule,
+            &Space,
+        ) -> std::result::Result<(f64, f64), SimError>,
     ) -> Result<WacoTuned> {
+        let _tune_span = waco_obs::span("tune");
         let topk = self.cfg.topk;
         let ef = self.cfg.ef;
         // Borrow dance: build/cache the index first, then query.
@@ -315,21 +453,25 @@ impl Waco {
             .iter()
             .map(|&(idx, _)| index.schedules[idx].clone())
             .chain([default.clone()]);
-        for sched in candidates {
-            match measure(&self.sim, &sched, &space) {
-                Ok((seconds, convert)) => {
-                    measured += 1;
-                    measure_cost += seconds + convert;
-                    if best.as_ref().map(|(b, _, _)| seconds < *b).unwrap_or(true) {
-                        best = Some((seconds, convert, sched));
+        {
+            let _measure_span = waco_obs::span("tune/measure");
+            for sched in candidates {
+                match measure(&self.sim, &sched, &space) {
+                    Ok((seconds, convert)) => {
+                        measured += 1;
+                        measure_cost += seconds + convert;
+                        if best.as_ref().map(|(b, _, _)| seconds < *b).unwrap_or(true) {
+                            best = Some((seconds, convert, sched));
+                        }
                     }
+                    Err(_) => continue,
                 }
-                Err(_) => continue,
             }
         }
-        let (seconds, convert, sched) = best.ok_or(SimError::TooExpensive {
-            estimate: f64::INFINITY,
-            limit: 0.0,
+        let (seconds, convert, sched) = best.ok_or_else(|| {
+            WacoError::Infeasible(
+                "no candidate (nor the default format) simulated within budget".into(),
+            )
         })?;
         let convert = if sched.a_format_spec(&space).ok() == default.a_format_spec(&space).ok() {
             0.0 // the input already arrives in the default format
@@ -339,6 +481,14 @@ impl Waco {
         let tuning = nnz as f64 * SIM_FEATURE_SECONDS_PER_NNZ
             + evals as f64 * SIM_SECONDS_PER_EVAL
             + measure_cost;
+        if waco_obs::enabled() {
+            waco_obs::counter("tune.calls", 1);
+            waco_obs::counter("tune.candidates_measured", measured as u64);
+            waco_obs::counter("tune.evals", evals as u64);
+            waco_obs::record("tune.tuning_seconds", tuning);
+            waco_obs::record("tune.convert_seconds", convert);
+            waco_obs::record("tune.kernel_seconds", seconds);
+        }
         Ok(WacoTuned {
             result: TunedResult {
                 name: "WACO".into(),
@@ -364,8 +514,23 @@ impl Waco {
     }
 }
 
-/// Convenience: the error type re-exported for callers.
-pub type WacoError = SimError;
+/// Trains just the cost model for a 2-D kernel — the library entry behind
+/// `waco-cli train`, for callers that want a checkpoint rather than a
+/// ready [`Waco`] tuner.
+///
+/// # Errors
+///
+/// See [`Waco::train_2d`].
+pub fn train_cost_model(
+    sim: Simulator,
+    kernel: Kernel,
+    corpus: &[(String, CooMatrix)],
+    dense_extent: usize,
+    cfg: WacoConfig,
+) -> Result<(CostModel, TrainStats)> {
+    let (waco, stats) = Waco::train_2d(sim, kernel, corpus, dense_extent, cfg)?;
+    Ok((waco.model, stats))
+}
 
 /// The classic-configuration portfolio seeded into the KNN graph next to
 /// the uniform samples (the paper builds its graph from the training
@@ -385,7 +550,7 @@ mod tests {
     fn trained() -> (Waco, Vec<(String, CooMatrix)>) {
         let sim = Simulator::new(MachineConfig::xeon_like());
         let corpus = gen::corpus(6, 24, 9);
-        let (waco, _) = Waco::train_2d(sim, Kernel::SpMV, &corpus, 0, WacoConfig::tiny());
+        let (waco, _) = Waco::train_2d(sim, Kernel::SpMV, &corpus, 0, WacoConfig::tiny()).unwrap();
         (waco, corpus)
     }
 
@@ -445,7 +610,7 @@ mod tests {
                 )
             })
             .collect();
-        let (mut waco, _) = Waco::train_3d(sim, &corpus, 4, WacoConfig::tiny());
+        let (mut waco, _) = Waco::train_3d(sim, &corpus, 4, WacoConfig::tiny()).unwrap();
         let tuned = waco.tune_tensor3(&corpus[0].1).unwrap();
         assert!(tuned.result.kernel_seconds > 0.0);
     }

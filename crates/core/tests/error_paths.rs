@@ -1,0 +1,207 @@
+//! Every user-reachable [`WacoError`] variant, triggered for real through
+//! the public API — no variant may be constructible only in theory.
+
+use waco_core::{Waco, WacoConfig, WacoError};
+use waco_model::dataset::DataGenConfig;
+use waco_model::train::TrainConfig;
+use waco_model::CostModelConfig;
+use waco_schedule::Kernel;
+use waco_sim::{MachineConfig, Simulator};
+use waco_tensor::gen;
+
+fn sim() -> Simulator {
+    Simulator::new(MachineConfig::xeon_like())
+}
+
+fn tiny_waco() -> Waco {
+    let corpus = gen::corpus(3, 24, 1);
+    let (waco, _) = Waco::train_2d(sim(), Kernel::SpMV, &corpus, 0, WacoConfig::tiny())
+        .expect("tiny training succeeds");
+    waco
+}
+
+fn tmpfile(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("waco-core-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn empty_corpus_is_reported() {
+    let err = Waco::train_2d(sim(), Kernel::SpMV, &[], 0, WacoConfig::tiny()).unwrap_err();
+    assert!(matches!(err, WacoError::EmptyCorpus));
+    assert_eq!(err.to_string(), "empty training corpus");
+}
+
+#[test]
+fn wrong_kernel_is_reported() {
+    let corpus = gen::corpus(2, 24, 1);
+    let err = Waco::train_2d(sim(), Kernel::MTTKRP, &corpus, 0, WacoConfig::tiny()).unwrap_err();
+    match err {
+        WacoError::WrongKernel { kernel, expected } => {
+            assert_eq!(kernel, Kernel::MTTKRP);
+            assert!(expected.contains("3"), "points at the 3-D API: {expected}");
+        }
+        other => panic!("expected WrongKernel, got {other}"),
+    }
+}
+
+#[test]
+fn missing_checkpoint_is_io() {
+    let mut waco = tiny_waco();
+    let err = waco
+        .load_checkpoint("/nonexistent/waco-model.ckpt")
+        .unwrap_err();
+    match &err {
+        WacoError::Io { context, .. } => assert!(context.contains("opening checkpoint")),
+        other => panic!("expected Io, got {other}"),
+    }
+    assert!(std::error::Error::source(&err).is_some());
+}
+
+#[test]
+fn garbage_checkpoint_is_checkpoint_error() {
+    let path = tmpfile("garbage.ckpt");
+    std::fs::write(&path, "this is not a checkpoint\n").unwrap();
+    let mut waco = tiny_waco();
+    let err = waco.load_checkpoint(&path).unwrap_err();
+    assert!(
+        matches!(err, WacoError::Checkpoint(_)),
+        "expected Checkpoint, got {err}"
+    );
+}
+
+#[test]
+fn architecture_mismatch_is_shape_mismatch() {
+    let path = tmpfile("tiny.ckpt");
+    let mut wider_arch = {
+        let corpus = gen::corpus(3, 24, 1);
+        // Same tensor count as tiny (same layer structure), different
+        // widths — the per-tensor shape check must fire, not the count one.
+        let model = CostModelConfig {
+            predictor_hidden: CostModelConfig::tiny().predictor_hidden * 2,
+            ..CostModelConfig::tiny()
+        };
+        let cfg = WacoConfig::builder()
+            .model(model)
+            .train(TrainConfig::tiny())
+            .datagen(
+                DataGenConfig::builder()
+                    .schedules_per_matrix(8)
+                    .build()
+                    .unwrap(),
+            )
+            .index_size(80)
+            .topk(5)
+            .ef(32)
+            .build()
+            .unwrap();
+        let (waco, _) =
+            Waco::train_2d(sim(), Kernel::SpMV, &corpus, 0, cfg).expect("training succeeds");
+        waco
+    };
+    tiny_waco().save_checkpoint(&path).unwrap();
+    let err = wider_arch.load_checkpoint(&path).unwrap_err();
+    assert!(
+        matches!(err, WacoError::ShapeMismatch(_)),
+        "expected ShapeMismatch, got {err}"
+    );
+}
+
+#[test]
+fn checkpoint_roundtrip_succeeds() {
+    let path = tmpfile("roundtrip.ckpt");
+    let mut waco = tiny_waco();
+    waco.save_checkpoint(&path).unwrap();
+    waco.load_checkpoint(&path).unwrap();
+}
+
+#[test]
+fn zero_work_budget_is_infeasible() {
+    let mut waco = tiny_waco();
+    // A machine that rejects every kernel: even the fallback CSR default
+    // cannot simulate within a zero work budget.
+    waco.sim = sim().with_work_limit(0.0);
+    let mut rng = waco_tensor::gen::Rng64::seed_from(5);
+    let m = gen::uniform_random(32, 32, 0.1, &mut rng);
+    let err = waco.tune_matrix(&m).unwrap_err();
+    assert!(
+        matches!(err, WacoError::Infeasible(_)),
+        "expected Infeasible, got {err}"
+    );
+}
+
+#[test]
+fn builder_rejections_are_invalid_config() {
+    for err in [
+        WacoConfig::builder().index_size(0).build().unwrap_err(),
+        WacoConfig::builder().topk(0).build().unwrap_err(),
+        WacoConfig::builder()
+            .index_size(10)
+            .topk(20)
+            .build()
+            .unwrap_err(),
+        WacoConfig::builder()
+            .topk(8)
+            .ef(4)
+            .index_size(80)
+            .build()
+            .unwrap_err(),
+    ] {
+        assert!(
+            matches!(err, WacoError::InvalidConfig(_)),
+            "expected InvalidConfig, got {err}"
+        );
+    }
+    assert!(TrainConfig::builder().epochs(0).build().is_err());
+    assert!(TrainConfig::builder().lr(f32::NAN).build().is_err());
+    assert!(TrainConfig::builder().lr(-0.5).build().is_err());
+    assert!(TrainConfig::builder().val_fraction(1.0).build().is_err());
+    assert!(DataGenConfig::builder()
+        .schedules_per_matrix(0)
+        .build()
+        .is_err());
+    assert!(DataGenConfig::builder().max_tries_factor(0).build().is_err());
+}
+
+// The builder invariants, property-tested: `build()` succeeds exactly when
+// the documented constraints hold, and the built config echoes its inputs.
+waco_check::props! {
+    cases = 128,
+    fn waco_config_builder_validates(index_size in 0usize..64, topk in 0usize..64, ef in 0usize..64) {
+        let valid = index_size >= 1 && topk >= 1 && topk <= index_size && ef >= topk;
+        let built = WacoConfig::builder()
+            .index_size(index_size)
+            .topk(topk)
+            .ef(ef)
+            .build();
+        assert_eq!(built.is_ok(), valid, "index {index_size}, topk {topk}, ef {ef}");
+        if let Ok(cfg) = built {
+            assert_eq!(
+                (cfg.index_size, cfg.topk, cfg.ef),
+                (index_size, topk, ef)
+            );
+        }
+    }
+}
+
+waco_check::props! {
+    cases = 128,
+    fn train_config_builder_validates(epochs in 0usize..8, batch in 0usize..8, lr_milli in 0u32..2000) {
+        let lr = lr_milli as f32 * 1e-3;
+        let valid = epochs >= 1 && batch >= 2 && lr > 0.0;
+        let built = TrainConfig::builder().epochs(epochs).batch(batch).lr(lr).build();
+        assert_eq!(built.is_ok(), valid, "epochs {epochs}, batch {batch}, lr {lr}");
+    }
+}
+
+waco_check::props! {
+    cases = 64,
+    fn datagen_builder_validates(schedules in 0usize..6, tries in 0usize..6) {
+        let built = DataGenConfig::builder()
+            .schedules_per_matrix(schedules)
+            .max_tries_factor(tries)
+            .build();
+        assert_eq!(built.is_ok(), schedules >= 1 && tries >= 1);
+    }
+}

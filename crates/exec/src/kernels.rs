@@ -37,7 +37,11 @@ fn storage_2d(a: &CooMatrix, sched: &SuperSchedule, space: &Space) -> Result<Spa
 }
 
 /// How a kernel executes: serial walk or dynamic-chunk parallel walk with
-/// per-thread accumulators merged by `merge`.
+/// per-thread accumulators merged by `merge`. Every kernel run passes
+/// through here, so this is the one observability point of the
+/// interpreter: a per-kernel span plus `exec.kernel_runs` — kept to two
+/// relaxed atomic loads when no subscriber is installed (the hot-loop
+/// budget the `substrates` microbench enforces).
 fn drive<Acc: Send>(
     nest: &LoopNest<'_>,
     sched: &SuperSchedule,
@@ -45,6 +49,12 @@ fn drive<Acc: Send>(
     body: impl Fn(&crate::nest::Ctx<'_>, usize, Value, &mut Acc) + Sync,
     merge: impl Fn(Vec<Acc>) -> Acc,
 ) -> Acc {
+    let _span = if waco_obs::enabled() {
+        waco_obs::counter("exec.kernel_runs", 1);
+        waco_obs::span_owned(format!("exec/{}", sched.kernel))
+    } else {
+        waco_obs::Span::disabled()
+    };
     let extent = nest.outer_extent();
     match &sched.parallel {
         Some(p) if p.threads > 1 => {

@@ -2,6 +2,7 @@
 //! runtime)` tuples, with ground truth from the deterministic simulator
 //! (§4.1.3's data collection, at laptop scale).
 
+use crate::error::ModelError;
 use waco_schedule::encode::{self, Encoded, Layout};
 use waco_schedule::{Kernel, Space, SuperSchedule};
 use waco_sim::Simulator;
@@ -76,6 +77,15 @@ pub struct DataGenConfig {
     pub seed: u64,
 }
 
+impl DataGenConfig {
+    /// Starts a validated builder seeded with the defaults.
+    pub fn builder() -> DataGenConfigBuilder {
+        DataGenConfigBuilder {
+            cfg: Self::default(),
+        }
+    }
+}
+
 impl Default for DataGenConfig {
     fn default() -> Self {
         Self {
@@ -87,21 +97,81 @@ impl Default for DataGenConfig {
     }
 }
 
+/// Builder for [`DataGenConfig`]; `build` rejects degenerate values.
+#[derive(Debug, Clone)]
+pub struct DataGenConfigBuilder {
+    cfg: DataGenConfig,
+}
+
+impl DataGenConfigBuilder {
+    /// Schedules sampled per matrix.
+    pub fn schedules_per_matrix(mut self, n: usize) -> Self {
+        self.cfg.schedules_per_matrix = n;
+        self
+    }
+
+    /// Give-up factor for failed sampling attempts.
+    pub fn max_tries_factor(mut self, n: usize) -> Self {
+        self.cfg.max_tries_factor = n;
+        self
+    }
+
+    /// Whether the classic-configuration portfolio is timed per matrix.
+    pub fn include_portfolio(mut self, yes: bool) -> Self {
+        self.cfg.include_portfolio = yes;
+        self
+    }
+
+    /// Sampling seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// `schedules_per_matrix` and `max_tries_factor` must be nonzero.
+    pub fn build(self) -> Result<DataGenConfig, ModelError> {
+        if self.cfg.schedules_per_matrix == 0 {
+            return Err(ModelError::InvalidConfig(
+                "datagen.schedules_per_matrix must be at least 1".into(),
+            ));
+        }
+        if self.cfg.max_tries_factor == 0 {
+            return Err(ModelError::InvalidConfig(
+                "datagen.max_tries_factor must be at least 1".into(),
+            ));
+        }
+        Ok(self.cfg)
+    }
+}
+
 /// Generates a dataset for a 2-D kernel over a named matrix corpus.
 ///
 /// `dense_extent` is `|j|` for SpMM, `|k|` for SDDMM, ignored for SpMV.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `kernel` is MTTKRP (use [`generate_3d`]).
+/// [`ModelError::WrongKernel`] if `kernel` is MTTKRP (use [`generate_3d`]);
+/// [`ModelError::EmptyCorpus`] on an empty corpus.
 pub fn generate_2d(
     sim: &Simulator,
     kernel: Kernel,
     matrices: &[(String, CooMatrix)],
     dense_extent: usize,
     cfg: &DataGenConfig,
-) -> Dataset {
-    assert_ne!(kernel, Kernel::MTTKRP, "use generate_3d for MTTKRP");
+) -> Result<Dataset, ModelError> {
+    if kernel == Kernel::MTTKRP {
+        return Err(ModelError::WrongKernel {
+            kernel,
+            expected: "generate_3d",
+        });
+    }
+    if matrices.is_empty() {
+        return Err(ModelError::EmptyCorpus);
+    }
     let mut entries = Vec::with_capacity(matrices.len());
     let mut layout = None;
     for (idx, (name, m)) in matrices.iter().enumerate() {
@@ -118,21 +188,29 @@ pub fn generate_2d(
             samples,
         });
     }
-    Dataset {
+    let layout = layout.ok_or(ModelError::EmptyCorpus)?;
+    Ok(Dataset {
         kernel,
-        layout: layout.expect("at least one matrix"),
+        layout,
         entries,
-    }
+    })
 }
 
 /// Generates an MTTKRP dataset over a named 3-D tensor corpus.
+///
+/// # Errors
+///
+/// [`ModelError::EmptyCorpus`] on an empty corpus.
 pub fn generate_3d(
     sim: &Simulator,
     tensors: &[(String, CooTensor3)],
     rank: usize,
     cfg: &DataGenConfig,
-) -> Dataset {
+) -> Result<Dataset, ModelError> {
     let kernel = Kernel::MTTKRP;
+    if tensors.is_empty() {
+        return Err(ModelError::EmptyCorpus);
+    }
     let mut entries = Vec::with_capacity(tensors.len());
     let mut layout = None;
     for (idx, (name, t)) in tensors.iter().enumerate() {
@@ -149,11 +227,12 @@ pub fn generate_3d(
             samples,
         });
     }
-    Dataset {
+    let layout = layout.ok_or(ModelError::EmptyCorpus)?;
+    Ok(Dataset {
         kernel,
-        layout: layout.expect("at least one tensor"),
+        layout,
         entries,
-    }
+    })
 }
 
 fn collect(
@@ -211,7 +290,8 @@ mod tests {
                 schedules_per_matrix: 5,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert_eq!(ds.entries.len(), 3);
         for e in &ds.entries {
             assert!(e.samples.len() >= 3, "most schedules should simulate");
@@ -230,8 +310,8 @@ mod tests {
             schedules_per_matrix: 4,
             ..Default::default()
         };
-        let a = generate_2d(&sim, Kernel::SpMV, &corpus, 0, &cfg);
-        let b = generate_2d(&sim, Kernel::SpMV, &corpus, 0, &cfg);
+        let a = generate_2d(&sim, Kernel::SpMV, &corpus, 0, &cfg).unwrap();
+        let b = generate_2d(&sim, Kernel::SpMV, &corpus, 0, &cfg).unwrap();
         for (ea, eb) in a.entries.iter().zip(&b.entries) {
             assert_eq!(ea.samples.len(), eb.samples.len());
             for (sa, sb) in ea.samples.iter().zip(&eb.samples) {
@@ -263,7 +343,8 @@ mod tests {
                 schedules_per_matrix: 4,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert_eq!(ds.kernel, Kernel::MTTKRP);
         assert!(ds.entries.iter().all(|e| !e.samples.is_empty()));
     }
@@ -281,7 +362,8 @@ mod tests {
                 schedules_per_matrix: 10,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         let secs: Vec<f64> = ds.entries[0].samples.iter().map(|s| s.seconds).collect();
         let min = secs.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = secs.iter().cloned().fold(0.0, f64::max);

@@ -35,7 +35,8 @@
 //!     &corpus,
 //!     0,
 //!     &dataset::DataGenConfig { schedules_per_matrix: 6, ..Default::default() },
-//! );
+//! )
+//! .unwrap();
 //! let mut rng = Rng64::seed_from(0);
 //! let mut model = CostModel::for_kernel(Kernel::SpMV, &ds.layout, CostModelConfig::tiny(), &mut rng);
 //! let stats = train::train(&mut model, &ds, &train::TrainConfig::tiny(), &mut rng);
@@ -44,7 +45,10 @@
 
 pub mod dataset;
 pub mod embedder;
+pub mod error;
 pub mod train;
+
+pub use error::ModelError;
 
 use embedder::ProgramEmbedder;
 use waco_nn::layers::Mlp;
@@ -219,8 +223,10 @@ impl CostModel {
     }
 
     /// Extracts the pattern feature once (the reusable part of a query —
-    /// §5.4's search-time breakdown hinges on this).
+    /// §5.4's search-time breakdown hinges on this). Recorded as the
+    /// `feature_extraction` span, one half of the Fig. 16b time split.
     pub fn extract_feature(&mut self, pattern: &Pattern) -> Vec<f32> {
+        let _s = waco_obs::span("feature_extraction");
         self.extractor.forward(pattern)
     }
 

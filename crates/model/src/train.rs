@@ -1,6 +1,7 @@
 //! Ranking training of the cost model (§4.1.3).
 
 use crate::dataset::{Dataset, Entry};
+use crate::error::ModelError;
 use crate::CostModel;
 use waco_nn::loss::{pairwise_accuracy, pairwise_hinge};
 use waco_nn::Adam;
@@ -39,11 +40,82 @@ impl TrainConfig {
             val_fraction: 0.25,
         }
     }
+
+    /// Starts a validated builder seeded with the defaults.
+    pub fn builder() -> TrainConfigBuilder {
+        TrainConfigBuilder {
+            cfg: Self::default(),
+        }
+    }
 }
 
 impl Default for TrainConfig {
     fn default() -> Self {
         Self::small()
+    }
+}
+
+/// Builder for [`TrainConfig`]; `build` rejects degenerate values.
+#[derive(Debug, Clone)]
+pub struct TrainConfigBuilder {
+    cfg: TrainConfig,
+}
+
+impl TrainConfigBuilder {
+    /// Training epochs.
+    pub fn epochs(mut self, n: usize) -> Self {
+        self.cfg.epochs = n;
+        self
+    }
+
+    /// SuperSchedules per matrix batch.
+    pub fn batch(mut self, n: usize) -> Self {
+        self.cfg.batch = n;
+        self
+    }
+
+    /// Adam learning rate.
+    pub fn lr(mut self, lr: f32) -> Self {
+        self.cfg.lr = lr;
+        self
+    }
+
+    /// Validation hold-out fraction.
+    pub fn val_fraction(mut self, f: f64) -> Self {
+        self.cfg.val_fraction = f;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Epochs must be nonzero, the batch must hold a pair (≥ 2), the
+    /// learning rate must be finite and positive, and the validation
+    /// fraction must lie in `[0, 1)`.
+    pub fn build(self) -> Result<TrainConfig, ModelError> {
+        let c = &self.cfg;
+        if c.epochs == 0 {
+            return Err(ModelError::InvalidConfig(
+                "train.epochs must be at least 1".into(),
+            ));
+        }
+        if c.batch < 2 {
+            return Err(ModelError::InvalidConfig(
+                "train.batch must be at least 2 (pairwise ranking needs a pair)".into(),
+            ));
+        }
+        if !(c.lr.is_finite() && c.lr > 0.0) {
+            return Err(ModelError::InvalidConfig(
+                "train.lr must be finite and positive".into(),
+            ));
+        }
+        if !(0.0..1.0).contains(&c.val_fraction) {
+            return Err(ModelError::InvalidConfig(
+                "train.val_fraction must lie in [0, 1)".into(),
+            ));
+        }
+        Ok(self.cfg)
     }
 }
 
@@ -108,10 +180,12 @@ pub fn train(
     let mut stats = TrainStats::default();
 
     for _epoch in 0..cfg.epochs {
+        let _epoch_span = waco_obs::span("train/epoch");
         let mut order = train_idx.clone();
         rng.shuffle(&mut order);
         let mut epoch_loss = 0.0;
         let mut batches = 0usize;
+        let mut comparisons = 0u64;
         for &i in &order {
             let entry = &ds.entries[i];
             if entry.samples.len() < 2 {
@@ -121,6 +195,7 @@ pub fn train(
             let mut sel: Vec<usize> = (0..entry.samples.len()).collect();
             rng.shuffle(&mut sel);
             sel.truncate(cfg.batch.max(2));
+            comparisons += (sel.len() * (sel.len() - 1) / 2) as u64;
             let encs: Vec<_> = sel.iter().map(|&s| entry.samples[s].enc.clone()).collect();
             let truths: Vec<f32> = sel
                 .iter()
@@ -135,14 +210,21 @@ pub fn train(
             epoch_loss += loss as f64;
             batches += 1;
         }
-        stats.train_loss.push(if batches > 0 {
+        let mean_loss = if batches > 0 {
             epoch_loss / batches as f64
         } else {
             0.0
-        });
+        };
+        stats.train_loss.push(mean_loss);
         let (vl, va) = evaluate(model, &val_entries);
         stats.val_loss.push(vl);
         stats.val_rank_acc.push(va);
+        if waco_obs::enabled() {
+            waco_obs::counter("train.batches", batches as u64);
+            waco_obs::counter("train.pairwise_comparisons", comparisons);
+            waco_obs::record("train.epoch_loss", mean_loss);
+            waco_obs::record("train.val_loss", vl);
+        }
     }
     stats
 }
@@ -169,6 +251,7 @@ mod tests {
                 ..Default::default()
             },
         )
+        .unwrap()
     }
 
     #[test]

@@ -29,6 +29,14 @@
 //! [`run_chunked_spawn`] preserves the old spawn-per-call strategy as a
 //! reference implementation; the `substrates` micro-benchmark compares the
 //! two and `results/microbench.json` records the difference.
+//!
+//! When a `waco-obs` subscriber is installed the pool reports
+//! `runtime.parallel_regions`, `runtime.chunks_claimed` (total chunks, all
+//! participants), `runtime.chunks_stolen` (chunks claimed by non-submitting
+//! workers), `runtime.broadcasts` / `runtime.inline_regions`, and
+//! `runtime.parks` / `runtime.wakes` from the worker condvar. Totals are
+//! deterministic in the work, not the worker count: `chunks_claimed` for a
+//! region is always `ceil(extent / chunk)` whether 1 or 8 workers ran it.
 
 use std::any::Any;
 use std::cell::Cell;
@@ -163,11 +171,13 @@ impl ThreadPool {
                 .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
                 .is_err()
         {
+            waco_obs::counter("runtime.inline_regions", 1);
             for slot in 0..participants {
                 f(slot);
             }
             return;
         }
+        waco_obs::counter("runtime.broadcasts", 1);
         struct BusyReset<'a>(&'a AtomicBool);
         impl Drop for BusyReset<'_> {
             fn drop(&mut self) {
@@ -236,20 +246,31 @@ impl ThreadPool {
         let want = threads
             .clamp(1, nchunks.max(1))
             .min(self.max_participants());
+        waco_obs::counter("runtime.parallel_regions", 1);
         if want <= 1 {
-            return vec![run_serial(extent, chunk, &make_acc, &run)];
+            let acc = run_serial(extent, chunk, &make_acc, &run);
+            waco_obs::counter("runtime.chunks_claimed", nchunks as u64);
+            return vec![acc];
         }
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<Acc>>> = (0..want).map(|_| Mutex::new(None)).collect();
         self.broadcast(want, |slot| {
             let mut acc = make_acc();
+            let mut claimed = 0u64;
             loop {
                 let idx = next.fetch_add(1, Ordering::Relaxed);
                 let start = idx * chunk;
                 if start >= extent {
                     break;
                 }
+                claimed += 1;
                 run(start..(start + chunk).min(extent), &mut acc);
+            }
+            if claimed > 0 {
+                waco_obs::counter("runtime.chunks_claimed", claimed);
+                if slot != 0 {
+                    waco_obs::counter("runtime.chunks_stolen", claimed);
+                }
             }
             *slots[slot].lock().unwrap_or_else(|e| e.into_inner()) = Some(acc);
         });
@@ -339,7 +360,9 @@ fn worker_loop(shared: &'static Shared) {
         if st.shutdown {
             return;
         }
+        waco_obs::counter("runtime.parks", 1);
         st = shared.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        waco_obs::counter("runtime.wakes", 1);
     }
 }
 

@@ -1,0 +1,79 @@
+//! The `waco-obs` registry must aggregate runtime counters identically no
+//! matter how many pool workers contribute: work-stealing may move chunks
+//! between threads, but every chunk is claimed exactly once, so
+//! `runtime.chunks_claimed` is deterministic while `runtime.chunks_stolen`
+//! only redistributes.
+
+use std::sync::Mutex;
+use waco_runtime::ThreadPool;
+
+// The obs registry is process-global; serialize the tests that install it.
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+const EXTENT: usize = 4096;
+const CHUNK: usize = 64;
+
+fn run_with_workers(threads: usize) -> (u64, waco_obs::Snapshot) {
+    let pool = ThreadPool::new(threads);
+    waco_obs::reset();
+    let sum: u64 = pool
+        .run_chunked(EXTENT, threads, CHUNK, || 0u64, |r, acc| {
+            for i in r {
+                *acc += i as u64;
+            }
+        })
+        .iter()
+        .sum();
+    (sum, waco_obs::snapshot())
+}
+
+#[test]
+fn chunk_counters_deterministic_across_worker_counts() {
+    let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    waco_obs::install();
+    let (sum1, snap1) = run_with_workers(1);
+    let (sum8, snap8) = run_with_workers(8);
+    waco_obs::uninstall();
+
+    let expected_chunks = EXTENT.div_ceil(CHUNK) as u64;
+    assert_eq!(sum1, (EXTENT * (EXTENT - 1) / 2) as u64);
+    assert_eq!(sum8, sum1);
+    // Every chunk is claimed exactly once regardless of worker count.
+    assert_eq!(snap1.counter("runtime.chunks_claimed"), expected_chunks);
+    assert_eq!(snap8.counter("runtime.chunks_claimed"), expected_chunks);
+    assert_eq!(snap1.counter("runtime.parallel_regions"), 1);
+    assert_eq!(snap8.counter("runtime.parallel_regions"), 1);
+    // Stolen chunks are a subset of claimed ones; one worker steals nothing.
+    assert_eq!(snap1.counter("runtime.chunks_stolen"), 0);
+    assert!(snap8.counter("runtime.chunks_stolen") <= expected_chunks);
+}
+
+#[test]
+fn worker_spans_and_counters_merge_into_one_registry() {
+    let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    waco_obs::install();
+    waco_obs::reset();
+    let pool = ThreadPool::new(4);
+    // Each participant opens its own span and bumps a shared counter; the
+    // snapshot must see the union across worker-local span stacks.
+    let accs = pool.run_chunked(
+        256,
+        4,
+        16,
+        || 0u64,
+        |r, acc| {
+            let _s = waco_obs::span("test_body");
+            waco_obs::counter("test.ranges", 1);
+            *acc += r.len() as u64;
+        },
+    );
+    let snap = waco_obs::snapshot();
+    waco_obs::uninstall();
+
+    let total: u64 = accs.iter().sum();
+    assert_eq!(total, 256);
+    let ranges = 256usize.div_ceil(16) as u64;
+    assert_eq!(snap.counter("test.ranges"), ranges);
+    let span = snap.span_total("test_body");
+    assert_eq!(span.count, ranges);
+}

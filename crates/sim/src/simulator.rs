@@ -343,6 +343,17 @@ impl Simulator {
             .iter()
             .fold((0, 0), |(h, ms), t| (h + t.hits(), ms + t.misses()));
 
+        if waco_obs::enabled() {
+            waco_obs::counter("sim.kernels_timed", 1);
+            waco_obs::counter("sim.concordant_steps", ev.concordant_steps);
+            waco_obs::counter("sim.dense_steps", ev.dense_steps);
+            waco_obs::counter("sim.locate_probes", ev.locate_probes);
+            waco_obs::counter("sim.bodies", ev.bodies);
+            waco_obs::counter("sim.cache_hits", hits);
+            waco_obs::counter("sim.cache_misses", misses);
+            waco_obs::record("sim.kernel_seconds", total_ns * 1e-9);
+        }
+
         Ok(SimReport {
             seconds: total_ns * 1e-9,
             convert_seconds: self.convert_seconds(st),

@@ -38,6 +38,7 @@ pub mod waconet;
 
 pub use grid::{Pattern, SparseTensorD};
 pub use waco_nn::Param;
+pub use waconet::ConfigError;
 
 /// A sparsity-pattern feature extractor with a trainable backward pass.
 ///

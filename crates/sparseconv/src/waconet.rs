@@ -23,6 +23,19 @@ pub struct CoreConfig {
     pub out_dim: usize,
 }
 
+/// A configuration value a builder refused, with the field and constraint
+/// named in the message. `waco_core::WacoError` wraps this via `From`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid configuration: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// WACONet hyper-parameters (a convenience facade over [`CoreConfig`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WacoNetConfig {
@@ -62,6 +75,11 @@ impl WacoNetConfig {
         }
     }
 
+    /// Starts a validated builder seeded with the laptop-scale defaults.
+    pub fn builder() -> WacoNetConfigBuilder {
+        WacoNetConfigBuilder { cfg: Self::small() }
+    }
+
     fn core(self) -> CoreConfig {
         CoreConfig {
             stem_filter: 5,
@@ -70,6 +88,57 @@ impl WacoNetConfig {
             pool_all: true,
             out_dim: self.out_dim,
         }
+    }
+}
+
+impl Default for WacoNetConfig {
+    fn default() -> Self {
+        Self::small()
+    }
+}
+
+/// Builder for [`WacoNetConfig`]; `build` rejects degenerate values.
+#[derive(Debug, Clone)]
+pub struct WacoNetConfigBuilder {
+    cfg: WacoNetConfig,
+}
+
+impl WacoNetConfigBuilder {
+    /// Conv channel width.
+    pub fn channels(mut self, n: usize) -> Self {
+        self.cfg.channels = n;
+        self
+    }
+
+    /// Number of stride-2 layers.
+    pub fn layers(mut self, n: usize) -> Self {
+        self.cfg.layers = n;
+        self
+    }
+
+    /// Output feature width.
+    pub fn out_dim(mut self, n: usize) -> Self {
+        self.cfg.out_dim = n;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Channel width, layer count, and output width must all be nonzero.
+    pub fn build(self) -> Result<WacoNetConfig, ConfigError> {
+        let c = &self.cfg;
+        if c.channels == 0 {
+            return Err(ConfigError("waconet.channels must be at least 1".into()));
+        }
+        if c.layers == 0 {
+            return Err(ConfigError("waconet.layers must be at least 1".into()));
+        }
+        if c.out_dim == 0 {
+            return Err(ConfigError("waconet.out_dim must be at least 1".into()));
+        }
+        Ok(self.cfg)
     }
 }
 
@@ -126,14 +195,37 @@ impl<const D: usize> SparseCnnCore<D> {
     }
 
     /// Forward over an activation tensor (features already attached).
+    ///
+    /// When a `waco-obs` subscriber is installed, each layer records a span
+    /// (`sparseconv/stem`, `sparseconv/conv0`, ...) and the post-layer active
+    /// site count accumulates into the `sparseconv.active_sites` counter, so
+    /// a trace shows where sparse-convolution time goes per layer.
     pub fn forward_feats(&mut self, x: &SparseTensorD<D>) -> Vec<f32> {
-        let h = self.stem.forward(x);
+        let obs = waco_obs::enabled();
+        let span = |name: String| {
+            if obs {
+                waco_obs::span_owned(name)
+            } else {
+                waco_obs::Span::disabled()
+            }
+        };
+        let h = {
+            let _s = span("sparseconv/stem".to_string());
+            self.stem.forward(x)
+        };
         let mut h = SparseTensorD::new(h.coords, self.stem_relu.forward(&h.feats));
+        if obs {
+            waco_obs::counter("sparseconv.active_sites", h.coords.len() as u64);
+        }
         let n = self.convs.len();
         let mut pooled: Vec<Vec<f32>> = Vec::with_capacity(n);
         for i in 0..n {
+            let _s = span(format!("sparseconv/conv{i}"));
             let y = self.convs[i].forward(&h);
             h = SparseTensorD::new(y.coords, self.relus[i].forward(&y.feats));
+            if obs {
+                waco_obs::counter("sparseconv.active_sites", h.coords.len() as u64);
+            }
             pooled.push(self.pools[i].forward(&h.feats));
         }
         let cat: Vec<f32> = if self.cfg.pool_all {

@@ -57,7 +57,8 @@ fn main() {
     // Train WACO for SpMM and tune the adjacency.
     let corpus = waco::tensor::gen::corpus(8, 48, 17);
     let sim = Simulator::new(MachineConfig::xeon_like());
-    let (mut waco, _) = Waco::train_2d(sim, Kernel::SpMM, &corpus, FEATURES, WacoConfig::tiny());
+    let (mut waco, _) = Waco::train_2d(sim, Kernel::SpMM, &corpus, FEATURES, WacoConfig::tiny())
+        .expect("training succeeds");
     let space = waco.space_for_matrix(&adj);
 
     let tuned = waco.tune_matrix(&adj).expect("waco tunes");

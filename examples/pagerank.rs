@@ -52,7 +52,8 @@ fn main() {
     // Train WACO on generic patterns, then tune this graph.
     let corpus = waco::tensor::gen::corpus(8, 48, 5);
     let sim = Simulator::new(MachineConfig::xeon_like());
-    let (mut waco, _) = Waco::train_2d(sim, Kernel::SpMV, &corpus, 0, WacoConfig::tiny());
+    let (mut waco, _) = Waco::train_2d(sim, Kernel::SpMV, &corpus, 0, WacoConfig::tiny())
+        .expect("training succeeds");
     let space = waco.space_for_matrix(&a_t);
 
     let tuned = waco.tune_matrix(&a_t).expect("waco tunes");

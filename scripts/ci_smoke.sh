@@ -31,8 +31,25 @@ run "$CLI" inspect "$TMP/g.mtx"
 run "$CLI" bench --kernel spmm "$TMP/g.mtx"
 run "$CLI" train --kernel spmm --matrices 4 --size 32 --epochs 2 \
     --out "$TMP/model.ckpt"
+mkdir -p results
 run "$CLI" tune --kernel spmm --model "$TMP/model.ckpt" \
-    --matrices 4 --size 32 --epochs 2 "$TMP/g.mtx"
+    --matrices 4 --size 32 --epochs 2 \
+    --trace results/trace-smoke.json "$TMP/g.mtx"
+
+# The structured trace must exist, parse as JSON, and carry the
+# feature-extraction vs ANNS breakdown that fig16b consumes.
+TRACE=results/trace-smoke.json
+test -s "$TRACE"
+if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "$TRACE" >/dev/null
+fi
+for needle in '"trace": "waco-obs"' feature_extraction anns_traversal tune/measure; do
+    grep -qF "$needle" "$TRACE" || {
+        echo "trace is missing $needle" >&2
+        exit 1
+    }
+done
+echo "trace OK: $TRACE"
 
 # 2. Two experiment binaries at smoke scale (co-optimization table and the
 #    headline baseline-comparison figure).

@@ -17,6 +17,7 @@
 //! | [`anns`] | `waco-anns` | HNSW ANNS + black-box tuner baselines |
 //! | [`baselines`] | `waco-baselines` | MKL-like, BestFormat, FixedCSR, ASpT-like |
 //! | [`core`] | `waco-core` | the end-to-end WACO pipeline |
+//! | [`obs`] | `waco-obs` | structured observability: spans, counters, histograms |
 //!
 //! # Quickstart
 //!
@@ -28,7 +29,8 @@
 //!
 //! // 2. Train a WACO tuner for SpMV on the simulated Xeon.
 //! let sim = Simulator::new(MachineConfig::xeon_like());
-//! let (mut waco, _curves) = Waco::train_2d(sim, Kernel::SpMV, &corpus, 0, WacoConfig::tiny());
+//! let (mut waco, _curves) =
+//!     Waco::train_2d(sim, Kernel::SpMV, &corpus, 0, WacoConfig::tiny()).unwrap();
 //!
 //! // 3. Tune a new matrix: co-optimized format + schedule.
 //! let tuned = waco.tune_matrix(&corpus[0].1).unwrap();
@@ -42,6 +44,7 @@ pub use waco_exec as exec;
 pub use waco_format as format;
 pub use waco_model as model;
 pub use waco_nn as nn;
+pub use waco_obs as obs;
 pub use waco_schedule as schedule;
 pub use waco_sim as sim;
 pub use waco_sparseconv as sparseconv;
@@ -49,7 +52,7 @@ pub use waco_tensor as tensor;
 
 /// The most commonly used items in one import.
 pub mod prelude {
-    pub use waco_core::{Waco, WacoConfig, WacoTuned};
+    pub use waco_core::{Waco, WacoConfig, WacoError, WacoTuned};
     pub use waco_exec::kernels;
     pub use waco_format::{FormatSpec, LevelFormat, SparseStorage};
     pub use waco_schedule::{Kernel, Space, SuperSchedule};

@@ -17,7 +17,8 @@ fn xeon() -> Simulator {
 #[test]
 fn full_spmv_pipeline_tunes_and_executes() {
     let corpus = gen::corpus(8, 32, 21);
-    let (mut waco, stats) = Waco::train_2d(xeon(), Kernel::SpMV, &corpus, 0, WacoConfig::tiny());
+    let (mut waco, stats) =
+        Waco::train_2d(xeon(), Kernel::SpMV, &corpus, 0, WacoConfig::tiny()).unwrap();
     assert!(!stats.train_loss.is_empty());
 
     let mut rng = Rng64::seed_from(77);
@@ -38,7 +39,8 @@ fn tuned_beats_or_matches_fixed_csr_on_average() {
     // With measurement of the top-k, WACO should on average be at least as
     // good as the untuned default across a small test set.
     let corpus = gen::corpus(10, 32, 31);
-    let (mut waco, _) = Waco::train_2d(xeon(), Kernel::SpMV, &corpus, 0, WacoConfig::tiny());
+    let (mut waco, _) =
+        Waco::train_2d(xeon(), Kernel::SpMV, &corpus, 0, WacoConfig::tiny()).unwrap();
     let test = gen::corpus(6, 40, 777);
     let mut ratios = Vec::new();
     for (_, m) in &test {
@@ -120,7 +122,7 @@ fn mttkrp_pipeline_works() {
             )
         })
         .collect();
-    let (mut waco, _) = Waco::train_3d(xeon(), &corpus, 4, WacoConfig::tiny());
+    let (mut waco, _) = Waco::train_3d(xeon(), &corpus, 4, WacoConfig::tiny()).unwrap();
     let t = gen::fibered_tensor3([10, 10, 10], 2, 0.6, &mut rng);
     let tuned = waco.tune_tensor3(&t).unwrap();
     assert!(tuned.result.kernel_seconds > 0.0);
@@ -137,7 +139,8 @@ fn mttkrp_pipeline_works() {
 #[test]
 fn model_checkpoint_survives_pipeline() {
     let corpus = gen::corpus(4, 24, 41);
-    let (mut waco, _) = Waco::train_2d(xeon(), Kernel::SpMV, &corpus, 0, WacoConfig::tiny());
+    let (mut waco, _) =
+        Waco::train_2d(xeon(), Kernel::SpMV, &corpus, 0, WacoConfig::tiny()).unwrap();
     let mut buf = Vec::new();
     waco.model.save(&mut buf).unwrap();
     waco.model.load(buf.as_slice()).unwrap();
