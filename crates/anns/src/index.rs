@@ -103,6 +103,28 @@ impl ScheduleIndex {
         }
     }
 
+    /// Reassembles an index from snapshot-loaded parts (see
+    /// [`crate::persist`]); `build_with_extras` and the snapshot loader are
+    /// the only constructors, so the field invariants (parallel lengths,
+    /// graph over exactly these embeddings) hold by construction there.
+    pub(crate) fn from_loaded_parts(
+        schedules: Vec<SuperSchedule>,
+        encodings: Vec<Encoded>,
+        embeddings: Vec<Vec<f32>>,
+        hnsw: Hnsw,
+        space: &Space,
+    ) -> Self {
+        debug_assert_eq!(schedules.len(), embeddings.len());
+        debug_assert_eq!(schedules.len(), encodings.len());
+        Self {
+            schedules,
+            encodings,
+            embeddings,
+            hnsw,
+            space: space.clone(),
+        }
+    }
+
     /// Number of indexed schedules.
     pub fn len(&self) -> usize {
         self.schedules.len()

@@ -22,6 +22,8 @@
 pub mod blackbox;
 pub mod hnsw;
 pub mod index;
+pub mod persist;
 
 pub use hnsw::Hnsw;
 pub use index::{ScheduleIndex, SearchBreakdown};
+pub use persist::{snapshot_tag, BuildParams, PersistError};

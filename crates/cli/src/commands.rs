@@ -26,6 +26,12 @@ USAGE:
                    [--epochs N] [--dense N] [--seed S] --out MODEL.ckpt
   waco-cli tune    [--kernel spmv|spmm|sddmm] [--model MODEL.ckpt]
                    [--dense N] [--seed S] FILE.mtx
+  waco-cli serve   --cache DIR [--addr 127.0.0.1:PORT] [--workers N]
+                   [--queue N] [--capacity N] [--timeout SECS]
+                   [--model MODEL.ckpt]
+  waco-cli query   --addr 127.0.0.1:PORT [--op tune|lookup|stats|shutdown]
+                   [--kernel spmv|spmm|sddmm] [--dense N] [--timeout SECS]
+                   [FILE.mtx]
 
 Global flags:
   --trace FILE.json   record a structured trace (spans, counters,
@@ -52,7 +58,9 @@ impl Flags {
         let mut it = args.iter().peekable();
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
-                let val = it.next().ok_or_else(|| bad(format!("flag --{key} needs a value")))?;
+                let val = it
+                    .next()
+                    .ok_or_else(|| bad(format!("flag --{key} needs a value")))?;
                 kv.push((key.to_string(), val.clone()));
             } else {
                 positional.push(a.clone());
@@ -75,6 +83,15 @@ impl Flags {
             Some(v) => v
                 .parse()
                 .map_err(|_| bad(format!("--{key} expects an integer, got `{v}`"))),
+        }
+    }
+
+    fn f64_or(&self, key: &str, default: f64) -> Result<f64> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| bad(format!("--{key} expects a number, got `{v}`"))),
         }
     }
 
@@ -116,7 +133,9 @@ pub fn gen(args: &[String]) -> Result<()> {
     let family = flags.get("family").unwrap_or("uniform").to_string();
     let n = flags.usize_or("size", 512)?;
     let seed = flags.usize_or("seed", 7)? as u64;
-    let out = flags.get("out").ok_or_else(|| bad("--out FILE.mtx is required"))?;
+    let out = flags
+        .get("out")
+        .ok_or_else(|| bad("--out FILE.mtx is required"))?;
     let mut rng = Rng64::seed_from(seed);
     let m = match family.as_str() {
         "uniform" => gen::uniform_random(n, n, 8.0 / n as f64, &mut rng),
@@ -290,6 +309,107 @@ pub fn tune(args: &[String]) -> Result<()> {
         );
     }
     Ok(())
+}
+
+/// `waco-cli serve`: runs the online tuning service until a client sends
+/// `shutdown` (or the process is killed).
+pub fn serve(args: &[String]) -> Result<()> {
+    use std::io::Write as _;
+
+    let flags = Flags::parse(args)?;
+    let cache = flags
+        .get("cache")
+        .ok_or_else(|| bad("--cache DIR is required"))?
+        .to_string();
+    let mut builder = waco_serve::ServeConfig::builder()
+        .addr(flags.get("addr").unwrap_or("127.0.0.1:0"))
+        .cache_dir(&cache);
+    if flags.get("workers").is_some() {
+        builder = builder.workers(flags.usize_or("workers", 0)?);
+    }
+    if flags.get("queue").is_some() {
+        builder = builder.queue_depth(flags.usize_or("queue", 0)?);
+    }
+    if flags.get("capacity").is_some() {
+        builder = builder.cache_capacity(flags.usize_or("capacity", 0)?);
+    }
+    if flags.get("timeout").is_some() {
+        builder = builder.timeout_secs(flags.f64_or("timeout", 0.0)?);
+    }
+    let cfg = builder.build()?;
+
+    let tuner_cfg = waco_serve::WacoTunerConfig {
+        checkpoint: flags.get("model").map(Into::into),
+        index_cache: Some(std::path::Path::new(&cache).join("index")),
+        ..waco_serve::WacoTunerConfig::default()
+    };
+    let server = waco_serve::Server::start(
+        cfg,
+        std::sync::Arc::new(waco_serve::WacoTuner::new(tuner_cfg)),
+    )?;
+    // The bound address line is the startup handshake: tests and scripts
+    // bind port 0 and parse the real port from here, so flush eagerly.
+    println!("listening on {}", server.local_addr());
+    std::io::stdout()
+        .flush()
+        .map_err(|e| WacoError::io("flushing stdout", e))?;
+    server.wait()?;
+    println!("server drained");
+    Ok(())
+}
+
+/// `waco-cli query`: one client request against a running server.
+pub fn query(args: &[String]) -> Result<()> {
+    let flags = Flags::parse(args)?;
+    let addr = flags
+        .get("addr")
+        .ok_or_else(|| bad("--addr HOST:PORT is required"))?;
+    let timeout = std::time::Duration::from_secs_f64(flags.f64_or("timeout", 120.0)?);
+    let op = flags.get("op").unwrap_or("tune");
+    let mut client = waco_serve::Client::connect(addr, timeout)?;
+    match op {
+        "stats" => {
+            println!("{}", client.stats()?);
+            Ok(())
+        }
+        "shutdown" => {
+            client.shutdown()?;
+            println!("server shutting down");
+            Ok(())
+        }
+        "tune" | "lookup" => {
+            let kernel = parse_kernel(&flags)?;
+            let dense = dense_extent(&flags, kernel)?;
+            let kname = flags.get("kernel").unwrap_or("spmm");
+            let path = flags.one_positional("FILE.mtx")?;
+            let m = load_matrix(path)?;
+            let reply = if op == "tune" {
+                client.tune(&m, kname, dense)?
+            } else {
+                client.lookup(&m, kname, dense)?
+            };
+            let Some(d) = reply.decision else {
+                println!("no cached decision for {path}");
+                return Ok(());
+            };
+            let space = waco_schedule::Space::new(kernel, vec![m.nrows(), m.ncols()], dense);
+            println!(
+                "{} {kernel} decision for {path} ({} nnz):",
+                if reply.cached { "cached" } else { "computed" },
+                m.nnz()
+            );
+            println!("  schedule   : {}", d.schedule.describe(&space));
+            println!(
+                "  kernel time: {:.3e}s  (tuned in {:.3e}s)",
+                d.kernel_seconds, d.tuning_seconds
+            );
+            println!("  fingerprint: {}", d.fingerprint);
+            Ok(())
+        }
+        other => Err(bad(format!(
+            "unknown --op `{other}` (tune|lookup|stats|shutdown)"
+        ))),
+    }
 }
 
 #[cfg(test)]

@@ -6,6 +6,8 @@
 //! waco-cli bench    --kernel spmm graph.mtx
 //! waco-cli train    --kernel spmm --out model.ckpt
 //! waco-cli tune     --kernel spmm --model model.ckpt graph.mtx
+//! waco-cli serve    --cache /var/tmp/waco-cache --addr 127.0.0.1:7470
+//! waco-cli query    --addr 127.0.0.1:7470 graph.mtx
 //! ```
 //!
 //! All tuning runs against the deterministic machine simulator (see the
@@ -32,9 +34,7 @@ fn extract_trace(args: &mut Vec<String>) -> Result<Option<String>, WacoError> {
         return Ok(None);
     };
     if i + 1 >= args.len() {
-        return Err(WacoError::InvalidConfig(
-            "--trace needs a file path".into(),
-        ));
+        return Err(WacoError::InvalidConfig("--trace needs a file path".into()));
     }
     let path = args.remove(i + 1);
     args.remove(i);
@@ -53,6 +53,8 @@ fn run(args: Vec<String>) -> Result<(), WacoError> {
         "bench" => commands::bench(rest),
         "train" => commands::train(rest),
         "tune" => commands::tune(rest),
+        "serve" => commands::serve(rest),
+        "query" => commands::query(rest),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

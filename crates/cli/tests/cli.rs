@@ -169,6 +169,109 @@ fn errors_exit_with_code_2() {
 }
 
 #[test]
+fn serve_and_query_roundtrip_on_ephemeral_port() {
+    use std::io::BufRead;
+
+    let dir = tmpdir().join("serve");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create serve dir");
+    let mtx = dir.join("q.mtx");
+    assert!(cli()
+        .args(["gen", "--family", "banded", "--size", "64", "--out"])
+        .arg(&mtx)
+        .status()
+        .expect("runs")
+        .success());
+
+    // Bind port 0 and parse the real port from the startup line.
+    let trace = dir.join("serve-trace.json");
+    let mut server = cli()
+        .args(["serve", "--addr", "127.0.0.1:0", "--cache"])
+        .arg(dir.join("cache"))
+        .arg("--trace")
+        .arg(&trace)
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("server starts");
+    let mut stdout = std::io::BufReader::new(server.stdout.take().unwrap());
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("startup line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected startup line: {line:?}"))
+        .to_string();
+
+    let query = |args: &[&str]| {
+        let out = cli()
+            .args(["query", "--addr", &addr])
+            .args(args)
+            .output()
+            .expect("query runs");
+        assert!(
+            out.status.success(),
+            "query {args:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+
+    // lookup before tuning: no decision yet.
+    let text = query(&["--op", "lookup", "--kernel", "spmv", mtx.to_str().unwrap()]);
+    assert!(text.contains("no cached decision"), "{text}");
+
+    // First tune is computed, second is served from cache.
+    let text = query(&["--kernel", "spmv", mtx.to_str().unwrap()]);
+    assert!(text.contains("computed SpMV decision"), "{text}");
+    assert!(text.contains("fingerprint"), "{text}");
+    let text = query(&["--kernel", "spmv", mtx.to_str().unwrap()]);
+    assert!(text.contains("cached SpMV decision"), "{text}");
+
+    // The hit shows up in stats.
+    let text = query(&["--op", "stats"]);
+    assert!(text.contains("\"hits\":1"), "{text}");
+
+    // Graceful drain; the server process exits 0 and writes its trace.
+    let text = query(&["--op", "shutdown"]);
+    assert!(text.contains("shutting down"), "{text}");
+    let status = server.wait().expect("server exits");
+    assert!(status.success());
+    let trace_text = std::fs::read_to_string(&trace).expect("server trace written");
+    assert!(trace_text.contains("serve.requests"), "{trace_text}");
+}
+
+#[test]
+fn serve_rejects_bad_flags() {
+    // Missing --cache.
+    let out = cli()
+        .args(["serve", "--addr", "127.0.0.1:0"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--cache"));
+    // Non-loopback address.
+    let out = cli()
+        .args(["serve", "--addr", "8.8.8.8:80", "--cache", "/tmp/x"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    // Query without a server.
+    let out = cli()
+        .args([
+            "query",
+            "--op",
+            "stats",
+            "--timeout",
+            "0.5",
+            "--addr",
+            "127.0.0.1:1",
+        ])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn trace_flag_writes_json_with_pipeline_spans() {
     let dir = tmpdir();
     let mtx = dir.join("trace.mtx");
@@ -181,7 +284,15 @@ fn trace_flag_writes_json_with_pipeline_spans() {
         .success());
     let out = cli()
         .args([
-            "tune", "--kernel", "spmv", "--matrices", "3", "--size", "48", "--epochs", "1",
+            "tune",
+            "--kernel",
+            "spmv",
+            "--matrices",
+            "3",
+            "--size",
+            "48",
+            "--epochs",
+            "1",
             "--trace",
         ])
         .arg(&trace)

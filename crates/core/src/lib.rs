@@ -241,6 +241,8 @@ pub struct Waco {
     pub dense_extent: usize,
     cfg: WacoConfig,
     indices: HashMap<Vec<usize>, ScheduleIndex>,
+    /// Snapshot directory for per-shape index persistence, when enabled.
+    index_cache: Option<std::path::PathBuf>,
 }
 
 impl std::fmt::Debug for Waco {
@@ -279,6 +281,7 @@ impl Waco {
                 dense_extent,
                 cfg,
                 indices: HashMap::new(),
+                index_cache: None,
             },
             stats,
         ))
@@ -307,6 +310,7 @@ impl Waco {
                 dense_extent: rank,
                 cfg,
                 indices: HashMap::new(),
+                index_cache: None,
             },
             stats,
         ))
@@ -350,6 +354,15 @@ impl Waco {
             .space_for(self.kernel, vec![m.nrows(), m.ncols()], self.dense_extent)
     }
 
+    /// Enables on-disk persistence of per-shape KNN indices under `dir`:
+    /// `index_for` will load a matching snapshot instead of rebuilding, and
+    /// write one after each build. Snapshots are keyed by a tag covering
+    /// the model weights and index configuration, so stale files (e.g.
+    /// after [`Waco::load_checkpoint`]) are ignored and replaced.
+    pub fn set_index_cache(&mut self, dir: impl Into<std::path::PathBuf>) {
+        self.index_cache = Some(dir.into());
+    }
+
     fn index_for(&mut self, space: &Space) -> &ScheduleIndex {
         let key: Vec<usize> = space
             .sparse_dims
@@ -358,16 +371,78 @@ impl Waco {
             .chain([space.dense_extent])
             .collect();
         if !self.indices.contains_key(&key) {
-            let index = ScheduleIndex::build_with_extras(
-                &self.model,
-                space,
-                self.cfg.index_size,
-                self.cfg.seed,
-                portfolio(space),
-            );
+            let index = self
+                .load_cached_index(space)
+                .unwrap_or_else(|| self.build_and_cache_index(space));
             self.indices.insert(key.clone(), index);
         }
         &self.indices[&key]
+    }
+
+    /// Tries the snapshot cache; `None` means "build it" (missing file,
+    /// stale tag, or corruption — all non-fatal by design).
+    fn load_cached_index(&mut self, space: &Space) -> Option<ScheduleIndex> {
+        let path = self.index_snapshot_path(space)?;
+        let file = std::fs::File::open(&path).ok()?;
+        let tag =
+            waco_anns::snapshot_tag(&mut self.model, space, self.cfg.index_size, self.cfg.seed)
+                .ok()?;
+        let mut reader = std::io::BufReader::new(file);
+        match ScheduleIndex::load_snapshot(&mut reader, space, tag, portfolio(space)) {
+            Ok(index) => {
+                waco_obs::counter("index.cache.loads", 1);
+                Some(index)
+            }
+            Err(_) => {
+                // Stale or damaged snapshot: rebuild (and overwrite below).
+                waco_obs::counter("index.cache.stale", 1);
+                None
+            }
+        }
+    }
+
+    fn build_and_cache_index(&mut self, space: &Space) -> ScheduleIndex {
+        let index = ScheduleIndex::build_with_extras(
+            &self.model,
+            space,
+            self.cfg.index_size,
+            self.cfg.seed,
+            portfolio(space),
+        );
+        if let Some(path) = self.index_snapshot_path(space) {
+            let params = waco_anns::BuildParams {
+                count: self.cfg.index_size,
+                seed: self.cfg.seed,
+                extras: portfolio(space),
+            };
+            let saved =
+                waco_anns::snapshot_tag(&mut self.model, space, self.cfg.index_size, self.cfg.seed)
+                    .ok()
+                    .and_then(|tag| {
+                        let mut file = std::io::BufWriter::new(std::fs::File::create(&path).ok()?);
+                        index.save_snapshot(&mut file, tag, &params).ok()
+                    });
+            if saved.is_some() {
+                waco_obs::counter("index.cache.saves", 1);
+            }
+        }
+        index
+    }
+
+    /// Snapshot path for a space under the cache dir, or `None` when
+    /// caching is disabled. The filename carries the shape; the tag inside
+    /// the file carries everything else.
+    fn index_snapshot_path(&self, space: &Space) -> Option<std::path::PathBuf> {
+        let dir = self.index_cache.as_ref()?;
+        let dims: Vec<String> = space.sparse_dims.iter().map(|d| d.to_string()).collect();
+        let name = format!(
+            "index-{}-{}x{}.anns",
+            self.kernel,
+            dims.join("x"),
+            space.dense_extent
+        );
+        std::fs::create_dir_all(dir).ok()?;
+        Some(dir.join(name))
     }
 
     /// Tunes the format and schedule for a matrix (Figure 1c): one feature

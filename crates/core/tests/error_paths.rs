@@ -161,7 +161,10 @@ fn builder_rejections_are_invalid_config() {
         .schedules_per_matrix(0)
         .build()
         .is_err());
-    assert!(DataGenConfig::builder().max_tries_factor(0).build().is_err());
+    assert!(DataGenConfig::builder()
+        .max_tries_factor(0)
+        .build()
+        .is_err());
 }
 
 // The builder invariants, property-tested: `build()` succeeds exactly when

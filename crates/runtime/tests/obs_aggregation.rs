@@ -17,11 +17,17 @@ fn run_with_workers(threads: usize) -> (u64, waco_obs::Snapshot) {
     let pool = ThreadPool::new(threads);
     waco_obs::reset();
     let sum: u64 = pool
-        .run_chunked(EXTENT, threads, CHUNK, || 0u64, |r, acc| {
-            for i in r {
-                *acc += i as u64;
-            }
-        })
+        .run_chunked(
+            EXTENT,
+            threads,
+            CHUNK,
+            || 0u64,
+            |r, acc| {
+                for i in r {
+                    *acc += i as u64;
+                }
+            },
+        )
         .iter()
         .sum();
     (sum, waco_obs::snapshot())

@@ -1,0 +1,158 @@
+//! A blocking client for the serve protocol — used by `waco query`, the CI
+//! smoke test, and the integration tests.
+
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use waco_core::WacoError;
+use waco_tensor::{io::write_matrix_market, CooMatrix};
+
+use crate::cache::Decision;
+use crate::json::Json;
+use crate::protocol::{read_frame, request_json, response_decision, write_frame};
+
+/// Outcome of a `tune`/`lookup` call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryReply {
+    /// The decision, when the server had or produced one.
+    pub decision: Option<Decision>,
+    /// Whether it was served from cache (`tune`) / found (`lookup`).
+    pub cached: bool,
+}
+
+/// A connected protocol client. One request at a time; requests may be
+/// pipelined sequentially on the same connection.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects with a timeout that also bounds each read/write.
+    ///
+    /// # Errors
+    ///
+    /// [`WacoError::Io`] / [`WacoError::InvalidConfig`] on bad addresses.
+    pub fn connect(addr: &str, timeout: Duration) -> Result<Client, WacoError> {
+        let sockaddr: SocketAddr = addr
+            .parse()
+            .map_err(|_| WacoError::InvalidConfig(format!("`{addr}` is not a socket address")))?;
+        let stream = TcpStream::connect_timeout(&sockaddr, timeout)
+            .map_err(|e| WacoError::io(format!("connecting to {addr}"), e))?;
+        stream
+            .set_read_timeout(Some(timeout))
+            .map_err(|e| WacoError::io("configuring socket", e))?;
+        stream
+            .set_write_timeout(Some(timeout))
+            .map_err(|e| WacoError::io("configuring socket", e))?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one frame and reads one response frame.
+    ///
+    /// # Errors
+    ///
+    /// [`WacoError::Io`] on socket failure or if the server closed without
+    /// responding.
+    pub fn roundtrip(&mut self, body: &Json) -> Result<Json, WacoError> {
+        write_frame(&mut self.stream, body)?;
+        read_frame(&mut self.stream)?.ok_or_else(|| {
+            WacoError::io(
+                "reading response",
+                std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ),
+            )
+        })
+    }
+
+    /// `tune` for an in-memory matrix: serialize, send, decode.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, or [`WacoError::Infeasible`]-style errors relayed
+    /// from the server as [`WacoError::InvalidConfig`] messages.
+    pub fn tune(
+        &mut self,
+        m: &CooMatrix,
+        kernel: &str,
+        dense_extent: usize,
+    ) -> Result<QueryReply, WacoError> {
+        self.matrix_request("tune", m, kernel, dense_extent)
+    }
+
+    /// `lookup` for an in-memory matrix (never triggers tuning).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::tune`].
+    pub fn lookup(
+        &mut self,
+        m: &CooMatrix,
+        kernel: &str,
+        dense_extent: usize,
+    ) -> Result<QueryReply, WacoError> {
+        self.matrix_request("lookup", m, kernel, dense_extent)
+    }
+
+    /// Fetches the stats document.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors or a server-side error response.
+    pub fn stats(&mut self) -> Result<Json, WacoError> {
+        let reply = self.roundtrip(&Json::obj([("op", Json::str("stats"))]))?;
+        expect_ok(&reply)?;
+        Ok(reply)
+    }
+
+    /// Asks the server to drain and stop.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors or a server-side error response.
+    pub fn shutdown(&mut self) -> Result<(), WacoError> {
+        let reply = self.roundtrip(&Json::obj([("op", Json::str("shutdown"))]))?;
+        expect_ok(&reply)
+    }
+
+    fn matrix_request(
+        &mut self,
+        op: &str,
+        m: &CooMatrix,
+        kernel: &str,
+        dense_extent: usize,
+    ) -> Result<QueryReply, WacoError> {
+        let mut mtx = Vec::new();
+        write_matrix_market(&mut mtx, m)
+            .map_err(|e| WacoError::InvalidConfig(format!("serializing matrix: {e}")))?;
+        let text = String::from_utf8(mtx).expect("matrix market output is ASCII");
+        let reply = self.roundtrip(&request_json(op, kernel, dense_extent, &text))?;
+        expect_ok(&reply)?;
+        let cached = reply
+            .get("cached")
+            .or_else(|| reply.get("found"))
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
+        Ok(QueryReply {
+            decision: response_decision(&reply),
+            cached,
+        })
+    }
+}
+
+/// Turns an `{"ok":false,...}` response into a [`WacoError`].
+fn expect_ok(reply: &Json) -> Result<(), WacoError> {
+    if reply.get("ok").and_then(Json::as_bool) == Some(true) {
+        return Ok(());
+    }
+    let msg = reply
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap_or("malformed server response");
+    if reply.get("busy").and_then(Json::as_bool) == Some(true) {
+        return Err(WacoError::InvalidConfig(format!("server busy: {msg}")));
+    }
+    Err(WacoError::InvalidConfig(format!("server error: {msg}")))
+}

@@ -1,0 +1,276 @@
+//! Sparsity fingerprints: a compact, deterministic digest of a matrix's
+//! sparsity structure used to key cached tuning decisions.
+//!
+//! WACO's amortization story (PAPER.md §5–6) relies on one cost-model
+//! training run serving many deployment-time queries; BestFormat-style
+//! format selection goes further and reuses *decisions* across structurally
+//! similar matrices. The fingerprint captures the structure signals the cost
+//! model itself consumes — dimensions, nnz, row/column population
+//! histograms, and the block-density statistics from
+//! [`waco_tensor::MatrixStats`] — and hashes a canonical byte encoding of
+//! them with two independent FNV-1a 64 passes, yielding a 128-bit digest.
+//!
+//! Determinism notes:
+//! * [`CooMatrix`] sorts and deduplicates on construction, so the digest is
+//!   insensitive to the order triplets were supplied in.
+//! * Floating-point statistics are quantized (`QUANT` decimal places) before
+//!   encoding so that bit-level noise in alternative computation orders
+//!   cannot split structurally identical matrices across cache keys.
+
+use std::fmt;
+
+use waco_tensor::{CooMatrix, MatrixStats};
+
+/// Number of log₂ buckets in the row/column population histograms.
+/// Bucket `i` counts lines whose nnz `c` satisfies `floor(log2(c)) == i`
+/// (empty lines land in bucket 0 alongside singletons' `c = 1`); counts of
+/// `2^15` and above saturate into the last bucket.
+pub const HIST_BUCKETS: usize = 16;
+
+/// FNV-1a 64-bit offset basis (first pass).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// Offset basis for the second, independent pass (first pass basis hashed
+/// through one FNV step so the two streams decorrelate immediately).
+const FNV_OFFSET2: u64 = (FNV_OFFSET ^ 0xa5a5_a5a5_a5a5_a5a5).wrapping_mul(FNV_PRIME);
+
+/// Fixed-point quantization factor for float statistics: 6 decimal places.
+const QUANT: f64 = 1e6;
+
+/// Streaming FNV-1a 64-bit hasher. Shared by the fingerprint, the journal
+/// record checksums, and the ANNS snapshot trailer — one hash function for
+/// every integrity check in the serving layer.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// Starts a hasher from the standard FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+
+    /// Starts a hasher from an arbitrary basis (for independent streams).
+    pub fn with_basis(basis: u64) -> Self {
+        Fnv64(basis)
+    }
+
+    /// Absorbs bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+
+    /// Absorbs a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The current digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot FNV-1a 64 of a byte slice.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// A 128-bit sparsity fingerprint.
+///
+/// Equal fingerprints indicate (up to hash collision, ~2⁻¹²⁸) matrices whose
+/// sparsity structure is indistinguishable to the tuning pipeline, so a
+/// cached decision for one applies to the other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint {
+    /// First 64 bits (standard FNV-1a basis).
+    pub hi: u64,
+    /// Second 64 bits (independent basis over the same canonical bytes).
+    pub lo: u64,
+}
+
+impl Fingerprint {
+    /// Computes the fingerprint of a matrix's sparsity structure.
+    ///
+    /// Values are ignored: two matrices with the same pattern but different
+    /// stored numbers fingerprint identically, which is exactly the reuse
+    /// granularity of format/schedule decisions.
+    pub fn of_matrix(m: &CooMatrix) -> Self {
+        let _span = waco_obs::span("serve.fingerprint");
+        let bytes = canonical_bytes(m);
+        let mut a = Fnv64::new();
+        a.write(&bytes);
+        let mut b = Fnv64::with_basis(FNV_OFFSET2);
+        b.write(&bytes);
+        let fp = Fingerprint {
+            hi: a.finish(),
+            lo: b.finish(),
+        };
+        waco_obs::counter("serve.fingerprint.computed", 1);
+        fp
+    }
+
+    /// Parses the `hi:lo` hex form produced by [`fmt::Display`].
+    pub fn parse(text: &str) -> Option<Self> {
+        let (hi, lo) = text.split_once(':')?;
+        Some(Fingerprint {
+            hi: u64::from_str_radix(hi, 16).ok()?,
+            lo: u64::from_str_radix(lo, 16).ok()?,
+        })
+    }
+
+    /// Folds the two halves into one `u64` (shard/bucket selection).
+    pub fn fold(&self) -> u64 {
+        self.hi ^ self.lo.rotate_left(32)
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}:{:016x}", self.hi, self.lo)
+    }
+}
+
+/// Canonical byte encoding of the structure signals. Field order and widths
+/// are part of the cache-key contract — changing them invalidates every
+/// journal on disk, so bump [`crate::journal::JOURNAL_VERSION`] if you do.
+fn canonical_bytes(m: &CooMatrix) -> Vec<u8> {
+    let stats = MatrixStats::compute(m);
+    let mut out = Vec::with_capacity(64 + HIST_BUCKETS * 16);
+
+    out.extend_from_slice(b"waco-fp-v1");
+    push_u64(&mut out, m.nrows() as u64);
+    push_u64(&mut out, m.ncols() as u64);
+    push_u64(&mut out, m.nnz() as u64);
+
+    for bucket in log2_histogram(&m.row_nnz()) {
+        push_u64(&mut out, bucket);
+    }
+    for bucket in log2_histogram(&m.col_nnz()) {
+        push_u64(&mut out, bucket);
+    }
+
+    push_u64(&mut out, stats.row_nnz_max as u64);
+    push_u64(&mut out, stats.block8_count as u64);
+    push_quantized(&mut out, stats.density);
+    push_quantized(&mut out, stats.row_cv);
+    push_quantized(&mut out, stats.diag_distance_mean);
+    push_quantized(&mut out, stats.symmetry);
+    push_quantized(&mut out, stats.block8_fill_mean);
+    out
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Quantizes a finite statistic to 6 decimal places and encodes the signed
+/// fixed-point integer. Non-finite inputs (possible only for degenerate
+/// shapes) map to a sentinel.
+fn push_quantized(out: &mut Vec<u8>, v: f64) {
+    let q: i64 = if v.is_finite() {
+        (v * QUANT).round() as i64
+    } else {
+        i64::MIN
+    };
+    out.extend_from_slice(&q.to_le_bytes());
+}
+
+/// Histogram of per-line populations over log₂ buckets.
+fn log2_histogram(counts: &[usize]) -> [u64; HIST_BUCKETS] {
+    let mut hist = [0u64; HIST_BUCKETS];
+    for &c in counts {
+        let bucket = if c <= 1 {
+            0
+        } else {
+            (usize::BITS - 1 - c.leading_zeros()) as usize
+        };
+        hist[bucket.min(HIST_BUCKETS - 1)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waco_tensor::gen::{self, Rng64};
+
+    #[test]
+    fn deterministic_across_calls() {
+        let m = gen::mesh2d(16, 16);
+        assert_eq!(Fingerprint::of_matrix(&m), Fingerprint::of_matrix(&m));
+    }
+
+    #[test]
+    fn entry_order_insensitive() {
+        let mut rng = Rng64::seed_from(7);
+        let m = gen::uniform_random(64, 64, 0.05, &mut rng);
+        let mut trips: Vec<_> = m.iter().collect();
+        trips.reverse();
+        let shuffled = CooMatrix::from_triplets(m.nrows(), m.ncols(), trips).unwrap();
+        assert_eq!(
+            Fingerprint::of_matrix(&m),
+            Fingerprint::of_matrix(&shuffled)
+        );
+    }
+
+    #[test]
+    fn value_insensitive_pattern_sensitive() {
+        let mut rng = Rng64::seed_from(9);
+        let m = gen::uniform_random(64, 64, 0.05, &mut rng);
+        let rescaled = m.with_uniform_values(42.0);
+        assert_eq!(
+            Fingerprint::of_matrix(&m),
+            Fingerprint::of_matrix(&rescaled)
+        );
+
+        let different = gen::uniform_random(64, 64, 0.05, &mut rng);
+        assert_ne!(
+            Fingerprint::of_matrix(&m),
+            Fingerprint::of_matrix(&different),
+            "different patterns must not collide"
+        );
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let fp = Fingerprint {
+            hi: 0xdead_beef_0000_0001,
+            lo: 0x0123_4567_89ab_cdef,
+        };
+        assert_eq!(Fingerprint::parse(&fp.to_string()), Some(fp));
+        assert_eq!(Fingerprint::parse("nope"), None);
+        assert_eq!(Fingerprint::parse("12:zz"), None);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let hist = log2_histogram(&[0, 1, 2, 3, 4, 1000, usize::MAX]);
+        assert_eq!(hist[0], 2, "0 and 1 share bucket 0");
+        assert_eq!(hist[1], 2, "2 and 3");
+        assert_eq!(hist[2], 1, "4");
+        assert_eq!(hist[9], 1, "1000");
+        assert_eq!(hist[HIST_BUCKETS - 1], 1, "saturates");
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -1,0 +1,405 @@
+//! Append-only on-disk journal — the persistent tier of the tuning cache.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! +----------+---------+   +-----------+------------+------------------+
+//! | WACOJRNL | version |   | len: u32  | crc: u64   | payload: len × u8 | …
+//! +----------+---------+   +-----------+------------+------------------+
+//!   8 bytes    u32           per record; crc = FNV-1a 64 of payload
+//! ```
+//!
+//! The crash-recovery contract:
+//! * Records are appended with a single `write_all` then flushed, so after
+//!   a crash the file is a valid prefix followed by at most one torn record.
+//! * [`Journal::open`] scans from the start; the first record whose length
+//!   runs past EOF or whose checksum mismatches marks the torn tail, which
+//!   is truncated in place (`set_len`). Every complete record before it is
+//!   recovered — never a partial one.
+//! * A file whose header is damaged is treated as unrecoverable and
+//!   re-initialized empty (a cache can always be rebuilt by re-tuning; a
+//!   wrong decision served silently cannot).
+//!
+//! Compaction: the journal is append-only, so updated keys accumulate dead
+//! prior versions. When, at open, dead records outnumber live ones, the
+//! caller-visible live set is rewritten to `<path>.compact` and atomically
+//! renamed over the original.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use waco_core::WacoError;
+
+use crate::fingerprint::fnv1a64;
+
+/// File magic.
+pub const JOURNAL_MAGIC: &[u8; 8] = b"WACOJRNL";
+/// Format version. Bump when the record payload schema or the fingerprint's
+/// canonical byte encoding changes.
+pub const JOURNAL_VERSION: u32 = 1;
+/// Largest record payload accepted on read (corruption guard).
+const MAX_RECORD_LEN: u32 = 16 << 20;
+/// Header length in bytes: magic + version.
+const HEADER_LEN: u64 = 8 + 4;
+
+/// What [`Journal::open`] found on disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenReport {
+    /// Complete records recovered (including dead duplicates pre-compaction).
+    pub records_recovered: usize,
+    /// Bytes of torn/corrupt tail truncated away, if any.
+    pub bytes_truncated: u64,
+    /// Whether the file was rewritten to drop dead records.
+    pub compacted: bool,
+    /// Whether the header was damaged and the journal re-initialized empty.
+    pub reinitialized: bool,
+}
+
+/// An append-only, checksummed record log.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Opens (or creates) the journal at `path`, scanning and repairing it.
+    ///
+    /// Returns the journal handle positioned for appending, the recovered
+    /// payloads in append order, and a report of what recovery did.
+    /// `is_dead` classifies payloads for compaction: given the full recovered
+    /// sequence, it returns the indices that are superseded (e.g. older
+    /// writes of a key that appears again later).
+    ///
+    /// # Errors
+    ///
+    /// [`WacoError::Io`] on filesystem failure. Corruption is not an error —
+    /// it is repaired and reported.
+    pub fn open(
+        path: impl AsRef<Path>,
+        is_dead: impl Fn(&[Vec<u8>]) -> Vec<usize>,
+    ) -> Result<(Journal, Vec<Vec<u8>>, OpenReport), WacoError> {
+        let _span = waco_obs::span("serve.journal.open");
+        let path = path.as_ref().to_path_buf();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| WacoError::io(format!("creating {}", dir.display()), e))?;
+            }
+        }
+        let ctx = |what: &str| format!("{what} journal {}", path.display());
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(|e| WacoError::io(ctx("opening"), e))?;
+
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)
+            .map_err(|e| WacoError::io(ctx("reading"), e))?;
+
+        let mut report = OpenReport {
+            records_recovered: 0,
+            bytes_truncated: 0,
+            compacted: false,
+            reinitialized: false,
+        };
+
+        // Header: brand-new file gets one; damaged header resets the file.
+        let header_ok = bytes.len() >= HEADER_LEN as usize
+            && &bytes[..8] == JOURNAL_MAGIC
+            && u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) == JOURNAL_VERSION;
+        if !header_ok {
+            report.reinitialized = !bytes.is_empty();
+            if report.reinitialized {
+                waco_obs::counter("serve.journal.reinitialized", 1);
+            }
+            file.set_len(0)
+                .map_err(|e| WacoError::io(ctx("resetting"), e))?;
+            file.seek(SeekFrom::Start(0))
+                .map_err(|e| WacoError::io(ctx("seeking"), e))?;
+            let mut header = Vec::with_capacity(HEADER_LEN as usize);
+            header.extend_from_slice(JOURNAL_MAGIC);
+            header.extend_from_slice(&JOURNAL_VERSION.to_le_bytes());
+            file.write_all(&header)
+                .map_err(|e| WacoError::io(ctx("initializing"), e))?;
+            file.sync_data()
+                .map_err(|e| WacoError::io(ctx("syncing"), e))?;
+            return Ok((Journal { file, path }, Vec::new(), report));
+        }
+
+        // Scan records; stop at the first torn or corrupt one.
+        let mut records: Vec<Vec<u8>> = Vec::new();
+        let mut good_end = HEADER_LEN as usize;
+        let mut pos = good_end;
+        loop {
+            if pos == bytes.len() {
+                break; // clean end
+            }
+            if pos + 12 > bytes.len() {
+                break; // torn record header
+            }
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
+            let crc = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().expect("8 bytes"));
+            if len > MAX_RECORD_LEN {
+                break; // corrupt length field
+            }
+            let start = pos + 12;
+            let Some(end) = start
+                .checked_add(len as usize)
+                .filter(|&e| e <= bytes.len())
+            else {
+                break; // torn payload
+            };
+            let payload = &bytes[start..end];
+            if fnv1a64(payload) != crc {
+                break; // corrupt payload
+            }
+            records.push(payload.to_vec());
+            pos = end;
+            good_end = end;
+        }
+        report.records_recovered = records.len();
+        report.bytes_truncated = (bytes.len() - good_end) as u64;
+        if report.bytes_truncated > 0 {
+            waco_obs::counter("serve.journal.truncated_bytes", report.bytes_truncated);
+            file.set_len(good_end as u64)
+                .map_err(|e| WacoError::io(ctx("truncating"), e))?;
+        }
+
+        // Compaction: rewrite when dead records outnumber live ones.
+        let dead = is_dead(&records);
+        if !dead.is_empty() && dead.len() >= records.len() - dead.len() {
+            let mut dead_mask = vec![false; records.len()];
+            for &i in &dead {
+                if let Some(slot) = dead_mask.get_mut(i) {
+                    *slot = true;
+                }
+            }
+            let live: Vec<Vec<u8>> = records
+                .iter()
+                .zip(&dead_mask)
+                .filter(|(_, &d)| !d)
+                .map(|(r, _)| r.clone())
+                .collect();
+            let tmp = path.with_extension("compact");
+            {
+                let mut out =
+                    File::create(&tmp).map_err(|e| WacoError::io(ctx("compacting"), e))?;
+                let mut buf = Vec::new();
+                buf.extend_from_slice(JOURNAL_MAGIC);
+                buf.extend_from_slice(&JOURNAL_VERSION.to_le_bytes());
+                for r in &live {
+                    encode_record(&mut buf, r);
+                }
+                out.write_all(&buf)
+                    .map_err(|e| WacoError::io(ctx("compacting"), e))?;
+                out.sync_data()
+                    .map_err(|e| WacoError::io(ctx("syncing compacted"), e))?;
+            }
+            std::fs::rename(&tmp, &path)
+                .map_err(|e| WacoError::io(ctx("replacing with compacted"), e))?;
+            file = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(&path)
+                .map_err(|e| WacoError::io(ctx("reopening compacted"), e))?;
+            records = live;
+            report.compacted = true;
+            waco_obs::counter("serve.journal.compactions", 1);
+        }
+
+        file.seek(SeekFrom::End(0))
+            .map_err(|e| WacoError::io(ctx("seeking"), e))?;
+        Ok((Journal { file, path }, records, report))
+    }
+
+    /// Appends one record (length + checksum + payload in a single write)
+    /// and flushes it to the OS.
+    ///
+    /// # Errors
+    ///
+    /// [`WacoError::Io`]; also rejects payloads over the 16 MiB record cap.
+    pub fn append(&mut self, payload: &[u8]) -> Result<(), WacoError> {
+        if payload.len() as u64 > MAX_RECORD_LEN as u64 {
+            return Err(WacoError::InvalidConfig(format!(
+                "journal record of {} bytes exceeds the {} byte cap",
+                payload.len(),
+                MAX_RECORD_LEN
+            )));
+        }
+        let mut buf = Vec::with_capacity(12 + payload.len());
+        encode_record(&mut buf, payload);
+        self.file.write_all(&buf).map_err(|e| {
+            WacoError::io(format!("appending to journal {}", self.path.display()), e)
+        })?;
+        self.file
+            .flush()
+            .map_err(|e| WacoError::io(format!("flushing journal {}", self.path.display()), e))?;
+        waco_obs::counter("serve.journal.appends", 1);
+        Ok(())
+    }
+
+    /// Forces appended records to stable storage (`fsync`).
+    ///
+    /// # Errors
+    ///
+    /// [`WacoError::Io`].
+    pub fn sync(&mut self) -> Result<(), WacoError> {
+        self.file
+            .sync_data()
+            .map_err(|e| WacoError::io(format!("syncing journal {}", self.path.display()), e))
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+fn encode_record(buf: &mut Vec<u8>, payload: &[u8]) {
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("waco-journal-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("cache.journal")
+    }
+
+    fn no_dead(_: &[Vec<u8>]) -> Vec<usize> {
+        Vec::new()
+    }
+
+    #[test]
+    fn fresh_then_reload() {
+        let path = tmp("fresh");
+        let (mut j, recs, rep) = Journal::open(&path, no_dead).unwrap();
+        assert!(recs.is_empty());
+        assert!(!rep.reinitialized);
+        j.append(b"alpha").unwrap();
+        j.append(b"beta").unwrap();
+        drop(j);
+
+        let (_, recs, rep) = Journal::open(&path, no_dead).unwrap();
+        assert_eq!(recs, vec![b"alpha".to_vec(), b"beta".to_vec()]);
+        assert_eq!(rep.records_recovered, 2);
+        assert_eq!(rep.bytes_truncated, 0);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated() {
+        let path = tmp("torn");
+        let (mut j, _, _) = Journal::open(&path, no_dead).unwrap();
+        j.append(b"complete-1").unwrap();
+        j.append(b"complete-2").unwrap();
+        drop(j);
+
+        // Simulate a torn write: append a record header + half a payload.
+        let mut raw = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        raw.write_all(&20u32.to_le_bytes()).unwrap();
+        raw.write_all(&0xdeadbeefu64.to_le_bytes()).unwrap();
+        raw.write_all(b"only-ten-b").unwrap();
+        drop(raw);
+
+        let before = std::fs::metadata(&path).unwrap().len();
+        let (mut j, recs, rep) = Journal::open(&path, no_dead).unwrap();
+        assert_eq!(recs, vec![b"complete-1".to_vec(), b"complete-2".to_vec()]);
+        assert_eq!(rep.bytes_truncated, 22);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), before - 22);
+
+        // The repaired journal accepts new appends that survive reload.
+        j.append(b"after-repair").unwrap();
+        drop(j);
+        let (_, recs, _) = Journal::open(&path, no_dead).unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[2], b"after-repair");
+    }
+
+    #[test]
+    fn corrupt_checksum_truncates_from_there() {
+        let path = tmp("crc");
+        let (mut j, _, _) = Journal::open(&path, no_dead).unwrap();
+        j.append(b"good").unwrap();
+        j.append(b"bad!").unwrap();
+        j.append(b"unreachable").unwrap();
+        drop(j);
+
+        // Flip one payload byte of the second record.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let second_payload = 12 + (12 + 4) + 12; // header + rec1 + rec2 framing
+        bytes[second_payload] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (_, recs, rep) = Journal::open(&path, no_dead).unwrap();
+        assert_eq!(
+            recs,
+            vec![b"good".to_vec()],
+            "everything after the corrupt record goes"
+        );
+        assert!(rep.bytes_truncated > 0);
+    }
+
+    #[test]
+    fn damaged_header_reinitializes() {
+        let path = tmp("header");
+        let (mut j, _, _) = Journal::open(&path, no_dead).unwrap();
+        j.append(b"x").unwrap();
+        drop(j);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] = b'X';
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (_, recs, rep) = Journal::open(&path, no_dead).unwrap();
+        assert!(recs.is_empty());
+        assert!(rep.reinitialized);
+    }
+
+    #[test]
+    fn compaction_drops_dead_records() {
+        let path = tmp("compact");
+        let (mut j, _, _) = Journal::open(&path, no_dead).unwrap();
+        for i in 0..6u8 {
+            j.append(&[b'k', i % 2]).unwrap(); // two keys, three versions each
+        }
+        drop(j);
+
+        // Everything but the last write of each key is dead.
+        let dead = |recs: &[Vec<u8>]| -> Vec<usize> {
+            let mut last = std::collections::HashMap::new();
+            for (i, r) in recs.iter().enumerate() {
+                last.insert(r.clone(), i);
+            }
+            (0..recs.len()).filter(|i| last[&recs[*i]] != *i).collect()
+        };
+        let (_, recs, rep) = Journal::open(&path, dead).unwrap();
+        assert!(rep.compacted);
+        assert_eq!(recs.len(), 2);
+
+        // Reload after compaction sees only live records and no re-compaction.
+        let (_, recs2, rep2) = Journal::open(&path, dead).unwrap();
+        assert_eq!(recs2, recs);
+        assert!(!rep2.compacted);
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let path = tmp("oversize");
+        let (mut j, _, _) = Journal::open(&path, no_dead).unwrap();
+        let big = vec![0u8; (MAX_RECORD_LEN as usize) + 1];
+        assert!(matches!(j.append(&big), Err(WacoError::InvalidConfig(_))));
+    }
+}

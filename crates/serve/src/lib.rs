@@ -1,0 +1,46 @@
+//! `waco-serve`: an online auto-tuning service with a persistent,
+//! fingerprint-keyed tuning cache.
+//!
+//! WACO's value proposition is amortization: train the cost model once,
+//! then answer "which format + schedule for *this* sparsity pattern"
+//! cheaply at deployment time. This crate turns the one-shot pipeline into
+//! a long-running service that amortizes further, BestFormat-style —
+//! decisions are reusable across structurally similar matrices, so they are
+//! cached under a sparsity [`Fingerprint`] and survive restarts:
+//!
+//! * [`fingerprint`] — a 128-bit digest of the sparsity structure (dims,
+//!   nnz, row/column nnz histograms, block-density statistics), FNV-1a
+//!   hashed over a canonical byte encoding.
+//! * [`lru`] + [`journal`] + [`cache`] — the two-tier [`TuningCache`]: a
+//!   sharded in-memory LRU (shards sized to the `waco-runtime` pool) over
+//!   an append-only, checksummed on-disk journal with corrupt-tail
+//!   truncation and compaction on load.
+//! * [`protocol`] + [`server`] + [`client`] — a localhost TCP request loop
+//!   speaking length-prefixed JSON (`tune` / `lookup` / `stats` /
+//!   `shutdown`) with a bounded admission queue, per-request timeouts, and
+//!   graceful drain.
+//! * [`tuner`] — the serving backend: lazily-trained [`waco_core::Waco`]
+//!   pipelines with warm-start ANNS index snapshots (`waco-anns`'
+//!   `persist` module).
+//!
+//! Everything is std-only, instrumented through `waco-obs`, and fallible
+//! through [`waco_core::WacoError`].
+
+pub mod cache;
+pub mod client;
+pub mod fingerprint;
+pub mod journal;
+pub mod json;
+pub mod lru;
+pub mod protocol;
+pub mod server;
+pub mod tuner;
+
+pub use cache::{CacheStats, Decision, TuningCache};
+pub use client::{Client, QueryReply};
+pub use fingerprint::Fingerprint;
+pub use journal::Journal;
+pub use json::Json;
+pub use lru::ShardedLru;
+pub use server::{ServeConfig, Server};
+pub use tuner::{Tuner, WacoTuner, WacoTunerConfig};

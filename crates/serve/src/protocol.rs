@@ -1,0 +1,325 @@
+//! The length-prefixed JSON wire protocol spoken by the serve loop.
+//!
+//! Frame format: a big-endian `u32` byte length followed by exactly that
+//! many bytes of UTF-8 JSON. One request frame yields one response frame on
+//! the same connection; connections may pipeline sequential requests.
+//!
+//! Requests (`op` selects the verb):
+//! * `{"op":"tune","kernel":"spmm","dense":32,"matrix":"<MatrixMarket>"}` —
+//!   fingerprint the matrix, serve from cache or tune and cache.
+//! * `{"op":"lookup",...}` — same key derivation, but never tunes.
+//! * `{"op":"stats"}` — cache and server counters.
+//! * `{"op":"shutdown"}` — begin graceful drain; the response is sent
+//!   before the listener closes.
+//!
+//! Responses always carry `"ok"`: `true` with verb-specific fields, or
+//! `false` with a one-line `"error"` (plus `"busy":true` when the admission
+//! queue rejected the request).
+
+use std::io::{Read, Write};
+
+use waco_core::WacoError;
+use waco_schedule::Kernel;
+
+use crate::cache::{decision_from_json, decision_to_json, kernel_from_name, Decision};
+use crate::json::Json;
+
+/// Largest accepted frame body (a matrix uploaded inline can be large, but
+/// not unbounded).
+pub const MAX_FRAME_LEN: u32 = 64 << 20;
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Tune (or serve from cache) a decision for an inline matrix.
+    Tune {
+        /// Kernel wire name already resolved.
+        kernel: Kernel,
+        /// Dense extent (columns of the dense operand; 0 for SpMV).
+        dense_extent: usize,
+        /// Matrix Market text of the sparse operand.
+        matrix: String,
+    },
+    /// Cache-only lookup for an inline matrix; never tunes.
+    Lookup {
+        /// Kernel wire name already resolved.
+        kernel: Kernel,
+        /// Dense extent.
+        dense_extent: usize,
+        /// Matrix Market text.
+        matrix: String,
+    },
+    /// Counter snapshot.
+    Stats,
+    /// Begin graceful drain.
+    Shutdown,
+}
+
+impl Request {
+    /// Parses a request frame body.
+    ///
+    /// # Errors
+    ///
+    /// [`WacoError::InvalidConfig`] with a one-line message suitable for an
+    /// error response.
+    pub fn from_json(v: &Json) -> Result<Request, WacoError> {
+        let op = v
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| WacoError::InvalidConfig("request missing `op`".into()))?;
+        let matrix_key = |v: &Json| -> Result<(Kernel, usize, String), WacoError> {
+            let kernel_name = v.get("kernel").and_then(Json::as_str).unwrap_or("spmm");
+            let kernel = kernel_from_name(kernel_name).ok_or_else(|| {
+                WacoError::InvalidConfig(format!("unknown kernel `{kernel_name}`"))
+            })?;
+            let dense_extent = match v.get("dense") {
+                None => {
+                    if kernel == Kernel::SpMV {
+                        0
+                    } else {
+                        32
+                    }
+                }
+                Some(d) => d.as_u64().ok_or_else(|| {
+                    WacoError::InvalidConfig("`dense` must be a non-negative integer".into())
+                })? as usize,
+            };
+            let matrix = v
+                .get("matrix")
+                .and_then(Json::as_str)
+                .ok_or_else(|| WacoError::InvalidConfig("request missing `matrix`".into()))?
+                .to_string();
+            Ok((kernel, dense_extent, matrix))
+        };
+        match op {
+            "tune" => {
+                let (kernel, dense_extent, matrix) = matrix_key(v)?;
+                Ok(Request::Tune {
+                    kernel,
+                    dense_extent,
+                    matrix,
+                })
+            }
+            "lookup" => {
+                let (kernel, dense_extent, matrix) = matrix_key(v)?;
+                Ok(Request::Lookup {
+                    kernel,
+                    dense_extent,
+                    matrix,
+                })
+            }
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(WacoError::InvalidConfig(format!("unknown op `{other}`"))),
+        }
+    }
+
+    /// The verb name, for spans and logs.
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Tune { .. } => "tune",
+            Request::Lookup { .. } => "lookup",
+            Request::Stats => "stats",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// Builds a `tune`/`lookup` request body (client side).
+pub fn request_json(op: &str, kernel: &str, dense_extent: usize, matrix: &str) -> Json {
+    Json::obj([
+        ("op", Json::str(op)),
+        ("kernel", Json::str(kernel)),
+        ("dense", Json::num(dense_extent as f64)),
+        ("matrix", Json::str(matrix)),
+    ])
+}
+
+/// Builds a success response for `tune`: the decision plus whether it came
+/// from cache.
+pub fn tune_response(decision: &Decision, cached: bool) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("cached", Json::Bool(cached)),
+        ("decision", decision_to_json(decision)),
+    ])
+}
+
+/// Builds a success response for `lookup`.
+pub fn lookup_response(decision: Option<&Decision>) -> Json {
+    match decision {
+        Some(d) => Json::obj([
+            ("ok", Json::Bool(true)),
+            ("found", Json::Bool(true)),
+            ("decision", decision_to_json(d)),
+        ]),
+        None => Json::obj([("ok", Json::Bool(true)), ("found", Json::Bool(false))]),
+    }
+}
+
+/// Builds an error response; `busy` marks admission-queue rejection so
+/// clients can distinguish overload from a bad request.
+pub fn error_response(message: &str, busy: bool) -> Json {
+    let mut fields = vec![("ok", Json::Bool(false)), ("error", Json::str(message))];
+    if busy {
+        fields.push(("busy", Json::Bool(true)));
+    }
+    Json::obj(fields)
+}
+
+/// Extracts the decision from a `tune`/`lookup` response body (client side).
+pub fn response_decision(v: &Json) -> Option<Decision> {
+    decision_from_json(v.get("decision")?)
+}
+
+/// Writes one frame: `u32` BE length + JSON bytes.
+///
+/// # Errors
+///
+/// [`WacoError::Io`].
+pub fn write_frame(w: &mut impl Write, body: &Json) -> Result<(), WacoError> {
+    let text = body.to_string();
+    let bytes = text.as_bytes();
+    if bytes.len() as u64 > MAX_FRAME_LEN as u64 {
+        return Err(WacoError::InvalidConfig(format!(
+            "frame of {} bytes exceeds the {} byte cap",
+            bytes.len(),
+            MAX_FRAME_LEN
+        )));
+    }
+    let mut buf = Vec::with_capacity(4 + bytes.len());
+    buf.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+    buf.extend_from_slice(bytes);
+    w.write_all(&buf)
+        .and_then(|()| w.flush())
+        .map_err(|e| WacoError::io("writing protocol frame", e))
+}
+
+/// Reads one frame. Returns `Ok(None)` on clean EOF before the length
+/// prefix (peer closed between requests).
+///
+/// # Errors
+///
+/// [`WacoError::Io`] on truncated frames or socket errors,
+/// [`WacoError::InvalidConfig`] on oversized frames or malformed JSON.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Json>, WacoError> {
+    let mut len_buf = [0u8; 4];
+    match r.read(&mut len_buf) {
+        Ok(0) => return Ok(None),
+        Ok(n) => {
+            r.read_exact(&mut len_buf[n..])
+                .map_err(|e| WacoError::io("reading frame length", e))?;
+        }
+        Err(e) => return Err(WacoError::io("reading frame length", e)),
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME_LEN {
+        return Err(WacoError::InvalidConfig(format!(
+            "frame of {len} bytes exceeds the {MAX_FRAME_LEN} byte cap"
+        )));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)
+        .map_err(|e| WacoError::io("reading frame body", e))?;
+    let text = std::str::from_utf8(&body)
+        .map_err(|_| WacoError::InvalidConfig("frame body is not UTF-8".into()))?;
+    Json::parse(text)
+        .map(Some)
+        .map_err(|e| WacoError::InvalidConfig(format!("frame body is not JSON: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let body = request_json(
+            "tune",
+            "spmm",
+            32,
+            "%%MatrixMarket matrix\n1 1 1\n1 1 1.0\n",
+        );
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &body).unwrap();
+        assert_eq!(&buf[..4], &(buf.len() as u32 - 4).to_be_bytes());
+        let mut cursor = &buf[..];
+        let back = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(back, body);
+        // Clean EOF after the frame.
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_frame_errors() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Json::obj([("op", Json::str("stats"))])).unwrap();
+        let mut cursor = &buf[..buf.len() - 3];
+        assert!(matches!(read_frame(&mut cursor), Err(WacoError::Io { .. })));
+    }
+
+    #[test]
+    fn oversized_frame_rejected_on_read() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME_LEN + 1).to_be_bytes());
+        let mut cursor = &buf[..];
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(WacoError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn request_parsing() {
+        let v = request_json("tune", "spmv", 0, "m");
+        let r = Request::from_json(&v).unwrap();
+        assert_eq!(r.op(), "tune");
+        assert!(matches!(
+            r,
+            Request::Tune {
+                kernel: Kernel::SpMV,
+                dense_extent: 0,
+                ..
+            }
+        ));
+
+        let stats = Request::from_json(&Json::obj([("op", Json::str("stats"))])).unwrap();
+        assert_eq!(stats, Request::Stats);
+
+        // Defaults: kernel spmm, dense 32.
+        let v = Json::obj([("op", Json::str("lookup")), ("matrix", Json::str("m"))]);
+        assert!(matches!(
+            Request::from_json(&v).unwrap(),
+            Request::Lookup {
+                kernel: Kernel::SpMM,
+                dense_extent: 32,
+                ..
+            }
+        ));
+
+        for bad in [
+            Json::obj([]),
+            Json::obj([("op", Json::str("fly"))]),
+            Json::obj([("op", Json::str("tune"))]),
+            Json::obj([
+                ("op", Json::str("tune")),
+                ("kernel", Json::str("gemm")),
+                ("matrix", Json::str("m")),
+            ]),
+        ] {
+            assert!(matches!(
+                Request::from_json(&bad),
+                Err(WacoError::InvalidConfig(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn error_response_shape() {
+        let e = error_response("server busy", true);
+        assert_eq!(e.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(e.get("busy").unwrap().as_bool(), Some(true));
+        let e = error_response("bad request", false);
+        assert!(e.get("busy").is_none());
+    }
+}

@@ -1,0 +1,510 @@
+//! The request loop: a localhost TCP listener, a bounded admission queue,
+//! a worker pool, and graceful drain.
+//!
+//! Life of a request:
+//!
+//! 1. The acceptor thread accepts a connection and `try_send`s it into a
+//!    bounded channel sized by [`ServeConfig`]'s `queue_depth`. A full
+//!    queue rejects the connection immediately with a `busy` error frame —
+//!    overload sheds load at the door instead of queueing unboundedly.
+//! 2. A worker dequeues the connection. If it waited longer than the
+//!    per-request timeout, the worker answers with a timeout error and
+//!    closes. Otherwise it serves frames until the peer closes (socket
+//!    read/write timeouts bound each frame).
+//! 3. `tune` requests fingerprint the matrix, consult the two-tier cache,
+//!    and only fall through to the [`Tuner`] on a miss; the tuner's
+//!    data-parallel work runs on the shared `waco-runtime` pool.
+//! 4. A `shutdown` request (or [`Server::begin_shutdown`]) flips the drain
+//!    flag and pokes the listener; the acceptor stops, the channel sender
+//!    drops, workers drain what was admitted, and [`Server::wait`] joins
+//!    everything. The journal is synced on the way out.
+//!
+//! Every stage is observable: `serve.requests`, `serve.rejected_busy`,
+//! `serve.rejected_timeout`, a `serve.queue.depth` histogram, and a span
+//! per request op.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use waco_core::WacoError;
+use waco_runtime::ThreadPool;
+use waco_tensor::io::read_matrix_market;
+
+use crate::cache::{Decision, TuningCache};
+use crate::fingerprint::Fingerprint;
+use crate::json::Json;
+use crate::protocol::{
+    error_response, lookup_response, read_frame, tune_response, write_frame, Request,
+};
+use crate::tuner::Tuner;
+
+/// Validated server configuration. Construct via [`ServeConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    addr: SocketAddr,
+    cache_dir: PathBuf,
+    cache_capacity: usize,
+    workers: usize,
+    queue_depth: usize,
+    timeout: Duration,
+}
+
+impl ServeConfig {
+    /// Starts a builder with localhost defaults (ephemeral port, 1024-entry
+    /// cache, workers = min(4, pool participants), queue depth 64, 30 s
+    /// timeout).
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            addr: "127.0.0.1:0".to_string(),
+            cache_dir: None,
+            cache_capacity: 1024,
+            workers: ThreadPool::global().max_participants().min(4),
+            queue_depth: 64,
+            timeout_secs: 30.0,
+        }
+    }
+
+    /// The configured bind address (port 0 = ephemeral).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The cache directory.
+    pub fn cache_dir(&self) -> &PathBuf {
+        &self.cache_dir
+    }
+}
+
+/// Validating builder for [`ServeConfig`].
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    addr: String,
+    cache_dir: Option<PathBuf>,
+    cache_capacity: usize,
+    workers: usize,
+    queue_depth: usize,
+    timeout_secs: f64,
+}
+
+impl ServeConfigBuilder {
+    /// Bind address, e.g. `127.0.0.1:7077`. Must be a loopback address.
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Directory holding the tuning journal (and, via the tuner, index
+    /// snapshots). Required.
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// In-memory cache capacity (entries).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Number of worker threads serving connections.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Admission queue depth (connections awaiting a worker).
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Per-request timeout in seconds (queue wait + socket I/O).
+    pub fn timeout_secs(mut self, secs: f64) -> Self {
+        self.timeout_secs = secs;
+        self
+    }
+
+    /// Validates and builds.
+    ///
+    /// # Errors
+    ///
+    /// [`WacoError::InvalidConfig`] for a missing cache dir, a non-loopback
+    /// or unparseable address, zero workers/queue/capacity, or a
+    /// non-positive timeout.
+    pub fn build(self) -> Result<ServeConfig, WacoError> {
+        let addr: SocketAddr = self.addr.parse().map_err(|_| {
+            WacoError::InvalidConfig(format!(
+                "serve.addr `{}` is not a socket address",
+                self.addr
+            ))
+        })?;
+        if !addr.ip().is_loopback() {
+            return Err(WacoError::InvalidConfig(format!(
+                "serve.addr `{addr}` is not a loopback address; the tuning service is localhost-only"
+            )));
+        }
+        let cache_dir = self
+            .cache_dir
+            .ok_or_else(|| WacoError::InvalidConfig("serve.cache_dir is required".into()))?;
+        if self.cache_capacity == 0 {
+            return Err(WacoError::InvalidConfig(
+                "serve.cache_capacity must be at least 1".into(),
+            ));
+        }
+        if self.workers == 0 {
+            return Err(WacoError::InvalidConfig(
+                "serve.workers must be at least 1".into(),
+            ));
+        }
+        if self.queue_depth == 0 {
+            return Err(WacoError::InvalidConfig(
+                "serve.queue_depth must be at least 1".into(),
+            ));
+        }
+        if !(self.timeout_secs > 0.0 && self.timeout_secs.is_finite()) {
+            return Err(WacoError::InvalidConfig(format!(
+                "serve.timeout_secs must be positive and finite, got {}",
+                self.timeout_secs
+            )));
+        }
+        Ok(ServeConfig {
+            addr,
+            cache_dir,
+            cache_capacity: self.cache_capacity,
+            workers: self.workers,
+            queue_depth: self.queue_depth,
+            timeout: Duration::from_secs_f64(self.timeout_secs),
+        })
+    }
+}
+
+/// Shared server state.
+struct Shared {
+    cache: TuningCache,
+    tuner: Arc<dyn Tuner>,
+    shutdown: AtomicBool,
+    queue_len: AtomicUsize,
+    requests: AtomicU64,
+    busy_rejects: AtomicU64,
+    timeout_rejects: AtomicU64,
+    timeout: Duration,
+}
+
+/// A running tuning server.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("local_addr", &self.local_addr)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Binds, opens the cache, and starts the acceptor + workers.
+    ///
+    /// # Errors
+    ///
+    /// [`WacoError::Io`] when the bind or the cache open fails.
+    pub fn start(config: ServeConfig, tuner: Arc<dyn Tuner>) -> Result<Server, WacoError> {
+        let _span = waco_obs::span("serve.start");
+        let cache = TuningCache::open(
+            config.cache_dir.join("tuning.journal"),
+            config.cache_capacity,
+        )?;
+        let listener = TcpListener::bind(config.addr)
+            .map_err(|e| WacoError::io(format!("binding {}", config.addr), e))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| WacoError::io("reading bound address", e))?;
+
+        let shared = Arc::new(Shared {
+            cache,
+            tuner,
+            shutdown: AtomicBool::new(false),
+            queue_len: AtomicUsize::new(0),
+            requests: AtomicU64::new(0),
+            busy_rejects: AtomicU64::new(0),
+            timeout_rejects: AtomicU64::new(0),
+            timeout: config.timeout,
+        });
+
+        let (tx, rx) = sync_channel::<(TcpStream, Instant)>(config.queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let mut workers = Vec::with_capacity(config.workers);
+        for _ in 0..config.workers {
+            let shared = Arc::clone(&shared);
+            let rx = Arc::clone(&rx);
+            workers.push(std::thread::spawn(move || worker_loop(&shared, &rx)));
+        }
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    waco_obs::record(
+                        "serve.queue.depth",
+                        shared.queue_len.load(Ordering::Relaxed) as f64,
+                    );
+                    match tx.try_send((stream, Instant::now())) {
+                        Ok(()) => {
+                            shared.queue_len.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(TrySendError::Full((mut stream, _))) => {
+                            shared.busy_rejects.fetch_add(1, Ordering::Relaxed);
+                            waco_obs::counter("serve.rejected_busy", 1);
+                            let _ = write_frame(
+                                &mut stream,
+                                &error_response("server busy: admission queue full", true),
+                            );
+                        }
+                        Err(TrySendError::Disconnected(_)) => break,
+                    }
+                }
+                // Dropping `tx` lets workers drain the queue and exit.
+            })
+        };
+
+        Ok(Server {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The actual bound address (resolves an ephemeral port request).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Flips the drain flag and unblocks the acceptor. Idempotent;
+    /// [`Server::wait`] completes the drain.
+    pub fn begin_shutdown(&self) {
+        begin_shutdown(&self.shared, self.local_addr);
+    }
+
+    /// Waits for drain: joins the acceptor and every worker, then syncs the
+    /// journal.
+    ///
+    /// # Errors
+    ///
+    /// [`WacoError::Io`] if the final journal sync fails.
+    pub fn wait(mut self) -> Result<(), WacoError> {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.shared.cache.sync()
+    }
+}
+
+fn begin_shutdown(shared: &Shared, local_addr: SocketAddr) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    waco_obs::counter("serve.shutdowns", 1);
+    // Poke the blocking accept so the acceptor observes the flag.
+    let _ = TcpStream::connect(local_addr);
+}
+
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<(TcpStream, Instant)>>) {
+    loop {
+        let msg = rx.lock().expect("queue lock poisoned").recv();
+        let Ok((stream, admitted)) = msg else {
+            return; // sender dropped and queue drained
+        };
+        shared.queue_len.fetch_sub(1, Ordering::Relaxed);
+        if admitted.elapsed() > shared.timeout {
+            shared.timeout_rejects.fetch_add(1, Ordering::Relaxed);
+            waco_obs::counter("serve.rejected_timeout", 1);
+            let mut stream = stream;
+            let _ = write_frame(
+                &mut stream,
+                &error_response("request timed out waiting for a worker", false),
+            );
+            continue;
+        }
+        serve_connection(shared, stream);
+    }
+}
+
+fn serve_connection(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(shared.timeout));
+    let _ = stream.set_write_timeout(Some(shared.timeout));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let body = match read_frame(&mut reader) {
+            Ok(Some(b)) => b,
+            Ok(None) => return, // peer closed cleanly
+            Err(WacoError::InvalidConfig(msg)) => {
+                // Malformed frame: answer, then close (framing is lost).
+                let _ = write_frame(&mut writer, &error_response(&msg, false));
+                return;
+            }
+            Err(_) => return, // socket error or timeout
+        };
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        waco_obs::counter("serve.requests", 1);
+        let started = Instant::now();
+        let (response, shutdown) = handle_body(shared, &body);
+        waco_obs::record("serve.request_seconds", started.elapsed().as_secs_f64());
+        if write_frame(&mut writer, &response).is_err() {
+            return;
+        }
+        if shutdown {
+            // The local address is recoverable from the connection itself.
+            if let Ok(addr) = writer.local_addr() {
+                begin_shutdown(shared, addr);
+            }
+            return;
+        }
+    }
+}
+
+/// Dispatches one request body; returns the response and whether this was a
+/// shutdown request.
+fn handle_body(shared: &Shared, body: &Json) -> (Json, bool) {
+    let req = match Request::from_json(body) {
+        Ok(r) => r,
+        Err(e) => return (error_response(&e.to_string(), false), false),
+    };
+    let _span = waco_obs::span_owned(format!("serve.request.{}", req.op()));
+    match req {
+        Request::Tune {
+            kernel,
+            dense_extent,
+            matrix,
+        } => (handle_tune(shared, kernel, dense_extent, &matrix), false),
+        Request::Lookup {
+            kernel,
+            dense_extent,
+            matrix,
+        } => (handle_lookup(shared, kernel, dense_extent, &matrix), false),
+        Request::Stats => (stats_response(shared), false),
+        Request::Shutdown => (
+            Json::obj([("ok", Json::Bool(true)), ("draining", Json::Bool(true))]),
+            true,
+        ),
+    }
+}
+
+fn handle_tune(
+    shared: &Shared,
+    kernel: waco_schedule::Kernel,
+    dense_extent: usize,
+    matrix: &str,
+) -> Json {
+    let (m, fp) = match parse_and_fingerprint(matrix) {
+        Ok(v) => v,
+        Err(e) => return error_response(&e, false),
+    };
+    if let Some(decision) = shared.cache.lookup(fp, kernel, dense_extent) {
+        return tune_response(&decision, true);
+    }
+    match shared.tuner.tune(&m, kernel, dense_extent) {
+        Ok(outcome) => {
+            let decision = Decision {
+                fingerprint: fp,
+                kernel,
+                dense_extent,
+                schedule: outcome.schedule,
+                kernel_seconds: outcome.kernel_seconds,
+                tuning_seconds: outcome.tuning_seconds,
+            };
+            if let Err(e) = shared.cache.insert(decision.clone()) {
+                // The decision is still valid; degraded durability is worth
+                // reporting but not worth failing the request.
+                waco_obs::counter("serve.cache.insert_failures", 1);
+                let _ = e;
+            }
+            tune_response(&decision, false)
+        }
+        Err(e) => error_response(&e.to_string(), false),
+    }
+}
+
+fn handle_lookup(
+    shared: &Shared,
+    kernel: waco_schedule::Kernel,
+    dense_extent: usize,
+    matrix: &str,
+) -> Json {
+    match parse_and_fingerprint(matrix) {
+        Ok((_m, fp)) => lookup_response(shared.cache.lookup(fp, kernel, dense_extent).as_ref()),
+        Err(e) => error_response(&e, false),
+    }
+}
+
+fn parse_and_fingerprint(matrix: &str) -> Result<(waco_tensor::CooMatrix, Fingerprint), String> {
+    let m =
+        read_matrix_market(matrix.as_bytes()).map_err(|e| format!("parsing inline matrix: {e}"))?;
+    let fp = Fingerprint::of_matrix(&m);
+    Ok((m, fp))
+}
+
+fn stats_response(shared: &Shared) -> Json {
+    let cache = shared.cache.stats();
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        (
+            "cache",
+            Json::obj([
+                ("hits", Json::num(cache.hits as f64)),
+                ("misses", Json::num(cache.misses as f64)),
+                ("inserts", Json::num(cache.inserts as f64)),
+                ("resident", Json::num(cache.resident as f64)),
+                ("replayed", Json::num(cache.replayed as f64)),
+                ("capacity", Json::num(shared.cache.capacity() as f64)),
+            ]),
+        ),
+        (
+            "server",
+            Json::obj([
+                (
+                    "requests",
+                    Json::num(shared.requests.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "rejected_busy",
+                    Json::num(shared.busy_rejects.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "rejected_timeout",
+                    Json::num(shared.timeout_rejects.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "queue_len",
+                    Json::num(shared.queue_len.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "draining",
+                    Json::Bool(shared.shutdown.load(Ordering::SeqCst)),
+                ),
+            ]),
+        ),
+    ])
+}

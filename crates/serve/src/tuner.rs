@@ -1,0 +1,224 @@
+//! The tuning backend behind the serve loop.
+//!
+//! [`Tuner`] abstracts "given a matrix and a kernel instance, produce a
+//! decision" so the server, tests, and benches can swap backends. The
+//! production backend is [`WacoTuner`]: a lazily-trained [`Waco`] pipeline
+//! per `(kernel, dense extent)` pair, sharing one simulated machine and one
+//! training corpus, with optional model checkpoints and on-disk ANNS index
+//! snapshots for warm starts.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use waco_core::{Waco, WacoConfig, WacoError};
+use waco_schedule::{Kernel, SuperSchedule};
+use waco_sim::{MachineConfig, Simulator};
+use waco_tensor::{gen, CooMatrix};
+
+/// What a tuner produces for one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunedOutcome {
+    /// The winning format + schedule.
+    pub schedule: SuperSchedule,
+    /// Simulated time of one tuned kernel invocation, seconds.
+    pub kernel_seconds: f64,
+    /// Simulated tuning cost, seconds.
+    pub tuning_seconds: f64,
+}
+
+/// A tuning backend.
+pub trait Tuner: Send + Sync {
+    /// Tunes `m` for `kernel` with the given dense extent.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific [`WacoError`]s; the server maps them to error
+    /// responses without dropping the connection.
+    fn tune(
+        &self,
+        m: &CooMatrix,
+        kernel: Kernel,
+        dense_extent: usize,
+    ) -> Result<TunedOutcome, WacoError>;
+}
+
+/// Construction parameters for [`WacoTuner`].
+#[derive(Debug, Clone)]
+pub struct WacoTunerConfig {
+    /// End-to-end WACO configuration for each lazily-trained pipeline.
+    pub waco: WacoConfig,
+    /// Training corpus shape: `(families, base_size)` fed to
+    /// [`waco_tensor::gen::corpus`] with the config's seed.
+    pub corpus: (usize, usize),
+    /// Optional cost-model checkpoint applied after training.
+    pub checkpoint: Option<PathBuf>,
+    /// Optional directory for ANNS index snapshots
+    /// ([`Waco::set_index_cache`]); a warm server skips graph construction.
+    pub index_cache: Option<PathBuf>,
+}
+
+impl Default for WacoTunerConfig {
+    fn default() -> Self {
+        WacoTunerConfig {
+            waco: WacoConfig::tiny(),
+            corpus: (4, 24),
+            checkpoint: None,
+            index_cache: None,
+        }
+    }
+}
+
+/// The production [`Tuner`]: one [`Waco`] pipeline per `(kernel, dense
+/// extent)` pair, trained on first use.
+///
+/// Pipelines live behind a single mutex, so tuning requests serialize here;
+/// the data-parallel work inside each `tune_matrix` call still fans out on
+/// the shared `waco-runtime` pool, and cache hits in the serving layer never
+/// take this lock — which is exactly the amortization the cache exists for.
+pub struct WacoTuner {
+    cfg: WacoTunerConfig,
+    pipelines: Mutex<HashMap<(Kernel, usize), Waco>>,
+}
+
+impl std::fmt::Debug for WacoTuner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WacoTuner").field("cfg", &self.cfg).finish()
+    }
+}
+
+impl WacoTuner {
+    /// Creates the tuner; training happens lazily per kernel instance.
+    pub fn new(cfg: WacoTunerConfig) -> Self {
+        WacoTuner {
+            cfg,
+            pipelines: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Eagerly trains (or restores) the pipeline for one kernel instance —
+    /// servers call this at startup so the first request doesn't pay the
+    /// training cost.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Tuner::tune`].
+    pub fn warm_up(&self, kernel: Kernel, dense_extent: usize) -> Result<(), WacoError> {
+        let mut pipelines = self.pipelines.lock().expect("tuner lock poisoned");
+        self.pipeline_for(&mut pipelines, kernel, dense_extent)?;
+        Ok(())
+    }
+
+    fn pipeline_for<'a>(
+        &self,
+        pipelines: &'a mut HashMap<(Kernel, usize), Waco>,
+        kernel: Kernel,
+        dense_extent: usize,
+    ) -> Result<&'a mut Waco, WacoError> {
+        if kernel == Kernel::MTTKRP {
+            return Err(WacoError::WrongKernel {
+                kernel,
+                expected: "a 2-D kernel (the serve protocol tunes matrices)",
+            });
+        }
+        match pipelines.entry((kernel, dense_extent)) {
+            Entry::Occupied(e) => Ok(e.into_mut()),
+            Entry::Vacant(e) => {
+                let _span = waco_obs::span("serve.tuner.train");
+                let sim = Simulator::new(MachineConfig::xeon_like());
+                let (families, base) = self.cfg.corpus;
+                let corpus = gen::corpus(families, base, self.cfg.waco.seed);
+                let (mut waco, _stats) =
+                    Waco::train_2d(sim, kernel, &corpus, dense_extent, self.cfg.waco)?;
+                if let Some(ckpt) = &self.cfg.checkpoint {
+                    waco.load_checkpoint(ckpt)?;
+                }
+                if let Some(dir) = &self.cfg.index_cache {
+                    waco.set_index_cache(dir.clone());
+                }
+                waco_obs::counter("serve.tuner.pipelines_trained", 1);
+                Ok(e.insert(waco))
+            }
+        }
+    }
+}
+
+impl Tuner for WacoTuner {
+    fn tune(
+        &self,
+        m: &CooMatrix,
+        kernel: Kernel,
+        dense_extent: usize,
+    ) -> Result<TunedOutcome, WacoError> {
+        let _span = waco_obs::span("serve.tuner.tune");
+        let mut pipelines = self.pipelines.lock().expect("tuner lock poisoned");
+        let waco = self.pipeline_for(&mut pipelines, kernel, dense_extent)?;
+        let tuned = waco.tune_matrix(m)?;
+        Ok(TunedOutcome {
+            schedule: tuned.result.sched,
+            kernel_seconds: tuned.result.kernel_seconds,
+            tuning_seconds: tuned.result.tuning_seconds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waco_tensor::gen::Rng64;
+
+    #[test]
+    fn tunes_and_reuses_pipeline() {
+        let tuner = WacoTuner::new(WacoTunerConfig::default());
+        let mut rng = Rng64::seed_from(11);
+        let m = gen::uniform_random(24, 24, 0.1, &mut rng);
+        let a = tuner.tune(&m, Kernel::SpMV, 0).unwrap();
+        assert!(a.kernel_seconds > 0.0);
+        // Second call reuses the trained pipeline and is deterministic.
+        let b = tuner.tune(&m, Kernel::SpMV, 0).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(tuner.pipelines.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn mttkrp_is_rejected() {
+        let tuner = WacoTuner::new(WacoTunerConfig::default());
+        let m = gen::mesh2d(4, 4);
+        assert!(matches!(
+            tuner.tune(&m, Kernel::MTTKRP, 8),
+            Err(WacoError::WrongKernel { .. })
+        ));
+    }
+
+    #[test]
+    fn index_cache_warm_start_matches_cold() {
+        let dir = std::env::temp_dir().join(format!("waco-tuner-warm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = WacoTunerConfig {
+            index_cache: Some(dir.clone()),
+            ..WacoTunerConfig::default()
+        };
+        let mut rng = Rng64::seed_from(12);
+        let m = gen::uniform_random(24, 24, 0.08, &mut rng);
+
+        let cold = WacoTuner::new(cfg.clone());
+        let a = cold.tune(&m, Kernel::SpMV, 0).unwrap();
+        let snapshots: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert!(
+            snapshots
+                .iter()
+                .any(|n| n.to_string_lossy().ends_with(".anns")),
+            "cold tune must write an index snapshot, found {snapshots:?}"
+        );
+
+        // A fresh tuner (same seed → same weights) loads the snapshot and
+        // produces the identical decision.
+        let warm = WacoTuner::new(cfg);
+        let b = warm.tune(&m, Kernel::SpMV, 0).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,223 @@
+//! End-to-end tests of the serving layer: a real listener on an ephemeral
+//! loopback port, a real client, and a journal-backed restart.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use waco_serve::json::Json;
+use waco_serve::{Client, ServeConfig, Server, WacoTuner, WacoTunerConfig};
+use waco_tensor::gen::{self, Rng64};
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("waco-serve-e2e-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn start_server(cache_dir: &PathBuf) -> Server {
+    let cfg = ServeConfig::builder()
+        .addr("127.0.0.1:0")
+        .cache_dir(cache_dir)
+        .workers(2)
+        .timeout_secs(60.0)
+        .build()
+        .unwrap();
+    let tuner = Arc::new(WacoTuner::new(WacoTunerConfig {
+        index_cache: Some(cache_dir.join("index")),
+        ..WacoTunerConfig::default()
+    }));
+    Server::start(cfg, tuner).unwrap()
+}
+
+fn connect(server: &Server) -> Client {
+    Client::connect(&server.local_addr().to_string(), Duration::from_secs(60)).unwrap()
+}
+
+#[test]
+fn tune_hits_cache_and_survives_restart() {
+    let dir = tmp_dir("restart");
+    let mut rng = Rng64::seed_from(21);
+    let m = gen::uniform_random(24, 24, 0.1, &mut rng);
+
+    let first_decision;
+    {
+        let server = start_server(&dir);
+        let mut client = connect(&server);
+
+        // Unknown matrix: lookup misses, tune computes.
+        let miss = client.lookup(&m, "spmv", 0).unwrap();
+        assert!(!miss.cached);
+        assert!(miss.decision.is_none());
+
+        let cold = client.tune(&m, "spmv", 0).unwrap();
+        assert!(!cold.cached, "first tune must be computed");
+        let d = cold.decision.expect("tune returns a decision");
+        assert!(d.kernel_seconds > 0.0);
+        first_decision = d;
+
+        // Same matrix again: served from cache, identical decision.
+        let warm = client.tune(&m, "spmv", 0).unwrap();
+        assert!(warm.cached, "second tune must be a cache hit");
+        assert_eq!(warm.decision.unwrap(), first_decision);
+
+        // The hit is observable in stats.
+        let stats = client.stats().unwrap();
+        let cache = stats.get("cache").unwrap();
+        assert!(cache.get("hits").unwrap().as_u64().unwrap() >= 1);
+        assert_eq!(cache.get("inserts").unwrap().as_u64(), Some(1));
+
+        client.shutdown().unwrap();
+        server.wait().unwrap();
+    }
+
+    // Restart from the journal: lookup answers without re-tuning.
+    {
+        let server = start_server(&dir);
+        let mut client = connect(&server);
+        let stats = client.stats().unwrap();
+        assert!(
+            stats
+                .get("cache")
+                .unwrap()
+                .get("replayed")
+                .unwrap()
+                .as_u64()
+                .unwrap()
+                >= 1,
+            "journal must replay the decision"
+        );
+        let found = client.lookup(&m, "spmv", 0).unwrap();
+        assert!(
+            found.cached,
+            "restarted server must answer from the journal"
+        );
+        assert_eq!(found.decision.unwrap(), first_decision);
+        client.shutdown().unwrap();
+        server.wait().unwrap();
+    }
+}
+
+#[test]
+fn concurrent_clients_agree() {
+    let dir = tmp_dir("concurrent");
+    let server = start_server(&dir);
+
+    // Pre-tune one matrix so threads exercise the hit path concurrently.
+    let mut rng = Rng64::seed_from(22);
+    let m = gen::uniform_random(24, 24, 0.08, &mut rng);
+    let baseline = {
+        let mut client = connect(&server);
+        client.tune(&m, "spmv", 0).unwrap().decision.unwrap()
+    };
+
+    let addr = server.local_addr().to_string();
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let addr = addr.clone();
+            let m = m.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr, Duration::from_secs(60)).unwrap();
+                client.tune(&m, "spmv", 0).unwrap()
+            })
+        })
+        .collect();
+    for h in handles {
+        let reply = h.join().unwrap();
+        assert!(reply.cached);
+        assert_eq!(reply.decision.unwrap(), baseline);
+    }
+
+    let mut client = connect(&server);
+    let stats = client.stats().unwrap();
+    assert!(
+        stats
+            .get("cache")
+            .unwrap()
+            .get("hits")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            >= 8
+    );
+    client.shutdown().unwrap();
+    server.wait().unwrap();
+}
+
+#[test]
+fn malformed_requests_get_error_responses() {
+    let dir = tmp_dir("malformed");
+    let server = start_server(&dir);
+    let mut client = connect(&server);
+
+    // Unknown op.
+    let reply = client
+        .roundtrip(&Json::obj([("op", Json::str("dance"))]))
+        .unwrap();
+    assert_eq!(reply.get("ok").unwrap().as_bool(), Some(false));
+    assert!(reply
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("dance"));
+
+    // Tune with an unparseable matrix: error response, connection stays up.
+    let reply = client
+        .roundtrip(&waco_serve::protocol::request_json(
+            "tune",
+            "spmv",
+            0,
+            "not a matrix",
+        ))
+        .unwrap();
+    assert_eq!(reply.get("ok").unwrap().as_bool(), Some(false));
+
+    // The same connection still serves valid requests afterwards.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.get("ok").unwrap().as_bool(), Some(true));
+
+    client.shutdown().unwrap();
+    server.wait().unwrap();
+}
+
+#[test]
+fn builder_rejects_bad_config() {
+    for (build, what) in [
+        (
+            ServeConfig::builder().cache_dir("/tmp/x").addr("8.8.8.8:1"),
+            "non-loopback",
+        ),
+        (
+            ServeConfig::builder()
+                .cache_dir("/tmp/x")
+                .addr("not-an-addr"),
+            "unparseable",
+        ),
+        (ServeConfig::builder(), "missing cache dir"),
+        (
+            ServeConfig::builder().cache_dir("/tmp/x").workers(0),
+            "zero workers",
+        ),
+        (
+            ServeConfig::builder().cache_dir("/tmp/x").queue_depth(0),
+            "zero queue",
+        ),
+        (
+            ServeConfig::builder().cache_dir("/tmp/x").cache_capacity(0),
+            "zero capacity",
+        ),
+        (
+            ServeConfig::builder().cache_dir("/tmp/x").timeout_secs(0.0),
+            "zero timeout",
+        ),
+    ] {
+        assert!(
+            matches!(build.build(), Err(waco_core::WacoError::InvalidConfig(_))),
+            "{what} must be rejected"
+        );
+    }
+    // And a valid one passes.
+    assert!(ServeConfig::builder().cache_dir("/tmp/x").build().is_ok());
+}

@@ -122,10 +122,13 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CooMatrix> {
         }
         let v: Value = match field {
             Field::Pattern => 1.0,
+            // Parse directly at `Value` precision: the writer emits
+            // shortest-round-trip `Value` decimals, and a correctly rounded
+            // parse at the same width makes write→read bit-exact (parsing
+            // as f64 and narrowing would double-round).
             Field::Real | Field::Integer => parts[2]
-                .parse::<f64>()
-                .map_err(|_| parse_err(lineno, format!("bad value `{}`", parts[2])))?
-                as Value,
+                .parse::<Value>()
+                .map_err(|_| parse_err(lineno, format!("bad value `{}`", parts[2])))?,
         };
         let (r, c) = (r - 1, c - 1);
         triplets.push((r, c, v));

@@ -1,0 +1,124 @@
+//! Fuzzed round-trip properties of the Matrix Market reader/writer pair:
+//! `read(write(m))` must be the identity (bit-exact values), comment and
+//! blank lines must be transparent, `pattern` files must read as unit
+//! values on the same pattern, and the 1-based coordinate contract must be
+//! enforced.
+
+use waco_check::props;
+use waco_tensor::gen::{self, Rng64};
+use waco_tensor::io::{read_matrix_market, write_matrix_market};
+use waco_tensor::CooMatrix;
+
+fn mtx_text(m: &CooMatrix) -> String {
+    let mut buf = Vec::new();
+    write_matrix_market(&mut buf, m).expect("write to memory");
+    String::from_utf8(buf).expect("matrix market output is ASCII")
+}
+
+props! {
+    /// write→read preserves shape, pattern, and every value bit-exactly.
+    /// (The writer emits shortest-round-trip decimals and the reader parses
+    /// at the same precision, so there is no tolerance here.)
+    cases = 48,
+    fn write_read_is_identity(nrows in 1usize..96, ncols in 1usize..96,
+                              dens_pm in 0usize..300, seed in 0u64..1_000_000) {
+        let mut rng = Rng64::seed_from(seed);
+        let m = gen::uniform_random(nrows, ncols, dens_pm as f64 / 1000.0, &mut rng);
+        let back = read_matrix_market(mtx_text(&m).as_bytes()).expect("reads back");
+        assert_eq!(back.nrows(), m.nrows());
+        assert_eq!(back.ncols(), m.ncols());
+        assert_eq!(back.nnz(), m.nnz());
+        for ((r0, c0, v0), (r1, c1, v1)) in m.iter().zip(back.iter()) {
+            assert_eq!((r0, c0), (r1, c1));
+            assert_eq!(v0.to_bits(), v1.to_bits(), "value drift at ({r0},{c0})");
+        }
+    }
+
+    /// Comment and blank lines injected anywhere after the header line are
+    /// ignored by the reader.
+    cases = 32,
+    fn comments_and_blank_lines_are_transparent(n in 2usize..64, every in 1usize..5,
+                                                seed in 0u64..1_000_000) {
+        let mut rng = Rng64::seed_from(seed);
+        let m = gen::uniform_random(n, n, 0.15, &mut rng);
+        let mut noisy = String::new();
+        for (i, line) in mtx_text(&m).lines().enumerate() {
+            noisy.push_str(line);
+            noisy.push('\n');
+            if i % every == 0 {
+                noisy.push_str("% injected comment\n\n");
+            }
+        }
+        let back = read_matrix_market(noisy.as_bytes()).expect("noise is transparent");
+        assert_eq!(back.nnz(), m.nnz());
+        assert_eq!(back.pattern(), m.pattern());
+    }
+
+    /// Rewriting a `real` file as `pattern` (drop the value column) reads
+    /// back as all-ones on the identical pattern.
+    cases = 32,
+    fn pattern_field_reads_unit_values(n in 2usize..64, seed in 0u64..1_000_000) {
+        let mut rng = Rng64::seed_from(seed);
+        let m = gen::uniform_random(n, n, 0.12, &mut rng);
+        let mut text = String::new();
+        let mut past_size_line = false;
+        for line in mtx_text(&m).lines() {
+            if line.starts_with("%%") {
+                text.push_str("%%MatrixMarket matrix coordinate pattern general\n");
+            } else if line.starts_with('%') || !past_size_line {
+                // Comments and the size line pass through untouched.
+                past_size_line |= !line.starts_with('%');
+                text.push_str(line);
+                text.push('\n');
+            } else {
+                let mut it = line.split_whitespace();
+                let (r, c) = (it.next().unwrap(), it.next().unwrap());
+                text.push_str(&format!("{r} {c}\n"));
+            }
+        }
+        let back = read_matrix_market(text.as_bytes()).expect("pattern file reads");
+        assert_eq!(back.pattern(), m.pattern());
+        assert!(back.iter().all(|(_, _, v)| v == 1.0), "pattern entries are 1.0");
+    }
+
+    /// Zero (0-based) and out-of-range coordinates are both rejected.
+    cases = 32,
+    fn coordinate_bounds_are_enforced(n in 2usize..40, which in 0usize..4,
+                                      seed in 0u64..1_000_000) {
+        let mut rng = Rng64::seed_from(seed);
+        let inside = 1 + rng.below(n);
+        let (r, c) = match which {
+            0 => (0, inside),     // 0-based row
+            1 => (inside, 0),     // 0-based column
+            2 => (n + 1, inside), // row past the declared shape
+            _ => (inside, n + 1), // column past the declared shape
+        };
+        let text = format!(
+            "%%MatrixMarket matrix coordinate real general\n{n} {n} 1\n{r} {c} 1.0\n"
+        );
+        assert!(
+            read_matrix_market(text.as_bytes()).is_err(),
+            "({r},{c}) in a {n}x{n} matrix must be rejected"
+        );
+    }
+
+    /// A declared entry count that disagrees with the data is rejected, no
+    /// matter which side is short.
+    cases = 24,
+    fn entry_count_mismatch_is_rejected(n in 2usize..40, delta in 0usize..2,
+                                        seed in 0u64..1_000_000) {
+        let mut rng = Rng64::seed_from(seed);
+        let m = gen::diagonals(n, &[0], &mut rng);
+        let text = mtx_text(&m);
+        let lied = if delta == 0 {
+            // Overstate the count.
+            text.replacen(&format!(" {}\n", m.nnz()), &format!(" {}\n", m.nnz() + 1), 1)
+        } else {
+            // Drop the final data line.
+            let mut lines: Vec<&str> = text.lines().collect();
+            lines.pop();
+            lines.join("\n")
+        };
+        assert!(read_matrix_market(lied.as_bytes()).is_err(), "{lied}");
+    }
+}

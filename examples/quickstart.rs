@@ -17,8 +17,9 @@ fn main() {
     // generation (simulator ground truth), WACONet + program embedder +
     // predictor, ranking loss.
     let sim = Simulator::new(MachineConfig::xeon_like());
-    let (mut waco, curves) = Waco::train_2d(sim, Kernel::SpMV, &train_corpus, 0, WacoConfig::tiny())
-        .expect("training succeeds");
+    let (mut waco, curves) =
+        Waco::train_2d(sim, Kernel::SpMV, &train_corpus, 0, WacoConfig::tiny())
+            .expect("training succeeds");
     println!(
         "trained: final val ranking accuracy {:.2}",
         curves.val_rank_acc.last().copied().unwrap_or(0.0)

@@ -51,7 +51,75 @@ for needle in '"trace": "waco-obs"' feature_extraction anns_traversal tune/measu
 done
 echo "trace OK: $TRACE"
 
-# 2. Two experiment binaries at smoke scale (co-optimization table and the
+# 2. The serving layer: start the auto-tuning server on an ephemeral
+#    loopback port, tune the same matrix twice (second answer must come
+#    from the cache), then restart from the journal and confirm the
+#    decision survived — all without re-tuning.
+SERVE_CACHE="$TMP/serve-cache"
+SERVE_TRACE=results/trace-serve.json
+SERVE_OUT="$TMP/serve.out"
+SERVE_PID=
+
+start_server() {
+    "$CLI" serve --addr 127.0.0.1:0 --cache "$SERVE_CACHE" \
+        --trace "$SERVE_TRACE" >"$SERVE_OUT" 2>"$TMP/serve.err" &
+    SERVE_PID=$!
+    ADDR=
+    for _ in $(seq 1 100); do
+        ADDR="$(sed -n 's/^listening on //p' "$SERVE_OUT")"
+        [ -n "$ADDR" ] && break
+        kill -0 "$SERVE_PID" 2>/dev/null || {
+            echo "server died on startup:" >&2
+            cat "$TMP/serve.err" >&2
+            exit 1
+        }
+        sleep 0.1
+    done
+    [ -n "$ADDR" ] || { echo "server never reported its address" >&2; exit 1; }
+    echo "server up at $ADDR (pid $SERVE_PID)"
+}
+
+stop_server() {
+    run "$CLI" query --addr "$ADDR" --op shutdown
+    wait "$SERVE_PID"
+}
+
+echo
+echo "--- serve: cold tune, then cache hit ---"
+start_server
+run "$CLI" query --addr "$ADDR" --kernel spmv "$TMP/g.mtx" | tee "$TMP/q1.out"
+grep -q "^computed SpMV decision" "$TMP/q1.out"
+run "$CLI" query --addr "$ADDR" --kernel spmv "$TMP/g.mtx" | tee "$TMP/q2.out"
+grep -q "^cached SpMV decision" "$TMP/q2.out"
+run "$CLI" query --addr "$ADDR" --op stats | tee "$TMP/stats1.out"
+grep -q '"hits":1' "$TMP/stats1.out"
+stop_server
+
+echo
+echo "--- serve: restart answers lookup from the journal ---"
+start_server
+run "$CLI" query --addr "$ADDR" --op lookup --kernel spmv "$TMP/g.mtx" \
+    | tee "$TMP/q3.out"
+grep -q "^cached SpMV decision" "$TMP/q3.out"
+run "$CLI" query --addr "$ADDR" --op stats | tee "$TMP/stats2.out"
+grep -q '"replayed":1' "$TMP/stats2.out"
+stop_server
+
+# The server's own structured trace is a CI artifact: it must exist, parse,
+# and carry the request/cache instrumentation.
+test -s "$SERVE_TRACE"
+if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "$SERVE_TRACE" >/dev/null
+fi
+for needle in serve.requests serve.cache.hits serve.request_seconds; do
+    grep -qF "$needle" "$SERVE_TRACE" || {
+        echo "server trace is missing $needle" >&2
+        exit 1
+    }
+done
+echo "server trace OK: $SERVE_TRACE"
+
+# 3. Two experiment binaries at smoke scale (co-optimization table and the
 #    headline baseline-comparison figure).
 run target/release/table1 --smoke
 run target/release/fig13 --smoke
