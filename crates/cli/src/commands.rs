@@ -32,6 +32,9 @@ USAGE:
   waco-cli query   --addr 127.0.0.1:PORT [--op tune|lookup|stats|shutdown]
                    [--kernel spmv|spmm|sddmm] [--dense N] [--timeout SECS]
                    [FILE.mtx]
+  waco-cli verify  [--seed S] [--budget smoke|nightly]
+                   [--kernel spmv,spmm,...] [--faults on|off]
+                   [--out FILE.json]
 
 Global flags:
   --trace FILE.json   record a structured trace (spans, counters,
@@ -409,6 +412,64 @@ pub fn query(args: &[String]) -> Result<()> {
         other => Err(bad(format!(
             "unknown --op `{other}` (tune|lookup|stats|shutdown)"
         ))),
+    }
+}
+
+/// `waco-cli verify`: the differential + metamorphic + fault-injection
+/// correctness harness (`waco-verify`), with a JSON report for CI.
+pub fn verify(args: &[String]) -> Result<()> {
+    let flags = Flags::parse(args)?;
+    let seed = flags.usize_or("seed", 42)? as u64;
+    let budget_name = flags.get("budget").unwrap_or("smoke");
+    let budget = waco_verify::Budget::parse(budget_name).ok_or_else(|| {
+        bad(format!(
+            "--budget must be `smoke` or `nightly`, got `{budget_name}`"
+        ))
+    })?;
+    let mut cfg = waco_verify::VerifyConfig::new(seed, budget);
+    if let Some(list) = flags.get("kernel") {
+        let mut kernels = Vec::new();
+        for tok in list.split(',') {
+            kernels.push(match tok {
+                "spmv" => Kernel::SpMV,
+                "spmm" => Kernel::SpMM,
+                "sddmm" => Kernel::SDDMM,
+                "mttkrp" => Kernel::MTTKRP,
+                other => {
+                    return Err(bad(format!(
+                        "unknown kernel `{other}` in --kernel (spmv|spmm|sddmm|mttkrp, comma-separated)"
+                    )))
+                }
+            });
+        }
+        cfg.kernels = kernels;
+    }
+    cfg.faults = match flags.get("faults").unwrap_or("on") {
+        "on" => true,
+        "off" => false,
+        other => {
+            return Err(bad(format!(
+                "--faults must be `on` or `off`, got `{other}`"
+            )))
+        }
+    };
+    let out = flags
+        .get("out")
+        .unwrap_or("results/verify_report.json")
+        .to_string();
+
+    let report = waco_verify::run(&cfg);
+    print!("{}", report.summary());
+    waco_verify::report::write_report(&report, std::path::Path::new(&out))
+        .map_err(|e| WacoError::io(format!("writing report {out}"), e))?;
+    println!("report written to {out}");
+    if report.passed() {
+        Ok(())
+    } else {
+        Err(WacoError::InvalidSchedule(format!(
+            "verification found {} failure(s); full detail in {out}",
+            report.total_failures()
+        )))
     }
 }
 

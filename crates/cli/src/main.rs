@@ -8,6 +8,7 @@
 //! waco-cli tune     --kernel spmm --model model.ckpt graph.mtx
 //! waco-cli serve    --cache /var/tmp/waco-cache --addr 127.0.0.1:7470
 //! waco-cli query    --addr 127.0.0.1:7470 graph.mtx
+//! waco-cli verify   --seed 42 --budget smoke
 //! ```
 //!
 //! All tuning runs against the deterministic machine simulator (see the
@@ -55,6 +56,7 @@ fn run(args: Vec<String>) -> Result<(), WacoError> {
         "tune" => commands::tune(rest),
         "serve" => commands::serve(rest),
         "query" => commands::query(rest),
+        "verify" => commands::verify(rest),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

@@ -346,7 +346,7 @@ pub fn mttkrp_storage(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use waco_schedule::named;
+    use waco_schedule::{named, ScheduleSampler};
     use waco_tensor::csr::mttkrp_reference;
     use waco_tensor::gen::{self, Rng64};
     use waco_tensor::CsrMatrix;
@@ -379,8 +379,7 @@ mod tests {
         let x = DenseVector::from_fn(30, |i| (i as f32).sin());
         let r = CsrMatrix::from_coo(&a).spmv(&x);
         let mut tested = 0;
-        for _ in 0..40 {
-            let sched = SuperSchedule::sample(&space, &mut rng);
+        for sched in ScheduleSampler::new(&space, 2).take_schedules(40) {
             match spmv(&a, &sched, &space, &x) {
                 Ok(y) => {
                     tested += 1;
@@ -409,8 +408,7 @@ mod tests {
         close_m(&c0, &r, 1e-3);
 
         let mut tested = 0;
-        for _ in 0..25 {
-            let sched = SuperSchedule::sample(&space, &mut rng);
+        for sched in ScheduleSampler::new(&space, 3).take_schedules(25) {
             if let Ok(c) = spmm(&a, &sched, &space, &b) {
                 tested += 1;
                 close_m(&c, &r, 1e-3);
@@ -432,8 +430,7 @@ mod tests {
         close_m(&d0.to_dense(), &reference, 1e-3);
 
         let mut tested = 0;
-        for _ in 0..25 {
-            let sched = SuperSchedule::sample(&space, &mut rng);
+        for sched in ScheduleSampler::new(&space, 4).take_schedules(25) {
             if let Ok(d) = sddmm(&a, &sched, &space, &b, &c) {
                 tested += 1;
                 close_m(&d.to_dense(), &reference, 1e-3);
@@ -455,8 +452,7 @@ mod tests {
         close_m(&d0, &reference, 1e-3);
 
         let mut tested = 0;
-        for _ in 0..20 {
-            let sched = SuperSchedule::sample(&space, &mut rng);
+        for sched in ScheduleSampler::new(&space, 5).take_schedules(20) {
             if let Ok(d) = mttkrp(&a, &sched, &space, &b, &c) {
                 tested += 1;
                 close_m(&d, &reference, 1e-3);
@@ -471,8 +467,7 @@ mod tests {
         let a = gen::powerlaw_rows(64, 64, 6.0, 1.2, &mut rng);
         let space = Space::new(Kernel::SpMM, vec![64, 64], 8).with_thread_options(vec![4, 8]);
         let b = DenseMatrix::from_fn(64, 8, |r, c| ((r ^ c) % 9) as f32 * 0.3);
-        for _ in 0..10 {
-            let mut sched = SuperSchedule::sample(&space, &mut rng);
+        for mut sched in ScheduleSampler::new(&space, 6).take_schedules(10) {
             let Ok(par) = spmm(&a, &sched, &space, &b) else {
                 continue;
             };

@@ -38,6 +38,8 @@ pub mod encode;
 pub mod named;
 pub mod sample;
 
+pub use sample::ScheduleSampler;
+
 use waco_format::{Axis, AxisPart, FormatSpec, LevelFormat};
 
 /// The four sparse tensor algebra kernels evaluated in the paper.

@@ -139,6 +139,115 @@ impl SuperSchedule {
     }
 }
 
+/// A deterministic, seeded stream of schedules shared by every suite that
+/// sweeps the SuperSchedule space (`waco-verify`, the `exec` kernel tests,
+/// and the encoding property tests), so all of them agree on coverage.
+///
+/// The stream front-loads a fixed set of coverage corners — the concordant
+/// CSR/CSF default, its serial variant, all-compressed and all-uncompressed
+/// level formats, maximal splits, and discordant loop/format orders — and
+/// then continues with uniform [`SuperSchedule::sample`] draws. Two samplers
+/// built from the same space and seed yield identical streams.
+#[derive(Debug, Clone)]
+pub struct ScheduleSampler {
+    space: Space,
+    rng: Rng64,
+    emitted: usize,
+}
+
+impl ScheduleSampler {
+    /// Number of deterministic coverage corners emitted before the random
+    /// tail begins.
+    pub const CORNERS: usize = 6;
+
+    /// Builds a sampler over `space` with its own private RNG stream.
+    pub fn new(space: &Space, seed: u64) -> Self {
+        ScheduleSampler {
+            space: space.clone(),
+            rng: Rng64::seed_from(seed),
+            emitted: 0,
+        }
+    }
+
+    /// The space this sampler draws from.
+    pub fn space(&self) -> &Space {
+        &self.space
+    }
+
+    /// The next schedule of the stream: corner `n` for the first
+    /// [`Self::CORNERS`] calls, then uniform random points.
+    pub fn next_schedule(&mut self) -> SuperSchedule {
+        let i = self.emitted;
+        self.emitted += 1;
+        if i < Self::CORNERS {
+            self.corner(i)
+        } else {
+            SuperSchedule::sample(&self.space, &mut self.rng)
+        }
+    }
+
+    /// Draws the next `n` schedules.
+    pub fn take_schedules(&mut self, n: usize) -> Vec<SuperSchedule> {
+        (0..n).map(|_| self.next_schedule()).collect()
+    }
+
+    fn corner(&self, i: usize) -> SuperSchedule {
+        let space = &self.space;
+        let base = crate::named::default_csr(space);
+        match i {
+            // The paper's default: concordant CSR/CSF, parallel outer rows.
+            0 => base,
+            // Same point without parallelism (serial reference).
+            1 => {
+                let mut s = base;
+                s.parallel = None;
+                s
+            }
+            // Every level compressed (DCSR / all-C CSF), serial.
+            2 => {
+                let mut s = base;
+                s.format.formats = vec![LevelFormat::Compressed; s.format.formats.len()];
+                s.parallel = None;
+                s
+            }
+            // Every level uncompressed (fully dense storage).
+            3 => {
+                let mut s = base;
+                s.format.formats = vec![LevelFormat::Uncompressed; s.format.formats.len()];
+                s
+            }
+            // Maximal legal split on every splittable dimension.
+            4 => {
+                let mut s = base;
+                for d in 0..s.kernel.ndims() {
+                    if s.kernel.is_splittable(d) {
+                        s.splits[d] = 1usize << split_log2_cap(space, d);
+                    }
+                }
+                s
+            }
+            // Discordant: loop order and format order both reversed
+            // (independently), serial so the reversal is the only variable.
+            _ => {
+                let mut s = base;
+                s.loop_order.reverse();
+                s.format.order.reverse();
+                s.format.formats.reverse();
+                s.parallel = None;
+                s
+            }
+        }
+    }
+}
+
+impl Iterator for ScheduleSampler {
+    type Item = SuperSchedule;
+
+    fn next(&mut self) -> Option<SuperSchedule> {
+        Some(self.next_schedule())
+    }
+}
+
 /// Samples `count` schedules (convenience for dataset generation).
 pub fn sample_many(space: &Space, count: usize, rng: &mut Rng64) -> Vec<SuperSchedule> {
     (0..count)
@@ -233,6 +342,47 @@ mod tests {
         let (s, ok) = SuperSchedule::sample_where(&space, &mut rng, 500, |s| s.splits[0] == 1);
         assert!(ok);
         assert_eq!(s.splits[0], 1);
+    }
+
+    #[test]
+    fn sampler_corners_and_tail_are_valid_and_deterministic() {
+        for space in spaces() {
+            let a = ScheduleSampler::new(&space, 99).take_schedules(ScheduleSampler::CORNERS + 20);
+            let b = ScheduleSampler::new(&space, 99).take_schedules(ScheduleSampler::CORNERS + 20);
+            assert_eq!(a, b, "same seed, same stream");
+            for (i, s) in a.iter().enumerate() {
+                s.validate(&space)
+                    .unwrap_or_else(|e| panic!("stream item {i}: {e} in {}", s.describe(&space)));
+            }
+            // Corners hit the named coverage points.
+            assert_eq!(a[0], crate::named::default_csr(&space));
+            assert!(a[1].parallel.is_none());
+            assert!(a[2]
+                .format
+                .formats
+                .iter()
+                .all(|&f| f == waco_format::LevelFormat::Compressed));
+            assert!(a[3]
+                .format
+                .formats
+                .iter()
+                .all(|&f| f == waco_format::LevelFormat::Uncompressed));
+            assert!(a[4].splits.iter().any(|&s| s > 1));
+            assert_ne!(a[5].loop_order, a[0].loop_order);
+        }
+    }
+
+    #[test]
+    fn sampler_seed_changes_tail() {
+        let space = Space::new(Kernel::SpMM, vec![64, 64], 16);
+        let a = ScheduleSampler::new(&space, 1).take_schedules(ScheduleSampler::CORNERS + 10);
+        let b = ScheduleSampler::new(&space, 2).take_schedules(ScheduleSampler::CORNERS + 10);
+        assert_eq!(
+            a[..ScheduleSampler::CORNERS],
+            b[..ScheduleSampler::CORNERS],
+            "corners are seed-independent"
+        );
+        assert_ne!(a, b, "random tail depends on the seed");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use waco_check::props;
 use waco_schedule::encode::{self, Segment};
-use waco_schedule::{Kernel, Space, SuperSchedule};
+use waco_schedule::{Kernel, ScheduleSampler, Space};
 use waco_tensor::gen::Rng64;
 
 fn space_for(kernel: Kernel, a: usize, b: usize, dense: usize) -> Space {
@@ -24,12 +24,13 @@ props! {
     cases = 64,
     fn structured_encoding_respects_layout(kidx in 0usize..4, a in 4usize..256,
                                            b in 4usize..256, dense in 1usize..64,
-                                           seed in 0u64..1_000_000) {
+                                           seed in 0u64..1_000_000, idx in 0usize..24) {
         let kernel = kernel_of(kidx);
         let space = space_for(kernel, a, b, dense);
         let layout = encode::layout(&space);
-        let mut rng = Rng64::seed_from(seed);
-        let s = SuperSchedule::sample(&space, &mut rng);
+        // Draw from the shared sampler stream so the encoding properties
+        // cover the same corners + random tail as exec and waco-verify.
+        let s = ScheduleSampler::new(&space, seed).nth(idx).unwrap();
         let enc = encode::encode_structured(&s, &space);
 
         let mut cat = enc.categorical.iter();
@@ -59,12 +60,11 @@ props! {
     /// 0/1 vector whose categorical blocks are exactly one-hot.
     cases = 64,
     fn flat_encoding_is_valid_one_hot(kidx in 0usize..4, a in 4usize..128,
-                                      seed in 0u64..1_000_000) {
+                                      seed in 0u64..1_000_000, idx in 0usize..24) {
         let kernel = kernel_of(kidx);
         let space = space_for(kernel, a, a + 3, 8);
         let layout = encode::layout(&space);
-        let mut rng = Rng64::seed_from(seed);
-        let s = SuperSchedule::sample(&space, &mut rng);
+        let s = ScheduleSampler::new(&space, seed).nth(idx).unwrap();
         let flat = encode::encode(&s, &space);
         assert_eq!(flat.len(), layout.total_len());
         assert!(flat.iter().all(|&v| v == 0.0 || v == 1.0));
@@ -94,11 +94,11 @@ props! {
     /// Mutation chains always stay valid and encodable.
     cases = 64,
     fn mutation_chains_stay_encodable(kidx in 0usize..4, seed in 0u64..1_000_000,
-                                      steps in 1usize..30) {
+                                      steps in 1usize..30, idx in 0usize..12) {
         let kernel = kernel_of(kidx);
         let space = space_for(kernel, 64, 64, 16);
         let mut rng = Rng64::seed_from(seed);
-        let mut s = SuperSchedule::sample(&space, &mut rng);
+        let mut s = ScheduleSampler::new(&space, seed).nth(idx).unwrap();
         for _ in 0..steps {
             s = s.mutate(&space, &mut rng);
         }

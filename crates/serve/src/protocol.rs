@@ -195,14 +195,29 @@ pub fn write_frame(w: &mut impl Write, body: &Json) -> Result<(), WacoError> {
         .map_err(|e| WacoError::io("writing protocol frame", e))
 }
 
-/// Reads one frame. Returns `Ok(None)` on clean EOF before the length
-/// prefix (peer closed between requests).
+/// One lenient frame read: distinguishes a body-level problem (the frame
+/// was consumed to its advertised length but its bytes are not a JSON
+/// document) from framing loss, so a server can answer the former on a
+/// still-synchronized connection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// A parsed JSON body.
+    Body(Json),
+    /// The body was read in full but is not valid UTF-8 / JSON (this
+    /// includes the degenerate zero-length frame). The connection's framing
+    /// is intact; the message is suitable for an error response.
+    Malformed(String),
+}
+
+/// Reads one frame without rejecting malformed bodies. Returns `Ok(None)`
+/// on clean EOF before the length prefix (peer closed between requests).
 ///
 /// # Errors
 ///
 /// [`WacoError::Io`] on truncated frames or socket errors,
-/// [`WacoError::InvalidConfig`] on oversized frames or malformed JSON.
-pub fn read_frame(r: &mut impl Read) -> Result<Option<Json>, WacoError> {
+/// [`WacoError::InvalidConfig`] on an oversized length prefix — both lose
+/// framing, so the connection cannot be reused.
+pub fn read_frame_lenient(r: &mut impl Read) -> Result<Option<Frame>, WacoError> {
     let mut len_buf = [0u8; 4];
     match r.read(&mut len_buf) {
         Ok(0) => return Ok(None),
@@ -221,11 +236,28 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Json>, WacoError> {
     let mut body = vec![0u8; len as usize];
     r.read_exact(&mut body)
         .map_err(|e| WacoError::io("reading frame body", e))?;
-    let text = std::str::from_utf8(&body)
-        .map_err(|_| WacoError::InvalidConfig("frame body is not UTF-8".into()))?;
-    Json::parse(text)
-        .map(Some)
-        .map_err(|e| WacoError::InvalidConfig(format!("frame body is not JSON: {e}")))
+    let Ok(text) = std::str::from_utf8(&body) else {
+        return Ok(Some(Frame::Malformed("frame body is not UTF-8".into())));
+    };
+    Ok(Some(match Json::parse(text) {
+        Ok(v) => Frame::Body(v),
+        Err(e) => Frame::Malformed(format!("frame body is not JSON: {e}")),
+    }))
+}
+
+/// Reads one frame. Returns `Ok(None)` on clean EOF before the length
+/// prefix (peer closed between requests).
+///
+/// # Errors
+///
+/// [`WacoError::Io`] on truncated frames or socket errors,
+/// [`WacoError::InvalidConfig`] on oversized frames or malformed JSON.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Json>, WacoError> {
+    match read_frame_lenient(r)? {
+        None => Ok(None),
+        Some(Frame::Body(v)) => Ok(Some(v)),
+        Some(Frame::Malformed(msg)) => Err(WacoError::InvalidConfig(msg)),
+    }
 }
 
 #[cfg(test)]
@@ -265,6 +297,51 @@ mod tests {
         let mut cursor = &buf[..];
         assert!(matches!(
             read_frame(&mut cursor),
+            Err(WacoError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn lenient_read_separates_body_errors_from_framing_loss() {
+        // Zero-length frame: consumed, malformed, framing intact.
+        let buf = 0u32.to_be_bytes();
+        let mut cursor = &buf[..];
+        assert!(matches!(
+            read_frame_lenient(&mut cursor).unwrap(),
+            Some(Frame::Malformed(_))
+        ));
+        assert!(cursor.is_empty(), "frame fully consumed");
+
+        // Non-JSON body followed by a valid frame: both readable in turn.
+        let mut buf = Vec::new();
+        let junk = b"{\"op\":\"sta"; // truncated JSON *inside* a whole frame
+        buf.extend_from_slice(&(junk.len() as u32).to_be_bytes());
+        buf.extend_from_slice(junk);
+        write_frame(&mut buf, &Json::obj([("op", Json::str("stats"))])).unwrap();
+        let mut cursor = &buf[..];
+        assert!(matches!(
+            read_frame_lenient(&mut cursor).unwrap(),
+            Some(Frame::Malformed(_))
+        ));
+        assert!(matches!(
+            read_frame_lenient(&mut cursor).unwrap(),
+            Some(Frame::Body(_))
+        ));
+
+        // Non-UTF-8 body.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&2u32.to_be_bytes());
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        let mut cursor = &buf[..];
+        assert!(matches!(
+            read_frame_lenient(&mut cursor).unwrap(),
+            Some(Frame::Malformed(_))
+        ));
+
+        // Oversized length prefix is still a hard (framing-lost) error.
+        let buf = (MAX_FRAME_LEN + 1).to_be_bytes();
+        assert!(matches!(
+            read_frame_lenient(&mut &buf[..]),
             Err(WacoError::InvalidConfig(_))
         ));
     }

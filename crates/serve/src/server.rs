@@ -40,7 +40,7 @@ use crate::cache::{Decision, TuningCache};
 use crate::fingerprint::Fingerprint;
 use crate::json::Json;
 use crate::protocol::{
-    error_response, lookup_response, read_frame, tune_response, write_frame, Request,
+    error_response, lookup_response, read_frame_lenient, tune_response, write_frame, Frame, Request,
 };
 use crate::tuner::Tuner;
 
@@ -357,11 +357,19 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
     };
     let mut reader = BufReader::new(stream);
     loop {
-        let body = match read_frame(&mut reader) {
-            Ok(Some(b)) => b,
+        let body = match read_frame_lenient(&mut reader) {
+            Ok(Some(Frame::Body(b))) => b,
+            Ok(Some(Frame::Malformed(msg))) => {
+                // Body-level garbage (bad JSON, zero-length frame): framing
+                // is intact, so answer and keep serving the connection.
+                if write_frame(&mut writer, &error_response(&msg, false)).is_err() {
+                    return;
+                }
+                continue;
+            }
             Ok(None) => return, // peer closed cleanly
             Err(WacoError::InvalidConfig(msg)) => {
-                // Malformed frame: answer, then close (framing is lost).
+                // Oversized length prefix: answer, then close (framing is lost).
                 let _ = write_frame(&mut writer, &error_response(&msg, false));
                 return;
             }

@@ -182,6 +182,84 @@ fn malformed_requests_get_error_responses() {
     server.wait().unwrap();
 }
 
+/// Drives the wire protocol by hand so we can send frames a well-behaved
+/// [`Client`] never would.
+fn raw_connect(server: &Server) -> std::net::TcpStream {
+    let s = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    s
+}
+
+fn read_error_reply(stream: &mut std::net::TcpStream) -> String {
+    let reply = waco_serve::protocol::read_frame(stream)
+        .unwrap()
+        .expect("server must answer with a frame, not a bare disconnect");
+    assert_eq!(reply.get("ok").unwrap().as_bool(), Some(false));
+    reply.get("error").unwrap().as_str().unwrap().to_string()
+}
+
+#[test]
+fn negative_frames_get_typed_error_responses() {
+    use std::io::Write as _;
+
+    let dir = tmp_dir("negative-frames");
+    let server = start_server(&dir);
+
+    // Oversized u32 length prefix: typed error response (framing is lost,
+    // so the server may close afterwards — but it must answer first).
+    {
+        let mut s = raw_connect(&server);
+        s.write_all(&(waco_serve::protocol::MAX_FRAME_LEN + 7).to_be_bytes())
+            .unwrap();
+        let err = read_error_reply(&mut s);
+        assert!(err.contains("cap"), "unexpected error: {err}");
+    }
+
+    // Zero-length frame: typed error response AND the connection survives.
+    {
+        let mut s = raw_connect(&server);
+        s.write_all(&0u32.to_be_bytes()).unwrap();
+        let err = read_error_reply(&mut s);
+        assert!(err.contains("JSON"), "unexpected error: {err}");
+        // Same connection still serves a valid request.
+        waco_serve::protocol::write_frame(&mut s, &Json::obj([("op", Json::str("stats"))]))
+            .unwrap();
+        let reply = waco_serve::protocol::read_frame(&mut s).unwrap().unwrap();
+        assert_eq!(reply.get("ok").unwrap().as_bool(), Some(true));
+    }
+
+    // Truncated JSON inside a complete frame: typed error, connection survives.
+    {
+        let mut s = raw_connect(&server);
+        let junk = b"{\"op\":\"stats\""; // cut before the closing brace
+        s.write_all(&(junk.len() as u32).to_be_bytes()).unwrap();
+        s.write_all(junk).unwrap();
+        let err = read_error_reply(&mut s);
+        assert!(err.contains("JSON"), "unexpected error: {err}");
+        waco_serve::protocol::write_frame(&mut s, &Json::obj([("op", Json::str("stats"))]))
+            .unwrap();
+        let reply = waco_serve::protocol::read_frame(&mut s).unwrap().unwrap();
+        assert_eq!(reply.get("ok").unwrap().as_bool(), Some(true));
+    }
+
+    // Unknown op: typed error naming the op, connection survives.
+    {
+        let mut s = raw_connect(&server);
+        waco_serve::protocol::write_frame(&mut s, &Json::obj([("op", Json::str("launch"))]))
+            .unwrap();
+        let err = read_error_reply(&mut s);
+        assert!(err.contains("launch"), "unexpected error: {err}");
+        waco_serve::protocol::write_frame(&mut s, &Json::obj([("op", Json::str("stats"))]))
+            .unwrap();
+        let reply = waco_serve::protocol::read_frame(&mut s).unwrap().unwrap();
+        assert_eq!(reply.get("ok").unwrap().as_bool(), Some(true));
+    }
+
+    let mut client = connect(&server);
+    client.shutdown().unwrap();
+    server.wait().unwrap();
+}
+
 #[test]
 fn builder_rejects_bad_config() {
     for (build, what) in [

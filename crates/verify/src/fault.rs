@@ -1,0 +1,373 @@
+//! Fault injection for the serving layer. Two stores of truth are attacked:
+//!
+//! * **The journal** — every truncation point and every byte flip of a
+//!   populated journal file is replayed through [`Journal::open`]. Recovery
+//!   must never panic, never error (corruption is repaired, not reported as
+//!   failure), and never surface a record that is not byte-identical to a
+//!   prefix of what was appended — the per-record checksum is the witness.
+//! * **The wire** — a client that drops a request frame mid-message must
+//!   not wedge or poison the server (the next client gets the correct
+//!   tune), and a server that short-writes or corrupts a response frame
+//!   must surface a clean [`Err`] to the client, never a fabricated tune.
+//!
+//! Everything runs in a scratch directory under the system temp dir and on
+//! ephemeral loopback ports; nothing here touches real caches.
+
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use waco_core::WacoError;
+use waco_schedule::{named, Kernel, Space};
+use waco_serve::protocol::write_frame;
+use waco_serve::tuner::TunedOutcome;
+use waco_serve::{
+    Client, Decision, Fingerprint, Journal, Json, ServeConfig, Server, Tuner, TuningCache,
+};
+use waco_tensor::gen::Rng64;
+use waco_tensor::CooMatrix;
+
+use crate::{corpus, Budget, Failure, SuiteReport, VerifyConfig};
+
+struct Ctx {
+    executed: usize,
+    failures: Vec<Failure>,
+}
+
+impl Ctx {
+    fn check(&mut self, case_name: &str, ok: bool, detail: impl FnOnce() -> String) {
+        self.executed += 1;
+        if !ok {
+            self.failures.push(Failure {
+                suite: "fault",
+                kernel: None,
+                case_name: case_name.to_string(),
+                matrix_seed: None,
+                schedule_index: None,
+                schedule: None,
+                schedule_json: None,
+                divergence: None,
+                detail: detail(),
+            });
+        }
+    }
+}
+
+fn scratch_dir(cfg: &VerifyConfig, name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "waco-verify-fault-{}-{}-{name}",
+        std::process::id(),
+        cfg.seed
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("creating scratch dir");
+    dir
+}
+
+/// Deterministic journal payloads, including an empty one.
+fn payloads(seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = Rng64::seed_from(seed);
+    (0..6)
+        .map(|i| {
+            let len = if i == 2 { 0 } else { 16 + (i * 7) % 23 };
+            (0..len).map(|_| (rng.below(256)) as u8).collect()
+        })
+        .collect()
+}
+
+/// Opens `path` through recovery, classifying the outcome.
+fn open_recovered(path: &Path) -> Result<Result<Vec<Vec<u8>>, WacoError>, String> {
+    catch_unwind(AssertUnwindSafe(|| {
+        Journal::open(path, |_| vec![]).map(|(_, recovered, _)| recovered)
+    }))
+    .map_err(|_| "panicked".to_string())
+}
+
+fn is_prefix(recovered: &[Vec<u8>], originals: &[Vec<u8>]) -> bool {
+    recovered.len() <= originals.len() && recovered.iter().zip(originals).all(|(a, b)| a == b)
+}
+
+/// Journal torn-write and bit-flip sweeps.
+fn journal_faults(cfg: &VerifyConfig, ctx: &mut Ctx) {
+    let dir = scratch_dir(cfg, "journal");
+    let pristine = dir.join("pristine.journal");
+    let originals = payloads(cfg.seed);
+
+    // Measure the header: an empty journal is exactly the header.
+    let header_len = {
+        let empty = dir.join("empty.journal");
+        let _ = Journal::open(&empty, |_| vec![]).expect("creating empty journal");
+        std::fs::metadata(&empty).expect("stat empty journal").len() as usize
+    };
+
+    {
+        let (mut j, _, _) = Journal::open(&pristine, |_| vec![]).expect("creating journal");
+        for p in &originals {
+            j.append(p).expect("appending");
+        }
+        j.sync().expect("syncing");
+    }
+    let bytes = std::fs::read(&pristine).expect("reading journal file");
+
+    // Record boundaries: header, then `len u32 + crc u64 + payload` each.
+    let mut boundaries = vec![header_len];
+    for p in &originals {
+        boundaries.push(boundaries.last().unwrap() + 4 + 8 + p.len());
+    }
+    assert_eq!(*boundaries.last().unwrap(), bytes.len(), "boundary math");
+
+    let victim = dir.join("victim.journal");
+
+    // Every truncation point: recovery must yield exactly the records whose
+    // bytes fully survived the cut.
+    for cut in 0..bytes.len() {
+        std::fs::write(&victim, &bytes[..cut]).expect("writing truncated copy");
+        // Cuts inside the header reinitialize the journal: zero records.
+        let want = boundaries
+            .iter()
+            .filter(|&&b| b <= cut)
+            .count()
+            .saturating_sub(1);
+        match open_recovered(&victim) {
+            Err(why) => ctx.check("journal-truncation", false, || {
+                format!("recovery {why} at cut {cut}")
+            }),
+            Ok(Err(e)) => ctx.check("journal-truncation", false, || {
+                format!("recovery errored at cut {cut}: {e}")
+            }),
+            Ok(Ok(recovered)) => ctx.check(
+                "journal-truncation",
+                recovered.len() == want && is_prefix(&recovered, &originals),
+                || {
+                    format!(
+                        "cut {cut}: recovered {} records, wanted {want} (prefix intact: {})",
+                        recovered.len(),
+                        is_prefix(&recovered, &originals)
+                    )
+                },
+            ),
+        }
+    }
+
+    // Every byte flip: recovered records must stay a byte-exact prefix —
+    // a checksum-passing corrupt record would be a poisoned cache entry.
+    let masks: &[u8] = match cfg.budget {
+        Budget::Smoke => &[0xFF],
+        Budget::Nightly => &[0x01, 0x80, 0xFF],
+    };
+    for pos in 0..bytes.len() {
+        for &mask in masks {
+            let mut copy = bytes.clone();
+            copy[pos] ^= mask;
+            std::fs::write(&victim, &copy).expect("writing flipped copy");
+            match open_recovered(&victim) {
+                Err(why) => ctx.check("journal-bit-flip", false, || {
+                    format!("recovery {why} at pos {pos} mask {mask:#x}")
+                }),
+                Ok(Err(e)) => ctx.check("journal-bit-flip", false, || {
+                    format!("recovery errored at pos {pos} mask {mask:#x}: {e}")
+                }),
+                Ok(Ok(recovered)) => ctx.check(
+                    "journal-bit-flip",
+                    is_prefix(&recovered, &originals),
+                    || format!("pos {pos} mask {mask:#x}: a non-prefix record survived recovery"),
+                ),
+            }
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn decision_for(m: &CooMatrix, kernel: Kernel) -> Decision {
+    let space = Space::new(kernel, vec![m.nrows(), m.ncols()], 0);
+    Decision {
+        fingerprint: Fingerprint::of_matrix(m),
+        kernel,
+        dense_extent: 0,
+        schedule: named::default_csr(&space),
+        kernel_seconds: 1e-6,
+        tuning_seconds: 2e-6,
+    }
+}
+
+/// Torn write against the full cache: earlier decisions must survive
+/// byte-exact; the torn one must be a clean miss.
+fn cache_torn_write(cfg: &VerifyConfig, ctx: &mut Ctx) {
+    let dir = scratch_dir(cfg, "cache");
+    let journal = dir.join("cache.journal");
+    let matrices: Vec<CooMatrix> = corpus::matrices(cfg.seed, Budget::Smoke)
+        .into_iter()
+        .filter(|c| c.matrix.nnz() > 0)
+        .take(4)
+        .map(|c| c.matrix)
+        .collect();
+    let decisions: Vec<Decision> = matrices
+        .iter()
+        .map(|m| decision_for(m, Kernel::SpMV))
+        .collect();
+
+    {
+        let cache = TuningCache::open(&journal, 64).expect("opening cache");
+        for d in &decisions {
+            cache.insert(d.clone()).expect("inserting");
+        }
+        cache.sync().expect("syncing");
+    }
+
+    // Tear the tail: drop the last 5 bytes, mid-way through the last record.
+    let bytes = std::fs::read(&journal).expect("reading cache journal");
+    std::fs::write(&journal, &bytes[..bytes.len() - 5]).expect("tearing journal");
+
+    match TuningCache::open(&journal, 64) {
+        Err(e) => ctx.check("cache-torn-write", false, || {
+            format!("reopen after torn write errored: {e}")
+        }),
+        Ok(cache) => {
+            for (i, d) in decisions.iter().enumerate().take(decisions.len() - 1) {
+                let got = cache.lookup(d.fingerprint, d.kernel, d.dense_extent);
+                ctx.check("cache-torn-write", got.as_ref() == Some(d), || {
+                    format!("decision {i} lost or mutated after torn-tail recovery")
+                });
+            }
+            let torn = decisions.last().unwrap();
+            let got = cache.lookup(torn.fingerprint, torn.kernel, torn.dense_extent);
+            ctx.check("cache-torn-write", got.is_none(), || {
+                "the torn record was served instead of being dropped".to_string()
+            });
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A deterministic tuner so wire-level checks can recognize the one
+/// correct answer.
+struct FixedTuner;
+
+impl Tuner for FixedTuner {
+    fn tune(
+        &self,
+        m: &CooMatrix,
+        kernel: Kernel,
+        dense_extent: usize,
+    ) -> Result<TunedOutcome, WacoError> {
+        let space = Space::new(kernel, vec![m.nrows(), m.ncols()], dense_extent);
+        Ok(TunedOutcome {
+            schedule: named::default_csr(&space),
+            kernel_seconds: 1e-6,
+            tuning_seconds: 2e-6,
+        })
+    }
+}
+
+/// Mid-frame TCP faults, both directions.
+fn tcp_faults(cfg: &VerifyConfig, ctx: &mut Ctx) {
+    let dir = scratch_dir(cfg, "tcp");
+    let m = corpus::matrices(cfg.seed, Budget::Smoke)
+        .into_iter()
+        .find(|c| c.matrix.nnz() > 0)
+        .expect("corpus has a non-empty matrix")
+        .matrix;
+    let expected = {
+        let space = Space::new(Kernel::SpMV, vec![m.nrows(), m.ncols()], 0);
+        named::default_csr(&space)
+    };
+
+    // Direction 1: a request frame dropped mid-message. The victim
+    // connection dies; the server — and its cache — must not.
+    let server = {
+        let config = ServeConfig::builder()
+            .addr("127.0.0.1:0")
+            .cache_dir(dir.join("serve-cache"))
+            .workers(2)
+            .timeout_secs(30.0)
+            .build()
+            .expect("serve config");
+        Server::start(config, Arc::new(FixedTuner)).expect("starting server")
+    };
+    {
+        let mut raw = std::net::TcpStream::connect(server.local_addr()).expect("raw connect");
+        raw.write_all(&4096u32.to_be_bytes()).expect("prefix");
+        raw.write_all(b"{\"op\":\"tune\",\"trunc")
+            .expect("partial body");
+        // Drop: the frame never completes.
+    }
+    let tune = Client::connect(&server.local_addr().to_string(), Duration::from_secs(30))
+        .and_then(|mut c| c.tune(&m, "spmv", 0));
+    match tune {
+        Err(e) => ctx.check("tcp-dropped-request", false, || {
+            format!("server unusable after a dropped request frame: {e}")
+        }),
+        Ok(reply) => ctx.check(
+            "tcp-dropped-request",
+            reply.decision.as_ref().map(|d| &d.schedule) == Some(&expected),
+            || "tune after a dropped request frame returned a wrong schedule".to_string(),
+        ),
+    }
+    let mut c = Client::connect(&server.local_addr().to_string(), Duration::from_secs(30))
+        .expect("connect for shutdown");
+    c.shutdown().expect("shutdown");
+    server.wait().expect("server drain");
+
+    // Direction 2: the server's response is short-written / corrupted.
+    // The client must return Err, never a fabricated tune result.
+    type Corruptor = fn(&Json) -> Vec<u8>;
+    let cases: &[(&str, Corruptor)] = &[
+        ("tcp-short-response", |body| {
+            let mut full = Vec::new();
+            write_frame(&mut full, body).expect("encoding frame");
+            full.truncate(full.len() / 2);
+            full
+        }),
+        ("tcp-garbage-response", |_| {
+            let garbage = b"!!this is not json!!";
+            let mut out = Vec::new();
+            out.extend_from_slice(&(garbage.len() as u32).to_be_bytes());
+            out.extend_from_slice(garbage);
+            out
+        }),
+    ];
+    for &(name, corrupt) in cases {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind fake server");
+        let addr = listener.local_addr().expect("fake addr");
+        let handle = std::thread::spawn(move || {
+            let (mut sock, _) = listener.accept().expect("accept");
+            // Drain whatever part of the request has arrived; the reply
+            // does not depend on it.
+            sock.set_read_timeout(Some(Duration::from_millis(200))).ok();
+            let mut buf = [0u8; 4096];
+            let _ = std::io::Read::read(&mut sock, &mut buf);
+            let body = Json::obj([("ok", Json::Bool(true)), ("cached", Json::Bool(false))]);
+            let _ = sock.write_all(&corrupt(&body));
+            // Drop: connection closes mid-reply.
+        });
+        let outcome = Client::connect(&addr.to_string(), Duration::from_secs(5))
+            .and_then(|mut c| c.tune(&m, "spmv", 0));
+        ctx.check(name, outcome.is_err(), || {
+            "client accepted a torn/corrupt response as a tune result".to_string()
+        });
+        handle.join().expect("fake server thread");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The fault-injection suite.
+pub fn fault_suite(cfg: &VerifyConfig) -> SuiteReport {
+    let mut ctx = Ctx {
+        executed: 0,
+        failures: Vec::new(),
+    };
+    journal_faults(cfg, &mut ctx);
+    cache_torn_write(cfg, &mut ctx);
+    tcp_faults(cfg, &mut ctx);
+    SuiteReport {
+        name: "fault",
+        executed: ctx.executed,
+        skipped: 0,
+        failures: ctx.failures,
+    }
+}

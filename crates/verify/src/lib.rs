@@ -1,0 +1,265 @@
+//! `waco-verify` — the repo's single correctness authority.
+//!
+//! WACO's premise is that every point of the SuperSchedule space is a
+//! semantics-preserving reformulation of the same kernel: any (format,
+//! schedule) pair the tuner emits must compute the same answer. This crate
+//! checks that premise systematically instead of piecemeal:
+//!
+//! * [`oracle`] — naive dense `f64` oracles for SpMV/SpMM/SDDMM/MTTKRP and
+//!   an epsilon-aware comparator reporting the first diverging coordinate.
+//! * [`corpus`] — a seed-derived structure corpus (banded, blocked,
+//!   power-law, empty-row, single-entry, rectangular, empty).
+//! * [`diff`] — the differential fuzzer: sweeps the shared
+//!   [`waco_schedule::ScheduleSampler`] stream through `waco-exec` against
+//!   the oracle, shrinking failures in parallel on the `waco-runtime` pool.
+//! * [`metamorphic`] — permutation invariance, scalar-scaling linearity,
+//!   and SpMM-with-one-column ≡ SpMV, across schedules.
+//! * [`baselines`] — the `waco-baselines` tuners (FixedCSR/CSF,
+//!   BestFormat, MKL-like, ASpT) run through the same comparator.
+//! * [`fault`] — fault injection for `waco-serve`: torn/bit-flipped
+//!   journal writes and mid-frame TCP faults must never surface a wrong
+//!   tune result.
+//! * [`report`] — the JSON report `waco-cli verify` writes into `results/`.
+//!
+//! Everything is driven by one seed: a CI failure line names the seed,
+//! kernel, corpus case, and schedule index, and `waco-cli verify --seed N`
+//! replays it locally, bit for bit.
+
+pub mod baselines;
+pub mod corpus;
+pub mod diff;
+pub mod fault;
+pub mod metamorphic;
+pub mod oracle;
+pub mod report;
+
+use waco_schedule::Kernel;
+use waco_serve::Json;
+
+pub use oracle::{Divergence, Tolerance};
+
+/// How much work the harness does; the family lists are identical across
+/// budgets so a nightly failure can be chased with a smoke-sized replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Budget {
+    /// CI-sized: small extents, a dozen schedules per case.
+    Smoke,
+    /// Nightly-sized: larger extents, a few dozen schedules per case.
+    Nightly,
+}
+
+impl Budget {
+    /// Parses the CLI spelling.
+    pub fn parse(s: &str) -> Option<Budget> {
+        match s {
+            "smoke" => Some(Budget::Smoke),
+            "nightly" => Some(Budget::Nightly),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Budget::Smoke => "smoke",
+            Budget::Nightly => "nightly",
+        }
+    }
+
+    /// Schedules drawn from the sampler stream per (kernel, case).
+    pub fn schedules_per_case(self) -> usize {
+        match self {
+            Budget::Smoke => 12,
+            Budget::Nightly => 48,
+        }
+    }
+
+    /// Schedules per metamorphic relation and case.
+    pub fn metamorphic_schedules(self) -> usize {
+        match self {
+            Budget::Smoke => 4,
+            Budget::Nightly => 16,
+        }
+    }
+}
+
+/// Harness configuration. One seed drives corpus generation, operand
+/// values, and every sampler stream.
+#[derive(Debug, Clone)]
+pub struct VerifyConfig {
+    /// The master seed (printed in every failure; replays the whole run).
+    pub seed: u64,
+    /// Work budget.
+    pub budget: Budget,
+    /// Kernels under test (defaults to all four).
+    pub kernels: Vec<Kernel>,
+    /// Whether to run the serve-layer fault-injection suite (needs a
+    /// filesystem scratch directory and loopback sockets).
+    pub faults: bool,
+}
+
+impl VerifyConfig {
+    /// All kernels, faults on.
+    pub fn new(seed: u64, budget: Budget) -> Self {
+        VerifyConfig {
+            seed,
+            budget,
+            kernels: Kernel::ALL.to_vec(),
+            faults: true,
+        }
+    }
+}
+
+/// One confirmed check failure, carrying everything needed to replay it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Which suite found it.
+    pub suite: &'static str,
+    /// Kernel wire name (`spmv`/`spmm`/`sddmm`/`mttkrp`), when applicable.
+    pub kernel: Option<String>,
+    /// Corpus case / check name.
+    pub case_name: String,
+    /// The seed the failing operand was generated from.
+    pub matrix_seed: Option<u64>,
+    /// Index of the schedule in the sampler stream (replay key).
+    pub schedule_index: Option<usize>,
+    /// Human-readable schedule description.
+    pub schedule: Option<String>,
+    /// Machine-readable schedule encoding (the serve-layer JSON form).
+    pub schedule_json: Option<Json>,
+    /// First diverging coordinate, when the check compared values.
+    pub divergence: Option<Divergence>,
+    /// Free-form explanation (error text, relation name, fault detail).
+    pub detail: String,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.suite, self.case_name)?;
+        if let Some(k) = &self.kernel {
+            write!(f, " kernel={k}")?;
+        }
+        if let Some(s) = self.matrix_seed {
+            write!(f, " matrix_seed={s}")?;
+        }
+        if let Some(i) = self.schedule_index {
+            write!(f, " schedule_index={i}")?;
+        }
+        if let Some(d) = &self.divergence {
+            write!(f, " {d}")?;
+        }
+        if !self.detail.is_empty() {
+            write!(f, ": {}", self.detail)?;
+        }
+        if let Some(s) = &self.schedule {
+            write!(f, " [{s}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// One suite's outcome.
+#[derive(Debug, Clone)]
+pub struct SuiteReport {
+    /// Suite name (`differential`, `metamorphic`, `baselines`, `fault`).
+    pub name: &'static str,
+    /// Checks that executed to completion.
+    pub executed: usize,
+    /// Checks skipped because the schedule's storage was over budget (the
+    /// space legitimately excludes those points) or a baseline declined.
+    pub skipped: usize,
+    /// Confirmed failures.
+    pub failures: Vec<Failure>,
+}
+
+/// The whole run's outcome.
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// The master seed (replay key).
+    pub seed: u64,
+    /// Budget the run used.
+    pub budget: Budget,
+    /// Per-suite results, in execution order.
+    pub suites: Vec<SuiteReport>,
+}
+
+impl VerifyReport {
+    /// Whether every suite came back clean.
+    pub fn passed(&self) -> bool {
+        self.suites.iter().all(|s| s.failures.is_empty())
+    }
+
+    /// Total failure count.
+    pub fn total_failures(&self) -> usize {
+        self.suites.iter().map(|s| s.failures.len()).sum()
+    }
+
+    /// A terminal summary: one line per suite plus one line per failure.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for s in &self.suites {
+            out.push_str(&format!(
+                "{:>12}: {} checks, {} skipped, {} failures\n",
+                s.name,
+                s.executed,
+                s.skipped,
+                s.failures.len()
+            ));
+            for f in &s.failures {
+                out.push_str(&format!("  FAIL {f}\n"));
+            }
+        }
+        let verdict = if self.passed() { "PASS" } else { "FAIL" };
+        out.push_str(&format!(
+            "{verdict} (seed {}, budget {}; replay with `waco-cli verify --seed {} --budget {}`)\n",
+            self.seed,
+            self.budget.name(),
+            self.seed,
+            self.budget.name()
+        ));
+        out
+    }
+}
+
+/// Runs the full harness with the production `waco-exec` backend.
+pub fn run(cfg: &VerifyConfig) -> VerifyReport {
+    run_with_executor(cfg, &diff::ExecBackend)
+}
+
+/// Runs the full harness against an injectable executor — the hook the
+/// harness's own tests use to prove a broken lowering is caught.
+pub fn run_with_executor(cfg: &VerifyConfig, exec: &dyn diff::Executor) -> VerifyReport {
+    let mut suites = vec![
+        diff::differential_suite(cfg, exec),
+        metamorphic::metamorphic_suite(cfg, exec),
+        baselines::baselines_suite(cfg, exec),
+    ];
+    if cfg.faults {
+        suites.push(fault::fault_suite(cfg));
+    }
+    VerifyReport {
+        seed: cfg.seed,
+        budget: cfg.budget,
+        suites,
+    }
+}
+
+pub(crate) fn kernel_wire_name(k: Kernel) -> &'static str {
+    match k {
+        Kernel::SpMV => "spmv",
+        Kernel::SpMM => "spmm",
+        Kernel::SDDMM => "sddmm",
+        Kernel::MTTKRP => "mttkrp",
+    }
+}
+
+/// Splits one master seed into an independent stream per (suite, kernel,
+/// case) so adding a case never shifts another case's randomness.
+pub(crate) fn mix_seed(seed: u64, salt: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in salt.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    seed ^ h
+}

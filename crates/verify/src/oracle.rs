@@ -1,0 +1,266 @@
+//! Naive dense oracles and the epsilon-aware comparator.
+//!
+//! Each oracle materializes the sparse operand densely and evaluates the
+//! kernel's index expression with `f64` accumulators in a fixed row-major
+//! loop nest — no format machinery, no co-iteration, no schedule. That
+//! independence is the point: an oracle result and a `waco-exec` result can
+//! only agree by both being correct.
+//!
+//! ## Epsilon policy
+//!
+//! Kernels execute in `f32` (`Value`) and a schedule is free to reassociate
+//! every reduction, so bitwise equality is not the contract — closeness is:
+//! `|expected - actual| <= abs + rel * max(|expected|, |actual|)`. The
+//! defaults (`abs = rel = 1e-3`) match the tolerance the exec kernel tests
+//! have always used for the corpus value range of `[-1, 1)` and row
+//! reductions of tens of terms. The comparator scans in row-major order and
+//! reports the *first* diverging coordinate, which keeps failure reports
+//! stable across runs of the same seed.
+
+use waco_tensor::{CooMatrix, CooTensor3, DenseMatrix, DenseVector, Value};
+
+/// Comparator tolerance: `abs + rel * magnitude`.
+#[derive(Debug, Clone, Copy)]
+pub struct Tolerance {
+    /// Absolute slack.
+    pub abs: f64,
+    /// Relative slack, scaled by the larger magnitude of the pair.
+    pub rel: f64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Tolerance {
+            abs: 1e-3,
+            rel: 1e-3,
+        }
+    }
+}
+
+/// The first coordinate at which an execution left the oracle's tolerance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// Multi-dimensional coordinate (row-major scan order).
+    pub coord: Vec<usize>,
+    /// Oracle value at the coordinate.
+    pub expected: f64,
+    /// Executed value at the coordinate.
+    pub actual: f64,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "at {:?}: expected {}, got {}",
+            self.coord, self.expected, self.actual
+        )
+    }
+}
+
+impl Tolerance {
+    /// Whether two values agree under this tolerance.
+    pub fn close(&self, expected: f64, actual: f64) -> bool {
+        (expected - actual).abs() <= self.abs + self.rel * expected.abs().max(actual.abs())
+    }
+
+    /// Scans `expected` against `actual` in row-major order over `shape`
+    /// and returns the first diverging coordinate, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics when lengths disagree with each other or with `shape` — that
+    /// is a harness bug, not a kernel divergence.
+    pub fn first_divergence(
+        &self,
+        shape: &[usize],
+        expected: &[f64],
+        actual: &[Value],
+    ) -> Option<Divergence> {
+        assert_eq!(expected.len(), actual.len(), "comparator length mismatch");
+        assert_eq!(
+            expected.len(),
+            shape.iter().product::<usize>(),
+            "shape does not cover the buffers"
+        );
+        for (i, (&e, &a)) in expected.iter().zip(actual.iter()).enumerate() {
+            let a = f64::from(a);
+            if !self.close(e, a) {
+                return Some(Divergence {
+                    coord: unflatten(shape, i),
+                    expected: e,
+                    actual: a,
+                });
+            }
+        }
+        None
+    }
+}
+
+/// Row-major flat index → multi-dimensional coordinate.
+pub fn unflatten(shape: &[usize], mut flat: usize) -> Vec<usize> {
+    let mut coord = vec![0usize; shape.len()];
+    for (c, &extent) in coord.iter_mut().zip(shape.iter()).rev() {
+        *c = flat % extent.max(1);
+        flat /= extent.max(1);
+    }
+    coord
+}
+
+fn dense64(a: &CooMatrix) -> Vec<f64> {
+    let mut d = vec![0.0f64; a.nrows() * a.ncols()];
+    for (r, c, v) in a.iter() {
+        d[r * a.ncols() + c] += f64::from(v);
+    }
+    d
+}
+
+/// `y[i] = Σ_k A[i,k] x[k]` — shape `[nrows]`.
+pub fn spmv(a: &CooMatrix, x: &DenseVector) -> Vec<f64> {
+    let ad = dense64(a);
+    let mut y = vec![0.0f64; a.nrows()];
+    for i in 0..a.nrows() {
+        for k in 0..a.ncols() {
+            y[i] += ad[i * a.ncols() + k] * f64::from(x.as_slice()[k]);
+        }
+    }
+    y
+}
+
+/// `C[i,j] = Σ_k A[i,k] B[k,j]` — shape `[nrows, b.ncols()]`.
+pub fn spmm(a: &CooMatrix, b: &DenseMatrix) -> Vec<f64> {
+    let ad = dense64(a);
+    let (n, m, j) = (a.nrows(), a.ncols(), b.ncols());
+    let mut c = vec![0.0f64; n * j];
+    for i in 0..n {
+        for k in 0..m {
+            let av = ad[i * m + k];
+            for jj in 0..j {
+                c[i * j + jj] += av * f64::from(b.get(k, jj));
+            }
+        }
+    }
+    c
+}
+
+/// `D[i,j] = A[i,j] * Σ_k B[i,k] C[k,j]` — shape `[nrows, ncols]`, dense
+/// (positions outside A's pattern are exactly zero).
+pub fn sddmm(a: &CooMatrix, b: &DenseMatrix, c: &DenseMatrix) -> Vec<f64> {
+    let ad = dense64(a);
+    let (n, m, k) = (a.nrows(), a.ncols(), b.ncols());
+    let mut d = vec![0.0f64; n * m];
+    for i in 0..n {
+        for j in 0..m {
+            let av = ad[i * m + j];
+            if av == 0.0 {
+                continue;
+            }
+            let mut dot = 0.0f64;
+            for kk in 0..k {
+                dot += f64::from(b.get(i, kk)) * f64::from(c.get(kk, j));
+            }
+            d[i * m + j] = av * dot;
+        }
+    }
+    d
+}
+
+/// `M[i,j] = Σ_{k,l} T[i,k,l] B[k,j] C[l,j]` — shape `[dims[0], rank]`.
+pub fn mttkrp(t: &CooTensor3, b: &DenseMatrix, c: &DenseMatrix) -> Vec<f64> {
+    let [d0, d1, d2] = t.dims();
+    let rank = b.ncols();
+    let mut dense = vec![0.0f64; d0 * d1 * d2];
+    for (i, k, l, v) in t.iter() {
+        dense[(i * d1 + k) * d2 + l] += f64::from(v);
+    }
+    let mut m = vec![0.0f64; d0 * rank];
+    for i in 0..d0 {
+        for k in 0..d1 {
+            for l in 0..d2 {
+                let tv = dense[(i * d1 + k) * d2 + l];
+                if tv == 0.0 {
+                    continue;
+                }
+                for j in 0..rank {
+                    m[i * rank + j] += tv * f64::from(b.get(k, j)) * f64::from(c.get(l, j));
+                }
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waco_tensor::csr::mttkrp_reference;
+    use waco_tensor::gen::{self, Rng64};
+    use waco_tensor::CsrMatrix;
+
+    #[test]
+    fn oracles_agree_with_csr_references() {
+        let mut rng = Rng64::seed_from(1);
+        let a = gen::uniform_random(18, 21, 0.2, &mut rng);
+        let x = DenseVector::from_fn(21, |i| (i as f32).cos());
+        let b = DenseMatrix::from_fn(21, 5, |r, c| ((r + c) % 3) as f32 - 1.0);
+        let tol = Tolerance::default();
+
+        let y = spmv(&a, &x);
+        assert!(tol
+            .first_divergence(&[18], &y, CsrMatrix::from_coo(&a).spmv(&x).as_slice())
+            .is_none());
+
+        let c = spmm(&a, &b);
+        assert!(tol
+            .first_divergence(&[18, 5], &c, CsrMatrix::from_coo(&a).spmm(&b).as_slice())
+            .is_none());
+
+        let bl = DenseMatrix::from_fn(18, 4, |r, c| (r * 2 + c) as f32 * 0.1);
+        let cr = DenseMatrix::from_fn(4, 21, |r, c| (r + c) as f32 * 0.2 - 0.3);
+        let d = sddmm(&a, &bl, &cr);
+        assert!(tol
+            .first_divergence(
+                &[18, 21],
+                &d,
+                CsrMatrix::from_coo(&a)
+                    .sddmm(&bl, &cr)
+                    .to_dense()
+                    .as_slice()
+            )
+            .is_none());
+
+        let t = gen::random_tensor3([7, 8, 9], 50, &mut rng);
+        let tb = DenseMatrix::from_fn(8, 4, |r, c| ((r * 3 + c) % 7) as f32 * 0.25);
+        let tc = DenseMatrix::from_fn(9, 4, |r, c| ((r + 2 * c) % 5) as f32 * 0.5 - 1.0);
+        let m = mttkrp(&t, &tb, &tc);
+        assert!(tol
+            .first_divergence(&[7, 4], &m, mttkrp_reference(&t, &tb, &tc).as_slice())
+            .is_none());
+    }
+
+    #[test]
+    fn first_divergence_reports_first_coordinate() {
+        let tol = Tolerance::default();
+        let expected = vec![1.0f64, 2.0, 3.0, 4.0];
+        let actual = vec![1.0f32, 2.5, 3.9, 4.0];
+        let d = tol.first_divergence(&[2, 2], &expected, &actual).unwrap();
+        assert_eq!(d.coord, vec![0, 1], "first divergence, row-major");
+        assert_eq!(d.expected, 2.0);
+        assert_eq!(d.actual, 2.5);
+    }
+
+    #[test]
+    fn tolerance_scales_with_magnitude() {
+        let tol = Tolerance::default();
+        assert!(tol.close(1000.0, 1000.5));
+        assert!(!tol.close(1.0, 1.5));
+        assert!(tol.close(0.0, 0.0005));
+    }
+
+    #[test]
+    fn unflatten_is_row_major() {
+        assert_eq!(unflatten(&[2, 3], 5), vec![1, 2]);
+        assert_eq!(unflatten(&[4], 3), vec![3]);
+        assert_eq!(unflatten(&[2, 3, 4], 23), vec![1, 2, 3]);
+    }
+}

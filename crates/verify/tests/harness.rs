@@ -1,0 +1,165 @@
+//! Self-tests of the harness: the production backend must come back clean,
+//! and a deliberately broken backend must be caught with a replayable
+//! failure record — the harness's own false-negative check.
+
+use waco_schedule::{Kernel, Space, SuperSchedule};
+use waco_tensor::{CooMatrix, CooTensor3, DenseMatrix, DenseVector};
+use waco_verify::diff::{ExecBackend, Executor};
+use waco_verify::{run_with_executor, Budget, VerifyConfig};
+
+#[test]
+fn clean_backend_passes_smoke() {
+    let mut cfg = VerifyConfig::new(42, Budget::Smoke);
+    // The fault suite has its own test below; keep this one about kernels.
+    cfg.faults = false;
+    let report = run_with_executor(&cfg, &ExecBackend);
+    for s in &report.suites {
+        assert!(
+            s.failures.is_empty(),
+            "suite {} reported failures:\n{}",
+            s.name,
+            report.summary()
+        );
+        assert!(s.executed > 0, "suite {} executed nothing", s.name);
+    }
+    assert_eq!(report.suites.len(), 3);
+    assert!(report.passed());
+}
+
+#[test]
+fn fault_suite_passes_and_counts_injections() {
+    let mut cfg = VerifyConfig::new(42, Budget::Smoke);
+    cfg.kernels = vec![];
+    let report = run_with_executor(&cfg, &ExecBackend);
+    let fault = report
+        .suites
+        .iter()
+        .find(|s| s.name == "fault")
+        .expect("fault suite ran");
+    assert!(
+        fault.failures.is_empty(),
+        "fault suite failed:\n{}",
+        report.summary()
+    );
+    // Truncation sweep alone injects one fault per byte of the journal.
+    assert!(
+        fault.executed > 100,
+        "expected a dense fault sweep, got {} checks",
+        fault.executed
+    );
+}
+
+/// A backend that mis-executes SpMV whenever the row dimension is split —
+/// the shape of a real lowering bug (a tile boundary handled wrong).
+struct BrokenSplitLowering;
+
+impl Executor for BrokenSplitLowering {
+    fn name(&self) -> &'static str {
+        "broken-split-lowering"
+    }
+
+    fn spmv(
+        &self,
+        a: &CooMatrix,
+        sched: &SuperSchedule,
+        space: &Space,
+        x: &DenseVector,
+    ) -> waco_exec::Result<DenseVector> {
+        let mut y = ExecBackend.spmv(a, sched, space, x)?;
+        if sched.splits[0] > 1 && a.nrows() > 0 {
+            let slice = y.as_mut_slice();
+            slice[0] += 1.0;
+        }
+        Ok(y)
+    }
+
+    fn spmm(
+        &self,
+        a: &CooMatrix,
+        sched: &SuperSchedule,
+        space: &Space,
+        b: &DenseMatrix,
+    ) -> waco_exec::Result<DenseMatrix> {
+        ExecBackend.spmm(a, sched, space, b)
+    }
+
+    fn sddmm(
+        &self,
+        a: &CooMatrix,
+        sched: &SuperSchedule,
+        space: &Space,
+        b: &DenseMatrix,
+        c: &DenseMatrix,
+    ) -> waco_exec::Result<CooMatrix> {
+        ExecBackend.sddmm(a, sched, space, b, c)
+    }
+
+    fn mttkrp(
+        &self,
+        t: &CooTensor3,
+        sched: &SuperSchedule,
+        space: &Space,
+        b: &DenseMatrix,
+        c: &DenseMatrix,
+    ) -> waco_exec::Result<DenseMatrix> {
+        ExecBackend.mttkrp(t, sched, space, b, c)
+    }
+}
+
+#[test]
+fn broken_lowering_is_caught_with_a_replayable_record() {
+    let mut cfg = VerifyConfig::new(42, Budget::Smoke);
+    cfg.kernels = vec![Kernel::SpMV];
+    cfg.faults = false;
+
+    let report = run_with_executor(&cfg, &BrokenSplitLowering);
+    assert!(!report.passed(), "the broken lowering went undetected");
+
+    let diff = report
+        .suites
+        .iter()
+        .find(|s| s.name == "differential")
+        .expect("differential suite ran");
+    assert!(
+        !diff.failures.is_empty(),
+        "the differential suite missed the broken lowering"
+    );
+    let f = &diff.failures[0];
+    assert_eq!(f.kernel.as_deref(), Some("spmv"));
+    assert!(f.matrix_seed.is_some(), "failure must name the matrix seed");
+    assert!(
+        f.schedule_index.is_some(),
+        "failure must name the schedule index"
+    );
+    assert!(
+        f.schedule.as_deref().is_some_and(|s| !s.is_empty()),
+        "failure must carry the schedule"
+    );
+    assert!(
+        f.schedule_json.is_some(),
+        "failure must carry the machine-readable schedule"
+    );
+    let d = f.divergence.as_ref().expect("failure carries a divergence");
+    assert_eq!(d.coord, vec![0], "the bug perturbs row 0");
+    assert!((d.actual - d.expected).abs() > 0.5, "perturbation is +1.0");
+    assert!(
+        f.detail.contains("shrunk"),
+        "failure records the shrink outcome: {}",
+        f.detail
+    );
+
+    // Replay: the same seed must reproduce the identical failure list.
+    let replay = run_with_executor(&cfg, &BrokenSplitLowering);
+    let a: Vec<String> = report
+        .suites
+        .iter()
+        .flat_map(|s| s.failures.iter().map(|f| f.to_string()))
+        .collect();
+    let b: Vec<String> = replay
+        .suites
+        .iter()
+        .flat_map(|s| s.failures.iter().map(|f| f.to_string()))
+        .collect();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "replay with the same seed diverged");
+}

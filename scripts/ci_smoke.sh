@@ -119,7 +119,24 @@ for needle in serve.requests serve.cache.hits serve.request_seconds; do
 done
 echo "server trace OK: $SERVE_TRACE"
 
-# 3. Two experiment binaries at smoke scale (co-optimization table and the
+# 3. The correctness harness: differential + metamorphic suites against
+#    the dense oracles plus serve-layer fault injection. The seed is pinned
+#    so a red run is replayable verbatim; WACO_VERIFY_BUDGET=nightly scales
+#    the same sweep up for scheduled runs.
+VERIFY_REPORT=results/verify_report.json
+run "$CLI" verify --seed 42 --budget "${WACO_VERIFY_BUDGET:-smoke}" \
+    --out "$VERIFY_REPORT"
+test -s "$VERIFY_REPORT"
+if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "$VERIFY_REPORT" >/dev/null
+fi
+grep -qF '"passed":true' "$VERIFY_REPORT" || {
+    echo "verify report does not say passed" >&2
+    exit 1
+}
+echo "verify report OK: $VERIFY_REPORT"
+
+# 4. Two experiment binaries at smoke scale (co-optimization table and the
 #    headline baseline-comparison figure).
 run target/release/table1 --smoke
 run target/release/fig13 --smoke

@@ -45,10 +45,13 @@ pub use waco_format as format;
 pub use waco_model as model;
 pub use waco_nn as nn;
 pub use waco_obs as obs;
+pub use waco_runtime as runtime;
 pub use waco_schedule as schedule;
+pub use waco_serve as serve;
 pub use waco_sim as sim;
 pub use waco_sparseconv as sparseconv;
 pub use waco_tensor as tensor;
+pub use waco_verify as verify;
 
 /// The most commonly used items in one import.
 pub mod prelude {
