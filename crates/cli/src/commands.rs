@@ -35,6 +35,9 @@ USAGE:
   waco-cli verify  [--seed S] [--budget smoke|nightly]
                    [--kernel spmv,spmm,...] [--faults on|off]
                    [--out FILE.json]
+  waco-cli plan    [--kernel spmv|spmm|sddmm] [--dense N]
+                   [--rows N] [--cols N] [--schedule JSON]
+                   [--format text|json] [FILE.mtx]
 
 Global flags:
   --trace FILE.json   record a structured trace (spans, counters,
@@ -471,6 +474,144 @@ pub fn verify(args: &[String]) -> Result<()> {
             report.total_failures()
         )))
     }
+}
+
+/// `waco-cli plan`: lowers a schedule to its `ExecutionPlan` and dumps it,
+/// as text (default) or JSON (`--json`) — the introspection window into the
+/// exact loop structure every backend (exec, sim, serve, verify) runs.
+pub fn plan(args: &[String]) -> Result<()> {
+    use waco_exec::{ExecutionPlan, FastPath, LocateKind, PlanOp};
+    use waco_serve::Json;
+
+    let flags = Flags::parse(args)?;
+    let kernel = parse_kernel(&flags)?;
+    let dense = dense_extent(&flags, kernel)?;
+
+    // Sparse dims: from the matrix when given, else --rows/--cols.
+    let dims = match flags.positional.as_slice() {
+        [] => vec![flags.usize_or("rows", 1024)?, flags.usize_or("cols", 1024)?],
+        [path] => {
+            let m = load_matrix(path)?;
+            vec![m.nrows(), m.ncols()]
+        }
+        _ => return Err(bad("expected at most one FILE.mtx")),
+    };
+    let space = waco_schedule::Space::new(kernel, dims, dense);
+
+    let sched = match flags.get("schedule") {
+        None => waco_schedule::named::default_csr(&space),
+        Some(text) => {
+            let v = Json::parse(text).map_err(|e| bad(format!("--schedule is not JSON: {e}")))?;
+            waco_serve::cache::schedule_from_json(&v, kernel)
+                .ok_or_else(|| bad("--schedule JSON does not decode to a schedule"))?
+        }
+    };
+
+    let plan = ExecutionPlan::build(&sched, &space)
+        .map_err(|e| WacoError::InvalidSchedule(e.to_string()))?;
+
+    match flags.get("format").unwrap_or("text") {
+        "json" => {}
+        "text" => {
+            println!("{}", sched.describe(&space));
+            print!("{}", plan.describe());
+            return Ok(());
+        }
+        other => {
+            return Err(bad(format!(
+                "--format must be `text` or `json`, got `{other}`"
+            )))
+        }
+    }
+
+    let op_json = |op: &PlanOp| match *op {
+        PlanOp::ParallelChunk {
+            var,
+            extent,
+            threads,
+            chunk,
+            ..
+        } => Json::obj([
+            ("op", Json::str("parallel_chunk")),
+            ("var", Json::str(plan.var_name(var))),
+            ("extent", Json::num(extent as f64)),
+            ("threads", Json::num(threads as f64)),
+            ("chunk", Json::num(chunk as f64)),
+        ]),
+        PlanOp::DenseLoop { var, extent, .. } => Json::obj([
+            ("op", Json::str("dense_loop")),
+            ("var", Json::str(plan.var_name(var))),
+            ("extent", Json::num(extent as f64)),
+        ]),
+        PlanOp::ConcordantIter { level, .. } => Json::obj([
+            ("op", Json::str("concordant_iter")),
+            ("level", Json::num(level as f64)),
+        ]),
+        PlanOp::Locate { level, kind, .. } => Json::obj([
+            ("op", Json::str("locate")),
+            ("level", Json::num(level as f64)),
+            (
+                "strategy",
+                match kind {
+                    LocateKind::Stride(s) => Json::obj([
+                        ("kind", Json::str("stride")),
+                        ("extent", Json::num(s as f64)),
+                    ]),
+                    LocateKind::BinarySearch => Json::obj([("kind", Json::str("binary_search"))]),
+                },
+            ),
+        ]),
+        PlanOp::Body => Json::obj([("op", Json::str("body"))]),
+    };
+    let doc = Json::obj([
+        ("kernel", Json::str(kernel.to_string().to_lowercase())),
+        (
+            "sparse_dims",
+            Json::Arr(
+                plan.sparse_dims()
+                    .iter()
+                    .map(|&d| Json::num(d as f64))
+                    .collect(),
+            ),
+        ),
+        ("dense_extent", Json::num(plan.dense_extent() as f64)),
+        ("format", Json::str(plan.spec().describe())),
+        (
+            "order",
+            Json::Arr(
+                plan.order()
+                    .iter()
+                    .map(|&v| Json::str(plan.var_name(v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "splits",
+            Json::Arr(plan.splits().iter().map(|&s| Json::num(s as f64)).collect()),
+        ),
+        (
+            "parallel",
+            match plan.parallel() {
+                None => Json::Null,
+                Some(p) => Json::obj([
+                    ("var", Json::str(plan.var_name(p.var))),
+                    ("threads", Json::num(p.threads as f64)),
+                    ("chunk", Json::num(p.chunk as f64)),
+                ]),
+            },
+        ),
+        (
+            "fast_path",
+            Json::str(match plan.fast_path() {
+                FastPath::CsrRows => "csr_rows",
+                FastPath::None => "none",
+            }),
+        ),
+        ("ops", Json::Arr(plan.ops().iter().map(op_json).collect())),
+        ("schedule", waco_serve::cache::schedule_to_json(&sched)),
+    ]);
+    println!("{doc}");
+    Ok(())
 }
 
 #[cfg(test)]

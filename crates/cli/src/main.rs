@@ -9,6 +9,7 @@
 //! waco-cli serve    --cache /var/tmp/waco-cache --addr 127.0.0.1:7470
 //! waco-cli query    --addr 127.0.0.1:7470 graph.mtx
 //! waco-cli verify   --seed 42 --budget smoke
+//! waco-cli plan     --kernel spmv --rows 1024 --cols 1024
 //! ```
 //!
 //! All tuning runs against the deterministic machine simulator (see the
@@ -57,6 +58,7 @@ fn run(args: Vec<String>) -> Result<(), WacoError> {
         "serve" => commands::serve(rest),
         "query" => commands::query(rest),
         "verify" => commands::verify(rest),
+        "plan" => commands::plan(rest),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

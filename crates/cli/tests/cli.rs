@@ -316,3 +316,48 @@ fn trace_flag_writes_json_with_pipeline_spans() {
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("trace written to"), "{err}");
 }
+
+#[test]
+fn plan_dumps_text_and_json() {
+    let out = cli()
+        .args(["plan", "--kernel", "spmv", "--rows", "64", "--cols", "64"])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("ExecutionPlan SpMV over [64, 64]"), "{text}");
+    assert!(text.contains("parallel_chunk"), "{text}");
+    assert!(text.contains("body"), "{text}");
+
+    let out = cli()
+        .args([
+            "plan", "--kernel", "spmm", "--rows", "32", "--cols", "48", "--dense", "8", "--format",
+            "json",
+        ])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"fast_path\":\"csr_rows\""), "{text}");
+    assert!(text.contains("\"sparse_dims\":[32,48]"), "{text}");
+    // The dumped schedule must round-trip through the serve wire form.
+    assert!(text.contains("\"schedule\":"), "{text}");
+}
+
+#[test]
+fn plan_rejects_bad_schedule_json() {
+    let out = cli()
+        .args(["plan", "--kernel", "spmv", "--schedule", "{not json"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--schedule"));
+}

@@ -1,76 +1,142 @@
 //! The four kernels of the paper, executed under arbitrary SuperSchedules.
 //!
-//! Each kernel validates its schedule, stores the sparse operand in the
-//! schedule's format, compiles a [`LoopNest`], and runs it — serially or with
-//! dynamic-chunk threads per the schedule's `parallelize` directive. Outputs
-//! are validated against the reference implementations in `waco-tensor` by
-//! the test suite.
+//! Each kernel lowers its schedule once into an [`ExecutionPlan`]
+//! (validation, format-spec derivation, loop-op resolution — all at build
+//! time), stores the sparse operand in the plan's spec, and runs the plan —
+//! serially or with dynamic-chunk threads per the plan's `ParallelChunk` op.
+//! Callers that already hold a plan (the serve-side plan cache, benches, the
+//! verify harness) use the `*_plan` entries directly and skip lowering; the
+//! `*_interpreted` entries run the same plan through the dynamic
+//! [`LoopNest`] interpreter instead, as the reference the plan executor is
+//! differentially tested against. Outputs are validated against the
+//! reference implementations in `waco-tensor` by the test suite.
 
-use crate::nest::{LoopNest, NoInstrument};
+use crate::nest::{Ctx, LoopNest, NoInstrument};
 use crate::parallel::run_chunked;
+use crate::plan::{ExecutionPlan, FastPath};
 use crate::{ExecError, Result};
-use waco_format::SparseStorage;
+use waco_format::{LevelStorage, SparseStorage};
 use waco_schedule::{Kernel, Space, SuperSchedule};
 use waco_tensor::{CooMatrix, CooTensor3, DenseMatrix, DenseVector, Value};
 
-fn check(space: &Space, sched: &SuperSchedule, kernel: Kernel) -> Result<()> {
-    if space.kernel != kernel {
-        return Err(ExecError::OperandMismatch(format!(
-            "space is for {}, kernel called is {kernel}",
-            space.kernel
-        )));
-    }
-    sched.validate(space)?;
-    Ok(())
-}
-
-fn storage_2d(a: &CooMatrix, sched: &SuperSchedule, space: &Space) -> Result<SparseStorage> {
-    if space.sparse_dims != [a.nrows(), a.ncols()] {
+/// Lowers a schedule and stores a matrix operand in the plan's spec — the
+/// build half of every 2-D kernel (the `T_formatconvert` vs `T_tunedkernel`
+/// split of §5.6: build once, run the plan many times).
+///
+/// # Errors
+///
+/// Schedule validation, storage budget, and operand-shape errors.
+pub fn lower_2d(
+    a: &CooMatrix,
+    sched: &SuperSchedule,
+    space: &Space,
+) -> Result<(ExecutionPlan, SparseStorage)> {
+    let plan = ExecutionPlan::build(sched, space)?;
+    if plan.sparse_dims() != [a.nrows(), a.ncols()] {
         return Err(ExecError::OperandMismatch(format!(
             "matrix is {}x{}, space expects {:?}",
             a.nrows(),
             a.ncols(),
-            space.sparse_dims
+            plan.sparse_dims()
         )));
     }
-    Ok(SparseStorage::from_matrix(a, &sched.a_format_spec(space)?)?)
+    let st = SparseStorage::from_matrix(a, plan.spec())?;
+    Ok((plan, st))
+}
+
+/// Lowers a schedule and stores a 3-D tensor operand in the plan's spec.
+///
+/// # Errors
+///
+/// Schedule validation, storage budget, and operand-shape errors.
+pub fn lower_tensor3(
+    a: &CooTensor3,
+    sched: &SuperSchedule,
+    space: &Space,
+) -> Result<(ExecutionPlan, SparseStorage)> {
+    let plan = ExecutionPlan::build(sched, space)?;
+    if plan.sparse_dims() != a.dims() {
+        return Err(ExecError::OperandMismatch(format!(
+            "tensor dims {:?}, space expects {:?}",
+            a.dims(),
+            plan.sparse_dims()
+        )));
+    }
+    let st = SparseStorage::from_tensor3(a, plan.spec())?;
+    Ok((plan, st))
+}
+
+fn check_kernel(plan: &ExecutionPlan, kernel: Kernel) -> Result<()> {
+    if plan.kernel() != kernel {
+        return Err(ExecError::OperandMismatch(format!(
+            "plan is for {}, kernel called is {kernel}",
+            plan.kernel()
+        )));
+    }
+    Ok(())
+}
+
+fn check_storage(plan: &ExecutionPlan, st: &SparseStorage) -> Result<()> {
+    if st.spec() != plan.spec() {
+        return Err(ExecError::OperandMismatch(
+            "storage spec does not match the plan's format spec".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Which execution strategy drives the walk: the plan's flat op sequence
+/// (with monomorphized fast paths) or the dynamic reference interpreter.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Engine {
+    Plan,
+    Interp,
 }
 
 /// How a kernel executes: serial walk or dynamic-chunk parallel walk with
 /// per-thread accumulators merged by `merge`. Every kernel run passes
-/// through here, so this is the one observability point of the
-/// interpreter: a per-kernel span plus `exec.kernel_runs` — kept to two
-/// relaxed atomic loads when no subscriber is installed (the hot-loop
-/// budget the `substrates` microbench enforces).
-fn drive<Acc: Send>(
-    nest: &LoopNest<'_>,
-    sched: &SuperSchedule,
+/// through here, so this is the one observability point of the execution
+/// layer: a per-kernel span plus `exec.kernel_runs` — kept to two relaxed
+/// atomic loads when no subscriber is installed (the hot-loop budget the
+/// `substrates` microbench enforces). The chunking is identical for every
+/// engine (including fast paths), so outputs are bit-identical across them.
+fn dispatch<Acc: Send>(
+    plan: &ExecutionPlan,
     make_acc: impl Fn() -> Acc + Sync,
-    body: impl Fn(&crate::nest::Ctx<'_>, usize, Value, &mut Acc) + Sync,
+    run: impl Fn(std::ops::Range<usize>, &mut Acc) + Sync,
     merge: impl Fn(Vec<Acc>) -> Acc,
 ) -> Acc {
     let _span = if waco_obs::enabled() {
         waco_obs::counter("exec.kernel_runs", 1);
-        waco_obs::span_owned(format!("exec/{}", sched.kernel))
+        waco_obs::span_owned(format!("exec/{}", plan.kernel()))
     } else {
         waco_obs::Span::disabled()
     };
-    let extent = nest.outer_extent();
-    match &sched.parallel {
-        Some(p) if p.threads > 1 => {
-            let accs = run_chunked(extent, p.threads, p.chunk, &make_acc, |range, acc| {
-                nest.walk(range, &mut NoInstrument, &mut |ctx, pos, val| {
-                    body(ctx, pos, val, acc)
-                });
-            });
-            merge(accs)
-        }
+    let extent = plan.outer_extent();
+    match plan.parallel() {
+        Some(p) if p.threads > 1 => merge(run_chunked(extent, p.threads, p.chunk, &make_acc, run)),
         _ => {
             let mut acc = make_acc();
-            nest.walk(0..extent, &mut NoInstrument, &mut |ctx, pos, val| {
-                body(ctx, pos, val, &mut acc)
-            });
+            run(0..extent, &mut acc);
             acc
+        }
+    }
+}
+
+/// The generic walk of one outer-loop subrange under the chosen engine.
+fn walk_range<Acc>(
+    engine: Engine,
+    plan: &ExecutionPlan,
+    st: &SparseStorage,
+    range: std::ops::Range<usize>,
+    acc: &mut Acc,
+    body: &(impl Fn(&Ctx<'_>, usize, Value, &mut Acc) + Sync),
+) {
+    let mut wrapped = |ctx: &Ctx<'_>, pos: usize, val: Value| body(ctx, pos, val, acc);
+    match engine {
+        Engine::Plan => plan.walk(st, range, &mut NoInstrument, &mut wrapped),
+        Engine::Interp => {
+            LoopNest::from_plan(plan, st).walk(range, &mut NoInstrument, &mut wrapped)
         }
     }
 }
@@ -85,6 +151,16 @@ fn merge_vecs(mut accs: Vec<Vec<Value>>) -> Vec<Value> {
     out
 }
 
+/// The CSR pos/crd slices a [`FastPath::CsrRows`] plan executes directly.
+fn csr_slices(st: &SparseStorage) -> (&[usize], &[usize], &[Value]) {
+    match st.level(1) {
+        LevelStorage::Compressed { pos, crd } => (pos, crd, st.vals()),
+        LevelStorage::Uncompressed { .. } => {
+            unreachable!("CsrRows plans store a compressed column level")
+        }
+    }
+}
+
 /// SpMV: `y = A x` under `sched`.
 ///
 /// # Errors
@@ -96,41 +172,83 @@ pub fn spmv(
     space: &Space,
     x: &DenseVector,
 ) -> Result<DenseVector> {
-    check(space, sched, Kernel::SpMV)?;
-    let st = storage_2d(a, sched, space)?;
-    spmv_storage(&st, sched, space, x)
+    let (plan, st) = lower_2d(a, sched, space)?;
+    spmv_plan(&plan, &st, x)
 }
 
-/// SpMV over pre-built storage (reuse across repeated runs — the
-/// `T_formatconvert` vs `T_tunedkernel` split of §5.6).
+/// SpMV over a pre-lowered plan and pre-built storage. Fully-concordant CSR
+/// plans take a monomorphized pos/crd row loop with no per-element
+/// branching; everything else runs the generic op executor.
 ///
 /// # Errors
 ///
-/// Operand-shape errors.
-pub fn spmv_storage(
+/// Kernel, spec, and operand-shape mismatches.
+pub fn spmv_plan(plan: &ExecutionPlan, st: &SparseStorage, x: &DenseVector) -> Result<DenseVector> {
+    spmv_with(Engine::Plan, plan, st, x)
+}
+
+/// SpMV through the dynamic reference interpreter (same plan, same
+/// chunking): the baseline the plan executor is differentially tested
+/// against.
+///
+/// # Errors
+///
+/// Kernel, spec, and operand-shape mismatches.
+pub fn spmv_interpreted(
+    plan: &ExecutionPlan,
     st: &SparseStorage,
-    sched: &SuperSchedule,
-    space: &Space,
     x: &DenseVector,
 ) -> Result<DenseVector> {
-    if x.len() != space.sparse_dims[1] {
+    spmv_with(Engine::Interp, plan, st, x)
+}
+
+fn spmv_with(
+    engine: Engine,
+    plan: &ExecutionPlan,
+    st: &SparseStorage,
+    x: &DenseVector,
+) -> Result<DenseVector> {
+    check_kernel(plan, Kernel::SpMV)?;
+    check_storage(plan, st)?;
+    if x.len() != plan.sparse_dims()[1] {
         return Err(ExecError::OperandMismatch("x length != ncols".into()));
     }
-    let nest = LoopNest::new(st, sched, space);
-    let n = space.sparse_dims[0];
+    let n = plan.sparse_dims()[0];
     let xs = x.as_slice();
-    let out = drive(
-        &nest,
-        sched,
-        || vec![0.0 as Value; n],
-        |ctx, _, v, acc| {
-            let (Some(i), Some(k)) = (ctx.coord(0), ctx.coord(1)) else {
-                return;
-            };
-            acc[i] += v * xs[k];
-        },
-        merge_vecs,
-    );
+    let out = if engine == Engine::Plan && plan.fast_path() == FastPath::CsrRows {
+        let (pos, crd, vals) = csr_slices(st);
+        dispatch(
+            plan,
+            || vec![0.0 as Value; n],
+            |range, acc: &mut Vec<Value>| {
+                for i in range {
+                    let mut y = acc[i];
+                    for q in pos[i]..pos[i + 1] {
+                        let v = vals[q];
+                        if v != 0.0 {
+                            y += v * xs[crd[q]];
+                        }
+                    }
+                    acc[i] = y;
+                }
+            },
+            merge_vecs,
+        )
+    } else {
+        dispatch(
+            plan,
+            || vec![0.0 as Value; n],
+            |range, acc| {
+                walk_range(engine, plan, st, range, acc, &|ctx, _, v, acc| {
+                    let (Some(i), Some(k)) = (ctx.coord(0), ctx.coord(1)) else {
+                        return;
+                    };
+                    acc[i] += v * xs[k];
+                });
+            },
+            merge_vecs,
+        )
+    };
     Ok(DenseVector::from_vec(out))
 }
 
@@ -145,45 +263,89 @@ pub fn spmm(
     space: &Space,
     b: &DenseMatrix,
 ) -> Result<DenseMatrix> {
-    check(space, sched, Kernel::SpMM)?;
-    let st = storage_2d(a, sched, space)?;
-    spmm_storage(&st, sched, space, b)
+    let (plan, st) = lower_2d(a, sched, space)?;
+    spmm_plan(&plan, &st, b)
 }
 
-/// SpMM over pre-built storage.
+/// SpMM over a pre-lowered plan and pre-built storage (monomorphized CSR
+/// row loop when the plan qualifies).
 ///
 /// # Errors
 ///
-/// Operand-shape errors.
-pub fn spmm_storage(
+/// Kernel, spec, and operand-shape mismatches.
+pub fn spmm_plan(plan: &ExecutionPlan, st: &SparseStorage, b: &DenseMatrix) -> Result<DenseMatrix> {
+    spmm_with(Engine::Plan, plan, st, b)
+}
+
+/// SpMM through the dynamic reference interpreter.
+///
+/// # Errors
+///
+/// Kernel, spec, and operand-shape mismatches.
+pub fn spmm_interpreted(
+    plan: &ExecutionPlan,
     st: &SparseStorage,
-    sched: &SuperSchedule,
-    space: &Space,
     b: &DenseMatrix,
 ) -> Result<DenseMatrix> {
-    if b.nrows() != space.sparse_dims[1] || b.ncols() != space.dense_extent {
+    spmm_with(Engine::Interp, plan, st, b)
+}
+
+fn spmm_with(
+    engine: Engine,
+    plan: &ExecutionPlan,
+    st: &SparseStorage,
+    b: &DenseMatrix,
+) -> Result<DenseMatrix> {
+    check_kernel(plan, Kernel::SpMM)?;
+    check_storage(plan, st)?;
+    if b.nrows() != plan.sparse_dims()[1] || b.ncols() != plan.dense_extent() {
         return Err(ExecError::OperandMismatch(format!(
             "B is {}x{}, expected {}x{}",
             b.nrows(),
             b.ncols(),
-            space.sparse_dims[1],
-            space.dense_extent
+            plan.sparse_dims()[1],
+            plan.dense_extent()
         )));
     }
-    let nest = LoopNest::new(st, sched, space);
-    let (ni, nj) = (space.sparse_dims[0], space.dense_extent);
-    let out = drive(
-        &nest,
-        sched,
-        || vec![0.0 as Value; ni * nj],
-        |ctx, _, v, acc| {
-            let (Some(i), Some(k), Some(j)) = (ctx.coord(0), ctx.coord(1), ctx.coord(2)) else {
-                return;
-            };
-            acc[i * nj + j] += v * b.get(k, j);
-        },
-        merge_vecs,
-    );
+    let (ni, nj) = (plan.sparse_dims()[0], plan.dense_extent());
+    let out = if engine == Engine::Plan && plan.fast_path() == FastPath::CsrRows {
+        let (pos, crd, vals) = csr_slices(st);
+        let bs = b.as_slice();
+        dispatch(
+            plan,
+            || vec![0.0 as Value; ni * nj],
+            |range, acc: &mut Vec<Value>| {
+                for i in range {
+                    let row = &mut acc[i * nj..(i + 1) * nj];
+                    for q in pos[i]..pos[i + 1] {
+                        let v = vals[q];
+                        if v != 0.0 {
+                            let brow = &bs[crd[q] * nj..(crd[q] + 1) * nj];
+                            for (o, &bv) in row.iter_mut().zip(brow) {
+                                *o += v * bv;
+                            }
+                        }
+                    }
+                }
+            },
+            merge_vecs,
+        )
+    } else {
+        dispatch(
+            plan,
+            || vec![0.0 as Value; ni * nj],
+            |range, acc| {
+                walk_range(engine, plan, st, range, acc, &|ctx, _, v, acc| {
+                    let (Some(i), Some(k), Some(j)) = (ctx.coord(0), ctx.coord(1), ctx.coord(2))
+                    else {
+                        return;
+                    };
+                    acc[i * nj + j] += v * b.get(k, j);
+                });
+            },
+            merge_vecs,
+        )
+    };
     Ok(DenseMatrix::from_vec(ni, nj, out))
 }
 
@@ -201,27 +363,51 @@ pub fn sddmm(
     b: &DenseMatrix,
     c: &DenseMatrix,
 ) -> Result<CooMatrix> {
-    check(space, sched, Kernel::SDDMM)?;
-    let st = storage_2d(a, sched, space)?;
-    sddmm_storage(&st, sched, space, b, c)
+    let (plan, st) = lower_2d(a, sched, space)?;
+    sddmm_plan(&plan, &st, b, c)
 }
 
-/// SDDMM over pre-built storage.
+/// SDDMM over a pre-lowered plan and pre-built storage.
 ///
 /// # Errors
 ///
-/// Operand-shape errors.
-pub fn sddmm_storage(
+/// Kernel, spec, and operand-shape mismatches.
+pub fn sddmm_plan(
+    plan: &ExecutionPlan,
     st: &SparseStorage,
-    sched: &SuperSchedule,
-    space: &Space,
     b: &DenseMatrix,
     c: &DenseMatrix,
 ) -> Result<CooMatrix> {
+    sddmm_with(Engine::Plan, plan, st, b, c)
+}
+
+/// SDDMM through the dynamic reference interpreter.
+///
+/// # Errors
+///
+/// Kernel, spec, and operand-shape mismatches.
+pub fn sddmm_interpreted(
+    plan: &ExecutionPlan,
+    st: &SparseStorage,
+    b: &DenseMatrix,
+    c: &DenseMatrix,
+) -> Result<CooMatrix> {
+    sddmm_with(Engine::Interp, plan, st, b, c)
+}
+
+fn sddmm_with(
+    engine: Engine,
+    plan: &ExecutionPlan,
+    st: &SparseStorage,
+    b: &DenseMatrix,
+    c: &DenseMatrix,
+) -> Result<CooMatrix> {
+    check_kernel(plan, Kernel::SDDMM)?;
+    check_storage(plan, st)?;
     let (ni, nj, nk) = (
-        space.sparse_dims[0],
-        space.sparse_dims[1],
-        space.dense_extent,
+        plan.sparse_dims()[0],
+        plan.sparse_dims()[1],
+        plan.dense_extent(),
     );
     if b.nrows() != ni || b.ncols() != nk || c.nrows() != nk || c.ncols() != nj {
         return Err(ExecError::OperandMismatch(format!(
@@ -232,19 +418,19 @@ pub fn sddmm_storage(
             c.ncols()
         )));
     }
-    let nest = LoopNest::new(st, sched, space);
     let nslots = st.vals().len();
     // Accumulate into the sparse output in A's own format (position-indexed),
     // as TACO's generated code would.
-    let out = drive(
-        &nest,
-        sched,
+    let out = dispatch(
+        plan,
         || vec![0.0 as Value; nslots],
-        |ctx, pos, v, acc| {
-            let (Some(i), Some(j), Some(k)) = (ctx.coord(0), ctx.coord(1), ctx.coord(2)) else {
-                return;
-            };
-            acc[pos] += v * b.get(i, k) * c.get(k, j);
+        |range, acc| {
+            walk_range(engine, plan, st, range, acc, &|ctx, pos, v, acc| {
+                let (Some(i), Some(j), Some(k)) = (ctx.coord(0), ctx.coord(1), ctx.coord(2)) else {
+                    return;
+                };
+                acc[pos] += v * b.get(i, k) * c.get(k, j);
+            });
         },
         merge_vecs,
     );
@@ -286,36 +472,53 @@ pub fn mttkrp(
     b: &DenseMatrix,
     c: &DenseMatrix,
 ) -> Result<DenseMatrix> {
-    check(space, sched, Kernel::MTTKRP)?;
-    if space.sparse_dims != a.dims() {
-        return Err(ExecError::OperandMismatch(format!(
-            "tensor dims {:?}, space expects {:?}",
-            a.dims(),
-            space.sparse_dims
-        )));
-    }
-    let st = SparseStorage::from_tensor3(a, &sched.a_format_spec(space)?)?;
-    mttkrp_storage(&st, sched, space, b, c)
+    let (plan, st) = lower_tensor3(a, sched, space)?;
+    mttkrp_plan(&plan, &st, b, c)
 }
 
-/// MTTKRP over pre-built storage.
+/// MTTKRP over a pre-lowered plan and pre-built storage.
 ///
 /// # Errors
 ///
-/// Operand-shape errors.
-pub fn mttkrp_storage(
+/// Kernel, spec, and operand-shape mismatches.
+pub fn mttkrp_plan(
+    plan: &ExecutionPlan,
     st: &SparseStorage,
-    sched: &SuperSchedule,
-    space: &Space,
     b: &DenseMatrix,
     c: &DenseMatrix,
 ) -> Result<DenseMatrix> {
+    mttkrp_with(Engine::Plan, plan, st, b, c)
+}
+
+/// MTTKRP through the dynamic reference interpreter.
+///
+/// # Errors
+///
+/// Kernel, spec, and operand-shape mismatches.
+pub fn mttkrp_interpreted(
+    plan: &ExecutionPlan,
+    st: &SparseStorage,
+    b: &DenseMatrix,
+    c: &DenseMatrix,
+) -> Result<DenseMatrix> {
+    mttkrp_with(Engine::Interp, plan, st, b, c)
+}
+
+fn mttkrp_with(
+    engine: Engine,
+    plan: &ExecutionPlan,
+    st: &SparseStorage,
+    b: &DenseMatrix,
+    c: &DenseMatrix,
+) -> Result<DenseMatrix> {
+    check_kernel(plan, Kernel::MTTKRP)?;
+    check_storage(plan, st)?;
     let (ni, nk, nl) = (
-        space.sparse_dims[0],
-        space.sparse_dims[1],
-        space.sparse_dims[2],
+        plan.sparse_dims()[0],
+        plan.sparse_dims()[1],
+        plan.sparse_dims()[2],
     );
-    let rank = space.dense_extent;
+    let rank = plan.dense_extent();
     if b.nrows() != nk || b.ncols() != rank || c.nrows() != nl || c.ncols() != rank {
         return Err(ExecError::OperandMismatch(format!(
             "MTTKRP operands B {}x{} C {}x{}, expected B {nk}x{rank} C {nl}x{rank}",
@@ -325,18 +528,18 @@ pub fn mttkrp_storage(
             c.ncols()
         )));
     }
-    let nest = LoopNest::new(st, sched, space);
-    let out = drive(
-        &nest,
-        sched,
+    let out = dispatch(
+        plan,
         || vec![0.0 as Value; ni * rank],
-        |ctx, _, v, acc| {
-            let (Some(i), Some(k), Some(l), Some(j)) =
-                (ctx.coord(0), ctx.coord(1), ctx.coord(2), ctx.coord(3))
-            else {
-                return;
-            };
-            acc[i * rank + j] += v * b.get(k, j) * c.get(l, j);
+        |range, acc| {
+            walk_range(engine, plan, st, range, acc, &|ctx, _, v, acc| {
+                let (Some(i), Some(k), Some(l), Some(j)) =
+                    (ctx.coord(0), ctx.coord(1), ctx.coord(2), ctx.coord(3))
+                else {
+                    return;
+                };
+                acc[i * rank + j] += v * b.get(k, j) * c.get(l, j);
+            });
         },
         merge_vecs,
     );
@@ -493,5 +696,50 @@ mod tests {
         let a = gen::mesh2d(3, 3);
         let r = spmv(&a, &sched, &space, &DenseVector::zeros(5));
         assert!(matches!(r, Err(ExecError::OperandMismatch(_))));
+    }
+
+    #[test]
+    fn mismatched_storage_spec_rejected() {
+        let mut rng = Rng64::seed_from(7);
+        let a = gen::uniform_random(12, 12, 0.2, &mut rng);
+        let space = Space::new(Kernel::SpMV, vec![12, 12], 0);
+        let sched = named::default_csr(&space);
+        let plan = ExecutionPlan::build(&sched, &space).unwrap();
+        let other = SparseStorage::from_matrix(&a, &waco_format::FormatSpec::csc(12, 12)).unwrap();
+        let r = spmv_plan(&plan, &other, &DenseVector::zeros(12));
+        assert!(matches!(r, Err(ExecError::OperandMismatch(_))));
+    }
+
+    /// The monomorphized CSR fast path must be bit-identical to both the
+    /// generic op executor and the dynamic interpreter.
+    #[test]
+    fn fast_path_is_bit_identical() {
+        let mut rng = Rng64::seed_from(8);
+        let a = gen::powerlaw_rows(96, 96, 5.0, 1.3, &mut rng);
+        let x = DenseVector::from_fn(96, |i| (i as f32 * 0.37).cos());
+        let b = DenseMatrix::from_fn(96, 8, |r, c| ((r * 5 + c) % 11) as f32 * 0.17 - 0.8);
+        for threads in [1usize, 8] {
+            let space =
+                Space::new(Kernel::SpMV, vec![96, 96], 0).with_thread_options(vec![threads]);
+            let sched = named::default_csr(&space);
+            let (plan, st) = lower_2d(&a, &sched, &space).unwrap();
+            assert!(plan.is_concordant_csr());
+            let fast = spmv_plan(&plan, &st, &x).unwrap();
+            let interp = spmv_interpreted(&plan, &st, &x).unwrap();
+            for (f, i) in fast.as_slice().iter().zip(interp.as_slice()) {
+                assert_eq!(f.to_bits(), i.to_bits(), "{threads} threads");
+            }
+
+            let space =
+                Space::new(Kernel::SpMM, vec![96, 96], 8).with_thread_options(vec![threads]);
+            let sched = named::default_csr(&space);
+            let (plan, st) = lower_2d(&a, &sched, &space).unwrap();
+            assert!(plan.is_concordant_csr());
+            let fast = spmm_plan(&plan, &st, &b).unwrap();
+            let interp = spmm_interpreted(&plan, &st, &b).unwrap();
+            for (f, i) in fast.as_slice().iter().zip(interp.as_slice()) {
+                assert_eq!(f.to_bits(), i.to_bits(), "{threads} threads");
+            }
+        }
     }
 }

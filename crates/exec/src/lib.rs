@@ -1,11 +1,12 @@
 //! Scheduled execution of sparse tensor kernels — the TACO-codegen stand-in.
 //!
 //! The WACO paper relies on TACO to *generate C code* for any point of the
-//! SuperSchedule space. This crate provides the equivalent mechanism as a
-//! **co-iteration interpreter**: given the sparse operand stored in the
-//! schedule's format ([`waco_format::SparseStorage`]) and the schedule's loop
-//! order, it walks the iteration space exactly the way the generated code
-//! would:
+//! SuperSchedule space. This crate provides the equivalent mechanism in two
+//! layers. A **lowering layer** ([`plan`]) compiles a validated
+//! `(SuperSchedule, Space, FormatSpec)` triple once into a flat
+//! [`plan::ExecutionPlan`] IR — pre-resolved loop ops with split strides,
+//! axis bindings, and per-level locate strategies — committing at build time
+//! to the decisions TACO commits to at codegen time:
 //!
 //! * a loop variable whose axis is the *next unresolved level* of the sparse
 //!   operand's hierarchy iterates the stored level directly (**concordant**
@@ -18,11 +19,19 @@
 //!   distributes chunks dynamically over real threads, mirroring
 //!   `#pragma omp parallel for schedule(dynamic, chunk)`.
 //!
+//! An **execution layer** then runs the plan over any operand stored in its
+//! spec ([`waco_format::SparseStorage`]): the generic op executor
+//! ([`plan::ExecutionPlan::walk`]), monomorphized fast paths for hot shapes
+//! (fully-concordant CSR SpMV/SpMM), and the dynamic reference interpreter
+//! ([`nest::LoopNest`]) that re-derives every decision per walk and anchors
+//! the plan-equivalence differential suite.
+//!
 //! [`kernels`] exposes the four kernels of the paper (SpMV, SpMM, SDDMM,
-//! MTTKRP) on top of the generic [`nest::LoopNest`] walker. The walker also
-//! powers the deterministic cost simulator in `waco-sim` through the
-//! [`nest::Instrument`] hook, so simulated and executed behavior can never
-//! drift apart.
+//! MTTKRP) as build-then-run pairs (`spmv` = lower + `spmv_plan`). Both
+//! walkers power the deterministic cost simulator in `waco-sim` through the
+//! [`nest::Instrument`] hook with identical event streams, so simulated and
+//! executed behavior can never drift apart; the serve layer caches plans by
+//! matrix fingerprint + schedule so a warm server skips lowering entirely.
 //!
 //! # Example
 //!
@@ -46,8 +55,10 @@
 pub mod kernels;
 pub mod nest;
 pub mod parallel;
+pub mod plan;
 
 pub use nest::{Ctx, Instrument, LoopNest, NoInstrument};
+pub use plan::{ExecutionPlan, FastPath, LocateKind, PlanOp};
 
 /// Errors from scheduled execution.
 #[derive(Debug)]

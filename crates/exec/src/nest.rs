@@ -1,18 +1,29 @@
-//! The generic scheduled loop-nest walker.
+//! The dynamic scheduled loop-nest interpreter.
 //!
-//! [`LoopNest`] binds a [`SuperSchedule`]'s loop order to a sparse operand's
-//! hierarchical storage and walks the iteration space, choosing per loop
-//! variable between concordant iteration of the storage and discordant dense
-//! iteration plus locate (see the crate docs). Kernels supply the loop body;
-//! the simulator supplies an [`Instrument`].
+//! [`LoopNest`] binds an [`ExecutionPlan`]'s lowered metadata to a sparse
+//! operand's hierarchical storage and walks the iteration space, re-deciding
+//! per loop variable — dynamically, with a bound-variable mask — between
+//! concordant iteration of the storage and discordant dense iteration plus
+//! locate (see the crate docs). This is the *reference* execution strategy:
+//! production kernels run [`ExecutionPlan::walk`]'s pre-resolved op sequence
+//! (or a monomorphized fast path), and the plan-equivalence suite checks the
+//! two produce bit-identical outputs and identical [`Instrument`] streams.
+//! Kernels supply the loop body; the simulator supplies an [`Instrument`].
 
-use waco_format::{AxisPart, SparseStorage};
+use crate::plan::{var_slot, ExecutionPlan};
+use waco_format::SparseStorage;
 use waco_schedule::{LoopVar, Space, SuperSchedule};
 use waco_tensor::Value;
 
 /// Observation hooks for the walker. All methods have no-op defaults; the
 /// cost simulator in `waco-sim` implements them to count events.
 pub trait Instrument {
+    /// Whether the instrument observes events. Plan-driven kernels only take
+    /// monomorphized fast paths when this is `false` (the fast loops skip
+    /// the hooks entirely); event-counting instruments keep the default
+    /// `true` so simulated and executed traversal see identical streams.
+    const TRACING: bool = true;
+
     /// A concordant iteration of storage level `level` is about to yield
     /// `children` entries.
     fn concordant(&mut self, level: usize, children: usize) {
@@ -35,7 +46,9 @@ pub trait Instrument {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoInstrument;
 
-impl Instrument for NoInstrument {}
+impl Instrument for NoInstrument {
+    const TRACING: bool = false;
+}
 
 /// Per-iteration context handed to kernel bodies: the bound axis coordinates
 /// plus helpers to recover original tensor coordinates.
@@ -46,7 +59,16 @@ pub struct Ctx<'a> {
     extents: &'a [usize],
 }
 
-impl Ctx<'_> {
+impl<'a> Ctx<'a> {
+    #[inline]
+    pub(crate) fn new(bound: &'a [usize], splits: &'a [usize], extents: &'a [usize]) -> Self {
+        Ctx {
+            bound,
+            splits,
+            extents,
+        }
+    }
+
     /// The original coordinate of kernel dimension `dim`, or `None` when the
     /// current split coordinates land in a partial block's padding
     /// (`coord >= extent`).
@@ -61,104 +83,67 @@ impl Ctx<'_> {
     /// The raw bound coordinate of a loop variable (axis coordinate).
     #[inline]
     pub fn axis_coord(&self, var: LoopVar) -> usize {
-        self.bound[var.dim * 2 + part_index(var.part)]
+        self.bound[var_slot(var)]
     }
 }
 
-#[inline]
-fn part_index(p: AxisPart) -> usize {
-    match p {
-        AxisPart::Outer => 0,
-        AxisPart::Inner => 1,
-    }
+enum PlanRef<'a> {
+    Owned(Box<ExecutionPlan>),
+    Borrowed(&'a ExecutionPlan),
 }
 
-#[inline]
-fn var_slot(v: LoopVar) -> usize {
-    v.dim * 2 + part_index(v.part)
-}
-
-/// A compiled loop nest: the schedule's effective loop order bound to a
-/// stored sparse operand.
-#[derive(Debug)]
+/// A loop nest: lowered schedule metadata bound to a stored sparse operand,
+/// executed by the dynamic interpreter.
 pub struct LoopNest<'a> {
     a: &'a SparseStorage,
-    /// Effective loop order: the parallelized variable hoisted outermost.
-    order: Vec<LoopVar>,
-    /// Extent of each loop variable in `order`.
-    order_extents: Vec<usize>,
-    /// For each storage level, the loop variable it stores.
-    level_var: Vec<LoopVar>,
-    /// For each var slot (`dim*2+part`), the storage level, if any.
-    var_level: Vec<Option<usize>>,
-    /// Split size per kernel dimension.
-    splits: Vec<usize>,
-    /// Extent per kernel dimension.
-    dim_extents: Vec<usize>,
-    /// Whether the level's axis var is bound *before* reaching it is decided
-    /// dynamically; this caches each order position's candidate level.
-    nlevels: usize,
+    plan: PlanRef<'a>,
 }
 
 impl<'a> LoopNest<'a> {
-    /// Builds the nest for a schedule over a stored sparse operand.
+    /// Builds the nest for a schedule over a stored sparse operand, lowering
+    /// the schedule into a private [`ExecutionPlan`].
     ///
     /// The schedule must already be validated and `a` must be stored in
-    /// `schedule.a_format_spec(space)`.
+    /// `schedule.a_format_spec(space)`. Callers that hold a plan should use
+    /// [`LoopNest::from_plan`], which clones and validates nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule does not validate against `space`.
     pub fn new(a: &'a SparseStorage, schedule: &SuperSchedule, space: &Space) -> Self {
-        let mut order = schedule.loop_order.clone();
-        if let Some(p) = &schedule.parallel {
-            let idx = order
-                .iter()
-                .position(|v| *v == p.var)
-                .expect("validated schedule contains its parallel var");
-            let v = order.remove(idx);
-            order.insert(0, v);
-        }
-        let order_extents: Vec<usize> = order
-            .iter()
-            .map(|&v| schedule.loop_extent(space, v))
-            .collect();
-
-        let level_var: Vec<LoopVar> = a
-            .spec()
-            .order()
-            .iter()
-            .map(|ax| LoopVar {
-                dim: ax.dim,
-                part: ax.part,
-            })
-            .collect();
-        let ndims = space.kernel.ndims();
-        let mut var_level = vec![None; ndims * 2];
-        for (l, v) in level_var.iter().enumerate() {
-            var_level[var_slot(*v)] = Some(l);
-        }
-        let splits: Vec<usize> = (0..ndims)
-            .map(|d| schedule.splits[d].min(space.dim_extent(d).max(1)))
-            .collect();
-        let dim_extents: Vec<usize> = (0..ndims).map(|d| space.dim_extent(d)).collect();
-        let nlevels = level_var.len();
+        let plan = ExecutionPlan::build(schedule, space).expect("schedule validates against space");
         LoopNest {
             a,
-            order,
-            order_extents,
-            level_var,
-            var_level,
-            splits,
-            dim_extents,
-            nlevels,
+            plan: PlanRef::Owned(Box::new(plan)),
+        }
+    }
+
+    /// Binds an already-lowered plan to a stored operand. No validation, no
+    /// allocation: this is how per-call interpretation reuses a cached plan.
+    pub fn from_plan(plan: &'a ExecutionPlan, a: &'a SparseStorage) -> Self {
+        debug_assert_eq!(a.spec(), plan.spec(), "operand stored in the plan's spec");
+        LoopNest {
+            a,
+            plan: PlanRef::Borrowed(plan),
+        }
+    }
+
+    /// The lowered plan driving this nest.
+    pub fn plan(&self) -> &ExecutionPlan {
+        match &self.plan {
+            PlanRef::Owned(p) => p,
+            PlanRef::Borrowed(p) => p,
         }
     }
 
     /// The effective loop order (parallel variable hoisted outermost).
     pub fn order(&self) -> &[LoopVar] {
-        &self.order
+        &self.plan().order
     }
 
     /// Extent of the outermost (parallelizable) loop.
     pub fn outer_extent(&self) -> usize {
-        self.order_extents[0]
+        self.plan().outer_extent()
     }
 
     /// Walks the subrange `outer_range` of the outermost loop, invoking
@@ -173,10 +158,12 @@ impl<'a> LoopNest<'a> {
         instr: &mut I,
         body: &mut impl FnMut(&Ctx<'_>, usize, Value),
     ) {
+        let plan = self.plan();
         let mut state = WalkState {
-            nest: self,
-            bound: vec![0usize; self.var_level.len()],
-            bound_mask: vec![false; self.var_level.len()],
+            plan,
+            a: self.a,
+            bound: vec![0usize; plan.var_level.len()],
+            bound_mask: vec![false; plan.var_level.len()],
             instr,
             body,
         };
@@ -187,37 +174,13 @@ impl<'a> LoopNest<'a> {
     /// will perform, used to exclude pathological schedules the way the paper
     /// excludes configurations that run for over a minute.
     pub fn work_estimate(&self) -> f64 {
-        let mut est = 1.0f64;
-        let mut resolved = 0usize; // levels resolvable so far
-        let mut bound = vec![false; self.var_level.len()];
-        for (&v, &ext) in self.order.iter().zip(&self.order_extents) {
-            let slot = var_slot(v);
-            let concordant = self.var_level[slot] == Some(resolved);
-            if concordant {
-                // Average branching of the level: children / parents.
-                let children = self
-                    .a
-                    .level(resolved)
-                    .child_count(self.a.parent_count(resolved));
-                let parents = self.a.parent_count(resolved).max(1);
-                est *= (children as f64 / parents as f64).max(1.0);
-            } else {
-                est *= ext as f64;
-            }
-            bound[slot] = true;
-            if concordant {
-                resolved += 1;
-            }
-            while resolved < self.nlevels && bound[var_slot(self.level_var[resolved])] {
-                resolved += 1;
-            }
-        }
-        est
+        self.plan().work_estimate(self.a)
     }
 }
 
 struct WalkState<'n, 'a, I: Instrument, F: FnMut(&Ctx<'_>, usize, Value)> {
-    nest: &'n LoopNest<'a>,
+    plan: &'n ExecutionPlan,
+    a: &'a SparseStorage,
     bound: Vec<usize>,
     bound_mask: Vec<bool>,
     instr: &'n mut I,
@@ -226,10 +189,10 @@ struct WalkState<'n, 'a, I: Instrument, F: FnMut(&Ctx<'_>, usize, Value)> {
 
 impl<I: Instrument, F: FnMut(&Ctx<'_>, usize, Value)> WalkState<'_, '_, I, F> {
     fn walk_outer(&mut self, range: std::ops::Range<usize>) {
-        if self.nest.order.is_empty() {
+        if self.plan.order.is_empty() {
             return;
         }
-        let v = self.nest.order[0];
+        let v = self.plan.order[0];
         let slot = var_slot(v);
         // The outermost loop always iterates its dense range (this is the
         // parallel loop; OpenMP distributes dense iterations).
@@ -246,26 +209,22 @@ impl<I: Instrument, F: FnMut(&Ctx<'_>, usize, Value)> WalkState<'_, '_, I, F> {
     }
 
     fn walk_rec(&mut self, depth: usize, a_depth: usize, a_pos: usize) {
-        if depth == self.nest.order.len() {
-            debug_assert_eq!(a_depth, self.nest.nlevels, "all levels resolved at body");
-            let val = self.nest.a.value(a_pos);
+        if depth == self.plan.order.len() {
+            debug_assert_eq!(a_depth, self.plan.nlevels, "all levels resolved at body");
+            let val = self.a.value(a_pos);
             if val != 0.0 {
                 self.instr.body();
-                let ctx = Ctx {
-                    bound: &self.bound,
-                    splits: &self.nest.splits,
-                    extents: &self.nest.dim_extents,
-                };
+                let ctx = Ctx::new(&self.bound, &self.plan.splits, &self.plan.dim_extents);
                 (self.body)(&ctx, a_pos, val);
             }
             return;
         }
-        let v = self.nest.order[depth];
+        let v = self.plan.order[depth];
         let slot = var_slot(v);
-        let concordant = self.nest.var_level[slot] == Some(a_depth);
+        let concordant = self.plan.var_level[slot] == Some(a_depth);
         self.bound_mask[slot] = true;
         if concordant {
-            let iter = self.nest.a.iterate(a_depth, a_pos);
+            let iter = self.a.iterate(a_depth, a_pos);
             self.instr.concordant(a_depth, iter.len());
             // Collecting would allocate; LevelIter borrows immutably from
             // storage which is fine alongside &mut self fields.
@@ -277,7 +236,7 @@ impl<I: Instrument, F: FnMut(&Ctx<'_>, usize, Value)> WalkState<'_, '_, I, F> {
                 }
             }
         } else {
-            let extent = self.nest.order_extents[depth];
+            let extent = self.plan.order_extents[depth];
             self.instr.dense_loop(v, extent);
             for coord in 0..extent {
                 self.bound[slot] = coord;
@@ -295,14 +254,14 @@ impl<I: Instrument, F: FnMut(&Ctx<'_>, usize, Value)> WalkState<'_, '_, I, F> {
     /// coordinate is structurally absent (the subtree contributes nothing).
     #[inline]
     fn catch_up(&mut self, mut d: usize, mut pos: usize) -> Option<(usize, usize)> {
-        while d < self.nest.nlevels {
-            let lv = self.nest.level_var[d];
+        while d < self.plan.nlevels {
+            let lv = self.plan.level_var[d];
             let slot = var_slot(lv);
             if !self.bound_mask[slot] {
                 break;
             }
             let coord = self.bound[slot];
-            let (found, probes) = self.nest.a.level(d).locate_counted(pos, coord);
+            let (found, probes) = self.a.level(d).locate_counted(pos, coord);
             self.instr.locate(d, probes, found.is_some());
             pos = found?;
             d += 1;
@@ -483,5 +442,28 @@ mod tests {
         sched.splits = vec![2, 2];
         let got = walk_spmv(&m, &sched, &space);
         assert_close(&got, &reference_spmv(&m));
+    }
+
+    #[test]
+    fn borrowed_plan_walk_matches_owned() {
+        let mut rng = Rng64::seed_from(6);
+        let m = gen::uniform_random(20, 20, 0.2, &mut rng);
+        let space = Space::new(Kernel::SpMV, vec![20, 20], 0);
+        let sched = named::default_csr(&space);
+        let plan = ExecutionPlan::build(&sched, &space).unwrap();
+        let st = SparseStorage::from_matrix(&m, plan.spec()).unwrap();
+        let nest = LoopNest::from_plan(&plan, &st);
+        let mut y = vec![0.0f32; 20];
+        nest.walk(
+            0..nest.outer_extent(),
+            &mut NoInstrument,
+            &mut |ctx, _, v| {
+                let (Some(i), Some(k)) = (ctx.coord(0), ctx.coord(1)) else {
+                    return;
+                };
+                y[i] += v * (k + 1) as f32;
+            },
+        );
+        assert_close(&y, &reference_spmv(&m));
     }
 }

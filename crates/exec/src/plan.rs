@@ -1,0 +1,691 @@
+//! Lowering of `(SuperSchedule, Space)` into a flat [`ExecutionPlan`] IR.
+//!
+//! The interpreter in [`crate::nest`] decides concordant-vs-discordant
+//! traversal and locate catch-up *dynamically*, per loop variable, on every
+//! walk. Those decisions depend only on the schedule's effective loop order
+//! and the format's level order — never on the stored nonzeros — so they can
+//! be made once, at plan-build time, the way TACO commits to a traversal
+//! strategy at code generation time. [`ExecutionPlan::build`] validates the
+//! schedule once, derives the format spec, and lowers the nest into a flat
+//! op sequence:
+//!
+//! * [`PlanOp::ParallelChunk`] / [`PlanOp::DenseLoop`] — dense iteration of a
+//!   loop variable's extent (the outermost op is always one of these: the
+//!   parallel runtime distributes dense chunks, so even a stored outer level
+//!   is dense-iterated and then located);
+//! * [`PlanOp::ConcordantIter`] — the loop variable matches the next
+//!   unresolved storage level, so the stored entries are enumerated directly;
+//! * [`PlanOp::Locate`] — a level whose axis variable is already bound is
+//!   resolved by probing ([`LocateKind`] records the strategy: constant-time
+//!   stride arithmetic for uncompressed levels, binary search for compressed
+//!   ones); a structural miss prunes the subtree;
+//! * [`PlanOp::Body`] — a reachable stored nonzero; padding slots (exact
+//!   `0.0`) are skipped.
+//!
+//! The plan is independent of any particular stored operand — it references
+//! storage *levels*, not storage — so a plan can be cached (the serve layer
+//! keys one by matrix fingerprint + schedule) and shared by every subsystem:
+//! `waco-exec` runs it, `waco-sim` walks it under an event-counting
+//! [`Instrument`], `waco-verify` diffs it against the dynamic interpreter,
+//! and `waco-cli plan` pretty-prints it. [`ExecutionPlan::walk`] reproduces
+//! the interpreter's instrument event stream exactly (same hooks, same
+//! order, same arguments); the plan-equivalence suite enforces this.
+//!
+//! For the hot shapes — fully-concordant row-major CSR SpMV/SpMM — the plan
+//! additionally records a [`FastPath`]: kernels bypass the generic op
+//! executor and run a monomorphized pos/crd loop with no per-element
+//! branching (see `kernels.rs`).
+
+use crate::nest::{Ctx, Instrument};
+use crate::Result;
+use waco_format::{Axis, AxisPart, FormatSpec, LevelFormat, SparseStorage};
+use waco_schedule::{Kernel, LoopVar, Parallelize, Space, SuperSchedule};
+use waco_tensor::Value;
+
+#[inline]
+pub(crate) fn part_index(p: AxisPart) -> usize {
+    match p {
+        AxisPart::Outer => 0,
+        AxisPart::Inner => 1,
+    }
+}
+
+/// The slot of a loop variable in the bound-coordinate array: `dim*2 + part`.
+#[inline]
+pub(crate) fn var_slot(v: LoopVar) -> usize {
+    v.dim * 2 + part_index(v.part)
+}
+
+/// How a [`PlanOp::Locate`] resolves its coordinate — precomputed from the
+/// level format so the IR records the cost class, not just the level index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocateKind {
+    /// Uncompressed level: `child = parent * extent + coord`, one probe.
+    Stride(usize),
+    /// Compressed level: binary search of the parent's crd segment.
+    BinarySearch,
+}
+
+/// One op of the lowered loop nest. Ops form a single flat nesting: op `i+1`
+/// runs inside op `i`; the last op is always [`PlanOp::Body`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanOp {
+    /// The outermost dense loop when the schedule parallelizes it: its
+    /// iterations are distributed to worker threads in dynamic chunks.
+    ParallelChunk {
+        /// The hoisted parallel loop variable.
+        var: LoopVar,
+        /// Bound-coordinate slot written by the loop.
+        slot: usize,
+        /// Full extent of the loop (each worker walks a subrange).
+        extent: usize,
+        /// Worker-thread count.
+        threads: usize,
+        /// Dynamic chunk size.
+        chunk: usize,
+    },
+    /// A discordant dense loop over the variable's extent.
+    DenseLoop {
+        /// The loop variable.
+        var: LoopVar,
+        /// Bound-coordinate slot written by the loop.
+        slot: usize,
+        /// Loop extent (outer part: `ceil(n/split)`; inner part: `split`).
+        extent: usize,
+    },
+    /// Concordant enumeration of a storage level's stored entries.
+    ConcordantIter {
+        /// The storage level being enumerated.
+        level: usize,
+        /// Bound-coordinate slot written by the yielded coordinates.
+        slot: usize,
+    },
+    /// Resolve a level whose axis variable is already bound; a miss prunes.
+    Locate {
+        /// The storage level being probed.
+        level: usize,
+        /// Bound-coordinate slot holding the coordinate to locate.
+        slot: usize,
+        /// Precomputed probe strategy for the level.
+        kind: LocateKind,
+    },
+    /// The innermost kernel body, run once per reachable stored nonzero.
+    Body,
+}
+
+/// Monomorphized inner loops the plan qualifies for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FastPath {
+    /// No fast path: run the generic op executor.
+    None,
+    /// Fully-concordant row-major CSR (spec `i1(U) k1(C) i0(U) k0(U)`, all
+    /// splits 1, rows outermost): SpMV/SpMM run a direct pos/crd loop.
+    CsrRows,
+}
+
+/// A schedule lowered once into a flat, pre-resolved op sequence.
+///
+/// Built by [`ExecutionPlan::build`] from a `(SuperSchedule, Space)` pair;
+/// the format spec is derived internally, so the triple of the paper's
+/// co-optimization — schedule, space, format — is validated and committed in
+/// one place. The plan borrows nothing: it is `Send + Sync`, cheap to clone
+/// behind an `Arc`, and reusable across any operand stored in its spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionPlan {
+    kernel: Kernel,
+    spec: FormatSpec,
+    ops: Vec<PlanOp>,
+    /// Effective loop order: the parallelized variable hoisted outermost.
+    pub(crate) order: Vec<LoopVar>,
+    /// Extent of each loop variable in `order`.
+    pub(crate) order_extents: Vec<usize>,
+    /// For each storage level, the loop variable it stores.
+    pub(crate) level_var: Vec<LoopVar>,
+    /// For each var slot (`dim*2+part`), the storage level, if any.
+    pub(crate) var_level: Vec<Option<usize>>,
+    /// Split size per kernel dimension (clamped to the dimension extent).
+    pub(crate) splits: Vec<usize>,
+    /// Extent per kernel dimension.
+    pub(crate) dim_extents: Vec<usize>,
+    /// Number of storage levels.
+    pub(crate) nlevels: usize,
+    sparse_dims: Vec<usize>,
+    dense_extent: usize,
+    parallel: Option<Parallelize>,
+    fast: FastPath,
+}
+
+impl ExecutionPlan {
+    /// Validates `sched` against `space` and lowers it into a plan.
+    ///
+    /// This is the single validation point of the execution stack: kernels,
+    /// the simulator, and the serve-side plan cache all build (or fetch)
+    /// plans instead of re-validating per call.
+    ///
+    /// # Errors
+    ///
+    /// Schedule validation ([`crate::ExecError::Schedule`]) and format-spec
+    /// derivation ([`crate::ExecError::Format`]) errors.
+    pub fn build(sched: &SuperSchedule, space: &Space) -> Result<Self> {
+        sched.validate(space)?;
+        let spec = sched.a_format_spec(space)?;
+
+        let mut order = sched.loop_order.clone();
+        if let Some(p) = &sched.parallel {
+            let idx = order
+                .iter()
+                .position(|v| *v == p.var)
+                .expect("validated schedule contains its parallel var");
+            let v = order.remove(idx);
+            order.insert(0, v);
+        }
+        let order_extents: Vec<usize> =
+            order.iter().map(|&v| sched.loop_extent(space, v)).collect();
+
+        let level_var: Vec<LoopVar> = spec
+            .order()
+            .iter()
+            .map(|ax| LoopVar {
+                dim: ax.dim,
+                part: ax.part,
+            })
+            .collect();
+        let ndims = space.kernel.ndims();
+        let mut var_level = vec![None; ndims * 2];
+        for (l, v) in level_var.iter().enumerate() {
+            var_level[var_slot(*v)] = Some(l);
+        }
+        let splits: Vec<usize> = (0..ndims)
+            .map(|d| sched.splits[d].min(space.dim_extent(d).max(1)))
+            .collect();
+        let dim_extents: Vec<usize> = (0..ndims).map(|d| space.dim_extent(d)).collect();
+        let nlevels = level_var.len();
+
+        let ops = lower_ops(
+            &order,
+            &order_extents,
+            &level_var,
+            &var_level,
+            nlevels,
+            &spec,
+            sched.parallel.as_ref(),
+        );
+        let fast = detect_fast(space.kernel, &spec, &order, &splits);
+
+        Ok(ExecutionPlan {
+            kernel: space.kernel,
+            spec,
+            ops,
+            order,
+            order_extents,
+            level_var,
+            var_level,
+            splits,
+            dim_extents,
+            nlevels,
+            sparse_dims: space.sparse_dims.clone(),
+            dense_extent: space.dense_extent,
+            parallel: sched.parallel,
+            fast,
+        })
+    }
+
+    /// The kernel the plan executes.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// The format spec the sparse operand must be stored in.
+    pub fn spec(&self) -> &FormatSpec {
+        &self.spec
+    }
+
+    /// The lowered op sequence (outermost first, [`PlanOp::Body`] last).
+    pub fn ops(&self) -> &[PlanOp] {
+        &self.ops
+    }
+
+    /// The effective loop order (parallel variable hoisted outermost).
+    pub fn order(&self) -> &[LoopVar] {
+        &self.order
+    }
+
+    /// Extent of each loop variable in [`ExecutionPlan::order`].
+    pub fn order_extents(&self) -> &[usize] {
+        &self.order_extents
+    }
+
+    /// Extent of the outermost (parallelizable) loop.
+    pub fn outer_extent(&self) -> usize {
+        self.order_extents[0]
+    }
+
+    /// Clamped split size per kernel dimension.
+    pub fn splits(&self) -> &[usize] {
+        &self.splits
+    }
+
+    /// Extent per kernel dimension.
+    pub fn dim_extents(&self) -> &[usize] {
+        &self.dim_extents
+    }
+
+    /// Sparse operand dimensions.
+    pub fn sparse_dims(&self) -> &[usize] {
+        &self.sparse_dims
+    }
+
+    /// Dense operand extent (`|j|` for SpMM/SDDMM, rank for MTTKRP).
+    pub fn dense_extent(&self) -> usize {
+        self.dense_extent
+    }
+
+    /// The schedule's parallelization directive, if any.
+    pub fn parallel(&self) -> Option<&Parallelize> {
+        self.parallel.as_ref()
+    }
+
+    /// The monomorphized fast path the plan qualifies for.
+    pub fn fast_path(&self) -> FastPath {
+        self.fast
+    }
+
+    /// Whether the plan is the fully-concordant row-major CSR shape.
+    pub fn is_concordant_csr(&self) -> bool {
+        self.fast == FastPath::CsrRows
+    }
+
+    /// Walks the subrange `outer_range` of the outermost loop over `a`,
+    /// invoking `body(ctx, a_pos, a_val)` for every reachable stored nonzero
+    /// and reporting events to `instr` — the same contract (and the same
+    /// event stream) as [`crate::LoopNest::walk`], driven by the flat op
+    /// sequence instead of per-variable dynamic decisions.
+    ///
+    /// `a` must be stored in [`ExecutionPlan::spec`].
+    pub fn walk<I: Instrument>(
+        &self,
+        a: &SparseStorage,
+        outer_range: std::ops::Range<usize>,
+        instr: &mut I,
+        body: &mut impl FnMut(&Ctx<'_>, usize, Value),
+    ) {
+        debug_assert_eq!(a.spec(), &self.spec, "operand stored in the plan's spec");
+        let (var, slot) = match self.ops[0] {
+            PlanOp::ParallelChunk { var, slot, .. } | PlanOp::DenseLoop { var, slot, .. } => {
+                (var, slot)
+            }
+            _ => unreachable!("plan starts with an outer loop op"),
+        };
+        instr.dense_loop(var, outer_range.len());
+        let mut exec = PlanExec {
+            plan: self,
+            a,
+            bound: vec![0usize; self.var_level.len()],
+            instr,
+            body,
+        };
+        for c in outer_range {
+            exec.bound[slot] = c;
+            exec.step(1, 0);
+        }
+    }
+
+    /// A cheap upper-bound estimate of the number of loop iterations a walk
+    /// over `a` will perform, used to exclude pathological schedules the way
+    /// the paper excludes configurations that run for over a minute.
+    pub fn work_estimate(&self, a: &SparseStorage) -> f64 {
+        let mut est = 1.0f64;
+        for op in &self.ops {
+            match *op {
+                PlanOp::ConcordantIter { level, .. } => {
+                    // Average branching of the level: children / parents.
+                    let children = a.level(level).child_count(a.parent_count(level));
+                    let parents = a.parent_count(level).max(1);
+                    est *= (children as f64 / parents as f64).max(1.0);
+                }
+                PlanOp::ParallelChunk { extent, .. } | PlanOp::DenseLoop { extent, .. } => {
+                    est *= extent as f64;
+                }
+                PlanOp::Locate { .. } | PlanOp::Body => {}
+            }
+        }
+        est
+    }
+
+    /// Human-readable dump of the plan: header, fast path, and one line per
+    /// op — the text form `waco-cli plan` prints.
+    pub fn describe(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "ExecutionPlan {} over {:?} (dense {}): {}",
+            self.kernel,
+            self.sparse_dims,
+            self.dense_extent,
+            self.spec.describe()
+        );
+        let _ = writeln!(
+            s,
+            "  fast path: {}",
+            match self.fast {
+                FastPath::None => "none (generic op executor)",
+                FastPath::CsrRows => "csr-rows (monomorphized pos/crd loop)",
+            }
+        );
+        for (i, op) in self.ops.iter().enumerate() {
+            let pad = "  ".repeat(i + 1);
+            match *op {
+                PlanOp::ParallelChunk {
+                    var,
+                    extent,
+                    threads,
+                    chunk,
+                    ..
+                } => {
+                    let _ = writeln!(
+                        s,
+                        "{pad}parallel_chunk {} extent {extent} ({threads} threads, chunk {chunk})",
+                        self.var_name(var)
+                    );
+                }
+                PlanOp::DenseLoop { var, extent, .. } => {
+                    let _ = writeln!(s, "{pad}dense_loop {} extent {extent}", self.var_name(var));
+                }
+                PlanOp::ConcordantIter { level, .. } => {
+                    let _ = writeln!(
+                        s,
+                        "{pad}concordant_iter level {level} ({})",
+                        self.level_name(level)
+                    );
+                }
+                PlanOp::Locate { level, kind, .. } => {
+                    let strategy = match kind {
+                        LocateKind::Stride(e) => format!("stride {e}"),
+                        LocateKind::BinarySearch => "binary search".to_string(),
+                    };
+                    let _ = writeln!(
+                        s,
+                        "{pad}locate level {level} ({}) via {strategy}",
+                        self.level_name(level)
+                    );
+                }
+                PlanOp::Body => {
+                    let _ = writeln!(s, "{pad}body");
+                }
+            }
+        }
+        s
+    }
+
+    /// `i1`-style name of a loop variable (dim name + `1` outer / `0` inner).
+    pub fn var_name(&self, v: LoopVar) -> String {
+        let names = self.kernel.dim_names();
+        format!("{}{}", names[v.dim], 1 - part_index(v.part))
+    }
+
+    /// `k1(C)`-style name of a storage level.
+    fn level_name(&self, level: usize) -> String {
+        let fmt = match self.spec.formats()[level] {
+            LevelFormat::Uncompressed => "U",
+            LevelFormat::Compressed => "C",
+        };
+        format!("{}({fmt})", self.var_name(self.level_var[level]))
+    }
+}
+
+/// Lowers the effective loop order into the flat op sequence, replaying the
+/// interpreter's dynamic decisions statically: variables bind in loop order,
+/// levels resolve in storage order, the outermost loop is always dense.
+fn lower_ops(
+    order: &[LoopVar],
+    order_extents: &[usize],
+    level_var: &[LoopVar],
+    var_level: &[Option<usize>],
+    nlevels: usize,
+    spec: &FormatSpec,
+    parallel: Option<&Parallelize>,
+) -> Vec<PlanOp> {
+    let locate_kind = |level: usize| match spec.formats()[level] {
+        LevelFormat::Uncompressed => LocateKind::Stride(spec.axis_extent(spec.order()[level])),
+        LevelFormat::Compressed => LocateKind::BinarySearch,
+    };
+    let mut ops = Vec::with_capacity(order.len() + nlevels + 1);
+    let mut bound = vec![false; var_level.len()];
+    let mut resolved = 0usize;
+    for (depth, (&v, &extent)) in order.iter().zip(order_extents).enumerate() {
+        let slot = var_slot(v);
+        // The outermost loop always iterates its dense range (this is the
+        // parallel loop; the runtime distributes dense chunks).
+        let concordant = depth > 0 && var_level[slot] == Some(resolved);
+        if concordant {
+            ops.push(PlanOp::ConcordantIter {
+                level: resolved,
+                slot,
+            });
+            resolved += 1;
+        } else if depth == 0 {
+            ops.push(match parallel {
+                Some(p) => PlanOp::ParallelChunk {
+                    var: v,
+                    slot,
+                    extent,
+                    threads: p.threads,
+                    chunk: p.chunk,
+                },
+                None => PlanOp::DenseLoop {
+                    var: v,
+                    slot,
+                    extent,
+                },
+            });
+        } else {
+            ops.push(PlanOp::DenseLoop {
+                var: v,
+                slot,
+                extent,
+            });
+        }
+        bound[slot] = true;
+        // Static catch-up: every level whose axis variable is now bound is
+        // resolved in storage order by a locate.
+        while resolved < nlevels && bound[var_slot(level_var[resolved])] {
+            ops.push(PlanOp::Locate {
+                level: resolved,
+                slot: var_slot(level_var[resolved]),
+                kind: locate_kind(resolved),
+            });
+            resolved += 1;
+        }
+    }
+    debug_assert_eq!(resolved, nlevels, "all levels resolved before the body");
+    ops.push(PlanOp::Body);
+    ops
+}
+
+/// Detects the fully-concordant row-major CSR shape: spec
+/// `i1(U) k1(C) i0(U) k0(U)`, every split 1 (no padding, axis coordinate ==
+/// original coordinate), and rows outermost. Under those conditions the
+/// generic walk visits each stored entry exactly once in (row, crd) order,
+/// so a direct pos/crd loop is bit-identical for SpMV/SpMM (per output
+/// element, products accumulate in the same increasing-k order wherever the
+/// dense `j` loop sits).
+fn detect_fast(kernel: Kernel, spec: &FormatSpec, order: &[LoopVar], splits: &[usize]) -> FastPath {
+    let csr_order = [
+        Axis::outer(0),
+        Axis::outer(1),
+        Axis::inner(0),
+        Axis::inner(1),
+    ];
+    let csr_formats = [
+        LevelFormat::Uncompressed,
+        LevelFormat::Compressed,
+        LevelFormat::Uncompressed,
+        LevelFormat::Uncompressed,
+    ];
+    if matches!(kernel, Kernel::SpMV | Kernel::SpMM)
+        && spec.order() == csr_order
+        && spec.formats() == csr_formats
+        && splits.iter().all(|&s| s == 1)
+        && order.first().copied() == Some(LoopVar::outer(0))
+    {
+        FastPath::CsrRows
+    } else {
+        FastPath::None
+    }
+}
+
+/// The generic plan executor: runs the op at `idx` for one parent position.
+struct PlanExec<'n, 'a, I: Instrument, F: FnMut(&Ctx<'_>, usize, Value)> {
+    plan: &'n ExecutionPlan,
+    a: &'a SparseStorage,
+    bound: Vec<usize>,
+    instr: &'n mut I,
+    body: &'n mut F,
+}
+
+impl<I: Instrument, F: FnMut(&Ctx<'_>, usize, Value)> PlanExec<'_, '_, I, F> {
+    fn step(&mut self, idx: usize, pos: usize) {
+        match self.plan.ops[idx] {
+            PlanOp::Body => {
+                let val = self.a.value(pos);
+                if val != 0.0 {
+                    self.instr.body();
+                    let ctx = Ctx::new(&self.bound, &self.plan.splits, &self.plan.dim_extents);
+                    (self.body)(&ctx, pos, val);
+                }
+            }
+            PlanOp::ParallelChunk {
+                slot, extent, var, ..
+            }
+            | PlanOp::DenseLoop { var, slot, extent } => {
+                self.instr.dense_loop(var, extent);
+                for coord in 0..extent {
+                    self.bound[slot] = coord;
+                    self.step(idx + 1, pos);
+                }
+            }
+            PlanOp::ConcordantIter { level, slot } => {
+                let iter = self.a.iterate(level, pos);
+                self.instr.concordant(level, iter.len());
+                for (coord, child) in iter {
+                    self.bound[slot] = coord;
+                    self.step(idx + 1, child);
+                }
+            }
+            PlanOp::Locate { level, slot, .. } => {
+                let coord = self.bound[slot];
+                let (found, probes) = self.a.level(level).locate_counted(pos, coord);
+                self.instr.locate(level, probes, found.is_some());
+                if let Some(child) = found {
+                    self.step(idx + 1, child);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waco_schedule::named;
+
+    #[test]
+    fn csr_default_lowers_to_expected_ops() {
+        let space = Space::new(Kernel::SpMV, vec![16, 16], 0);
+        let sched = named::default_csr(&space);
+        let plan = ExecutionPlan::build(&sched, &space).unwrap();
+        // Default CSR parallelizes i1, so the outer op is a ParallelChunk
+        // over rows followed by a locate of the stored row level, then the
+        // concordant column level, then the trivial inner levels.
+        assert!(matches!(
+            plan.ops()[0],
+            PlanOp::ParallelChunk { extent: 16, .. }
+        ));
+        assert!(matches!(
+            plan.ops()[1],
+            PlanOp::Locate {
+                level: 0,
+                kind: LocateKind::Stride(16),
+                ..
+            }
+        ));
+        assert!(matches!(
+            plan.ops()[2],
+            PlanOp::ConcordantIter { level: 1, .. }
+        ));
+        assert_eq!(plan.ops().last(), Some(&PlanOp::Body));
+        assert!(plan.is_concordant_csr());
+        assert_eq!(plan.outer_extent(), 16);
+    }
+
+    #[test]
+    fn discordant_order_lowers_to_dense_plus_binary_locate() {
+        let space = Space::new(Kernel::SpMV, vec![16, 16], 0);
+        let mut sched = named::default_csr(&space);
+        sched.parallel = None;
+        // k-major over row-major CSR: the column loop is dense and the
+        // compressed k1 level must be located per (k, i) pair.
+        sched.loop_order = vec![
+            LoopVar::outer(1),
+            LoopVar::outer(0),
+            LoopVar::inner(0),
+            LoopVar::inner(1),
+        ];
+        let plan = ExecutionPlan::build(&sched, &space).unwrap();
+        assert!(!plan.is_concordant_csr());
+        // The dense k1 loop runs outermost; the row level is still reached
+        // concordantly underneath it, and the compressed k1 level is then
+        // resolved by a per-(k, i) binary search — the discordant penalty.
+        assert!(matches!(
+            plan.ops()[0],
+            PlanOp::DenseLoop { extent: 16, .. }
+        ));
+        assert!(matches!(
+            plan.ops()[1],
+            PlanOp::ConcordantIter { level: 0, .. }
+        ));
+        assert!(plan.ops().iter().any(|op| matches!(
+            op,
+            PlanOp::Locate {
+                level: 1,
+                kind: LocateKind::BinarySearch,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn invalid_schedule_is_rejected_once_at_build() {
+        let space = Space::new(Kernel::SpMV, vec![16, 16], 0);
+        let mut sched = named::default_csr(&space);
+        sched.loop_order.pop();
+        assert!(ExecutionPlan::build(&sched, &space).is_err());
+    }
+
+    #[test]
+    fn describe_names_every_op() {
+        let space = Space::new(Kernel::SpMM, vec![8, 8], 4);
+        let sched = named::default_csr(&space);
+        let plan = ExecutionPlan::build(&sched, &space).unwrap();
+        let text = plan.describe();
+        assert!(text.contains("ExecutionPlan SpMM"));
+        assert!(text.contains("concordant_iter level 1 (k1(C))"));
+        assert!(text.contains("body"));
+        assert_eq!(text.lines().count(), 2 + plan.ops().len());
+    }
+
+    #[test]
+    fn splits_are_not_concordant_csr() {
+        let space = Space::new(Kernel::SpMV, vec![16, 16], 0);
+        let mut sched = named::default_csr(&space);
+        sched.splits = vec![4, 4];
+        // Re-derive a consistent format order for the split schedule is not
+        // needed: default CSR keeps the order; splitting alone must disable
+        // the monomorphized path because coordinates need unpadding.
+        if ExecutionPlan::build(&sched, &space).is_ok() {
+            let plan = ExecutionPlan::build(&sched, &space).unwrap();
+            assert!(!plan.is_concordant_csr());
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Plan-equivalence property suite: the flat-op plan executor (including its
+//! monomorphized fast paths) must be **bit-identical** to the dynamic
+//! reference interpreter — same outputs, same [`Instrument`] event stream —
+//! for every schedule the shared `ScheduleSampler` stream produces. The
+//! verify crate runs the same comparison over its structure corpus; this
+//! suite is the fast, exec-local slice of it.
+
+use waco_exec::{kernels, ExecError, ExecutionPlan, Instrument, LoopNest};
+use waco_schedule::{Kernel, LoopVar, ScheduleSampler, Space};
+use waco_tensor::gen::{self, Rng64};
+use waco_tensor::{DenseMatrix, DenseVector};
+
+/// Records the full event stream so plan and interpreter walks can be
+/// compared event-for-event, not just count-for-count.
+#[derive(Default, PartialEq, Debug)]
+struct EventLog(Vec<Event>);
+
+#[derive(PartialEq, Debug, Clone, Copy)]
+enum Event {
+    Concordant(usize, usize),
+    Dense(LoopVar, usize),
+    Locate(usize, usize, bool),
+    Body,
+}
+
+impl Instrument for EventLog {
+    fn concordant(&mut self, level: usize, children: usize) {
+        self.0.push(Event::Concordant(level, children));
+    }
+    fn dense_loop(&mut self, var: LoopVar, extent: usize) {
+        self.0.push(Event::Dense(var, extent));
+    }
+    fn locate(&mut self, level: usize, probes: usize, hit: bool) {
+        self.0.push(Event::Locate(level, probes, hit));
+    }
+    fn body(&mut self) {
+        self.0.push(Event::Body);
+    }
+}
+
+fn assert_bits_eq(plan: &[f32], interp: &[f32], what: &str) {
+    assert_eq!(plan.len(), interp.len(), "{what}: length");
+    for (idx, (p, i)) in plan.iter().zip(interp).enumerate() {
+        assert_eq!(
+            p.to_bits(),
+            i.to_bits(),
+            "{what}: element {idx} differs ({p} vs {i})"
+        );
+    }
+}
+
+/// Serial full-range walks of the same plan through both walkers must emit
+/// identical event streams (this is what keeps `waco-sim` honest: its event
+/// counts come from the plan-driven walk).
+fn assert_same_events(plan: &ExecutionPlan, st: &waco_format::SparseStorage, what: &str) {
+    let mut ev_plan = EventLog::default();
+    let mut ev_interp = EventLog::default();
+    plan.walk(st, 0..plan.outer_extent(), &mut ev_plan, &mut |_, _, _| {});
+    LoopNest::from_plan(plan, st).walk(0..plan.outer_extent(), &mut ev_interp, &mut |_, _, _| {});
+    assert_eq!(
+        ev_plan, ev_interp,
+        "{what}: instrument event streams differ"
+    );
+}
+
+#[test]
+fn spmv_plan_matches_interpreter() {
+    let mut rng = Rng64::seed_from(11);
+    let a = gen::powerlaw_rows(37, 41, 5.0, 1.2, &mut rng);
+    let space = Space::new(Kernel::SpMV, vec![37, 41], 0);
+    let x = DenseVector::from_fn(41, |i| ((i * 7 % 13) as f32) * 0.31 - 1.5);
+    let mut tested = 0;
+    for (idx, sched) in ScheduleSampler::new(&space, 101)
+        .take_schedules(40)
+        .into_iter()
+        .enumerate()
+    {
+        let (plan, st) = match kernels::lower_2d(&a, &sched, &space) {
+            Ok(ps) => ps,
+            Err(ExecError::Format(_)) => continue, // over budget — excluded
+            Err(e) => panic!("schedule {idx}: {e}"),
+        };
+        let what = format!("spmv schedule {idx}: {}", sched.describe(&space));
+        let p = kernels::spmv_plan(&plan, &st, &x).unwrap();
+        let i = kernels::spmv_interpreted(&plan, &st, &x).unwrap();
+        assert_bits_eq(p.as_slice(), i.as_slice(), &what);
+        assert_same_events(&plan, &st, &what);
+        tested += 1;
+    }
+    assert!(tested > 10, "most sampled schedules should be buildable");
+}
+
+#[test]
+fn spmm_plan_matches_interpreter() {
+    let mut rng = Rng64::seed_from(12);
+    let a = gen::blocked(33, 29, 4, 12, 0.7, &mut rng);
+    let space = Space::new(Kernel::SpMM, vec![33, 29], 5);
+    let b = DenseMatrix::from_fn(29, 5, |r, c| ((r * 3 + c) % 9) as f32 * 0.21 - 0.9);
+    let mut tested = 0;
+    for (idx, sched) in ScheduleSampler::new(&space, 102)
+        .take_schedules(30)
+        .into_iter()
+        .enumerate()
+    {
+        let Ok((plan, st)) = kernels::lower_2d(&a, &sched, &space) else {
+            continue;
+        };
+        let what = format!("spmm schedule {idx}");
+        let p = kernels::spmm_plan(&plan, &st, &b).unwrap();
+        let i = kernels::spmm_interpreted(&plan, &st, &b).unwrap();
+        assert_bits_eq(p.as_slice(), i.as_slice(), &what);
+        assert_same_events(&plan, &st, &what);
+        tested += 1;
+    }
+    assert!(tested > 5);
+}
+
+#[test]
+fn sddmm_plan_matches_interpreter() {
+    let mut rng = Rng64::seed_from(13);
+    let a = gen::uniform_random(26, 31, 0.12, &mut rng);
+    let space = Space::new(Kernel::SDDMM, vec![26, 31], 6);
+    let b = DenseMatrix::from_fn(26, 6, |r, c| (r * 2 + c) as f32 * 0.13);
+    let c = DenseMatrix::from_fn(6, 31, |r, c| ((r + c) % 7) as f32 * 0.27 - 0.6);
+    let mut tested = 0;
+    for (idx, sched) in ScheduleSampler::new(&space, 103)
+        .take_schedules(30)
+        .into_iter()
+        .enumerate()
+    {
+        let Ok((plan, st)) = kernels::lower_2d(&a, &sched, &space) else {
+            continue;
+        };
+        let what = format!("sddmm schedule {idx}");
+        let p = kernels::sddmm_plan(&plan, &st, &b, &c).unwrap();
+        let i = kernels::sddmm_interpreted(&plan, &st, &b, &c).unwrap();
+        let pt: Vec<_> = p.iter().collect();
+        let it: Vec<_> = i.iter().collect();
+        assert_eq!(pt.len(), it.len(), "{what}: nnz");
+        for ((pr, pc, pv), (ir, ic, iv)) in pt.iter().zip(&it) {
+            assert_eq!((pr, pc), (ir, ic), "{what}: pattern");
+            assert_eq!(pv.to_bits(), iv.to_bits(), "{what}: value at ({pr},{pc})");
+        }
+        assert_same_events(&plan, &st, &what);
+        tested += 1;
+    }
+    assert!(tested > 5);
+}
+
+#[test]
+fn mttkrp_plan_matches_interpreter() {
+    let mut rng = Rng64::seed_from(14);
+    let a = gen::random_tensor3([11, 9, 13], 90, &mut rng);
+    let space = Space::new(Kernel::MTTKRP, vec![11, 9, 13], 4);
+    let b = DenseMatrix::from_fn(9, 4, |r, c| ((r * 5 + c) % 8) as f32 * 0.19);
+    let c = DenseMatrix::from_fn(13, 4, |r, c| ((r + 3 * c) % 6) as f32 * 0.23 - 0.4);
+    let mut tested = 0;
+    for (idx, sched) in ScheduleSampler::new(&space, 104)
+        .take_schedules(25)
+        .into_iter()
+        .enumerate()
+    {
+        let Ok((plan, st)) = kernels::lower_tensor3(&a, &sched, &space) else {
+            continue;
+        };
+        let what = format!("mttkrp schedule {idx}");
+        let p = kernels::mttkrp_plan(&plan, &st, &b, &c).unwrap();
+        let i = kernels::mttkrp_interpreted(&plan, &st, &b, &c).unwrap();
+        assert_bits_eq(p.as_slice(), i.as_slice(), &what);
+        assert_same_events(&plan, &st, &what);
+        tested += 1;
+    }
+    assert!(tested > 5);
+}

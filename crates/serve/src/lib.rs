@@ -32,6 +32,7 @@ pub mod fingerprint;
 pub mod journal;
 pub mod json;
 pub mod lru;
+pub mod plan_cache;
 pub mod protocol;
 pub mod server;
 pub mod tuner;
@@ -42,5 +43,6 @@ pub use fingerprint::Fingerprint;
 pub use journal::Journal;
 pub use json::Json;
 pub use lru::ShardedLru;
+pub use plan_cache::{PlanCache, PlanCacheStats};
 pub use server::{ServeConfig, Server};
 pub use tuner::{Tuner, WacoTuner, WacoTunerConfig};

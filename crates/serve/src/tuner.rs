@@ -10,12 +10,16 @@
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use waco_core::{Waco, WacoConfig, WacoError};
-use waco_schedule::{Kernel, SuperSchedule};
-use waco_sim::{MachineConfig, Simulator};
+use waco_exec::plan::ExecutionPlan;
+use waco_schedule::{Kernel, Space, SuperSchedule};
+use waco_sim::{MachineConfig, SimError, Simulator};
 use waco_tensor::{gen, CooMatrix};
+
+use crate::fingerprint::Fingerprint;
+use crate::plan_cache::{PlanCache, PlanCacheStats};
 
 /// What a tuner produces for one request.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,6 +61,9 @@ pub struct WacoTunerConfig {
     /// Optional directory for ANNS index snapshots
     /// ([`Waco::set_index_cache`]); a warm server skips graph construction.
     pub index_cache: Option<PathBuf>,
+    /// Capacity of the lowered-plan cache (fingerprint+schedule keyed);
+    /// a warm server fetches the [`ExecutionPlan`] instead of re-lowering.
+    pub plan_cache_capacity: usize,
 }
 
 impl Default for WacoTunerConfig {
@@ -66,6 +73,7 @@ impl Default for WacoTunerConfig {
             corpus: (4, 24),
             checkpoint: None,
             index_cache: None,
+            plan_cache_capacity: 256,
         }
     }
 }
@@ -80,6 +88,7 @@ impl Default for WacoTunerConfig {
 pub struct WacoTuner {
     cfg: WacoTunerConfig,
     pipelines: Mutex<HashMap<(Kernel, usize), Waco>>,
+    plans: PlanCache,
 }
 
 impl std::fmt::Debug for WacoTuner {
@@ -91,10 +100,36 @@ impl std::fmt::Debug for WacoTuner {
 impl WacoTuner {
     /// Creates the tuner; training happens lazily per kernel instance.
     pub fn new(cfg: WacoTunerConfig) -> Self {
+        let plans = PlanCache::new(cfg.plan_cache_capacity);
         WacoTuner {
             cfg,
             pipelines: Mutex::new(HashMap::new()),
+            plans,
         }
+    }
+
+    /// The lowered plan for running `sched` over `m`'s structure — an `Arc`
+    /// clone when the plan cache is warm, a fresh lowering otherwise. Never
+    /// takes the pipeline lock, so concurrent requests for cached decisions
+    /// bypass the tuner entirely.
+    ///
+    /// # Errors
+    ///
+    /// Lowering errors if `sched` is invalid for `space`.
+    pub fn plan_for(
+        &self,
+        m: &CooMatrix,
+        sched: &SuperSchedule,
+        space: &Space,
+    ) -> Result<Arc<ExecutionPlan>, WacoError> {
+        self.plans
+            .get_or_lower(Fingerprint::of_matrix(m), sched, space)
+            .map_err(|e| WacoError::Sim(SimError::Exec(e)))
+    }
+
+    /// Hit/miss/occupancy counters of the lowered-plan cache.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plans.stats()
     }
 
     /// Eagerly trains (or restores) the pipeline for one kernel instance —
@@ -152,9 +187,16 @@ impl Tuner for WacoTuner {
         dense_extent: usize,
     ) -> Result<TunedOutcome, WacoError> {
         let _span = waco_obs::span("serve.tuner.tune");
-        let mut pipelines = self.pipelines.lock().expect("tuner lock poisoned");
-        let waco = self.pipeline_for(&mut pipelines, kernel, dense_extent)?;
-        let tuned = waco.tune_matrix(m)?;
+        let (tuned, space) = {
+            let mut pipelines = self.pipelines.lock().expect("tuner lock poisoned");
+            let waco = self.pipeline_for(&mut pipelines, kernel, dense_extent)?;
+            let tuned = waco.tune_matrix(m)?;
+            let space = waco.space_for_matrix(m);
+            (tuned, space)
+        };
+        // Pre-lower the winning schedule outside the pipeline lock so the
+        // decision is already executable when the client comes back with it.
+        self.plan_for(m, &tuned.result.sched, &space)?;
         Ok(TunedOutcome {
             schedule: tuned.result.sched,
             kernel_seconds: tuned.result.kernel_seconds,
@@ -179,6 +221,23 @@ mod tests {
         let b = tuner.tune(&m, Kernel::SpMV, 0).unwrap();
         assert_eq!(a, b);
         assert_eq!(tuner.pipelines.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn tune_warms_the_plan_cache() {
+        let tuner = WacoTuner::new(WacoTunerConfig::default());
+        let mut rng = Rng64::seed_from(13);
+        let m = gen::uniform_random(24, 24, 0.1, &mut rng);
+        let outcome = tuner.tune(&m, Kernel::SpMV, 0).unwrap();
+        let after_tune = tuner.plan_cache_stats();
+        assert_eq!(after_tune.misses, 1, "tune pre-lowers the winner");
+
+        // A client executing the decision hits the cache: no re-lowering.
+        let space = Space::new(Kernel::SpMV, vec![24, 24], 0);
+        let plan = tuner.plan_for(&m, &outcome.schedule, &space).unwrap();
+        let warm = tuner.plan_cache_stats();
+        assert_eq!((warm.hits, warm.misses), (1, 1));
+        assert_eq!(plan.kernel(), Kernel::SpMV);
     }
 
     #[test]

@@ -4,9 +4,9 @@
 //! Xeon (icc) and an 8-core EPYC (gcc). This workspace replaces those
 //! machines with a **deterministic simulator** that replays the scheduled
 //! iteration space over the *actual* sparse structure (through the same
-//! [`waco_exec::nest::LoopNest`] walker the executor uses, so simulated and
-//! executed control flow cannot diverge) and charges costs from a
-//! [`MachineConfig`]:
+//! lowered [`waco_exec::plan::ExecutionPlan`] the executor runs, walked
+//! under an event-counting instrument, so simulated and executed control
+//! flow cannot diverge) and charges costs from a [`MachineConfig`]:
 //!
 //! * **traversal** — concordant level steps, wasted dense-loop iterations of
 //!   discordant orders, and binary-search probes of discordant locates;

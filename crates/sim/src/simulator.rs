@@ -3,8 +3,8 @@
 use crate::collector::{EventCounts, ReuseTracker};
 use crate::machine::MachineConfig;
 use crate::{Result, SimError};
-use waco_exec::nest::LoopNest;
 use waco_exec::parallel::chunk_ranges;
+use waco_exec::plan::ExecutionPlan;
 use waco_format::{LevelFormat, SparseStorage};
 use waco_schedule::{Kernel, Space, SuperSchedule};
 use waco_tensor::{CooMatrix, CooTensor3};
@@ -149,7 +149,10 @@ impl Simulator {
             parallel: None,
             ..sched.clone()
         };
-        let nest = LoopNest::new(st, &serial_sched, &reduced);
+        // The same lowered plan the executor runs: the simulator replays its
+        // flat op sequence under an event-counting instrument, so simulated
+        // and executed traversal provably cannot drift.
+        let plan = ExecutionPlan::build(&serial_sched, &reduced)?;
 
         // Dense-dim factors (true, unpadded product for compute; padded
         // outer factor for re-traversal).
@@ -158,18 +161,18 @@ impl Simulator {
             .iter()
             .map(|&d| space.dim_extent(d) as f64)
             .product();
-        let first_sparse = nest
+        let first_sparse = plan
             .order()
             .iter()
             .position(|v| v.dim < nsparse)
             .unwrap_or(0);
-        let d_above: f64 = nest.order()[..first_sparse]
+        let d_above: f64 = plan.order()[..first_sparse]
             .iter()
             .filter(|v| v.dim >= nsparse)
             .map(|&v| sched.loop_extent(space, v) as f64)
             .product();
 
-        let estimate = nest.work_estimate();
+        let estimate = plan.work_estimate(st);
         if estimate > self.work_limit {
             return Err(SimError::TooExpensive {
                 estimate,
@@ -181,13 +184,13 @@ impl Simulator {
         // loop. Unit-extent loops are eliminated by codegen (the paper's
         // "shaded lines can be ignored due to the split size 1"), so they
         // are skipped when finding the vectorization candidate.
-        let innermost = nest
+        let innermost = plan
             .order()
             .iter()
             .rev()
             .find(|&&v| sched.loop_extent(space, v) > 1)
             .copied()
-            .unwrap_or(*nest.order().last().expect("nests are non-empty"));
+            .unwrap_or(*plan.order().last().expect("nests are non-empty"));
         let simd_run = if innermost.dim >= nsparse {
             sched.loop_extent(space, innermost)
         } else {
@@ -240,7 +243,7 @@ impl Simulator {
             let trackers = &mut trackers;
             let per_coord = &mut per_coord;
             let par_var = par.filter(|_| !parallel_over_dense).map(|p| p.var);
-            nest.walk(0..nest.outer_extent(), &mut ev, &mut |ctx, _, _| {
+            plan.walk(st, 0..plan.outer_extent(), &mut ev, &mut |ctx, _, _| {
                 for (g, &(dim, div, _)) in gathers.iter().enumerate() {
                     if let Some(c) = ctx.coord(dim) {
                         trackers[g].access((c / div.max(1)) as u64);
@@ -282,8 +285,8 @@ impl Simulator {
         };
         let regions: f64 = match par {
             Some(p) if !parallel_over_dense => {
-                let pos = nest.order().iter().position(|v| *v == p.var).unwrap_or(0);
-                nest.order()[..pos]
+                let pos = plan.order().iter().position(|v| *v == p.var).unwrap_or(0);
+                plan.order()[..pos]
                     .iter()
                     .map(|&v| sched.loop_extent(space, v) as f64)
                     .product()

@@ -113,6 +113,65 @@ impl Executor for ExecBackend {
     }
 }
 
+/// The dynamic reference interpreter as an injectable backend: lowers the
+/// same plan but executes through [`waco_exec::LoopNest`]'s per-variable
+/// decisions instead of the flat op sequence. Running the fuzzer with both
+/// backends checks each engine against the oracle independently (the
+/// `plan` suite then checks them against *each other*, bit for bit).
+pub struct InterpreterBackend;
+
+impl Executor for InterpreterBackend {
+    fn name(&self) -> &'static str {
+        "waco-exec-interpreter"
+    }
+
+    fn spmv(
+        &self,
+        a: &CooMatrix,
+        sched: &SuperSchedule,
+        space: &Space,
+        x: &DenseVector,
+    ) -> waco_exec::Result<DenseVector> {
+        let (plan, st) = kernels::lower_2d(a, sched, space)?;
+        kernels::spmv_interpreted(&plan, &st, x)
+    }
+
+    fn spmm(
+        &self,
+        a: &CooMatrix,
+        sched: &SuperSchedule,
+        space: &Space,
+        b: &DenseMatrix,
+    ) -> waco_exec::Result<DenseMatrix> {
+        let (plan, st) = kernels::lower_2d(a, sched, space)?;
+        kernels::spmm_interpreted(&plan, &st, b)
+    }
+
+    fn sddmm(
+        &self,
+        a: &CooMatrix,
+        sched: &SuperSchedule,
+        space: &Space,
+        b: &DenseMatrix,
+        c: &DenseMatrix,
+    ) -> waco_exec::Result<CooMatrix> {
+        let (plan, st) = kernels::lower_2d(a, sched, space)?;
+        kernels::sddmm_interpreted(&plan, &st, b, c)
+    }
+
+    fn mttkrp(
+        &self,
+        t: &CooTensor3,
+        sched: &SuperSchedule,
+        space: &Space,
+        b: &DenseMatrix,
+        c: &DenseMatrix,
+    ) -> waco_exec::Result<DenseMatrix> {
+        let (plan, st) = kernels::lower_tensor3(t, sched, space)?;
+        kernels::mttkrp_interpreted(&plan, &st, b, c)
+    }
+}
+
 /// Dense-operand extents per kernel: small but not degenerate.
 pub(crate) fn dense_extent_for(kernel: Kernel) -> usize {
     match kernel {

@@ -12,6 +12,11 @@
 //! * [`diff`] — the differential fuzzer: sweeps the shared
 //!   [`waco_schedule::ScheduleSampler`] stream through `waco-exec` against
 //!   the oracle, shrinking failures in parallel on the `waco-runtime` pool.
+//!   Runs plan-driven by default ([`diff::ExecBackend`]); the dynamic
+//!   reference interpreter is injectable as [`diff::InterpreterBackend`].
+//! * [`plan`] — plan equivalence: the lowered `ExecutionPlan` executor and
+//!   the reference interpreter must be bit-identical (outputs *and*
+//!   instrument event streams) across the corpus and sampler stream.
 //! * [`metamorphic`] — permutation invariance, scalar-scaling linearity,
 //!   and SpMM-with-one-column ≡ SpMV, across schedules.
 //! * [`baselines`] — the `waco-baselines` tuners (FixedCSR/CSF,
@@ -31,6 +36,7 @@ pub mod diff;
 pub mod fault;
 pub mod metamorphic;
 pub mod oracle;
+pub mod plan;
 pub mod report;
 
 use waco_schedule::Kernel;
@@ -161,7 +167,8 @@ impl std::fmt::Display for Failure {
 /// One suite's outcome.
 #[derive(Debug, Clone)]
 pub struct SuiteReport {
-    /// Suite name (`differential`, `metamorphic`, `baselines`, `fault`).
+    /// Suite name (`differential`, `plan_equivalence`, `metamorphic`,
+    /// `baselines`, `fault`).
     pub name: &'static str,
     /// Checks that executed to completion.
     pub executed: usize,
@@ -231,6 +238,7 @@ pub fn run(cfg: &VerifyConfig) -> VerifyReport {
 pub fn run_with_executor(cfg: &VerifyConfig, exec: &dyn diff::Executor) -> VerifyReport {
     let mut suites = vec![
         diff::differential_suite(cfg, exec),
+        plan::plan_equivalence_suite(cfg),
         metamorphic::metamorphic_suite(cfg, exec),
         baselines::baselines_suite(cfg, exec),
     ];

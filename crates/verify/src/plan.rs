@@ -1,0 +1,306 @@
+//! Plan-equivalence suite: the lowered [`ExecutionPlan`] executor and the
+//! dynamic reference interpreter are two independent implementations of the
+//! same iteration-space semantics, and this suite holds them to
+//! **bit identity** — identical output bits *and* identical [`Instrument`]
+//! event streams — over the whole structure corpus and the shared
+//! [`ScheduleSampler`] stream.
+//!
+//! This is the verify-crate half of the property (the exec crate runs a
+//! fast local slice in `tests/plan_equivalence.rs`): any divergence means
+//! either the static lowering resolved a loop differently than the
+//! interpreter's dynamic decisions, or a monomorphized fast path changed
+//! floating-point evaluation order — both are reportable bugs, not noise,
+//! which is why the comparison is exact rather than tolerance-based.
+
+use waco_exec::{kernels, ExecError, ExecutionPlan, Instrument, LoopNest};
+use waco_format::SparseStorage;
+use waco_runtime::ThreadPool;
+use waco_schedule::{Kernel, LoopVar, ScheduleSampler, Space, SuperSchedule};
+use waco_serve::cache::schedule_to_json;
+use waco_tensor::{CooMatrix, CooTensor3, Value};
+
+use crate::diff::{dense_extent_for, dense_mat, dense_vec};
+use crate::{corpus, kernel_wire_name, mix_seed, Failure, SuiteReport, VerifyConfig};
+
+/// Full event stream of one walk, compared event-for-event.
+#[derive(Default, PartialEq)]
+struct EventLog(Vec<Event>);
+
+#[derive(PartialEq, Debug, Clone, Copy)]
+enum Event {
+    Concordant(usize, usize),
+    Dense(LoopVar, usize),
+    Locate(usize, usize, bool),
+    Body,
+}
+
+impl Instrument for EventLog {
+    fn concordant(&mut self, level: usize, children: usize) {
+        self.0.push(Event::Concordant(level, children));
+    }
+    fn dense_loop(&mut self, var: LoopVar, extent: usize) {
+        self.0.push(Event::Dense(var, extent));
+    }
+    fn locate(&mut self, level: usize, probes: usize, hit: bool) {
+        self.0.push(Event::Locate(level, probes, hit));
+    }
+    fn body(&mut self) {
+        self.0.push(Event::Body);
+    }
+}
+
+/// First flat index where the two outputs' bits differ, as a detail string.
+fn bits_mismatch(plan: &[Value], interp: &[Value]) -> Option<String> {
+    if plan.len() != interp.len() {
+        return Some(format!(
+            "output lengths differ: plan {} vs interpreter {}",
+            plan.len(),
+            interp.len()
+        ));
+    }
+    plan.iter()
+        .zip(interp)
+        .position(|(p, i)| p.to_bits() != i.to_bits())
+        .map(|idx| {
+            format!(
+                "outputs differ at flat index {idx}: plan {} vs interpreter {}",
+                plan[idx], interp[idx]
+            )
+        })
+}
+
+/// Serial full-range walks through both engines; reports the first
+/// diverging event.
+fn events_mismatch(plan: &ExecutionPlan, st: &SparseStorage) -> Option<String> {
+    let mut ev_plan = EventLog::default();
+    let mut ev_interp = EventLog::default();
+    plan.walk(st, 0..plan.outer_extent(), &mut ev_plan, &mut |_, _, _| {});
+    LoopNest::from_plan(plan, st).walk(0..plan.outer_extent(), &mut ev_interp, &mut |_, _, _| {});
+    if ev_plan == ev_interp {
+        return None;
+    }
+    let idx = ev_plan
+        .0
+        .iter()
+        .zip(&ev_interp.0)
+        .position(|(p, i)| p != i)
+        .unwrap_or_else(|| ev_plan.0.len().min(ev_interp.0.len()));
+    Some(format!(
+        "event streams diverge at event {idx} (plan {} events, interpreter {}): plan {:?} vs interpreter {:?}",
+        ev_plan.0.len(),
+        ev_interp.0.len(),
+        ev_plan.0.get(idx),
+        ev_interp.0.get(idx),
+    ))
+}
+
+/// Checks one (2-D kernel, matrix, schedule) point. `Err(())` = over-budget
+/// configuration, legitimately excluded from the space.
+#[allow(clippy::result_unit_err)]
+fn check_matrix(
+    kernel: Kernel,
+    m: &CooMatrix,
+    sched: &SuperSchedule,
+    space: &Space,
+    operand_seed: u64,
+) -> Result<Option<String>, ()> {
+    let (plan, st) = match kernels::lower_2d(m, sched, space) {
+        Ok(ps) => ps,
+        Err(ExecError::Format(_)) => return Err(()),
+        Err(e) => return Ok(Some(format!("lowering failed: {e}"))),
+    };
+    let value_mismatch = match kernel {
+        Kernel::SpMV => {
+            let x = dense_vec(m.ncols(), operand_seed);
+            let p = kernels::spmv_plan(&plan, &st, &x).expect("plan runs");
+            let i = kernels::spmv_interpreted(&plan, &st, &x).expect("interpreter runs");
+            bits_mismatch(p.as_slice(), i.as_slice())
+        }
+        Kernel::SpMM => {
+            let b = dense_mat(m.ncols(), space.dense_extent, operand_seed);
+            let p = kernels::spmm_plan(&plan, &st, &b).expect("plan runs");
+            let i = kernels::spmm_interpreted(&plan, &st, &b).expect("interpreter runs");
+            bits_mismatch(p.as_slice(), i.as_slice())
+        }
+        Kernel::SDDMM => {
+            let b = dense_mat(m.nrows(), space.dense_extent, operand_seed);
+            let c = dense_mat(space.dense_extent, m.ncols(), mix_seed(operand_seed, "c"));
+            let p = kernels::sddmm_plan(&plan, &st, &b, &c).expect("plan runs");
+            let i = kernels::sddmm_interpreted(&plan, &st, &b, &c).expect("interpreter runs");
+            sddmm_mismatch(&p, &i)
+        }
+        Kernel::MTTKRP => unreachable!("matrix path never sees MTTKRP"),
+    };
+    Ok(value_mismatch.or_else(|| events_mismatch(&plan, &st)))
+}
+
+/// SDDMM outputs are sparse: compare patterns and value bits.
+fn sddmm_mismatch(p: &CooMatrix, i: &CooMatrix) -> Option<String> {
+    let pt: Vec<_> = p.iter().collect();
+    let it: Vec<_> = i.iter().collect();
+    if pt.len() != it.len() {
+        return Some(format!(
+            "output nnz differ: plan {} vs interpreter {}",
+            pt.len(),
+            it.len()
+        ));
+    }
+    for ((pr, pc, pv), (ir, ic, iv)) in pt.iter().zip(&it) {
+        if (pr, pc) != (ir, ic) {
+            return Some(format!(
+                "output patterns differ: plan ({pr},{pc}) vs interpreter ({ir},{ic})"
+            ));
+        }
+        if pv.to_bits() != iv.to_bits() {
+            return Some(format!(
+                "output value at ({pr},{pc}) differs: plan {pv} vs interpreter {iv}"
+            ));
+        }
+    }
+    None
+}
+
+/// Checks one (MTTKRP, tensor, schedule) point.
+#[allow(clippy::result_unit_err)]
+fn check_tensor(
+    t: &CooTensor3,
+    sched: &SuperSchedule,
+    space: &Space,
+    operand_seed: u64,
+) -> Result<Option<String>, ()> {
+    let (plan, st) = match kernels::lower_tensor3(t, sched, space) {
+        Ok(ps) => ps,
+        Err(ExecError::Format(_)) => return Err(()),
+        Err(e) => return Ok(Some(format!("lowering failed: {e}"))),
+    };
+    let [_, d1, d2] = t.dims();
+    let rank = space.dense_extent;
+    let b = dense_mat(d1, rank, operand_seed);
+    let c = dense_mat(d2, rank, mix_seed(operand_seed, "c"));
+    let p = kernels::mttkrp_plan(&plan, &st, &b, &c).expect("plan runs");
+    let i = kernels::mttkrp_interpreted(&plan, &st, &b, &c).expect("interpreter runs");
+    Ok(bits_mismatch(p.as_slice(), i.as_slice()).or_else(|| events_mismatch(&plan, &st)))
+}
+
+/// The plan-equivalence suite over the whole corpus. Takes no injectable
+/// executor: both engines under comparison live in `waco-exec`, and the
+/// property is exact equality between them rather than oracle agreement.
+pub fn plan_equivalence_suite(cfg: &VerifyConfig) -> SuiteReport {
+    let pool = ThreadPool::global();
+    let threads = pool.max_participants();
+    let per_case = cfg.budget.schedules_per_case();
+    let mut executed = 0usize;
+    let mut skipped = 0usize;
+    let mut failures = Vec::new();
+
+    let mut record = |kernel: Kernel,
+                      case_name: &str,
+                      case_seed: u64,
+                      space: &Space,
+                      schedules: &[SuperSchedule],
+                      verdicts: Vec<Result<Option<String>, ()>>,
+                      executed: &mut usize,
+                      skipped: &mut usize| {
+        for (index, (sched, verdict)) in schedules.iter().zip(verdicts).enumerate() {
+            match verdict {
+                Err(()) => *skipped += 1,
+                Ok(None) => *executed += 1,
+                Ok(Some(detail)) => {
+                    *executed += 1;
+                    failures.push(Failure {
+                        suite: "plan_equivalence",
+                        kernel: Some(kernel_wire_name(kernel).to_string()),
+                        case_name: case_name.to_string(),
+                        matrix_seed: Some(case_seed),
+                        schedule_index: Some(index),
+                        schedule: Some(sched.describe(space)),
+                        schedule_json: Some(schedule_to_json(sched)),
+                        divergence: None,
+                        detail,
+                    });
+                }
+            }
+        }
+    };
+
+    for kernel in cfg.kernels.iter().copied().filter(|&k| k != Kernel::MTTKRP) {
+        for case in corpus::matrices(cfg.seed, cfg.budget) {
+            let dense = dense_extent_for(kernel);
+            let space = Space::new(
+                kernel,
+                vec![case.matrix.nrows(), case.matrix.ncols()],
+                dense,
+            );
+            let salt = format!("plan/{}/{}", kernel_wire_name(kernel), case.name);
+            let schedule_seed = mix_seed(cfg.seed, &salt);
+            let operand_seed = mix_seed(cfg.seed, &format!("{salt}/operands"));
+            let schedules = ScheduleSampler::new(&space, schedule_seed).take_schedules(per_case);
+            let verdicts = pool.map(&schedules, threads, |sched| {
+                check_matrix(kernel, &case.matrix, sched, &space, operand_seed)
+            });
+            record(
+                kernel,
+                &case.name,
+                case.seed,
+                &space,
+                &schedules,
+                verdicts,
+                &mut executed,
+                &mut skipped,
+            );
+        }
+    }
+
+    if cfg.kernels.contains(&Kernel::MTTKRP) {
+        for case in corpus::tensors(cfg.seed, cfg.budget) {
+            let rank = dense_extent_for(Kernel::MTTKRP);
+            let space = Space::new(Kernel::MTTKRP, case.tensor.dims().to_vec(), rank);
+            let salt = format!("plan/mttkrp/{}", case.name);
+            let schedule_seed = mix_seed(cfg.seed, &salt);
+            let operand_seed = mix_seed(cfg.seed, &format!("{salt}/operands"));
+            let schedules = ScheduleSampler::new(&space, schedule_seed).take_schedules(per_case);
+            let verdicts = pool.map(&schedules, threads, |sched| {
+                check_tensor(&case.tensor, sched, &space, operand_seed)
+            });
+            record(
+                Kernel::MTTKRP,
+                &case.name,
+                case.seed,
+                &space,
+                &schedules,
+                verdicts,
+                &mut executed,
+                &mut skipped,
+            );
+        }
+    }
+
+    SuiteReport {
+        name: "plan_equivalence",
+        executed,
+        skipped,
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Budget;
+
+    #[test]
+    fn smoke_corpus_is_bit_identical() {
+        let cfg = VerifyConfig {
+            kernels: vec![Kernel::SpMV, Kernel::MTTKRP],
+            faults: false,
+            ..VerifyConfig::new(7, Budget::Smoke)
+        };
+        let report = plan_equivalence_suite(&cfg);
+        assert!(
+            report.failures.is_empty(),
+            "plan must match interpreter: {:?}",
+            report.failures.first().map(|f| f.to_string())
+        );
+        assert!(report.executed > 20, "suite actually ran checks");
+    }
+}

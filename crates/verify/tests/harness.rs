@@ -22,7 +22,11 @@ fn clean_backend_passes_smoke() {
         );
         assert!(s.executed > 0, "suite {} executed nothing", s.name);
     }
-    assert_eq!(report.suites.len(), 3);
+    assert_eq!(
+        report.suites.len(),
+        4,
+        "diff + plan + metamorphic + baselines"
+    );
     assert!(report.passed());
 }
 

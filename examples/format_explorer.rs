@@ -39,11 +39,13 @@ fn main() {
     let mut rows: Vec<(String, f64)> = Vec::new();
     for (name, splits, fmt) in named::best_format_candidates(&space) {
         let sched = named::concordant(&space, splits, fmt, 48, 32);
-        let spec = sched.a_format_spec(&space).expect("valid spec");
-        let stored = SparseStorage::from_matrix(&m, &spec).expect("fits budget");
+        // Lower once; the plan owns the validated format spec, and both the
+        // executor and the simulator below consume the same stored operand.
+        let plan = ExecutionPlan::build(&sched, &space).expect("valid schedule");
+        let stored = SparseStorage::from_matrix(&m, plan.spec()).expect("fits budget");
 
         // Execute for real and validate.
-        let c = kernels::spmm_storage(&stored, &sched, &space, &b).expect("runs");
+        let c = kernels::spmm_plan(&plan, &stored, &b).expect("runs");
         let err = c.max_abs_diff(&reference);
         // Time on the simulated machine.
         let report = sim.time_stored(&stored, &sched, &space).expect("simulates");
@@ -51,7 +53,7 @@ fn main() {
         println!(
             "{:<14} {:<34} {:>10.3e}s {:>9}w {:>8}",
             name,
-            spec.describe(),
+            plan.spec().describe(),
             report.seconds,
             stored.storage_words(),
             if err < 1e-2 { "ok" } else { "FAIL" }

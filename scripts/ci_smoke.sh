@@ -119,10 +119,28 @@ for needle in serve.requests serve.cache.hits serve.request_seconds; do
 done
 echo "server trace OK: $SERVE_TRACE"
 
-# 3. The correctness harness: differential + metamorphic suites against
-#    the dense oracles plus serve-layer fault injection. The seed is pinned
-#    so a red run is replayable verbatim; WACO_VERIFY_BUDGET=nightly scales
-#    the same sweep up for scheduled runs.
+# 3. The lowering layer: dump a plan as text and JSON, and make sure the
+#    default CSR SpMV schedule still lowers to the monomorphized fast path.
+run "$CLI" plan --kernel spmv "$TMP/g.mtx" | tee "$TMP/plan.out"
+grep -q "ExecutionPlan SpMV" "$TMP/plan.out"
+run "$CLI" plan --kernel spmm --dense 8 --format json "$TMP/g.mtx"
+# Capture the JSON alone (run's header lines would corrupt the document).
+"$CLI" plan --kernel spmm --dense 8 --format json "$TMP/g.mtx" >"$TMP/plan.json"
+if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "$TMP/plan.json" >/dev/null
+fi
+grep -qF '"fast_path":"csr_rows"' "$TMP/plan.json" || {
+    echo "default CSR schedule no longer lowers to the fast path" >&2
+    exit 1
+}
+echo "plan dump OK"
+
+# 4. The correctness harness: differential + plan-equivalence + metamorphic
+#    suites against the dense oracles plus serve-layer fault injection. The
+#    differential fuzzer runs through plan execution; plan_equivalence holds
+#    the plan walker and the reference interpreter to bit identity. The seed
+#    is pinned so a red run is replayable verbatim; WACO_VERIFY_BUDGET=nightly
+#    scales the same sweep up for scheduled runs.
 VERIFY_REPORT=results/verify_report.json
 run "$CLI" verify --seed 42 --budget "${WACO_VERIFY_BUDGET:-smoke}" \
     --out "$VERIFY_REPORT"
@@ -134,9 +152,13 @@ grep -qF '"passed":true' "$VERIFY_REPORT" || {
     echo "verify report does not say passed" >&2
     exit 1
 }
+grep -qF '"name":"plan_equivalence"' "$VERIFY_REPORT" || {
+    echo "verify report is missing the plan_equivalence suite" >&2
+    exit 1
+}
 echo "verify report OK: $VERIFY_REPORT"
 
-# 4. Two experiment binaries at smoke scale (co-optimization table and the
+# 5. Two experiment binaries at smoke scale (co-optimization table and the
 #    headline baseline-comparison figure).
 run target/release/table1 --smoke
 run target/release/fig13 --smoke
