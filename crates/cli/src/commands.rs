@@ -11,7 +11,7 @@ use waco_sim::{MachineConfig, Simulator};
 use waco_tensor::gen::{self, Rng64};
 use waco_tensor::{io, CooMatrix, MatrixStats};
 
-type Result<T> = std::result::Result<T, WacoError>;
+pub(crate) type Result<T> = std::result::Result<T, WacoError>;
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -35,6 +35,11 @@ USAGE:
   waco-cli verify  [--seed S] [--budget smoke|nightly]
                    [--kernel spmv,spmm,...] [--faults on|off]
                    [--out FILE.json]
+  waco-cli loadgen --addr 127.0.0.1:PORT [--connections N] [--duration SECS]
+                   [--rps R] [--fingerprints K] [--zipf S]
+                   [--arrivals poisson|burst] [--kernel spmv|spmm|sddmm]
+                   [--dense N] [--size N] [--seed S] [--out FILE.json]
+                   [--smoke]
   waco-cli plan    [--kernel spmv|spmm|sddmm] [--dense N]
                    [--rows N] [--cols N] [--schedule JSON]
                    [--format text|json] [FILE.mtx]
@@ -47,18 +52,18 @@ Global flags:
 All timing is on the deterministic xeon-like machine model.
 Exit codes: 0 success, 2 error.";
 
-fn bad(msg: impl Into<String>) -> WacoError {
+pub(crate) fn bad(msg: impl Into<String>) -> WacoError {
     WacoError::InvalidConfig(msg.into())
 }
 
 /// Parsed `--key value` flags plus positional arguments.
-struct Flags {
+pub(crate) struct Flags {
     kv: Vec<(String, String)>,
     positional: Vec<String>,
 }
 
 impl Flags {
-    fn parse(args: &[String]) -> Result<Self> {
+    pub(crate) fn parse(args: &[String]) -> Result<Self> {
         let mut kv = Vec::new();
         let mut positional = Vec::new();
         let mut it = args.iter().peekable();
@@ -75,7 +80,7 @@ impl Flags {
         Ok(Self { kv, positional })
     }
 
-    fn get(&self, key: &str) -> Option<&str> {
+    pub(crate) fn get(&self, key: &str) -> Option<&str> {
         self.kv
             .iter()
             .rev()
@@ -83,7 +88,7 @@ impl Flags {
             .map(|(_, v)| v.as_str())
     }
 
-    fn usize_or(&self, key: &str, default: usize) -> Result<usize> {
+    pub(crate) fn usize_or(&self, key: &str, default: usize) -> Result<usize> {
         match self.get(key) {
             None => Ok(default),
             Some(v) => v
@@ -92,7 +97,7 @@ impl Flags {
         }
     }
 
-    fn f64_or(&self, key: &str, default: f64) -> Result<f64> {
+    pub(crate) fn f64_or(&self, key: &str, default: f64) -> Result<f64> {
         match self.get(key) {
             None => Ok(default),
             Some(v) => v
@@ -110,7 +115,7 @@ impl Flags {
     }
 }
 
-fn parse_kernel(flags: &Flags) -> Result<Kernel> {
+pub(crate) fn parse_kernel(flags: &Flags) -> Result<Kernel> {
     match flags.get("kernel").unwrap_or("spmm") {
         "spmv" => Ok(Kernel::SpMV),
         "spmm" => Ok(Kernel::SpMM),
@@ -121,7 +126,7 @@ fn parse_kernel(flags: &Flags) -> Result<Kernel> {
     }
 }
 
-fn dense_extent(flags: &Flags, kernel: Kernel) -> Result<usize> {
+pub(crate) fn dense_extent(flags: &Flags, kernel: Kernel) -> Result<usize> {
     flags.usize_or("dense", if kernel == Kernel::SpMV { 0 } else { 32 })
 }
 

@@ -25,6 +25,7 @@
 //! `error: …` message on stderr.
 
 mod commands;
+mod loadgen;
 
 use std::process::ExitCode;
 use waco_core::WacoError;
@@ -58,6 +59,7 @@ fn run(args: Vec<String>) -> Result<(), WacoError> {
         "serve" => commands::serve(rest),
         "query" => commands::query(rest),
         "verify" => commands::verify(rest),
+        "loadgen" => loadgen::loadgen(rest),
         "plan" => commands::plan(rest),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);

@@ -102,6 +102,7 @@ enum Engine {
 /// engine (including fast paths), so outputs are bit-identical across them.
 fn dispatch<Acc: Send>(
     plan: &ExecutionPlan,
+    st: &SparseStorage,
     make_acc: impl Fn() -> Acc + Sync,
     run: impl Fn(std::ops::Range<usize>, &mut Acc) + Sync,
     merge: impl Fn(Vec<Acc>) -> Acc,
@@ -113,7 +114,9 @@ fn dispatch<Acc: Send>(
         waco_obs::Span::disabled()
     };
     let extent = plan.outer_extent();
-    match plan.parallel() {
+    // Work-gated: tiny operands run serially even under a parallel
+    // schedule (see `ExecutionPlan::effective_parallel`).
+    match plan.effective_parallel(st) {
         Some(p) if p.threads > 1 => merge(run_chunked(extent, p.threads, p.chunk, &make_acc, run)),
         _ => {
             let mut acc = make_acc();
@@ -219,6 +222,7 @@ fn spmv_with(
         let (pos, crd, vals) = csr_slices(st);
         dispatch(
             plan,
+            st,
             || vec![0.0 as Value; n],
             |range, acc: &mut Vec<Value>| {
                 for i in range {
@@ -237,6 +241,7 @@ fn spmv_with(
     } else {
         dispatch(
             plan,
+            st,
             || vec![0.0 as Value; n],
             |range, acc| {
                 walk_range(engine, plan, st, range, acc, &|ctx, _, v, acc| {
@@ -313,6 +318,7 @@ fn spmm_with(
         let bs = b.as_slice();
         dispatch(
             plan,
+            st,
             || vec![0.0 as Value; ni * nj],
             |range, acc: &mut Vec<Value>| {
                 for i in range {
@@ -333,6 +339,7 @@ fn spmm_with(
     } else {
         dispatch(
             plan,
+            st,
             || vec![0.0 as Value; ni * nj],
             |range, acc| {
                 walk_range(engine, plan, st, range, acc, &|ctx, _, v, acc| {
@@ -423,6 +430,7 @@ fn sddmm_with(
     // as TACO's generated code would.
     let out = dispatch(
         plan,
+        st,
         || vec![0.0 as Value; nslots],
         |range, acc| {
             walk_range(engine, plan, st, range, acc, &|ctx, pos, v, acc| {
@@ -530,6 +538,7 @@ fn mttkrp_with(
     }
     let out = dispatch(
         plan,
+        st,
         || vec![0.0 as Value; ni * rank],
         |range, acc| {
             walk_range(engine, plan, st, range, acc, &|ctx, _, v, acc| {
@@ -678,6 +687,46 @@ mod tests {
             let ser = spmm(&a, &sched, &space, &b).unwrap();
             close_m(&par, &ser, 1e-2);
         }
+    }
+
+    /// The work gate: a parallel schedule over a tiny operand must execute
+    /// serially (and still match the reference), while realistic work keeps
+    /// the directive.
+    #[test]
+    fn small_work_is_gated_to_serial() {
+        let mut rng = Rng64::seed_from(9);
+        let a = gen::uniform_random(64, 64, 0.1, &mut rng);
+        let space = Space::new(Kernel::SpMV, vec![64, 64], 0).with_thread_options(vec![8]);
+        let sched = named::default_csr(&space);
+        let (plan, st) = lower_2d(&a, &sched, &space).unwrap();
+        assert!(plan.parallel().is_some(), "schedule asks for threads");
+        assert!(
+            plan.effective_parallel(&st).is_none(),
+            "~{} nnz of SpMV work sits below the cutoff",
+            st.vals().len()
+        );
+        let x = DenseVector::from_fn(64, |i| (i % 5) as f32 - 2.0);
+        let y = spmv_plan(&plan, &st, &x).unwrap();
+        let r = CsrMatrix::from_coo(&a).spmv(&x);
+        assert!(y.max_abs_diff(&r) < 1e-3);
+    }
+
+    #[test]
+    fn large_work_keeps_the_parallel_directive() {
+        let mut rng = Rng64::seed_from(10);
+        // ~26k nnz × dense extent 16 ≈ 420k work: clears the cutoff.
+        let a = gen::uniform_random(1024, 1024, 0.025, &mut rng);
+        let space = Space::new(Kernel::SpMM, vec![1024, 1024], 16).with_thread_options(vec![8]);
+        let sched = named::default_csr(&space);
+        let (plan, st) = lower_2d(&a, &sched, &space).unwrap();
+        let p = plan
+            .effective_parallel(&st)
+            .expect("work clears the cutoff");
+        assert!(p.threads > 1);
+        let b = DenseMatrix::from_fn(1024, 16, |r, c| ((r + c) % 7) as f32 * 0.5 - 1.0);
+        let par = spmm_plan(&plan, &st, &b).unwrap();
+        let r = CsrMatrix::from_coo(&a).spmm(&b);
+        close_m(&par, &r, 1e-2);
     }
 
     #[test]

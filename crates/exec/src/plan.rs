@@ -285,6 +285,25 @@ impl ExecutionPlan {
         self.parallel.as_ref()
     }
 
+    /// Work (stored nonzeros × dense extent) below which distributing a
+    /// kernel over the thread pool costs more than it saves. Measured by
+    /// the `parallel_runtime`/`plan_lowering` microbenches: a 10k-row SpMV
+    /// (~80k nnz, work 80k) runs faster serially, while the same matrix
+    /// under SpMM×16 (work 1.28M) still gains from 8 threads.
+    pub const PARALLEL_WORK_CUTOFF: f64 = 250_000.0;
+
+    /// The parallel directive the executor should actually honor for the
+    /// operand `a`: the schedule's directive when the predicted work clears
+    /// [`ExecutionPlan::PARALLEL_WORK_CUTOFF`], `None` otherwise. The
+    /// schedule (and the simulator's timing of it) is unchanged — this is
+    /// a runtime guard so small requests don't pay pool latency the cost
+    /// model amortizes away at realistic sizes.
+    pub fn effective_parallel(&self, a: &SparseStorage) -> Option<&Parallelize> {
+        let p = self.parallel.as_ref().filter(|p| p.threads > 1)?;
+        let work = a.vals().len() as f64 * self.dense_extent.max(1) as f64;
+        (work >= Self::PARALLEL_WORK_CUTOFF).then_some(p)
+    }
+
     /// The monomorphized fast path the plan qualifies for.
     pub fn fast_path(&self) -> FastPath {
         self.fast

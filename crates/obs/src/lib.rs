@@ -276,6 +276,40 @@ impl HistStat {
             self.sum / self.count as f64
         }
     }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) from the decade buckets.
+    ///
+    /// Resolution is bounded by the buckets themselves: within the decade
+    /// that holds the target rank the estimate interpolates geometrically,
+    /// so it can be off by a factor approaching 10 in the worst case but is
+    /// exact at the decade edges and clamped to the observed `[min, max]`.
+    /// Good enough for trend reporting; gate on exact client-side samples
+    /// when precision matters.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank in [1, count]; ceil so q = 1.0 lands on the last observation.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                // The target rank falls in decade bucket i, which spans
+                // [10^(i-15), 10^(i-14)). Interpolate geometrically by the
+                // fraction of the bucket's population below the rank.
+                let lo = 10f64.powi(i as i32 - 15);
+                let frac = (rank - seen) as f64 / n as f64;
+                let est = lo * 10f64.powf(frac);
+                return est.clamp(self.min, self.max);
+            }
+            seen += n;
+        }
+        self.max
+    }
 }
 
 fn bucket_of(v: f64) -> usize {
@@ -654,6 +688,33 @@ mod tests {
         assert_eq!(bucket_of(0.05), 13);
         assert_eq!(bucket_of(f64::INFINITY), 0);
         assert!(bucket_of(1e300) < HIST_BUCKETS);
+    }
+
+    #[test]
+    fn quantile_estimates_track_decades() {
+        let mut h = HistStat::new();
+        assert_eq!(h.quantile(0.5), 0.0, "empty histogram");
+
+        // 90 fast observations (~1 ms decade) and 10 slow ones (~1 s).
+        for _ in 0..90 {
+            h.observe(2e-3);
+        }
+        for _ in 0..10 {
+            h.observe(2.0);
+        }
+        let p50 = h.quantile(0.5);
+        assert!(
+            (1e-3..1e-2).contains(&p50),
+            "p50 must land in the millisecond decade, got {p50}"
+        );
+        let p99 = h.quantile(0.99);
+        assert!(
+            (1.0..=h.max).contains(&p99),
+            "p99 must land in the second decade, got {p99}"
+        );
+        // Extremes are clamped to observed values.
+        assert_eq!(h.quantile(0.0), h.min);
+        assert_eq!(h.quantile(1.0), h.max);
     }
 
     #[test]

@@ -45,6 +45,9 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
 
+#[cfg(unix)]
+pub mod poll;
+
 thread_local! {
     static IN_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
 }

@@ -55,7 +55,30 @@ impl Client {
     /// [`WacoError::Io`] on socket failure or if the server closed without
     /// responding.
     pub fn roundtrip(&mut self, body: &Json) -> Result<Json, WacoError> {
-        write_frame(&mut self.stream, body)?;
+        self.send(body)?;
+        self.recv()
+    }
+
+    /// Sends one request frame without waiting for the response — the
+    /// server answers pipelined requests strictly in order, so `N` sends
+    /// followed by `N` [`Client::recv`]s pair up positionally. The load
+    /// generator uses this split from two threads over
+    /// [`Client::try_clone`]d halves.
+    ///
+    /// # Errors
+    ///
+    /// [`WacoError::Io`] on socket failure.
+    pub fn send(&mut self, body: &Json) -> Result<(), WacoError> {
+        write_frame(&mut self.stream, body)
+    }
+
+    /// Reads one response frame (see [`Client::send`] for pipelining).
+    ///
+    /// # Errors
+    ///
+    /// [`WacoError::Io`] on socket failure or if the server closed without
+    /// responding.
+    pub fn recv(&mut self) -> Result<Json, WacoError> {
         read_frame(&mut self.stream)?.ok_or_else(|| {
             WacoError::io(
                 "reading response",
@@ -64,6 +87,21 @@ impl Client {
                     "server closed the connection",
                 ),
             )
+        })
+    }
+
+    /// Duplicates the connection handle so one thread can [`Client::send`]
+    /// while another [`Client::recv`]s.
+    ///
+    /// # Errors
+    ///
+    /// [`WacoError::Io`] if the socket cannot be duplicated.
+    pub fn try_clone(&self) -> Result<Client, WacoError> {
+        Ok(Client {
+            stream: self
+                .stream
+                .try_clone()
+                .map_err(|e| WacoError::io("cloning client socket", e))?,
         })
     }
 

@@ -245,6 +245,61 @@ pub fn read_frame_lenient(r: &mut impl Read) -> Result<Option<Frame>, WacoError>
     }))
 }
 
+/// Serializes one frame (`u32` BE length + JSON bytes) to a buffer — the
+/// building block for nonblocking writers that cannot use [`write_frame`]'s
+/// blocking `Write` contract.
+pub fn encode_frame(body: &Json) -> Vec<u8> {
+    let text = body.to_string();
+    let bytes = text.as_bytes();
+    debug_assert!(bytes.len() as u64 <= MAX_FRAME_LEN as u64);
+    let mut buf = Vec::with_capacity(4 + bytes.len());
+    buf.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+    buf.extend_from_slice(bytes);
+    buf
+}
+
+/// Outcome of [`decode_frame`] over an accumulation buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decoded {
+    /// The buffer does not yet hold a complete frame; read more bytes.
+    Incomplete,
+    /// One complete frame: how many bytes it occupied (prefix + body) and
+    /// its lenient interpretation (see [`Frame`]).
+    Complete(usize, Frame),
+    /// The length prefix exceeds [`MAX_FRAME_LEN`]: framing is lost, so the
+    /// connection must close after answering with this message.
+    Oversized(String),
+}
+
+/// Decodes the first frame of `buf` without consuming input — the
+/// nonblocking twin of [`read_frame_lenient`], sharing its malformed-body
+/// vs framing-loss distinction. Callers drain `consumed` bytes from the
+/// buffer on [`Decoded::Complete`].
+pub fn decode_frame(buf: &[u8]) -> Decoded {
+    if buf.len() < 4 {
+        return Decoded::Incomplete;
+    }
+    let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    if len > MAX_FRAME_LEN {
+        return Decoded::Oversized(format!(
+            "frame of {len} bytes exceeds the {MAX_FRAME_LEN} byte cap"
+        ));
+    }
+    let total = 4 + len as usize;
+    if buf.len() < total {
+        return Decoded::Incomplete;
+    }
+    let body = &buf[4..total];
+    let frame = match std::str::from_utf8(body) {
+        Err(_) => Frame::Malformed("frame body is not UTF-8".into()),
+        Ok(text) => match Json::parse(text) {
+            Ok(v) => Frame::Body(v),
+            Err(e) => Frame::Malformed(format!("frame body is not JSON: {e}")),
+        },
+    };
+    Decoded::Complete(total, frame)
+}
+
 /// Reads one frame. Returns `Ok(None)` on clean EOF before the length
 /// prefix (peer closed between requests).
 ///
@@ -344,6 +399,37 @@ mod tests {
             read_frame_lenient(&mut &buf[..]),
             Err(WacoError::InvalidConfig(_))
         ));
+    }
+
+    #[test]
+    fn buffer_decode_matches_streaming_read() {
+        // Pipelined buffer: malformed frame, then a valid one, then a tail.
+        let mut buf = Vec::new();
+        let junk = b"not json";
+        buf.extend_from_slice(&(junk.len() as u32).to_be_bytes());
+        buf.extend_from_slice(junk);
+        write_frame(&mut buf, &Json::obj([("op", Json::str("stats"))])).unwrap();
+        buf.extend_from_slice(&[0, 0]); // partial next prefix
+
+        let Decoded::Complete(n1, Frame::Malformed(_)) = decode_frame(&buf) else {
+            panic!("first frame must decode as malformed");
+        };
+        assert_eq!(n1, 4 + junk.len());
+        let Decoded::Complete(n2, Frame::Body(v)) = decode_frame(&buf[n1..]) else {
+            panic!("second frame must decode as a body");
+        };
+        assert_eq!(v.get("op").unwrap().as_str(), Some("stats"));
+        assert_eq!(decode_frame(&buf[n1 + n2..]), Decoded::Incomplete);
+
+        // Oversized prefix loses framing.
+        let over = (MAX_FRAME_LEN + 1).to_be_bytes();
+        assert!(matches!(decode_frame(&over), Decoded::Oversized(_)));
+
+        // encode_frame is byte-identical to write_frame.
+        let body = request_json("tune", "spmv", 0, "m");
+        let mut streamed = Vec::new();
+        write_frame(&mut streamed, &body).unwrap();
+        assert_eq!(encode_frame(&body), streamed);
     }
 
     #[test]

@@ -1,46 +1,60 @@
-//! The request loop: a localhost TCP listener, a bounded admission queue,
-//! a worker pool, and graceful drain.
+//! The request loop: a nonblocking, epoll-multiplexed localhost listener
+//! with pipelined framing, off-loop tune execution, and in-flight tune
+//! coalescing.
 //!
 //! Life of a request:
 //!
-//! 1. The acceptor thread accepts a connection and `try_send`s it into a
-//!    bounded channel sized by [`ServeConfig`]'s `queue_depth`. A full
-//!    queue rejects the connection immediately with a `busy` error frame —
-//!    overload sheds load at the door instead of queueing unboundedly.
-//! 2. A worker dequeues the connection. If it waited longer than the
-//!    per-request timeout, the worker answers with a timeout error and
-//!    closes. Otherwise it serves frames until the peer closes (socket
-//!    read/write timeouts bound each frame).
-//! 3. `tune` requests fingerprint the matrix, consult the two-tier cache,
-//!    and only fall through to the [`Tuner`] on a miss; the tuner's
-//!    data-parallel work runs on the shared `waco-runtime` pool.
-//! 4. A `shutdown` request (or [`Server::begin_shutdown`]) flips the drain
-//!    flag and pokes the listener; the acceptor stops, the channel sender
-//!    drops, workers drain what was admitted, and [`Server::wait`] joins
-//!    everything. The journal is synced on the way out.
+//! 1. A single event-loop thread owns the listener and every connection
+//!    (capped by [`ServeConfigBuilder::queue_depth`]; beyond the cap a
+//!    connection is answered with a `busy` error frame and closed). All
+//!    sockets are nonblocking; readiness comes from
+//!    [`waco_runtime::poll::Poller`].
+//! 2. Complete frames are decoded straight out of each connection's read
+//!    buffer, so a connection may pipeline many requests; responses are
+//!    queued per connection and always flushed in request order.
+//! 3. Cheap verbs (`stats`, `shutdown`, malformed bodies) are answered on
+//!    the loop. `tune`/`lookup` ship to a small executor pool
+//!    ([`ServeConfigBuilder::workers`] threads) so matrix parsing and
+//!    tuning never stall the loop.
+//! 4. **Coalescing:** concurrent `tune` misses for the same
+//!    `(fingerprint, kernel, dense extent)` key register as waiters on the
+//!    first in-flight tune; the single result answers all of them. Each
+//!    waiter increments `serve.tune.coalesced` — under a load spike for one
+//!    hot matrix, the tuner runs once.
+//! 5. A `shutdown` request (or [`Server::begin_shutdown`]) closes the
+//!    listener; the loop drains once every connection is gone, executors
+//!    drain their queue, and [`Server::wait`] joins everything and syncs
+//!    the journal.
 //!
 //! Every stage is observable: `serve.requests`, `serve.rejected_busy`,
-//! `serve.rejected_timeout`, a `serve.queue.depth` histogram, and a span
-//! per request op.
+//! `serve.rejected_timeout`, `serve.tune.calls`, `serve.tune.coalesced`,
+//! and a `serve.request_seconds` histogram; the `stats` frame additionally
+//! reports an always-on latency histogram (p50/p99) and cache / plan-cache
+//! hit rates.
 
-use std::io::BufReader;
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use waco_core::WacoError;
+use waco_runtime::poll::{wake_pair, Interest, Poller, WakeReceiver, Waker};
 use waco_runtime::ThreadPool;
+use waco_schedule::Kernel;
 use waco_tensor::io::read_matrix_market;
 
 use crate::cache::{Decision, TuningCache};
 use crate::fingerprint::Fingerprint;
 use crate::json::Json;
 use crate::protocol::{
-    error_response, lookup_response, read_frame_lenient, tune_response, write_frame, Frame, Request,
+    decode_frame, encode_frame, error_response, lookup_response, tune_response, Decoded, Frame,
+    Request,
 };
 use crate::tuner::Tuner;
 
@@ -57,8 +71,8 @@ pub struct ServeConfig {
 
 impl ServeConfig {
     /// Starts a builder with localhost defaults (ephemeral port, 1024-entry
-    /// cache, workers = min(4, pool participants), queue depth 64, 30 s
-    /// timeout).
+    /// cache, workers = min(4, pool participants), 64-connection cap, 30 s
+    /// idle timeout).
     pub fn builder() -> ServeConfigBuilder {
         ServeConfigBuilder {
             addr: "127.0.0.1:0".to_string(),
@@ -112,19 +126,22 @@ impl ServeConfigBuilder {
         self
     }
 
-    /// Number of worker threads serving connections.
+    /// Number of tune-executor threads (matrix parsing + tuner calls run
+    /// here, off the event loop).
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = workers;
         self
     }
 
-    /// Admission queue depth (connections awaiting a worker).
+    /// Maximum concurrently open connections; excess connections are
+    /// answered with a `busy` error frame and closed.
     pub fn queue_depth(mut self, depth: usize) -> Self {
         self.queue_depth = depth;
         self
     }
 
-    /// Per-request timeout in seconds (queue wait + socket I/O).
+    /// Idle timeout in seconds: a connection with no traffic and no
+    /// response in flight for this long is closed.
     pub fn timeout_secs(mut self, secs: f64) -> Self {
         self.timeout_secs = secs;
         self
@@ -184,287 +201,275 @@ impl ServeConfigBuilder {
     }
 }
 
-/// Shared server state.
+// ---------------------------------------------------------------------------
+// Always-on latency histogram
+// ---------------------------------------------------------------------------
+
+/// Power-of-two microsecond buckets: index `i` counts requests whose
+/// service time in µs lies in `[2^(i-1), 2^i)` (index 0 absorbs sub-µs).
+/// 40 buckets span past 2^39 µs ≈ 6 days.
+const LAT_BUCKETS: usize = 40;
+
+/// Lock-free latency recorder backing the `stats` frame's p50/p99 even when
+/// `waco-obs` is not installed. Quantiles interpolate geometrically inside
+/// a bucket, so they are exact to within a factor of 2.
+struct LatencyHist {
+    buckets: [AtomicU64; LAT_BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl LatencyHist {
+    fn new() -> LatencyHist {
+        LatencyHist {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, d: Duration) {
+        let us = d.as_micros().min(u64::MAX as u128) as u64;
+        let idx = (u64::BITS - us.leading_zeros()) as usize;
+        self.buckets[idx.min(LAT_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let ns = d.as_nanos().min(u64::MAX as u128) as u64;
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Estimated `q`-quantile in seconds.
+    fn quantile_seconds(&self, q: f64) -> f64 {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                // Bucket i spans [2^(i-1), 2^i) µs; interpolate
+                // geometrically by the in-bucket rank fraction.
+                let lo_us = if i == 0 {
+                    0.5
+                } else {
+                    (1u64 << (i - 1)) as f64
+                };
+                let frac = (rank - seen) as f64 / n as f64;
+                let est_us = lo_us * 2f64.powf(frac);
+                let max_s = self.max_ns.load(Ordering::Relaxed) as f64 * 1e-9;
+                return (est_us * 1e-6).min(max_s);
+            }
+            seen += n;
+        }
+        self.max_ns.load(Ordering::Relaxed) as f64 * 1e-9
+    }
+
+    fn to_json(&self) -> Json {
+        let count = self.count.load(Ordering::Relaxed);
+        let mean_s = if count == 0 {
+            0.0
+        } else {
+            self.sum_ns.load(Ordering::Relaxed) as f64 * 1e-9 / count as f64
+        };
+        Json::obj([
+            ("count", Json::num(count as f64)),
+            ("mean_ms", Json::num(mean_s * 1e3)),
+            ("p50_ms", Json::num(self.quantile_seconds(0.5) * 1e3)),
+            ("p99_ms", Json::num(self.quantile_seconds(0.99) * 1e3)),
+            (
+                "max_ms",
+                Json::num(self.max_ns.load(Ordering::Relaxed) as f64 * 1e-6),
+            ),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared state
+// ---------------------------------------------------------------------------
+
+type InflightKey = (Fingerprint, Kernel, usize);
+
+/// A coalesced request waiting on another request's in-flight tune.
+struct Waiter {
+    conn: u64,
+    slot: u64,
+    started: Instant,
+}
+
+/// A finished off-loop response on its way back to the event loop.
+struct Completion {
+    conn: u64,
+    slot: u64,
+    body: Json,
+    started: Instant,
+}
+
+/// A `tune`/`lookup` request shipped to the executor pool.
+struct Job {
+    conn: u64,
+    slot: u64,
+    lookup_only: bool,
+    kernel: Kernel,
+    dense_extent: usize,
+    matrix: String,
+    started: Instant,
+}
+
+/// State shared by the event loop, the executors, and [`Server`] handles.
 struct Shared {
     cache: TuningCache,
     tuner: Arc<dyn Tuner>,
     shutdown: AtomicBool,
-    queue_len: AtomicUsize,
     requests: AtomicU64,
     busy_rejects: AtomicU64,
     timeout_rejects: AtomicU64,
+    connections: AtomicUsize,
+    tune_calls: AtomicU64,
+    coalesced: AtomicU64,
+    latency: LatencyHist,
+    inflight: Mutex<HashMap<InflightKey, Vec<Waiter>>>,
+    completions: Mutex<Vec<Completion>>,
+    waker: Waker,
     timeout: Duration,
 }
 
-/// A running tuning server.
-pub struct Server {
-    shared: Arc<Shared>,
-    local_addr: SocketAddr,
-    acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
-}
-
-impl std::fmt::Debug for Server {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Server")
-            .field("local_addr", &self.local_addr)
-            .field("workers", &self.workers.len())
-            .finish()
-    }
-}
-
-impl Server {
-    /// Binds, opens the cache, and starts the acceptor + workers.
-    ///
-    /// # Errors
-    ///
-    /// [`WacoError::Io`] when the bind or the cache open fails.
-    pub fn start(config: ServeConfig, tuner: Arc<dyn Tuner>) -> Result<Server, WacoError> {
-        let _span = waco_obs::span("serve.start");
-        let cache = TuningCache::open(
-            config.cache_dir.join("tuning.journal"),
-            config.cache_capacity,
-        )?;
-        let listener = TcpListener::bind(config.addr)
-            .map_err(|e| WacoError::io(format!("binding {}", config.addr), e))?;
-        let local_addr = listener
-            .local_addr()
-            .map_err(|e| WacoError::io("reading bound address", e))?;
-
-        let shared = Arc::new(Shared {
-            cache,
-            tuner,
-            shutdown: AtomicBool::new(false),
-            queue_len: AtomicUsize::new(0),
-            requests: AtomicU64::new(0),
-            busy_rejects: AtomicU64::new(0),
-            timeout_rejects: AtomicU64::new(0),
-            timeout: config.timeout,
-        });
-
-        let (tx, rx) = sync_channel::<(TcpStream, Instant)>(config.queue_depth);
-        let rx = Arc::new(Mutex::new(rx));
-        let mut workers = Vec::with_capacity(config.workers);
-        for _ in 0..config.workers {
-            let shared = Arc::clone(&shared);
-            let rx = Arc::clone(&rx);
-            workers.push(std::thread::spawn(move || worker_loop(&shared, &rx)));
-        }
-
-        let acceptor = {
-            let shared = Arc::clone(&shared);
-            std::thread::spawn(move || {
-                for stream in listener.incoming() {
-                    if shared.shutdown.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let Ok(stream) = stream else { continue };
-                    waco_obs::record(
-                        "serve.queue.depth",
-                        shared.queue_len.load(Ordering::Relaxed) as f64,
-                    );
-                    match tx.try_send((stream, Instant::now())) {
-                        Ok(()) => {
-                            shared.queue_len.fetch_add(1, Ordering::Relaxed);
-                        }
-                        Err(TrySendError::Full((mut stream, _))) => {
-                            shared.busy_rejects.fetch_add(1, Ordering::Relaxed);
-                            waco_obs::counter("serve.rejected_busy", 1);
-                            let _ = write_frame(
-                                &mut stream,
-                                &error_response("server busy: admission queue full", true),
-                            );
-                        }
-                        Err(TrySendError::Disconnected(_)) => break,
-                    }
-                }
-                // Dropping `tx` lets workers drain the queue and exit.
-            })
-        };
-
-        Ok(Server {
-            shared,
-            local_addr,
-            acceptor: Some(acceptor),
-            workers,
-        })
+impl Shared {
+    fn complete_all(&self, batch: Vec<Completion>) {
+        self.completions
+            .lock()
+            .expect("completion lock poisoned")
+            .extend(batch);
+        self.waker.wake();
     }
 
-    /// The actual bound address (resolves an ephemeral port request).
-    pub fn local_addr(&self) -> SocketAddr {
-        self.local_addr
-    }
-
-    /// Flips the drain flag and unblocks the acceptor. Idempotent;
-    /// [`Server::wait`] completes the drain.
-    pub fn begin_shutdown(&self) {
-        begin_shutdown(&self.shared, self.local_addr);
-    }
-
-    /// Waits for drain: joins the acceptor and every worker, then syncs the
-    /// journal.
-    ///
-    /// # Errors
-    ///
-    /// [`WacoError::Io`] if the final journal sync fails.
-    pub fn wait(mut self) -> Result<(), WacoError> {
-        if let Some(a) = self.acceptor.take() {
-            let _ = a.join();
-        }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
-        self.shared.cache.sync()
-    }
-}
-
-fn begin_shutdown(shared: &Shared, local_addr: SocketAddr) {
-    if shared.shutdown.swap(true, Ordering::SeqCst) {
-        return;
-    }
-    waco_obs::counter("serve.shutdowns", 1);
-    // Poke the blocking accept so the acceptor observes the flag.
-    let _ = TcpStream::connect(local_addr);
-}
-
-fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<(TcpStream, Instant)>>) {
-    loop {
-        let msg = rx.lock().expect("queue lock poisoned").recv();
-        let Ok((stream, admitted)) = msg else {
-            return; // sender dropped and queue drained
-        };
-        shared.queue_len.fetch_sub(1, Ordering::Relaxed);
-        if admitted.elapsed() > shared.timeout {
-            shared.timeout_rejects.fetch_add(1, Ordering::Relaxed);
-            waco_obs::counter("serve.rejected_timeout", 1);
-            let mut stream = stream;
-            let _ = write_frame(
-                &mut stream,
-                &error_response("request timed out waiting for a worker", false),
-            );
-            continue;
-        }
-        serve_connection(shared, stream);
-    }
-}
-
-fn serve_connection(shared: &Shared, stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(shared.timeout));
-    let _ = stream.set_write_timeout(Some(shared.timeout));
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    loop {
-        let body = match read_frame_lenient(&mut reader) {
-            Ok(Some(Frame::Body(b))) => b,
-            Ok(Some(Frame::Malformed(msg))) => {
-                // Body-level garbage (bad JSON, zero-length frame): framing
-                // is intact, so answer and keep serving the connection.
-                if write_frame(&mut writer, &error_response(&msg, false)).is_err() {
-                    return;
-                }
-                continue;
-            }
-            Ok(None) => return, // peer closed cleanly
-            Err(WacoError::InvalidConfig(msg)) => {
-                // Oversized length prefix: answer, then close (framing is lost).
-                let _ = write_frame(&mut writer, &error_response(&msg, false));
-                return;
-            }
-            Err(_) => return, // socket error or timeout
-        };
-        shared.requests.fetch_add(1, Ordering::Relaxed);
-        waco_obs::counter("serve.requests", 1);
-        let started = Instant::now();
-        let (response, shutdown) = handle_body(shared, &body);
-        waco_obs::record("serve.request_seconds", started.elapsed().as_secs_f64());
-        if write_frame(&mut writer, &response).is_err() {
+    fn begin_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        if shutdown {
-            // The local address is recoverable from the connection itself.
-            if let Ok(addr) = writer.local_addr() {
-                begin_shutdown(shared, addr);
-            }
-            return;
-        }
+        waco_obs::counter("serve.shutdowns", 1);
+        self.waker.wake();
     }
 }
 
-/// Dispatches one request body; returns the response and whether this was a
-/// shutdown request.
-fn handle_body(shared: &Shared, body: &Json) -> (Json, bool) {
-    let req = match Request::from_json(body) {
-        Ok(r) => r,
-        Err(e) => return (error_response(&e.to_string(), false), false),
-    };
-    let _span = waco_obs::span_owned(format!("serve.request.{}", req.op()));
-    match req {
-        Request::Tune {
-            kernel,
-            dense_extent,
-            matrix,
-        } => (handle_tune(shared, kernel, dense_extent, &matrix), false),
-        Request::Lookup {
-            kernel,
-            dense_extent,
-            matrix,
-        } => (handle_lookup(shared, kernel, dense_extent, &matrix), false),
-        Request::Stats => (stats_response(shared), false),
-        Request::Shutdown => (
-            Json::obj([("ok", Json::Bool(true)), ("draining", Json::Bool(true))]),
-            true,
-        ),
+// ---------------------------------------------------------------------------
+// Executors: matrix parsing, cache consultation, tuning, coalescing
+// ---------------------------------------------------------------------------
+
+fn executor_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
+    loop {
+        let job = rx.lock().expect("job queue lock poisoned").recv();
+        let Ok(job) = job else {
+            return; // loop exited and the queue is drained
+        };
+        handle_job(shared, job);
     }
 }
 
-fn handle_tune(
-    shared: &Shared,
-    kernel: waco_schedule::Kernel,
-    dense_extent: usize,
-    matrix: &str,
-) -> Json {
-    let (m, fp) = match parse_and_fingerprint(matrix) {
+fn handle_job(shared: &Shared, job: Job) {
+    let _span = waco_obs::span(if job.lookup_only {
+        "serve.request.lookup"
+    } else {
+        "serve.request.tune"
+    });
+    let (m, fp) = match parse_and_fingerprint(&job.matrix) {
         Ok(v) => v,
-        Err(e) => return error_response(&e, false),
+        Err(e) => return complete_one(shared, &job, error_response(&e, false)),
     };
-    if let Some(decision) = shared.cache.lookup(fp, kernel, dense_extent) {
-        return tune_response(&decision, true);
+    if job.lookup_only {
+        let found = shared.cache.lookup(fp, job.kernel, job.dense_extent);
+        return complete_one(shared, &job, lookup_response(found.as_ref()));
     }
-    match shared.tuner.tune(&m, kernel, dense_extent) {
-        Ok(outcome) => {
-            let decision = Decision {
-                fingerprint: fp,
-                kernel,
-                dense_extent,
-                schedule: outcome.schedule,
-                kernel_seconds: outcome.kernel_seconds,
-                tuning_seconds: outcome.tuning_seconds,
-            };
-            if let Err(e) = shared.cache.insert(decision.clone()) {
-                // The decision is still valid; degraded durability is worth
-                // reporting but not worth failing the request.
-                waco_obs::counter("serve.cache.insert_failures", 1);
-                let _ = e;
-            }
-            tune_response(&decision, false)
+    if let Some(d) = shared.cache.lookup(fp, job.kernel, job.dense_extent) {
+        return complete_one(shared, &job, tune_response(&d, true));
+    }
+
+    // Cache miss: either join an in-flight tune for this key as a waiter, or
+    // become the owner and tune once for everyone who piles up meanwhile.
+    let key = (fp, job.kernel, job.dense_extent);
+    {
+        let mut inflight = shared.inflight.lock().expect("inflight lock poisoned");
+        if let Some(waiters) = inflight.get_mut(&key) {
+            waiters.push(Waiter {
+                conn: job.conn,
+                slot: job.slot,
+                started: job.started,
+            });
+            shared.coalesced.fetch_add(1, Ordering::Relaxed);
+            waco_obs::counter("serve.tune.coalesced", 1);
+            return;
         }
-        Err(e) => error_response(&e.to_string(), false),
+        inflight.insert(key, Vec::new());
     }
+
+    // Owner path. Re-check the cache: another owner may have finished
+    // between our miss above and our registration.
+    let response = match shared.cache.lookup(fp, job.kernel, job.dense_extent) {
+        Some(d) => tune_response(&d, true),
+        None => {
+            shared.tune_calls.fetch_add(1, Ordering::Relaxed);
+            waco_obs::counter("serve.tune.calls", 1);
+            match shared.tuner.tune(&m, job.kernel, job.dense_extent) {
+                Ok(outcome) => {
+                    let decision = Decision {
+                        fingerprint: fp,
+                        kernel: job.kernel,
+                        dense_extent: job.dense_extent,
+                        schedule: outcome.schedule,
+                        kernel_seconds: outcome.kernel_seconds,
+                        tuning_seconds: outcome.tuning_seconds,
+                    };
+                    if shared.cache.insert(decision.clone()).is_err() {
+                        // The decision is still valid; degraded durability is
+                        // worth reporting but not worth failing the request.
+                        waco_obs::counter("serve.cache.insert_failures", 1);
+                    }
+                    tune_response(&decision, false)
+                }
+                Err(e) => error_response(&e.to_string(), false),
+            }
+        }
+    };
+
+    // Deliver the one result to the owner and every coalesced waiter.
+    let waiters = shared
+        .inflight
+        .lock()
+        .expect("inflight lock poisoned")
+        .remove(&key)
+        .unwrap_or_default();
+    let mut batch = Vec::with_capacity(1 + waiters.len());
+    batch.push(Completion {
+        conn: job.conn,
+        slot: job.slot,
+        body: response.clone(),
+        started: job.started,
+    });
+    for w in waiters {
+        batch.push(Completion {
+            conn: w.conn,
+            slot: w.slot,
+            body: response.clone(),
+            started: w.started,
+        });
+    }
+    shared.complete_all(batch);
 }
 
-fn handle_lookup(
-    shared: &Shared,
-    kernel: waco_schedule::Kernel,
-    dense_extent: usize,
-    matrix: &str,
-) -> Json {
-    match parse_and_fingerprint(matrix) {
-        Ok((_m, fp)) => lookup_response(shared.cache.lookup(fp, kernel, dense_extent).as_ref()),
-        Err(e) => error_response(&e, false),
-    }
+fn complete_one(shared: &Shared, job: &Job, body: Json) {
+    shared.complete_all(vec![Completion {
+        conn: job.conn,
+        slot: job.slot,
+        body,
+        started: job.started,
+    }]);
 }
 
 fn parse_and_fingerprint(matrix: &str) -> Result<(waco_tensor::CooMatrix, Fingerprint), String> {
@@ -474,9 +479,591 @@ fn parse_and_fingerprint(matrix: &str) -> Result<(waco_tensor::CooMatrix, Finger
     Ok((m, fp))
 }
 
+// ---------------------------------------------------------------------------
+// The event loop
+// ---------------------------------------------------------------------------
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKER: u64 = 1;
+const TOKEN_BASE: u64 = 2;
+
+/// A response slot: responses flush strictly in request order, so a slot
+/// holds either a finished body or a placeholder for an off-loop request.
+enum SlotState {
+    Waiting,
+    Ready(Json),
+}
+
+struct Slot {
+    id: u64,
+    state: SlotState,
+}
+
+struct Conn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    pending: VecDeque<Slot>,
+    next_slot: u64,
+    last_activity: Instant,
+    close_after_flush: bool,
+    interest: Interest,
+}
+
+impl Conn {
+    fn push_ready(&mut self, body: &Json) {
+        let id = self.next_slot;
+        self.next_slot += 1;
+        self.pending.push_back(Slot {
+            id,
+            state: SlotState::Ready(body.clone()),
+        });
+    }
+
+    fn push_waiting(&mut self) -> u64 {
+        let id = self.next_slot;
+        self.next_slot += 1;
+        self.pending.push_back(Slot {
+            id,
+            state: SlotState::Waiting,
+        });
+        id
+    }
+
+    /// Whether the idle sweeper may close this connection: nothing buffered
+    /// to write and no response in flight.
+    fn idle(&self) -> bool {
+        self.pending.is_empty() && self.wbuf.is_empty()
+    }
+}
+
+struct EventLoop {
+    shared: Arc<Shared>,
+    poller: Poller,
+    listener: Option<TcpListener>,
+    wake_rx: WakeReceiver,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    jobs: Sender<Job>,
+    max_connections: usize,
+}
+
+impl EventLoop {
+    fn run(&mut self) {
+        let mut events = Vec::new();
+        loop {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                if let Some(l) = self.listener.take() {
+                    let _ = self.poller.delete(l.as_raw_fd());
+                }
+            }
+            if self.listener.is_none() && self.conns.is_empty() {
+                return;
+            }
+            let timeout = self.wait_budget();
+            if self.poller.wait(&mut events, timeout).is_err() {
+                return; // poller failure is unrecoverable
+            }
+            let mut touched = Vec::new();
+            for ev in events.iter() {
+                match ev.token {
+                    TOKEN_LISTENER => self.accept_all(&mut touched),
+                    TOKEN_WAKER => self.wake_rx.drain(),
+                    token => {
+                        if ev.readable && self.conns.contains_key(&token) {
+                            self.read_conn(token);
+                        }
+                        touched.push(token);
+                    }
+                }
+            }
+            touched.extend(self.drain_completions());
+            touched.sort_unstable();
+            touched.dedup();
+            for token in touched {
+                self.advance(token);
+            }
+            self.sweep_idle();
+        }
+    }
+
+    /// How long the poll wait may block: until the earliest idle deadline
+    /// among closable connections, capped to a 1 s heartbeat whenever any
+    /// connection exists (so stuck flushes cannot wedge the loop), and
+    /// unbounded only for an idle listener.
+    fn wait_budget(&self) -> Option<Duration> {
+        if self.conns.is_empty() {
+            return None;
+        }
+        let now = Instant::now();
+        let mut budget = Duration::from_secs(1);
+        for c in self.conns.values() {
+            if c.idle() {
+                let deadline = c.last_activity + self.shared.timeout;
+                let remaining = deadline.saturating_duration_since(now);
+                budget = budget.min(remaining.max(Duration::from_millis(10)));
+            }
+        }
+        Some(budget)
+    }
+
+    fn accept_all(&mut self, touched: &mut Vec<u64>) {
+        loop {
+            let Some(listener) = self.listener.as_ref() else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    let mut conn = Conn {
+                        stream,
+                        rbuf: Vec::new(),
+                        wbuf: Vec::new(),
+                        pending: VecDeque::new(),
+                        next_slot: 0,
+                        last_activity: Instant::now(),
+                        close_after_flush: false,
+                        interest: Interest::READ,
+                    };
+                    if self.conns.len() >= self.max_connections {
+                        // Over the connection cap: answer busy and close.
+                        self.shared.busy_rejects.fetch_add(1, Ordering::Relaxed);
+                        waco_obs::counter("serve.rejected_busy", 1);
+                        conn.push_ready(&error_response(
+                            "server busy: connection limit reached",
+                            true,
+                        ));
+                        conn.close_after_flush = true;
+                    }
+                    if self
+                        .poller
+                        .add(conn.stream.as_raw_fd(), token, conn.interest)
+                        .is_err()
+                    {
+                        continue; // the stream drops and resets the peer
+                    }
+                    self.conns.insert(token, conn);
+                    self.shared
+                        .connections
+                        .store(self.conns.len(), Ordering::Relaxed);
+                    touched.push(token);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn read_conn(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    // Peer closed; any response still in flight has nobody
+                    // left to read it.
+                    self.close_conn(token);
+                    return;
+                }
+                Ok(n) => {
+                    conn.rbuf.extend_from_slice(&chunk[..n]);
+                    conn.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(token);
+                    return;
+                }
+            }
+        }
+        self.parse_frames(token);
+    }
+
+    fn parse_frames(&mut self, token: u64) {
+        let mut consumed = 0;
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.close_after_flush {
+                break; // framing lost or draining: ignore the tail
+            }
+            match decode_frame(&conn.rbuf[consumed..]) {
+                Decoded::Incomplete => break,
+                Decoded::Oversized(msg) => {
+                    // Answer, then close: the connection cannot be re-synced.
+                    conn.push_ready(&error_response(&msg, false));
+                    conn.close_after_flush = true;
+                    break;
+                }
+                Decoded::Complete(n, frame) => {
+                    consumed += n;
+                    match frame {
+                        Frame::Malformed(msg) => {
+                            // Framing is intact: answer and keep serving.
+                            conn.push_ready(&error_response(&msg, false));
+                        }
+                        Frame::Body(body) => self.handle_request(token, &body),
+                    }
+                }
+            }
+        }
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.rbuf.drain(..consumed);
+        }
+    }
+
+    fn handle_request(&mut self, token: u64, body: &Json) {
+        self.shared.requests.fetch_add(1, Ordering::Relaxed);
+        waco_obs::counter("serve.requests", 1);
+        let started = Instant::now();
+        let req = match Request::from_json(body) {
+            Ok(r) => r,
+            Err(e) => {
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.push_ready(&error_response(&e.to_string(), false));
+                }
+                return;
+            }
+        };
+        let lookup_only = matches!(req, Request::Lookup { .. });
+        match req {
+            Request::Stats => {
+                let _span = waco_obs::span("serve.request.stats");
+                let response = stats_response(&self.shared);
+                self.record_latency(started);
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.push_ready(&response);
+                }
+            }
+            Request::Shutdown => {
+                let _span = waco_obs::span("serve.request.shutdown");
+                self.record_latency(started);
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.push_ready(&Json::obj([
+                        ("ok", Json::Bool(true)),
+                        ("draining", Json::Bool(true)),
+                    ]));
+                    conn.close_after_flush = true;
+                }
+                self.shared.begin_shutdown();
+            }
+            Request::Tune {
+                kernel,
+                dense_extent,
+                matrix,
+            }
+            | Request::Lookup {
+                kernel,
+                dense_extent,
+                matrix,
+            } => {
+                let Some(conn) = self.conns.get_mut(&token) else {
+                    return;
+                };
+                let slot = conn.push_waiting();
+                let job = Job {
+                    conn: token,
+                    slot,
+                    lookup_only,
+                    kernel,
+                    dense_extent,
+                    matrix,
+                    started,
+                };
+                if self.jobs.send(job).is_err() {
+                    // Executors are gone (shutdown race): fail the slot.
+                    self.fill_slot(
+                        token,
+                        slot,
+                        &error_response("server is shutting down", false),
+                    );
+                }
+            }
+        }
+    }
+
+    fn record_latency(&self, started: Instant) {
+        let elapsed = started.elapsed();
+        self.shared.latency.record(elapsed);
+        waco_obs::record("serve.request_seconds", elapsed.as_secs_f64());
+    }
+
+    fn drain_completions(&mut self) -> Vec<u64> {
+        let batch: Vec<Completion> = {
+            let mut guard = self
+                .shared
+                .completions
+                .lock()
+                .expect("completion lock poisoned");
+            std::mem::take(&mut *guard)
+        };
+        let mut touched = Vec::with_capacity(batch.len());
+        for c in batch {
+            let elapsed = c.started.elapsed();
+            self.shared.latency.record(elapsed);
+            waco_obs::record("serve.request_seconds", elapsed.as_secs_f64());
+            self.fill_slot(c.conn, c.slot, &c.body);
+            touched.push(c.conn);
+        }
+        touched
+    }
+
+    fn fill_slot(&mut self, token: u64, slot: u64, body: &Json) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return; // connection closed while the response was in flight
+        };
+        if let Some(s) = conn.pending.iter_mut().find(|s| s.id == slot) {
+            s.state = SlotState::Ready(body.clone());
+        }
+    }
+
+    /// Flushes a connection as far as the socket allows: encode the ready
+    /// prefix of the slot queue, write, and retune poll interest.
+    fn advance(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        while let Some(front) = conn.pending.front() {
+            match &front.state {
+                SlotState::Waiting => break,
+                SlotState::Ready(body) => {
+                    conn.wbuf.extend_from_slice(&encode_frame(body));
+                    conn.pending.pop_front();
+                }
+            }
+        }
+        let mut written = 0;
+        while written < conn.wbuf.len() {
+            match conn.stream.write(&conn.wbuf[written..]) {
+                Ok(0) => {
+                    self.close_conn(token);
+                    return;
+                }
+                Ok(n) => {
+                    written += n;
+                    conn.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(token);
+                    return;
+                }
+            }
+        }
+        conn.wbuf.drain(..written);
+        if conn.close_after_flush && conn.wbuf.is_empty() && conn.pending.is_empty() {
+            self.close_conn(token);
+            return;
+        }
+        let want = Interest {
+            read: !conn.close_after_flush,
+            write: !conn.wbuf.is_empty(),
+        };
+        if want != conn.interest {
+            conn.interest = want;
+            if self
+                .poller
+                .modify(conn.stream.as_raw_fd(), token, want)
+                .is_err()
+            {
+                self.close_conn(token);
+            }
+        }
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.poller.delete(conn.stream.as_raw_fd());
+        }
+        self.shared
+            .connections
+            .store(self.conns.len(), Ordering::Relaxed);
+    }
+
+    /// Closes connections idle past the timeout. A half-received frame at
+    /// expiry counts as a timed-out request (`serve.rejected_timeout`) —
+    /// this is what unwedges the loop from peers that die mid-frame.
+    fn sweep_idle(&mut self) {
+        let now = Instant::now();
+        let timeout = self.shared.timeout;
+        let expired: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.idle() && now.duration_since(c.last_activity) > timeout)
+            .map(|(&t, _)| t)
+            .collect();
+        for token in expired {
+            if let Some(conn) = self.conns.get(&token) {
+                if !conn.rbuf.is_empty() {
+                    self.shared.timeout_rejects.fetch_add(1, Ordering::Relaxed);
+                    waco_obs::counter("serve.rejected_timeout", 1);
+                }
+            }
+            self.close_conn(token);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server handle
+// ---------------------------------------------------------------------------
+
+/// A running tuning server.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    event_loop: Option<JoinHandle<()>>,
+    executors: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("local_addr", &self.local_addr)
+            .field("executors", &self.executors.len())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Binds, opens the cache, and starts the event loop + executor pool.
+    ///
+    /// # Errors
+    ///
+    /// [`WacoError::Io`] when the bind, the cache open, or the poller
+    /// creation fails.
+    pub fn start(config: ServeConfig, tuner: Arc<dyn Tuner>) -> Result<Server, WacoError> {
+        let _span = waco_obs::span("serve.start");
+        let cache = TuningCache::open(
+            config.cache_dir.join("tuning.journal"),
+            config.cache_capacity,
+        )?;
+        let listener = TcpListener::bind(config.addr)
+            .map_err(|e| WacoError::io(format!("binding {}", config.addr), e))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| WacoError::io("setting listener nonblocking", e))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| WacoError::io("reading bound address", e))?;
+
+        let (waker, wake_rx) =
+            wake_pair().map_err(|e| WacoError::io("creating event-loop waker", e))?;
+        let poller = Poller::new().map_err(|e| WacoError::io("creating poller", e))?;
+        poller
+            .add(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)
+            .map_err(|e| WacoError::io("registering listener", e))?;
+        poller
+            .add(wake_rx.as_raw_fd(), TOKEN_WAKER, Interest::READ)
+            .map_err(|e| WacoError::io("registering waker", e))?;
+
+        let shared = Arc::new(Shared {
+            cache,
+            tuner,
+            shutdown: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            busy_rejects: AtomicU64::new(0),
+            timeout_rejects: AtomicU64::new(0),
+            connections: AtomicUsize::new(0),
+            tune_calls: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            latency: LatencyHist::new(),
+            inflight: Mutex::new(HashMap::new()),
+            completions: Mutex::new(Vec::new()),
+            waker,
+            timeout: config.timeout,
+        });
+
+        let (jobs_tx, jobs_rx) = channel::<Job>();
+        let jobs_rx = Arc::new(Mutex::new(jobs_rx));
+        let mut executors = Vec::with_capacity(config.workers);
+        for _ in 0..config.workers {
+            let shared = Arc::clone(&shared);
+            let rx = Arc::clone(&jobs_rx);
+            executors.push(std::thread::spawn(move || executor_loop(&shared, &rx)));
+        }
+
+        let event_loop = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                let mut el = EventLoop {
+                    max_connections: config.queue_depth,
+                    shared,
+                    poller,
+                    listener: Some(listener),
+                    wake_rx,
+                    conns: HashMap::new(),
+                    next_token: TOKEN_BASE,
+                    jobs: jobs_tx,
+                };
+                el.run();
+                // Dropping `el` drops the job sender; executors drain the
+                // queue (late completions go nowhere) and exit.
+            })
+        };
+
+        Ok(Server {
+            shared,
+            local_addr,
+            event_loop: Some(event_loop),
+            executors,
+        })
+    }
+
+    /// The actual bound address (resolves an ephemeral port request).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Flips the drain flag and wakes the loop. Idempotent;
+    /// [`Server::wait`] completes the drain.
+    pub fn begin_shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Waits for drain: joins the event loop and every executor, then syncs
+    /// the journal.
+    ///
+    /// # Errors
+    ///
+    /// [`WacoError::Io`] if the final journal sync fails.
+    pub fn wait(mut self) -> Result<(), WacoError> {
+        if let Some(l) = self.event_loop.take() {
+            let _ = l.join();
+        }
+        for w in self.executors.drain(..) {
+            let _ = w.join();
+        }
+        self.shared.cache.sync()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The stats frame
+// ---------------------------------------------------------------------------
+
+fn rate(hits: u64, misses: u64) -> f64 {
+    if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    }
+}
+
 fn stats_response(shared: &Shared) -> Json {
     let cache = shared.cache.stats();
-    Json::obj([
+    let mut fields = vec![
         ("ok", Json::Bool(true)),
         (
             "cache",
@@ -487,6 +1074,7 @@ fn stats_response(shared: &Shared) -> Json {
                 ("resident", Json::num(cache.resident as f64)),
                 ("replayed", Json::num(cache.replayed as f64)),
                 ("capacity", Json::num(shared.cache.capacity() as f64)),
+                ("hit_rate", Json::num(rate(cache.hits, cache.misses))),
             ]),
         ),
         (
@@ -505,8 +1093,16 @@ fn stats_response(shared: &Shared) -> Json {
                     Json::num(shared.timeout_rejects.load(Ordering::Relaxed) as f64),
                 ),
                 (
-                    "queue_len",
-                    Json::num(shared.queue_len.load(Ordering::Relaxed) as f64),
+                    "connections",
+                    Json::num(shared.connections.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "tune_calls",
+                    Json::num(shared.tune_calls.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "coalesced",
+                    Json::num(shared.coalesced.load(Ordering::Relaxed) as f64),
                 ),
                 (
                     "draining",
@@ -514,5 +1110,51 @@ fn stats_response(shared: &Shared) -> Json {
                 ),
             ]),
         ),
-    ])
+        ("latency", shared.latency.to_json()),
+    ];
+    if let Some(pc) = shared.tuner.plan_cache_stats() {
+        fields.push((
+            "plan_cache",
+            Json::obj([
+                ("hits", Json::num(pc.hits as f64)),
+                ("misses", Json::num(pc.misses as f64)),
+                ("resident", Json::num(pc.resident as f64)),
+                ("capacity", Json::num(pc.capacity as f64)),
+                ("hit_rate", Json::num(rate(pc.hits, pc.misses))),
+            ]),
+        ));
+    }
+    if waco_obs::enabled() {
+        fields.push(("obs", obs_json()));
+    }
+    Json::obj(fields)
+}
+
+/// Live `waco-obs` counters and histogram quantiles, exported when a
+/// subscriber is installed (`waco-cli serve --trace`).
+fn obs_json() -> Json {
+    let snap = waco_obs::snapshot();
+    let counters = Json::Obj(
+        snap.counters
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::num(*v as f64)))
+            .collect(),
+    );
+    let hists = Json::Obj(
+        snap.hists
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    Json::obj([
+                        ("count", Json::num(h.count as f64)),
+                        ("mean", Json::num(h.mean())),
+                        ("p50", Json::num(h.quantile(0.5))),
+                        ("p99", Json::num(h.quantile(0.99))),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    Json::obj([("counters", counters), ("hists", hists)])
 }

@@ -46,6 +46,13 @@ pub trait Tuner: Send + Sync {
         kernel: Kernel,
         dense_extent: usize,
     ) -> Result<TunedOutcome, WacoError>;
+
+    /// Lowered-plan cache counters, when the backend keeps one. The server's
+    /// `stats` frame reports these as the plan-cache hit rate; backends
+    /// without a plan cache (test doubles) inherit the `None` default.
+    fn plan_cache_stats(&self) -> Option<PlanCacheStats> {
+        None
+    }
 }
 
 /// Construction parameters for [`WacoTuner`].
@@ -180,6 +187,10 @@ impl WacoTuner {
 }
 
 impl Tuner for WacoTuner {
+    fn plan_cache_stats(&self) -> Option<PlanCacheStats> {
+        Some(self.plans.stats())
+    }
+
     fn tune(
         &self,
         m: &CooMatrix,

@@ -2,10 +2,12 @@
 //! loopback port, a real client, and a journal-backed restart.
 
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
 use waco_serve::json::Json;
+use waco_serve::tuner::{TunedOutcome, Tuner};
 use waco_serve::{Client, ServeConfig, Server, WacoTuner, WacoTunerConfig};
 use waco_tensor::gen::{self, Rng64};
 
@@ -141,6 +143,155 @@ fn concurrent_clients_agree() {
             .unwrap()
             >= 8
     );
+    client.shutdown().unwrap();
+    server.wait().unwrap();
+}
+
+/// A tuner double that counts invocations and holds each tune open long
+/// enough for concurrent requests to pile up behind it.
+struct CountingTuner {
+    calls: AtomicUsize,
+    delay: Duration,
+}
+
+impl Tuner for CountingTuner {
+    fn tune(
+        &self,
+        m: &waco_tensor::CooMatrix,
+        kernel: waco_schedule::Kernel,
+        dense_extent: usize,
+    ) -> Result<TunedOutcome, waco_core::WacoError> {
+        self.calls.fetch_add(1, Ordering::SeqCst);
+        std::thread::sleep(self.delay);
+        let space = waco_schedule::Space::new(kernel, vec![m.nrows(), m.ncols()], dense_extent);
+        Ok(TunedOutcome {
+            schedule: waco_schedule::named::default_csr(&space),
+            kernel_seconds: 1e-3,
+            tuning_seconds: 2e-3,
+        })
+    }
+}
+
+/// The coalescing contract: N concurrent cold tunes of the same
+/// fingerprint perform exactly one tuner invocation, every client gets the
+/// identical decision, and the stats frame records the N-1 piggy-backers.
+#[test]
+fn concurrent_cold_tunes_coalesce_into_one_tuner_call() {
+    const N: usize = 6;
+    let dir = tmp_dir("coalesce");
+    let cfg = ServeConfig::builder()
+        .addr("127.0.0.1:0")
+        .cache_dir(&dir)
+        .workers(2)
+        .timeout_secs(60.0)
+        .build()
+        .unwrap();
+    // 400 ms per tune: the second executor registers the other five
+    // requests as waiters long before the owner's tune returns.
+    let tuner = Arc::new(CountingTuner {
+        calls: AtomicUsize::new(0),
+        delay: Duration::from_millis(400),
+    });
+    let server = Server::start(cfg, Arc::clone(&tuner) as Arc<dyn Tuner>).unwrap();
+
+    let mut rng = Rng64::seed_from(33);
+    let m = gen::uniform_random(24, 24, 0.1, &mut rng);
+    let addr = server.local_addr().to_string();
+    let barrier = Arc::new(Barrier::new(N));
+    let handles: Vec<_> = (0..N)
+        .map(|_| {
+            let addr = addr.clone();
+            let m = m.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr, Duration::from_secs(60)).unwrap();
+                barrier.wait();
+                client.tune(&m, "spmv", 0).unwrap()
+            })
+        })
+        .collect();
+    let replies: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    assert_eq!(
+        tuner.calls.load(Ordering::SeqCst),
+        1,
+        "N concurrent tunes of one fingerprint must invoke the tuner once"
+    );
+    let first = replies[0].decision.as_ref().unwrap();
+    for reply in &replies {
+        assert!(!reply.cached, "a fresh tune is not a cache hit");
+        assert_eq!(reply.decision.as_ref().unwrap(), first);
+    }
+
+    let mut client = connect(&server);
+    let stats = client.stats().unwrap();
+    let srv = stats.get("server").unwrap();
+    assert_eq!(srv.get("tune_calls").unwrap().as_u64(), Some(1));
+    assert_eq!(
+        srv.get("coalesced").unwrap().as_u64(),
+        Some((N - 1) as u64),
+        "the other {} requests must piggy-back on the in-flight tune",
+        N - 1
+    );
+    client.shutdown().unwrap();
+    server.wait().unwrap();
+}
+
+/// Pipelining: several requests written back-to-back on one connection are
+/// answered strictly in request order.
+#[test]
+fn pipelined_requests_answer_in_order() {
+    let dir = tmp_dir("pipeline");
+    let cfg = ServeConfig::builder()
+        .addr("127.0.0.1:0")
+        .cache_dir(&dir)
+        .workers(2)
+        .timeout_secs(60.0)
+        .build()
+        .unwrap();
+    let tuner = Arc::new(CountingTuner {
+        calls: AtomicUsize::new(0),
+        delay: Duration::from_millis(50),
+    });
+    let server = Server::start(cfg, tuner).unwrap();
+
+    let mut rng = Rng64::seed_from(34);
+    let m = gen::uniform_random(16, 16, 0.2, &mut rng);
+    let mut mtx = Vec::new();
+    waco_tensor::io::write_matrix_market(&mut mtx, &m).unwrap();
+    let text = String::from_utf8(mtx).unwrap();
+
+    let mut client = connect(&server);
+    // stats answers immediately; the tune behind it takes 50 ms — the
+    // stats response after it must still arrive third.
+    client
+        .send(&Json::obj([("op", Json::str("stats"))]))
+        .unwrap();
+    client
+        .send(&waco_serve::protocol::request_json(
+            "tune", "spmv", 0, &text,
+        ))
+        .unwrap();
+    client
+        .send(&Json::obj([("op", Json::str("stats"))]))
+        .unwrap();
+
+    let r1 = client.recv().unwrap();
+    assert!(
+        r1.get("cache").is_some(),
+        "first reply answers the stats op"
+    );
+    let r2 = client.recv().unwrap();
+    assert!(
+        r2.get("decision").is_some(),
+        "second reply answers the tune op"
+    );
+    let r3 = client.recv().unwrap();
+    assert!(
+        r3.get("cache").is_some(),
+        "third reply answers the stats op"
+    );
+
     client.shutdown().unwrap();
     server.wait().unwrap();
 }

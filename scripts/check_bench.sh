@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Micro-benchmark regression gate: compares the ratios a fresh
+# `cargo bench -p waco-bench` run (results/microbench.json) against the
+# committed baseline (results/microbench_baseline.json).
+#
+# Raw nanoseconds are machine-dependent, so the gate tracks *ratios*
+# between benches from the same run — plan-vs-interpreter speedup, serve
+# warm-vs-cold amortization, plan-cache fetch-vs-lower, the parallel work
+# gate's serial parity, and the disabled-observability tax. A tracked
+# ratio may drift by CHECK_BENCH_TOL (default 1.6x, CI noise included)
+# from the baseline before the gate fails.
+#
+#   cargo bench -p waco-bench -- --smoke   # writes results/microbench.json
+#   scripts/check_bench.sh [current.json] [baseline.json]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CURRENT="${1:-results/microbench.json}"
+BASELINE="${2:-results/microbench_baseline.json}"
+
+if ! command -v python3 >/dev/null 2>&1; then
+    echo "check_bench: python3 not available, skipping ratio gate" >&2
+    exit 0
+fi
+test -s "$CURRENT" || { echo "check_bench: missing $CURRENT" >&2; exit 1; }
+test -s "$BASELINE" || { echo "check_bench: missing $BASELINE" >&2; exit 1; }
+
+python3 - "$CURRENT" "$BASELINE" <<'EOF'
+import json
+import os
+import sys
+
+def medians(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {b["name"]: float(b["median_ns"]) for b in doc["benchmarks"]}
+
+cur = medians(sys.argv[1])
+base = medians(sys.argv[2])
+tol = float(os.environ.get("CHECK_BENCH_TOL", "1.6"))
+
+# (label, numerator, denominator, higher_is_better)
+TRACKED = [
+    ("plan_vs_interp_spmv",
+     "plan_lowering/spmv_10k_interp_8t", "plan_lowering/spmv_10k_plan_8t", True),
+    ("plan_vs_interp_spmm",
+     "plan_lowering/spmm_10k_interp_8t", "plan_lowering/spmm_10k_plan_8t", True),
+    ("serve_warm_vs_cold",
+     "serve_cache/cold_tune_spmv_64", "serve_cache/warm_request_spmv_64", True),
+    ("plan_cache_fetch_vs_lower",
+     "plan_lowering/build_spmv_csr", "plan_lowering/plan_cache_warm", True),
+    # The executor's work gate: an 8-thread schedule over sub-cutoff work
+    # must run at serial parity (ratio ~1.0, lower is better).
+    ("work_gate_parity",
+     "plan_lowering/spmv_10k_plan_8t", "plan_lowering/spmv_10k_plan_serial", False),
+    # Observability when disabled: hook cost as a share of one SpMV.
+    ("obs_disabled_tax",
+     "obs_overhead/disabled_hooks", "obs_overhead/spmv_512_disabled", False),
+]
+
+failures = []
+for label, num, den, higher_better in TRACKED:
+    missing = [n for n in (num, den) if n not in cur or n not in base]
+    if missing:
+        failures.append(f"{label}: benches missing from a results file: {missing}")
+        continue
+    now = cur[num] / cur[den]
+    ref = base[num] / base[den]
+    if higher_better:
+        ok = now >= ref / tol
+        drift = ref / now if now > 0 else float("inf")
+    else:
+        ok = now <= ref * tol
+        drift = now / ref if ref > 0 else float("inf")
+    verdict = "ok" if ok else "REGRESSED"
+    print(f"  {label:28s} baseline {ref:10.3f}  current {now:10.3f}  {verdict}")
+    if not ok:
+        failures.append(
+            f"{label}: {now:.3f} vs baseline {ref:.3f} "
+            f"(drift {drift:.2f}x > tolerance {tol}x)")
+
+if failures:
+    print("check_bench: FAILED", file=sys.stderr)
+    for f in failures:
+        print(f"  {f}", file=sys.stderr)
+    sys.exit(1)
+print(f"check_bench: all tracked ratios within {tol}x of baseline")
+EOF

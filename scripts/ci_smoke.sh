@@ -158,7 +158,39 @@ grep -qF '"name":"plan_equivalence"' "$VERIFY_REPORT" || {
 }
 echo "verify report OK: $VERIFY_REPORT"
 
-# 5. Two experiment binaries at smoke scale (co-optimization table and the
+# 5. The load generator against a fresh server: the coalesce probe must
+#    collapse concurrent same-fingerprint tunes into one tuner call, the
+#    open-loop main run must complete without errors, and client-measured
+#    p99 must stay under the ceiling (LOADGEN_P99_MS, default 500).
+echo
+echo "--- serve: loadgen smoke (coalescing + latency) ---"
+SERVE_CACHE="$TMP/loadgen-cache"
+SERVE_TRACE="$TMP/trace-loadgen.json"
+start_server
+run "$CLI" loadgen --addr "$ADDR" --smoke --out results/loadgen.json
+stop_server
+test -s results/loadgen.json
+if command -v python3 >/dev/null 2>&1; then
+    python3 - results/loadgen.json <<'EOF'
+import json, os, sys
+r = json.load(open(sys.argv[1]))
+probe = r["coalesce_probe"]
+lat = r["latency"]
+assert probe["coalesced"] >= 1, f"no coalescing observed: {probe}"
+assert probe["identical_responses"], "coalesced responses diverged"
+assert lat["count"] > 0 and lat["errors"] == 0, lat
+ceiling = float(os.environ.get("LOADGEN_P99_MS", "500"))
+assert lat["p99_ms"] <= ceiling, \
+    f"p99 {lat['p99_ms']:.2f}ms over the {ceiling}ms ceiling"
+print(f"loadgen OK: coalesced={probe['coalesced']} "
+      f"p50={lat['p50_ms']:.2f}ms p99={lat['p99_ms']:.2f}ms")
+EOF
+else
+    grep -q '"coalesced":' results/loadgen.json
+    echo "loadgen OK (python3 unavailable, JSON gates skipped)"
+fi
+
+# 6. Two experiment binaries at smoke scale (co-optimization table and the
 #    headline baseline-comparison figure).
 run target/release/table1 --smoke
 run target/release/fig13 --smoke
