@@ -485,7 +485,7 @@ pub fn verify(args: &[String]) -> Result<()> {
 /// as text (default) or JSON (`--json`) — the introspection window into the
 /// exact loop structure every backend (exec, sim, serve, verify) runs.
 pub fn plan(args: &[String]) -> Result<()> {
-    use waco_exec::{ExecutionPlan, FastPath, LocateKind, PlanOp};
+    use waco_exec::{ExecutionPlan, LocateKind, PlanOp};
     use waco_serve::Json;
 
     let flags = Flags::parse(args)?;
@@ -605,13 +605,8 @@ pub fn plan(args: &[String]) -> Result<()> {
                 ]),
             },
         ),
-        (
-            "fast_path",
-            Json::str(match plan.fast_path() {
-                FastPath::CsrRows => "csr_rows",
-                FastPath::None => "none",
-            }),
-        ),
+        ("fast_path", Json::str(plan.fast_path().wire_name())),
+        ("fast_path_reason", Json::str(plan.fast_path_reason())),
         ("ops", Json::Arr(plan.ops().iter().map(op_json).collect())),
         ("schedule", waco_serve::cache::schedule_to_json(&sched)),
     ]);

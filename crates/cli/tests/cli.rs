@@ -346,7 +346,10 @@ fn plan_dumps_text_and_json() {
         String::from_utf8_lossy(&out.stderr)
     );
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("\"fast_path\":\"csr_rows\""), "{text}");
+    // A wide row-major CSR SpMM is claimed by the register-tiled tier, and
+    // the report says why.
+    assert!(text.contains("\"fast_path\":\"reg_block_spmm\""), "{text}");
+    assert!(text.contains("\"fast_path_reason\":"), "{text}");
     assert!(text.contains("\"sparse_dims\":[32,48]"), "{text}");
     // The dumped schedule must round-trip through the serve wire form.
     assert!(text.contains("\"schedule\":"), "{text}");

@@ -1,0 +1,412 @@
+//! The unified kernel execution surface: prepare once, run many times.
+//!
+//! [`Executor`] replaces the twelve per-kernel free functions
+//! (`spmv`/`spmv_plan`/`spmv_interpreted` and friends) with one typed
+//! surface. [`Executor::prepare`] lowers a `(SuperSchedule, Space)` pair
+//! into an [`ExecutionPlan`] and stores the sparse operand in the plan's
+//! spec — the paper's `T_formatconvert` half; [`PlannedKernel::run`] then
+//! executes it against the dense operands — the `T_tunedkernel` half — as
+//! often as needed. The [`Backend`] selector chooses between the plan
+//! executor (with its monomorphized specialization tier, see
+//! [`crate::FastPath`]) and the dynamic [`crate::LoopNest`] reference
+//! interpreter the fast paths are differentially tested against.
+//!
+//! ```
+//! use waco_exec::{Executor, KernelArgs};
+//! use waco_schedule::{named, Kernel, Space};
+//! use waco_tensor::{gen, DenseVector};
+//!
+//! let mut rng = gen::Rng64::seed_from(1);
+//! let a = gen::uniform_random(32, 32, 0.1, &mut rng);
+//! let space = Space::new(Kernel::SpMV, vec![32, 32], 0);
+//! let sched = named::default_csr(&space);
+//!
+//! let planned = Executor::planned().prepare(&a, &sched, &space).unwrap();
+//! let x = DenseVector::from_fn(32, |i| i as f32);
+//! let y = planned
+//!     .run(KernelArgs::Spmv { x: &x })
+//!     .unwrap()
+//!     .into_vector()
+//!     .unwrap();
+//! assert_eq!(y.len(), 32);
+//! ```
+
+use crate::kernels::{
+    self, lower_2d, lower_tensor3, mttkrp_with, sddmm_with, spmm_with, spmv_with, Engine,
+};
+use crate::plan::ExecutionPlan;
+use crate::{ExecError, Result};
+use waco_format::SparseStorage;
+use waco_schedule::{Kernel, Space, SuperSchedule};
+use waco_tensor::{CooMatrix, CooTensor3, DenseMatrix, DenseVector};
+
+/// Which engine a [`PlannedKernel`] runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// The flat-op plan executor, including the monomorphized
+    /// specialization tier ([`crate::FastPath`]). The production engine.
+    #[default]
+    Plan,
+    /// The dynamic [`crate::LoopNest`] reference interpreter: slower, but
+    /// the oracle every plan (and fast path) is held bit-identical to.
+    Interpreter,
+}
+
+/// Builds [`PlannedKernel`]s for a chosen [`Backend`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Executor {
+    backend: Backend,
+}
+
+impl Executor {
+    /// An executor that runs kernels on `backend`.
+    pub const fn new(backend: Backend) -> Self {
+        Executor { backend }
+    }
+
+    /// Shorthand for [`Executor::new`] with [`Backend::Plan`].
+    pub const fn planned() -> Self {
+        Self::new(Backend::Plan)
+    }
+
+    /// Shorthand for [`Executor::new`] with [`Backend::Interpreter`].
+    pub const fn interpreted() -> Self {
+        Self::new(Backend::Interpreter)
+    }
+
+    /// The backend prepared kernels will default to.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Lowers `sched` and stores the matrix operand `a` in the plan's spec
+    /// — validation, format derivation, fast-path selection, and format
+    /// conversion, all up front.
+    ///
+    /// # Errors
+    ///
+    /// Schedule validation, storage budget, and operand-shape errors.
+    pub fn prepare(
+        &self,
+        a: &CooMatrix,
+        sched: &SuperSchedule,
+        space: &Space,
+    ) -> Result<PlannedKernel> {
+        let (plan, st) = lower_2d(a, sched, space)?;
+        Ok(PlannedKernel {
+            plan,
+            st,
+            backend: self.backend,
+        })
+    }
+
+    /// Lowers `sched` and stores the 3-D tensor operand `a` in the plan's
+    /// spec.
+    ///
+    /// # Errors
+    ///
+    /// Schedule validation, storage budget, and operand-shape errors.
+    pub fn prepare_tensor3(
+        &self,
+        a: &CooTensor3,
+        sched: &SuperSchedule,
+        space: &Space,
+    ) -> Result<PlannedKernel> {
+        let (plan, st) = lower_tensor3(a, sched, space)?;
+        Ok(PlannedKernel {
+            plan,
+            st,
+            backend: self.backend,
+        })
+    }
+
+    /// Wraps a plan and storage that were built elsewhere (the serve-side
+    /// plan cache, a persisted conversion) into a runnable kernel.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::OperandMismatch`] when `st` is not stored in `plan`'s
+    /// format spec.
+    pub fn prepare_stored(&self, plan: ExecutionPlan, st: SparseStorage) -> Result<PlannedKernel> {
+        kernels::check_storage(&plan, &st)?;
+        Ok(PlannedKernel {
+            plan,
+            st,
+            backend: self.backend,
+        })
+    }
+}
+
+/// Typed dense operands for one kernel invocation. The variant must match
+/// the prepared plan's kernel.
+#[derive(Debug, Clone, Copy)]
+pub enum KernelArgs<'a> {
+    /// SpMV: `y = A x`.
+    Spmv {
+        /// The dense vector, length `ncols`.
+        x: &'a DenseVector,
+    },
+    /// SpMM: `C = A B`.
+    Spmm {
+        /// The dense operand, `ncols × |j|` row-major.
+        b: &'a DenseMatrix,
+    },
+    /// SDDMM: `D = A ∘ (B C)`.
+    Sddmm {
+        /// `nrows × |k|`.
+        b: &'a DenseMatrix,
+        /// `|k| × ncols`.
+        c: &'a DenseMatrix,
+    },
+    /// MTTKRP: `D[i,j] = Σ A[i,k,l] B[k,j] C[l,j]`.
+    Mttkrp {
+        /// `|k| × rank`.
+        b: &'a DenseMatrix,
+        /// `|l| × rank`.
+        c: &'a DenseMatrix,
+    },
+}
+
+impl KernelArgs<'_> {
+    /// The kernel these arguments belong to.
+    pub fn kernel(&self) -> Kernel {
+        match self {
+            KernelArgs::Spmv { .. } => Kernel::SpMV,
+            KernelArgs::Spmm { .. } => Kernel::SpMM,
+            KernelArgs::Sddmm { .. } => Kernel::SDDMM,
+            KernelArgs::Mttkrp { .. } => Kernel::MTTKRP,
+        }
+    }
+}
+
+/// Typed result of one kernel invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelOutput {
+    /// SpMV's `y`.
+    Vector(DenseVector),
+    /// SpMM's `C` / MTTKRP's `D`.
+    Matrix(DenseMatrix),
+    /// SDDMM's `D` (the sparse operand's pattern).
+    Sparse(CooMatrix),
+}
+
+impl KernelOutput {
+    /// Unwraps [`KernelOutput::Vector`].
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::OperandMismatch`] for any other variant.
+    pub fn into_vector(self) -> Result<DenseVector> {
+        match self {
+            KernelOutput::Vector(v) => Ok(v),
+            other => Err(other.mismatch("a dense vector")),
+        }
+    }
+
+    /// Unwraps [`KernelOutput::Matrix`].
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::OperandMismatch`] for any other variant.
+    pub fn into_matrix(self) -> Result<DenseMatrix> {
+        match self {
+            KernelOutput::Matrix(m) => Ok(m),
+            other => Err(other.mismatch("a dense matrix")),
+        }
+    }
+
+    /// Unwraps [`KernelOutput::Sparse`].
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::OperandMismatch`] for any other variant.
+    pub fn into_sparse(self) -> Result<CooMatrix> {
+        match self {
+            KernelOutput::Sparse(m) => Ok(m),
+            other => Err(other.mismatch("a sparse matrix")),
+        }
+    }
+
+    fn mismatch(&self, wanted: &str) -> ExecError {
+        let got = match self {
+            KernelOutput::Vector(_) => "a dense vector",
+            KernelOutput::Matrix(_) => "a dense matrix",
+            KernelOutput::Sparse(_) => "a sparse matrix",
+        };
+        ExecError::OperandMismatch(format!("kernel output is {got}, not {wanted}"))
+    }
+}
+
+/// A lowered plan plus the converted sparse operand: the reusable half of a
+/// kernel. Build one with [`Executor::prepare`] (or
+/// [`Executor::prepare_stored`]), then [`PlannedKernel::run`] it against
+/// any number of dense operands.
+#[derive(Debug, Clone)]
+pub struct PlannedKernel {
+    plan: ExecutionPlan,
+    st: SparseStorage,
+    backend: Backend,
+}
+
+impl PlannedKernel {
+    /// The lowered plan (fast-path variant, op sequence, format spec).
+    pub fn plan(&self) -> &ExecutionPlan {
+        &self.plan
+    }
+
+    /// The sparse operand, stored in the plan's format spec.
+    pub fn storage(&self) -> &SparseStorage {
+        &self.st
+    }
+
+    /// The kernel this plan executes.
+    pub fn kernel(&self) -> Kernel {
+        self.plan.kernel()
+    }
+
+    /// The backend [`PlannedKernel::run`] uses.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The same prepared kernel, defaulting to `backend` instead.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Decomposes into the plan and storage (e.g. to hand the plan to the
+    /// simulator or an event-stream walk).
+    pub fn into_parts(self) -> (ExecutionPlan, SparseStorage) {
+        (self.plan, self.st)
+    }
+
+    /// Runs the kernel on the prepared backend.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::OperandMismatch`] when `args` names a different kernel
+    /// than the plan, or the dense operand shapes disagree with the space.
+    pub fn run(&self, args: KernelArgs<'_>) -> Result<KernelOutput> {
+        self.run_on(self.backend, args)
+    }
+
+    /// Runs the kernel on an explicit backend — the differential-testing
+    /// entry: one prepared kernel, both engines, no duplicate conversion.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PlannedKernel::run`].
+    pub fn run_on(&self, backend: Backend, args: KernelArgs<'_>) -> Result<KernelOutput> {
+        let engine = match backend {
+            Backend::Plan => Engine::Plan,
+            Backend::Interpreter => Engine::Interp,
+        };
+        match (self.plan.kernel(), args) {
+            (Kernel::SpMV, KernelArgs::Spmv { x }) => Ok(KernelOutput::Vector(spmv_with(
+                engine, &self.plan, &self.st, x,
+            )?)),
+            (Kernel::SpMM, KernelArgs::Spmm { b }) => Ok(KernelOutput::Matrix(spmm_with(
+                engine, &self.plan, &self.st, b,
+            )?)),
+            (Kernel::SDDMM, KernelArgs::Sddmm { b, c }) => Ok(KernelOutput::Sparse(sddmm_with(
+                engine, &self.plan, &self.st, b, c,
+            )?)),
+            (Kernel::MTTKRP, KernelArgs::Mttkrp { b, c }) => Ok(KernelOutput::Matrix(mttkrp_with(
+                engine, &self.plan, &self.st, b, c,
+            )?)),
+            (kernel, args) => Err(ExecError::OperandMismatch(format!(
+                "plan is for {kernel}, args are for {}",
+                args.kernel()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waco_schedule::named;
+    use waco_tensor::gen::{self, Rng64};
+    use waco_tensor::CsrMatrix;
+
+    #[test]
+    fn prepare_run_matches_reference() {
+        let mut rng = Rng64::seed_from(21);
+        let a = gen::uniform_random(48, 48, 0.1, &mut rng);
+        let space = Space::new(Kernel::SpMV, vec![48, 48], 0);
+        let sched = named::default_csr(&space);
+        let x = DenseVector::from_fn(48, |i| (i % 5) as f32 - 2.0);
+        let planned = Executor::planned().prepare(&a, &sched, &space).unwrap();
+        let y = planned
+            .run(KernelArgs::Spmv { x: &x })
+            .unwrap()
+            .into_vector()
+            .unwrap();
+        let r = CsrMatrix::from_coo(&a).spmv(&x);
+        assert!(y.max_abs_diff(&r) < 1e-3);
+    }
+
+    #[test]
+    fn both_backends_run_from_one_preparation() {
+        let mut rng = Rng64::seed_from(22);
+        let a = gen::powerlaw_rows(40, 40, 4.0, 1.2, &mut rng);
+        let space = Space::new(Kernel::SpMM, vec![40, 40], 8);
+        let sched = named::default_csr(&space);
+        let b = DenseMatrix::from_fn(40, 8, |r, c| ((r + c) % 7) as f32 * 0.3 - 1.0);
+        let planned = Executor::planned().prepare(&a, &sched, &space).unwrap();
+        let fast = planned
+            .run(KernelArgs::Spmm { b: &b })
+            .unwrap()
+            .into_matrix()
+            .unwrap();
+        let interp = planned
+            .run_on(Backend::Interpreter, KernelArgs::Spmm { b: &b })
+            .unwrap()
+            .into_matrix()
+            .unwrap();
+        for (f, i) in fast.as_slice().iter().zip(interp.as_slice()) {
+            assert_eq!(f.to_bits(), i.to_bits());
+        }
+    }
+
+    #[test]
+    fn mismatched_args_are_rejected() {
+        let a = gen::mesh2d(4, 4);
+        let space = Space::new(Kernel::SpMV, vec![16, 16], 0);
+        let sched = named::default_csr(&space);
+        let planned = Executor::planned().prepare(&a, &sched, &space).unwrap();
+        let b = DenseMatrix::zeros(16, 4);
+        let r = planned.run(KernelArgs::Spmm { b: &b });
+        assert!(matches!(r, Err(ExecError::OperandMismatch(_))));
+    }
+
+    #[test]
+    fn output_accessors_reject_wrong_variant() {
+        let out = KernelOutput::Vector(DenseVector::zeros(3));
+        assert!(out.clone().into_vector().is_ok());
+        assert!(matches!(
+            out.into_matrix(),
+            Err(ExecError::OperandMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn prepare_stored_checks_the_spec() {
+        let mut rng = Rng64::seed_from(23);
+        let a = gen::uniform_random(12, 12, 0.2, &mut rng);
+        let space = Space::new(Kernel::SpMV, vec![12, 12], 0);
+        let sched = named::default_csr(&space);
+        let plan = ExecutionPlan::build(&sched, &space).unwrap();
+        let other = SparseStorage::from_matrix(&a, &waco_format::FormatSpec::csc(12, 12)).unwrap();
+        assert!(matches!(
+            Executor::planned().prepare_stored(plan.clone(), other),
+            Err(ExecError::OperandMismatch(_))
+        ));
+        let st = SparseStorage::from_matrix(&a, plan.spec()).unwrap();
+        let pk = Executor::interpreted().prepare_stored(plan, st).unwrap();
+        assert_eq!(pk.backend(), Backend::Interpreter);
+        let pk = pk.with_backend(Backend::Plan);
+        assert_eq!(pk.backend(), Backend::Plan);
+    }
+}

@@ -4,12 +4,22 @@
 //! (validation, format-spec derivation, loop-op resolution — all at build
 //! time), stores the sparse operand in the plan's spec, and runs the plan —
 //! serially or with dynamic-chunk threads per the plan's `ParallelChunk` op.
-//! Callers that already hold a plan (the serve-side plan cache, benches, the
-//! verify harness) use the `*_plan` entries directly and skip lowering; the
-//! `*_interpreted` entries run the same plan through the dynamic
-//! [`LoopNest`] interpreter instead, as the reference the plan executor is
-//! differentially tested against. Outputs are validated against the
-//! reference implementations in `waco-tensor` by the test suite.
+//! The public surface is [`crate::Executor`] / [`crate::PlannedKernel`]
+//! (prepare once, run many times, with an explicit [`crate::Backend`]
+//! selector between the plan executor and the dynamic [`LoopNest`]
+//! reference interpreter); the free functions in this module are kept as
+//! `#[deprecated]` shims for one release.
+//!
+//! Plans that qualify for the specialization tier
+//! ([`ExecutionPlan::fast_path`]) bypass the generic op executor entirely
+//! and run a monomorphized loop: the direct CSR row loop, the
+//! register-tiled SpMM, the BCSR dense-block micro-kernel, or the
+//! discordant transpose-permutation stream. Every fast path preserves the
+//! interpreter's per-output-element accumulation order (increasing k), its
+//! exact-zero padding skip, and its chunking, so outputs are bit-identical
+//! across engines — the property the `plan_equivalence` suites enforce.
+//! Outputs are additionally validated against the reference implementations
+//! in `waco-tensor` by the test suite.
 
 use crate::nest::{Ctx, LoopNest, NoInstrument};
 use crate::parallel::run_chunked;
@@ -76,7 +86,7 @@ fn check_kernel(plan: &ExecutionPlan, kernel: Kernel) -> Result<()> {
     Ok(())
 }
 
-fn check_storage(plan: &ExecutionPlan, st: &SparseStorage) -> Result<()> {
+pub(crate) fn check_storage(plan: &ExecutionPlan, st: &SparseStorage) -> Result<()> {
     if st.spec() != plan.spec() {
         return Err(ExecError::OperandMismatch(
             "storage spec does not match the plan's format spec".into(),
@@ -88,9 +98,27 @@ fn check_storage(plan: &ExecutionPlan, st: &SparseStorage) -> Result<()> {
 /// Which execution strategy drives the walk: the plan's flat op sequence
 /// (with monomorphized fast paths) or the dynamic reference interpreter.
 #[derive(Clone, Copy, PartialEq, Eq)]
-enum Engine {
+pub(crate) enum Engine {
     Plan,
     Interp,
+}
+
+/// Counts which specialization-tier variant a plan-engine run took
+/// (`exec.plan.fastpath.*`, including `none` for generic walks). The
+/// interpreter engine never takes a fast path, so it never counts.
+fn note_fastpath(engine: Engine, plan: &ExecutionPlan) {
+    if engine == Engine::Plan && waco_obs::enabled() {
+        waco_obs::counter(plan.fast_path().exec_counter(), 1);
+    }
+}
+
+/// The fast path a run should dispatch on: the plan's recorded variant
+/// under the plan engine, always the generic walk under the interpreter.
+fn effective_fast(engine: Engine, plan: &ExecutionPlan) -> FastPath {
+    match engine {
+        Engine::Plan => plan.fast_path(),
+        Engine::Interp => FastPath::None,
+    }
 }
 
 /// How a kernel executes: serial walk or dynamic-chunk parallel walk with
@@ -169,6 +197,10 @@ fn csr_slices(st: &SparseStorage) -> (&[usize], &[usize], &[Value]) {
 /// # Errors
 ///
 /// Schedule validation, storage budget, and operand-shape errors.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Executor::prepare` + `PlannedKernel::run(KernelArgs::Spmv { x })`"
+)]
 pub fn spmv(
     a: &CooMatrix,
     sched: &SuperSchedule,
@@ -176,27 +208,31 @@ pub fn spmv(
     x: &DenseVector,
 ) -> Result<DenseVector> {
     let (plan, st) = lower_2d(a, sched, space)?;
-    spmv_plan(&plan, &st, x)
+    spmv_with(Engine::Plan, &plan, &st, x)
 }
 
-/// SpMV over a pre-lowered plan and pre-built storage. Fully-concordant CSR
-/// plans take a monomorphized pos/crd row loop with no per-element
-/// branching; everything else runs the generic op executor.
+/// SpMV over a pre-lowered plan and pre-built storage.
 ///
 /// # Errors
 ///
 /// Kernel, spec, and operand-shape mismatches.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Executor::planned().prepare_stored` + `PlannedKernel::run`"
+)]
 pub fn spmv_plan(plan: &ExecutionPlan, st: &SparseStorage, x: &DenseVector) -> Result<DenseVector> {
     spmv_with(Engine::Plan, plan, st, x)
 }
 
-/// SpMV through the dynamic reference interpreter (same plan, same
-/// chunking): the baseline the plan executor is differentially tested
-/// against.
+/// SpMV through the dynamic reference interpreter.
 ///
 /// # Errors
 ///
 /// Kernel, spec, and operand-shape mismatches.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `PlannedKernel::run_on(Backend::Interpreter, ..)`"
+)]
 pub fn spmv_interpreted(
     plan: &ExecutionPlan,
     st: &SparseStorage,
@@ -205,7 +241,7 @@ pub fn spmv_interpreted(
     spmv_with(Engine::Interp, plan, st, x)
 }
 
-fn spmv_with(
+pub(crate) fn spmv_with(
     engine: Engine,
     plan: &ExecutionPlan,
     st: &SparseStorage,
@@ -216,30 +252,121 @@ fn spmv_with(
     if x.len() != plan.sparse_dims()[1] {
         return Err(ExecError::OperandMismatch("x length != ncols".into()));
     }
+    note_fastpath(engine, plan);
     let n = plan.sparse_dims()[0];
     let xs = x.as_slice();
-    let out = if engine == Engine::Plan && plan.fast_path() == FastPath::CsrRows {
-        let (pos, crd, vals) = csr_slices(st);
-        dispatch(
-            plan,
-            st,
-            || vec![0.0 as Value; n],
-            |range, acc: &mut Vec<Value>| {
-                for i in range {
-                    let mut y = acc[i];
-                    for q in pos[i]..pos[i + 1] {
-                        let v = vals[q];
-                        if v != 0.0 {
-                            y += v * xs[crd[q]];
+    let out = match effective_fast(engine, plan) {
+        FastPath::CsrRows => {
+            let (pos, crd, vals) = csr_slices(st);
+            dispatch(
+                plan,
+                st,
+                || vec![0.0 as Value; n],
+                |range, acc: &mut Vec<Value>| {
+                    for i in range {
+                        let mut y = acc[i];
+                        for q in pos[i]..pos[i + 1] {
+                            let v = vals[q];
+                            if v != 0.0 {
+                                y += v * xs[crd[q]];
+                            }
+                        }
+                        acc[i] = y;
+                    }
+                },
+                merge_vecs,
+            )
+        }
+        FastPath::BcsrBlock => {
+            // Block rows outermost; each output row lives in exactly one
+            // block row, so chunked accumulators never overlap. Rows past
+            // the matrix edge hold only padding (exact 0.0), and a genuine
+            // nonzero always has in-bounds coordinates, so the `v != 0.0`
+            // guard doubles as the bounds check for `x`.
+            let (pos, crd, vals) = csr_slices(st);
+            let (br, bc) = (plan.splits()[0], plan.splits()[1]);
+            dispatch(
+                plan,
+                st,
+                || vec![0.0 as Value; n],
+                |range, acc: &mut Vec<Value>| {
+                    for i1 in range {
+                        let (lo, hi) = (pos[i1], pos[i1 + 1]);
+                        for i0 in 0..br {
+                            let i = i1 * br + i0;
+                            if i >= n {
+                                break;
+                            }
+                            let mut y = acc[i];
+                            for q in lo..hi {
+                                let block_row = &vals[(q * br + i0) * bc..(q * br + i0 + 1) * bc];
+                                let xcol = crd[q] * bc;
+                                for (k0, &v) in block_row.iter().enumerate() {
+                                    if v != 0.0 {
+                                        y += v * xs[xcol + k0];
+                                    }
+                                }
+                            }
+                            acc[i] = y;
                         }
                     }
-                    acc[i] = y;
+                },
+                merge_vecs,
+            )
+        }
+        FastPath::DiscordantCsr => {
+            // Column-major traversal of row-major CSR. The generic walk
+            // pays one binary search per (k, i) pair; here the entries are
+            // counting-sorted into a transpose permutation once per call
+            // (O(nnz + ncols)) and streamed column by column. Per output
+            // row the products still arrive in increasing-k order — the
+            // same sequence the k-outermost interpreter produces — so the
+            // result is bit-identical. k is a reduction dimension, so a
+            // discordant plan can never be parallel and the dispatch below
+            // always runs the full column range serially.
+            debug_assert!(
+                plan.parallel().is_none(),
+                "reduction loops cannot parallelize"
+            );
+            let (pos, crd, vals) = csr_slices(st);
+            let ncols = plan.sparse_dims()[1];
+            let mut col_pos = vec![0usize; ncols + 1];
+            for &k in crd {
+                col_pos[k + 1] += 1;
+            }
+            for k in 0..ncols {
+                col_pos[k + 1] += col_pos[k];
+            }
+            let mut next = col_pos.clone();
+            let mut tr_row = vec![0usize; crd.len()];
+            let mut tr_val = vec![0.0 as Value; crd.len()];
+            for i in 0..n {
+                for q in pos[i]..pos[i + 1] {
+                    let t = next[crd[q]];
+                    next[crd[q]] += 1;
+                    tr_row[t] = i;
+                    tr_val[t] = vals[q];
                 }
-            },
-            merge_vecs,
-        )
-    } else {
-        dispatch(
+            }
+            dispatch(
+                plan,
+                st,
+                || vec![0.0 as Value; n],
+                |range, acc: &mut Vec<Value>| {
+                    for k in range {
+                        let xk = xs[k];
+                        for t in col_pos[k]..col_pos[k + 1] {
+                            let v = tr_val[t];
+                            if v != 0.0 {
+                                acc[tr_row[t]] += v * xk;
+                            }
+                        }
+                    }
+                },
+                merge_vecs,
+            )
+        }
+        FastPath::None | FastPath::RegBlockSpmm => dispatch(
             plan,
             st,
             || vec![0.0 as Value; n],
@@ -252,7 +379,7 @@ fn spmv_with(
                 });
             },
             merge_vecs,
-        )
+        ),
     };
     Ok(DenseVector::from_vec(out))
 }
@@ -262,6 +389,10 @@ fn spmv_with(
 /// # Errors
 ///
 /// Schedule validation, storage budget, and operand-shape errors.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Executor::prepare` + `PlannedKernel::run(KernelArgs::Spmm { b })`"
+)]
 pub fn spmm(
     a: &CooMatrix,
     sched: &SuperSchedule,
@@ -269,15 +400,18 @@ pub fn spmm(
     b: &DenseMatrix,
 ) -> Result<DenseMatrix> {
     let (plan, st) = lower_2d(a, sched, space)?;
-    spmm_plan(&plan, &st, b)
+    spmm_with(Engine::Plan, &plan, &st, b)
 }
 
-/// SpMM over a pre-lowered plan and pre-built storage (monomorphized CSR
-/// row loop when the plan qualifies).
+/// SpMM over a pre-lowered plan and pre-built storage.
 ///
 /// # Errors
 ///
 /// Kernel, spec, and operand-shape mismatches.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Executor::planned().prepare_stored` + `PlannedKernel::run`"
+)]
 pub fn spmm_plan(plan: &ExecutionPlan, st: &SparseStorage, b: &DenseMatrix) -> Result<DenseMatrix> {
     spmm_with(Engine::Plan, plan, st, b)
 }
@@ -287,6 +421,10 @@ pub fn spmm_plan(plan: &ExecutionPlan, st: &SparseStorage, b: &DenseMatrix) -> R
 /// # Errors
 ///
 /// Kernel, spec, and operand-shape mismatches.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `PlannedKernel::run_on(Backend::Interpreter, ..)`"
+)]
 pub fn spmm_interpreted(
     plan: &ExecutionPlan,
     st: &SparseStorage,
@@ -295,7 +433,7 @@ pub fn spmm_interpreted(
     spmm_with(Engine::Interp, plan, st, b)
 }
 
-fn spmm_with(
+pub(crate) fn spmm_with(
     engine: Engine,
     plan: &ExecutionPlan,
     st: &SparseStorage,
@@ -312,32 +450,132 @@ fn spmm_with(
             plan.dense_extent()
         )));
     }
+    note_fastpath(engine, plan);
     let (ni, nj) = (plan.sparse_dims()[0], plan.dense_extent());
-    let out = if engine == Engine::Plan && plan.fast_path() == FastPath::CsrRows {
-        let (pos, crd, vals) = csr_slices(st);
-        let bs = b.as_slice();
-        dispatch(
-            plan,
-            st,
-            || vec![0.0 as Value; ni * nj],
-            |range, acc: &mut Vec<Value>| {
-                for i in range {
-                    let row = &mut acc[i * nj..(i + 1) * nj];
-                    for q in pos[i]..pos[i + 1] {
-                        let v = vals[q];
-                        if v != 0.0 {
-                            let brow = &bs[crd[q] * nj..(crd[q] + 1) * nj];
-                            for (o, &bv) in row.iter_mut().zip(brow) {
-                                *o += v * bv;
+    let out = match effective_fast(engine, plan) {
+        FastPath::CsrRows => {
+            let (pos, crd, vals) = csr_slices(st);
+            let bs = b.as_slice();
+            dispatch(
+                plan,
+                st,
+                || vec![0.0 as Value; ni * nj],
+                |range, acc: &mut Vec<Value>| {
+                    for i in range {
+                        let row = &mut acc[i * nj..(i + 1) * nj];
+                        for q in pos[i]..pos[i + 1] {
+                            let v = vals[q];
+                            if v != 0.0 {
+                                let brow = &bs[crd[q] * nj..(crd[q] + 1) * nj];
+                                for (o, &bv) in row.iter_mut().zip(brow) {
+                                    *o += v * bv;
+                                }
                             }
                         }
                     }
-                }
-            },
-            merge_vecs,
-        )
-    } else {
-        dispatch(
+                },
+                merge_vecs,
+            )
+        }
+        FastPath::RegBlockSpmm => {
+            // Column tiling: each tile of 8 output columns accumulates in a
+            // register block while the row's nonzeros stream past once, so
+            // the output row is loaded/stored once per tile instead of once
+            // per nonzero. Bit identity with the interpreter holds because
+            // (a) per (i, j) the products still sum in increasing-k order
+            // starting from +0.0, and (b) a sum seeded with +0.0 can never
+            // be -0.0, so the final `row[j] += reg[t]` into a zeroed
+            // accumulator reproduces the direct sum exactly.
+            const T: usize = ExecutionPlan::SPMM_TILE;
+            let (pos, crd, vals) = csr_slices(st);
+            let bs = b.as_slice();
+            dispatch(
+                plan,
+                st,
+                || vec![0.0 as Value; ni * nj],
+                |range, acc: &mut Vec<Value>| {
+                    for i in range {
+                        let (lo, hi) = (pos[i], pos[i + 1]);
+                        let row = &mut acc[i * nj..(i + 1) * nj];
+                        let mut jt = 0;
+                        while jt + T <= nj {
+                            let mut reg = [0.0 as Value; T];
+                            for q in lo..hi {
+                                let v = vals[q];
+                                if v != 0.0 {
+                                    let brow = &bs[crd[q] * nj + jt..crd[q] * nj + jt + T];
+                                    for t in 0..T {
+                                        reg[t] += v * brow[t];
+                                    }
+                                }
+                            }
+                            for t in 0..T {
+                                row[jt + t] += reg[t];
+                            }
+                            jt += T;
+                        }
+                        if jt < nj {
+                            let w = nj - jt;
+                            let mut reg = [0.0 as Value; T];
+                            for q in lo..hi {
+                                let v = vals[q];
+                                if v != 0.0 {
+                                    let brow = &bs[crd[q] * nj + jt..crd[q] * nj + jt + w];
+                                    for (t, &bv) in brow.iter().enumerate() {
+                                        reg[t] += v * bv;
+                                    }
+                                }
+                            }
+                            for (t, &r) in reg[..w].iter().enumerate() {
+                                row[jt + t] += r;
+                            }
+                        }
+                    }
+                },
+                merge_vecs,
+            )
+        }
+        FastPath::BcsrBlock => {
+            // Dense `br × bc` blocks stored contiguously per compressed
+            // entry: the inner column loop runs over one contiguous block
+            // row with unit stride — the autovectorizable micro-kernel the
+            // ≥16 block-column predicate exists for. Padding slots are
+            // exact 0.0 and skipped like the interpreter's Body hook does.
+            let (pos, crd, vals) = csr_slices(st);
+            let bs = b.as_slice();
+            let (br, bc) = (plan.splits()[0], plan.splits()[1]);
+            dispatch(
+                plan,
+                st,
+                || vec![0.0 as Value; ni * nj],
+                |range, acc: &mut Vec<Value>| {
+                    for i1 in range {
+                        let (lo, hi) = (pos[i1], pos[i1 + 1]);
+                        for i0 in 0..br {
+                            let i = i1 * br + i0;
+                            if i >= ni {
+                                break;
+                            }
+                            let row = &mut acc[i * nj..(i + 1) * nj];
+                            for q in lo..hi {
+                                let block_row = &vals[(q * br + i0) * bc..(q * br + i0 + 1) * bc];
+                                let kbase = crd[q] * bc;
+                                for (k0, &v) in block_row.iter().enumerate() {
+                                    if v != 0.0 {
+                                        let brow = &bs[(kbase + k0) * nj..(kbase + k0 + 1) * nj];
+                                        for (o, &bv) in row.iter_mut().zip(brow) {
+                                            *o += v * bv;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                },
+                merge_vecs,
+            )
+        }
+        FastPath::None | FastPath::DiscordantCsr => dispatch(
             plan,
             st,
             || vec![0.0 as Value; ni * nj],
@@ -351,7 +589,7 @@ fn spmm_with(
                 });
             },
             merge_vecs,
-        )
+        ),
     };
     Ok(DenseMatrix::from_vec(ni, nj, out))
 }
@@ -363,6 +601,10 @@ fn spmm_with(
 /// # Errors
 ///
 /// Schedule validation, storage budget, and operand-shape errors.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Executor::prepare` + `PlannedKernel::run(KernelArgs::Sddmm { b, c })`"
+)]
 pub fn sddmm(
     a: &CooMatrix,
     sched: &SuperSchedule,
@@ -371,7 +613,7 @@ pub fn sddmm(
     c: &DenseMatrix,
 ) -> Result<CooMatrix> {
     let (plan, st) = lower_2d(a, sched, space)?;
-    sddmm_plan(&plan, &st, b, c)
+    sddmm_with(Engine::Plan, &plan, &st, b, c)
 }
 
 /// SDDMM over a pre-lowered plan and pre-built storage.
@@ -379,6 +621,10 @@ pub fn sddmm(
 /// # Errors
 ///
 /// Kernel, spec, and operand-shape mismatches.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Executor::planned().prepare_stored` + `PlannedKernel::run`"
+)]
 pub fn sddmm_plan(
     plan: &ExecutionPlan,
     st: &SparseStorage,
@@ -393,6 +639,10 @@ pub fn sddmm_plan(
 /// # Errors
 ///
 /// Kernel, spec, and operand-shape mismatches.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `PlannedKernel::run_on(Backend::Interpreter, ..)`"
+)]
 pub fn sddmm_interpreted(
     plan: &ExecutionPlan,
     st: &SparseStorage,
@@ -402,7 +652,7 @@ pub fn sddmm_interpreted(
     sddmm_with(Engine::Interp, plan, st, b, c)
 }
 
-fn sddmm_with(
+pub(crate) fn sddmm_with(
     engine: Engine,
     plan: &ExecutionPlan,
     st: &SparseStorage,
@@ -411,6 +661,7 @@ fn sddmm_with(
 ) -> Result<CooMatrix> {
     check_kernel(plan, Kernel::SDDMM)?;
     check_storage(plan, st)?;
+    note_fastpath(engine, plan);
     let (ni, nj, nk) = (
         plan.sparse_dims()[0],
         plan.sparse_dims()[1],
@@ -473,6 +724,10 @@ fn sddmm_with(
 /// # Errors
 ///
 /// Schedule validation, storage budget, and operand-shape errors.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Executor::prepare_tensor3` + `PlannedKernel::run(KernelArgs::Mttkrp { b, c })`"
+)]
 pub fn mttkrp(
     a: &CooTensor3,
     sched: &SuperSchedule,
@@ -481,7 +736,7 @@ pub fn mttkrp(
     c: &DenseMatrix,
 ) -> Result<DenseMatrix> {
     let (plan, st) = lower_tensor3(a, sched, space)?;
-    mttkrp_plan(&plan, &st, b, c)
+    mttkrp_with(Engine::Plan, &plan, &st, b, c)
 }
 
 /// MTTKRP over a pre-lowered plan and pre-built storage.
@@ -489,6 +744,10 @@ pub fn mttkrp(
 /// # Errors
 ///
 /// Kernel, spec, and operand-shape mismatches.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Executor::planned().prepare_stored` + `PlannedKernel::run`"
+)]
 pub fn mttkrp_plan(
     plan: &ExecutionPlan,
     st: &SparseStorage,
@@ -503,6 +762,10 @@ pub fn mttkrp_plan(
 /// # Errors
 ///
 /// Kernel, spec, and operand-shape mismatches.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `PlannedKernel::run_on(Backend::Interpreter, ..)`"
+)]
 pub fn mttkrp_interpreted(
     plan: &ExecutionPlan,
     st: &SparseStorage,
@@ -512,7 +775,7 @@ pub fn mttkrp_interpreted(
     mttkrp_with(Engine::Interp, plan, st, b, c)
 }
 
-fn mttkrp_with(
+pub(crate) fn mttkrp_with(
     engine: Engine,
     plan: &ExecutionPlan,
     st: &SparseStorage,
@@ -521,6 +784,7 @@ fn mttkrp_with(
 ) -> Result<DenseMatrix> {
     check_kernel(plan, Kernel::MTTKRP)?;
     check_storage(plan, st)?;
+    note_fastpath(engine, plan);
     let (ni, nk, nl) = (
         plan.sparse_dims()[0],
         plan.sparse_dims()[1],
@@ -558,6 +822,7 @@ fn mttkrp_with(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::executor::{Executor, KernelArgs};
     use waco_schedule::{named, ScheduleSampler};
     use waco_tensor::csr::mttkrp_reference;
     use waco_tensor::gen::{self, Rng64};
@@ -571,6 +836,56 @@ mod tests {
         );
     }
 
+    fn run_spmv(
+        a: &CooMatrix,
+        sched: &SuperSchedule,
+        space: &Space,
+        x: &DenseVector,
+    ) -> Result<DenseVector> {
+        Executor::planned()
+            .prepare(a, sched, space)?
+            .run(KernelArgs::Spmv { x })?
+            .into_vector()
+    }
+
+    fn run_spmm(
+        a: &CooMatrix,
+        sched: &SuperSchedule,
+        space: &Space,
+        b: &DenseMatrix,
+    ) -> Result<DenseMatrix> {
+        Executor::planned()
+            .prepare(a, sched, space)?
+            .run(KernelArgs::Spmm { b })?
+            .into_matrix()
+    }
+
+    fn run_sddmm(
+        a: &CooMatrix,
+        sched: &SuperSchedule,
+        space: &Space,
+        b: &DenseMatrix,
+        c: &DenseMatrix,
+    ) -> Result<CooMatrix> {
+        Executor::planned()
+            .prepare(a, sched, space)?
+            .run(KernelArgs::Sddmm { b, c })?
+            .into_sparse()
+    }
+
+    fn run_mttkrp(
+        a: &CooTensor3,
+        sched: &SuperSchedule,
+        space: &Space,
+        b: &DenseMatrix,
+        c: &DenseMatrix,
+    ) -> Result<DenseMatrix> {
+        Executor::planned()
+            .prepare_tensor3(a, sched, space)?
+            .run(KernelArgs::Mttkrp { b, c })?
+            .into_matrix()
+    }
+
     #[test]
     fn spmv_default_matches_reference() {
         let mut rng = Rng64::seed_from(1);
@@ -578,7 +893,7 @@ mod tests {
         let space = Space::new(Kernel::SpMV, vec![40, 40], 0);
         let sched = named::default_csr(&space);
         let x = DenseVector::from_fn(40, |i| (i % 7) as f32 - 3.0);
-        let y = spmv(&a, &sched, &space, &x).unwrap();
+        let y = run_spmv(&a, &sched, &space, &x).unwrap();
         let r = CsrMatrix::from_coo(&a).spmv(&x);
         assert!(y.max_abs_diff(&r) < 1e-3);
     }
@@ -592,7 +907,7 @@ mod tests {
         let r = CsrMatrix::from_coo(&a).spmv(&x);
         let mut tested = 0;
         for sched in ScheduleSampler::new(&space, 2).take_schedules(40) {
-            match spmv(&a, &sched, &space, &x) {
+            match run_spmv(&a, &sched, &space, &x) {
                 Ok(y) => {
                     tested += 1;
                     assert!(
@@ -616,12 +931,12 @@ mod tests {
         let b = DenseMatrix::from_fn(24, 8, |r, c| ((r + c) % 5) as f32 - 2.0);
         let r = CsrMatrix::from_coo(&a).spmm(&b);
 
-        let c0 = spmm(&a, &named::default_csr(&space), &space, &b).unwrap();
+        let c0 = run_spmm(&a, &named::default_csr(&space), &space, &b).unwrap();
         close_m(&c0, &r, 1e-3);
 
         let mut tested = 0;
         for sched in ScheduleSampler::new(&space, 3).take_schedules(25) {
-            if let Ok(c) = spmm(&a, &sched, &space, &b) {
+            if let Ok(c) = run_spmm(&a, &sched, &space, &b) {
                 tested += 1;
                 close_m(&c, &r, 1e-3);
             }
@@ -638,12 +953,12 @@ mod tests {
         let c = DenseMatrix::from_fn(6, 22, |r, c| (r + c) as f32 * 0.2 - 0.5);
         let reference = CsrMatrix::from_coo(&a).sddmm(&b, &c).to_dense();
 
-        let d0 = sddmm(&a, &named::default_csr(&space), &space, &b, &c).unwrap();
+        let d0 = run_sddmm(&a, &named::default_csr(&space), &space, &b, &c).unwrap();
         close_m(&d0.to_dense(), &reference, 1e-3);
 
         let mut tested = 0;
         for sched in ScheduleSampler::new(&space, 4).take_schedules(25) {
-            if let Ok(d) = sddmm(&a, &sched, &space, &b, &c) {
+            if let Ok(d) = run_sddmm(&a, &sched, &space, &b, &c) {
                 tested += 1;
                 close_m(&d.to_dense(), &reference, 1e-3);
             }
@@ -660,12 +975,12 @@ mod tests {
         let c = DenseMatrix::from_fn(12, 4, |r, c| ((r + 2 * c) % 5) as f32 * 0.5 - 1.0);
         let reference = mttkrp_reference(&a, &b, &c);
 
-        let d0 = mttkrp(&a, &named::default_csr(&space), &space, &b, &c).unwrap();
+        let d0 = run_mttkrp(&a, &named::default_csr(&space), &space, &b, &c).unwrap();
         close_m(&d0, &reference, 1e-3);
 
         let mut tested = 0;
         for sched in ScheduleSampler::new(&space, 5).take_schedules(20) {
-            if let Ok(d) = mttkrp(&a, &sched, &space, &b, &c) {
+            if let Ok(d) = run_mttkrp(&a, &sched, &space, &b, &c) {
                 tested += 1;
                 close_m(&d, &reference, 1e-3);
             }
@@ -680,11 +995,11 @@ mod tests {
         let space = Space::new(Kernel::SpMM, vec![64, 64], 8).with_thread_options(vec![4, 8]);
         let b = DenseMatrix::from_fn(64, 8, |r, c| ((r ^ c) % 9) as f32 * 0.3);
         for mut sched in ScheduleSampler::new(&space, 6).take_schedules(10) {
-            let Ok(par) = spmm(&a, &sched, &space, &b) else {
+            let Ok(par) = run_spmm(&a, &sched, &space, &b) else {
                 continue;
             };
             sched.parallel = None;
-            let ser = spmm(&a, &sched, &space, &b).unwrap();
+            let ser = run_spmm(&a, &sched, &space, &b).unwrap();
             close_m(&par, &ser, 1e-2);
         }
     }
@@ -706,7 +1021,7 @@ mod tests {
             st.vals().len()
         );
         let x = DenseVector::from_fn(64, |i| (i % 5) as f32 - 2.0);
-        let y = spmv_plan(&plan, &st, &x).unwrap();
+        let y = spmv_with(Engine::Plan, &plan, &st, &x).unwrap();
         let r = CsrMatrix::from_coo(&a).spmv(&x);
         assert!(y.max_abs_diff(&r) < 1e-3);
     }
@@ -724,7 +1039,7 @@ mod tests {
             .expect("work clears the cutoff");
         assert!(p.threads > 1);
         let b = DenseMatrix::from_fn(1024, 16, |r, c| ((r + c) % 7) as f32 * 0.5 - 1.0);
-        let par = spmm_plan(&plan, &st, &b).unwrap();
+        let par = spmm_with(Engine::Plan, &plan, &st, &b).unwrap();
         let r = CsrMatrix::from_coo(&a).spmm(&b);
         close_m(&par, &r, 1e-2);
     }
@@ -734,7 +1049,7 @@ mod tests {
         let space = Space::new(Kernel::SpMV, vec![8, 8], 0);
         let sched = named::default_csr(&space);
         let a = gen::mesh2d(3, 3);
-        let r = spmm(&a, &sched, &space, &DenseMatrix::zeros(9, 1));
+        let r = run_spmm(&a, &sched, &space, &DenseMatrix::zeros(9, 1));
         assert!(matches!(r, Err(ExecError::OperandMismatch(_))));
     }
 
@@ -743,7 +1058,7 @@ mod tests {
         let space = Space::new(Kernel::SpMV, vec![9, 9], 0);
         let sched = named::default_csr(&space);
         let a = gen::mesh2d(3, 3);
-        let r = spmv(&a, &sched, &space, &DenseVector::zeros(5));
+        let r = run_spmv(&a, &sched, &space, &DenseVector::zeros(5));
         assert!(matches!(r, Err(ExecError::OperandMismatch(_))));
     }
 
@@ -755,7 +1070,7 @@ mod tests {
         let sched = named::default_csr(&space);
         let plan = ExecutionPlan::build(&sched, &space).unwrap();
         let other = SparseStorage::from_matrix(&a, &waco_format::FormatSpec::csc(12, 12)).unwrap();
-        let r = spmv_plan(&plan, &other, &DenseVector::zeros(12));
+        let r = spmv_with(Engine::Plan, &plan, &other, &DenseVector::zeros(12));
         assert!(matches!(r, Err(ExecError::OperandMismatch(_))));
     }
 
@@ -773,8 +1088,8 @@ mod tests {
             let sched = named::default_csr(&space);
             let (plan, st) = lower_2d(&a, &sched, &space).unwrap();
             assert!(plan.is_concordant_csr());
-            let fast = spmv_plan(&plan, &st, &x).unwrap();
-            let interp = spmv_interpreted(&plan, &st, &x).unwrap();
+            let fast = spmv_with(Engine::Plan, &plan, &st, &x).unwrap();
+            let interp = spmv_with(Engine::Interp, &plan, &st, &x).unwrap();
             for (f, i) in fast.as_slice().iter().zip(interp.as_slice()) {
                 assert_eq!(f.to_bits(), i.to_bits(), "{threads} threads");
             }
@@ -784,11 +1099,32 @@ mod tests {
             let sched = named::default_csr(&space);
             let (plan, st) = lower_2d(&a, &sched, &space).unwrap();
             assert!(plan.is_concordant_csr());
-            let fast = spmm_plan(&plan, &st, &b).unwrap();
-            let interp = spmm_interpreted(&plan, &st, &b).unwrap();
+            let fast = spmm_with(Engine::Plan, &plan, &st, &b).unwrap();
+            let interp = spmm_with(Engine::Interp, &plan, &st, &b).unwrap();
             for (f, i) in fast.as_slice().iter().zip(interp.as_slice()) {
                 assert_eq!(f.to_bits(), i.to_bits(), "{threads} threads");
             }
         }
+    }
+
+    /// The deprecated free functions stay callable (and correct) for one
+    /// release while callers migrate to the `Executor` API.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_run() {
+        let mut rng = Rng64::seed_from(11);
+        let a = gen::uniform_random(24, 24, 0.15, &mut rng);
+        let space = Space::new(Kernel::SpMV, vec![24, 24], 0);
+        let sched = named::default_csr(&space);
+        let x = DenseVector::from_fn(24, |i| (i % 3) as f32 - 1.0);
+        let shim = spmv(&a, &sched, &space, &x).unwrap();
+        let new = run_spmv(&a, &sched, &space, &x).unwrap();
+        for (s, n) in shim.as_slice().iter().zip(new.as_slice()) {
+            assert_eq!(s.to_bits(), n.to_bits());
+        }
+        let (plan, st) = lower_2d(&a, &sched, &space).unwrap();
+        let planned = spmv_plan(&plan, &st, &x).unwrap();
+        let interp = spmv_interpreted(&plan, &st, &x).unwrap();
+        assert!(planned.max_abs_diff(&interp) == 0.0);
     }
 }

@@ -21,13 +21,17 @@
 //!
 //! An **execution layer** then runs the plan over any operand stored in its
 //! spec ([`waco_format::SparseStorage`]): the generic op executor
-//! ([`plan::ExecutionPlan::walk`]), monomorphized fast paths for hot shapes
-//! (fully-concordant CSR SpMV/SpMM), and the dynamic reference interpreter
-//! ([`nest::LoopNest`]) that re-derives every decision per walk and anchors
-//! the plan-equivalence differential suite.
+//! ([`plan::ExecutionPlan::walk`]), a monomorphized specialization tier for
+//! hot shapes ([`plan::FastPath`]: direct CSR rows, register-tiled SpMM,
+//! BCSR dense-block micro-kernels, and a discordant transpose-permutation
+//! stream), and the dynamic reference interpreter ([`nest::LoopNest`]) that
+//! re-derives every decision per walk and anchors the plan-equivalence
+//! differential suite.
 //!
-//! [`kernels`] exposes the four kernels of the paper (SpMV, SpMM, SDDMM,
-//! MTTKRP) as build-then-run pairs (`spmv` = lower + `spmv_plan`). Both
+//! The public entry is the unified [`Executor`] API: [`Executor::prepare`]
+//! lowers and converts once, [`PlannedKernel::run`] executes the four
+//! kernels of the paper (SpMV, SpMM, SDDMM, MTTKRP) against typed
+//! [`KernelArgs`], and [`Backend`] selects the engine explicitly. Both
 //! walkers power the deterministic cost simulator in `waco-sim` through the
 //! [`nest::Instrument`] hook with identical event streams, so simulated and
 //! executed behavior can never drift apart; the serve layer caches plans by
@@ -36,7 +40,7 @@
 //! # Example
 //!
 //! ```
-//! use waco_exec::kernels;
+//! use waco_exec::{Executor, KernelArgs};
 //! use waco_schedule::{named, Kernel, Space};
 //! use waco_tensor::{gen, CsrMatrix, DenseVector};
 //!
@@ -46,17 +50,20 @@
 //! let sched = named::default_csr(&space);
 //! let x = DenseVector::from_fn(32, |i| i as f32);
 //!
-//! let y = kernels::spmv(&a, &sched, &space, &x)?;
+//! let planned = Executor::planned().prepare(&a, &sched, &space)?;
+//! let y = planned.run(KernelArgs::Spmv { x: &x })?.into_vector()?;
 //! let reference = CsrMatrix::from_coo(&a).spmv(&x);
 //! assert!(y.max_abs_diff(&reference) < 1e-3);
 //! # Ok::<(), waco_exec::ExecError>(())
 //! ```
 
+pub mod executor;
 pub mod kernels;
 pub mod nest;
 pub mod parallel;
 pub mod plan;
 
+pub use executor::{Backend, Executor, KernelArgs, KernelOutput, PlannedKernel};
 pub use nest::{Ctx, Instrument, LoopNest, NoInstrument};
 pub use plan::{ExecutionPlan, FastPath, LocateKind, PlanOp};
 

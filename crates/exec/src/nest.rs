@@ -6,9 +6,12 @@
 //! concordant iteration of the storage and discordant dense iteration plus
 //! locate (see the crate docs). This is the *reference* execution strategy:
 //! production kernels run [`ExecutionPlan::walk`]'s pre-resolved op sequence
-//! (or a monomorphized fast path), and the plan-equivalence suite checks the
-//! two produce bit-identical outputs and identical [`Instrument`] streams.
-//! Kernels supply the loop body; the simulator supplies an [`Instrument`].
+//! or one of the monomorphized [`crate::FastPath`] specializations (direct
+//! CSR rows, register-tiled SpMM, BCSR dense-block micro-kernels, the
+//! discordant transpose-permutation stream), and the plan-equivalence suite
+//! checks every one of them produces bit-identical outputs — and, for the
+//! generic walkers, identical [`Instrument`] streams. Kernels supply the
+//! loop body; the simulator supplies an [`Instrument`].
 
 use crate::plan::{var_slot, ExecutionPlan};
 use waco_format::SparseStorage;

@@ -31,10 +31,16 @@
 //! the interpreter's instrument event stream exactly (same hooks, same
 //! order, same arguments); the plan-equivalence suite enforces this.
 //!
-//! For the hot shapes — fully-concordant row-major CSR SpMV/SpMM — the plan
-//! additionally records a [`FastPath`]: kernels bypass the generic op
-//! executor and run a monomorphized pos/crd loop with no per-element
-//! branching (see `kernels.rs`).
+//! For the hot CSR-family shapes the plan additionally records a
+//! [`FastPath`] — the specialization tier: kernels bypass the generic op
+//! executor and run a monomorphized loop with no per-element branching
+//! (see `kernels.rs`). The tier covers the direct pos/crd row loop
+//! ([`FastPath::CsrRows`]), a register-tiled SpMM ([`FastPath::RegBlockSpmm`]),
+//! a BCSR dense-block micro-kernel ([`FastPath::BcsrBlock`], the paper's
+//! "vectorize when the dense extent ≥ 16" heuristic), and a
+//! transpose-permutation column stream for discordant SpMV
+//! ([`FastPath::DiscordantCsr`]). The selection reason is recorded alongside
+//! ([`ExecutionPlan::fast_path_reason`]) and surfaced by `waco-cli plan`.
 
 use crate::nest::{Ctx, Instrument};
 use crate::Result;
@@ -113,14 +119,72 @@ pub enum PlanOp {
     Body,
 }
 
-/// Monomorphized inner loops the plan qualifies for.
+/// Monomorphized inner loops the plan qualifies for — the specialization
+/// tier. Selection happens once, at lowering time, from the
+/// `(FormatSpec, SuperSchedule)` pair (see `detect_fast`); kernels dispatch
+/// on the recorded variant with no per-element branching, and every variant
+/// is held to bit identity against the dynamic interpreter by the
+/// `plan_equivalence` suites.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FastPath {
     /// No fast path: run the generic op executor.
     None,
-    /// Fully-concordant row-major CSR (spec `i1(U) k1(C) i0(U) k0(U)`, all
-    /// splits 1, rows outermost): SpMV/SpMM run a direct pos/crd loop.
+    /// Fully-concordant row-major CSR (spec `i1(U) k1(C) i0(U) k0(U)`,
+    /// sparse splits 1, rows outermost): SpMV (and narrow SpMM) run a
+    /// direct pos/crd loop.
     CsrRows,
+    /// CSR SpMM whose dense extent is at least [`ExecutionPlan::SPMM_TILE`]:
+    /// the dense operand's columns are tiled into register-resident
+    /// accumulator blocks so each stored nonzero is loaded once per tile.
+    RegBlockSpmm,
+    /// BCSR (split CSR, spec `i1(U) k1(C) i0(U) k0(U)` with block splits)
+    /// whose block columns reach [`ExecutionPlan::BCSR_SIMD_MIN`]: the inner
+    /// loop is an unrolled dense micro-kernel over the contiguous block row
+    /// — the paper's "vectorize when the dense extent ≥ 16" heuristic
+    /// (Fig. 14).
+    BcsrBlock,
+    /// Column-major traversal of row-major CSR SpMV: instead of the generic
+    /// walk's per-(k, i) binary search, the kernel sorts the operand's
+    /// entries into a transpose permutation (counting sort, O(nnz + ncols))
+    /// and streams columns in order — closing the concordant/discordant gap.
+    DiscordantCsr,
+}
+
+impl FastPath {
+    /// Stable machine-readable name, used by the `waco-cli plan` JSON dump
+    /// and as the suffix of the `exec.plan.fastpath.*` counters.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            FastPath::None => "none",
+            FastPath::CsrRows => "csr_rows",
+            FastPath::RegBlockSpmm => "reg_block_spmm",
+            FastPath::BcsrBlock => "bcsr_block",
+            FastPath::DiscordantCsr => "discordant_csr",
+        }
+    }
+
+    /// The `exec.plan.fastpath.*` counter bumped when a kernel runs a plan
+    /// with this variant.
+    pub(crate) fn exec_counter(self) -> &'static str {
+        match self {
+            FastPath::None => "exec.plan.fastpath.none",
+            FastPath::CsrRows => "exec.plan.fastpath.csr_rows",
+            FastPath::RegBlockSpmm => "exec.plan.fastpath.reg_block_spmm",
+            FastPath::BcsrBlock => "exec.plan.fastpath.bcsr_block",
+            FastPath::DiscordantCsr => "exec.plan.fastpath.discordant_csr",
+        }
+    }
+
+    /// Human-readable label used by [`ExecutionPlan::describe`].
+    fn describe_label(self) -> &'static str {
+        match self {
+            FastPath::None => "none (generic op executor)",
+            FastPath::CsrRows => "csr-rows (monomorphized pos/crd loop)",
+            FastPath::RegBlockSpmm => "reg-block-spmm (register-tiled column blocks)",
+            FastPath::BcsrBlock => "bcsr-block (unrolled dense block micro-kernel)",
+            FastPath::DiscordantCsr => "discordant-csr (transpose-permutation column stream)",
+        }
+    }
 }
 
 /// A schedule lowered once into a flat, pre-resolved op sequence.
@@ -153,6 +217,9 @@ pub struct ExecutionPlan {
     dense_extent: usize,
     parallel: Option<Parallelize>,
     fast: FastPath,
+    /// Why `fast` was (or was not) selected: the satisfied predicate, or the
+    /// first failed one on the road to `FastPath::None`.
+    fast_why: &'static str,
 }
 
 impl ExecutionPlan {
@@ -210,7 +277,8 @@ impl ExecutionPlan {
             &spec,
             sched.parallel.as_ref(),
         );
-        let fast = detect_fast(space.kernel, &spec, &order, &splits);
+        let (fast, fast_why) =
+            detect_fast(space.kernel, &spec, &order, &splits, space.dense_extent);
 
         Ok(ExecutionPlan {
             kernel: space.kernel,
@@ -227,6 +295,7 @@ impl ExecutionPlan {
             dense_extent: space.dense_extent,
             parallel: sched.parallel,
             fast,
+            fast_why,
         })
     }
 
@@ -304,14 +373,32 @@ impl ExecutionPlan {
         (work >= Self::PARALLEL_WORK_CUTOFF).then_some(p)
     }
 
+    /// Block-column width at which a BCSR plan takes the dense micro-kernel
+    /// fast path — the paper's "vectorize when the dense extent ≥ 16"
+    /// heuristic (Fig. 14): narrower blocks don't fill a SIMD register.
+    pub const BCSR_SIMD_MIN: usize = 16;
+
+    /// Column-tile width of the register-blocked SpMM fast path: eight f32
+    /// accumulators fit one 256-bit register, and an SpMM narrower than a
+    /// tile gains nothing over the plain row loop.
+    pub const SPMM_TILE: usize = 8;
+
     /// The monomorphized fast path the plan qualifies for.
     pub fn fast_path(&self) -> FastPath {
         self.fast
     }
 
-    /// Whether the plan is the fully-concordant row-major CSR shape.
+    /// Why [`ExecutionPlan::fast_path`] was selected — or, for
+    /// [`FastPath::None`], the first predicate that failed. Surfaced by
+    /// `waco-cli plan` so tuning decisions are debuggable.
+    pub fn fast_path_reason(&self) -> &'static str {
+        self.fast_why
+    }
+
+    /// Whether the plan runs one of the row-concordant CSR fast paths
+    /// (direct pos/crd or register-tiled — the same storage shape).
     pub fn is_concordant_csr(&self) -> bool {
-        self.fast == FastPath::CsrRows
+        matches!(self.fast, FastPath::CsrRows | FastPath::RegBlockSpmm)
     }
 
     /// Walks the subrange `outer_range` of the outermost loop over `a`,
@@ -386,11 +473,9 @@ impl ExecutionPlan {
         );
         let _ = writeln!(
             s,
-            "  fast path: {}",
-            match self.fast {
-                FastPath::None => "none (generic op executor)",
-                FastPath::CsrRows => "csr-rows (monomorphized pos/crd loop)",
-            }
+            "  fast path: {} — {}",
+            self.fast.describe_label(),
+            self.fast_why
         );
         for (i, op) in self.ops.iter().enumerate() {
             let pad = "  ".repeat(i + 1);
@@ -522,14 +607,38 @@ fn lower_ops(
     ops
 }
 
-/// Detects the fully-concordant row-major CSR shape: spec
-/// `i1(U) k1(C) i0(U) k0(U)`, every split 1 (no padding, axis coordinate ==
-/// original coordinate), and rows outermost. Under those conditions the
-/// generic walk visits each stored entry exactly once in (row, crd) order,
-/// so a direct pos/crd loop is bit-identical for SpMV/SpMM (per output
-/// element, products accumulate in the same increasing-k order wherever the
-/// dense `j` loop sits).
-fn detect_fast(kernel: Kernel, spec: &FormatSpec, order: &[LoopVar], splits: &[usize]) -> FastPath {
+/// Selects the specialization tier for a lowered plan and records why.
+///
+/// Every variant requires the CSR-family storage shape — spec order
+/// `i1 k1 i0 k0` with formats `U C U U` — because the monomorphized kernels
+/// read `pos`/`crd` of level 1 directly. On top of that base:
+///
+/// * unit *sparse* splits + rows outermost → [`FastPath::CsrRows`], upgraded
+///   to [`FastPath::RegBlockSpmm`] when an SpMM's dense extent fills at
+///   least one register tile. Dense-dim splits are deliberately ignored
+///   (the split-aware fix): splitting `j` changes neither the sparse
+///   storage nor the per-output-element accumulation order, so the fast
+///   path stays bit-identical.
+/// * unit sparse splits + columns outermost (SpMV) →
+///   [`FastPath::DiscordantCsr`]: per output element the products still
+///   accumulate in increasing-k order, which a transpose-permutation
+///   column stream reproduces exactly.
+/// * block sparse splits in `i1 k1 i0 k0` traversal order with block
+///   columns ≥ [`ExecutionPlan::BCSR_SIMD_MIN`] → [`FastPath::BcsrBlock`]:
+///   the generic walk visits each block row's entries in
+///   (k1, i0, k0) order, so a dense micro-kernel over the contiguous
+///   `br × bc` block accumulates every output element in the identical
+///   (k1 asc, k0 asc) order.
+///
+/// Returns the variant plus a static reason string: the satisfied predicate,
+/// or the first failed one when falling back to [`FastPath::None`].
+fn detect_fast(
+    kernel: Kernel,
+    spec: &FormatSpec,
+    order: &[LoopVar],
+    splits: &[usize],
+    dense_extent: usize,
+) -> (FastPath, &'static str) {
     let csr_order = [
         Axis::outer(0),
         Axis::outer(1),
@@ -542,15 +651,83 @@ fn detect_fast(kernel: Kernel, spec: &FormatSpec, order: &[LoopVar], splits: &[u
         LevelFormat::Uncompressed,
         LevelFormat::Uncompressed,
     ];
-    if matches!(kernel, Kernel::SpMV | Kernel::SpMM)
-        && spec.order() == csr_order
-        && spec.formats() == csr_formats
-        && splits.iter().all(|&s| s == 1)
-        && order.first().copied() == Some(LoopVar::outer(0))
-    {
-        FastPath::CsrRows
+    if !matches!(kernel, Kernel::SpMV | Kernel::SpMM) {
+        return (
+            FastPath::None,
+            "only SpMV and SpMM have monomorphized kernels",
+        );
+    }
+    if spec.order() != csr_order {
+        return (
+            FastPath::None,
+            "storage level order is not the row-major i1 k1 i0 k0",
+        );
+    }
+    if spec.formats() != csr_formats {
+        return (
+            FastPath::None,
+            "level formats are not the CSR family U C U U",
+        );
+    }
+    let nsparse = kernel.sparse_ndims();
+    if splits[..nsparse].iter().all(|&s| s == 1) {
+        match order.first().copied() {
+            Some(v) if v == LoopVar::outer(0) => {
+                if kernel == Kernel::SpMM && dense_extent >= ExecutionPlan::SPMM_TILE {
+                    (
+                        FastPath::RegBlockSpmm,
+                        "row-major CSR SpMM with dense extent >= 8: register-tiled column blocks",
+                    )
+                } else {
+                    (
+                        FastPath::CsrRows,
+                        "row-major CSR with rows outermost: direct pos/crd row loop",
+                    )
+                }
+            }
+            Some(v) if v == LoopVar::outer(1) => {
+                if kernel == Kernel::SpMV {
+                    (
+                        FastPath::DiscordantCsr,
+                        "column-major SpMV over row-major CSR: transpose-permutation column stream",
+                    )
+                } else {
+                    (
+                        FastPath::None,
+                        "column-major SpMM is not specialized; only SpMV has a discordant fast path",
+                    )
+                }
+            }
+            _ => (
+                FastPath::None,
+                "effective loop order puts neither rows nor columns outermost",
+            ),
+        }
     } else {
-        FastPath::None
+        let sparse_order: Vec<LoopVar> =
+            order.iter().filter(|v| v.dim < nsparse).copied().collect();
+        let bcsr_traversal = [
+            LoopVar::outer(0),
+            LoopVar::outer(1),
+            LoopVar::inner(0),
+            LoopVar::inner(1),
+        ];
+        if sparse_order != bcsr_traversal {
+            (
+                FastPath::None,
+                "split CSR (BCSR) requires the concordant i1 k1 i0 k0 traversal",
+            )
+        } else if splits[1] < ExecutionPlan::BCSR_SIMD_MIN {
+            (
+                FastPath::None,
+                "BCSR block columns are narrower than the 16-wide SIMD threshold",
+            )
+        } else {
+            (
+                FastPath::BcsrBlock,
+                "BCSR with block columns >= 16: unrolled dense block micro-kernel",
+            )
+        }
     }
 }
 
@@ -699,12 +876,83 @@ mod tests {
         let space = Space::new(Kernel::SpMV, vec![16, 16], 0);
         let mut sched = named::default_csr(&space);
         sched.splits = vec![4, 4];
-        // Re-derive a consistent format order for the split schedule is not
-        // needed: default CSR keeps the order; splitting alone must disable
-        // the monomorphized path because coordinates need unpadding.
+        // 4×4 blocks keep the CSR-family storage but sit below the SIMD
+        // threshold, so the plan must fall back to the generic executor —
+        // and say why.
         if ExecutionPlan::build(&sched, &space).is_ok() {
             let plan = ExecutionPlan::build(&sched, &space).unwrap();
             assert!(!plan.is_concordant_csr());
+            assert_eq!(plan.fast_path(), FastPath::None);
+            assert!(
+                plan.fast_path_reason().contains("SIMD threshold"),
+                "reason: {}",
+                plan.fast_path_reason()
+            );
         }
+    }
+
+    #[test]
+    fn wide_spmm_selects_register_tiling() {
+        let space = Space::new(Kernel::SpMM, vec![32, 32], 16);
+        let sched = named::default_csr(&space);
+        let plan = ExecutionPlan::build(&sched, &space).unwrap();
+        assert_eq!(plan.fast_path(), FastPath::RegBlockSpmm);
+        assert!(plan.is_concordant_csr());
+        // Below a tile the plain row loop wins.
+        let narrow = Space::new(Kernel::SpMM, vec![32, 32], 4);
+        let plan = ExecutionPlan::build(&named::default_csr(&narrow), &narrow).unwrap();
+        assert_eq!(plan.fast_path(), FastPath::CsrRows);
+    }
+
+    #[test]
+    fn dense_split_keeps_the_fast_path() {
+        // The split-aware fix: splitting the dense j dimension changes
+        // neither the sparse storage nor the per-element accumulation
+        // order, so the row fast path must survive.
+        let space = Space::new(Kernel::SpMM, vec![32, 32], 16);
+        let mut sched = named::default_csr(&space);
+        sched.splits = vec![1, 1, 4];
+        let plan = ExecutionPlan::build(&sched, &space).unwrap();
+        assert_eq!(plan.fast_path(), FastPath::RegBlockSpmm);
+    }
+
+    #[test]
+    fn simd_wide_blocks_select_bcsr() {
+        let space = Space::new(Kernel::SpMV, vec![64, 64], 0);
+        let mut sched = named::default_csr(&space);
+        sched.splits = vec![16, 16];
+        let plan = ExecutionPlan::build(&sched, &space).unwrap();
+        assert_eq!(plan.fast_path(), FastPath::BcsrBlock);
+        // Narrow block rows are fine — only the block column width gates
+        // the micro-kernel.
+        sched.splits = vec![4, 16];
+        let plan = ExecutionPlan::build(&sched, &space).unwrap();
+        assert_eq!(plan.fast_path(), FastPath::BcsrBlock);
+    }
+
+    #[test]
+    fn column_major_spmv_selects_discordant_stream() {
+        let space = Space::new(Kernel::SpMV, vec![16, 16], 0);
+        let mut sched = named::default_csr(&space);
+        sched.parallel = None;
+        sched.loop_order = vec![
+            LoopVar::outer(1),
+            LoopVar::outer(0),
+            LoopVar::inner(0),
+            LoopVar::inner(1),
+        ];
+        let plan = ExecutionPlan::build(&sched, &space).unwrap();
+        assert_eq!(plan.fast_path(), FastPath::DiscordantCsr);
+        assert!(!plan.is_concordant_csr());
+        assert!(plan.parallel().is_none(), "k is a reduction dim");
+    }
+
+    #[test]
+    fn non_csr_kernels_report_the_failed_predicate() {
+        let space = Space::new(Kernel::MTTKRP, vec![8, 8, 8], 4);
+        let plan = ExecutionPlan::build(&named::default_csr(&space), &space).unwrap();
+        assert_eq!(plan.fast_path(), FastPath::None);
+        assert!(plan.fast_path_reason().contains("only SpMV and SpMM"));
+        assert!(plan.describe().contains(plan.fast_path_reason()));
     }
 }

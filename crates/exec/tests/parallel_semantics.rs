@@ -1,7 +1,7 @@
 //! Executor parallel-semantics tests: distributing different legal loop
 //! variables over real threads never changes the numerics.
 
-use waco_exec::kernels;
+use waco_exec::{Executor, KernelArgs};
 use waco_schedule::{named, Kernel, LoopVar, Parallelize, Space};
 use waco_tensor::gen::{self, Rng64};
 use waco_tensor::{CsrMatrix, DenseMatrix};
@@ -26,7 +26,13 @@ fn sddmm_column_parallelism_matches_reference() {
             chunk: 2,
         });
         sched.validate(&space).unwrap();
-        let d = kernels::sddmm(&a, &sched, &space, &b, &c).unwrap();
+        let d = Executor::planned()
+            .prepare(&a, &sched, &space)
+            .unwrap()
+            .run(KernelArgs::Sddmm { b: &b, c: &c })
+            .unwrap()
+            .into_sparse()
+            .unwrap();
         assert!(
             d.to_dense().max_abs_diff(&reference) < 1e-2,
             "parallel var {var:?}"
@@ -48,7 +54,13 @@ fn chunk_sizes_do_not_change_results() {
             threads: 3,
             chunk,
         });
-        let c = kernels::spmm(&a, &sched, &space, &b).unwrap();
+        let c = Executor::planned()
+            .prepare(&a, &sched, &space)
+            .unwrap()
+            .run(KernelArgs::Spmm { b: &b })
+            .unwrap()
+            .into_matrix()
+            .unwrap();
         assert!(c.max_abs_diff(&reference) < 1e-2, "chunk {chunk}");
     }
 }
@@ -67,6 +79,12 @@ fn oversubscribed_threads_are_safe() {
         threads: 16,
         chunk: 64,
     });
-    let y = kernels::spmv(&a, &sched, &space, &x).unwrap();
+    let y = Executor::planned()
+        .prepare(&a, &sched, &space)
+        .unwrap()
+        .run(KernelArgs::Spmv { x: &x })
+        .unwrap()
+        .into_vector()
+        .unwrap();
     assert!(y.max_abs_diff(&reference) < 1e-3);
 }

@@ -1,12 +1,16 @@
 //! Plan-equivalence property suite: the flat-op plan executor (including its
 //! monomorphized fast paths) must be **bit-identical** to the dynamic
 //! reference interpreter — same outputs, same [`Instrument`] event stream —
-//! for every schedule the shared `ScheduleSampler` stream produces. The
-//! verify crate runs the same comparison over its structure corpus; this
-//! suite is the fast, exec-local slice of it.
+//! for every schedule the shared `ScheduleSampler` stream produces, and for
+//! schedules constructed to force each [`FastPath`] variant. The verify
+//! crate runs the same comparison over its structure corpus; this suite is
+//! the fast, exec-local slice of it.
 
-use waco_exec::{kernels, ExecError, ExecutionPlan, Instrument, LoopNest};
-use waco_schedule::{Kernel, LoopVar, ScheduleSampler, Space};
+use waco_exec::{
+    Backend, ExecError, ExecutionPlan, Executor, FastPath, Instrument, KernelArgs, LoopNest,
+    PlannedKernel,
+};
+use waco_schedule::{named, Kernel, LoopVar, ScheduleSampler, Space};
 use waco_tensor::gen::{self, Rng64};
 use waco_tensor::{DenseMatrix, DenseVector};
 
@@ -63,6 +67,32 @@ fn assert_same_events(plan: &ExecutionPlan, st: &waco_format::SparseStorage, wha
     );
 }
 
+/// Runs one prepared kernel on both backends, asserting bit identity of the
+/// output and event identity of the generic walks.
+fn assert_planned_matches(pk: &PlannedKernel, args: KernelArgs<'_>, what: &str) {
+    let p = pk.run_on(Backend::Plan, args).unwrap();
+    let i = pk.run_on(Backend::Interpreter, args).unwrap();
+    match (p, i) {
+        (waco_exec::KernelOutput::Vector(p), waco_exec::KernelOutput::Vector(i)) => {
+            assert_bits_eq(p.as_slice(), i.as_slice(), what);
+        }
+        (waco_exec::KernelOutput::Matrix(p), waco_exec::KernelOutput::Matrix(i)) => {
+            assert_bits_eq(p.as_slice(), i.as_slice(), what);
+        }
+        (waco_exec::KernelOutput::Sparse(p), waco_exec::KernelOutput::Sparse(i)) => {
+            let pt: Vec<_> = p.iter().collect();
+            let it: Vec<_> = i.iter().collect();
+            assert_eq!(pt.len(), it.len(), "{what}: nnz");
+            for ((pr, pc, pv), (ir, ic, iv)) in pt.iter().zip(&it) {
+                assert_eq!((pr, pc), (ir, ic), "{what}: pattern");
+                assert_eq!(pv.to_bits(), iv.to_bits(), "{what}: value at ({pr},{pc})");
+            }
+        }
+        _ => panic!("{what}: backends returned different output variants"),
+    }
+    assert_same_events(pk.plan(), pk.storage(), what);
+}
+
 #[test]
 fn spmv_plan_matches_interpreter() {
     let mut rng = Rng64::seed_from(11);
@@ -75,16 +105,13 @@ fn spmv_plan_matches_interpreter() {
         .into_iter()
         .enumerate()
     {
-        let (plan, st) = match kernels::lower_2d(&a, &sched, &space) {
-            Ok(ps) => ps,
+        let pk = match Executor::planned().prepare(&a, &sched, &space) {
+            Ok(pk) => pk,
             Err(ExecError::Format(_)) => continue, // over budget — excluded
             Err(e) => panic!("schedule {idx}: {e}"),
         };
         let what = format!("spmv schedule {idx}: {}", sched.describe(&space));
-        let p = kernels::spmv_plan(&plan, &st, &x).unwrap();
-        let i = kernels::spmv_interpreted(&plan, &st, &x).unwrap();
-        assert_bits_eq(p.as_slice(), i.as_slice(), &what);
-        assert_same_events(&plan, &st, &what);
+        assert_planned_matches(&pk, KernelArgs::Spmv { x: &x }, &what);
         tested += 1;
     }
     assert!(tested > 10, "most sampled schedules should be buildable");
@@ -102,14 +129,14 @@ fn spmm_plan_matches_interpreter() {
         .into_iter()
         .enumerate()
     {
-        let Ok((plan, st)) = kernels::lower_2d(&a, &sched, &space) else {
+        let Ok(pk) = Executor::planned().prepare(&a, &sched, &space) else {
             continue;
         };
-        let what = format!("spmm schedule {idx}");
-        let p = kernels::spmm_plan(&plan, &st, &b).unwrap();
-        let i = kernels::spmm_interpreted(&plan, &st, &b).unwrap();
-        assert_bits_eq(p.as_slice(), i.as_slice(), &what);
-        assert_same_events(&plan, &st, &what);
+        assert_planned_matches(
+            &pk,
+            KernelArgs::Spmm { b: &b },
+            &format!("spmm schedule {idx}"),
+        );
         tested += 1;
     }
     assert!(tested > 5);
@@ -128,20 +155,14 @@ fn sddmm_plan_matches_interpreter() {
         .into_iter()
         .enumerate()
     {
-        let Ok((plan, st)) = kernels::lower_2d(&a, &sched, &space) else {
+        let Ok(pk) = Executor::planned().prepare(&a, &sched, &space) else {
             continue;
         };
-        let what = format!("sddmm schedule {idx}");
-        let p = kernels::sddmm_plan(&plan, &st, &b, &c).unwrap();
-        let i = kernels::sddmm_interpreted(&plan, &st, &b, &c).unwrap();
-        let pt: Vec<_> = p.iter().collect();
-        let it: Vec<_> = i.iter().collect();
-        assert_eq!(pt.len(), it.len(), "{what}: nnz");
-        for ((pr, pc, pv), (ir, ic, iv)) in pt.iter().zip(&it) {
-            assert_eq!((pr, pc), (ir, ic), "{what}: pattern");
-            assert_eq!(pv.to_bits(), iv.to_bits(), "{what}: value at ({pr},{pc})");
-        }
-        assert_same_events(&plan, &st, &what);
+        assert_planned_matches(
+            &pk,
+            KernelArgs::Sddmm { b: &b, c: &c },
+            &format!("sddmm schedule {idx}"),
+        );
         tested += 1;
     }
     assert!(tested > 5);
@@ -160,15 +181,102 @@ fn mttkrp_plan_matches_interpreter() {
         .into_iter()
         .enumerate()
     {
-        let Ok((plan, st)) = kernels::lower_tensor3(&a, &sched, &space) else {
+        let Ok(pk) = Executor::planned().prepare_tensor3(&a, &sched, &space) else {
             continue;
         };
-        let what = format!("mttkrp schedule {idx}");
-        let p = kernels::mttkrp_plan(&plan, &st, &b, &c).unwrap();
-        let i = kernels::mttkrp_interpreted(&plan, &st, &b, &c).unwrap();
-        assert_bits_eq(p.as_slice(), i.as_slice(), &what);
-        assert_same_events(&plan, &st, &what);
+        assert_planned_matches(
+            &pk,
+            KernelArgs::Mttkrp { b: &b, c: &c },
+            &format!("mttkrp schedule {idx}"),
+        );
         tested += 1;
     }
     assert!(tested > 5);
+}
+
+// ---------------------------------------------------------------------------
+// Forced fast-path variants: each test pins the schedule so lowering selects
+// one specific `FastPath`, then holds that monomorphized kernel to bit
+// identity against the interpreter. Matrix dims deliberately avoid multiples
+// of the block/tile sizes so the padding guards are exercised.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn forced_bcsr_block_spmv_is_bit_identical() {
+    let mut rng = Rng64::seed_from(31);
+    // 50 is not a multiple of 16: both block rows and block columns pad.
+    let a = gen::blocked(50, 50, 8, 10, 0.6, &mut rng);
+    let space = Space::new(Kernel::SpMV, vec![50, 50], 0);
+    let mut sched = named::default_csr(&space);
+    sched.splits = vec![16, 16];
+    let x = DenseVector::from_fn(50, |i| ((i * 11 % 17) as f32) * 0.23 - 1.1);
+    let pk = Executor::planned().prepare(&a, &sched, &space).unwrap();
+    assert_eq!(pk.plan().fast_path(), FastPath::BcsrBlock);
+    assert_planned_matches(&pk, KernelArgs::Spmv { x: &x }, "forced bcsr spmv");
+}
+
+#[test]
+fn forced_bcsr_block_spmm_is_bit_identical() {
+    let mut rng = Rng64::seed_from(32);
+    let a = gen::blocked(45, 39, 6, 9, 0.5, &mut rng);
+    let space = Space::new(Kernel::SpMM, vec![45, 39], 7);
+    let mut sched = named::default_csr(&space);
+    sched.splits = vec![16, 16, 1];
+    let b = DenseMatrix::from_fn(39, 7, |r, c| ((r * 5 + c) % 11) as f32 * 0.17 - 0.8);
+    let pk = Executor::planned().prepare(&a, &sched, &space).unwrap();
+    assert_eq!(pk.plan().fast_path(), FastPath::BcsrBlock);
+    assert_planned_matches(&pk, KernelArgs::Spmm { b: &b }, "forced bcsr spmm");
+}
+
+#[test]
+fn forced_register_tiled_spmm_is_bit_identical() {
+    let mut rng = Rng64::seed_from(33);
+    let a = gen::powerlaw_rows(45, 37, 6.0, 1.3, &mut rng);
+    // Dense extent 9 = one full 8-wide register tile plus a remainder lane.
+    let space = Space::new(Kernel::SpMM, vec![45, 37], 9);
+    let sched = named::default_csr(&space);
+    let b = DenseMatrix::from_fn(37, 9, |r, c| ((r * 3 + c) % 13) as f32 * 0.19 - 1.2);
+    let pk = Executor::planned().prepare(&a, &sched, &space).unwrap();
+    assert_eq!(pk.plan().fast_path(), FastPath::RegBlockSpmm);
+    assert_planned_matches(
+        &pk,
+        KernelArgs::Spmm { b: &b },
+        "forced register-tiled spmm",
+    );
+}
+
+#[test]
+fn forced_discordant_stream_is_bit_identical() {
+    let mut rng = Rng64::seed_from(34);
+    let a = gen::powerlaw_rows(40, 33, 5.0, 1.2, &mut rng);
+    let space = Space::new(Kernel::SpMV, vec![40, 33], 0);
+    let mut sched = named::default_csr(&space);
+    sched.parallel = None;
+    sched.loop_order = vec![
+        LoopVar::outer(1),
+        LoopVar::outer(0),
+        LoopVar::inner(0),
+        LoopVar::inner(1),
+    ];
+    let x = DenseVector::from_fn(33, |i| ((i * 13 % 19) as f32) * 0.29 - 1.4);
+    let pk = Executor::planned().prepare(&a, &sched, &space).unwrap();
+    assert_eq!(pk.plan().fast_path(), FastPath::DiscordantCsr);
+    assert_planned_matches(&pk, KernelArgs::Spmv { x: &x }, "forced discordant spmv");
+}
+
+#[test]
+fn split_dense_dim_keeps_fast_path_and_bits() {
+    // Regression for the split-aware fix: a dense-dimension split leaves the
+    // sparse storage and accumulation order untouched, so the register-tiled
+    // fast path must still be selected — and still match the interpreter,
+    // whose walk *does* see the extra split loop structure.
+    let mut rng = Rng64::seed_from(35);
+    let a = gen::uniform_random(41, 35, 0.15, &mut rng);
+    let space = Space::new(Kernel::SpMM, vec![41, 35], 16);
+    let mut sched = named::default_csr(&space);
+    sched.splits = vec![1, 1, 4];
+    let b = DenseMatrix::from_fn(35, 16, |r, c| ((r + 2 * c) % 9) as f32 * 0.21 - 0.7);
+    let pk = Executor::planned().prepare(&a, &sched, &space).unwrap();
+    assert_eq!(pk.plan().fast_path(), FastPath::RegBlockSpmm);
+    assert_planned_matches(&pk, KernelArgs::Spmm { b: &b }, "dense-split spmm");
 }

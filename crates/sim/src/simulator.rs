@@ -4,7 +4,7 @@ use crate::collector::{EventCounts, ReuseTracker};
 use crate::machine::MachineConfig;
 use crate::{Result, SimError};
 use waco_exec::parallel::chunk_ranges;
-use waco_exec::plan::ExecutionPlan;
+use waco_exec::plan::{ExecutionPlan, FastPath};
 use waco_format::{LevelFormat, SparseStorage};
 use waco_schedule::{Kernel, Space, SuperSchedule};
 use waco_tensor::{CooMatrix, CooTensor3};
@@ -348,6 +348,20 @@ impl Simulator {
 
         if waco_obs::enabled() {
             waco_obs::counter("sim.kernels_timed", 1);
+            // Which specialization tier variant the executed plan would take.
+            // The simulator prices the generic nest either way (fast paths
+            // preserve traversal semantics), but the counter makes tuner
+            // decisions that reach the tier observable.
+            waco_obs::counter(
+                match plan.fast_path() {
+                    FastPath::CsrRows => "sim.plan.fastpath.csr_rows",
+                    FastPath::RegBlockSpmm => "sim.plan.fastpath.reg_block_spmm",
+                    FastPath::BcsrBlock => "sim.plan.fastpath.bcsr_block",
+                    FastPath::DiscordantCsr => "sim.plan.fastpath.discordant_csr",
+                    FastPath::None => "sim.plan.fastpath.none",
+                },
+                1,
+            );
             waco_obs::counter("sim.concordant_steps", ev.concordant_steps);
             waco_obs::counter("sim.dense_steps", ev.dense_steps);
             waco_obs::counter("sim.locate_probes", ev.locate_probes);

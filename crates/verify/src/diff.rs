@@ -8,7 +8,7 @@
 //! kernel, schedule index, matrix seed, and first diverging coordinate.
 //! Replaying the same seed reproduces the identical failure list.
 
-use waco_exec::{kernels, ExecError};
+use waco_exec::{Backend, ExecError, Executor as KernelExecutor, KernelArgs};
 use waco_runtime::ThreadPool;
 use waco_schedule::{Kernel, ScheduleSampler, Space, SuperSchedule};
 use waco_serve::cache::schedule_to_json;
@@ -62,67 +62,35 @@ pub trait Executor: Sync {
     ) -> waco_exec::Result<DenseMatrix>;
 }
 
-/// The production backend: `waco-exec`'s co-iteration interpreter.
-pub struct ExecBackend;
-
-impl Executor for ExecBackend {
-    fn name(&self) -> &'static str {
-        "waco-exec"
-    }
-
-    fn spmv(
-        &self,
-        a: &CooMatrix,
-        sched: &SuperSchedule,
-        space: &Space,
-        x: &DenseVector,
-    ) -> waco_exec::Result<DenseVector> {
-        kernels::spmv(a, sched, space, x)
-    }
-
-    fn spmm(
-        &self,
-        a: &CooMatrix,
-        sched: &SuperSchedule,
-        space: &Space,
-        b: &DenseMatrix,
-    ) -> waco_exec::Result<DenseMatrix> {
-        kernels::spmm(a, sched, space, b)
-    }
-
-    fn sddmm(
-        &self,
-        a: &CooMatrix,
-        sched: &SuperSchedule,
-        space: &Space,
-        b: &DenseMatrix,
-        c: &DenseMatrix,
-    ) -> waco_exec::Result<CooMatrix> {
-        kernels::sddmm(a, sched, space, b, c)
-    }
-
-    fn mttkrp(
-        &self,
-        t: &CooTensor3,
-        sched: &SuperSchedule,
-        space: &Space,
-        b: &DenseMatrix,
-        c: &DenseMatrix,
-    ) -> waco_exec::Result<DenseMatrix> {
-        kernels::mttkrp(t, sched, space, b, c)
-    }
+/// A backend delegating to the unified [`KernelExecutor`] API on a chosen
+/// engine. [`ExecBackend`] is the production plan executor (including the
+/// monomorphized fast-path tier); [`InterpreterBackend`] is the dynamic
+/// [`waco_exec::LoopNest`] reference that re-decides every traversal per
+/// walk. Running the fuzzer with both checks each engine against the oracle
+/// independently (the `plan` suite then checks them against *each other*,
+/// bit for bit).
+pub struct ApiBackend {
+    name: &'static str,
+    backend: Backend,
 }
 
-/// The dynamic reference interpreter as an injectable backend: lowers the
-/// same plan but executes through [`waco_exec::LoopNest`]'s per-variable
-/// decisions instead of the flat op sequence. Running the fuzzer with both
-/// backends checks each engine against the oracle independently (the
-/// `plan` suite then checks them against *each other*, bit for bit).
-pub struct InterpreterBackend;
+/// The production backend: `waco-exec`'s plan executor.
+#[allow(non_upper_case_globals)]
+pub const ExecBackend: ApiBackend = ApiBackend {
+    name: "waco-exec",
+    backend: Backend::Plan,
+};
 
-impl Executor for InterpreterBackend {
+/// The dynamic reference interpreter as an injectable backend.
+#[allow(non_upper_case_globals)]
+pub const InterpreterBackend: ApiBackend = ApiBackend {
+    name: "waco-exec-interpreter",
+    backend: Backend::Interpreter,
+};
+
+impl Executor for ApiBackend {
     fn name(&self) -> &'static str {
-        "waco-exec-interpreter"
+        self.name
     }
 
     fn spmv(
@@ -132,8 +100,10 @@ impl Executor for InterpreterBackend {
         space: &Space,
         x: &DenseVector,
     ) -> waco_exec::Result<DenseVector> {
-        let (plan, st) = kernels::lower_2d(a, sched, space)?;
-        kernels::spmv_interpreted(&plan, &st, x)
+        KernelExecutor::new(self.backend)
+            .prepare(a, sched, space)?
+            .run(KernelArgs::Spmv { x })?
+            .into_vector()
     }
 
     fn spmm(
@@ -143,8 +113,10 @@ impl Executor for InterpreterBackend {
         space: &Space,
         b: &DenseMatrix,
     ) -> waco_exec::Result<DenseMatrix> {
-        let (plan, st) = kernels::lower_2d(a, sched, space)?;
-        kernels::spmm_interpreted(&plan, &st, b)
+        KernelExecutor::new(self.backend)
+            .prepare(a, sched, space)?
+            .run(KernelArgs::Spmm { b })?
+            .into_matrix()
     }
 
     fn sddmm(
@@ -155,8 +127,10 @@ impl Executor for InterpreterBackend {
         b: &DenseMatrix,
         c: &DenseMatrix,
     ) -> waco_exec::Result<CooMatrix> {
-        let (plan, st) = kernels::lower_2d(a, sched, space)?;
-        kernels::sddmm_interpreted(&plan, &st, b, c)
+        KernelExecutor::new(self.backend)
+            .prepare(a, sched, space)?
+            .run(KernelArgs::Sddmm { b, c })?
+            .into_sparse()
     }
 
     fn mttkrp(
@@ -167,8 +141,10 @@ impl Executor for InterpreterBackend {
         b: &DenseMatrix,
         c: &DenseMatrix,
     ) -> waco_exec::Result<DenseMatrix> {
-        let (plan, st) = kernels::lower_tensor3(t, sched, space)?;
-        kernels::mttkrp_interpreted(&plan, &st, b, c)
+        KernelExecutor::new(self.backend)
+            .prepare_tensor3(t, sched, space)?
+            .run(KernelArgs::Mttkrp { b, c })?
+            .into_matrix()
     }
 }
 

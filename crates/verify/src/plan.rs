@@ -3,7 +3,9 @@
 //! same iteration-space semantics, and this suite holds them to
 //! **bit identity** — identical output bits *and* identical [`Instrument`]
 //! event streams — over the whole structure corpus and the shared
-//! [`ScheduleSampler`] stream.
+//! [`ScheduleSampler`] stream, plus a pinned set of cases that force each
+//! specialized [`FastPath`] variant (failing to *select* the intended
+//! variant is itself a reported failure).
 //!
 //! This is the verify-crate half of the property (the exec crate runs a
 //! fast local slice in `tests/plan_equivalence.rs`): any divergence means
@@ -12,11 +14,15 @@
 //! floating-point evaluation order — both are reportable bugs, not noise,
 //! which is why the comparison is exact rather than tolerance-based.
 
-use waco_exec::{kernels, ExecError, ExecutionPlan, Instrument, LoopNest};
+use waco_exec::{
+    Backend, ExecError, ExecutionPlan, Executor as KernelExecutor, FastPath, Instrument,
+    KernelArgs, LoopNest, PlannedKernel,
+};
 use waco_format::SparseStorage;
 use waco_runtime::ThreadPool;
-use waco_schedule::{Kernel, LoopVar, ScheduleSampler, Space, SuperSchedule};
+use waco_schedule::{named, Kernel, LoopVar, ScheduleSampler, Space, SuperSchedule};
 use waco_serve::cache::schedule_to_json;
+use waco_tensor::gen::{self, Rng64};
 use waco_tensor::{CooMatrix, CooTensor3, Value};
 
 use crate::diff::{dense_extent_for, dense_mat, dense_vec};
@@ -94,6 +100,58 @@ fn events_mismatch(plan: &ExecutionPlan, st: &SparseStorage) -> Option<String> {
     ))
 }
 
+/// Runs one prepared 2-D kernel on both backends and compares output bits,
+/// then the generic walkers' event streams.
+fn compare_matrix(
+    kernel: Kernel,
+    pk: &PlannedKernel,
+    m: &CooMatrix,
+    space: &Space,
+    operand_seed: u64,
+) -> Option<String> {
+    let value_mismatch = match kernel {
+        Kernel::SpMV => {
+            let x = dense_vec(m.ncols(), operand_seed);
+            let p = pk
+                .run_on(Backend::Plan, KernelArgs::Spmv { x: &x })
+                .and_then(|o| o.into_vector())
+                .expect("plan runs");
+            let i = pk
+                .run_on(Backend::Interpreter, KernelArgs::Spmv { x: &x })
+                .and_then(|o| o.into_vector())
+                .expect("interpreter runs");
+            bits_mismatch(p.as_slice(), i.as_slice())
+        }
+        Kernel::SpMM => {
+            let b = dense_mat(m.ncols(), space.dense_extent, operand_seed);
+            let p = pk
+                .run_on(Backend::Plan, KernelArgs::Spmm { b: &b })
+                .and_then(|o| o.into_matrix())
+                .expect("plan runs");
+            let i = pk
+                .run_on(Backend::Interpreter, KernelArgs::Spmm { b: &b })
+                .and_then(|o| o.into_matrix())
+                .expect("interpreter runs");
+            bits_mismatch(p.as_slice(), i.as_slice())
+        }
+        Kernel::SDDMM => {
+            let b = dense_mat(m.nrows(), space.dense_extent, operand_seed);
+            let c = dense_mat(space.dense_extent, m.ncols(), mix_seed(operand_seed, "c"));
+            let p = pk
+                .run_on(Backend::Plan, KernelArgs::Sddmm { b: &b, c: &c })
+                .and_then(|o| o.into_sparse())
+                .expect("plan runs");
+            let i = pk
+                .run_on(Backend::Interpreter, KernelArgs::Sddmm { b: &b, c: &c })
+                .and_then(|o| o.into_sparse())
+                .expect("interpreter runs");
+            sddmm_mismatch(&p, &i)
+        }
+        Kernel::MTTKRP => unreachable!("matrix path never sees MTTKRP"),
+    };
+    value_mismatch.or_else(|| events_mismatch(pk.plan(), pk.storage()))
+}
+
 /// Checks one (2-D kernel, matrix, schedule) point. `Err(())` = over-budget
 /// configuration, legitimately excluded from the space.
 #[allow(clippy::result_unit_err)]
@@ -104,34 +162,12 @@ fn check_matrix(
     space: &Space,
     operand_seed: u64,
 ) -> Result<Option<String>, ()> {
-    let (plan, st) = match kernels::lower_2d(m, sched, space) {
-        Ok(ps) => ps,
+    let pk = match KernelExecutor::planned().prepare(m, sched, space) {
+        Ok(pk) => pk,
         Err(ExecError::Format(_)) => return Err(()),
         Err(e) => return Ok(Some(format!("lowering failed: {e}"))),
     };
-    let value_mismatch = match kernel {
-        Kernel::SpMV => {
-            let x = dense_vec(m.ncols(), operand_seed);
-            let p = kernels::spmv_plan(&plan, &st, &x).expect("plan runs");
-            let i = kernels::spmv_interpreted(&plan, &st, &x).expect("interpreter runs");
-            bits_mismatch(p.as_slice(), i.as_slice())
-        }
-        Kernel::SpMM => {
-            let b = dense_mat(m.ncols(), space.dense_extent, operand_seed);
-            let p = kernels::spmm_plan(&plan, &st, &b).expect("plan runs");
-            let i = kernels::spmm_interpreted(&plan, &st, &b).expect("interpreter runs");
-            bits_mismatch(p.as_slice(), i.as_slice())
-        }
-        Kernel::SDDMM => {
-            let b = dense_mat(m.nrows(), space.dense_extent, operand_seed);
-            let c = dense_mat(space.dense_extent, m.ncols(), mix_seed(operand_seed, "c"));
-            let p = kernels::sddmm_plan(&plan, &st, &b, &c).expect("plan runs");
-            let i = kernels::sddmm_interpreted(&plan, &st, &b, &c).expect("interpreter runs");
-            sddmm_mismatch(&p, &i)
-        }
-        Kernel::MTTKRP => unreachable!("matrix path never sees MTTKRP"),
-    };
-    Ok(value_mismatch.or_else(|| events_mismatch(&plan, &st)))
+    Ok(compare_matrix(kernel, &pk, m, space, operand_seed))
 }
 
 /// SDDMM outputs are sparse: compare patterns and value bits.
@@ -168,8 +204,8 @@ fn check_tensor(
     space: &Space,
     operand_seed: u64,
 ) -> Result<Option<String>, ()> {
-    let (plan, st) = match kernels::lower_tensor3(t, sched, space) {
-        Ok(ps) => ps,
+    let pk = match KernelExecutor::planned().prepare_tensor3(t, sched, space) {
+        Ok(pk) => pk,
         Err(ExecError::Format(_)) => return Err(()),
         Err(e) => return Ok(Some(format!("lowering failed: {e}"))),
     };
@@ -177,9 +213,98 @@ fn check_tensor(
     let rank = space.dense_extent;
     let b = dense_mat(d1, rank, operand_seed);
     let c = dense_mat(d2, rank, mix_seed(operand_seed, "c"));
-    let p = kernels::mttkrp_plan(&plan, &st, &b, &c).expect("plan runs");
-    let i = kernels::mttkrp_interpreted(&plan, &st, &b, &c).expect("interpreter runs");
-    Ok(bits_mismatch(p.as_slice(), i.as_slice()).or_else(|| events_mismatch(&plan, &st)))
+    let p = pk
+        .run_on(Backend::Plan, KernelArgs::Mttkrp { b: &b, c: &c })
+        .and_then(|o| o.into_matrix())
+        .expect("plan runs");
+    let i = pk
+        .run_on(Backend::Interpreter, KernelArgs::Mttkrp { b: &b, c: &c })
+        .and_then(|o| o.into_matrix())
+        .expect("interpreter runs");
+    Ok(bits_mismatch(p.as_slice(), i.as_slice())
+        .or_else(|| events_mismatch(pk.plan(), pk.storage())))
+}
+
+/// One pinned (matrix, schedule) pair that must lower to a specific
+/// [`FastPath`] variant and then match the interpreter bit-for-bit.
+struct ForcedCase {
+    name: &'static str,
+    kernel: Kernel,
+    expected: FastPath,
+    matrix: CooMatrix,
+    sched: SuperSchedule,
+    space: Space,
+}
+
+/// The forced fast-path cases: one per specialized variant, with dims that
+/// are not multiples of the block/tile sizes so the padding guards run.
+fn forced_fastpath_cases(seed: u64) -> Vec<ForcedCase> {
+    let mut rng = Rng64::seed_from(mix_seed(seed, "plan/forced"));
+    let mut cases = Vec::new();
+
+    // Direct CSR row loop.
+    {
+        let space = Space::new(Kernel::SpMV, vec![53, 47], 0);
+        cases.push(ForcedCase {
+            name: "forced/csr_rows",
+            kernel: Kernel::SpMV,
+            expected: FastPath::CsrRows,
+            matrix: gen::powerlaw_rows(53, 47, 5.0, 1.2, &mut rng),
+            sched: named::default_csr(&space),
+            space,
+        });
+    }
+
+    // BCSR dense-block micro-kernel, blocks 16×16 over non-multiple dims.
+    {
+        let space = Space::new(Kernel::SpMV, vec![50, 50], 0);
+        let mut sched = named::default_csr(&space);
+        sched.splits = vec![16, 16];
+        cases.push(ForcedCase {
+            name: "forced/bcsr_block",
+            kernel: Kernel::SpMV,
+            expected: FastPath::BcsrBlock,
+            matrix: gen::blocked(50, 50, 8, 10, 0.6, &mut rng),
+            sched,
+            space,
+        });
+    }
+
+    // Register-tiled SpMM: dense extent 9 = one full tile plus remainder.
+    {
+        let space = Space::new(Kernel::SpMM, vec![45, 37], 9);
+        cases.push(ForcedCase {
+            name: "forced/reg_block_spmm",
+            kernel: Kernel::SpMM,
+            expected: FastPath::RegBlockSpmm,
+            matrix: gen::powerlaw_rows(45, 37, 6.0, 1.3, &mut rng),
+            sched: named::default_csr(&space),
+            space,
+        });
+    }
+
+    // Discordant column-major SpMV over row-major CSR.
+    {
+        let space = Space::new(Kernel::SpMV, vec![40, 33], 0);
+        let mut sched = named::default_csr(&space);
+        sched.parallel = None;
+        sched.loop_order = vec![
+            LoopVar::outer(1),
+            LoopVar::outer(0),
+            LoopVar::inner(0),
+            LoopVar::inner(1),
+        ];
+        cases.push(ForcedCase {
+            name: "forced/discordant_csr",
+            kernel: Kernel::SpMV,
+            expected: FastPath::DiscordantCsr,
+            matrix: gen::powerlaw_rows(40, 33, 5.0, 1.2, &mut rng),
+            sched,
+            space,
+        });
+    }
+
+    cases
 }
 
 /// The plan-equivalence suite over the whole corpus. Takes no injectable
@@ -275,6 +400,45 @@ pub fn plan_equivalence_suite(cfg: &VerifyConfig) -> SuiteReport {
         }
     }
 
+    // Forced fast-path cases: the tier's specialized variants must both be
+    // *selected* by lowering (a fallback to the generic walker is a failure,
+    // not a skip) and match the interpreter bit-for-bit.
+    for case in forced_fastpath_cases(cfg.seed) {
+        if !cfg.kernels.contains(&case.kernel) {
+            continue;
+        }
+        let operand_seed = mix_seed(cfg.seed, &format!("{}/operands", case.name));
+        let fail = |detail: String| Failure {
+            suite: "plan_equivalence",
+            kernel: Some(kernel_wire_name(case.kernel).to_string()),
+            case_name: case.name.to_string(),
+            matrix_seed: None,
+            schedule_index: None,
+            schedule: Some(case.sched.describe(&case.space)),
+            schedule_json: Some(schedule_to_json(&case.sched)),
+            divergence: None,
+            detail,
+        };
+        executed += 1;
+        match KernelExecutor::planned().prepare(&case.matrix, &case.sched, &case.space) {
+            Err(e) => failures.push(fail(format!("lowering failed: {e}"))),
+            Ok(pk) => {
+                if pk.plan().fast_path() != case.expected {
+                    failures.push(fail(format!(
+                        "expected fast path `{}`, lowering chose `{}` ({})",
+                        case.expected.wire_name(),
+                        pk.plan().fast_path().wire_name(),
+                        pk.plan().fast_path_reason(),
+                    )));
+                } else if let Some(detail) =
+                    compare_matrix(case.kernel, &pk, &case.matrix, &case.space, operand_seed)
+                {
+                    failures.push(fail(detail));
+                }
+            }
+        }
+    }
+
     SuiteReport {
         name: "plan_equivalence",
         executed,
@@ -302,5 +466,22 @@ mod tests {
             report.failures.first().map(|f| f.to_string())
         );
         assert!(report.executed > 20, "suite actually ran checks");
+    }
+
+    #[test]
+    fn forced_cases_cover_every_specialized_variant() {
+        let cases = forced_fastpath_cases(7);
+        for want in [
+            FastPath::CsrRows,
+            FastPath::BcsrBlock,
+            FastPath::RegBlockSpmm,
+            FastPath::DiscordantCsr,
+        ] {
+            assert!(
+                cases.iter().any(|c| c.expected == want),
+                "no forced case for {}",
+                want.wire_name()
+            );
+        }
     }
 }

@@ -45,7 +45,13 @@ fn main() {
         let stored = SparseStorage::from_matrix(&m, plan.spec()).expect("fits budget");
 
         // Execute for real and validate.
-        let c = kernels::spmm_plan(&plan, &stored, &b).expect("runs");
+        let c = Executor::planned()
+            .prepare_stored(plan.clone(), stored.clone())
+            .expect("storage matches the plan")
+            .run(KernelArgs::Spmm { b: &b })
+            .expect("runs")
+            .into_matrix()
+            .expect("SpMM yields a matrix");
         let err = c.max_abs_diff(&reference);
         // Time on the simulated machine.
         let report = sim.time_stored(&stored, &sched, &space).expect("simulates");

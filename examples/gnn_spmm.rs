@@ -15,14 +15,14 @@ use waco::prelude::*;
 
 const FEATURES: usize = 16;
 
-/// One propagation: `H' = relu(Â · H)` (weights folded for brevity).
-fn propagate(
-    adj: &CooMatrix,
-    sched: &SuperSchedule,
-    space: &Space,
-    h: &DenseMatrix,
-) -> DenseMatrix {
-    let mut out = kernels::spmm(adj, sched, space, h).expect("spmm runs");
+/// One propagation: `H' = relu(Â · H)` (weights folded for brevity). The
+/// adjacency kernel is prepared once and reused across layers and epochs.
+fn propagate(spmm: &PlannedKernel, h: &DenseMatrix) -> DenseMatrix {
+    let mut out = spmm
+        .run(KernelArgs::Spmm { b: h })
+        .expect("spmm runs")
+        .into_matrix()
+        .expect("SpMM yields a matrix");
     for v in out.as_mut_slice() {
         if *v < 0.0 {
             *v = 0.0;
@@ -76,8 +76,11 @@ fn main() {
     let h0 = DenseMatrix::from_fn(96, FEATURES, |r, c| {
         ((r * 31 + c * 7) % 13) as f32 * 0.1 - 0.6
     });
-    let h1 = propagate(&adj, &tuned.result.sched, &space, &h0);
-    let h2 = propagate(&adj, &tuned.result.sched, &space, &h1);
+    let spmm = Executor::planned()
+        .prepare(&adj, &tuned.result.sched, &space)
+        .expect("tuned schedule lowers");
+    let h1 = propagate(&spmm, &h0);
+    let h2 = propagate(&spmm, &h1);
     let act_mean: f32 = h2.as_slice().iter().sum::<f32>() / (h2.nrows() * h2.ncols()) as f32;
     println!("\n2-layer GNN forward done; mean activation {act_mean:.4}");
 

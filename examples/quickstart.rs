@@ -46,10 +46,17 @@ fn main() {
         tuned.result.tuning_seconds, tuned.candidates_measured
     );
 
-    // The tuned schedule is directly executable by the interpreter — and
-    // produces the same numbers as reference CSR.
+    // The tuned schedule is directly executable: prepare once (lowering +
+    // format conversion), run against any dense operand — and the numbers
+    // match reference CSR.
     let x = DenseVector::from_fn(64, |i| (i as f32 * 0.37).sin());
-    let y = kernels::spmv(&m, &tuned.result.sched, &space, &x).expect("executes");
+    let y = Executor::planned()
+        .prepare(&m, &tuned.result.sched, &space)
+        .expect("lowers")
+        .run(KernelArgs::Spmv { x: &x })
+        .expect("executes")
+        .into_vector()
+        .expect("SpMV yields a vector");
     let reference = CsrMatrix::from_coo(&m).spmv(&x);
     println!(
         "\nexecuted tuned schedule for real: max |diff| vs reference = {:.2e}",

@@ -57,6 +57,14 @@ TRACKED = [
     # Observability when disabled: hook cost as a share of one SpMV.
     ("obs_disabled_tax",
      "obs_overhead/disabled_hooks", "obs_overhead/spmv_512_disabled", False),
+    # The specialized kernel tier: each fast path vs the interpreter on
+    # the same schedule. These ratios must not shrink past tolerance.
+    ("fastpath_bcsr_vs_interp",
+     "plan_lowering/fastpath_bcsr_interp", "plan_lowering/fastpath_bcsr", True),
+    ("fastpath_regblock_vs_interp",
+     "plan_lowering/spmm_regblock_interp", "plan_lowering/spmm_regblock", True),
+    ("fastpath_discordant_vs_interp",
+     "plan_lowering/spmv_discordant_interp", "plan_lowering/spmv_discordant", True),
 ]
 
 failures = []
@@ -79,6 +87,25 @@ for label, num, den, higher_better in TRACKED:
         failures.append(
             f"{label}: {now:.3f} vs baseline {ref:.3f} "
             f"(drift {drift:.2f}x > tolerance {tol}x)")
+
+# Absolute floor for the discordant fast path: the tentpole claim is that
+# the transpose-permutation stream closes the discordant-traversal gap, so
+# the current run must beat the interpreter by at least 4x regardless of
+# what the baseline recorded.
+DISC_FAST = "plan_lowering/spmv_discordant"
+DISC_INTERP = "plan_lowering/spmv_discordant_interp"
+if DISC_FAST in cur and DISC_INTERP in cur:
+    speedup = cur[DISC_INTERP] / cur[DISC_FAST]
+    verdict = "ok" if speedup >= 4.0 else "BELOW FLOOR"
+    print(f"  {'discordant_abs_floor':28s} required  {4.0:10.3f}  current {speedup:10.3f}  {verdict}")
+    if speedup < 4.0:
+        failures.append(
+            f"discordant_abs_floor: fast path is only {speedup:.2f}x the "
+            f"interpreter (the gate requires 4x)")
+else:
+    failures.append(
+        f"discordant_abs_floor: benches missing from {sys.argv[1]}: "
+        f"{[n for n in (DISC_FAST, DISC_INTERP) if n not in cur]}")
 
 if failures:
     print("check_bench: FAILED", file=sys.stderr)

@@ -120,7 +120,8 @@ done
 echo "server trace OK: $SERVE_TRACE"
 
 # 3. The lowering layer: dump a plan as text and JSON, and make sure the
-#    default CSR SpMV schedule still lowers to the monomorphized fast path.
+#    default CSR schedules still lower to the specialized kernel tier (a
+#    dense-8 SpMM is claimed by the register-tiled variant).
 run "$CLI" plan --kernel spmv "$TMP/g.mtx" | tee "$TMP/plan.out"
 grep -q "ExecutionPlan SpMV" "$TMP/plan.out"
 run "$CLI" plan --kernel spmm --dense 8 --format json "$TMP/g.mtx"
@@ -129,8 +130,12 @@ run "$CLI" plan --kernel spmm --dense 8 --format json "$TMP/g.mtx"
 if command -v python3 >/dev/null 2>&1; then
     python3 -m json.tool "$TMP/plan.json" >/dev/null
 fi
-grep -qF '"fast_path":"csr_rows"' "$TMP/plan.json" || {
-    echo "default CSR schedule no longer lowers to the fast path" >&2
+grep -qF '"fast_path":"reg_block_spmm"' "$TMP/plan.json" || {
+    echo "default CSR SpMM schedule no longer lowers to the register-tiled fast path" >&2
+    exit 1
+}
+grep -qF '"fast_path_reason":' "$TMP/plan.json" || {
+    echo "plan JSON no longer reports the fast-path reason" >&2
     exit 1
 }
 echo "plan dump OK"

@@ -1,5 +1,5 @@
-//! Cross-crate property tests: the scheduled interpreter must agree with
-//! the reference kernels for *any* sampled SuperSchedule, on all four
+//! Cross-crate property tests: the unified `Executor` surface must agree
+//! with the reference kernels for *any* sampled SuperSchedule, on all four
 //! kernels. This is the central correctness property of the TACO-substitute
 //! stack (tensor → format → schedule → exec).
 
@@ -27,7 +27,11 @@ props! {
         let space = Space::new(Kernel::SpMV, vec![nrows, ncols], 0);
         let sched = sched_from(&space, sseed);
         let x = DenseVector::from_fn(ncols, |i| ((i * 13 % 7) as f32) - 3.0);
-        match waco::exec::kernels::spmv(&m, &sched, &space, &x) {
+        let run = Executor::planned()
+            .prepare(&m, &sched, &space)
+            .and_then(|pk| pk.run(KernelArgs::Spmv { x: &x }))
+            .and_then(|out| out.into_vector());
+        match run {
             Ok(y) => {
                 let r = CsrMatrix::from_coo(&m).spmv(&x);
                 assert!(y.max_abs_diff(&r) < 1e-2,
@@ -45,7 +49,11 @@ props! {
         let space = Space::new(Kernel::SpMM, vec![n, n], nj);
         let sched = sched_from(&space, sseed);
         let b = DenseMatrix::from_fn(n, nj, |r, c| ((r * 5 + c * 3) % 11) as f32 * 0.25 - 1.0);
-        if let Ok(c) = waco::exec::kernels::spmm(&m, &sched, &space, &b) {
+        let run = Executor::planned()
+            .prepare(&m, &sched, &space)
+            .and_then(|pk| pk.run(KernelArgs::Spmm { b: &b }))
+            .and_then(|out| out.into_matrix());
+        if let Ok(c) = run {
             let r = CsrMatrix::from_coo(&m).spmm(&b);
             assert!(c.max_abs_diff(&r) < 1e-2,
                 "schedule {} diff {}", sched.describe(&space), c.max_abs_diff(&r));
@@ -60,7 +68,11 @@ props! {
         let sched = sched_from(&space, sseed);
         let b = DenseMatrix::from_fn(n, nk, |r, c| ((r + 2 * c) % 9) as f32 * 0.3);
         let cm = DenseMatrix::from_fn(nk, n, |r, c| ((2 * r + c) % 7) as f32 * 0.4 - 1.0);
-        if let Ok(d) = waco::exec::kernels::sddmm(&m, &sched, &space, &b, &cm) {
+        let run = Executor::planned()
+            .prepare(&m, &sched, &space)
+            .and_then(|pk| pk.run(KernelArgs::Sddmm { b: &b, c: &cm }))
+            .and_then(|out| out.into_sparse());
+        if let Ok(d) = run {
             let r = CsrMatrix::from_coo(&m).sddmm(&b, &cm);
             assert!(d.to_dense().max_abs_diff(&r.to_dense()) < 1e-2,
                 "schedule {}", sched.describe(&space));
@@ -76,7 +88,11 @@ props! {
         let sched = sched_from(&space, sseed);
         let b = DenseMatrix::from_fn(n, rank, |r, c| ((r * 3 + c) % 5) as f32 * 0.5);
         let cm = DenseMatrix::from_fn(n, rank, |r, c| ((r + c * 2) % 6) as f32 * 0.25 - 0.5);
-        if let Ok(d) = waco::exec::kernels::mttkrp(&t, &sched, &space, &b, &cm) {
+        let run = Executor::planned()
+            .prepare_tensor3(&t, &sched, &space)
+            .and_then(|pk| pk.run(KernelArgs::Mttkrp { b: &b, c: &cm }))
+            .and_then(|out| out.into_matrix());
+        if let Ok(d) = run {
             let r = mttkrp_reference(&t, &b, &cm);
             assert!(d.max_abs_diff(&r) < 1e-2,
                 "schedule {}", sched.describe(&space));
@@ -96,7 +112,11 @@ props! {
         let space = Space::new(Kernel::SpMV, vec![m.nrows(), m.ncols()], 0);
         let sched = sched_from(&space, sseed ^ 0xDEAD);
         let x = DenseVector::from_fn(m.ncols(), |i| (i as f32 * 0.11).cos());
-        if let Ok(y) = waco::exec::kernels::spmv(&m, &sched, &space, &x) {
+        let run = Executor::planned()
+            .prepare(&m, &sched, &space)
+            .and_then(|pk| pk.run(KernelArgs::Spmv { x: &x }))
+            .and_then(|out| out.into_vector());
+        if let Ok(y) = run {
             let r = CsrMatrix::from_coo(&m).spmv(&x);
             assert!(y.max_abs_diff(&r) < 1e-2);
         }

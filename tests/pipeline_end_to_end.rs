@@ -29,7 +29,13 @@ fn full_spmv_pipeline_tunes_and_executes() {
 
     // The tuned schedule runs for real and matches the reference.
     let x = DenseVector::from_fn(48, |i| (i % 5) as f32 - 2.0);
-    let y = waco::exec::kernels::spmv(&m, &tuned.result.sched, &space, &x).unwrap();
+    let y = Executor::planned()
+        .prepare(&m, &tuned.result.sched, &space)
+        .unwrap()
+        .run(KernelArgs::Spmv { x: &x })
+        .unwrap()
+        .into_vector()
+        .unwrap();
     let r = CsrMatrix::from_coo(&m).spmv(&x);
     assert!(y.max_abs_diff(&r) < 1e-2);
 }
@@ -131,7 +137,13 @@ fn mttkrp_pipeline_works() {
     let space = waco.sim.space_for(Kernel::MTTKRP, t.dims().to_vec(), 4);
     let b = DenseMatrix::from_fn(10, 4, |r, c| (r + c) as f32 * 0.1);
     let c = DenseMatrix::from_fn(10, 4, |r, c| (r * c) as f32 * 0.05 - 0.2);
-    let d = waco::exec::kernels::mttkrp(&t, &tuned.result.sched, &space, &b, &c).unwrap();
+    let d = Executor::planned()
+        .prepare_tensor3(&t, &tuned.result.sched, &space)
+        .unwrap()
+        .run(KernelArgs::Mttkrp { b: &b, c: &c })
+        .unwrap()
+        .into_matrix()
+        .unwrap();
     let r = waco::tensor::csr::mttkrp_reference(&t, &b, &c);
     assert!(d.max_abs_diff(&r) < 1e-2);
 }
