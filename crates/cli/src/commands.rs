@@ -21,7 +21,8 @@ USAGE:
   waco-cli gen     --family <uniform|banded|blocked|powerlaw|kronecker|mesh>
                    [--size N] [--seed S] --out FILE.mtx
   waco-cli inspect FILE.mtx
-  waco-cli bench   [--kernel spmv|spmm|sddmm] [--dense N] FILE.mtx
+  waco-cli bench   [--kernel spmv|spmm|sddmm|spgemm|sddmm_spmm] [--dense N]
+                   FILE.mtx
   waco-cli train   [--kernel spmv|spmm|sddmm] [--matrices N] [--size N]
                    [--epochs N] [--dense N] [--seed S] --out MODEL.ckpt
   waco-cli tune    [--kernel spmv|spmm|sddmm] [--model MODEL.ckpt]
@@ -33,14 +34,14 @@ USAGE:
                    [--kernel spmv|spmm|sddmm] [--dense N] [--timeout SECS]
                    [FILE.mtx]
   waco-cli verify  [--seed S] [--budget smoke|nightly]
-                   [--kernel spmv,spmm,...] [--faults on|off]
-                   [--out FILE.json]
+                   [--kernel spmv,spmm,mttkrp,spgemm,sddmm_spmm,...]
+                   [--faults on|off] [--out FILE.json]
   waco-cli loadgen --addr 127.0.0.1:PORT [--connections N] [--duration SECS]
                    [--rps R] [--fingerprints K] [--zipf S]
                    [--arrivals poisson|burst] [--kernel spmv|spmm|sddmm]
                    [--dense N] [--size N] [--seed S] [--out FILE.json]
                    [--smoke]
-  waco-cli plan    [--kernel spmv|spmm|sddmm] [--dense N]
+  waco-cli plan    [--kernel spmv|spmm|sddmm|spgemm|sddmm_spmm] [--dense N]
                    [--rows N] [--cols N] [--schedule JSON]
                    [--format text|json] [FILE.mtx]
 
@@ -120,8 +121,10 @@ pub(crate) fn parse_kernel(flags: &Flags) -> Result<Kernel> {
         "spmv" => Ok(Kernel::SpMV),
         "spmm" => Ok(Kernel::SpMM),
         "sddmm" => Ok(Kernel::SDDMM),
+        "spgemm" => Ok(Kernel::SpGEMM),
+        "sddmm_spmm" => Ok(Kernel::SddmmSpmm),
         other => Err(bad(format!(
-            "unsupported kernel `{other}` (CLI supports spmv/spmm/sddmm; MTTKRP needs the library API)"
+            "unsupported kernel `{other}` (CLI supports spmv/spmm/sddmm/spgemm/sddmm_spmm; MTTKRP needs the library API)"
         ))),
     }
 }
@@ -443,9 +446,11 @@ pub fn verify(args: &[String]) -> Result<()> {
                 "spmm" => Kernel::SpMM,
                 "sddmm" => Kernel::SDDMM,
                 "mttkrp" => Kernel::MTTKRP,
+                "spgemm" => Kernel::SpGEMM,
+                "sddmm_spmm" => Kernel::SddmmSpmm,
                 other => {
                     return Err(bad(format!(
-                        "unknown kernel `{other}` in --kernel (spmv|spmm|sddmm|mttkrp, comma-separated)"
+                        "unknown kernel `{other}` in --kernel (spmv|spmm|sddmm|mttkrp|spgemm|sddmm_spmm, comma-separated)"
                     )))
                 }
             });
@@ -566,10 +571,14 @@ pub fn plan(args: &[String]) -> Result<()> {
                 },
             ),
         ]),
+        PlanOp::Workspace { extent } => Json::obj([
+            ("op", Json::str("workspace")),
+            ("extent", Json::num(extent as f64)),
+        ]),
         PlanOp::Body => Json::obj([("op", Json::str("body"))]),
     };
     let doc = Json::obj([
-        ("kernel", Json::str(kernel.to_string().to_lowercase())),
+        ("kernel", Json::str(waco_serve::cache::kernel_name(kernel))),
         (
             "sparse_dims",
             Json::Arr(

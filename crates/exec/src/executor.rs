@@ -32,13 +32,14 @@
 //! ```
 
 use crate::kernels::{
-    self, lower_2d, lower_tensor3, mttkrp_with, sddmm_with, spmm_with, spmv_with, Engine,
+    self, lower_2d, lower_tensor3, mttkrp_with, sddmm_spmm_with, sddmm_with, spgemm_with,
+    spmm_with, spmv_with, Engine,
 };
 use crate::plan::ExecutionPlan;
 use crate::{ExecError, Result};
 use waco_format::SparseStorage;
 use waco_schedule::{Kernel, Space, SuperSchedule};
-use waco_tensor::{CooMatrix, CooTensor3, DenseMatrix, DenseVector};
+use waco_tensor::{CooMatrix, CooTensor3, CsrMatrix, DenseMatrix, DenseVector};
 
 /// Which engine a [`PlannedKernel`] runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -165,6 +166,20 @@ pub enum KernelArgs<'a> {
         /// `|l| × rank`.
         c: &'a DenseMatrix,
     },
+    /// SpGEMM: `C = A B` with both operands sparse (workspace kernel).
+    Spgemm {
+        /// The sparse operand, `ncols × |j|` CSR.
+        b: &'a CsrMatrix,
+    },
+    /// Fused SDDMM+SpMM: `E = (A ∘ (B C)) F` (workspace kernel).
+    SddmmSpmm {
+        /// `nrows × |k|`.
+        b: &'a DenseMatrix,
+        /// `|k| × ncols`.
+        c: &'a DenseMatrix,
+        /// `ncols × t` — the SpMM operand; `t` is free (taken from `F`).
+        f: &'a DenseMatrix,
+    },
 }
 
 impl KernelArgs<'_> {
@@ -175,6 +190,8 @@ impl KernelArgs<'_> {
             KernelArgs::Spmm { .. } => Kernel::SpMM,
             KernelArgs::Sddmm { .. } => Kernel::SDDMM,
             KernelArgs::Mttkrp { .. } => Kernel::MTTKRP,
+            KernelArgs::Spgemm { .. } => Kernel::SpGEMM,
+            KernelArgs::SddmmSpmm { .. } => Kernel::SddmmSpmm,
         }
     }
 }
@@ -188,6 +205,8 @@ pub enum KernelOutput {
     Matrix(DenseMatrix),
     /// SDDMM's `D` (the sparse operand's pattern).
     Sparse(CooMatrix),
+    /// SpGEMM's `C` (compacted per-row into CSR).
+    Csr(CsrMatrix),
 }
 
 impl KernelOutput {
@@ -227,11 +246,24 @@ impl KernelOutput {
         }
     }
 
+    /// Unwraps [`KernelOutput::Csr`].
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::OperandMismatch`] for any other variant.
+    pub fn into_csr(self) -> Result<CsrMatrix> {
+        match self {
+            KernelOutput::Csr(m) => Ok(m),
+            other => Err(other.mismatch("a CSR matrix")),
+        }
+    }
+
     fn mismatch(&self, wanted: &str) -> ExecError {
         let got = match self {
             KernelOutput::Vector(_) => "a dense vector",
             KernelOutput::Matrix(_) => "a dense matrix",
             KernelOutput::Sparse(_) => "a sparse matrix",
+            KernelOutput::Csr(_) => "a CSR matrix",
         };
         ExecError::OperandMismatch(format!("kernel output is {got}, not {wanted}"))
     }
@@ -315,6 +347,12 @@ impl PlannedKernel {
             (Kernel::MTTKRP, KernelArgs::Mttkrp { b, c }) => Ok(KernelOutput::Matrix(mttkrp_with(
                 engine, &self.plan, &self.st, b, c,
             )?)),
+            (Kernel::SpGEMM, KernelArgs::Spgemm { b }) => Ok(KernelOutput::Csr(spgemm_with(
+                engine, &self.plan, &self.st, b,
+            )?)),
+            (Kernel::SddmmSpmm, KernelArgs::SddmmSpmm { b, c, f }) => Ok(KernelOutput::Matrix(
+                sddmm_spmm_with(engine, &self.plan, &self.st, b, c, f)?,
+            )),
             (kernel, args) => Err(ExecError::OperandMismatch(format!(
                 "plan is for {kernel}, args are for {}",
                 args.kernel()

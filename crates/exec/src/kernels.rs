@@ -1,4 +1,5 @@
-//! The four kernels of the paper, executed under arbitrary SuperSchedules.
+//! The kernels — the paper's four plus the workspace family — executed
+//! under arbitrary SuperSchedules.
 //!
 //! Each kernel lowers its schedule once into an [`ExecutionPlan`]
 //! (validation, format-spec derivation, loop-op resolution — all at build
@@ -7,27 +8,32 @@
 //! The public surface is [`crate::Executor`] / [`crate::PlannedKernel`]
 //! (prepare once, run many times, with an explicit [`crate::Backend`]
 //! selector between the plan executor and the dynamic [`LoopNest`]
-//! reference interpreter); the free functions in this module are kept as
-//! `#[deprecated]` shims for one release.
+//! reference interpreter). The `#[deprecated]` free-kernel shims of the
+//! previous release have been removed; every caller goes through the
+//! `Executor` API now.
 //!
 //! Plans that qualify for the specialization tier
 //! ([`ExecutionPlan::fast_path`]) bypass the generic op executor entirely
 //! and run a monomorphized loop: the direct CSR row loop, the
-//! register-tiled SpMM, the BCSR dense-block micro-kernel, or the
-//! discordant transpose-permutation stream. Every fast path preserves the
-//! interpreter's per-output-element accumulation order (increasing k), its
-//! exact-zero padding skip, and its chunking, so outputs are bit-identical
-//! across engines — the property the `plan_equivalence` suites enforce.
-//! Outputs are additionally validated against the reference implementations
-//! in `waco-tensor` by the test suite.
+//! register-tiled SpMM, the BCSR dense-block micro-kernel, the discordant
+//! transpose-permutation stream, or — for the workspace kernels — the
+//! row-wise Gustavson SpGEMM and the fused SDDMM+SpMM, both of which own a
+//! pooled dense temporary (see [`crate::workspace`]). Every fast path
+//! preserves the interpreter's per-output-element accumulation order
+//! (increasing k), its exact-zero padding skip, and its chunking, so
+//! outputs are bit-identical across engines — the property the
+//! `plan_equivalence` suites enforce. Outputs are additionally validated
+//! against the reference implementations in `waco-tensor` by the test
+//! suite.
 
 use crate::nest::{Ctx, LoopNest, NoInstrument};
 use crate::parallel::run_chunked;
 use crate::plan::{ExecutionPlan, FastPath};
+use crate::workspace;
 use crate::{ExecError, Result};
 use waco_format::{LevelStorage, SparseStorage};
 use waco_schedule::{Kernel, Space, SuperSchedule};
-use waco_tensor::{CooMatrix, CooTensor3, DenseMatrix, DenseVector, Value};
+use waco_tensor::{CooMatrix, CooTensor3, CsrMatrix, DenseMatrix, DenseVector, Value};
 
 /// Lowers a schedule and stores a matrix operand in the plan's spec — the
 /// build half of every 2-D kernel (the `T_formatconvert` vs `T_tunedkernel`
@@ -192,55 +198,6 @@ fn csr_slices(st: &SparseStorage) -> (&[usize], &[usize], &[Value]) {
     }
 }
 
-/// SpMV: `y = A x` under `sched`.
-///
-/// # Errors
-///
-/// Schedule validation, storage budget, and operand-shape errors.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Executor::prepare` + `PlannedKernel::run(KernelArgs::Spmv { x })`"
-)]
-pub fn spmv(
-    a: &CooMatrix,
-    sched: &SuperSchedule,
-    space: &Space,
-    x: &DenseVector,
-) -> Result<DenseVector> {
-    let (plan, st) = lower_2d(a, sched, space)?;
-    spmv_with(Engine::Plan, &plan, &st, x)
-}
-
-/// SpMV over a pre-lowered plan and pre-built storage.
-///
-/// # Errors
-///
-/// Kernel, spec, and operand-shape mismatches.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Executor::planned().prepare_stored` + `PlannedKernel::run`"
-)]
-pub fn spmv_plan(plan: &ExecutionPlan, st: &SparseStorage, x: &DenseVector) -> Result<DenseVector> {
-    spmv_with(Engine::Plan, plan, st, x)
-}
-
-/// SpMV through the dynamic reference interpreter.
-///
-/// # Errors
-///
-/// Kernel, spec, and operand-shape mismatches.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `PlannedKernel::run_on(Backend::Interpreter, ..)`"
-)]
-pub fn spmv_interpreted(
-    plan: &ExecutionPlan,
-    st: &SparseStorage,
-    x: &DenseVector,
-) -> Result<DenseVector> {
-    spmv_with(Engine::Interp, plan, st, x)
-}
-
 pub(crate) fn spmv_with(
     engine: Engine,
     plan: &ExecutionPlan,
@@ -366,7 +323,9 @@ pub(crate) fn spmv_with(
                 merge_vecs,
             )
         }
-        FastPath::None | FastPath::RegBlockSpmm => dispatch(
+        // RegBlockSpmm and the workspace variants never attach to an SpMV
+        // plan; they fall through to the generic walk for completeness.
+        _ => dispatch(
             plan,
             st,
             || vec![0.0 as Value; n],
@@ -382,55 +341,6 @@ pub(crate) fn spmv_with(
         ),
     };
     Ok(DenseVector::from_vec(out))
-}
-
-/// SpMM: `C = A B` under `sched` (`B` is `ncols × |j|` dense row-major).
-///
-/// # Errors
-///
-/// Schedule validation, storage budget, and operand-shape errors.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Executor::prepare` + `PlannedKernel::run(KernelArgs::Spmm { b })`"
-)]
-pub fn spmm(
-    a: &CooMatrix,
-    sched: &SuperSchedule,
-    space: &Space,
-    b: &DenseMatrix,
-) -> Result<DenseMatrix> {
-    let (plan, st) = lower_2d(a, sched, space)?;
-    spmm_with(Engine::Plan, &plan, &st, b)
-}
-
-/// SpMM over a pre-lowered plan and pre-built storage.
-///
-/// # Errors
-///
-/// Kernel, spec, and operand-shape mismatches.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Executor::planned().prepare_stored` + `PlannedKernel::run`"
-)]
-pub fn spmm_plan(plan: &ExecutionPlan, st: &SparseStorage, b: &DenseMatrix) -> Result<DenseMatrix> {
-    spmm_with(Engine::Plan, plan, st, b)
-}
-
-/// SpMM through the dynamic reference interpreter.
-///
-/// # Errors
-///
-/// Kernel, spec, and operand-shape mismatches.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `PlannedKernel::run_on(Backend::Interpreter, ..)`"
-)]
-pub fn spmm_interpreted(
-    plan: &ExecutionPlan,
-    st: &SparseStorage,
-    b: &DenseMatrix,
-) -> Result<DenseMatrix> {
-    spmm_with(Engine::Interp, plan, st, b)
 }
 
 pub(crate) fn spmm_with(
@@ -575,7 +485,9 @@ pub(crate) fn spmm_with(
                 merge_vecs,
             )
         }
-        FastPath::None | FastPath::DiscordantCsr => dispatch(
+        // DiscordantCsr and the workspace variants never attach to an SpMM
+        // plan; they fall through to the generic walk for completeness.
+        _ => dispatch(
             plan,
             st,
             || vec![0.0 as Value; ni * nj],
@@ -592,64 +504,6 @@ pub(crate) fn spmm_with(
         ),
     };
     Ok(DenseMatrix::from_vec(ni, nj, out))
-}
-
-/// SDDMM: `D = A ∘ (B C)` under `sched` (`B` is `nrows × |k|`, `C` is
-/// `|k| × ncols`). The output keeps `A`'s pattern (entries whose product is
-/// exactly zero are dropped).
-///
-/// # Errors
-///
-/// Schedule validation, storage budget, and operand-shape errors.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Executor::prepare` + `PlannedKernel::run(KernelArgs::Sddmm { b, c })`"
-)]
-pub fn sddmm(
-    a: &CooMatrix,
-    sched: &SuperSchedule,
-    space: &Space,
-    b: &DenseMatrix,
-    c: &DenseMatrix,
-) -> Result<CooMatrix> {
-    let (plan, st) = lower_2d(a, sched, space)?;
-    sddmm_with(Engine::Plan, &plan, &st, b, c)
-}
-
-/// SDDMM over a pre-lowered plan and pre-built storage.
-///
-/// # Errors
-///
-/// Kernel, spec, and operand-shape mismatches.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Executor::planned().prepare_stored` + `PlannedKernel::run`"
-)]
-pub fn sddmm_plan(
-    plan: &ExecutionPlan,
-    st: &SparseStorage,
-    b: &DenseMatrix,
-    c: &DenseMatrix,
-) -> Result<CooMatrix> {
-    sddmm_with(Engine::Plan, plan, st, b, c)
-}
-
-/// SDDMM through the dynamic reference interpreter.
-///
-/// # Errors
-///
-/// Kernel, spec, and operand-shape mismatches.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `PlannedKernel::run_on(Backend::Interpreter, ..)`"
-)]
-pub fn sddmm_interpreted(
-    plan: &ExecutionPlan,
-    st: &SparseStorage,
-    b: &DenseMatrix,
-    c: &DenseMatrix,
-) -> Result<CooMatrix> {
-    sddmm_with(Engine::Interp, plan, st, b, c)
 }
 
 pub(crate) fn sddmm_with(
@@ -718,63 +572,6 @@ pub(crate) fn sddmm_with(
     Ok(CooMatrix::from_triplets(ni, nj, triplets).expect("output coords in bounds"))
 }
 
-/// MTTKRP: `D[i,j] = Σ A[i,k,l] B[k,j] C[l,j]` under `sched` (`B` is
-/// `|k| × rank`, `C` is `|l| × rank`).
-///
-/// # Errors
-///
-/// Schedule validation, storage budget, and operand-shape errors.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Executor::prepare_tensor3` + `PlannedKernel::run(KernelArgs::Mttkrp { b, c })`"
-)]
-pub fn mttkrp(
-    a: &CooTensor3,
-    sched: &SuperSchedule,
-    space: &Space,
-    b: &DenseMatrix,
-    c: &DenseMatrix,
-) -> Result<DenseMatrix> {
-    let (plan, st) = lower_tensor3(a, sched, space)?;
-    mttkrp_with(Engine::Plan, &plan, &st, b, c)
-}
-
-/// MTTKRP over a pre-lowered plan and pre-built storage.
-///
-/// # Errors
-///
-/// Kernel, spec, and operand-shape mismatches.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Executor::planned().prepare_stored` + `PlannedKernel::run`"
-)]
-pub fn mttkrp_plan(
-    plan: &ExecutionPlan,
-    st: &SparseStorage,
-    b: &DenseMatrix,
-    c: &DenseMatrix,
-) -> Result<DenseMatrix> {
-    mttkrp_with(Engine::Plan, plan, st, b, c)
-}
-
-/// MTTKRP through the dynamic reference interpreter.
-///
-/// # Errors
-///
-/// Kernel, spec, and operand-shape mismatches.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `PlannedKernel::run_on(Backend::Interpreter, ..)`"
-)]
-pub fn mttkrp_interpreted(
-    plan: &ExecutionPlan,
-    st: &SparseStorage,
-    b: &DenseMatrix,
-    c: &DenseMatrix,
-) -> Result<DenseMatrix> {
-    mttkrp_with(Engine::Interp, plan, st, b, c)
-}
-
 pub(crate) fn mttkrp_with(
     engine: Engine,
     plan: &ExecutionPlan,
@@ -817,6 +614,286 @@ pub(crate) fn mttkrp_with(
         merge_vecs,
     );
     Ok(DenseMatrix::from_vec(ni, rank, out))
+}
+
+/// Per-row sparse output under construction: `rows[i] = (cols, vals)` with
+/// ascending columns. Each outer-loop chunk fills only its own rows, so the
+/// merge just keeps whichever copy was written.
+type SparseRows = Vec<(Vec<usize>, Vec<Value>)>;
+
+fn merge_rows(mut accs: Vec<SparseRows>) -> SparseRows {
+    let mut out = accs.pop().unwrap_or_default();
+    for acc in accs {
+        for (o, a) in out.iter_mut().zip(acc) {
+            if !a.0.is_empty() {
+                *o = a;
+            }
+        }
+    }
+    out
+}
+
+/// SpGEMM: `C = A B` with both operands sparse. The fast path is row-wise
+/// Gustavson — each output row scatter-accumulates into the pooled dense
+/// workspace ([`crate::workspace`]), then the touched coordinates are
+/// sorted, gathered (skipping exact zeros, including cancellation), and
+/// reset. The generic engines densify `B` and run the plan's `i → k → j`
+/// nest, so per output element the products sum in the same ascending-`k`
+/// order from `+0.0` — extra `±0.0` terms from `B`'s zeros are bitwise
+/// no-ops — making the two engines bit-identical on the same plan.
+pub(crate) fn spgemm_with(
+    engine: Engine,
+    plan: &ExecutionPlan,
+    st: &SparseStorage,
+    b: &CsrMatrix,
+) -> Result<CsrMatrix> {
+    check_kernel(plan, Kernel::SpGEMM)?;
+    check_storage(plan, st)?;
+    note_fastpath(engine, plan);
+    let (ni, nk) = (plan.sparse_dims()[0], plan.sparse_dims()[1]);
+    let nj = plan.dense_extent();
+    if b.nrows() != nk || b.ncols() != nj {
+        return Err(ExecError::OperandMismatch(format!(
+            "SpGEMM operand B is {}x{}, expected {nk}x{nj}",
+            b.nrows(),
+            b.ncols()
+        )));
+    }
+    let extent = plan
+        .workspace_extent()
+        .expect("workspace kernels always carry a Workspace op");
+    let rows: SparseRows = match effective_fast(engine, plan) {
+        FastPath::GustavsonSpgemm => {
+            let (pos, crd, vals) = csr_slices(st);
+            dispatch(
+                plan,
+                st,
+                || vec![(Vec::new(), Vec::new()); ni],
+                |range, acc: &mut SparseRows| {
+                    let mut ws = workspace::acquire(extent);
+                    for i in range {
+                        for q in pos[i]..pos[i + 1] {
+                            let v = vals[q];
+                            if v == 0.0 {
+                                continue;
+                            }
+                            let (bcols, bvals) = b.row(crd[q]);
+                            for (&j, &bv) in bcols.iter().zip(bvals) {
+                                ws.buf[j] += v * bv;
+                                ws.touched.push(j);
+                            }
+                        }
+                        // Gather-reset: ascending columns, exact zeros
+                        // (including cancellations) dropped, buffer zeroed
+                        // for the next row / the pool invariant.
+                        ws.touched.sort_unstable();
+                        ws.touched.dedup();
+                        let (cols, out_vals) = &mut acc[i];
+                        cols.reserve_exact(ws.touched.len());
+                        out_vals.reserve_exact(ws.touched.len());
+                        for &j in &ws.touched {
+                            let d = ws.buf[j];
+                            ws.buf[j] = 0.0;
+                            if d != 0.0 {
+                                cols.push(j);
+                                out_vals.push(d);
+                            }
+                        }
+                        ws.touched.clear();
+                    }
+                    workspace::release(ws);
+                },
+                merge_rows,
+            )
+        }
+        _ => {
+            // Generic nest over a densified B: the plan's i → k → j loops
+            // with a dense accumulator, compacted row-major afterwards.
+            let bd = b.to_coo().to_dense();
+            let dense = dispatch(
+                plan,
+                st,
+                || vec![0.0 as Value; ni * nj],
+                |range, acc| {
+                    walk_range(engine, plan, st, range, acc, &|ctx, _, v, acc| {
+                        let (Some(i), Some(k), Some(j)) =
+                            (ctx.coord(0), ctx.coord(1), ctx.coord(2))
+                        else {
+                            return;
+                        };
+                        acc[i * nj + j] += v * bd.get(k, j);
+                    });
+                },
+                merge_vecs,
+            );
+            let mut rows: SparseRows = vec![(Vec::new(), Vec::new()); ni];
+            for i in 0..ni {
+                let (cols, out_vals) = &mut rows[i];
+                for j in 0..nj {
+                    let d = dense[i * nj + j];
+                    if d != 0.0 {
+                        cols.push(j);
+                        out_vals.push(d);
+                    }
+                }
+            }
+            rows
+        }
+    };
+    // Rows come out sorted with unique columns from both arms, so CSR is
+    // assembled directly — no COO round-trip, no O(nnz log nnz) sort.
+    let mut row_ptr = vec![0usize; ni + 1];
+    for (i, (cols, _)) in rows.iter().enumerate() {
+        row_ptr[i + 1] = row_ptr[i] + cols.len();
+    }
+    let nnz = row_ptr[ni];
+    let mut col_idx = Vec::with_capacity(nnz);
+    let mut out_vals = Vec::with_capacity(nnz);
+    for (cols, vals) in rows {
+        col_idx.extend(cols);
+        out_vals.extend(vals);
+    }
+    Ok(CsrMatrix::from_parts(ni, nj, row_ptr, col_idx, out_vals)
+        .expect("Gustavson rows are sorted, deduplicated, and in bounds"))
+}
+
+/// Fused SDDMM+SpMM: `E = (A ∘ (B C)) F` in one pass over `A`. The fast
+/// path computes each sampled dot product `d = Σ_k v·B[i,k]·C[k,j]` into
+/// the workspace row (pass 1 — the SDDMM), then streams the touched
+/// entries against `F` with a gather-reset (pass 2 — the SpMM). Because
+/// `A`'s CSR columns are ascending, the touched list needs no sort, and
+/// the pass-2 order matches exactly what an unfused CSR SpMM over the
+/// intermediate would do — entries whose dot product is exactly zero are
+/// skipped in both, so fused and unfused are bit-identical.
+pub(crate) fn sddmm_spmm_with(
+    engine: Engine,
+    plan: &ExecutionPlan,
+    st: &SparseStorage,
+    b: &DenseMatrix,
+    c: &DenseMatrix,
+    f: &DenseMatrix,
+) -> Result<DenseMatrix> {
+    check_kernel(plan, Kernel::SddmmSpmm)?;
+    check_storage(plan, st)?;
+    note_fastpath(engine, plan);
+    let (ni, nj) = (plan.sparse_dims()[0], plan.sparse_dims()[1]);
+    let nk = plan.dense_extent();
+    if b.nrows() != ni || b.ncols() != nk || c.nrows() != nk || c.ncols() != nj {
+        return Err(ExecError::OperandMismatch(format!(
+            "fused SDDMM+SpMM operands B {}x{} C {}x{}, expected B {ni}x{nk} C {nk}x{nj}",
+            b.nrows(),
+            b.ncols(),
+            c.nrows(),
+            c.ncols()
+        )));
+    }
+    if f.nrows() != nj {
+        return Err(ExecError::OperandMismatch(format!(
+            "fused SDDMM+SpMM operand F has {} rows, expected {nj}",
+            f.nrows()
+        )));
+    }
+    let nt = f.ncols();
+    let extent = plan
+        .workspace_extent()
+        .expect("workspace kernels always carry a Workspace op");
+    let out = match effective_fast(engine, plan) {
+        FastPath::FusedSddmmSpmm => {
+            let (pos, crd, vals) = csr_slices(st);
+            let fs = f.as_slice();
+            dispatch(
+                plan,
+                st,
+                || vec![0.0 as Value; ni * nt],
+                |range, acc: &mut Vec<Value>| {
+                    let mut ws = workspace::acquire(extent);
+                    for i in range {
+                        // Pass 1: the SDDMM row into the workspace. CSR
+                        // columns are ascending and duplicate-free, so
+                        // insertion order is gather order.
+                        for q in pos[i]..pos[i + 1] {
+                            let v = vals[q];
+                            if v == 0.0 {
+                                continue;
+                            }
+                            let j = crd[q];
+                            let mut d = 0.0 as Value;
+                            for k in 0..nk {
+                                d += v * b.get(i, k) * c.get(k, j);
+                            }
+                            ws.buf[j] = d;
+                            ws.touched.push(j);
+                        }
+                        // Pass 2: SpMM of the workspace row against F,
+                        // gather-resetting as it streams.
+                        let row = &mut acc[i * nt..(i + 1) * nt];
+                        for &j in &ws.touched {
+                            let d = ws.buf[j];
+                            ws.buf[j] = 0.0;
+                            if d == 0.0 {
+                                continue;
+                            }
+                            let frow = &fs[j * nt..(j + 1) * nt];
+                            for (o, &fv) in row.iter_mut().zip(frow) {
+                                *o += d * fv;
+                            }
+                        }
+                        ws.touched.clear();
+                    }
+                    workspace::release(ws);
+                },
+                merge_vecs,
+            )
+        }
+        _ => {
+            // Generic engines run the two phases unfused over the plan's
+            // nest: position-indexed SDDMM accumulation (identical to
+            // `sddmm_with`), then a storage-order SpMM over the slots.
+            let nslots = st.vals().len();
+            let inter = dispatch(
+                plan,
+                st,
+                || vec![0.0 as Value; nslots],
+                |range, acc| {
+                    walk_range(engine, plan, st, range, acc, &|ctx, pos, v, acc| {
+                        let (Some(i), Some(j), Some(k)) =
+                            (ctx.coord(0), ctx.coord(1), ctx.coord(2))
+                        else {
+                            return;
+                        };
+                        acc[pos] += v * b.get(i, k) * c.get(k, j);
+                    });
+                },
+                merge_vecs,
+            );
+            let spec = st.spec();
+            let mut out = vec![0.0 as Value; ni * nt];
+            st.for_each_slot(|axis_coords, pos, _| {
+                let d = inter[pos];
+                if d == 0.0 {
+                    return;
+                }
+                let mut outer = [0usize; 2];
+                let mut inner = [0usize; 2];
+                for (l, ax) in spec.order().iter().enumerate() {
+                    match ax.part {
+                        waco_format::AxisPart::Outer => outer[ax.dim] = axis_coords[l],
+                        waco_format::AxisPart::Inner => inner[ax.dim] = axis_coords[l],
+                    }
+                }
+                let i = spec.original_coord(0, outer[0], inner[0]);
+                let j = spec.original_coord(1, outer[1], inner[1]);
+                if i < ni && j < nj {
+                    let row = &mut out[i * nt..(i + 1) * nt];
+                    for (t, o) in row.iter_mut().enumerate() {
+                        *o += d * f.get(j, t);
+                    }
+                }
+            });
+            out
+        }
+    };
+    Ok(DenseMatrix::from_vec(ni, nt, out))
 }
 
 #[cfg(test)]
@@ -1107,24 +1184,203 @@ mod tests {
         }
     }
 
-    /// The deprecated free functions stay callable (and correct) for one
-    /// release while callers migrate to the `Executor` API.
+    fn run_spgemm(
+        a: &CooMatrix,
+        sched: &SuperSchedule,
+        space: &Space,
+        b: &CsrMatrix,
+    ) -> Result<CsrMatrix> {
+        Executor::planned()
+            .prepare(a, sched, space)?
+            .run(KernelArgs::Spgemm { b })?
+            .into_csr()
+    }
+
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_run() {
-        let mut rng = Rng64::seed_from(11);
-        let a = gen::uniform_random(24, 24, 0.15, &mut rng);
-        let space = Space::new(Kernel::SpMV, vec![24, 24], 0);
+    fn spgemm_matches_dense_reference() {
+        let mut rng = Rng64::seed_from(12);
+        let a = gen::uniform_random(24, 20, 0.15, &mut rng);
+        let bc = gen::uniform_random(20, 28, 0.15, &mut rng);
+        let b = CsrMatrix::from_coo(&bc);
+        let space = Space::new(Kernel::SpGEMM, vec![24, 20], 28);
         let sched = named::default_csr(&space);
-        let x = DenseVector::from_fn(24, |i| (i % 3) as f32 - 1.0);
-        let shim = spmv(&a, &sched, &space, &x).unwrap();
-        let new = run_spmv(&a, &sched, &space, &x).unwrap();
-        for (s, n) in shim.as_slice().iter().zip(new.as_slice()) {
-            assert_eq!(s.to_bits(), n.to_bits());
+
+        let (plan, _) = lower_2d(&a, &sched, &space).unwrap();
+        assert_eq!(plan.fast_path(), FastPath::GustavsonSpgemm);
+
+        let c = run_spgemm(&a, &sched, &space, &b).unwrap();
+        let ad = a.to_dense();
+        let bd = bc.to_dense();
+        let cd = c.to_coo().to_dense();
+        for i in 0..24 {
+            for j in 0..28 {
+                let mut r = 0.0f32;
+                for k in 0..20 {
+                    r += ad.get(i, k) * bd.get(k, j);
+                }
+                assert!((cd.get(i, j) - r).abs() < 1e-3, "({i},{j})");
+            }
         }
+    }
+
+    #[test]
+    fn spgemm_fast_path_is_bit_identical_to_the_interpreter() {
+        let mut rng = Rng64::seed_from(13);
+        let a = gen::powerlaw_rows(48, 40, 5.0, 1.2, &mut rng);
+        let b = CsrMatrix::from_coo(&gen::uniform_random(40, 32, 0.2, &mut rng));
+        for threads in [1usize, 4] {
+            let space =
+                Space::new(Kernel::SpGEMM, vec![48, 40], 32).with_thread_options(vec![threads]);
+            let sched = named::default_csr(&space);
+            let (plan, st) = lower_2d(&a, &sched, &space).unwrap();
+            assert_eq!(plan.fast_path(), FastPath::GustavsonSpgemm);
+            let fast = spgemm_with(Engine::Plan, &plan, &st, &b).unwrap();
+            let interp = spgemm_with(Engine::Interp, &plan, &st, &b).unwrap();
+            assert_eq!(fast.row_ptr(), interp.row_ptr(), "{threads} threads");
+            assert_eq!(fast.col_idx(), interp.col_idx(), "{threads} threads");
+            for (f, i) in fast.vals().iter().zip(interp.vals()) {
+                assert_eq!(f.to_bits(), i.to_bits(), "{threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn spgemm_by_identity_is_a() {
+        let mut rng = Rng64::seed_from(14);
+        let a = gen::uniform_random(20, 20, 0.2, &mut rng);
+        let eye = CsrMatrix::from_coo(
+            &CooMatrix::from_triplets(20, 20, (0..20).map(|i| (i, i, 1.0))).unwrap(),
+        );
+        let space = Space::new(Kernel::SpGEMM, vec![20, 20], 20);
+        let c = run_spgemm(&a, &named::default_csr(&space), &space, &eye).unwrap();
+        let acsr = CsrMatrix::from_coo(&a);
+        assert_eq!(c.row_ptr(), acsr.row_ptr());
+        assert_eq!(c.col_idx(), acsr.col_idx());
+        for (x, y) in c.vals().iter().zip(acsr.vals()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn spgemm_sampled_schedules_match() {
+        let mut rng = Rng64::seed_from(15);
+        let a = gen::uniform_random(18, 16, 0.2, &mut rng);
+        let b = CsrMatrix::from_coo(&gen::uniform_random(16, 14, 0.25, &mut rng));
+        let space = Space::new(Kernel::SpGEMM, vec![18, 16], 14);
+        let reference = run_spgemm(&a, &named::default_csr(&space), &space, &b)
+            .unwrap()
+            .to_coo()
+            .to_dense();
+        let mut tested = 0;
+        for sched in ScheduleSampler::new(&space, 15).take_schedules(25) {
+            if let Ok(c) = run_spgemm(&a, &sched, &space, &b) {
+                tested += 1;
+                close_m(&c.to_coo().to_dense(), &reference, 1e-3);
+            }
+        }
+        assert!(tested > 5);
+    }
+
+    fn run_fused(
+        a: &CooMatrix,
+        sched: &SuperSchedule,
+        space: &Space,
+        b: &DenseMatrix,
+        c: &DenseMatrix,
+        f: &DenseMatrix,
+    ) -> Result<DenseMatrix> {
+        Executor::planned()
+            .prepare(a, sched, space)?
+            .run(KernelArgs::SddmmSpmm { b, c, f })?
+            .into_matrix()
+    }
+
+    /// The fused kernel must be bit-identical to running SDDMM then SpMM
+    /// unfused over the intermediate — the tentpole equivalence claim.
+    #[test]
+    fn fused_sddmm_spmm_is_bit_identical_to_unfused() {
+        let mut rng = Rng64::seed_from(16);
+        let a = gen::powerlaw_rows(40, 36, 4.0, 1.2, &mut rng);
+        let (nk, nt) = (6usize, 8usize);
+        let b = DenseMatrix::from_fn(40, nk, |r, c| ((r * 3 + c) % 7) as f32 * 0.2 - 0.5);
+        let c = DenseMatrix::from_fn(nk, 36, |r, c| ((r + 2 * c) % 5) as f32 * 0.3 - 0.6);
+        let f = DenseMatrix::from_fn(36, nt, |r, c| ((r ^ c) % 9) as f32 * 0.15 - 0.4);
+
+        for threads in [1usize, 4] {
+            let space =
+                Space::new(Kernel::SddmmSpmm, vec![40, 36], nk).with_thread_options(vec![threads]);
+            let sched = named::default_csr(&space);
+            let (plan, st) = lower_2d(&a, &sched, &space).unwrap();
+            assert_eq!(plan.fast_path(), FastPath::FusedSddmmSpmm);
+            let fused = sddmm_spmm_with(Engine::Plan, &plan, &st, &b, &c, &f).unwrap();
+
+            // Unfused: SDDMM through the executor, then a CSR SpMM of the
+            // intermediate against F.
+            let sd_space =
+                Space::new(Kernel::SDDMM, vec![40, 36], nk).with_thread_options(vec![threads]);
+            let inter = run_sddmm(&a, &named::default_csr(&sd_space), &sd_space, &b, &c).unwrap();
+            let sp_space =
+                Space::new(Kernel::SpMM, vec![40, 36], nt).with_thread_options(vec![threads]);
+            let unfused = run_spmm(&inter, &named::default_csr(&sp_space), &sp_space, &f).unwrap();
+
+            for (x, y) in fused.as_slice().iter().zip(unfused.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_fast_path_is_bit_identical_to_the_interpreter() {
+        let mut rng = Rng64::seed_from(17);
+        let a = gen::uniform_random(32, 30, 0.15, &mut rng);
+        let b = DenseMatrix::from_fn(32, 5, |r, c| (r + c) as f32 * 0.1);
+        let c = DenseMatrix::from_fn(5, 30, |r, c| (r * 2 + c) as f32 * 0.05 - 0.3);
+        let f = DenseMatrix::from_fn(30, 6, |r, c| ((r + 3 * c) % 8) as f32 * 0.25 - 1.0);
+        let space = Space::new(Kernel::SddmmSpmm, vec![32, 30], 5);
+        let sched = named::default_csr(&space);
         let (plan, st) = lower_2d(&a, &sched, &space).unwrap();
-        let planned = spmv_plan(&plan, &st, &x).unwrap();
-        let interp = spmv_interpreted(&plan, &st, &x).unwrap();
-        assert!(planned.max_abs_diff(&interp) == 0.0);
+        assert_eq!(plan.fast_path(), FastPath::FusedSddmmSpmm);
+        let fast = sddmm_spmm_with(Engine::Plan, &plan, &st, &b, &c, &f).unwrap();
+        let interp = sddmm_spmm_with(Engine::Interp, &plan, &st, &b, &c, &f).unwrap();
+        for (x, y) in fast.as_slice().iter().zip(interp.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn fused_sampled_schedules_match() {
+        let mut rng = Rng64::seed_from(18);
+        let a = gen::uniform_random(20, 18, 0.2, &mut rng);
+        let b = DenseMatrix::from_fn(20, 4, |r, c| (r + c) as f32 * 0.2 - 0.7);
+        let c = DenseMatrix::from_fn(4, 18, |r, c| (2 * r + c) as f32 * 0.1 - 0.4);
+        let f = DenseMatrix::from_fn(18, 5, |r, c| ((r * c) % 6) as f32 * 0.3 - 0.5);
+        let space = Space::new(Kernel::SddmmSpmm, vec![20, 18], 4);
+        let reference = run_fused(&a, &named::default_csr(&space), &space, &b, &c, &f).unwrap();
+        let mut tested = 0;
+        for sched in ScheduleSampler::new(&space, 18).take_schedules(25) {
+            if let Ok(e) = run_fused(&a, &sched, &space, &b, &c, &f) {
+                tested += 1;
+                close_m(&e, &reference, 1e-3);
+            }
+        }
+        assert!(tested > 5);
+    }
+
+    #[test]
+    fn workspace_operand_shapes_rejected() {
+        let a = gen::mesh2d(4, 4);
+        let space = Space::new(Kernel::SpGEMM, vec![16, 16], 12);
+        let sched = named::default_csr(&space);
+        let wrong = CsrMatrix::from_coo(&gen::mesh2d(3, 3));
+        let r = run_spgemm(&a, &sched, &space, &wrong);
+        assert!(matches!(r, Err(ExecError::OperandMismatch(_))));
+
+        let space = Space::new(Kernel::SddmmSpmm, vec![16, 16], 4);
+        let sched = named::default_csr(&space);
+        let b = DenseMatrix::zeros(16, 4);
+        let c = DenseMatrix::zeros(4, 16);
+        let f = DenseMatrix::zeros(9, 3); // wrong row count
+        let r = run_fused(&a, &sched, &space, &b, &c, &f);
+        assert!(matches!(r, Err(ExecError::OperandMismatch(_))));
     }
 }

@@ -23,14 +23,17 @@
 //! spec ([`waco_format::SparseStorage`]): the generic op executor
 //! ([`plan::ExecutionPlan::walk`]), a monomorphized specialization tier for
 //! hot shapes ([`plan::FastPath`]: direct CSR rows, register-tiled SpMM,
-//! BCSR dense-block micro-kernels, and a discordant transpose-permutation
-//! stream), and the dynamic reference interpreter ([`nest::LoopNest`]) that
-//! re-derives every decision per walk and anchors the plan-equivalence
-//! differential suite.
+//! BCSR dense-block micro-kernels, a discordant transpose-permutation
+//! stream, and the workspace kernels — row-wise Gustavson SpGEMM and the
+//! fused SDDMM+SpMM — which scatter/gather through a pooled dense
+//! temporary declared by the plan's `Workspace` op), and the dynamic
+//! reference interpreter ([`nest::LoopNest`]) that re-derives every
+//! decision per walk and anchors the plan-equivalence differential suite.
 //!
 //! The public entry is the unified [`Executor`] API: [`Executor::prepare`]
 //! lowers and converts once, [`PlannedKernel::run`] executes the four
-//! kernels of the paper (SpMV, SpMM, SDDMM, MTTKRP) against typed
+//! kernels of the paper (SpMV, SpMM, SDDMM, MTTKRP) plus the two
+//! workspace kernels (SpGEMM, fused SDDMM+SpMM) against typed
 //! [`KernelArgs`], and [`Backend`] selects the engine explicitly. Both
 //! walkers power the deterministic cost simulator in `waco-sim` through the
 //! [`nest::Instrument`] hook with identical event streams, so simulated and
@@ -62,6 +65,7 @@ pub mod kernels;
 pub mod nest;
 pub mod parallel;
 pub mod plan;
+pub(crate) mod workspace;
 
 pub use executor::{Backend, Executor, KernelArgs, KernelOutput, PlannedKernel};
 pub use nest::{Ctx, Instrument, LoopNest, NoInstrument};

@@ -115,6 +115,17 @@ pub enum PlanOp {
         /// Precomputed probe strategy for the level.
         kind: LocateKind,
     },
+    /// A dense temporary (workspace) scoped to the enclosing loop iteration:
+    /// the kernel allocates (or reuses, via the pool in
+    /// `crate::workspace`) an `extent`-wide dense buffer, scatter-accumulates
+    /// into it inside the sub-nest, and gather-resets the touched entries on
+    /// the way out. The generic op executor passes through (it materializes
+    /// a full dense accumulator instead); the workspace fast paths own the
+    /// buffer's lifecycle.
+    Workspace {
+        /// Pre-resolved extent of the dense temporary, in values.
+        extent: usize,
+    },
     /// The innermost kernel body, run once per reachable stored nonzero.
     Body,
 }
@@ -148,6 +159,15 @@ pub enum FastPath {
     /// entries into a transpose permutation (counting sort, O(nnz + ncols))
     /// and streams columns in order — closing the concordant/discordant gap.
     DiscordantCsr,
+    /// Row-wise Gustavson SpGEMM over row-major CSR: each output row is
+    /// scatter-accumulated into the plan's workspace, the touched columns
+    /// sorted, and the row compacted into CSR output.
+    GustavsonSpgemm,
+    /// Fused SDDMM+SpMM over row-major CSR: one pass over the sparse
+    /// operand's row computes the SDDMM values into the workspace and
+    /// immediately gathers them through the dense `F` operand — the
+    /// intermediate sparse product is never materialized.
+    FusedSddmmSpmm,
 }
 
 impl FastPath {
@@ -160,6 +180,8 @@ impl FastPath {
             FastPath::RegBlockSpmm => "reg_block_spmm",
             FastPath::BcsrBlock => "bcsr_block",
             FastPath::DiscordantCsr => "discordant_csr",
+            FastPath::GustavsonSpgemm => "gustavson_spgemm",
+            FastPath::FusedSddmmSpmm => "fused_sddmm_spmm",
         }
     }
 
@@ -172,6 +194,8 @@ impl FastPath {
             FastPath::RegBlockSpmm => "exec.plan.fastpath.reg_block_spmm",
             FastPath::BcsrBlock => "exec.plan.fastpath.bcsr_block",
             FastPath::DiscordantCsr => "exec.plan.fastpath.discordant_csr",
+            FastPath::GustavsonSpgemm => "exec.plan.fastpath.gustavson_spgemm",
+            FastPath::FusedSddmmSpmm => "exec.plan.fastpath.fused_sddmm_spmm",
         }
     }
 
@@ -183,6 +207,8 @@ impl FastPath {
             FastPath::RegBlockSpmm => "reg-block-spmm (register-tiled column blocks)",
             FastPath::BcsrBlock => "bcsr-block (unrolled dense block micro-kernel)",
             FastPath::DiscordantCsr => "discordant-csr (transpose-permutation column stream)",
+            FastPath::GustavsonSpgemm => "gustavson-spgemm (row-wise workspace accumulator)",
+            FastPath::FusedSddmmSpmm => "fused-sddmm-spmm (one-pass workspace row)",
         }
     }
 }
@@ -268,7 +294,7 @@ impl ExecutionPlan {
         let dim_extents: Vec<usize> = (0..ndims).map(|d| space.dim_extent(d)).collect();
         let nlevels = level_var.len();
 
-        let ops = lower_ops(
+        let mut ops = lower_ops(
             &order,
             &order_extents,
             &level_var,
@@ -277,6 +303,17 @@ impl ExecutionPlan {
             &spec,
             sched.parallel.as_ref(),
         );
+        if space.kernel.uses_workspace() {
+            // The workspace is scoped to one iteration of the outermost
+            // (row) loop: allocated (or fetched from the reuse pool) on
+            // entry, gather-reset on exit. Its extent is pre-resolved here
+            // so execution never sizes a buffer per row.
+            let extent = match space.kernel {
+                Kernel::SpGEMM => space.dense_extent,
+                _ => space.sparse_dims[1],
+            };
+            ops.insert(1, PlanOp::Workspace { extent });
+        }
         let (fast, fast_why) =
             detect_fast(space.kernel, &spec, &order, &splits, space.dense_extent);
 
@@ -388,6 +425,15 @@ impl ExecutionPlan {
         self.fast
     }
 
+    /// The pre-resolved extent of the plan's dense temporary, if the plan
+    /// carries a [`PlanOp::Workspace`] op (SpGEMM / fused SDDMM+SpMM).
+    pub fn workspace_extent(&self) -> Option<usize> {
+        self.ops.iter().find_map(|op| match *op {
+            PlanOp::Workspace { extent } => Some(extent),
+            _ => None,
+        })
+    }
+
     /// Why [`ExecutionPlan::fast_path`] was selected — or, for
     /// [`FastPath::None`], the first predicate that failed. Surfaced by
     /// `waco-cli plan` so tuning decisions are debuggable.
@@ -452,7 +498,7 @@ impl ExecutionPlan {
                 PlanOp::ParallelChunk { extent, .. } | PlanOp::DenseLoop { extent, .. } => {
                     est *= extent as f64;
                 }
-                PlanOp::Locate { .. } | PlanOp::Body => {}
+                PlanOp::Locate { .. } | PlanOp::Workspace { .. } | PlanOp::Body => {}
             }
         }
         est
@@ -512,6 +558,12 @@ impl ExecutionPlan {
                         s,
                         "{pad}locate level {level} ({}) via {strategy}",
                         self.level_name(level)
+                    );
+                }
+                PlanOp::Workspace { extent } => {
+                    let _ = writeln!(
+                        s,
+                        "{pad}workspace extent {extent} (dense temporary, pooled)"
                     );
                 }
                 PlanOp::Body => {
@@ -651,10 +703,13 @@ fn detect_fast(
         LevelFormat::Uncompressed,
         LevelFormat::Uncompressed,
     ];
-    if !matches!(kernel, Kernel::SpMV | Kernel::SpMM) {
+    if !matches!(
+        kernel,
+        Kernel::SpMV | Kernel::SpMM | Kernel::SpGEMM | Kernel::SddmmSpmm
+    ) {
         return (
             FastPath::None,
-            "only SpMV and SpMM have monomorphized kernels",
+            "only SpMV and SpMM (and the workspace kernels) have monomorphized kernels",
         );
     }
     if spec.order() != csr_order {
@@ -668,6 +723,33 @@ fn detect_fast(
             FastPath::None,
             "level formats are not the CSR family U C U U",
         );
+    }
+    if kernel.uses_workspace() {
+        // The workspace fast paths are strictly per-row: the dense
+        // temporary's lifecycle is tied to one output row, so the sparse
+        // operand must be unsplit row-major CSR walked rows-outermost.
+        if !splits[..2].iter().all(|&s| s == 1) {
+            return (
+                FastPath::None,
+                "workspace kernels require unit sparse splits (per-row temporary)",
+            );
+        }
+        if order.first().copied() != Some(LoopVar::outer(0)) {
+            return (
+                FastPath::None,
+                "workspace kernels need rows outermost (the temporary is row-scoped)",
+            );
+        }
+        return match kernel {
+            Kernel::SpGEMM => (
+                FastPath::GustavsonSpgemm,
+                "row-major CSR SpGEMM with rows outermost: Gustavson workspace accumulator",
+            ),
+            _ => (
+                FastPath::FusedSddmmSpmm,
+                "row-major CSR with rows outermost: fused SDDMM+SpMM over a workspace row",
+            ),
+        };
     }
     let nsparse = kernel.sparse_ndims();
     if splits[..nsparse].iter().all(|&s| s == 1) {
@@ -777,6 +859,10 @@ impl<I: Instrument, F: FnMut(&Ctx<'_>, usize, Value)> PlanExec<'_, '_, I, F> {
                     self.step(idx + 1, child);
                 }
             }
+            // The generic executor materializes a full dense accumulator
+            // (see `kernels.rs`), so the per-iteration temporary is a
+            // structural marker here — the workspace fast paths own it.
+            PlanOp::Workspace { .. } => self.step(idx + 1, pos),
         }
     }
 }
@@ -945,6 +1031,35 @@ mod tests {
         assert_eq!(plan.fast_path(), FastPath::DiscordantCsr);
         assert!(!plan.is_concordant_csr());
         assert!(plan.parallel().is_none(), "k is a reduction dim");
+    }
+
+    #[test]
+    fn workspace_kernels_lower_with_a_workspace_op() {
+        for kernel in [Kernel::SpGEMM, Kernel::SddmmSpmm] {
+            let space = Space::new(kernel, vec![16, 12], 8);
+            let sched = named::default_csr(&space);
+            let plan = ExecutionPlan::build(&sched, &space).unwrap();
+            // The temporary sits directly inside the outer row loop.
+            assert!(matches!(plan.ops()[1], PlanOp::Workspace { .. }));
+            let want = if kernel == Kernel::SpGEMM { 8 } else { 12 };
+            assert_eq!(plan.workspace_extent(), Some(want));
+            let text = plan.describe();
+            assert!(text.contains("workspace extent"));
+            assert_eq!(text.lines().count(), 2 + plan.ops().len());
+        }
+        let space = Space::new(Kernel::SpGEMM, vec![16, 12], 8);
+        let plan = ExecutionPlan::build(&named::default_csr(&space), &space).unwrap();
+        assert_eq!(plan.fast_path(), FastPath::GustavsonSpgemm);
+        let space = Space::new(Kernel::SddmmSpmm, vec![16, 12], 8);
+        let plan = ExecutionPlan::build(&named::default_csr(&space), &space).unwrap();
+        assert_eq!(plan.fast_path(), FastPath::FusedSddmmSpmm);
+        // Splitting the sparse dims forfeits the per-row fast path but
+        // keeps the workspace op (the generic executor still runs).
+        let mut split = named::default_csr(&space);
+        split.splits = vec![4, 4, 1];
+        let plan = ExecutionPlan::build(&split, &space).unwrap();
+        assert_eq!(plan.fast_path(), FastPath::None);
+        assert!(plan.workspace_extent().is_some());
     }
 
     #[test]

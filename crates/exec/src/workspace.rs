@@ -1,0 +1,122 @@
+//! The dense-temporary reuse pool behind [`crate::plan::PlanOp::Workspace`].
+//!
+//! The workspace kernels (SpGEMM, fused SDDMM+SpMM) scatter-accumulate each
+//! output row into a dense buffer and gather-reset the touched entries on
+//! the way out. The buffer's extent is pre-resolved at plan-build time
+//! ([`crate::plan::ExecutionPlan::workspace_extent`]), and this module keeps
+//! released buffers in a process-wide pool keyed by extent so hot serve
+//! paths — the same `PlannedKernel` run many times — never re-allocate:
+//!
+//! * [`acquire`] pops a zeroed buffer from the pool (counter
+//!   `exec.workspace.reuse`) or allocates a fresh one (counter
+//!   `exec.workspace.alloc`);
+//! * [`release`] returns the buffer to the pool. The kernel must have
+//!   gather-reset every touched entry first — the pool's invariant is that
+//!   every pooled buffer is all-zero, which is what makes `acquire` O(1)
+//!   instead of O(extent).
+//!
+//! The pool is bounded per extent so a burst of parallel workers cannot
+//! pin unbounded memory; overflow buffers are simply dropped.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+use waco_tensor::Value;
+
+/// Buffers kept per distinct extent: enough for every worker of the
+/// largest thread menu to hold one, without letting the pool grow without
+/// bound under churn.
+const MAX_POOLED_PER_EXTENT: usize = 64;
+
+/// A dense temporary plus its touched-coordinate list. The kernel owns the
+/// scatter/gather discipline: scatter-accumulate into `buf` while pushing
+/// the coordinate onto `touched`, then gather every touched entry, writing
+/// `0.0` back, before [`release`].
+pub(crate) struct Workspace {
+    /// The dense accumulator row; all-zero between rows.
+    pub(crate) buf: Vec<Value>,
+    /// Coordinates scattered to since the last gather-reset (may contain
+    /// duplicates; gatherers sort+dedup or exploit insertion order).
+    pub(crate) touched: Vec<usize>,
+}
+
+fn pool() -> &'static Mutex<HashMap<usize, Vec<Workspace>>> {
+    static POOL: OnceLock<Mutex<HashMap<usize, Vec<Workspace>>>> = OnceLock::new();
+    POOL.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// A zeroed workspace of exactly `extent` values: pooled if one is
+/// available, freshly allocated otherwise.
+pub(crate) fn acquire(extent: usize) -> Workspace {
+    let reused = pool()
+        .lock()
+        .ok()
+        .and_then(|mut p| p.get_mut(&extent).and_then(Vec::pop));
+    match reused {
+        Some(ws) => {
+            debug_assert!(
+                ws.buf.iter().all(|&v| v == 0.0),
+                "pooled workspaces are all-zero"
+            );
+            if waco_obs::enabled() {
+                waco_obs::counter("exec.workspace.reuse", 1);
+            }
+            ws
+        }
+        None => {
+            if waco_obs::enabled() {
+                waco_obs::counter("exec.workspace.alloc", 1);
+            }
+            Workspace {
+                buf: vec![0.0; extent],
+                touched: Vec::new(),
+            }
+        }
+    }
+}
+
+/// Returns a gather-reset workspace to the pool (or drops it when the
+/// pool for its extent is full).
+pub(crate) fn release(mut ws: Workspace) {
+    debug_assert!(
+        ws.buf.iter().all(|&v| v == 0.0),
+        "workspace released without a gather-reset"
+    );
+    ws.touched.clear();
+    if let Ok(mut p) = pool().lock() {
+        let bucket = p.entry(ws.buf.len()).or_default();
+        if bucket.len() < MAX_POOLED_PER_EXTENT {
+            bucket.push(ws);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_roundtrip_reuses_the_buffer() {
+        // A deliberately odd extent so concurrent tests using the pool
+        // cannot collide with this bucket.
+        const EXTENT: usize = 12_347;
+        let ws = acquire(EXTENT);
+        assert_eq!(ws.buf.len(), EXTENT);
+        assert!(ws.touched.is_empty());
+        let ptr = ws.buf.as_ptr();
+        release(ws);
+        let ws = acquire(EXTENT);
+        assert_eq!(ws.buf.as_ptr(), ptr, "same allocation came back");
+        assert!(ws.buf.iter().all(|&v| v == 0.0));
+        release(ws);
+    }
+
+    #[test]
+    fn distinct_extents_use_distinct_buckets() {
+        let a = acquire(12_553);
+        let b = acquire(12_959);
+        release(a);
+        release(b);
+        assert_eq!(acquire(12_553).buf.len(), 12_553);
+        assert_eq!(acquire(12_959).buf.len(), 12_959);
+    }
+}

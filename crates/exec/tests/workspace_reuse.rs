@@ -1,0 +1,114 @@
+//! Workspace-reuse property: a `PlannedKernel` run twice must produce
+//! bit-identical output with zero additional workspace allocations — the
+//! second run draws every dense temporary from the pool
+//! (`exec.workspace.alloc` stays flat, `exec.workspace.reuse` grows).
+//!
+//! This lives in its own integration-test binary so the process-global
+//! observability counters cannot be polluted by unrelated unit tests
+//! running in parallel.
+
+use std::sync::Mutex;
+use waco_exec::{Executor, KernelArgs};
+use waco_schedule::{named, Kernel, Space};
+use waco_tensor::gen::{self, Rng64};
+use waco_tensor::{CsrMatrix, DenseMatrix};
+
+/// The observability sink and the workspace pool are process-global, so
+/// the two counter-asserting tests must not interleave.
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+#[test]
+fn second_run_is_bit_identical_with_zero_new_allocations() {
+    let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut rng = Rng64::seed_from(41);
+    let a = gen::uniform_random(64, 56, 0.1, &mut rng);
+    let b = CsrMatrix::from_coo(&gen::uniform_random(56, 48, 0.1, &mut rng));
+
+    let space = Space::new(Kernel::SpGEMM, vec![64, 56], 48);
+    let sched = named::default_csr(&space);
+    let planned = Executor::planned().prepare(&a, &sched, &space).unwrap();
+
+    waco_obs::install();
+    waco_obs::reset();
+
+    let first = planned
+        .run(KernelArgs::Spgemm { b: &b })
+        .unwrap()
+        .into_csr()
+        .unwrap();
+    let after_first = waco_obs::snapshot();
+    let allocs_first = after_first.counter("exec.workspace.alloc");
+    assert!(
+        allocs_first >= 1,
+        "a cold run allocates its workspace (got {allocs_first})"
+    );
+
+    let second = planned
+        .run(KernelArgs::Spgemm { b: &b })
+        .unwrap()
+        .into_csr()
+        .unwrap();
+    let after_second = waco_obs::snapshot();
+    waco_obs::uninstall();
+
+    assert_eq!(
+        after_second.counter("exec.workspace.alloc"),
+        allocs_first,
+        "the warm run must not allocate: every workspace comes from the pool"
+    );
+    assert!(
+        after_second.counter("exec.workspace.reuse") > after_first.counter("exec.workspace.reuse"),
+        "the warm run draws from the pool"
+    );
+
+    assert_eq!(first.row_ptr(), second.row_ptr());
+    assert_eq!(first.col_idx(), second.col_idx());
+    for (x, y) in first.vals().iter().zip(second.vals()) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+}
+
+#[test]
+fn fused_kernel_reuses_its_workspace_across_runs() {
+    let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut rng = Rng64::seed_from(42);
+    let a = gen::uniform_random(48, 44, 0.12, &mut rng);
+    let b = DenseMatrix::from_fn(48, 6, |r, c| ((r + c) % 5) as f32 * 0.2 - 0.4);
+    let c = DenseMatrix::from_fn(6, 44, |r, c| ((2 * r + c) % 7) as f32 * 0.1 - 0.3);
+    let f = DenseMatrix::from_fn(44, 8, |r, c| ((r * 3 + c) % 9) as f32 * 0.25 - 1.0);
+
+    let space = Space::new(Kernel::SddmmSpmm, vec![48, 44], 6);
+    let sched = named::default_csr(&space);
+    let planned = Executor::planned().prepare(&a, &sched, &space).unwrap();
+
+    waco_obs::install();
+    waco_obs::reset();
+
+    let first = planned
+        .run(KernelArgs::SddmmSpmm {
+            b: &b,
+            c: &c,
+            f: &f,
+        })
+        .unwrap()
+        .into_matrix()
+        .unwrap();
+    let allocs_first = waco_obs::snapshot().counter("exec.workspace.alloc");
+
+    let second = planned
+        .run(KernelArgs::SddmmSpmm {
+            b: &b,
+            c: &c,
+            f: &f,
+        })
+        .unwrap()
+        .into_matrix()
+        .unwrap();
+    let allocs_second = waco_obs::snapshot().counter("exec.workspace.alloc");
+    waco_obs::uninstall();
+
+    assert_eq!(allocs_second, allocs_first, "warm run allocates nothing");
+    for (x, y) in first.as_slice().iter().zip(second.as_slice()) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+}

@@ -42,7 +42,9 @@ pub use sample::ScheduleSampler;
 
 use waco_format::{Axis, AxisPart, FormatSpec, LevelFormat};
 
-/// The four sparse tensor algebra kernels evaluated in the paper.
+/// The sparse tensor algebra kernels: the four of the paper plus the
+/// workspace family (SpGEMM and fused SDDMM+SpMM), which consume a second
+/// sparse operand and lower through a dense-temporary `Workspace` plan op.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Kernel {
     /// `C[i] = A[i,k] * B[k]` — sparse matrix × dense vector.
@@ -54,11 +56,23 @@ pub enum Kernel {
     /// `D[i,j] = A[i,k,l] * B[k,j] * C[l,j]` — matricized tensor times
     /// Khatri-Rao product.
     MTTKRP,
+    /// `C[i,j] = A[i,k] * B[k,j]` with *sparse* `B` — row-wise Gustavson
+    /// with a dense workspace row; output sparsity is data-dependent.
+    SpGEMM,
+    /// `E[i,t] = (A[i,j] * Σ_k B[i,k] C[k,j]) * F[j,t]` — SDDMM fused with
+    /// the following SpMM in one pass over `A`, the workspace holding the
+    /// intermediate SDDMM row.
+    SddmmSpmm,
 }
 
 impl Kernel {
-    /// All kernels, in the paper's order.
+    /// The four kernels of the paper, in the paper's order. The workspace
+    /// kernels ([`Kernel::SpGEMM`], [`Kernel::SddmmSpmm`]) are opt-in and
+    /// deliberately excluded so training/table experiments are unchanged.
     pub const ALL: [Kernel; 4] = [Kernel::SpMV, Kernel::SpMM, Kernel::SDDMM, Kernel::MTTKRP];
+
+    /// The kernels that lower through a `Workspace` plan op.
+    pub const WORKSPACE: [Kernel; 2] = [Kernel::SpGEMM, Kernel::SddmmSpmm];
 
     /// Kernel dimension names, sparse-operand modes first, dense-only
     /// dimension (if any) last.
@@ -68,6 +82,11 @@ impl Kernel {
             Kernel::SpMM => &["i", "k", "j"],
             Kernel::SDDMM => &["i", "j", "k"],
             Kernel::MTTKRP => &["i", "k", "l", "j"],
+            // j is B's column dimension (the workspace extent).
+            Kernel::SpGEMM => &["i", "k", "j"],
+            // k is the SDDMM contraction dimension (the dense extent); the
+            // output dimension t comes from F at run time.
+            Kernel::SddmmSpmm => &["i", "j", "k"],
         }
     }
 
@@ -76,12 +95,20 @@ impl Kernel {
         match self {
             Kernel::SpMV | Kernel::SpMM | Kernel::SDDMM => 2,
             Kernel::MTTKRP => 3,
+            Kernel::SpGEMM | Kernel::SddmmSpmm => 2,
         }
     }
 
     /// Total number of kernel dimensions (sparse modes + dense-only dim).
     pub fn ndims(self) -> usize {
         self.dim_names().len()
+    }
+
+    /// Whether this kernel consumes a second *sparse* operand (`B` for
+    /// SpGEMM; `A` re-walked against dense `F` for the fused kernel's SpMM
+    /// half). These are the kernels whose plans carry a `Workspace` op.
+    pub fn uses_workspace(self) -> bool {
+        matches!(self, Kernel::SpGEMM | Kernel::SddmmSpmm)
     }
 
     /// Whether kernel dimension `dim` is a reduction dimension (parallelizing
@@ -91,6 +118,10 @@ impl Kernel {
             Kernel::SpMV | Kernel::SpMM => dim == 1, // k
             Kernel::SDDMM => dim == 2,               // k
             Kernel::MTTKRP => dim == 1 || dim == 2,  // k, l
+            Kernel::SpGEMM => dim == 1,              // k
+            // j feeds the workspace scatter and k the SDDMM dot; only i
+            // (independent output rows) is safe to parallelize.
+            Kernel::SddmmSpmm => dim == 1 || dim == 2,
         }
     }
 
@@ -108,6 +139,8 @@ impl std::fmt::Display for Kernel {
             Kernel::SpMM => "SpMM",
             Kernel::SDDMM => "SDDMM",
             Kernel::MTTKRP => "MTTKRP",
+            Kernel::SpGEMM => "SpGEMM",
+            Kernel::SddmmSpmm => "SDDMM+SpMM",
         };
         write!(f, "{s}")
     }
@@ -445,6 +478,35 @@ mod tests {
         assert!(Kernel::SDDMM.is_reduction(2));
         assert!(!Kernel::MTTKRP.is_splittable(3));
         assert!(Kernel::MTTKRP.is_reduction(2));
+    }
+
+    #[test]
+    fn workspace_kernel_metadata() {
+        // The workspace kernels are opt-in: ALL stays the paper's four.
+        assert_eq!(Kernel::ALL.len(), 4);
+        for k in Kernel::WORKSPACE {
+            assert!(k.uses_workspace());
+            assert_eq!(k.sparse_ndims(), 2);
+            assert_eq!(k.ndims(), 3);
+        }
+        assert!(!Kernel::SpMM.uses_workspace());
+        // SpGEMM mirrors SpMM's iteration shape (i, k reduction, j).
+        assert!(Kernel::SpGEMM.is_reduction(1));
+        assert!(!Kernel::SpGEMM.is_reduction(2));
+        // The fused kernel only parallelizes over rows.
+        assert!(Kernel::SddmmSpmm.is_reduction(1));
+        assert!(Kernel::SddmmSpmm.is_reduction(2));
+        assert!(!Kernel::SddmmSpmm.is_reduction(0));
+        // Both sample and validate through the generic Space machinery.
+        for k in Kernel::WORKSPACE {
+            let space = Space::new(k, vec![64, 48], 24);
+            let mut rng = Rng64::seed_from(9);
+            for _ in 0..8 {
+                let s = SuperSchedule::sample(&space, &mut rng);
+                s.validate(&space).unwrap();
+                assert!(s.a_format_spec(&space).is_ok());
+            }
+        }
     }
 
     #[test]

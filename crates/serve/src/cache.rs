@@ -228,6 +228,8 @@ pub fn kernel_name(k: Kernel) -> &'static str {
         Kernel::SpMM => "spmm",
         Kernel::SDDMM => "sddmm",
         Kernel::MTTKRP => "mttkrp",
+        Kernel::SpGEMM => "spgemm",
+        Kernel::SddmmSpmm => "sddmm_spmm",
     }
 }
 
@@ -238,6 +240,8 @@ pub fn kernel_from_name(name: &str) -> Option<Kernel> {
         "spmm" => Some(Kernel::SpMM),
         "sddmm" => Some(Kernel::SDDMM),
         "mttkrp" => Some(Kernel::MTTKRP),
+        "spgemm" => Some(Kernel::SpGEMM),
+        "sddmm_spmm" => Some(Kernel::SddmmSpmm),
         _ => None,
     }
 }

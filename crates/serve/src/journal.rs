@@ -36,8 +36,16 @@ use crate::fingerprint::fnv1a64;
 /// File magic.
 pub const JOURNAL_MAGIC: &[u8; 8] = b"WACOJRNL";
 /// Format version. Bump when the record payload schema or the fingerprint's
-/// canonical byte encoding changes.
-pub const JOURNAL_VERSION: u32 = 1;
+/// canonical byte encoding changes. Version 2 added the workspace kernels
+/// (`spgemm`, `sddmm_spmm`) to the key namespace; the record encoding is
+/// unchanged, so version-1 journals replay as-is and are upgraded to the
+/// current version on the next rewrite.
+pub const JOURNAL_VERSION: u32 = 2;
+
+/// Versions [`Journal::open`] accepts without re-initializing. All of them
+/// share the record encoding; older versions simply predate key kinds that
+/// newer writers may append.
+const COMPATIBLE_VERSIONS: [u32; 2] = [1, JOURNAL_VERSION];
 /// Largest record payload accepted on read (corruption guard).
 const MAX_RECORD_LEN: u32 = 16 << 20;
 /// Header length in bytes: magic + version.
@@ -111,7 +119,8 @@ impl Journal {
         // Header: brand-new file gets one; damaged header resets the file.
         let header_ok = bytes.len() >= HEADER_LEN as usize
             && &bytes[..8] == JOURNAL_MAGIC
-            && u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) == JOURNAL_VERSION;
+            && COMPATIBLE_VERSIONS
+                .contains(&u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")));
         if !header_ok {
             report.reinitialized = !bytes.is_empty();
             if report.reinitialized {
@@ -351,6 +360,43 @@ mod tests {
             "everything after the corrupt record goes"
         );
         assert!(rep.bytes_truncated > 0);
+    }
+
+    #[test]
+    fn version_1_journal_replays_without_reinit() {
+        let path = tmp("v1");
+        let (mut j, _, _) = Journal::open(&path, no_dead).unwrap();
+        j.append(b"pre-workspace-record").unwrap();
+        drop(j);
+
+        // Rewrite the header to the previous format version; the record
+        // encoding is shared, so replay must recover everything.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (mut j, recs, rep) = Journal::open(&path, no_dead).unwrap();
+        assert!(!rep.reinitialized, "version 1 is compatible, not damaged");
+        assert_eq!(recs, vec![b"pre-workspace-record".to_vec()]);
+        j.append(b"appended-by-v2-writer").unwrap();
+        drop(j);
+        let (_, recs, _) = Journal::open(&path, no_dead).unwrap();
+        assert_eq!(recs.len(), 2);
+    }
+
+    #[test]
+    fn unknown_version_reinitializes() {
+        let path = tmp("vfuture");
+        let (mut j, _, _) = Journal::open(&path, no_dead).unwrap();
+        j.append(b"x").unwrap();
+        drop(j);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (_, recs, rep) = Journal::open(&path, no_dead).unwrap();
+        assert!(recs.is_empty());
+        assert!(rep.reinitialized);
     }
 
     #[test]

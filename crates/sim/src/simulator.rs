@@ -22,6 +22,9 @@ pub struct SimReport {
     pub body_ns: f64,
     /// Memory cost (storage streaming + gather-operand misses), ns.
     pub mem_ns: f64,
+    /// Workspace scatter-accumulate + gather-reset cost (zero for kernels
+    /// without a dense temporary), ns.
+    pub workspace_ns: f64,
     /// Parallel overhead (spawn + chunk dispatch), ns.
     pub parallel_ns: f64,
     /// Innermost dense run length used for the SIMD decision.
@@ -32,7 +35,9 @@ pub struct SimReport {
     pub chunks: usize,
     /// Worker threads used (1 = serial).
     pub threads: usize,
-    /// Makespan / ideal-parallel-time ratio (1.0 = perfectly balanced).
+    /// Work-distribution quality: slowest thread's *work* span over the
+    /// ideal even split (1.0 = perfectly balanced). Dispatch and spawn
+    /// overheads are excluded — they are reported in `parallel_ns`.
     pub imbalance: f64,
     /// Gather-operand cache miss ratio.
     pub miss_ratio: f64,
@@ -78,7 +83,8 @@ impl Simulator {
             .with_thread_options(self.machine.thread_menu.clone())
     }
 
-    /// Simulates a 2-D kernel (SpMV / SpMM / SDDMM) on matrix `a`.
+    /// Simulates a 2-D kernel (SpMV / SpMM / SDDMM / SpGEMM / fused
+    /// SDDMM+SpMM) on sparse operand `a`.
     ///
     /// # Errors
     ///
@@ -221,6 +227,13 @@ impl Simulator {
                 (1, 1, 4 * space.dense_extent.max(1)), // B row k
                 (2, 1, 4 * space.dense_extent.max(1)), // C row l
             ],
+            // Sparse B's row k is the gathered operand (its CSR row, priced
+            // densely at the workspace width).
+            Kernel::SpGEMM => vec![(1, 1, 4 * space.dense_extent.max(1))],
+            Kernel::SddmmSpmm => vec![
+                (1, 1, 4 * space.dense_extent.max(1)), // C column j / F row j
+                (0, 1, 4 * space.dense_extent.max(1)), // B row i
+            ],
         };
         let share = gathers.len().max(1);
         let mut trackers: Vec<ReuseTracker> = gathers
@@ -255,13 +268,47 @@ impl Simulator {
             });
         }
 
-        // Charge costs from the walk totals.
+        // Charge costs from the walk totals. Fast-path classification runs
+        // against the *unreduced* space: the register-tiled SpMM variant
+        // only claims plans whose true dense extent reaches the tile width,
+        // which the reduced (dense-collapsed) plan cannot see.
+        let fast = ExecutionPlan::build(&serial_sched, space)
+            .map(|p| p.fast_path())
+            .unwrap_or(FastPath::None);
+        let (fp_traversal_factor, fp_body_factor) = fastpath_cost_factors(fast);
         let stream_lines = (st.storage_words() as f64 * 4.0 / m.line_bytes as f64).ceil() * d_above;
-        let traversal_ns = d_above
+        let generic_traversal_ns = d_above
             * (ev.concordant_steps as f64 * m.cost_concordant
                 + ev.dense_steps as f64 * m.cost_dense_iter
                 + ev.locate_probes as f64 * m.cost_locate_probe);
-        let body_ns = ev.bodies as f64 * d_total.max(1.0) * m.cost_body / simd;
+        let generic_body_ns = ev.bodies as f64 * d_total.max(1.0) * m.cost_body / simd;
+        // Price the tier the executor would actually run, not the generic
+        // nest: monomorphized kernels skip the per-op plan dispatch, so
+        // simulated and measured fast-path ratios agree in sign.
+        let traversal_ns = generic_traversal_ns * fp_traversal_factor;
+        let body_ns = generic_body_ns * fp_body_factor;
+        let fastpath_saved_ns =
+            (generic_traversal_ns - traversal_ns) + (generic_body_ns - body_ns);
+        // Workspace kernels: price the dense-temporary lifecycle explicitly.
+        // SpGEMM scatters up to a B-row (dense upper bound |j|) per visited
+        // nonzero and gathers each touched entry once at row compaction; the
+        // fused kernel scatters one SDDMM value per stored entry and gathers
+        // it back in the fused SpMM half.
+        let (ws_scatter, ws_gather): (f64, f64) = match kernel {
+            Kernel::SpGEMM => {
+                let s = ev.bodies as f64 * d_total.max(1.0);
+                (s, s)
+            }
+            Kernel::SddmmSpmm => (ev.bodies as f64, ev.bodies as f64),
+            _ => (0.0, 0.0),
+        };
+        let workspace_extent = match kernel {
+            Kernel::SpGEMM => space.dense_extent,
+            Kernel::SddmmSpmm => space.sparse_dims[1],
+            _ => 0,
+        };
+        let workspace_ns = (ws_scatter + ws_gather) * m.cost_dense_iter
+            + (workspace_extent as f64 * 4.0 / m.line_bytes as f64).ceil() * m.cost_mem_line;
         let gather_lines: f64 = {
             let unit_lines: f64 = gathers
                 .iter()
@@ -272,7 +319,7 @@ impl Simulator {
             total_misses as f64 * unit_lines
         };
         let mem_ns = (gather_lines + stream_lines) * m.cost_mem_line;
-        let work = traversal_ns + body_ns + mem_ns;
+        let work = traversal_ns + body_ns + mem_ns + workspace_ns;
 
         // OpenMP `schedule(dynamic, chunk)` over the parallel variable:
         // greedy list scheduling of per-chunk work (from the per-coordinate
@@ -295,15 +342,17 @@ impl Simulator {
             None => 0.0,
         };
         let speed = m.thread_speed(threads);
-        let (makespan, parallel_ns, nchunks) = if threads <= 1 {
-            (work, 0.0, 1usize)
+        let (makespan, balance_span, parallel_ns, nchunks) = if threads <= 1 {
+            (work, work, 0.0, 1usize)
         } else if parallel_over_dense {
             let p = par.expect("threads > 1 implies parallel");
             let nchunks = sched.loop_extent(space, p.var).div_ceil(p.chunk.max(1));
             let dispatch = nchunks as f64 * dispatch_each;
             let overhead = m.cost_thread_spawn + dispatch;
+            let even = work / (threads as f64 * speed);
             (
-                work / (threads as f64 * speed) + dispatch / threads as f64 + m.cost_thread_spawn,
+                even + dispatch / threads as f64 + m.cost_thread_spawn,
+                even,
                 overhead,
                 nchunks,
             )
@@ -319,20 +368,26 @@ impl Simulator {
             let ranges = chunk_ranges(par_extent, p.chunk);
             let nchunks = ranges.len();
             let mut finish = vec![0.0f64; threads];
+            // Work-only finish times feed `imbalance`: dispatch cost is a
+            // real makespan term but not a distribution-quality signal (it
+            // is reported separately in `parallel_ns`).
+            let mut work_finish = vec![0.0f64; threads];
             for range in ranges {
                 let c: f64 = coord_cost[range].iter().sum();
                 let t = (0..threads)
                     .min_by(|&a, &b| finish[a].total_cmp(&finish[b]))
                     .expect("threads > 0");
                 finish[t] += c / speed + dispatch_each;
+                work_finish[t] += c / speed;
             }
             // Each of the `regions` re-entries schedules 1/regions of every
             // coordinate's work, so the summed makespan ≈ `span`; the spawn
             // cost is paid once per region.
             let span = finish.iter().copied().fold(0.0, f64::max);
+            let work_span = work_finish.iter().copied().fold(0.0, f64::max);
             let spawn = m.cost_thread_spawn * regions.max(1.0);
             let overhead = spawn + nchunks as f64 * dispatch_each;
-            (span + spawn, overhead, nchunks)
+            (span + spawn, work_span, overhead, nchunks)
         };
 
         let ideal = if threads <= 1 {
@@ -348,20 +403,46 @@ impl Simulator {
 
         if waco_obs::enabled() {
             waco_obs::counter("sim.kernels_timed", 1);
-            // Which specialization tier variant the executed plan would take.
-            // The simulator prices the generic nest either way (fast paths
-            // preserve traversal semantics), but the counter makes tuner
-            // decisions that reach the tier observable.
-            waco_obs::counter(
-                match plan.fast_path() {
-                    FastPath::CsrRows => "sim.plan.fastpath.csr_rows",
-                    FastPath::RegBlockSpmm => "sim.plan.fastpath.reg_block_spmm",
-                    FastPath::BcsrBlock => "sim.plan.fastpath.bcsr_block",
-                    FastPath::DiscordantCsr => "sim.plan.fastpath.discordant_csr",
-                    FastPath::None => "sim.plan.fastpath.none",
-                },
-                1,
-            );
+            // Which specialization tier variant the plan takes, plus the ns
+            // the variant's pricing saved over the generic nest — one event
+            // pair per variant so simulated and measured ratios can be
+            // compared directly from a trace.
+            let (fp_counter, fp_saved) = match fast {
+                FastPath::CsrRows => (
+                    "sim.plan.fastpath.csr_rows",
+                    "sim.plan.fastpath.csr_rows_saved_ns",
+                ),
+                FastPath::RegBlockSpmm => (
+                    "sim.plan.fastpath.reg_block_spmm",
+                    "sim.plan.fastpath.reg_block_spmm_saved_ns",
+                ),
+                FastPath::BcsrBlock => (
+                    "sim.plan.fastpath.bcsr_block",
+                    "sim.plan.fastpath.bcsr_block_saved_ns",
+                ),
+                FastPath::DiscordantCsr => (
+                    "sim.plan.fastpath.discordant_csr",
+                    "sim.plan.fastpath.discordant_csr_saved_ns",
+                ),
+                FastPath::GustavsonSpgemm => (
+                    "sim.plan.fastpath.gustavson_spgemm",
+                    "sim.plan.fastpath.gustavson_spgemm_saved_ns",
+                ),
+                FastPath::FusedSddmmSpmm => (
+                    "sim.plan.fastpath.fused_sddmm_spmm",
+                    "sim.plan.fastpath.fused_sddmm_spmm_saved_ns",
+                ),
+                FastPath::None => ("sim.plan.fastpath.none", "sim.plan.fastpath.none_saved_ns"),
+            };
+            waco_obs::counter(fp_counter, 1);
+            if fast != FastPath::None {
+                waco_obs::record(fp_saved, fastpath_saved_ns);
+            }
+            if kernel.uses_workspace() {
+                waco_obs::counter("sim.workspace.scatter", ws_scatter as u64);
+                waco_obs::counter("sim.workspace.gather", ws_gather as u64);
+                waco_obs::record("sim.workspace.ns", workspace_ns);
+            }
             waco_obs::counter("sim.concordant_steps", ev.concordant_steps);
             waco_obs::counter("sim.dense_steps", ev.dense_steps);
             waco_obs::counter("sim.locate_probes", ev.locate_probes);
@@ -377,12 +458,13 @@ impl Simulator {
             traversal_ns,
             body_ns,
             mem_ns,
+            workspace_ns,
             parallel_ns,
             simd_run,
             simd_factor: simd,
             chunks: nchunks,
             threads,
-            imbalance: if ideal > 0.0 { makespan / ideal } else { 1.0 },
+            imbalance: if ideal > 0.0 { balance_span / ideal } else { 1.0 },
             miss_ratio: if hits + misses == 0 {
                 0.0
             } else {
@@ -396,6 +478,23 @@ impl Simulator {
     /// storage words.
     pub fn convert_seconds(&self, st: &SparseStorage) -> f64 {
         st.storage_words() as f64 * self.machine.cost_convert_word * 1e-9
+    }
+}
+
+/// Cost multipliers `(traversal, body)` for the specialized kernel tier,
+/// calibrated against the measured `fastpath_tier` microbench ratios: the
+/// monomorphized kernels skip the plan walker's per-op dispatch (traversal
+/// shrinks sharply) and the tiled variants additionally keep accumulators in
+/// registers (body shrinks). `None` prices the generic nest unchanged.
+fn fastpath_cost_factors(fp: FastPath) -> (f64, f64) {
+    match fp {
+        FastPath::None => (1.0, 1.0),
+        FastPath::CsrRows => (0.35, 0.9),
+        FastPath::RegBlockSpmm => (0.35, 0.7),
+        FastPath::BcsrBlock => (0.45, 0.7),
+        FastPath::DiscordantCsr => (0.5, 0.9),
+        FastPath::GustavsonSpgemm => (0.4, 0.9),
+        FastPath::FusedSddmmSpmm => (0.4, 0.8),
     }
 }
 

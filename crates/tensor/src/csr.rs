@@ -44,6 +44,61 @@ impl CsrMatrix {
         }
     }
 
+    /// Assembles CSR directly from raw arrays, skipping the COO round-trip
+    /// (and its O(nnz log nnz) sort) for producers that already emit rows
+    /// in order — e.g. the row-wise Gustavson SpGEMM kernel.
+    ///
+    /// # Errors
+    ///
+    /// [`TensorError::InvalidDims`] when the dims are zero, `row_ptr` is not
+    /// a monotone cover of `col_idx`/`vals`, or a row's columns are not
+    /// strictly ascending and in bounds.
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        vals: Vec<Value>,
+    ) -> crate::Result<Self> {
+        let bad = |msg: String| crate::TensorError::InvalidDims(msg);
+        if nrows == 0 || ncols == 0 {
+            return Err(bad(format!(
+                "matrix dimensions must be positive, got {nrows}x{ncols}"
+            )));
+        }
+        if row_ptr.len() != nrows + 1
+            || row_ptr[0] != 0
+            || row_ptr[nrows] != col_idx.len()
+            || col_idx.len() != vals.len()
+        {
+            return Err(bad(format!(
+                "row_ptr (len {}) does not cover {} columns / {} values over {nrows} rows",
+                row_ptr.len(),
+                col_idx.len(),
+                vals.len()
+            )));
+        }
+        for r in 0..nrows {
+            let (lo, hi) = (row_ptr[r], row_ptr[r + 1]);
+            if lo > hi {
+                return Err(bad(format!("row_ptr decreases at row {r}")));
+            }
+            let row = &col_idx[lo..hi];
+            if row.windows(2).any(|w| w[0] >= w[1]) || row.last().is_some_and(|&c| c >= ncols) {
+                return Err(bad(format!(
+                    "row {r} columns are not strictly ascending within 0..{ncols}"
+                )));
+            }
+        }
+        Ok(Self {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            vals,
+        })
+    }
+
     /// Converts back to COO.
     pub fn to_coo(&self) -> CooMatrix {
         let mut triplets = Vec::with_capacity(self.nnz());
@@ -214,6 +269,34 @@ mod tests {
         assert_eq!(csr.nnz(), 5);
         assert_eq!(csr.row_ptr(), &[0, 2, 3, 5]);
         assert_eq!(csr.to_coo(), coo);
+    }
+
+    #[test]
+    fn from_parts_matches_from_coo() {
+        let via_coo = CsrMatrix::from_coo(&sample());
+        let direct = CsrMatrix::from_parts(
+            3,
+            4,
+            vec![0, 2, 3, 5],
+            vec![0, 3, 1, 0, 2],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+        )
+        .unwrap();
+        assert_eq!(direct, via_coo);
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_arrays() {
+        // row_ptr does not cover the arrays.
+        assert!(CsrMatrix::from_parts(2, 2, vec![0, 1, 1], vec![0, 1], vec![1.0, 2.0]).is_err());
+        // Columns out of order within a row.
+        assert!(
+            CsrMatrix::from_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).is_err()
+        );
+        // Column out of bounds.
+        assert!(CsrMatrix::from_parts(1, 2, vec![0, 1], vec![5], vec![1.0]).is_err());
+        // Zero dims.
+        assert!(CsrMatrix::from_parts(0, 2, vec![0], vec![], vec![]).is_err());
     }
 
     #[test]

@@ -12,8 +12,8 @@ use waco_exec::{Backend, ExecError, Executor as KernelExecutor, KernelArgs};
 use waco_runtime::ThreadPool;
 use waco_schedule::{Kernel, ScheduleSampler, Space, SuperSchedule};
 use waco_serve::cache::schedule_to_json;
-use waco_tensor::gen::Rng64;
-use waco_tensor::{CooMatrix, CooTensor3, DenseMatrix, DenseVector, Value};
+use waco_tensor::gen::{self, Rng64};
+use waco_tensor::{CooMatrix, CooTensor3, CsrMatrix, DenseMatrix, DenseVector, Value};
 
 use crate::corpus::{self, MatrixCase};
 use crate::{
@@ -60,6 +60,39 @@ pub trait Executor: Sync {
         b: &DenseMatrix,
         c: &DenseMatrix,
     ) -> waco_exec::Result<DenseMatrix>;
+
+    /// SpGEMM: `C = A B`, both operands sparse. Defaults to the production
+    /// plan executor so fault-injecting backends that predate the workspace
+    /// kernels keep compiling; override to inject faults here too.
+    fn spgemm(
+        &self,
+        a: &CooMatrix,
+        sched: &SuperSchedule,
+        space: &Space,
+        b: &CsrMatrix,
+    ) -> waco_exec::Result<CsrMatrix> {
+        KernelExecutor::planned()
+            .prepare(a, sched, space)?
+            .run(KernelArgs::Spgemm { b })?
+            .into_csr()
+    }
+
+    /// Fused SDDMM+SpMM: `E = (A ∘ (B C)) F`. Defaults like
+    /// [`Executor::spgemm`].
+    fn sddmm_spmm(
+        &self,
+        a: &CooMatrix,
+        sched: &SuperSchedule,
+        space: &Space,
+        b: &DenseMatrix,
+        c: &DenseMatrix,
+        f: &DenseMatrix,
+    ) -> waco_exec::Result<DenseMatrix> {
+        KernelExecutor::planned()
+            .prepare(a, sched, space)?
+            .run(KernelArgs::SddmmSpmm { b, c, f })?
+            .into_matrix()
+    }
 }
 
 /// A backend delegating to the unified [`KernelExecutor`] API on a chosen
@@ -146,16 +179,58 @@ impl Executor for ApiBackend {
             .run(KernelArgs::Mttkrp { b, c })?
             .into_matrix()
     }
+
+    fn spgemm(
+        &self,
+        a: &CooMatrix,
+        sched: &SuperSchedule,
+        space: &Space,
+        b: &CsrMatrix,
+    ) -> waco_exec::Result<CsrMatrix> {
+        KernelExecutor::new(self.backend)
+            .prepare(a, sched, space)?
+            .run(KernelArgs::Spgemm { b })?
+            .into_csr()
+    }
+
+    fn sddmm_spmm(
+        &self,
+        a: &CooMatrix,
+        sched: &SuperSchedule,
+        space: &Space,
+        b: &DenseMatrix,
+        c: &DenseMatrix,
+        f: &DenseMatrix,
+    ) -> waco_exec::Result<DenseMatrix> {
+        KernelExecutor::new(self.backend)
+            .prepare(a, sched, space)?
+            .run(KernelArgs::SddmmSpmm { b, c, f })?
+            .into_matrix()
+    }
 }
 
-/// Dense-operand extents per kernel: small but not degenerate.
+/// Dense-operand extents per kernel: small but not degenerate. For SpGEMM
+/// this is the second sparse operand's column count; for the fused kernel
+/// it is the SDDMM inner dimension `|k|`.
 pub(crate) fn dense_extent_for(kernel: Kernel) -> usize {
     match kernel {
         Kernel::SpMV => 0,
         Kernel::SpMM => 5,
         Kernel::SDDMM => 4,
         Kernel::MTTKRP => 4,
+        Kernel::SpGEMM => 5,
+        Kernel::SddmmSpmm => 4,
     }
+}
+
+/// Output columns of the fused kernel's trailing SpMM (`F`'s width). Not
+/// part of [`Space`], so it is pinned here for the whole harness.
+pub(crate) const FUSED_OUT_COLS: usize = 3;
+
+/// Deterministic second sparse operand (for SpGEMM) derived from a seed.
+pub(crate) fn sparse_operand(rows: usize, cols: usize, seed: u64) -> CooMatrix {
+    let mut rng = Rng64::seed_from(seed);
+    gen::uniform_random(rows, cols, 0.2, &mut rng)
 }
 
 /// Deterministic dense vector derived from a seed.
@@ -205,6 +280,28 @@ pub(crate) fn check_matrix_schedule(
             let d = exec.sddmm(m, sched, space, &b, &c).map_err(to_excluded)?;
             Ok(tol.first_divergence(&[m.nrows(), m.ncols()], expected, d.to_dense().as_slice()))
         }
+        Kernel::SpGEMM => {
+            let b = CsrMatrix::from_coo(&sparse_operand(
+                m.ncols(),
+                space.dense_extent,
+                operand_seed,
+            ));
+            let c = exec.spgemm(m, sched, space, &b).map_err(to_excluded)?;
+            Ok(tol.first_divergence(
+                &[m.nrows(), space.dense_extent],
+                expected,
+                c.to_coo().to_dense().as_slice(),
+            ))
+        }
+        Kernel::SddmmSpmm => {
+            let b = dense_mat(m.nrows(), space.dense_extent, operand_seed);
+            let c = dense_mat(space.dense_extent, m.ncols(), mix_seed(operand_seed, "c"));
+            let f = dense_mat(m.ncols(), FUSED_OUT_COLS, mix_seed(operand_seed, "f"));
+            let e = exec
+                .sddmm_spmm(m, sched, space, &b, &c, &f)
+                .map_err(to_excluded)?;
+            Ok(tol.first_divergence(&[m.nrows(), FUSED_OUT_COLS], expected, e.as_slice()))
+        }
         Kernel::MTTKRP => unreachable!("matrix path never sees MTTKRP"),
     }
 }
@@ -224,6 +321,13 @@ pub(crate) fn matrix_oracle(
             m,
             &dense_mat(m.nrows(), dense_extent, operand_seed),
             &dense_mat(dense_extent, m.ncols(), mix_seed(operand_seed, "c")),
+        ),
+        Kernel::SpGEMM => oracle::spgemm(m, &sparse_operand(m.ncols(), dense_extent, operand_seed)),
+        Kernel::SddmmSpmm => oracle::sddmm_spmm(
+            m,
+            &dense_mat(m.nrows(), dense_extent, operand_seed),
+            &dense_mat(dense_extent, m.ncols(), mix_seed(operand_seed, "c")),
+            &dense_mat(m.ncols(), FUSED_OUT_COLS, mix_seed(operand_seed, "f")),
         ),
         Kernel::MTTKRP => unreachable!("matrix path never sees MTTKRP"),
     }

@@ -5,8 +5,9 @@
 //! schedule) pair the tuner emits must compute the same answer. This crate
 //! checks that premise systematically instead of piecemeal:
 //!
-//! * [`oracle`] — naive dense `f64` oracles for SpMV/SpMM/SDDMM/MTTKRP and
-//!   an epsilon-aware comparator reporting the first diverging coordinate.
+//! * [`oracle`] — naive dense `f64` oracles for SpMV/SpMM/SDDMM/MTTKRP plus
+//!   the workspace kernels (SpGEMM, fused SDDMM+SpMM), and an epsilon-aware
+//!   comparator reporting the first diverging coordinate.
 //! * [`corpus`] — a seed-derived structure corpus (banded, blocked,
 //!   power-law, empty-row, single-entry, rectangular, empty).
 //! * [`diff`] — the differential fuzzer: sweeps the shared
@@ -21,6 +22,10 @@
 //!   and SpMM-with-one-column ≡ SpMV, across schedules.
 //! * [`baselines`] — the `waco-baselines` tuners (FixedCSR/CSF,
 //!   BestFormat, MKL-like, ASpT) run through the same comparator.
+//! * [`workspace`] — the dense-temporary kernels: SpGEMM against its oracle
+//!   plus the `A · I ≡ A` right-identity at bit granularity, and fused
+//!   SDDMM+SpMM against both its oracle and the unfused two-kernel
+//!   composition to bit identity.
 //! * [`fault`] — fault injection for `waco-serve`: torn/bit-flipped
 //!   journal writes and mid-frame TCP faults must never surface a wrong
 //!   tune result.
@@ -38,6 +43,7 @@ pub mod metamorphic;
 pub mod oracle;
 pub mod plan;
 pub mod report;
+pub mod workspace;
 
 use waco_schedule::Kernel;
 use waco_serve::Json;
@@ -97,7 +103,8 @@ pub struct VerifyConfig {
     pub seed: u64,
     /// Work budget.
     pub budget: Budget,
-    /// Kernels under test (defaults to all four).
+    /// Kernels under test (defaults to the four paper kernels; the
+    /// workspace suites always cover SpGEMM and the fused kernel).
     pub kernels: Vec<Kernel>,
     /// Whether to run the serve-layer fault-injection suite (needs a
     /// filesystem scratch directory and loopback sockets).
@@ -121,7 +128,8 @@ impl VerifyConfig {
 pub struct Failure {
     /// Which suite found it.
     pub suite: &'static str,
-    /// Kernel wire name (`spmv`/`spmm`/`sddmm`/`mttkrp`), when applicable.
+    /// Kernel wire name (`spmv`/`spmm`/`sddmm`/`mttkrp`/`spgemm`/
+    /// `sddmm_spmm`), when applicable.
     pub kernel: Option<String>,
     /// Corpus case / check name.
     pub case_name: String,
@@ -168,7 +176,7 @@ impl std::fmt::Display for Failure {
 #[derive(Debug, Clone)]
 pub struct SuiteReport {
     /// Suite name (`differential`, `plan_equivalence`, `metamorphic`,
-    /// `baselines`, `fault`).
+    /// `baselines`, `spgemm_oracle`, `fusion_equivalence`, `fault`).
     pub name: &'static str,
     /// Checks that executed to completion.
     pub executed: usize,
@@ -241,6 +249,8 @@ pub fn run_with_executor(cfg: &VerifyConfig, exec: &dyn diff::Executor) -> Verif
         plan::plan_equivalence_suite(cfg),
         metamorphic::metamorphic_suite(cfg, exec),
         baselines::baselines_suite(cfg, exec),
+        workspace::spgemm_oracle_suite(cfg, exec),
+        workspace::fusion_equivalence_suite(cfg, exec),
     ];
     if cfg.faults {
         suites.push(fault::fault_suite(cfg));
@@ -258,6 +268,8 @@ pub(crate) fn kernel_wire_name(k: Kernel) -> &'static str {
         Kernel::SpMM => "spmm",
         Kernel::SDDMM => "sddmm",
         Kernel::MTTKRP => "mttkrp",
+        Kernel::SpGEMM => "spgemm",
+        Kernel::SddmmSpmm => "sddmm_spmm",
     }
 }
 

@@ -196,7 +196,7 @@ fn scaling_matrix(ctx: &mut Ctx<'_>, kernel: Kernel, case: &MatrixCase) {
                     })
                 })
             }
-            Kernel::MTTKRP => unreachable!("matrix path never sees MTTKRP"),
+            _ => unreachable!("matrix scaling path only sees SpMV/SpMM/SDDMM"),
         };
         let (base, scaled_out, shape) = match pair {
             Ok(t) => t,

@@ -165,6 +165,48 @@ pub fn sddmm(a: &CooMatrix, b: &DenseMatrix, c: &DenseMatrix) -> Vec<f64> {
     d
 }
 
+/// `C[i,j] = Σ_k A[i,k] B[k,j]` with both operands sparse — shape
+/// `[a.nrows(), b.ncols()]`, dense.
+pub fn spgemm(a: &CooMatrix, b: &CooMatrix) -> Vec<f64> {
+    let ad = dense64(a);
+    let bd = dense64(b);
+    let (n, m, j) = (a.nrows(), a.ncols(), b.ncols());
+    assert_eq!(m, b.nrows(), "SpGEMM operand shapes must chain");
+    let mut c = vec![0.0f64; n * j];
+    for i in 0..n {
+        for k in 0..m {
+            let av = ad[i * m + k];
+            if av == 0.0 {
+                continue;
+            }
+            for jj in 0..j {
+                c[i * j + jj] += av * bd[k * j + jj];
+            }
+        }
+    }
+    c
+}
+
+/// Fused SDDMM+SpMM: `E[i,t] = Σ_j (A[i,j] · Σ_k B[i,k] C[k,j]) F[j,t]` —
+/// shape `[a.nrows(), f.ncols()]`.
+pub fn sddmm_spmm(a: &CooMatrix, b: &DenseMatrix, c: &DenseMatrix, f: &DenseMatrix) -> Vec<f64> {
+    let inter = sddmm(a, b, c);
+    let (n, m, t) = (a.nrows(), a.ncols(), f.ncols());
+    let mut e = vec![0.0f64; n * t];
+    for i in 0..n {
+        for j in 0..m {
+            let d = inter[i * m + j];
+            if d == 0.0 {
+                continue;
+            }
+            for tt in 0..t {
+                e[i * t + tt] += d * f64::from(f.get(j, tt));
+            }
+        }
+    }
+    e
+}
+
 /// `M[i,j] = Σ_{k,l} T[i,k,l] B[k,j] C[l,j]` — shape `[dims[0], rank]`.
 pub fn mttkrp(t: &CooTensor3, b: &DenseMatrix, c: &DenseMatrix) -> Vec<f64> {
     let [d0, d1, d2] = t.dims();

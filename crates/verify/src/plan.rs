@@ -23,9 +23,9 @@ use waco_runtime::ThreadPool;
 use waco_schedule::{named, Kernel, LoopVar, ScheduleSampler, Space, SuperSchedule};
 use waco_serve::cache::schedule_to_json;
 use waco_tensor::gen::{self, Rng64};
-use waco_tensor::{CooMatrix, CooTensor3, Value};
+use waco_tensor::{CooMatrix, CooTensor3, CsrMatrix, Value};
 
-use crate::diff::{dense_extent_for, dense_mat, dense_vec};
+use crate::diff::{dense_extent_for, dense_mat, dense_vec, sparse_operand, FUSED_OUT_COLS};
 use crate::{corpus, kernel_wire_name, mix_seed, Failure, SuiteReport, VerifyConfig};
 
 /// Full event stream of one walk, compared event-for-event.
@@ -147,6 +147,50 @@ fn compare_matrix(
                 .expect("interpreter runs");
             sddmm_mismatch(&p, &i)
         }
+        Kernel::SpGEMM => {
+            let b = CsrMatrix::from_coo(&sparse_operand(
+                m.ncols(),
+                space.dense_extent,
+                operand_seed,
+            ));
+            let p = pk
+                .run_on(Backend::Plan, KernelArgs::Spgemm { b: &b })
+                .and_then(|o| o.into_csr())
+                .expect("plan runs");
+            let i = pk
+                .run_on(Backend::Interpreter, KernelArgs::Spgemm { b: &b })
+                .and_then(|o| o.into_csr())
+                .expect("interpreter runs");
+            csr_mismatch(&p, &i)
+        }
+        Kernel::SddmmSpmm => {
+            let b = dense_mat(m.nrows(), space.dense_extent, operand_seed);
+            let c = dense_mat(space.dense_extent, m.ncols(), mix_seed(operand_seed, "c"));
+            let f = dense_mat(m.ncols(), FUSED_OUT_COLS, mix_seed(operand_seed, "f"));
+            let p = pk
+                .run_on(
+                    Backend::Plan,
+                    KernelArgs::SddmmSpmm {
+                        b: &b,
+                        c: &c,
+                        f: &f,
+                    },
+                )
+                .and_then(|o| o.into_matrix())
+                .expect("plan runs");
+            let i = pk
+                .run_on(
+                    Backend::Interpreter,
+                    KernelArgs::SddmmSpmm {
+                        b: &b,
+                        c: &c,
+                        f: &f,
+                    },
+                )
+                .and_then(|o| o.into_matrix())
+                .expect("interpreter runs");
+            bits_mismatch(p.as_slice(), i.as_slice())
+        }
         Kernel::MTTKRP => unreachable!("matrix path never sees MTTKRP"),
     };
     value_mismatch.or_else(|| events_mismatch(pk.plan(), pk.storage()))
@@ -194,6 +238,29 @@ fn sddmm_mismatch(p: &CooMatrix, i: &CooMatrix) -> Option<String> {
         }
     }
     None
+}
+
+/// SpGEMM outputs are CSR: compare the compacted structure exactly, then
+/// value bits slot by slot.
+fn csr_mismatch(p: &CsrMatrix, i: &CsrMatrix) -> Option<String> {
+    if p.row_ptr() != i.row_ptr() || p.col_idx() != i.col_idx() {
+        return Some(format!(
+            "output CSR structure differs: plan {} nnz vs interpreter {} nnz",
+            p.col_idx().len(),
+            i.col_idx().len()
+        ));
+    }
+    p.vals()
+        .iter()
+        .zip(i.vals())
+        .position(|(pv, iv)| pv.to_bits() != iv.to_bits())
+        .map(|idx| {
+            format!(
+                "output value at nnz slot {idx} differs: plan {} vs interpreter {}",
+                p.vals()[idx],
+                i.vals()[idx]
+            )
+        })
 }
 
 /// Checks one (MTTKRP, tensor, schedule) point.
@@ -300,6 +367,32 @@ fn forced_fastpath_cases(seed: u64) -> Vec<ForcedCase> {
             expected: FastPath::DiscordantCsr,
             matrix: gen::powerlaw_rows(40, 33, 5.0, 1.2, &mut rng),
             sched,
+            space,
+        });
+    }
+
+    // Row-wise Gustavson SpGEMM: workspace as wide as the second operand.
+    {
+        let space = Space::new(Kernel::SpGEMM, vec![46, 39], 31);
+        cases.push(ForcedCase {
+            name: "forced/gustavson_spgemm",
+            kernel: Kernel::SpGEMM,
+            expected: FastPath::GustavsonSpgemm,
+            matrix: gen::powerlaw_rows(46, 39, 5.0, 1.2, &mut rng),
+            sched: named::default_csr(&space),
+            space,
+        });
+    }
+
+    // Fused SDDMM+SpMM: one sparse pass with a workspace-held row.
+    {
+        let space = Space::new(Kernel::SddmmSpmm, vec![44, 35], 6);
+        cases.push(ForcedCase {
+            name: "forced/fused_sddmm_spmm",
+            kernel: Kernel::SddmmSpmm,
+            expected: FastPath::FusedSddmmSpmm,
+            matrix: gen::powerlaw_rows(44, 35, 5.0, 1.2, &mut rng),
+            sched: named::default_csr(&space),
             space,
         });
     }
@@ -476,6 +569,8 @@ mod tests {
             FastPath::BcsrBlock,
             FastPath::RegBlockSpmm,
             FastPath::DiscordantCsr,
+            FastPath::GustavsonSpgemm,
+            FastPath::FusedSddmmSpmm,
         ] {
             assert!(
                 cases.iter().any(|c| c.expected == want),

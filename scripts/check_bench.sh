@@ -65,6 +65,12 @@ TRACKED = [
      "plan_lowering/spmm_regblock_interp", "plan_lowering/spmm_regblock", True),
     ("fastpath_discordant_vs_interp",
      "plan_lowering/spmv_discordant_interp", "plan_lowering/spmv_discordant", True),
+    # The workspace subsystem: fusion vs the unfused two-kernel composition
+    # and Gustavson SpGEMM vs the naive two-pass compaction.
+    ("workspace_fusion_vs_unfused",
+     "workspace/unfused_sddmm_then_spmm", "workspace/fused_sddmm_spmm", True),
+    ("workspace_gustavson_vs_two_pass",
+     "workspace/spgemm_two_pass", "workspace/spgemm_gustavson", True),
 ]
 
 failures = []
@@ -106,6 +112,25 @@ else:
     failures.append(
         f"discordant_abs_floor: benches missing from {sys.argv[1]}: "
         f"{[n for n in (DISC_FAST, DISC_INTERP) if n not in cur]}")
+
+# Absolute floor for the fused workspace kernel: fusing the SDDMM and the
+# SpMM deletes the intermediate's materialization and second sweep, so the
+# current run must beat the unfused composition by at least 1.3x regardless
+# of what the baseline recorded.
+FUSED = "workspace/fused_sddmm_spmm"
+UNFUSED = "workspace/unfused_sddmm_then_spmm"
+if FUSED in cur and UNFUSED in cur:
+    speedup = cur[UNFUSED] / cur[FUSED]
+    verdict = "ok" if speedup >= 1.3 else "BELOW FLOOR"
+    print(f"  {'fusion_abs_floor':28s} required  {1.3:10.3f}  current {speedup:10.3f}  {verdict}")
+    if speedup < 1.3:
+        failures.append(
+            f"fusion_abs_floor: the fused SDDMM+SpMM kernel is only "
+            f"{speedup:.2f}x the unfused composition (the gate requires 1.3x)")
+else:
+    failures.append(
+        f"fusion_abs_floor: benches missing from {sys.argv[1]}: "
+        f"{[n for n in (FUSED, UNFUSED) if n not in cur]}")
 
 if failures:
     print("check_bench: FAILED", file=sys.stderr)

@@ -161,6 +161,14 @@ grep -qF '"name":"plan_equivalence"' "$VERIFY_REPORT" || {
     echo "verify report is missing the plan_equivalence suite" >&2
     exit 1
 }
+grep -qF '"name":"spgemm_oracle"' "$VERIFY_REPORT" || {
+    echo "verify report is missing the spgemm_oracle suite" >&2
+    exit 1
+}
+grep -qF '"name":"fusion_equivalence"' "$VERIFY_REPORT" || {
+    echo "verify report is missing the fusion_equivalence suite" >&2
+    exit 1
+}
 echo "verify report OK: $VERIFY_REPORT"
 
 # 5. The load generator against a fresh server: the coalesce probe must
