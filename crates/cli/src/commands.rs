@@ -29,7 +29,9 @@ USAGE:
                    [--dense N] [--seed S] FILE.mtx
   waco-cli serve   --cache DIR [--addr 127.0.0.1:PORT] [--workers N]
                    [--queue N] [--capacity N] [--timeout SECS]
-                   [--model MODEL.ckpt]
+                   [--model MODEL.ckpt] [--sync-from HOST:PORT]
+  waco-cli route   --shards ADDR1,ADDR2[,...] [--addr 127.0.0.1:PORT]
+                   [--vnodes N] [--queue N] [--timeout SECS]
   waco-cli query   --addr 127.0.0.1:PORT [--op tune|lookup|stats|shutdown]
                    [--kernel spmv|spmm|sddmm] [--dense N] [--timeout SECS]
                    [FILE.mtx]
@@ -40,7 +42,7 @@ USAGE:
                    [--rps R] [--fingerprints K] [--zipf S]
                    [--arrivals poisson|burst] [--kernel spmv|spmm|sddmm]
                    [--dense N] [--size N] [--seed S] [--out FILE.json]
-                   [--smoke]
+                   [--shards N] [--smoke]
   waco-cli plan    [--kernel spmv|spmm|sddmm|spgemm|sddmm_spmm] [--dense N]
                    [--rows N] [--cols N] [--schedule JSON]
                    [--format text|json] [FILE.mtx]
@@ -352,6 +354,27 @@ pub fn serve(args: &[String]) -> Result<()> {
     }
     let cfg = builder.build()?;
 
+    if let Some(peer) = flags.get("sync-from") {
+        // Warm the journal from a running peer before serving. A failed
+        // stream leaves the cache untouched, so falling back to cold
+        // tuning is safe — degraded, never wrong.
+        let timeout = std::time::Duration::from_secs_f64(flags.f64_or("timeout", 30.0)?);
+        let capacity = flags.usize_or("capacity", 1024)?;
+        let warm_cache =
+            waco_serve::TuningCache::open(cfg.cache_dir().join("tuning.journal"), capacity)?;
+        match waco_serve::warm_from_peer(peer, timeout, &warm_cache) {
+            Ok(report) => {
+                warm_cache.sync()?;
+                println!(
+                    "warmed {} records from {peer} ({} batches, {} resumes)",
+                    report.records, report.batches, report.resumes
+                );
+            }
+            Err(e) => eprintln!("warning: sync from {peer} failed ({e}); starting cold"),
+        }
+        // Dropped here so the server below reopens the journal fresh.
+    }
+
     let tuner_cfg = waco_serve::WacoTunerConfig {
         checkpoint: flags.get("model").map(Into::into),
         index_cache: Some(std::path::Path::new(&cache).join("index")),
@@ -369,6 +392,40 @@ pub fn serve(args: &[String]) -> Result<()> {
         .map_err(|e| WacoError::io("flushing stdout", e))?;
     server.wait()?;
     println!("server drained");
+    Ok(())
+}
+
+/// `waco-cli route`: the fingerprint-sharded router in front of N shard
+/// servers, with failover to the ring's next live shard.
+pub fn route(args: &[String]) -> Result<()> {
+    use std::io::Write as _;
+
+    let flags = Flags::parse(args)?;
+    let shards = flags
+        .get("shards")
+        .ok_or_else(|| bad("--shards ADDR1,ADDR2[,...] is required"))?;
+    let mut builder =
+        waco_serve::RouterConfig::builder().addr(flags.get("addr").unwrap_or("127.0.0.1:0"));
+    for shard in shards.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        builder = builder.shard(shard);
+    }
+    if flags.get("vnodes").is_some() {
+        builder = builder.vnodes(flags.usize_or("vnodes", 0)?);
+    }
+    if flags.get("queue").is_some() {
+        builder = builder.max_connections(flags.usize_or("queue", 0)?);
+    }
+    if flags.get("timeout").is_some() {
+        builder = builder.timeout_secs(flags.f64_or("timeout", 0.0)?);
+    }
+    let router = waco_serve::Router::start(builder.build()?)?;
+    // Same startup handshake as `serve`: scripts parse the real port here.
+    println!("listening on {}", router.local_addr());
+    std::io::stdout()
+        .flush()
+        .map_err(|e| WacoError::io("flushing stdout", e))?;
+    router.wait();
+    println!("router drained");
     Ok(())
 }
 

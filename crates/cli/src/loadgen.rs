@@ -63,6 +63,10 @@ struct LoadgenConfig {
     seed: u64,
     out: String,
     timeout: Duration,
+    /// Shard count behind `--addr` when it is a router (1 = single node).
+    /// The report then carries the router's forwarding/failover counters so
+    /// load results describe the routed topology, not just one process.
+    shards: usize,
 }
 
 impl LoadgenConfig {
@@ -104,9 +108,13 @@ impl LoadgenConfig {
                 .unwrap_or("results/loadgen.json")
                 .to_string(),
             timeout: Duration::from_secs_f64(flags.f64_or("timeout", 60.0)?),
+            shards: flags.usize_or("shards", 1)?,
         };
         if cfg.connections == 0 || cfg.fingerprints == 0 {
             return Err(bad("--connections and --fingerprints must be positive"));
+        }
+        if cfg.shards == 0 {
+            return Err(bad("--shards must be positive"));
         }
         if cfg.rps <= 0.0 || cfg.rps.is_nan() || cfg.duration.is_zero() {
             return Err(bad("--rps and --duration must be positive"));
@@ -171,12 +179,23 @@ fn zipf_sample(cdf: &[f64], rng: &mut Rng64) -> usize {
 }
 
 /// Exact percentile (nearest-rank) over an already-sorted slice, in ms.
+///
+/// Nearest-rank is `ceil(q·n)`, but `q·n` computed in binary can land an
+/// ulp above the exact integer (`0.9 × 10 = 9.000000000000002`), and a
+/// naive `ceil` then overshoots by a whole rank — at tiny sample counts
+/// that silently turns p90/p99/p999 into the max. Snap to the integer when
+/// within rounding distance before ceiling.
 fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
-    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
+    let raw = q * sorted.len() as f64;
+    let rank = if (raw - raw.round()).abs() < 1e-9 {
+        raw.round()
+    } else {
+        raw.ceil()
+    };
+    sorted[(rank as usize).clamp(1, sorted.len()) - 1]
 }
 
 fn u64_field(stats: &Json, section: &str, key: &str) -> f64 {
@@ -432,6 +451,7 @@ fn latency_json(samples: &[Sample], errors: u64) -> Json {
         ("p50_ms", Json::num(percentile(&sorted, 0.50))),
         ("p90_ms", Json::num(percentile(&sorted, 0.90))),
         ("p99_ms", Json::num(percentile(&sorted, 0.99))),
+        ("p999_ms", Json::num(percentile(&sorted, 0.999))),
         ("max_ms", Json::num(sorted.last().copied().unwrap_or(0.0))),
         ("cache_hit_rate", Json::num(hit_rate)),
     ])
@@ -550,6 +570,42 @@ pub fn loadgen(args: &[String]) -> Result<()> {
 
     // Final server-side stats snapshot rides along for context.
     let final_stats = Client::connect(&cfg.addr, cfg.timeout)?.stats()?;
+
+    // Routed topology: surface the router's counters as a first-class
+    // section so CI can gate on failover behaviour from this one file.
+    let router = if cfg.shards > 1 {
+        let field = |key: &str| u64_field(&final_stats, "router", key);
+        if final_stats.get("router").is_none() {
+            eprintln!(
+                "warning: --shards {} given but {} reports no router section; \
+                 is the address a shard, not a router?",
+                cfg.shards, cfg.addr
+            );
+        } else if field("shards") != cfg.shards as f64 {
+            eprintln!(
+                "warning: --shards {} given but the router reports {} shards",
+                cfg.shards,
+                field("shards")
+            );
+        } else {
+            println!(
+                "loadgen: router forwarded={} failover={} shard_down={}",
+                field("forwarded"),
+                field("failover"),
+                field("shard_down")
+            );
+        }
+        Some(Json::obj([
+            ("shards", Json::num(field("shards"))),
+            ("requests", Json::num(field("requests"))),
+            ("forwarded", Json::num(field("forwarded"))),
+            ("failover", Json::num(field("failover"))),
+            ("shard_down", Json::num(field("shard_down"))),
+        ]))
+    } else {
+        None
+    };
+
     let report = Json::obj([
         (
             "config",
@@ -571,6 +627,7 @@ pub fn loadgen(args: &[String]) -> Result<()> {
                 ("dense_extent", Json::num(cfg.dense as f64)),
                 ("size", Json::num(cfg.size as f64)),
                 ("seed", Json::num(cfg.seed as f64)),
+                ("shards", Json::num(cfg.shards as f64)),
                 ("smoke", Json::Bool(smoke)),
             ]),
         ),
@@ -583,6 +640,13 @@ pub fn loadgen(args: &[String]) -> Result<()> {
         ("stats_trajectory", polls_json(&polls)),
         ("server", final_stats),
     ]);
+    let report = match (report, router) {
+        (Json::Obj(mut map), Some(r)) => {
+            map.insert("router".to_string(), r);
+            Json::Obj(map)
+        }
+        (report, _) => report,
+    };
 
     if let Some(dir) = std::path::Path::new(&cfg.out).parent() {
         if !dir.as_os_str().is_empty() {
@@ -621,6 +685,46 @@ mod tests {
         assert_eq!(percentile(&v, 0.5), 2.0);
         assert_eq!(percentile(&v, 0.99), 4.0);
         assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn percentile_survives_fp_rounding_at_tiny_n() {
+        // 0.9 × 10 computes as 9.000000000000002; a naive ceil picks rank
+        // 10 and reports the max as the p90.
+        let v: Vec<f64> = (1..=10).map(f64::from).collect();
+        assert_eq!(percentile(&v, 0.9), 9.0);
+        // 0.95 × 20 lands at 19.000000000000004 the same way.
+        let v: Vec<f64> = (1..=20).map(f64::from).collect();
+        assert_eq!(percentile(&v, 0.95), 19.0);
+        // Exact-integer ranks and genuine fractional ranks still behave.
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 0.99), 99.0);
+        assert_eq!(percentile(&v, 0.999), 100.0);
+        assert_eq!(percentile(&v, 1.0), 100.0);
+    }
+
+    #[test]
+    fn p999_tracks_the_tail_at_small_and_large_n() {
+        // Below 1000 samples p999 is the max (rank ceil(0.999·n) = n)...
+        let v: Vec<f64> = (1..=50).map(f64::from).collect();
+        assert_eq!(percentile(&v, 0.999), 50.0);
+        // ...and at exactly 1000 it is the 999th value, not the max.
+        let v: Vec<f64> = (1..=1000).map(f64::from).collect();
+        assert_eq!(percentile(&v, 0.999), 999.0);
+    }
+
+    #[test]
+    fn shards_flag_defaults_to_one_and_rejects_zero() {
+        let cfg = LoadgenConfig::from_flags(&flags_with_addr(), false).unwrap();
+        assert_eq!(cfg.shards, 1);
+        let flags = Flags::parse(&[
+            "--addr".to_string(),
+            "127.0.0.1:1".to_string(),
+            "--shards".to_string(),
+            "0".to_string(),
+        ])
+        .unwrap();
+        assert!(LoadgenConfig::from_flags(&flags, false).is_err());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! waco-cli train    --kernel spmm --out model.ckpt
 //! waco-cli tune     --kernel spmm --model model.ckpt graph.mtx
 //! waco-cli serve    --cache /var/tmp/waco-cache --addr 127.0.0.1:7470
+//! waco-cli route    --shards 127.0.0.1:7470,127.0.0.1:7471
 //! waco-cli query    --addr 127.0.0.1:7470 graph.mtx
 //! waco-cli verify   --seed 42 --budget smoke
 //! waco-cli plan     --kernel spmv --rows 1024 --cols 1024
@@ -57,6 +58,7 @@ fn run(args: Vec<String>) -> Result<(), WacoError> {
         "train" => commands::train(rest),
         "tune" => commands::tune(rest),
         "serve" => commands::serve(rest),
+        "route" => commands::route(rest),
         "query" => commands::query(rest),
         "verify" => commands::verify(rest),
         "loadgen" => loadgen::loadgen(rest),

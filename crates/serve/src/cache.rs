@@ -154,6 +154,50 @@ impl TuningCache {
         self.journal.lock().expect("journal lock poisoned").sync()
     }
 
+    /// Journal record payloads from record index `from` on, in append order
+    /// — what a `sync` response streams to a joining peer. Re-reads the
+    /// file, so records appended since open are included.
+    ///
+    /// # Errors
+    ///
+    /// [`WacoError::Io`].
+    pub fn journal_records(&self, from: usize) -> Result<(Vec<Vec<u8>>, usize), WacoError> {
+        let records = self
+            .journal
+            .lock()
+            .expect("journal lock poisoned")
+            .read_records()?;
+        let total = records.len();
+        let tail = records.into_iter().skip(from).collect();
+        Ok((tail, total))
+    }
+
+    /// Ingests one record payload streamed from a peer: append the exact
+    /// bytes to the journal (so a fully-streamed journal is byte-identical
+    /// to its source) and insert the decoded decision into memory.
+    ///
+    /// # Errors
+    ///
+    /// [`WacoError::Checkpoint`] when the payload does not decode to a
+    /// decision — the caller must treat the stream as corrupt;
+    /// [`WacoError::Io`] on journal failure. On either, the in-memory tier
+    /// is untouched.
+    pub fn ingest_record(&self, payload: &[u8]) -> Result<(), WacoError> {
+        let Some(decision) = decode_payload(payload) else {
+            return Err(WacoError::Checkpoint(
+                "sync record payload does not decode to a tuning decision".into(),
+            ));
+        };
+        self.journal
+            .lock()
+            .expect("journal lock poisoned")
+            .append(payload)?;
+        self.lru.insert(decision.key(), decision);
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        waco_obs::counter("serve.cache.inserts", 1);
+        Ok(())
+    }
+
     /// Snapshot of hit/miss/insert counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -481,6 +525,49 @@ mod tests {
             .lookup(d.fingerprint, d.kernel, d.dense_extent)
             .unwrap();
         assert_eq!(hit, d);
+    }
+
+    #[test]
+    fn journal_records_and_ingest_roundtrip() {
+        let src_path = tmp("stream-src");
+        let dst_path = tmp("stream-dst");
+        let src = TuningCache::open(&src_path, 64).unwrap();
+        let decisions: Vec<Decision> = (0..4).map(sample_decision).collect();
+        for d in &decisions {
+            src.insert(d.clone()).unwrap();
+        }
+        let (all, total) = src.journal_records(0).unwrap();
+        assert_eq!((all.len(), total), (4, 4));
+        let (tail, total) = src.journal_records(3).unwrap();
+        assert_eq!((tail.len(), total), (1, 4));
+        assert_eq!(tail[0], all[3]);
+
+        // Ingest into a second cache: decisions become live immediately and
+        // the two journals are byte-identical.
+        let dst = TuningCache::open(&dst_path, 64).unwrap();
+        for rec in &all {
+            dst.ingest_record(rec).unwrap();
+        }
+        for d in &decisions {
+            assert_eq!(
+                dst.lookup(d.fingerprint, d.kernel, d.dense_extent).as_ref(),
+                Some(d)
+            );
+        }
+        dst.sync().unwrap();
+        src.sync().unwrap();
+        assert_eq!(
+            std::fs::read(&src_path).unwrap(),
+            std::fs::read(&dst_path).unwrap(),
+            "streamed journal must be byte-identical to its source"
+        );
+
+        // A payload that is not a decision is a typed error, and the cache
+        // (both tiers) stays untouched.
+        let before = dst.journal_records(0).unwrap().1;
+        let err = dst.ingest_record(b"not a decision").unwrap_err();
+        assert!(matches!(err, WacoError::Checkpoint(_)));
+        assert_eq!(dst.journal_records(0).unwrap().1, before);
     }
 
     #[test]

@@ -119,8 +119,9 @@ impl Journal {
         // Header: brand-new file gets one; damaged header resets the file.
         let header_ok = bytes.len() >= HEADER_LEN as usize
             && &bytes[..8] == JOURNAL_MAGIC
-            && COMPATIBLE_VERSIONS
-                .contains(&u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")));
+            && COMPATIBLE_VERSIONS.contains(&u32::from_le_bytes(
+                bytes[8..12].try_into().expect("4 bytes"),
+            ));
         if !header_ok {
             report.reinitialized = !bytes.is_empty();
             if report.reinitialized {
@@ -141,36 +142,7 @@ impl Journal {
         }
 
         // Scan records; stop at the first torn or corrupt one.
-        let mut records: Vec<Vec<u8>> = Vec::new();
-        let mut good_end = HEADER_LEN as usize;
-        let mut pos = good_end;
-        loop {
-            if pos == bytes.len() {
-                break; // clean end
-            }
-            if pos + 12 > bytes.len() {
-                break; // torn record header
-            }
-            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
-            let crc = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().expect("8 bytes"));
-            if len > MAX_RECORD_LEN {
-                break; // corrupt length field
-            }
-            let start = pos + 12;
-            let Some(end) = start
-                .checked_add(len as usize)
-                .filter(|&e| e <= bytes.len())
-            else {
-                break; // torn payload
-            };
-            let payload = &bytes[start..end];
-            if fnv1a64(payload) != crc {
-                break; // corrupt payload
-            }
-            records.push(payload.to_vec());
-            pos = end;
-            good_end = end;
-        }
+        let (mut records, good_end) = scan_records(&bytes);
         report.records_recovered = records.len();
         report.bytes_truncated = (bytes.len() - good_end) as u64;
         if report.bytes_truncated > 0 {
@@ -263,10 +235,66 @@ impl Journal {
             .map_err(|e| WacoError::io(format!("syncing journal {}", self.path.display()), e))
     }
 
-    /// The journal's path.
-    pub fn path(&self) -> &Path {
-        &self.path
+    /// Re-reads every complete record currently on disk, in append order —
+    /// the snapshot a `sync` stream serves to a joining peer. Records
+    /// appended since [`Journal::open`] are included; the append cursor is
+    /// restored before returning.
+    ///
+    /// # Errors
+    ///
+    /// [`WacoError::Io`].
+    pub fn read_records(&mut self) -> Result<Vec<Vec<u8>>, WacoError> {
+        let ctx = |what: &str| format!("{what} journal {}", self.path.display());
+        self.file
+            .seek(SeekFrom::Start(0))
+            .map_err(|e| WacoError::io(ctx("rewinding"), e))?;
+        let mut bytes = Vec::new();
+        self.file
+            .read_to_end(&mut bytes)
+            .map_err(|e| WacoError::io(ctx("re-reading"), e))?;
+        self.file
+            .seek(SeekFrom::End(0))
+            .map_err(|e| WacoError::io(ctx("seeking"), e))?;
+        Ok(scan_records(&bytes).0)
     }
+}
+
+/// Scans a full journal image past its header: the complete, checksum-valid
+/// records in order, plus the byte offset where the valid prefix ends (the
+/// truncation point for everything torn or corrupt after it). An image too
+/// short to hold a header has no records.
+fn scan_records(bytes: &[u8]) -> (Vec<Vec<u8>>, usize) {
+    let mut records: Vec<Vec<u8>> = Vec::new();
+    let mut good_end = (HEADER_LEN as usize).min(bytes.len());
+    let mut pos = good_end;
+    loop {
+        if pos == bytes.len() {
+            break; // clean end
+        }
+        if pos + 12 > bytes.len() {
+            break; // torn record header
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
+        let crc = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().expect("8 bytes"));
+        if len > MAX_RECORD_LEN {
+            break; // corrupt length field
+        }
+        let start = pos + 12;
+        let Some(end) = start
+            .checked_add(len as usize)
+            .filter(|&e| e <= bytes.len())
+        else {
+            break; // torn payload
+        };
+        let payload = &bytes[start..end];
+        if fnv1a64(payload) != crc {
+            break; // corrupt payload
+        }
+        records.push(payload.to_vec());
+        pos = end;
+        good_end = end;
+    }
+    (records, good_end)
 }
 
 fn encode_record(buf: &mut Vec<u8>, payload: &[u8]) {
@@ -439,6 +467,25 @@ mod tests {
         let (_, recs2, rep2) = Journal::open(&path, dead).unwrap();
         assert_eq!(recs2, recs);
         assert!(!rep2.compacted);
+    }
+
+    #[test]
+    fn read_records_snapshots_appends_and_keeps_cursor() {
+        let path = tmp("snapshot");
+        let (mut j, _, _) = Journal::open(&path, no_dead).unwrap();
+        j.append(b"one").unwrap();
+        assert_eq!(j.read_records().unwrap(), vec![b"one".to_vec()]);
+        // Appends after a snapshot land after the existing records, not over
+        // them (the cursor was restored), and show up in the next snapshot.
+        j.append(b"two").unwrap();
+        assert_eq!(
+            j.read_records().unwrap(),
+            vec![b"one".to_vec(), b"two".to_vec()]
+        );
+        drop(j);
+        let (_, recs, rep) = Journal::open(&path, no_dead).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(rep.bytes_truncated, 0);
     }
 
     #[test]

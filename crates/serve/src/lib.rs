@@ -16,9 +16,13 @@
 //!   an append-only, checksummed on-disk journal with corrupt-tail
 //!   truncation and compaction on load.
 //! * [`protocol`] + [`server`] + [`client`] — a localhost TCP request loop
-//!   speaking length-prefixed JSON (`tune` / `lookup` / `stats` /
+//!   speaking length-prefixed JSON (`tune` / `lookup` / `stats` / `sync` /
 //!   `shutdown`) with a bounded admission queue, per-request timeouts, and
 //!   graceful drain.
+//! * [`ring`] + [`router`] + [`sync`] — the distributed tier: a consistent
+//!   hash ring over the fingerprint, a proxy that shards requests across N
+//!   servers with failover to the ring's next live shard, and peer journal
+//!   streaming so a joining shard starts warm.
 //! * [`tuner`] — the serving backend: lazily-trained [`waco_core::Waco`]
 //!   pipelines with warm-start ANNS index snapshots (`waco-anns`'
 //!   `persist` module).
@@ -34,7 +38,10 @@ pub mod json;
 pub mod lru;
 pub mod plan_cache;
 pub mod protocol;
+pub mod ring;
+pub mod router;
 pub mod server;
+pub mod sync;
 pub mod tuner;
 
 pub use cache::{CacheStats, Decision, TuningCache};
@@ -44,5 +51,8 @@ pub use journal::Journal;
 pub use json::Json;
 pub use lru::ShardedLru;
 pub use plan_cache::{PlanCache, PlanCacheStats};
+pub use ring::HashRing;
+pub use router::{Router, RouterConfig};
 pub use server::{ServeConfig, Server};
+pub use sync::{warm_from_peer, SyncReport};
 pub use tuner::{Tuner, WacoTuner, WacoTunerConfig};

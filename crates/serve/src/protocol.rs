@@ -9,6 +9,12 @@
 //!   fingerprint the matrix, serve from cache or tune and cache.
 //! * `{"op":"lookup",...}` — same key derivation, but never tunes.
 //! * `{"op":"stats"}` — cache and server counters.
+//! * `{"op":"sync","offset":N}` — stream the shard's journal to a joining
+//!   peer: one batch of records starting at record index `N`, each carrying
+//!   its FNV-1a 64 checksum (hex, since JSON numbers are `f64`), plus the
+//!   cursor for the next batch. Offsets make the stream resumable: a peer
+//!   that loses its connection mid-stream reconnects and asks again from
+//!   where it stopped.
 //! * `{"op":"shutdown"}` — begin graceful drain; the response is sent
 //!   before the listener closes.
 //!
@@ -51,6 +57,12 @@ pub enum Request {
     },
     /// Counter snapshot.
     Stats,
+    /// One batch of journal records starting at this record index
+    /// (peer-warmup streaming).
+    Sync {
+        /// Record index of the first record to return.
+        offset: usize,
+    },
     /// Begin graceful drain.
     Shutdown,
 }
@@ -109,6 +121,15 @@ impl Request {
                 })
             }
             "stats" => Ok(Request::Stats),
+            "sync" => {
+                let offset = match v.get("offset") {
+                    None => 0,
+                    Some(o) => o.as_u64().ok_or_else(|| {
+                        WacoError::InvalidConfig("`offset` must be a non-negative integer".into())
+                    })? as usize,
+                };
+                Ok(Request::Sync { offset })
+            }
             "shutdown" => Ok(Request::Shutdown),
             other => Err(WacoError::InvalidConfig(format!("unknown op `{other}`"))),
         }
@@ -120,6 +141,7 @@ impl Request {
             Request::Tune { .. } => "tune",
             Request::Lookup { .. } => "lookup",
             Request::Stats => "stats",
+            Request::Sync { .. } => "sync",
             Request::Shutdown => "shutdown",
         }
     }
@@ -155,6 +177,88 @@ pub fn lookup_response(decision: Option<&Decision>) -> Json {
         ]),
         None => Json::obj([("ok", Json::Bool(true)), ("found", Json::Bool(false))]),
     }
+}
+
+/// One journal record on the sync wire: its FNV-1a 64 checksum and the
+/// payload text (journal payloads are the UTF-8 JSON decision encoding).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncRecord {
+    /// FNV-1a 64 of the payload bytes, as computed by the source shard.
+    pub crc: u64,
+    /// The record payload.
+    pub payload: String,
+}
+
+/// One parsed `sync` response: a batch of records plus the resume cursor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncBatch {
+    /// Records starting at the requested offset, in journal order.
+    pub records: Vec<SyncRecord>,
+    /// Record index to request next (equals `total` when `done`).
+    pub next_offset: usize,
+    /// Whether the journal has no records past `next_offset`.
+    pub done: bool,
+    /// Total records in the source journal at response time.
+    pub total: usize,
+}
+
+/// Builds a `sync` request body (client side).
+pub fn sync_request(offset: usize) -> Json {
+    Json::obj([
+        ("op", Json::str("sync")),
+        ("offset", Json::num(offset as f64)),
+    ])
+}
+
+/// Builds a success response for `sync`. Checksums travel as 16-digit hex
+/// strings: JSON numbers are `f64` and cannot carry a full `u64`.
+pub fn sync_response(records: &[SyncRecord], next_offset: usize, done: bool, total: usize) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        (
+            "records",
+            Json::Arr(
+                records
+                    .iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("crc", Json::str(format!("{:016x}", r.crc))),
+                            ("payload", Json::str(&r.payload)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("next_offset", Json::num(next_offset as f64)),
+        ("done", Json::Bool(done)),
+        ("total", Json::num(total as f64)),
+    ])
+}
+
+/// Parses a `sync` response body (client side); `None` on any shape
+/// mismatch — a peer speaking a different dialect is a sync failure, not a
+/// guess.
+pub fn sync_batch_from_json(v: &Json) -> Option<SyncBatch> {
+    if !v.get("ok")?.as_bool()? {
+        return None;
+    }
+    let records = v
+        .get("records")?
+        .as_arr()?
+        .iter()
+        .map(|r| {
+            Some(SyncRecord {
+                crc: u64::from_str_radix(r.get("crc")?.as_str()?, 16).ok()?,
+                payload: r.get("payload")?.as_str()?.to_string(),
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some(SyncBatch {
+        records,
+        next_offset: v.get("next_offset")?.as_u64()? as usize,
+        done: v.get("done")?.as_bool()?,
+        total: v.get("total")?.as_u64()? as usize,
+    })
 }
 
 /// Builds an error response; `busy` marks admission-queue rejection so
@@ -475,6 +579,42 @@ mod tests {
                 Err(WacoError::InvalidConfig(_))
             ));
         }
+    }
+
+    #[test]
+    fn sync_request_parsing_and_batch_roundtrip() {
+        // Request: explicit offset, default offset, bad offset.
+        let r = Request::from_json(&sync_request(17)).unwrap();
+        assert_eq!(r, Request::Sync { offset: 17 });
+        assert_eq!(r.op(), "sync");
+        let r = Request::from_json(&Json::obj([("op", Json::str("sync"))])).unwrap();
+        assert_eq!(r, Request::Sync { offset: 0 });
+        let bad = Json::obj([("op", Json::str("sync")), ("offset", Json::str("x"))]);
+        assert!(matches!(
+            Request::from_json(&bad),
+            Err(WacoError::InvalidConfig(_))
+        ));
+
+        // Batch roundtrip, including a checksum above 2^53 that would be
+        // mangled by an f64 JSON number.
+        let records = vec![
+            SyncRecord {
+                crc: 0xffee_ddcc_bbaa_9988,
+                payload: "{\"k\":1}".into(),
+            },
+            SyncRecord {
+                crc: 7,
+                payload: "{\"k\":2}".into(),
+            },
+        ];
+        let body = sync_response(&records, 2, false, 5);
+        let batch = sync_batch_from_json(&body).unwrap();
+        assert_eq!(batch.records, records);
+        assert_eq!((batch.next_offset, batch.done, batch.total), (2, false, 5));
+
+        // Error responses and shape mismatches parse to None.
+        assert!(sync_batch_from_json(&error_response("nope", false)).is_none());
+        assert!(sync_batch_from_json(&Json::obj([("ok", Json::Bool(true))])).is_none());
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! Consistent hashing over the 128-bit sparsity fingerprint space.
+//!
+//! The distributed serving layer partitions the fingerprint key space
+//! across N shard processes so that (a) every router instance agrees on
+//! which shard owns a key without any coordination, and (b) adding or
+//! removing one shard remaps only ~1/N of the keys (the classic
+//! minimal-disruption bound) instead of reshuffling everything the way
+//! `hash % N` would.
+//!
+//! The construction is the textbook ring: each shard contributes
+//! [`HashRing::vnodes`] pseudo-random points on a `u64` circle (FNV-1a over
+//! `(shard index, vnode index)`), a key hashes to one point on the same
+//! circle (FNV-1a over the fingerprint's two words), and the owner is the
+//! first shard point at or clockwise-after the key. Virtual nodes smooth
+//! the arc-length variance so per-shard load stays within a small factor of
+//! the mean — the `ring_props` property suite pins max/mean ≤ 1.25 for
+//! N ∈ {2, 3, 5, 8}.
+//!
+//! Failover walks the same circle: [`HashRing::successors`] yields every
+//! shard in ring order starting from the key's owner, so a router that
+//! finds the owner dead retries on the next *distinct* shard — every router
+//! picks the same fallback, which keeps the degraded cache population
+//! concentrated instead of sprayed.
+
+use crate::fingerprint::{Fingerprint, Fnv64};
+
+/// Virtual nodes per shard when the caller does not override it. 128 points
+/// per shard keeps the max/mean load ratio comfortably under 1.25 for small
+/// shard counts while the ring stays tiny (a few KiB).
+pub const DEFAULT_VNODES: usize = 128;
+
+/// A consistent-hash ring mapping fingerprints to shard indices `0..n`.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point, shard)` sorted by point; ties broken by shard index so the
+    /// ring is identical no matter the insertion order.
+    points: Vec<(u64, usize)>,
+    shards: usize,
+    vnodes: usize,
+}
+
+impl HashRing {
+    /// Builds a ring over `shards` shards with [`DEFAULT_VNODES`] points
+    /// each. Panics on zero shards — a ring with nobody to route to is a
+    /// caller bug, not a runtime condition.
+    pub fn new(shards: usize) -> HashRing {
+        HashRing::with_vnodes(shards, DEFAULT_VNODES)
+    }
+
+    /// Builds a ring with an explicit virtual-node count per shard.
+    pub fn with_vnodes(shards: usize, vnodes: usize) -> HashRing {
+        assert!(shards > 0, "a hash ring needs at least one shard");
+        assert!(vnodes > 0, "a hash ring needs at least one vnode per shard");
+        let mut points = Vec::with_capacity(shards * vnodes);
+        for shard in 0..shards {
+            for vnode in 0..vnodes {
+                points.push((point_hash(shard, vnode), shard));
+            }
+        }
+        points.sort_unstable();
+        HashRing {
+            points,
+            shards,
+            vnodes,
+        }
+    }
+
+    /// Number of shards on the ring.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Virtual nodes per shard.
+    pub fn vnodes(&self) -> usize {
+        self.vnodes
+    }
+
+    /// The shard owning `fp`: the first ring point at or clockwise-after
+    /// the key's position (wrapping past the top of the circle).
+    pub fn route(&self, fp: Fingerprint) -> usize {
+        self.points[self.first_point(fp)].1
+    }
+
+    /// Every shard in ring order starting from the owner of `fp`, each
+    /// shard exactly once — the failover order for this key.
+    pub fn successors(&self, fp: Fingerprint) -> Vec<usize> {
+        let start = self.first_point(fp);
+        let mut seen = vec![false; self.shards];
+        let mut order = Vec::with_capacity(self.shards);
+        for i in 0..self.points.len() {
+            let shard = self.points[(start + i) % self.points.len()].1;
+            if !seen[shard] {
+                seen[shard] = true;
+                order.push(shard);
+                if order.len() == self.shards {
+                    break;
+                }
+            }
+        }
+        order
+    }
+
+    /// Index into `points` of the first point at or after the key's hash.
+    fn first_point(&self, fp: Fingerprint) -> usize {
+        let key = key_hash(fp);
+        let idx = self.points.partition_point(|&(p, _)| p < key);
+        if idx == self.points.len() {
+            0
+        } else {
+            idx
+        }
+    }
+}
+
+/// Position of `(shard, vnode)` on the circle. The two indices are hashed
+/// through independent FNV-1a passes so consecutive vnodes scatter.
+fn point_hash(shard: usize, vnode: usize) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(b"waco-ring-point");
+    h.write_u64(shard as u64);
+    h.write_u64(vnode as u64);
+    // One extra avalanche round: raw FNV of short inputs clusters in the
+    // low bits, which would bias arc lengths.
+    let mut h2 = Fnv64::with_basis(h.finish());
+    h2.write_u64(h.finish().rotate_left(29));
+    h2.finish()
+}
+
+/// Position of a fingerprint key on the circle.
+fn key_hash(fp: Fingerprint) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(b"waco-ring-key");
+    h.write_u64(fp.hi);
+    h.write_u64(fp.lo);
+    let mut h2 = Fnv64::with_basis(h.finish());
+    h2.write_u64(h.finish().rotate_left(29));
+    h2.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(i: u64) -> Fingerprint {
+        Fingerprint {
+            hi: i.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            lo: !i ^ 0xA5A5_5A5A_F00D_BEEF,
+        }
+    }
+
+    #[test]
+    fn route_is_deterministic_and_in_range() {
+        let ring = HashRing::new(5);
+        for i in 0..1000 {
+            let a = ring.route(fp(i));
+            let b = HashRing::new(5).route(fp(i));
+            assert_eq!(a, b, "two identically-built rings must agree");
+            assert!(a < 5);
+        }
+    }
+
+    #[test]
+    fn successors_cover_every_shard_once() {
+        let ring = HashRing::new(4);
+        for i in 0..64 {
+            let order = ring.successors(fp(i));
+            assert_eq!(order.len(), 4);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3]);
+            assert_eq!(order[0], ring.route(fp(i)), "owner leads the order");
+        }
+    }
+
+    #[test]
+    fn single_shard_ring_routes_everything_to_it() {
+        let ring = HashRing::new(1);
+        for i in 0..32 {
+            assert_eq!(ring.route(fp(i)), 0);
+            assert_eq!(ring.successors(fp(i)), vec![0]);
+        }
+    }
+}

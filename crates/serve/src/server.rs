@@ -50,13 +50,18 @@ use waco_schedule::Kernel;
 use waco_tensor::io::read_matrix_market;
 
 use crate::cache::{Decision, TuningCache};
-use crate::fingerprint::Fingerprint;
+use crate::fingerprint::{fnv1a64, Fingerprint};
 use crate::json::Json;
 use crate::protocol::{
-    decode_frame, encode_frame, error_response, lookup_response, tune_response, Decoded, Frame,
-    Request,
+    decode_frame, encode_frame, error_response, lookup_response, sync_response, tune_response,
+    Decoded, Frame, Request, SyncRecord,
 };
 use crate::tuner::Tuner;
+
+/// Records per `sync` response frame. Small enough that one frame stays far
+/// under [`crate::protocol::MAX_FRAME_LEN`] even with large schedules, large
+/// enough that warming a realistic journal takes a handful of roundtrips.
+const SYNC_BATCH: usize = 32;
 
 /// Validated server configuration. Construct via [`ServeConfig::builder`].
 #[derive(Debug, Clone)]
@@ -312,14 +317,24 @@ struct Completion {
     started: Instant,
 }
 
-/// A `tune`/`lookup` request shipped to the executor pool.
+/// What an off-loop job does.
+enum JobKind {
+    /// `tune`/`lookup`: parse the matrix, consult the cache, maybe tune.
+    Matrix {
+        lookup_only: bool,
+        kernel: Kernel,
+        dense_extent: usize,
+        matrix: String,
+    },
+    /// `sync`: read one batch of journal records (file I/O off the loop).
+    Sync { offset: usize },
+}
+
+/// A request shipped to the executor pool.
 struct Job {
     conn: u64,
     slot: u64,
-    lookup_only: bool,
-    kernel: Kernel,
-    dense_extent: usize,
-    matrix: String,
+    kind: JobKind,
     started: Instant,
 }
 
@@ -374,26 +389,76 @@ fn executor_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
 }
 
 fn handle_job(shared: &Shared, job: Job) {
-    let _span = waco_obs::span(if job.lookup_only {
+    match &job.kind {
+        JobKind::Matrix {
+            lookup_only,
+            kernel,
+            dense_extent,
+            matrix,
+        } => {
+            handle_matrix_job(shared, &job, *lookup_only, *kernel, *dense_extent, matrix);
+        }
+        JobKind::Sync { offset } => {
+            let response = sync_batch_response(shared, *offset);
+            complete_one(shared, &job, response);
+        }
+    }
+}
+
+/// Answers one `sync` request: a batch of journal records from `offset`,
+/// each with its checksum, plus the resume cursor.
+fn sync_batch_response(shared: &Shared, offset: usize) -> Json {
+    let _span = waco_obs::span("serve.request.sync");
+    let (tail, total) = match shared.cache.journal_records(offset) {
+        Ok(v) => v,
+        Err(e) => return error_response(&e.to_string(), false),
+    };
+    let mut records = Vec::with_capacity(tail.len().min(SYNC_BATCH));
+    for payload in tail.iter().take(SYNC_BATCH) {
+        let Ok(text) = std::str::from_utf8(payload) else {
+            // Journal payloads are written as UTF-8 JSON; anything else
+            // means local corruption we must not propagate to a peer.
+            return error_response("journal holds a non-UTF-8 record; cannot stream it", false);
+        };
+        records.push(SyncRecord {
+            crc: fnv1a64(payload),
+            payload: text.to_string(),
+        });
+    }
+    let next_offset = (offset + records.len()).min(total);
+    waco_obs::counter("serve.sync.batches", 1);
+    waco_obs::counter("serve.sync.records", records.len() as u64);
+    sync_response(&records, next_offset, next_offset >= total, total)
+}
+
+fn handle_matrix_job(
+    shared: &Shared,
+    job: &Job,
+    lookup_only: bool,
+    kernel: Kernel,
+    dense_extent: usize,
+    matrix: &str,
+) {
+    let _span = waco_obs::span(if lookup_only {
         "serve.request.lookup"
     } else {
         "serve.request.tune"
     });
-    let (m, fp) = match parse_and_fingerprint(&job.matrix) {
+    let (m, fp) = match parse_and_fingerprint(matrix) {
         Ok(v) => v,
-        Err(e) => return complete_one(shared, &job, error_response(&e, false)),
+        Err(e) => return complete_one(shared, job, error_response(&e, false)),
     };
-    if job.lookup_only {
-        let found = shared.cache.lookup(fp, job.kernel, job.dense_extent);
-        return complete_one(shared, &job, lookup_response(found.as_ref()));
+    if lookup_only {
+        let found = shared.cache.lookup(fp, kernel, dense_extent);
+        return complete_one(shared, job, lookup_response(found.as_ref()));
     }
-    if let Some(d) = shared.cache.lookup(fp, job.kernel, job.dense_extent) {
-        return complete_one(shared, &job, tune_response(&d, true));
+    if let Some(d) = shared.cache.lookup(fp, kernel, dense_extent) {
+        return complete_one(shared, job, tune_response(&d, true));
     }
 
     // Cache miss: either join an in-flight tune for this key as a waiter, or
     // become the owner and tune once for everyone who piles up meanwhile.
-    let key = (fp, job.kernel, job.dense_extent);
+    let key = (fp, kernel, dense_extent);
     {
         let mut inflight = shared.inflight.lock().expect("inflight lock poisoned");
         if let Some(waiters) = inflight.get_mut(&key) {
@@ -411,17 +476,17 @@ fn handle_job(shared: &Shared, job: Job) {
 
     // Owner path. Re-check the cache: another owner may have finished
     // between our miss above and our registration.
-    let response = match shared.cache.lookup(fp, job.kernel, job.dense_extent) {
+    let response = match shared.cache.lookup(fp, kernel, dense_extent) {
         Some(d) => tune_response(&d, true),
         None => {
             shared.tune_calls.fetch_add(1, Ordering::Relaxed);
             waco_obs::counter("serve.tune.calls", 1);
-            match shared.tuner.tune(&m, job.kernel, job.dense_extent) {
+            match shared.tuner.tune(&m, kernel, dense_extent) {
                 Ok(outcome) => {
                     let decision = Decision {
                         fingerprint: fp,
-                        kernel: job.kernel,
-                        dense_extent: job.dense_extent,
+                        kernel,
+                        dense_extent,
                         schedule: outcome.schedule,
                         kernel_seconds: outcome.kernel_seconds,
                         tuning_seconds: outcome.tuning_seconds,
@@ -472,7 +537,9 @@ fn complete_one(shared: &Shared, job: &Job, body: Json) {
     }]);
 }
 
-fn parse_and_fingerprint(matrix: &str) -> Result<(waco_tensor::CooMatrix, Fingerprint), String> {
+pub(crate) fn parse_and_fingerprint(
+    matrix: &str,
+) -> Result<(waco_tensor::CooMatrix, Fingerprint), String> {
     let m =
         read_matrix_market(matrix.as_bytes()).map_err(|e| format!("parsing inline matrix: {e}"))?;
     let fp = Fingerprint::of_matrix(&m);
@@ -737,6 +804,25 @@ impl EventLoop {
         };
         let lookup_only = matches!(req, Request::Lookup { .. });
         match req {
+            Request::Sync { offset } => {
+                let Some(conn) = self.conns.get_mut(&token) else {
+                    return;
+                };
+                let slot = conn.push_waiting();
+                let job = Job {
+                    conn: token,
+                    slot,
+                    kind: JobKind::Sync { offset },
+                    started,
+                };
+                if self.jobs.send(job).is_err() {
+                    self.fill_slot(
+                        token,
+                        slot,
+                        &error_response("server is shutting down", false),
+                    );
+                }
+            }
             Request::Stats => {
                 let _span = waco_obs::span("serve.request.stats");
                 let response = stats_response(&self.shared);
@@ -774,10 +860,12 @@ impl EventLoop {
                 let job = Job {
                     conn: token,
                     slot,
-                    lookup_only,
-                    kernel,
-                    dense_extent,
-                    matrix,
+                    kind: JobKind::Matrix {
+                        lookup_only,
+                        kernel,
+                        dense_extent,
+                        matrix,
+                    },
                     started,
                 };
                 if self.jobs.send(job).is_err() {

@@ -1,0 +1,175 @@
+//! Property tests for the consistent hash ring: load balance under uniform
+//! and Zipf-weighted fingerprint populations, and bounded disruption when a
+//! shard joins or leaves.
+//!
+//! Everything is seeded and deterministic; the thresholds are properties of
+//! the ring's point hashing, not of a lucky sample.
+
+use waco_serve::{Fingerprint, HashRing};
+
+/// splitmix64: a tiny seeded generator for fingerprint streams.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn fingerprint(&mut self) -> Fingerprint {
+        Fingerprint {
+            hi: self.next_u64(),
+            lo: self.next_u64(),
+        }
+    }
+}
+
+const SHARD_COUNTS: &[usize] = &[2, 3, 5, 8];
+const KEYS: usize = 65_536;
+
+/// Stationary per-shard load for a weighted key population: each key's full
+/// weight lands on its owner, so this is the exact long-run request share.
+fn shard_loads(ring: &HashRing, keys: &[Fingerprint], weights: &[f64]) -> Vec<f64> {
+    let mut load = vec![0.0; ring.shards()];
+    for (fp, w) in keys.iter().zip(weights) {
+        load[ring.route(*fp)] += w;
+    }
+    load
+}
+
+fn max_over_mean(load: &[f64]) -> f64 {
+    let total: f64 = load.iter().sum();
+    let mean = total / load.len() as f64;
+    load.iter().cloned().fold(0.0f64, f64::max) / mean
+}
+
+#[test]
+fn uniform_load_stays_balanced() {
+    let mut rng = Rng(0xfeed_0001);
+    let keys: Vec<Fingerprint> = (0..KEYS).map(|_| rng.fingerprint()).collect();
+    let weights = vec![1.0; KEYS];
+    for &n in SHARD_COUNTS {
+        let ring = HashRing::new(n);
+        let ratio = max_over_mean(&shard_loads(&ring, &keys, &weights));
+        assert!(
+            ratio <= 1.25,
+            "uniform keys, {n} shards: max/mean = {ratio:.4} exceeds 1.25"
+        );
+    }
+}
+
+#[test]
+fn zipf_load_stays_balanced() {
+    // A skewed catalog: key k carries weight k^-0.8. Large catalog, so no
+    // single key dominates a shard — the regime consistent hashing can
+    // actually balance (a catalog of a dozen keys could not be).
+    let mut rng = Rng(0xfeed_0002);
+    let keys: Vec<Fingerprint> = (0..KEYS).map(|_| rng.fingerprint()).collect();
+    let weights: Vec<f64> = (0..KEYS).map(|k| ((k + 1) as f64).powf(-0.8)).collect();
+    for &n in SHARD_COUNTS {
+        let ring = HashRing::new(n);
+        let ratio = max_over_mean(&shard_loads(&ring, &keys, &weights));
+        assert!(
+            ratio <= 1.25,
+            "zipf keys, {n} shards: max/mean = {ratio:.4} exceeds 1.25"
+        );
+    }
+}
+
+#[test]
+fn adding_a_shard_moves_only_its_share() {
+    let mut rng = Rng(0xfeed_0003);
+    let keys: Vec<Fingerprint> = (0..KEYS).map(|_| rng.fingerprint()).collect();
+    for &n in SHARD_COUNTS {
+        let before = HashRing::new(n);
+        let after = HashRing::new(n + 1);
+        let mut moved = 0usize;
+        for fp in &keys {
+            let old = before.route(*fp);
+            let new = after.route(*fp);
+            if old != new {
+                // A key may move only TO the new shard, never between
+                // survivors — that would be gratuitous cache loss.
+                assert_eq!(
+                    new,
+                    n,
+                    "growing {n}->{} moved a key between surviving shards ({old}->{new})",
+                    n + 1
+                );
+                moved += 1;
+            }
+        }
+        let frac = moved as f64 / KEYS as f64;
+        let fair = 1.0 / (n + 1) as f64;
+        assert!(
+            frac <= 1.5 * fair,
+            "growing {n}->{}: moved {frac:.4} of keys, fair share is {fair:.4}",
+            n + 1
+        );
+        assert!(
+            frac >= 0.5 * fair,
+            "growing {n}->{}: moved only {frac:.4} of keys; the new shard is starved",
+            n + 1
+        );
+    }
+}
+
+#[test]
+fn removing_a_shard_moves_only_its_keys() {
+    let mut rng = Rng(0xfeed_0004);
+    let keys: Vec<Fingerprint> = (0..KEYS).map(|_| rng.fingerprint()).collect();
+    for &n in SHARD_COUNTS {
+        if n < 2 {
+            continue;
+        }
+        let before = HashRing::new(n);
+        let after = HashRing::new(n - 1);
+        let mut orphaned = 0usize;
+        for fp in &keys {
+            let old = before.route(*fp);
+            let new = after.route(*fp);
+            if old == n - 1 {
+                orphaned += 1;
+            } else {
+                // Keys on surviving shards must not move at all.
+                assert_eq!(
+                    new,
+                    old,
+                    "shrinking {n}->{}: a surviving shard's key moved ({old}->{new})",
+                    n - 1
+                );
+            }
+        }
+        let frac = orphaned as f64 / KEYS as f64;
+        let fair = 1.0 / n as f64;
+        assert!(
+            frac <= 1.5 * fair,
+            "shrinking {n}->{}: removed shard owned {frac:.4}, fair share is {fair:.4}",
+            n - 1
+        );
+    }
+}
+
+#[test]
+fn successors_agree_with_route_and_cover_all_shards() {
+    let mut rng = Rng(0xfeed_0005);
+    for &n in SHARD_COUNTS {
+        let ring = HashRing::new(n);
+        for _ in 0..256 {
+            let fp = rng.fingerprint();
+            let order = ring.successors(fp);
+            assert_eq!(order[0], ring.route(fp), "owner must lead the walk");
+            let mut seen = order.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(
+                seen.len(),
+                n,
+                "successor walk must visit every shard exactly once"
+            );
+        }
+    }
+}

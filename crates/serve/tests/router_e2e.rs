@@ -1,0 +1,157 @@
+//! Router end-to-end behaviour under pipelining and shard loss.
+//!
+//! The shards here are scripted frame echoes, not real servers: the router
+//! forwards frames and re-orders responses without inspecting payloads, so a
+//! fake shard that tags its replies is enough to observe exactly which shard
+//! answered and in what order the client saw it.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use waco_serve::protocol::{read_frame, request_json, write_frame};
+use waco_serve::{Client, Fingerprint, HashRing, Json, Router, RouterConfig};
+use waco_tensor::gen::{self, Rng64};
+use waco_tensor::io::write_matrix_market;
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A shard that answers every well-framed request with `{"ok":true,
+/// "shard":id}` after `delay`, until its listener is dropped at test end.
+struct FakeShard {
+    addr: SocketAddr,
+    stop: mpsc::Sender<()>,
+}
+
+fn spawn_fake_shard(id: usize, delay: Duration) -> FakeShard {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let (stop, stopped) = mpsc::channel::<()>();
+    std::thread::spawn(move || {
+        listener.set_nonblocking(true).unwrap();
+        loop {
+            if stopped.try_recv() != Err(mpsc::TryRecvError::Empty) {
+                return;
+            }
+            match listener.accept() {
+                Ok((mut sock, _)) => {
+                    sock.set_nonblocking(false).unwrap();
+                    while let Ok(Some(_)) = read_frame(&mut sock) {
+                        std::thread::sleep(delay);
+                        let reply =
+                            Json::obj([("ok", Json::Bool(true)), ("shard", Json::num(id as f64))]);
+                        if write_frame(&mut sock, &reply).is_err() {
+                            break;
+                        }
+                        let _ = sock.flush();
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => return,
+            }
+        }
+    });
+    FakeShard { addr, stop }
+}
+
+/// A tune request whose matrix the `n`-shard ring routes to `target`.
+fn request_routed_to(n: usize, target: usize) -> Json {
+    let ring = HashRing::new(n);
+    for i in 0..10_000u64 {
+        let mut rng = Rng64::seed_from(0x70e2 + i);
+        let m = gen::banded(30 + (i as usize % 11), 2 + (i as usize % 4), 0.85, &mut rng);
+        if ring.route(Fingerprint::of_matrix(&m)) == target {
+            let mut text = Vec::new();
+            write_matrix_market(&mut text, &m).unwrap();
+            return request_json("tune", "spmv", 0, &String::from_utf8(text).unwrap());
+        }
+    }
+    panic!("no matrix found routing to shard {target} of {n}");
+}
+
+fn shard_of(reply: &Json) -> u64 {
+    reply
+        .get("shard")
+        .and_then(|v| v.as_u64())
+        .unwrap_or_else(|| panic!("reply without a shard tag: {reply}"))
+}
+
+fn start_router(shards: &[SocketAddr]) -> Router {
+    let mut b = RouterConfig::builder().addr("127.0.0.1:0");
+    for s in shards {
+        b = b.shard(s.to_string());
+    }
+    Router::start(b.build().unwrap()).unwrap()
+}
+
+#[test]
+fn pipelined_responses_come_back_in_request_order() {
+    // Shard 0 is slow, shard 1 instant. A slow-fast-slow pipeline must still
+    // be answered slow-fast-slow: the fast reply may not overtake.
+    let slow = spawn_fake_shard(0, Duration::from_millis(300));
+    let fast = spawn_fake_shard(1, Duration::ZERO);
+    let router = start_router(&[slow.addr, fast.addr]);
+
+    let to_slow = request_routed_to(2, 0);
+    let to_fast = request_routed_to(2, 1);
+    let mut client = Client::connect(&router.local_addr().to_string(), TIMEOUT).unwrap();
+    client.send(&to_slow).unwrap();
+    client.send(&to_fast).unwrap();
+    client.send(&to_slow).unwrap();
+
+    let order: Vec<u64> = (0..3).map(|_| shard_of(&client.recv().unwrap())).collect();
+    assert_eq!(
+        order,
+        vec![0, 1, 0],
+        "responses must arrive in request order despite shard 1 replying first"
+    );
+    drop(client);
+
+    router.begin_shutdown();
+    router.wait();
+    let _ = slow.stop.send(());
+    let _ = fast.stop.send(());
+}
+
+#[test]
+fn dead_primary_fails_over_to_ring_successor() {
+    // Shard 0's address is bound once and dropped: connecting is refused.
+    // Requests owned by shard 0 must be answered by shard 1, and the router
+    // must account the detour.
+    let dead_addr = {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap()
+    };
+    let live = spawn_fake_shard(1, Duration::ZERO);
+    let router = start_router(&[dead_addr, live.addr]);
+
+    let to_dead = request_routed_to(2, 0);
+    let mut client = Client::connect(&router.local_addr().to_string(), TIMEOUT).unwrap();
+    client.send(&to_dead).unwrap();
+    let reply = client.recv().unwrap();
+    assert_eq!(reply.get("ok").and_then(|v| v.as_bool()), Some(true));
+    assert_eq!(shard_of(&reply), 1, "the live successor must answer");
+
+    let stats = client.stats().unwrap();
+    let router_stats = stats
+        .get("router")
+        .expect("stats must carry a router section");
+    let failover = router_stats.get("failover").and_then(|v| v.as_u64());
+    let shard_down = router_stats.get("shard_down").and_then(|v| v.as_u64());
+    assert!(
+        failover >= Some(1),
+        "failover counter must record the detour"
+    );
+    assert!(
+        shard_down >= Some(1),
+        "shard_down must record the dead primary"
+    );
+    drop(client);
+
+    router.begin_shutdown();
+    router.wait();
+    let _ = live.stop.send(());
+}

@@ -287,8 +287,7 @@ impl Simulator {
         // simulated and measured fast-path ratios agree in sign.
         let traversal_ns = generic_traversal_ns * fp_traversal_factor;
         let body_ns = generic_body_ns * fp_body_factor;
-        let fastpath_saved_ns =
-            (generic_traversal_ns - traversal_ns) + (generic_body_ns - body_ns);
+        let fastpath_saved_ns = (generic_traversal_ns - traversal_ns) + (generic_body_ns - body_ns);
         // Workspace kernels: price the dense-temporary lifecycle explicitly.
         // SpGEMM scatters up to a B-row (dense upper bound |j|) per visited
         // nonzero and gathers each touched entry once at row compaction; the
@@ -464,7 +463,11 @@ impl Simulator {
             simd_factor: simd,
             chunks: nchunks,
             threads,
-            imbalance: if ideal > 0.0 { balance_span / ideal } else { 1.0 },
+            imbalance: if ideal > 0.0 {
+                balance_span / ideal
+            } else {
+                1.0
+            },
             miss_ratio: if hits + misses == 0 {
                 0.0
             } else {

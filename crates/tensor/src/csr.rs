@@ -290,9 +290,7 @@ mod tests {
         // row_ptr does not cover the arrays.
         assert!(CsrMatrix::from_parts(2, 2, vec![0, 1, 1], vec![0, 1], vec![1.0, 2.0]).is_err());
         // Columns out of order within a row.
-        assert!(
-            CsrMatrix::from_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).is_err()
-        );
+        assert!(CsrMatrix::from_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).is_err());
         // Column out of bounds.
         assert!(CsrMatrix::from_parts(1, 2, vec![0, 1], vec![5], vec![1.0]).is_err());
         // Zero dims.

@@ -281,11 +281,8 @@ pub(crate) fn check_matrix_schedule(
             Ok(tol.first_divergence(&[m.nrows(), m.ncols()], expected, d.to_dense().as_slice()))
         }
         Kernel::SpGEMM => {
-            let b = CsrMatrix::from_coo(&sparse_operand(
-                m.ncols(),
-                space.dense_extent,
-                operand_seed,
-            ));
+            let b =
+                CsrMatrix::from_coo(&sparse_operand(m.ncols(), space.dense_extent, operand_seed));
             let c = exec.spgemm(m, sched, space, &b).map_err(to_excluded)?;
             Ok(tol.first_divergence(
                 &[m.nrows(), space.dense_extent],

@@ -29,6 +29,10 @@
 //! * [`fault`] — fault injection for `waco-serve`: torn/bit-flipped
 //!   journal writes and mid-frame TCP faults must never surface a wrong
 //!   tune result.
+//! * [`distributed`] — crash-failover drills for the sharded tier: kill a
+//!   shard mid-tune, kill a journal sync mid-stream, corrupt the stream,
+//!   restart and re-join — routed answers must stay bit-identical to the
+//!   single-node oracle.
 //! * [`report`] — the JSON report `waco-cli verify` writes into `results/`.
 //!
 //! Everything is driven by one seed: a CI failure line names the seed,
@@ -38,6 +42,7 @@
 pub mod baselines;
 pub mod corpus;
 pub mod diff;
+pub mod distributed;
 pub mod fault;
 pub mod metamorphic;
 pub mod oracle;
@@ -176,7 +181,8 @@ impl std::fmt::Display for Failure {
 #[derive(Debug, Clone)]
 pub struct SuiteReport {
     /// Suite name (`differential`, `plan_equivalence`, `metamorphic`,
-    /// `baselines`, `spgemm_oracle`, `fusion_equivalence`, `fault`).
+    /// `baselines`, `spgemm_oracle`, `fusion_equivalence`, `fault`,
+    /// `distributed`).
     pub name: &'static str,
     /// Checks that executed to completion.
     pub executed: usize,
@@ -254,6 +260,7 @@ pub fn run_with_executor(cfg: &VerifyConfig, exec: &dyn diff::Executor) -> Verif
     ];
     if cfg.faults {
         suites.push(fault::fault_suite(cfg));
+        suites.push(distributed::distributed_suite(cfg));
     }
     VerifyReport {
         seed: cfg.seed,

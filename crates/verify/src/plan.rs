@@ -148,11 +148,8 @@ fn compare_matrix(
             sddmm_mismatch(&p, &i)
         }
         Kernel::SpGEMM => {
-            let b = CsrMatrix::from_coo(&sparse_operand(
-                m.ncols(),
-                space.dense_extent,
-                operand_seed,
-            ));
+            let b =
+                CsrMatrix::from_coo(&sparse_operand(m.ncols(), space.dense_extent, operand_seed));
             let p = pk
                 .run_on(Backend::Plan, KernelArgs::Spgemm { b: &b })
                 .and_then(|o| o.into_csr())

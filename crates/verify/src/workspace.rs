@@ -129,8 +129,9 @@ pub fn spgemm_oracle_suite(cfg: &VerifyConfig, exec: &dyn Executor) -> SuiteRepo
                 .expect("identity triplets are in bounds"),
         );
         let ispace = Space::new(Kernel::SpGEMM, vec![m.nrows(), m.ncols()], m.ncols());
-        let ischeds = ScheduleSampler::new(&ispace, mix_seed(cfg.seed, &format!("{salt}/identity")))
-            .take_schedules(cfg.budget.metamorphic_schedules());
+        let ischeds =
+            ScheduleSampler::new(&ispace, mix_seed(cfg.seed, &format!("{salt}/identity")))
+                .take_schedules(cfg.budget.metamorphic_schedules());
         let expected_dense = m.to_dense();
         for (index, sched) in ischeds.iter().enumerate() {
             match exec.spgemm(m, sched, &ispace, &eye) {
@@ -139,9 +140,7 @@ pub fn spgemm_oracle_suite(cfg: &VerifyConfig, exec: &dyn Executor) -> SuiteRepo
                 Ok(out) => {
                     executed += 1;
                     let got = out.to_coo().to_dense();
-                    if let Some(idx) =
-                        first_bit_diff(expected_dense.as_slice(), got.as_slice())
-                    {
+                    if let Some(idx) = first_bit_diff(expected_dense.as_slice(), got.as_slice()) {
                         failures.push(failure(
                             "spgemm_oracle",
                             Kernel::SpGEMM,

@@ -169,6 +169,10 @@ grep -qF '"name":"fusion_equivalence"' "$VERIFY_REPORT" || {
     echo "verify report is missing the fusion_equivalence suite" >&2
     exit 1
 }
+grep -qF '"name":"distributed"' "$VERIFY_REPORT" || {
+    echo "verify report is missing the distributed drill suite" >&2
+    exit 1
+}
 echo "verify report OK: $VERIFY_REPORT"
 
 # 5. The load generator against a fresh server: the coalesce probe must
@@ -203,7 +207,93 @@ else
     echo "loadgen OK (python3 unavailable, JSON gates skipped)"
 fi
 
-# 6. Two experiment binaries at smoke scale (co-optimization table and the
+# 6. The distributed tier: a fingerprint-sharded router over two shard
+#    processes. Load runs through the router; one shard is SIGKILLed
+#    mid-run. Degraded, never wrong: the client must see zero error frames
+#    and the router must account at least one failover in its stats.
+echo
+echo "--- route: 2 shards, kill one mid-run ---"
+start_shard() {
+    # $1: slot name (cache dir + log suffix). Echoes nothing; sets
+    # SHARD_ADDR / SHARD_PID.
+    "$CLI" serve --addr 127.0.0.1:0 --cache "$TMP/shard-$1-cache" \
+        >"$TMP/shard-$1.out" 2>"$TMP/shard-$1.err" &
+    SHARD_PID=$!
+    SHARD_ADDR=
+    for _ in $(seq 1 100); do
+        SHARD_ADDR="$(sed -n 's/^listening on //p' "$TMP/shard-$1.out")"
+        [ -n "$SHARD_ADDR" ] && break
+        kill -0 "$SHARD_PID" 2>/dev/null || {
+            echo "shard $1 died on startup:" >&2
+            cat "$TMP/shard-$1.err" >&2
+            exit 1
+        }
+        sleep 0.1
+    done
+    [ -n "$SHARD_ADDR" ] || { echo "shard $1 never reported its address" >&2; exit 1; }
+    echo "shard $1 up at $SHARD_ADDR (pid $SHARD_PID)"
+}
+
+start_shard a; SHARD_A_ADDR=$SHARD_ADDR; SHARD_A_PID=$SHARD_PID
+start_shard b; SHARD_B_ADDR=$SHARD_ADDR; SHARD_B_PID=$SHARD_PID
+"$CLI" route --addr 127.0.0.1:0 --shards "$SHARD_A_ADDR,$SHARD_B_ADDR" \
+    >"$TMP/router.out" 2>"$TMP/router.err" &
+ROUTER_PID=$!
+ROUTER_ADDR=
+for _ in $(seq 1 100); do
+    ROUTER_ADDR="$(sed -n 's/^listening on //p' "$TMP/router.out")"
+    [ -n "$ROUTER_ADDR" ] && break
+    kill -0 "$ROUTER_PID" 2>/dev/null || {
+        echo "router died on startup:" >&2
+        cat "$TMP/router.err" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+[ -n "$ROUTER_ADDR" ] || { echo "router never reported its address" >&2; exit 1; }
+echo "router up at $ROUTER_ADDR (pid $ROUTER_PID)"
+
+# Open-loop load through the router; long enough that the kill below lands
+# mid-run with traffic still arriving on the dead shard's keys.
+"$CLI" loadgen --addr "$ROUTER_ADDR" --smoke --duration 4 --fingerprints 12 \
+    --shards 2 --out results/loadgen_routed.json \
+    >"$TMP/loadgen-routed.out" 2>&1 &
+LOADGEN_PID=$!
+sleep 1.5
+echo "killing shard b (pid $SHARD_B_PID) mid-run"
+kill -9 "$SHARD_B_PID"
+wait "$SHARD_B_PID" 2>/dev/null || true
+wait "$LOADGEN_PID" || {
+    echo "routed loadgen failed:" >&2
+    cat "$TMP/loadgen-routed.out" >&2
+    exit 1
+}
+cat "$TMP/loadgen-routed.out"
+run "$CLI" query --addr "$ROUTER_ADDR" --op stats | tee "$TMP/router-stats.out"
+grep -q '"failover":' "$TMP/router-stats.out"
+if command -v python3 >/dev/null 2>&1; then
+    python3 - results/loadgen_routed.json <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+lat = r["latency"]
+assert lat["count"] > 0 and lat["errors"] == 0, \
+    f"routed run saw error frames: {lat}"
+router = r["router"]
+assert router["failover"] >= 1, f"no failover recorded: {router}"
+assert router["shard_down"] >= 1, f"dead shard not recorded: {router}"
+print(f"routed loadgen OK: {lat['count']} responses, 0 errors, "
+      f"failover={router['failover']} shard_down={router['shard_down']}")
+EOF
+else
+    grep -q '"errors":0' results/loadgen_routed.json
+    echo "routed loadgen OK (python3 unavailable, failover gate skipped)"
+fi
+run "$CLI" query --addr "$ROUTER_ADDR" --op shutdown
+wait "$ROUTER_PID"
+run "$CLI" query --addr "$SHARD_A_ADDR" --op shutdown
+wait "$SHARD_A_PID"
+
+# 7. Two experiment binaries at smoke scale (co-optimization table and the
 #    headline baseline-comparison figure).
 run target/release/table1 --smoke
 run target/release/fig13 --smoke
