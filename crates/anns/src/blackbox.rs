@@ -22,6 +22,9 @@ pub struct TraceResult {
     pub best_score: f32,
     /// Best-so-far objective after each trial.
     pub trace: Vec<f32>,
+    /// Number of objective evaluations performed (one per trial), so
+    /// tuner comparisons can count evaluations instead of seconds.
+    pub evals: usize,
     /// Total wall time of the run.
     pub seconds: f64,
     /// Wall time spent inside the objective.
@@ -71,10 +74,12 @@ impl<'a> Run<'a> {
 
     fn finish(self, started: std::time::Instant) -> TraceResult {
         let (best, best_score) = self.best.expect("at least one trial");
+        let evals = self.trace.len();
         TraceResult {
             best,
             best_score,
             trace: self.trace,
+            evals,
             seconds: started.elapsed().as_secs_f64(),
             eval_seconds: self.eval_seconds,
         }
@@ -142,10 +147,12 @@ pub fn random_search_batched(
         trace.push(best.expect("just set").1);
     }
     let (best_idx, best_score) = best.expect("trials > 0");
+    let evals = trace.len();
     TraceResult {
         best: samples[best_idx].clone(),
         best_score,
         trace,
+        evals,
         seconds: started.elapsed().as_secs_f64(),
         eval_seconds,
     }
@@ -327,6 +334,7 @@ mod tests {
             ("bandit", bandit_ensemble(&space, 120, 1, &mut objective)),
         ] {
             assert_eq!(result.trace.len(), 120, "{name}");
+            assert_eq!(result.evals, 120, "{name} counts every trial");
             assert!(
                 result.best_score <= result.trace[0],
                 "{name} must improve or match"

@@ -365,6 +365,211 @@ impl Hnsw {
             (result, evals_total, trace)
         }
     }
+
+    /// [`Hnsw::search_generic`] restricted to the nodes flagged in `allowed`
+    /// — the Stage-2 traversal of the two-stage tuning pipeline, where
+    /// Stage 1 has already discarded asymptotically-dominated candidates.
+    ///
+    /// Masked nodes are *transparent waypoints*: the beam traverses their
+    /// links (inheriting the discovering parent's distance, so connectivity
+    /// through a pruned region is preserved) but never evaluates their cost
+    /// and never returns them. The eval count therefore counts allowed-node
+    /// evaluations only — the quantity the pruning gate bounds. The search
+    /// runs entirely on layer 0 seeded from the graph entry (the graphs
+    /// here are small; the upper-layer descent would evaluate masked nodes
+    /// for navigation without tightening the result set).
+    ///
+    /// As long as one allowed node is reachable from the entry on layer 0,
+    /// the result is nonempty: the termination test only fires once `ef`
+    /// allowed results exist.
+    pub fn search_generic_masked(
+        &self,
+        mut cost: impl FnMut(usize) -> f32,
+        k: usize,
+        ef: usize,
+        allowed: &[bool],
+    ) -> (Vec<(usize, f32)>, usize, Vec<f32>) {
+        debug_assert_eq!(allowed.len(), self.len(), "mask covers every node");
+        let is_allowed = |n: usize| allowed.get(n).copied().unwrap_or(true);
+        let scored = std::cell::Cell::new(0usize);
+        let memo: std::cell::RefCell<HashMap<usize, f32>> = std::cell::RefCell::new(HashMap::new());
+        let mut trace: Vec<f32> = Vec::new();
+        let mut best = f32::INFINITY;
+        let mut dist = |n: usize| -> f32 {
+            if let Some(&d) = memo.borrow().get(&n) {
+                return d;
+            }
+            let d = cost(n);
+            memo.borrow_mut().insert(n, d);
+            scored.set(scored.get() + 1);
+            best = best.min(d);
+            trace.push(best);
+            d
+        };
+        let ef = ef.max(k);
+        // Stage-2 evaluation budget. The pruner already vouched for every
+        // survivor's complexity class; this walk only has to pick a top-k,
+        // so 4·ef scored survivors are enough — even when Stage 1 abstained
+        // and the mask is full, which is exactly when the budget is the
+        // only thing separating the staged search from the unpruned one.
+        let max_evals = 4 * ef;
+        // Greedy upper-layer descent over the allowed nodes, mirroring the
+        // unmasked query: masked nodes cannot be scored, so the walk only
+        // steps onto survivors. This matters under the eval budget — the
+        // layer-0 beam starts in the model's neighborhood instead of
+        // spending its budget walking in from the global entry.
+        let mut cur = self.entry;
+        let mut cur_d = if is_allowed(cur) {
+            dist(cur)
+        } else {
+            f32::INFINITY
+        };
+        for l in (1..=self.max_level).rev() {
+            loop {
+                let mut improved = false;
+                for &nb in &self.links[cur][l] {
+                    if !is_allowed(nb) {
+                        continue;
+                    }
+                    let d = dist(nb);
+                    if d < cur_d {
+                        cur = nb;
+                        cur_d = d;
+                        improved = true;
+                    }
+                }
+                if !improved {
+                    break;
+                }
+            }
+        }
+        let mut visited: HashSet<usize> = HashSet::new();
+        let mut candidates: BinaryHeap<std::cmp::Reverse<HeapItem>> = BinaryHeap::new();
+        let mut results: BinaryHeap<HeapItem> = BinaryHeap::new();
+        visited.insert(cur);
+        let seed_d = if is_allowed(cur) {
+            let d = dist(cur);
+            results.push(HeapItem { dist: d, node: cur });
+            d
+        } else {
+            0.0
+        };
+        candidates.push(std::cmp::Reverse(HeapItem {
+            dist: seed_d,
+            node: cur,
+        }));
+        // Spend half the budget on a deterministic sample of the survivors
+        // before the beam runs. The beam alone only probes the basin it
+        // starts in; on a rugged (or nearly flat) cost surface that misses
+        // the global argmin. The sample is a greedy *dominating set* of
+        // the masked layer-0 graph — walk the survivors in id order and
+        // pick every node not already adjacent to a pick — so each
+        // survivor ends up at most one graph hop from a scored probe.
+        // That is exactly the coverage the beam needs: expanding any
+        // probe that scores well reaches its whole embedding cluster,
+        // including interior nodes. (A farthest-point or strided sample
+        // lacks this property: the one favors cluster *boundaries*, the
+        // other aliases against the id lattice of parallelization
+        // variants, and either can leave a rich cluster with no probe at
+        // all.)
+        let survivors: Vec<usize> = (0..self.len()).filter(|&n| is_allowed(n)).collect();
+        let sample = (max_evals / 2).max(1).min(survivors.len());
+        let mut picked: Vec<usize> = Vec::with_capacity(sample);
+        let mut covered: HashSet<usize> = HashSet::new();
+        for &n in &survivors {
+            if picked.len() >= sample {
+                break;
+            }
+            if covered.contains(&n) {
+                continue;
+            }
+            picked.push(n);
+            covered.insert(n);
+            for &nb in &self.links[n][0] {
+                covered.insert(nb);
+            }
+        }
+        // Leftover sample budget (small graphs dominate quickly): fill
+        // with the still-uncovered two-hop fringe, then first-come ids.
+        if picked.len() < sample {
+            for &n in &survivors {
+                if picked.len() >= sample {
+                    break;
+                }
+                if !picked.contains(&n) && self.links[n][0].iter().all(|nb| !picked.contains(nb)) {
+                    picked.push(n);
+                }
+            }
+        }
+        for n in picked {
+            if !visited.insert(n) {
+                continue;
+            }
+            let d = dist(n);
+            candidates.push(std::cmp::Reverse(HeapItem { dist: d, node: n }));
+            results.push(HeapItem { dist: d, node: n });
+            if results.len() > ef {
+                results.pop();
+            }
+        }
+        while let Some(std::cmp::Reverse(c)) = candidates.pop() {
+            let worst = results.peek().map(|r| r.dist).unwrap_or(f32::INFINITY);
+            if c.dist > worst && results.len() >= ef {
+                break;
+            }
+            if scored.get() >= max_evals {
+                break;
+            }
+            // Expand every layer's links of the popped node, not just
+            // layer 0: the upper layers are the graph's long-range
+            // shortcuts, and under a tight budget the walk cannot afford
+            // to reach distant basins one layer-0 hop at a time.
+            for &nb in self.links[c.node].iter().flatten() {
+                if !visited.insert(nb) {
+                    continue;
+                }
+                if !is_allowed(nb) {
+                    // Transparent: keep walking through the pruned node at
+                    // the parent's priority, without scoring it — but only
+                    // while the beam is still accepting. Without this gate
+                    // the pruned nodes form zero-cost tunnels that drag
+                    // the walk through the whole graph, scoring every
+                    // survivor and erasing the pruning win.
+                    let worst = results.peek().map(|r| r.dist).unwrap_or(f32::INFINITY);
+                    if results.len() < ef || c.dist < worst {
+                        candidates.push(std::cmp::Reverse(HeapItem {
+                            dist: c.dist,
+                            node: nb,
+                        }));
+                    }
+                    continue;
+                }
+                let d = dist(nb);
+                let worst = results.peek().map(|r| r.dist).unwrap_or(f32::INFINITY);
+                if results.len() < ef || d < worst {
+                    candidates.push(std::cmp::Reverse(HeapItem { dist: d, node: nb }));
+                    results.push(HeapItem { dist: d, node: nb });
+                    if results.len() > ef {
+                        results.pop();
+                    }
+                }
+            }
+        }
+        // Under a budget every evaluation is precious: rank the top-k over
+        // *all* scored nodes (descent waypoints included), not just the
+        // ef-heap — the heap may have evicted a node the budgeted beam
+        // never got to re-add. With a full mask keep the plain heap ranking
+        // so the query stays byte-for-byte the unpruned one.
+        let memo = memo.into_inner();
+        let mut out: Vec<(f32, usize)> = if max_evals == usize::MAX {
+            results.into_iter().map(|h| (h.dist, h.node)).collect()
+        } else {
+            memo.iter().map(|(&n, &d)| (d, n)).collect()
+        };
+        out.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let result: Vec<(usize, f32)> = out.into_iter().take(k).map(|(d, n)| (n, d)).collect();
+        (result, memo.len(), trace)
+    }
 }
 
 #[cfg(test)]
@@ -453,5 +658,51 @@ mod tests {
         let g = Hnsw::build(grid_vectors(50), 4, 32, 11);
         assert!(!g.neighbors(25).is_empty());
         assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn masked_search_never_returns_or_evaluates_masked_nodes() {
+        let g = Hnsw::build(grid_vectors(300), 8, 64, 4);
+        // Mask out everything below 150 — including the cost argmin at 123.
+        let allowed: Vec<bool> = (0..300).map(|n| n >= 150).collect();
+        let mut scored: Vec<usize> = Vec::new();
+        let (res, evals, _) = g.search_generic_masked(
+            |n| {
+                scored.push(n);
+                (n as f32 - 123.0).abs()
+            },
+            5,
+            48,
+            &allowed,
+        );
+        assert!(!res.is_empty(), "survivors exist, result must be nonempty");
+        assert!(res.iter().all(|&(n, _)| allowed[n]));
+        assert!(scored.iter().all(|&n| allowed[n]));
+        assert_eq!(evals, scored.len());
+        // Best allowed node is 150; the beam must find it.
+        assert_eq!(res[0].0, 150);
+    }
+
+    #[test]
+    fn masked_search_with_full_mask_matches_unmasked_argmin() {
+        let g = Hnsw::build(grid_vectors(300), 8, 64, 4);
+        let allowed = vec![true; 300];
+        let (res, evals, trace) =
+            g.search_generic_masked(|n| (n as f32 - 123.0).abs(), 5, 48, &allowed);
+        assert_eq!(res[0].0, 123);
+        assert!(evals <= 300);
+        for w in trace.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+
+    #[test]
+    fn masked_search_survives_a_single_survivor() {
+        let g = Hnsw::build(grid_vectors(120), 6, 48, 7);
+        let mut allowed = vec![false; 120];
+        allowed[77] = true;
+        let (res, evals, _) = g.search_generic_masked(|n| n as f32, 3, 16, &allowed);
+        assert_eq!(res, vec![(77, 77.0)]);
+        assert_eq!(evals, 1, "only the survivor is ever scored");
     }
 }

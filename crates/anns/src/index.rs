@@ -17,6 +17,9 @@ pub struct SearchBreakdown {
     pub anns_seconds: f64,
     /// Number of cost evaluations performed by ANNS.
     pub evals: usize,
+    /// Candidates discarded by the Stage-1 asymptotic pruner before the
+    /// traversal ran (0 for an unpruned search).
+    pub pruned: usize,
 }
 
 impl SearchBreakdown {
@@ -161,6 +164,46 @@ impl ScheduleIndex {
         out
     }
 
+    /// [`ScheduleIndex::query_with_feature`] restricted to the candidates
+    /// flagged in `allowed` — Stage 2 of the two-stage tuning pipeline. The
+    /// mask is computed by the caller (typically from
+    /// `ExecutionPlan::asymptotic_bound` over the indexed schedules); the
+    /// index itself stays pruning-agnostic. Masked vertices are traversed
+    /// but never scored, so the returned eval count is the pruned-path
+    /// measurement the `search_pruning` gate bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `allowed.len() != self.len()` or no candidate is allowed.
+    pub fn query_with_feature_masked(
+        &self,
+        model: &CostModel,
+        feat: &[f32],
+        k: usize,
+        ef: usize,
+        allowed: &[bool],
+    ) -> (Vec<(usize, f32)>, usize, Vec<f32>) {
+        assert_eq!(allowed.len(), self.len(), "mask covers every candidate");
+        assert!(
+            allowed.iter().any(|&a| a),
+            "pruner must leave at least one candidate"
+        );
+        let _s = waco_obs::span("anns_traversal");
+        let out = self.hnsw.search_generic_masked(
+            |n| model.score(feat, &self.embeddings[n]),
+            k,
+            ef,
+            allowed,
+        );
+        if waco_obs::enabled() {
+            waco_obs::counter("anns.queries", 1);
+            waco_obs::counter("anns.predictor_calls", out.1 as u64);
+            let pruned = allowed.iter().filter(|&&a| !a).count();
+            waco_obs::counter("anns.pruned_candidates", pruned as u64);
+        }
+        out
+    }
+
     /// Full WACO search: extract the feature, then ANNS — with the
     /// Figure 16b timing breakdown.
     pub fn query(
@@ -182,6 +225,7 @@ impl ScheduleIndex {
                 feature_seconds,
                 anns_seconds,
                 evals,
+                pruned: 0,
             },
         )
     }
@@ -244,6 +288,24 @@ mod tests {
         let f = bd.eval_fraction();
         assert!((0.0..=1.0).contains(&f));
         assert!(bd.feature_seconds >= 0.0 && bd.anns_seconds >= 0.0);
+    }
+
+    #[test]
+    fn masked_query_only_scores_survivors() {
+        let (_s, mut model, index) = setup();
+        let mut rng = Rng64::seed_from(4);
+        let m = gen::uniform_random(32, 32, 0.1, &mut rng);
+        let feat = model.extract_feature(&Pattern::from_matrix(&m));
+        // Allow every third candidate.
+        let allowed: Vec<bool> = (0..index.len()).map(|i| i % 3 == 0).collect();
+        let (res, evals, _) = index.query_with_feature_masked(&model, &feat, 5, 48, &allowed);
+        assert!(!res.is_empty());
+        assert!(res.iter().all(|&(n, _)| allowed[n]));
+        assert!(evals <= allowed.iter().filter(|&&a| a).count());
+        // Determinism: the same mask and feature give the same answer.
+        let (res2, evals2, _) = index.query_with_feature_masked(&model, &feat, 5, 48, &allowed);
+        assert_eq!(res, res2);
+        assert_eq!(evals, evals2);
     }
 
     #[test]

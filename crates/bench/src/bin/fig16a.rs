@@ -109,7 +109,7 @@ fn main() {
             "Random".into(),
             format!("{:.4}", random.best_score),
             measure(&random.best),
-            random.trace.len().to_string(),
+            random.evals.to_string(),
             format!("{:.1}ms", random.seconds * 1e3),
             format!("{:.1}%", random.eval_fraction() * 100.0),
         ],
@@ -117,7 +117,7 @@ fn main() {
             "HyperOpt-like (TPE)".into(),
             format!("{:.4}", tpe.best_score),
             measure(&tpe.best),
-            tpe.trace.len().to_string(),
+            tpe.evals.to_string(),
             format!("{:.1}ms", tpe.seconds * 1e3),
             format!("{:.1}%", tpe.eval_fraction() * 100.0),
         ],
@@ -125,7 +125,7 @@ fn main() {
             "OpenTuner-like (bandit)".into(),
             format!("{:.4}", bandit.best_score),
             measure(&bandit.best),
-            bandit.trace.len().to_string(),
+            bandit.evals.to_string(),
             format!("{:.1}ms", bandit.seconds * 1e3),
             format!("{:.1}%", bandit.eval_fraction() * 100.0),
         ],

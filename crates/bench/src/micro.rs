@@ -95,6 +95,22 @@ impl Harness {
         self.stats.push(stat);
     }
 
+    /// Records a raw value (a count or a ratio, not a timing) as a
+    /// pseudo-stat: it flows into `results/microbench.json` and the
+    /// tracked-ratio tooling next to the real timings, with the value
+    /// stored in every time field.
+    pub fn record_value(&mut self, name: &str, value: f64) {
+        println!("  {:<44} value  {value:>12.1}", name);
+        self.stats.push(MicroStat {
+            name: name.to_string(),
+            iters_per_sample: 1,
+            samples: 1,
+            median_ns: value,
+            min_ns: value,
+            mean_ns: value,
+        });
+    }
+
     /// The stat recorded under `name`, if any.
     pub fn stat(&self, name: &str) -> Option<&MicroStat> {
         self.stats.iter().find(|s| s.name == name)
@@ -167,6 +183,17 @@ mod tests {
         // Balanced braces/brackets as a cheap well-formedness check.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn raw_values_flow_through_like_stats() {
+        let mut h = Harness::new(3, 0.01);
+        h.record_value("group/count", 42.0);
+        let s = h.stat("group/count").unwrap();
+        assert_eq!(s.median_ns, 42.0);
+        assert_eq!(s.min_ns, 42.0);
+        assert_eq!(s.samples, 1);
+        assert!(h.to_json().contains("\"name\": \"group/count\""));
     }
 
     #[test]

@@ -547,19 +547,27 @@ pub fn verify(args: &[String]) -> Result<()> {
 /// as text (default) or JSON (`--json`) — the introspection window into the
 /// exact loop structure every backend (exec, sim, serve, verify) runs.
 pub fn plan(args: &[String]) -> Result<()> {
-    use waco_exec::{ExecutionPlan, LocateKind, PlanOp};
+    use waco_exec::{AsymptoticProfile, ExecutionPlan, LocateKind, PlanOp};
     use waco_serve::Json;
 
     let flags = Flags::parse(args)?;
     let kernel = parse_kernel(&flags)?;
     let dense = dense_extent(&flags, kernel)?;
 
-    // Sparse dims: from the matrix when given, else --rows/--cols.
-    let dims = match flags.positional.as_slice() {
-        [] => vec![flags.usize_or("rows", 1024)?, flags.usize_or("cols", 1024)?],
+    // Sparse dims: from the matrix when given, else --rows/--cols. A real
+    // matrix also gives the asymptotic profile its true nnz and degree
+    // histograms; without one the bound falls back to a uniform profile.
+    let (dims, profile) = match flags.positional.as_slice() {
+        [] => {
+            let dims = vec![flags.usize_or("rows", 1024)?, flags.usize_or("cols", 1024)?];
+            let nnz = flags.usize_or("nnz", dims.iter().product::<usize>() / 100)?;
+            let profile = AsymptoticProfile::uniform(&dims, nnz);
+            (dims, profile)
+        }
         [path] => {
             let m = load_matrix(path)?;
-            vec![m.nrows(), m.ncols()]
+            let profile = AsymptoticProfile::from_matrix(&m);
+            (vec![m.nrows(), m.ncols()], profile)
         }
         _ => return Err(bad("expected at most one FILE.mtx")),
     };
@@ -576,12 +584,14 @@ pub fn plan(args: &[String]) -> Result<()> {
 
     let plan = ExecutionPlan::build(&sched, &space)
         .map_err(|e| WacoError::InvalidSchedule(e.to_string()))?;
+    let bound = plan.asymptotic_bound(&profile);
 
     match flags.get("format").unwrap_or("text") {
         "json" => {}
         "text" => {
             println!("{}", sched.describe(&space));
             print!("{}", plan.describe());
+            println!("asymptotic: {}", bound.summary());
             return Ok(());
         }
         other => {
@@ -673,7 +683,37 @@ pub fn plan(args: &[String]) -> Result<()> {
         ),
         ("fast_path", Json::str(plan.fast_path().wire_name())),
         ("fast_path_reason", Json::str(plan.fast_path_reason())),
-        ("ops", Json::Arr(plan.ops().iter().map(op_json).collect())),
+        (
+            "ops",
+            Json::Arr(
+                plan.ops()
+                    .iter()
+                    .zip(&bound.per_op)
+                    .map(|(op, b)| {
+                        let mut o = op_json(op);
+                        if let Json::Obj(pairs) = &mut o {
+                            pairs.insert(
+                                "bound".to_string(),
+                                Json::obj([
+                                    ("iterations", Json::num(b.iterations)),
+                                    ("cost", Json::num(b.cost)),
+                                    ("term", Json::str(b.term.clone())),
+                                ]),
+                            );
+                        }
+                        o
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "asymptotic",
+            Json::obj([
+                ("work", Json::num(bound.work)),
+                ("nnz", Json::num(profile.nnz as f64)),
+                ("summary", Json::str(bound.summary())),
+            ]),
+        ),
         ("schedule", waco_serve::cache::schedule_to_json(&sched)),
     ]);
     println!("{doc}");

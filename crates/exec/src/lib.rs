@@ -60,6 +60,7 @@
 //! # Ok::<(), waco_exec::ExecError>(())
 //! ```
 
+pub mod asym;
 pub mod executor;
 pub mod kernels;
 pub mod nest;
@@ -67,6 +68,7 @@ pub mod parallel;
 pub mod plan;
 pub(crate) mod workspace;
 
+pub use asym::{AsymptoticBound, AsymptoticProfile, OpBound};
 pub use executor::{Backend, Executor, KernelArgs, KernelOutput, PlannedKernel};
 pub use nest::{Ctx, Instrument, LoopNest, NoInstrument};
 pub use plan::{ExecutionPlan, FastPath, LocateKind, PlanOp};

@@ -34,10 +34,12 @@
 //! assert_eq!(feats.len(), waco_schedule::encode::layout(&space).total_len());
 //! ```
 
+pub mod dominance;
 pub mod encode;
 pub mod named;
 pub mod sample;
 
+pub use dominance::{structure_classes, StructureKey};
 pub use sample::ScheduleSampler;
 
 use waco_format::{Axis, AxisPart, FormatSpec, LevelFormat};

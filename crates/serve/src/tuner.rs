@@ -208,6 +208,13 @@ impl Tuner for WacoTuner {
         // Pre-lower the winning schedule outside the pipeline lock so the
         // decision is already executable when the client comes back with it.
         self.plan_for(m, &tuned.result.sched, &space)?;
+        if waco_obs::enabled() {
+            // The two-stage search's accounting, exported by `stats`:
+            // candidates the asymptotic pruner discarded, and cost-model
+            // evaluations the masked traversal actually performed.
+            waco_obs::counter("serve.tune.pruned", tuned.breakdown.pruned as u64);
+            waco_obs::counter("serve.tune.evals", tuned.breakdown.evals as u64);
+        }
         Ok(TunedOutcome {
             schedule: tuned.result.sched,
             kernel_seconds: tuned.result.kernel_seconds,

@@ -43,6 +43,12 @@ pub struct SimReport {
     pub miss_ratio: f64,
     /// Stored nonzeros visited.
     pub bodies: u64,
+    /// Total traversal events (concordant steps + dense iterations + locate
+    /// probes + bodies) — the count the asymptotic bound of
+    /// `waco_exec::asym` upper-models, used by the `search_pruning` suite to
+    /// cross-check that simulated event counts respect the asymptotic
+    /// ordering.
+    pub events: u64,
 }
 
 /// Deterministic machine-model simulator.
@@ -474,6 +480,7 @@ impl Simulator {
                 misses as f64 / (hits + misses) as f64
             },
             bodies: ev.bodies,
+            events: ev.concordant_steps + ev.dense_steps + ev.locate_probes + ev.bodies,
         })
     }
 

@@ -26,6 +26,12 @@
 //!   plus the `A · I ≡ A` right-identity at bit granularity, and fused
 //!   SDDMM+SpMM against both its oracle and the unfused two-kernel
 //!   composition to bit identity.
+//! * [`search_pruning`] — the two-stage tuner: the asymptotically-pruned
+//!   search must find equal-or-better schedules than the full search over
+//!   the corpus at ≥2× fewer cost-model evaluations, the pruner never
+//!   empties the candidate set or drops a dominating winner, and the
+//!   asymptotic bound's ordering is cross-checked against simulator event
+//!   counts.
 //! * [`fault`] — fault injection for `waco-serve`: torn/bit-flipped
 //!   journal writes and mid-frame TCP faults must never surface a wrong
 //!   tune result.
@@ -48,6 +54,7 @@ pub mod metamorphic;
 pub mod oracle;
 pub mod plan;
 pub mod report;
+pub mod search_pruning;
 pub mod workspace;
 
 use waco_schedule::Kernel;
@@ -181,8 +188,8 @@ impl std::fmt::Display for Failure {
 #[derive(Debug, Clone)]
 pub struct SuiteReport {
     /// Suite name (`differential`, `plan_equivalence`, `metamorphic`,
-    /// `baselines`, `spgemm_oracle`, `fusion_equivalence`, `fault`,
-    /// `distributed`).
+    /// `baselines`, `spgemm_oracle`, `fusion_equivalence`,
+    /// `search_pruning`, `fault`, `distributed`).
     pub name: &'static str,
     /// Checks that executed to completion.
     pub executed: usize,
@@ -257,6 +264,7 @@ pub fn run_with_executor(cfg: &VerifyConfig, exec: &dyn diff::Executor) -> Verif
         baselines::baselines_suite(cfg, exec),
         workspace::spgemm_oracle_suite(cfg, exec),
         workspace::fusion_equivalence_suite(cfg, exec),
+        search_pruning::search_pruning_suite(cfg),
     ];
     if cfg.faults {
         suites.push(fault::fault_suite(cfg));

@@ -24,8 +24,8 @@ fn clean_backend_passes_smoke() {
     }
     assert_eq!(
         report.suites.len(),
-        6,
-        "diff + plan + metamorphic + baselines + spgemm_oracle + fusion_equivalence"
+        7,
+        "diff + plan + metamorphic + baselines + spgemm_oracle + fusion_equivalence + search_pruning"
     );
     assert!(report.passed());
 }

@@ -71,6 +71,11 @@ TRACKED = [
      "workspace/unfused_sddmm_then_spmm", "workspace/fused_sddmm_spmm", True),
     ("workspace_gustavson_vs_two_pass",
      "workspace/spgemm_two_pass", "workspace/spgemm_gustavson", True),
+    # The two-stage search: cost-model evaluations the full unpruned search
+    # performs per evaluation the staged (asymptotic-pruned) search performs.
+    # These are raw counters, not timings, so the ratio is machine-stable.
+    ("pruned_vs_full_evals",
+     "search_pipeline/evals_full", "search_pipeline/evals_pruned", True),
 ]
 
 failures = []
@@ -131,6 +136,25 @@ else:
     failures.append(
         f"fusion_abs_floor: benches missing from {sys.argv[1]}: "
         f"{[n for n in (FUSED, UNFUSED) if n not in cur]}")
+
+# Absolute floor for the two-stage search: Stage 1's asymptotic pruning
+# plus Stage 2's masked evaluation budget must cut cost-model evaluations
+# by at least 2x regardless of what the baseline recorded (the same bound
+# the `search_pruning` verify suite enforces corpus-wide).
+EVALS_FULL = "search_pipeline/evals_full"
+EVALS_PRUNED = "search_pipeline/evals_pruned"
+if EVALS_FULL in cur and EVALS_PRUNED in cur:
+    ratio = cur[EVALS_FULL] / max(cur[EVALS_PRUNED], 1.0)
+    verdict = "ok" if ratio >= 2.0 else "BELOW FLOOR"
+    print(f"  {'pruned_evals_abs_floor':28s} required  {2.0:10.3f}  current {ratio:10.3f}  {verdict}")
+    if ratio < 2.0:
+        failures.append(
+            f"pruned_evals_abs_floor: the staged search only cut cost-model "
+            f"evaluations {ratio:.2f}x (the gate requires 2x)")
+else:
+    failures.append(
+        f"pruned_evals_abs_floor: benches missing from {sys.argv[1]}: "
+        f"{[n for n in (EVALS_FULL, EVALS_PRUNED) if n not in cur]}")
 
 if failures:
     print("check_bench: FAILED", file=sys.stderr)

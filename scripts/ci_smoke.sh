@@ -173,6 +173,10 @@ grep -qF '"name":"distributed"' "$VERIFY_REPORT" || {
     echo "verify report is missing the distributed drill suite" >&2
     exit 1
 }
+grep -qF '"name":"search_pruning"' "$VERIFY_REPORT" || {
+    echo "verify report is missing the search_pruning suite" >&2
+    exit 1
+}
 echo "verify report OK: $VERIFY_REPORT"
 
 # 5. The load generator against a fresh server: the coalesce probe must
